@@ -1,0 +1,83 @@
+//! Exact quantiles by keeping (and sorting) everything.
+//!
+//! The trivial upper-bound baseline: exact answers, `O(n)` memory — the very
+//! thing disk-resident datasets rule out, which is why the paper exists.
+//! Used as ground truth in the comparison harness.
+
+use crate::StreamingEstimator;
+
+/// Stores every observed key; answers exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSortEstimator {
+    keys: Vec<u64>,
+}
+
+impl ExactSortEstimator {
+    /// Create an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamingEstimator for ExactSortEstimator {
+    fn observe(&mut self, key: u64) {
+        self.keys.push(key);
+    }
+
+    fn estimate(&self, phi: f64) -> Option<u64> {
+        if self.keys.is_empty() || !(0.0..=1.0).contains(&phi) {
+            return None;
+        }
+        let mut sorted = self.keys.clone();
+        sorted.sort_unstable();
+        let rank = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    fn observed(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    fn memory_points(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-sort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_dectiles() {
+        let data: Vec<u64> = (1..=1000).rev().collect();
+        let mut est = ExactSortEstimator::new();
+        est.observe_all(&data);
+        for i in 1..10u64 {
+            let phi = i as f64 / 10.0;
+            assert_eq!(est.estimate(phi), Some(i * 100));
+        }
+        assert_eq!(est.memory_points(), 1000);
+        assert_eq!(est.observed(), 1000);
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let mut est = ExactSortEstimator::new();
+        est.observe_all(&[5, 5, 5, 1, 9]);
+        assert_eq!(est.estimate(0.5), Some(5));
+    }
+
+    #[test]
+    fn empty_and_invalid_phi() {
+        let est = ExactSortEstimator::new();
+        assert_eq!(est.estimate(0.5), None);
+        let mut est = ExactSortEstimator::new();
+        est.observe(1);
+        assert_eq!(est.estimate(-1.0), None);
+        assert_eq!(est.name(), "exact-sort");
+    }
+}

@@ -1,0 +1,150 @@
+//! The grouped-data cell-midpoint estimator of Schmeiser & Deutsch (`[SD77]`).
+//!
+//! "An algorithm was proposed which partitions the range of the values into
+//! `k` intervals.  The algorithm counts the number of elements in each
+//! interval.  The counts of the intervals are used to estimate the quantile
+//! value.  Unless we have a priori knowledge of the data set, this algorithm
+//! may produce inaccurate estimates."  The estimator below takes that a
+//! priori range as a constructor argument; keys outside it are clamped into
+//! the edge cells, which is exactly how the inaccuracy the paper warns about
+//! manifests.
+
+use crate::StreamingEstimator;
+
+/// Fixed-range, equal-width cell estimator answering with cell midpoints.
+#[derive(Debug, Clone)]
+pub struct GroupedMidpointEstimator {
+    lo: u64,
+    hi: u64,
+    counts: Vec<u64>,
+    seen: u64,
+}
+
+impl GroupedMidpointEstimator {
+    /// Create an estimator with `cells` equal-width cells over the *assumed*
+    /// key range `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `hi <= lo` or `cells == 0`.
+    pub fn new(lo: u64, hi: u64, cells: usize) -> Self {
+        assert!(hi > lo, "range must be non-empty");
+        assert!(cells > 0, "at least one cell is required");
+        Self { lo, hi, counts: vec![0; cells], seen: 0 }
+    }
+
+    fn cell_width(&self) -> f64 {
+        (self.hi - self.lo) as f64 / self.counts.len() as f64
+    }
+
+    fn cell_of(&self, key: u64) -> usize {
+        if key < self.lo {
+            return 0;
+        }
+        if key >= self.hi {
+            return self.counts.len() - 1;
+        }
+        (((key - self.lo) as f64 / self.cell_width()) as usize).min(self.counts.len() - 1)
+    }
+}
+
+impl StreamingEstimator for GroupedMidpointEstimator {
+    fn observe(&mut self, key: u64) {
+        self.seen += 1;
+        let c = self.cell_of(key);
+        self.counts[c] += 1;
+    }
+
+    fn estimate(&self, phi: f64) -> Option<u64> {
+        if self.seen == 0 || !(0.0..=1.0).contains(&phi) {
+            return None;
+        }
+        let target = ((phi * self.seen as f64).ceil() as u64).clamp(1, self.seen);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let mid = self.lo as f64 + (i as f64 + 0.5) * self.cell_width();
+                return Some(mid.round() as u64);
+            }
+        }
+        None
+    }
+
+    fn observed(&self) -> u64 {
+        self.seen
+    }
+
+    fn memory_points(&self) -> usize {
+        self.counts.len() + 2
+    }
+
+    fn name(&self) -> &'static str {
+        "grouped-midpoint[SD77]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_when_the_assumed_range_is_right() {
+        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271) % 1_000_000).collect();
+        let mut est = GroupedMidpointEstimator::new(0, 1_000_000, 2000);
+        est.observe_all(&data);
+        let mut sorted = data;
+        sorted.sort_unstable();
+        let truth = sorted[sorted.len() / 2] as f64;
+        let got = est.estimate(0.5).unwrap() as f64;
+        assert!((got - truth).abs() / 1_000_000.0 < 0.01, "{got} vs {truth}");
+    }
+
+    #[test]
+    fn inaccurate_when_the_assumed_range_is_wrong() {
+        // Data actually lives in [0, 1000) but the estimator assumed [0, 1e9).
+        let data: Vec<u64> = (0..100_000u64).map(|i| i % 1000).collect();
+        let mut est = GroupedMidpointEstimator::new(0, 1_000_000_000, 1000);
+        est.observe_all(&data);
+        let got = est.estimate(0.5).unwrap();
+        // Everything falls in the first cell; the midpoint answer is off by
+        // orders of magnitude — the paper's criticism made concrete.
+        assert!(got > 100_000, "expected a wildly wrong estimate, got {got}");
+    }
+
+    #[test]
+    fn keys_outside_the_range_are_clamped() {
+        let mut est = GroupedMidpointEstimator::new(100, 200, 10);
+        est.observe_all(&[5, 50, 150, 500, 5000]);
+        assert_eq!(est.observed(), 5);
+        // The median is attributed to the configured range even though the
+        // true median (150) happens to be in range here.
+        let got = est.estimate(0.5).unwrap();
+        assert!((100..200).contains(&got));
+    }
+
+    #[test]
+    fn empty_and_invalid_phi() {
+        let est = GroupedMidpointEstimator::new(0, 10, 5);
+        assert_eq!(est.estimate(0.5), None);
+        let mut est = GroupedMidpointEstimator::new(0, 10, 5);
+        est.observe(3);
+        assert_eq!(est.estimate(7.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        GroupedMidpointEstimator::new(10, 10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        GroupedMidpointEstimator::new(0, 10, 0);
+    }
+
+    #[test]
+    fn memory_points() {
+        assert_eq!(GroupedMidpointEstimator::new(0, 10, 100).memory_points(), 102);
+    }
+}

@@ -1,0 +1,178 @@
+//! Multi-pass exact quantiles by iterative range narrowing.
+//!
+//! The paper cites `[GS90]` (Gurajada & Srivastava) as "a technique that
+//! needs multiple passes over the data and produces accurate quantiles",
+//! using a linear median-finding algorithm recursively to partition the data.
+//! The equivalent disk-friendly formulation implemented here narrows a value
+//! range around the target rank with a histogram per pass:
+//!
+//! 1. Build a `B`-bucket histogram of the current candidate range.
+//! 2. Locate the bucket containing the target rank and recurse into it.
+//! 3. Once the number of candidate elements fits in memory, read them and
+//!    select exactly.
+//!
+//! Each pass reads the whole dataset; the number of passes is
+//! `O(log_B(range))` and the memory is `O(B)` — the trade-off OPAQ's single
+//! pass avoids.
+
+use opaq_storage::{RunStore, StorageResult};
+
+/// Result of the multi-pass exact computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultipassResult {
+    /// The exact quantile value.
+    pub value: u64,
+    /// Number of full passes over the data (including the final collect pass).
+    pub passes: u32,
+}
+
+/// Compute the exact φ-quantile of `store` using at most `memory_elements`
+/// elements of working memory (also used as the histogram width).
+///
+/// # Panics
+/// Panics if `phi ∉ (0, 1]`, `memory_elements < 16`, or the store is empty.
+pub fn multipass_exact_quantile<S: RunStore<u64>>(
+    store: &S,
+    phi: f64,
+    memory_elements: usize,
+) -> StorageResult<MultipassResult> {
+    assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+    assert!(memory_elements >= 16, "need at least 16 elements of working memory");
+    let n = store.len();
+    assert!(n > 0, "store must not be empty");
+    let target = ((phi * n as f64).ceil() as u64).clamp(1, n);
+
+    let mut lo = 0u64;
+    let mut hi = u64::MAX;
+    let mut rank_below_lo = 0u64; // elements strictly below lo
+    let mut passes = 0u32;
+
+    loop {
+        passes += 1;
+        // Final pass: candidates fit in memory -> collect and select exactly.
+        let mut candidates: Vec<u64> = Vec::new();
+        let mut too_many = false;
+        let mut below = 0u64;
+        let buckets = memory_elements;
+        let span = hi - lo;
+        let bucket_width = (span / buckets as u64).max(1);
+        let mut counts = vec![0u64; buckets + 1];
+
+        for run_idx in 0..store.layout().runs() {
+            let run = store.read_run(run_idx)?;
+            for key in run {
+                if key < lo {
+                    below += 1;
+                } else if key <= hi {
+                    if !too_many {
+                        candidates.push(key);
+                        if candidates.len() > memory_elements {
+                            too_many = true;
+                            candidates.clear();
+                        }
+                    }
+                    let b = (((key - lo) / bucket_width) as usize).min(buckets);
+                    counts[b] += 1;
+                }
+            }
+        }
+        debug_assert_eq!(below, rank_below_lo, "rank bookkeeping must be consistent");
+
+        if !too_many {
+            // Exact selection among the candidates.
+            let rank_in_candidates = (target - rank_below_lo) as usize;
+            debug_assert!(rank_in_candidates >= 1 && rank_in_candidates <= candidates.len());
+            let value = *opaq_select::quickselect(&mut candidates, rank_in_candidates - 1);
+            return Ok(MultipassResult { value, passes });
+        }
+
+        // Narrow to the bucket containing the target rank.
+        let mut acc = rank_below_lo;
+        let mut chosen = buckets; // default: last bucket
+        for (b, &c) in counts.iter().enumerate() {
+            if acc + c >= target {
+                chosen = b;
+                break;
+            }
+            acc += c;
+        }
+        rank_below_lo = acc;
+        lo += chosen as u64 * bucket_width;
+        hi = if chosen == buckets { hi } else { lo + bucket_width - 1 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_storage::MemRunStore;
+
+    fn truth(data: &[u64], phi: f64) -> u64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        let rank = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn exact_median_wide_domain() {
+        let data: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(6364136223846793005)).collect();
+        let store = MemRunStore::new(data.clone(), 5000);
+        let r = multipass_exact_quantile(&store, 0.5, 1024).unwrap();
+        assert_eq!(r.value, truth(&data, 0.5));
+        assert!(r.passes >= 2, "wide domain needs narrowing passes, got {}", r.passes);
+    }
+
+    #[test]
+    fn exact_all_dectiles_small_domain() {
+        let data: Vec<u64> = (0..20_000u64).map(|i| i % 997).collect();
+        let store = MemRunStore::new(data.clone(), 2000);
+        for i in 1..10 {
+            let phi = i as f64 / 10.0;
+            let r = multipass_exact_quantile(&store, phi, 2048).unwrap();
+            assert_eq!(r.value, truth(&data, phi), "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn single_pass_when_everything_fits() {
+        let data: Vec<u64> = (0..500).collect();
+        let store = MemRunStore::new(data.clone(), 100);
+        let r = multipass_exact_quantile(&store, 0.9, 1000).unwrap();
+        assert_eq!(r.value, truth(&data, 0.9));
+        assert_eq!(r.passes, 1);
+    }
+
+    #[test]
+    fn duplicate_heavy_data() {
+        let data: Vec<u64> = vec![42; 10_000];
+        let store = MemRunStore::new(data, 1000);
+        let r = multipass_exact_quantile(&store, 0.37, 64).unwrap();
+        assert_eq!(r.value, 42);
+    }
+
+    #[test]
+    fn extreme_quantiles() {
+        let data: Vec<u64> = (1..=10_000u64).map(|i| i * 1_000_003).collect();
+        let store = MemRunStore::new(data.clone(), 1000);
+        assert_eq!(multipass_exact_quantile(&store, 1.0, 256).unwrap().value, truth(&data, 1.0));
+        assert_eq!(
+            multipass_exact_quantile(&store, 0.0001, 256).unwrap().value,
+            truth(&data, 0.0001)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in (0, 1]")]
+    fn invalid_phi_panics() {
+        let store = MemRunStore::new(vec![1u64, 2, 3], 3);
+        let _ = multipass_exact_quantile(&store, 0.0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "working memory")]
+    fn tiny_memory_panics() {
+        let store = MemRunStore::new(vec![1u64, 2, 3], 3);
+        let _ = multipass_exact_quantile(&store, 0.5, 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! The buffer-collapse sketch of Munro & Paterson (`[MP80]`).
+//!
+//! Munro and Paterson's "Selection and Sorting with Limited Storage" showed
+//! how to approximate order statistics in one pass with a hierarchy of
+//! fixed-size buffers that are repeatedly *collapsed* (merge two same-weight
+//! sorted buffers, keep every other element, double the weight) — the scheme
+//! later refined by Manku–Rajagopalan–Lindsay.  The paper cites it as the
+//! single-pass algorithm that needs `O(n)` memory for exact answers; the
+//! sketch below is the approximate, bounded-memory variant.
+
+use crate::StreamingEstimator;
+
+/// A Munro–Paterson / MRL-style collapsing buffer sketch.
+#[derive(Debug, Clone)]
+pub struct MunroPatersonSketch {
+    /// `levels[l]` is an optional sorted buffer of exactly `k` elements, each
+    /// standing for `2^l` original elements.
+    levels: Vec<Option<Vec<u64>>>,
+    /// The level-0 buffer currently being filled (unsorted).
+    filling: Vec<u64>,
+    /// Buffer capacity.
+    k: usize,
+    seen: u64,
+}
+
+impl MunroPatersonSketch {
+    /// Create a sketch with (at least) `initial_levels` pre-allocated levels
+    /// of buffers holding `k` elements each.  Memory grows by one buffer per
+    /// doubling of the input beyond `k·2^initial_levels`.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`.
+    pub fn new(initial_levels: usize, k: usize) -> Self {
+        assert!(k >= 2, "buffer capacity must be at least 2");
+        Self {
+            levels: vec![None; initial_levels],
+            filling: Vec::with_capacity(k),
+            k,
+            seen: 0,
+        }
+    }
+
+    /// Collapse two sorted same-weight buffers into one: merge and keep every
+    /// other element (starting with the second, the usual MRL convention).
+    fn collapse(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            if a[i] <= b[j] {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        merged.into_iter().skip(1).step_by(2).collect()
+    }
+
+    /// Insert a full, sorted buffer at `level`, carrying collapses upward
+    /// like a binary counter.
+    fn insert_buffer(&mut self, mut buffer: Vec<u64>, mut level: usize) {
+        loop {
+            if level >= self.levels.len() {
+                self.levels.resize(level + 1, None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(buffer);
+                    return;
+                }
+                Some(existing) => {
+                    buffer = Self::collapse(existing, buffer);
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// All retained elements with their weights.
+    fn weighted_elements(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for &v in &self.filling {
+            out.push((v, 1));
+        }
+        for (l, buf) in self.levels.iter().enumerate() {
+            if let Some(buf) = buf {
+                let w = 1u64 << l;
+                out.extend(buf.iter().map(|&v| (v, w)));
+            }
+        }
+        out
+    }
+}
+
+impl StreamingEstimator for MunroPatersonSketch {
+    fn observe(&mut self, key: u64) {
+        self.seen += 1;
+        self.filling.push(key);
+        if self.filling.len() == self.k {
+            let mut buffer = std::mem::replace(&mut self.filling, Vec::with_capacity(self.k));
+            buffer.sort_unstable();
+            self.insert_buffer(buffer, 0);
+        }
+    }
+
+    fn estimate(&self, phi: f64) -> Option<u64> {
+        if self.seen == 0 || !(0.0..=1.0).contains(&phi) {
+            return None;
+        }
+        let mut elements = self.weighted_elements();
+        elements.sort_unstable_by_key(|&(v, _)| v);
+        let total: u64 = elements.iter().map(|&(_, w)| w).sum();
+        let target = ((phi * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0u64;
+        for (v, w) in elements {
+            acc += w;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn observed(&self) -> u64 {
+        self.seen
+    }
+
+    fn memory_points(&self) -> usize {
+        self.k * (self.levels.len() + 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "munro-paterson[MP80]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_everything_fits_in_one_buffer() {
+        let mut sk = MunroPatersonSketch::new(1, 1000);
+        sk.observe_all(&(0..500u64).collect::<Vec<_>>());
+        assert_eq!(sk.estimate(0.5), Some(249));
+        assert_eq!(sk.estimate(1.0), Some(499));
+    }
+
+    #[test]
+    fn approximate_median_of_large_uniform_stream() {
+        let data: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let mut sk = MunroPatersonSketch::new(4, 500);
+        sk.observe_all(&data);
+        let got = sk.estimate(0.5).unwrap() as f64;
+        assert!((got - 500_000.0).abs() < 50_000.0, "median {got}");
+    }
+
+    #[test]
+    fn collapse_preserves_weighted_count() {
+        let mut sk = MunroPatersonSketch::new(2, 64);
+        sk.observe_all(&(0..10_000u64).collect::<Vec<_>>());
+        let total: u64 = sk.weighted_elements().iter().map(|&(_, w)| w).sum();
+        // Collapsing keeps the weighted count within one buffer of the truth
+        // (the partially-filled level-0 buffer is exact).
+        let diff = (total as i64 - 10_000i64).unsigned_abs();
+        assert!(diff <= 64, "weighted total {total} too far from 10000");
+    }
+
+    #[test]
+    fn sorted_and_reverse_inputs_give_similar_answers() {
+        let asc: Vec<u64> = (0..50_000).collect();
+        let desc: Vec<u64> = (0..50_000).rev().collect();
+        let estimate = |data: &[u64]| {
+            let mut sk = MunroPatersonSketch::new(4, 256);
+            sk.observe_all(data);
+            sk.estimate(0.25).unwrap() as f64
+        };
+        let a = estimate(&asc);
+        let d = estimate(&desc);
+        assert!((a - 12_500.0).abs() < 2_500.0, "{a}");
+        assert!((d - 12_500.0).abs() < 2_500.0, "{d}");
+    }
+
+    #[test]
+    fn memory_grows_logarithmically() {
+        let mut sk = MunroPatersonSketch::new(1, 128);
+        sk.observe_all(&(0..100_000u64).collect::<Vec<_>>());
+        // 100k / 128 ≈ 781 buffers worth of data collapse into ~log2(781) ≈ 10 levels.
+        assert!(sk.memory_points() <= 128 * 13, "memory {}", sk.memory_points());
+    }
+
+    #[test]
+    fn empty_and_invalid_phi() {
+        let sk = MunroPatersonSketch::new(1, 16);
+        assert_eq!(sk.estimate(0.5), None);
+        let mut sk = MunroPatersonSketch::new(1, 16);
+        sk.observe(3);
+        assert_eq!(sk.estimate(-0.1), None);
+        assert_eq!(sk.estimate(0.5), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_buffer_panics() {
+        MunroPatersonSketch::new(1, 1);
+    }
+}

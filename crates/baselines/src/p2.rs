@@ -1,0 +1,228 @@
+//! The P² algorithm of Jain & Chlamtac (`[RC85]`).
+//!
+//! "In this algorithm, they store a constant number of elements and update
+//! the elements as more elements are read.  This algorithm does not provide
+//! any error bounds for the quantile estimates."  P² tracks one quantile with
+//! five markers whose heights are adjusted by a piecewise-parabolic (hence
+//! P²) prediction formula; memory is O(1) per tracked quantile.
+
+use crate::StreamingEstimator;
+
+/// P² estimator for a single quantile `phi`.
+#[derive(Debug, Clone)]
+pub struct P2Estimator {
+    phi: f64,
+    /// Marker heights (estimates of the 0, φ/2, φ, (1+φ)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations so far.
+    count: u64,
+    /// Initial observations buffered until five are available.
+    initial: Vec<f64>,
+}
+
+impl P2Estimator {
+    /// Create an estimator for the φ-quantile.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not strictly inside `(0, 1)`.
+    pub fn new(phi: f64) -> Self {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be inside (0, 1)");
+        Self {
+            phi,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * phi, 1.0 + 4.0 * phi, 3.0 + 2.0 * phi, 5.0],
+            increments: [0.0, phi / 2.0, phi, (1.0 + phi) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile fraction.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+}
+
+impl StreamingEstimator for P2Estimator {
+    fn observe(&mut self, key: u64) {
+        let x = key as f64;
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (i, &v) in self.initial.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers if they drifted off their
+        // desired positions by one or more.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn estimate(&self, phi: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // P² tracks exactly one quantile; requests for a different phi are
+        // answered only if they match the configured one.
+        if (phi - self.phi).abs() > 1e-9 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            // Fewer than five observations: answer from the buffered values.
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            return Some(sorted[rank - 1].round() as u64);
+        }
+        Some(self.heights[2].round().max(0.0) as u64)
+    }
+
+    fn observed(&self) -> u64 {
+        self.count
+    }
+
+    fn memory_points(&self) -> usize {
+        // 5 markers x (height, position, desired, increment) ~ 20 scalars.
+        20
+    }
+
+    fn name(&self) -> &'static str {
+        "p2[RC85]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_p2(data: &[u64], phi: f64) -> u64 {
+        let mut est = P2Estimator::new(phi);
+        est.observe_all(data);
+        est.estimate(phi).unwrap()
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271) % 1_000_000).collect();
+        let got = run_p2(&data, 0.5) as f64;
+        assert!((got - 500_000.0).abs() < 30_000.0, "median {got}");
+    }
+
+    #[test]
+    fn ninety_fifth_percentile_of_uniform_stream() {
+        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let got = run_p2(&data, 0.95) as f64;
+        assert!((got - 950_000.0).abs() < 40_000.0, "p95 {got}");
+    }
+
+    #[test]
+    fn tiny_streams_fall_back_to_buffered_values() {
+        let mut est = P2Estimator::new(0.5);
+        est.observe_all(&[10, 30, 20]);
+        assert_eq!(est.estimate(0.5), Some(20));
+        assert_eq!(est.observed(), 3);
+    }
+
+    #[test]
+    fn rejects_mismatched_phi_and_empty() {
+        let est = P2Estimator::new(0.5);
+        assert_eq!(est.estimate(0.5), None);
+        let mut est = P2Estimator::new(0.5);
+        est.observe_all(&[1, 2, 3, 4, 5, 6]);
+        assert_eq!(est.estimate(0.9), None);
+        assert!(est.estimate(0.5).is_some());
+    }
+
+    #[test]
+    fn monotone_stream() {
+        let data: Vec<u64> = (0..50_000).collect();
+        let got = run_p2(&data, 0.25) as f64;
+        assert!((got - 12_500.0).abs() < 2_500.0, "p25 {got}");
+    }
+
+    #[test]
+    fn constant_stream() {
+        let data = vec![42u64; 10_000];
+        assert_eq!(run_p2(&data, 0.5), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside (0, 1)")]
+    fn invalid_phi_panics() {
+        P2Estimator::new(1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let est = P2Estimator::new(0.3);
+        assert!((est.phi() - 0.3).abs() < 1e-12);
+        assert_eq!(est.name(), "p2[RC85]");
+        assert_eq!(est.memory_points(), 20);
+    }
+}

@@ -1,0 +1,57 @@
+//! Ablation (§4 extension): incremental maintenance.
+//!
+//! New data arrives in batches; the incremental estimator only samples the
+//! new runs and merges the sample lists.  The table tracks the measured
+//! RER_N after each batch and compares it against a from-scratch rebuild —
+//! the two must agree because merging sample lists is exactly what the batch
+//! algorithm does.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin ablation_incremental`.
+
+use opaq_bench::{error_rates_for_bounds, scaled, to_bounds_view, DECTILES};
+use opaq_core::{IncrementalOpaq, OpaqConfig, OpaqEstimator};
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+use opaq_storage::MemRunStore;
+
+fn main() {
+    let batch = scaled(250_000);
+    let batches = 6usize;
+    let m = (batch / 4).max(1000);
+    let s = 500u64;
+    let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+
+    let mut incremental = IncrementalOpaq::<u64>::new(config).unwrap();
+    let mut all_data: Vec<u64> = Vec::new();
+
+    let mut table = TextTable::new(format!(
+        "Ablation: incremental maintenance, {batches} batches of {batch} keys (s = {s})"
+    ))
+    .header(["batch", "total n", "RER_N incremental", "RER_N rebuilt", "sample points held"]);
+
+    for b in 1..=batches {
+        let new = DatasetSpec::paper_uniform(batch, 100 + b as u64).generate();
+        incremental.add_run(new.clone()).unwrap();
+        all_data.extend(new);
+
+        let inc_estimates: Vec<_> = (1..DECTILES)
+            .map(|i| incremental.estimate(i as f64 / DECTILES as f64).unwrap())
+            .collect();
+        let inc_rates = error_rates_for_bounds(&all_data, &to_bounds_view(&inc_estimates));
+
+        let rebuilt_store = MemRunStore::new(all_data.clone(), m);
+        let rebuilt_sketch = OpaqEstimator::new(config).build_sketch(&rebuilt_store).unwrap();
+        let rebuilt_estimates = rebuilt_sketch.estimate_q_quantiles(DECTILES).unwrap();
+        let rebuilt_rates = error_rates_for_bounds(&all_data, &to_bounds_view(&rebuilt_estimates));
+
+        table.row([
+            b.to_string(),
+            all_data.len().to_string(),
+            fmt2(inc_rates.rer_n),
+            fmt2(rebuilt_rates.rer_n),
+            incremental.sketch().unwrap().memory_sample_points().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expectation: the incremental error matches the from-scratch rebuild at every step");
+}

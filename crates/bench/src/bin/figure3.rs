@@ -1,0 +1,55 @@
+//! Figure 3: measured execution time of the bitonic merge vs the sample
+//! merge for p = 2, 4, 8 processors and per-processor sample-list sizes from
+//! 1K to 128K entries.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin figure3`.
+
+use opaq_metrics::TextTable;
+use opaq_parallel::{bitonic_merge, sample_merge, CostModel, Machine};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn sorted_lists(p: usize, per: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..p)
+        .map(|_| {
+            let mut l: Vec<u64> = (0..per).map(|_| rng.gen_range(0..u32::MAX as u64)).collect();
+            l.sort_unstable();
+            l
+        })
+        .collect()
+}
+
+fn time_merge(p: usize, per: usize, bitonic: bool) -> f64 {
+    let machine = Machine::new(p, CostModel::sp2());
+    let lists = sorted_lists(p, per, (p * per) as u64);
+    let start = Instant::now();
+    let out = if bitonic { bitonic_merge(&machine, lists) } else { sample_merge(&machine, lists) };
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(out.iter().map(Vec::len).sum::<usize>(), p * per);
+    elapsed
+}
+
+fn main() {
+    // Per-processor list sizes (entries); the paper's x-axis is 1K..128K bytes.
+    let sizes = [1_024usize, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 131_072];
+    let processors = [2usize, 4, 8];
+
+    let mut table = TextTable::new(
+        "Figure 3: measured global-merge wall time (ms) — Bitonic vs Sample merge",
+    )
+    .header([
+        "entries/proc", "p=2 bitonic", "p=2 sample", "p=4 bitonic", "p=4 sample", "p=8 bitonic", "p=8 sample",
+    ]);
+    for &per in &sizes {
+        let mut row = vec![per.to_string()];
+        for &p in &processors {
+            row.push(format!("{:.3}", time_merge(p, per, true) * 1e3));
+            row.push(format!("{:.3}", time_merge(p, per, false) * 1e3));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: bitonic is competitive for small lists/p; sample merge wins as lists and p grow");
+}

@@ -1,0 +1,44 @@
+//! Figure 4: scale-up of parallel OPAQ — total (modelled) execution time as
+//! the number of processors grows with a fixed number of elements per
+//! processor (0.5 M, 1 M, 2 M, 4 M).  A flat line is perfect scale-up.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin figure4`.
+
+use opaq_bench::scaled;
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::TextTable;
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq, ScalingReport};
+
+fn main() {
+    let per_proc_paper: [u64; 4] = [500_000, 1_000_000, 2_000_000, 4_000_000];
+    let processors = [1usize, 2, 4, 8, 16];
+    let s = 1024u64;
+
+    let mut table = TextTable::new(
+        "Figure 4: scale-up — modelled total time (s) for fixed per-processor size",
+    )
+    .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16", "scaleup@16"]);
+
+    for &per_paper in &per_proc_paper {
+        let per = scaled(per_paper);
+        let mut report_row = vec![format!("{:.1}M", per_paper as f64 / 1e6)];
+        let mut scaling = ScalingReport::new();
+        for &p in &processors {
+            let n = per * p as u64;
+            let data = DatasetSpec::paper_uniform(n, 5).generate();
+            let m = (per / 4).max(s);
+            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+            let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+            let total = report.modelled.total();
+            scaling.push(p, n, total);
+            report_row.push(format!("{:.2}", total.as_secs_f64()));
+        }
+        let scaleups = scaling.scaleups();
+        report_row.push(format!("{:.2}", scaleups.last().copied().unwrap_or(0.0)));
+        table.row(report_row);
+    }
+    print!("{}", table.render());
+    println!("expectation: total time is nearly flat in p (scale-up close to 1.0), as in the paper's Figure 4");
+}

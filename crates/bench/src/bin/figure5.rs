@@ -1,0 +1,45 @@
+//! Figure 5: size-up of parallel OPAQ — total (modelled) execution time as
+//! the per-processor data size grows (0.5 M → 4 M) for p = 1, 2, 4, 8, 16.
+//! Linear growth (flat throughput) is ideal size-up.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin figure5`.
+
+use opaq_bench::scaled;
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::TextTable;
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq, ScalingReport};
+
+fn main() {
+    let per_proc_paper: [u64; 4] = [500_000, 1_000_000, 2_000_000, 4_000_000];
+    let processors = [1usize, 2, 4, 8, 16];
+    let s = 1024u64;
+
+    let mut table = TextTable::new(
+        "Figure 5: size-up — modelled total time (s) vs per-processor data size",
+    )
+    .header(["p", "0.5M", "1M", "2M", "4M", "throughput ratio 4M/0.5M"]);
+
+    for &p in &processors {
+        let mut row = vec![p.to_string()];
+        let mut scaling = ScalingReport::new();
+        for &per_paper in &per_proc_paper {
+            let per = scaled(per_paper);
+            let n = per * p as u64;
+            let data = DatasetSpec::paper_uniform(n, 5).generate();
+            let m = (per / 4).max(s);
+            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+            let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+            let total = report.modelled.total();
+            scaling.push(p, n, total);
+            row.push(format!("{:.2}", total.as_secs_f64()));
+        }
+        let throughputs = scaling.throughputs();
+        let ratio = throughputs.last().unwrap_or(&0.0) / throughputs.first().unwrap_or(&1.0);
+        row.push(format!("{ratio:.2}"));
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: time grows linearly with the per-processor size (throughput ratio close to 1.0)");
+}

@@ -1,0 +1,44 @@
+//! Figure 6: speed-up of parallel OPAQ for a fixed total of 4 M elements as
+//! the processor count grows from 1 to 16.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin figure6`.
+
+use opaq_bench::scaled;
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::TextTable;
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq, ScalingReport};
+
+fn main() {
+    let n = scaled(4_000_000);
+    let processors = [1usize, 2, 4, 8, 16];
+    let s = 1024u64;
+    let data = DatasetSpec::paper_uniform(n, 5).generate();
+
+    let mut scaling = ScalingReport::new();
+    let mut table = TextTable::new(format!(
+        "Figure 6: speed-up — modelled total time for a fixed total of {n} elements"
+    ))
+    .header(["p", "total time (s)", "speed-up", "efficiency"]);
+
+    for &p in &processors {
+        let per = n / p as u64;
+        let m = (per / 4).max(s.min(per));
+        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+        let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+        scaling.push(p, n, report.modelled.total());
+    }
+    let speedups = scaling.speedups();
+    let efficiencies = scaling.efficiencies();
+    for (i, &p) in processors.iter().enumerate() {
+        table.row([
+            p.to_string(),
+            format!("{:.2}", scaling.points[i].time.as_secs_f64()),
+            format!("{:.2}", speedups[i]),
+            format!("{:.2}", efficiencies[i]),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expectation: near-linear speed-up (paper reports close to ideal up to 8 processors)");
+}

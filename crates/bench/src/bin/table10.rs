@@ -1,0 +1,43 @@
+//! Table 10: RER_L and RER_N of the parallel algorithm (8 processors) for
+//! total dataset sizes from 0.5 M to 32 M keys, uniform distribution.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table10`.
+
+use opaq_bench::{error_rates_for_bounds, scaled, to_bounds_view, DECTILES};
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq};
+
+fn main() {
+    let p = 8usize;
+    let paper_sizes: [u64; 7] = [500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000];
+    let sizes: Vec<u64> = paper_sizes.iter().map(|&n| scaled(n)).collect();
+    let s = 1024u64;
+
+    let mut rer_l = vec!["RER_L".to_string()];
+    let mut rer_n = vec!["RER_N".to_string()];
+    for &n in &sizes {
+        let spec = DatasetSpec::paper_uniform(n, 11);
+        let data = spec.generate();
+        let m = (n / (p as u64 * 4)).max(s);
+        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+        let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+        let estimates = report.sketch.estimate_q_quantiles(DECTILES).unwrap();
+        let rates = error_rates_for_bounds(&data, &to_bounds_view(&estimates));
+        rer_l.push(fmt2(rates.rer_l));
+        rer_n.push(fmt2(rates.rer_n));
+    }
+
+    let mut header = vec!["metric".to_string()];
+    header.extend(sizes.iter().map(|n| format!("{:.1}M", *n as f64 / 1e6)));
+    let mut table = TextTable::new(format!(
+        "Table 10: RER_L / RER_N (%) of parallel OPAQ, p = {p}, s = {s}, uniform distribution"
+    ))
+    .header(header);
+    table.row(rer_l);
+    table.row(rer_n);
+    print!("{}", table.render());
+    println!("expectation: ~0.5-0.7% everywhere, matching the sequential algorithm");
+}

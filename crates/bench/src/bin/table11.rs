@@ -1,0 +1,39 @@
+//! Table 11: the fraction of total execution time spent in I/O, for
+//! 0.5 M – 4 M elements per processor and 1 – 16 processors (modelled times
+//! under the SP-2-like disk and communication models).
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table11`.
+
+use opaq_bench::scaled;
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::TextTable;
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq};
+
+fn main() {
+    let per_proc_paper: [u64; 4] = [500_000, 1_000_000, 2_000_000, 4_000_000];
+    let processors = [1usize, 2, 4, 8, 16];
+    let s = 1024u64;
+
+    let mut table = TextTable::new(
+        "Table 11: I/O time as a fraction of total (modelled SP-2 disk + switch)",
+    )
+    .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16"]);
+
+    for &per_paper in &per_proc_paper {
+        let per = scaled(per_paper);
+        let mut row = vec![format!("{:.1}M", per_paper as f64 / 1e6)];
+        for &p in &processors {
+            let n = per * p as u64;
+            let data = DatasetSpec::paper_uniform(n, 5).generate();
+            let m = (per / 4).max(s);
+            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+            let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+            row.push(format!("{:.2}", report.modelled.io_fraction()));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: roughly constant ~0.5 across sizes and processor counts (paper Table 11)");
+}

@@ -1,0 +1,47 @@
+//! Table 12: fraction of the execution time spent in each phase (I/O,
+//! sampling, local merge, global merge) for 4 M elements per processor and
+//! 1 – 16 processors (modelled times).
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table12`.
+
+use opaq_bench::scaled;
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::TextTable;
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq};
+
+fn main() {
+    let per = scaled(4_000_000);
+    let processors = [1usize, 2, 4, 8, 16];
+    let s = 1024u64;
+
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["I/O".to_string()],
+        vec!["Sampling".to_string()],
+        vec!["Local Merge".to_string()],
+        vec!["Global Merge".to_string()],
+    ];
+    for &p in &processors {
+        let n = per * p as u64;
+        let data = DatasetSpec::paper_uniform(n, 5).generate();
+        let m = (per / 4).max(s);
+        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+        let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+        let (io, sampling, local, global) = report.modelled.fractions();
+        rows[0].push(format!("{io:.3}"));
+        rows[1].push(format!("{sampling:.3}"));
+        rows[2].push(format!("{local:.3}"));
+        rows[3].push(format!("{global:.3}"));
+    }
+
+    let mut table = TextTable::new(format!(
+        "Table 12: phase fractions of total time, {per} elements per processor (modelled)"
+    ))
+    .header(["phase", "p=1", "p=2", "p=4", "p=8", "p=16"]);
+    for row in rows {
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: I/O + sampling dominate (> 83% in the paper) and are independent of p; merges are small");
+}

@@ -1,0 +1,46 @@
+//! Table 3: RER_A of OPAQ for different sample sizes (s = 250, 500, 1000),
+//! dectiles of a 1 M-key dataset, uniform and Zipf(0.86) distributions.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table3` (set
+//! `OPAQ_SCALE=1.0` for the paper's exact sizes).
+
+use opaq_bench::{dectile_labels, paper_run_length, run_sequential_accuracy, scaled};
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+
+fn main() {
+    let n = scaled(1_000_000);
+    let m = paper_run_length(n);
+    let sample_sizes = [250u64, 500, 1000];
+
+    let mut per_dist_results: Vec<Vec<Vec<f64>>> = Vec::new(); // [dist][s][dectile]
+    let specs = [DatasetSpec::paper_uniform(n, 42), DatasetSpec::paper_zipf(n, 43)];
+    for spec in &specs {
+        let mut per_s = Vec::new();
+        for &s in &sample_sizes {
+            let run = run_sequential_accuracy(spec, m, s);
+            per_s.push(run.rates.rer_a_per_quantile.clone());
+        }
+        per_dist_results.push(per_s);
+    }
+
+    let mut table = TextTable::new(format!(
+        "Table 3: RER_A (%) by sample size, n = {n}, m = {m} (uniform | zipf 0.86)"
+    ))
+    .header([
+        "dectile", "u s=250", "u s=500", "u s=1000", "z s=250", "z s=500", "z s=1000",
+    ]);
+    for (d, label) in dectile_labels().into_iter().enumerate() {
+        table.row([
+            label,
+            fmt2(per_dist_results[0][0][d]),
+            fmt2(per_dist_results[0][1][d]),
+            fmt2(per_dist_results[0][2][d]),
+            fmt2(per_dist_results[1][0][d]),
+            fmt2(per_dist_results[1][1][d]),
+            fmt2(per_dist_results[1][2][d]),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("paper bound: RER_A <= 2/s*100 = {:.2} / {:.2} / {:.2}", 200.0 / 250.0, 200.0 / 500.0, 200.0 / 1000.0);
+}

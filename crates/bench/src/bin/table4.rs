@@ -1,0 +1,34 @@
+//! Table 4: RER_L and RER_N of OPAQ for different sample sizes
+//! (s = 250, 500, 1000) on a 1 M-key dataset, uniform and Zipf(0.86).
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table4`.
+
+use opaq_bench::{paper_run_length, run_sequential_accuracy, scaled};
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+
+fn main() {
+    let n = scaled(1_000_000);
+    let m = paper_run_length(n);
+    let sample_sizes = [250u64, 500, 1000];
+    let specs = [DatasetSpec::paper_uniform(n, 42), DatasetSpec::paper_zipf(n, 43)];
+
+    let mut rer_l_row: Vec<String> = vec!["RER_L".to_string()];
+    let mut rer_n_row: Vec<String> = vec!["RER_N".to_string()];
+    for spec in &specs {
+        for &s in &sample_sizes {
+            let run = run_sequential_accuracy(spec, m, s);
+            rer_l_row.push(fmt2(run.rates.rer_l));
+            rer_n_row.push(fmt2(run.rates.rer_n));
+        }
+    }
+
+    let mut table = TextTable::new(format!(
+        "Table 4: RER_L / RER_N (%) by sample size, n = {n} (uniform s=250/500/1000, then zipf)"
+    ))
+    .header(["metric", "u s=250", "u s=500", "u s=1000", "z s=250", "z s=500", "z s=1000"]);
+    table.row(rer_l_row);
+    table.row(rer_n_row);
+    print!("{}", table.render());
+    println!("paper bound: RER_L, RER_N <= q/s*100 = {:.2} / {:.2} / {:.2}", 1000.0 / 250.0, 1000.0 / 500.0, 1000.0 / 1000.0);
+}

@@ -1,0 +1,45 @@
+//! Table 5: RER_A of OPAQ for different dataset sizes (1 M, 5 M, 10 M keys)
+//! with s = 1000, uniform and Zipf(0.86) distributions.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table5`.
+
+use opaq_bench::{dectile_labels, paper_run_length, run_sequential_accuracy, scaled};
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+
+fn main() {
+    let sizes = [scaled(1_000_000), scaled(5_000_000), scaled(10_000_000)];
+    let s = 1000u64;
+
+    // [dist][size][dectile]
+    let mut results: Vec<Vec<Vec<f64>>> = vec![Vec::new(), Vec::new()];
+    for (di, make_spec) in [DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec, DatasetSpec::paper_zipf]
+        .into_iter()
+        .enumerate()
+    {
+        for &n in &sizes {
+            let spec = make_spec(n, 42 + di as u64);
+            let run = run_sequential_accuracy(&spec, paper_run_length(n), s);
+            results[di].push(run.rates.rer_a_per_quantile.clone());
+        }
+    }
+
+    let mut table = TextTable::new(format!(
+        "Table 5: RER_A (%) by dataset size (s = {s}), sizes {} / {} / {} (uniform | zipf 0.86)",
+        sizes[0], sizes[1], sizes[2]
+    ))
+    .header(["dectile", "u 1M", "u 5M", "u 10M", "z 1M", "z 5M", "z 10M"]);
+    for (d, label) in dectile_labels().into_iter().enumerate() {
+        table.row([
+            label,
+            fmt2(results[0][0][d]),
+            fmt2(results[0][1][d]),
+            fmt2(results[0][2][d]),
+            fmt2(results[1][0][d]),
+            fmt2(results[1][1][d]),
+            fmt2(results[1][2][d]),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("expectation: RER_A is independent of n and of the distribution (paper reports ~0.09 everywhere)");
+}

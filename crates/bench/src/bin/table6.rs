@@ -1,0 +1,33 @@
+//! Table 6: RER_L and RER_N of OPAQ for different dataset sizes
+//! (1 M, 5 M, 10 M keys) with s = 1000, uniform and Zipf(0.86).
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table6`.
+
+use opaq_bench::{paper_run_length, run_sequential_accuracy, scaled};
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+
+fn main() {
+    let sizes = [scaled(1_000_000), scaled(5_000_000), scaled(10_000_000)];
+    let s = 1000u64;
+
+    let mut rer_l_row: Vec<String> = vec!["RER_L".to_string()];
+    let mut rer_n_row: Vec<String> = vec!["RER_N".to_string()];
+    for make_spec in [DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec, DatasetSpec::paper_zipf] {
+        for &n in &sizes {
+            let run = run_sequential_accuracy(&make_spec(n, 42), paper_run_length(n), s);
+            rer_l_row.push(fmt2(run.rates.rer_l));
+            rer_n_row.push(fmt2(run.rates.rer_n));
+        }
+    }
+
+    let mut table = TextTable::new(format!(
+        "Table 6: RER_L / RER_N (%) by dataset size (s = {s}), sizes {} / {} / {}",
+        sizes[0], sizes[1], sizes[2]
+    ))
+    .header(["metric", "u 1M", "u 5M", "u 10M", "z 1M", "z 5M", "z 10M"]);
+    table.row(rer_l_row);
+    table.row(rer_n_row);
+    print!("{}", table.render());
+    println!("expectation: both stay around 0.5-0.6% as in the paper, independent of n and distribution");
+}

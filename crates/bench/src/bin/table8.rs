@@ -1,0 +1,31 @@
+//! Table 8: analytical time requirement of the parallel algorithm for the
+//! two global-merge options (bitonic merge vs sample merge) under the
+//! two-level cost model.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table8`.
+
+use opaq_metrics::TextTable;
+use opaq_parallel::CostModel;
+
+fn main() {
+    let cost = CostModel::sp2();
+    let processors = [2u64, 4, 8, 16];
+    let list_sizes = [1_000u64, 10_000, 100_000, 1_000_000];
+
+    let mut table = TextTable::new(
+        "Table 8: modelled global-merge time (ms) under the two-level model (bitonic | sample)",
+    )
+    .header(["p", "x=1k B", "x=1k S", "x=10k B", "x=10k S", "x=100k B", "x=100k S", "x=1M B", "x=1M S"]);
+    for &p in &processors {
+        let mut row = vec![p.to_string()];
+        for &x in &list_sizes {
+            let b = cost.bitonic_merge_cost(p, x).as_secs_f64() * 1e3;
+            let s = cost.sample_merge_cost(p, x, p * p).as_secs_f64() * 1e3;
+            row.push(format!("{b:.3}"));
+            row.push(format!("{s:.3}"));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: bitonic wins for small x / small p, sample merge wins for large x / large p");
+}

@@ -1,0 +1,44 @@
+//! Table 9: RER_A of the parallel algorithm (8 processors) for total dataset
+//! sizes from 0.5 M to 32 M keys, uniform distribution.
+//!
+//! Run with `cargo run --release -p opaq-bench --bin table9`.
+
+use opaq_bench::{dectile_labels, error_rates_for_bounds, scaled, to_bounds_view, DECTILES};
+use opaq_core::OpaqConfig;
+use opaq_datagen::DatasetSpec;
+use opaq_metrics::{fmt2, TextTable};
+use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq};
+
+fn main() {
+    let p = 8usize;
+    let paper_sizes: [u64; 7] = [500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000];
+    let sizes: Vec<u64> = paper_sizes.iter().map(|&n| scaled(n)).collect();
+    // The paper uses 1024 samples per run for the parallel experiments.
+    let s = 1024u64;
+
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for &n in &sizes {
+        let spec = DatasetSpec::paper_uniform(n, 11);
+        let data = spec.generate();
+        let m = (n / (p as u64 * 4)).max(s); // 4 runs per processor
+        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
+        let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
+        let estimates = report.sketch.estimate_q_quantiles(DECTILES).unwrap();
+        columns.push(error_rates_for_bounds(&data, &to_bounds_view(&estimates)).rer_a_per_quantile);
+    }
+
+    let mut header = vec!["dectile".to_string()];
+    header.extend(sizes.iter().map(|n| format!("{:.1}M", *n as f64 / 1e6)));
+    let mut table = TextTable::new(format!(
+        "Table 9: RER_A (%) of parallel OPAQ, p = {p}, s = {s}, uniform distribution"
+    ))
+    .header(header);
+    for (d, label) in dectile_labels().into_iter().enumerate() {
+        let mut row = vec![label];
+        row.extend(columns.iter().map(|c| fmt2(c[d])));
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!("expectation: ~0.09-0.10 everywhere, independent of the total data size");
+}

@@ -1,0 +1,156 @@
+//! A deliberately small `--key value` argument parser.
+//!
+//! The workspace avoids third-party CLI crates (DESIGN.md §6), and the tool
+//! only needs flat `--key value` pairs plus boolean flags, so a ~100-line
+//! parser is the honest choice.
+
+use crate::{CliError, CliResult};
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse a raw argument list (everything after the sub-command).
+    ///
+    /// `--key value` pairs populate [`Args::get`]; a trailing `--key` with no
+    /// value (or followed by another `--key`) is recorded as a boolean flag.
+    pub fn parse(argv: &[String]) -> CliResult<Self> {
+        let mut args = Args::default();
+        let mut i = 0usize;
+        while i < argv.len() {
+            let token = &argv[i];
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument '{token}' (all options are --key value)"
+                )));
+            };
+            if key.is_empty() {
+                return Err(CliError::Usage("empty option name '--'".to_string()));
+            }
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                args.values.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                args.flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether `--key` was given as a boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> CliResult<&str> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
+    }
+
+    /// A required option parsed as `u64`.
+    pub fn require_u64(&self, key: &str) -> CliResult<u64> {
+        self.require(key)?.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("option --{key} must be an unsigned integer"))
+        })
+    }
+
+    /// An optional option parsed as `u64`, with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> CliResult<u64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("option --{key} must be an unsigned integer"))
+            }),
+        }
+    }
+
+    /// An optional option parsed as `f64`, with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> CliResult<f64> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("option --{key} must be a number"))),
+        }
+    }
+
+    /// A comma-separated list of `f64` values.
+    pub fn f64_list(&self, key: &str) -> CliResult<Option<Vec<f64>>> {
+        let Some(raw) = self.get(key) else { return Ok(None) };
+        let mut out = Vec::new();
+        for part in raw.split(',') {
+            let v: f64 = part.trim().parse().map_err(|_| {
+                CliError::Usage(format!("option --{key} must be a comma-separated list of numbers"))
+            })?;
+            out.push(v);
+        }
+        Ok(Some(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn key_value_pairs_and_flags() {
+        let args = parse(&["--n", "1000", "--dist", "zipf", "--verbose"]);
+        assert_eq!(args.get("n"), Some("1000"));
+        assert_eq!(args.get("dist"), Some("zipf"));
+        assert!(args.flag("verbose"));
+        assert!(!args.flag("quiet"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let args = parse(&["--n", "42", "--phi", "0.5,0.9", "--scale", "1.5"]);
+        assert_eq!(args.require_u64("n").unwrap(), 42);
+        assert_eq!(args.u64_or("missing", 7).unwrap(), 7);
+        assert_eq!(args.f64_or("scale", 0.0).unwrap(), 1.5);
+        assert_eq!(args.f64_list("phi").unwrap().unwrap(), vec![0.5, 0.9]);
+        assert!(args.f64_list("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_required_option_is_an_error() {
+        let args = parse(&["--n", "42"]);
+        assert!(args.require("out").is_err());
+        assert!(matches!(args.require("out").unwrap_err(), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn malformed_numbers_are_errors() {
+        let args = parse(&["--n", "forty-two"]);
+        assert!(args.require_u64("n").is_err());
+        assert!(args.f64_or("n", 1.0).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        let err = Args::parse(&["data.bin".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let args = parse(&["--fast", "--n", "5"]);
+        assert!(args.flag("fast"));
+        assert_eq!(args.require_u64("n").unwrap(), 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! The `opaq` sub-commands.
+//!
+//! Every command is a pure function from parsed [`Args`] to an output string
+//! so the whole tool is testable without spawning processes.
+
+use crate::args::Args;
+use crate::{persist, CliError, CliResult};
+use opaq_core::{exact_quantile, OpaqConfig, OpaqEstimator};
+use opaq_datagen::{DatasetSpec, Distribution};
+use opaq_metrics::TextTable;
+use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore};
+
+/// The usage text printed by `opaq help`.
+pub fn usage() -> String {
+    "opaq — one-pass quantile estimation for disk-resident data (VLDB 1997 reproduction)
+
+USAGE: opaq <command> [--key value ...]
+
+COMMANDS:
+  generate   --out FILE --n N [--dist uniform|zipf|normal|sorted|reverse] [--param P]
+             [--domain D] [--dup FRACTION] [--seed S]
+             write N u64 keys (little-endian) to FILE
+  sketch     --data FILE --n N [--run-length M] [--sample-size S] [--out SKETCH]
+             one pass over FILE; print dectiles and optionally save the sketch
+  query      --sketch SKETCH [--q Q] [--phi P1,P2,...]
+             estimate quantiles from a saved sketch (no data access)
+  rank       --sketch SKETCH --value V
+             bound the rank of an arbitrary value from a saved sketch
+  histogram  --sketch SKETCH [--buckets B]
+             print equi-depth histogram boundaries from a saved sketch
+  exact      --data FILE --n N --phi P [--run-length M] [--sample-size S]
+             exact quantile with one estimation pass plus one refinement pass
+  help       print this text
+"
+    .to_string()
+}
+
+/// Dispatch a sub-command.
+pub fn run(command: &str, args: &Args) -> CliResult<String> {
+    match command {
+        "generate" => generate(args),
+        "sketch" => sketch(args),
+        "query" => query(args),
+        "rank" => rank(args),
+        "histogram" => histogram(args),
+        "exact" => exact(args),
+        "help" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}' (run `opaq help` for the command list)"
+        ))),
+    }
+}
+
+fn parse_spec(args: &Args) -> CliResult<DatasetSpec> {
+    let n = args.require_u64("n")?;
+    let domain = args.u64_or("domain", 1 << 31)?;
+    let seed = args.u64_or("seed", 42)?;
+    let duplicate_fraction = args.f64_or("dup", 0.1)?;
+    let distribution = match args.get("dist").unwrap_or("uniform") {
+        "uniform" => Distribution::Uniform { domain },
+        "zipf" => Distribution::Zipf { domain, parameter: args.f64_or("param", 0.86)? },
+        "normal" => Distribution::Normal {
+            domain,
+            mean: args.f64_or("mean", domain as f64 / 2.0)?,
+            std_dev: args.f64_or("std-dev", domain as f64 / 8.0)?,
+        },
+        "sorted" => Distribution::Sorted,
+        "reverse" => Distribution::ReverseSorted,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown distribution '{other}' (expected uniform, zipf, normal, sorted or reverse)"
+            )))
+        }
+    };
+    Ok(DatasetSpec { n, distribution, duplicate_fraction, seed })
+}
+
+/// `opaq generate`: write a synthetic dataset file.
+pub fn generate(args: &Args) -> CliResult<String> {
+    let out = args.require("out")?;
+    let spec = parse_spec(args)?;
+    let run_length = args.u64_or("run-length", (spec.n / 10).max(1))?;
+    let keys = spec.generate();
+    let store = FileRunStoreBuilder::<u64>::new(out, run_length)?
+        .append(&keys)?
+        .finish()?;
+    Ok(format!(
+        "wrote {} keys ({}) to {} as {} runs of up to {} keys\n",
+        spec.n,
+        spec.label(),
+        out,
+        store.layout().runs(),
+        run_length
+    ))
+}
+
+fn open_store(args: &Args) -> CliResult<(FileRunStore<u64>, u64, u64)> {
+    let data = args.require("data")?;
+    let n = args.require_u64("n")?;
+    let run_length = args.u64_or("run-length", (n / 10).max(1))?;
+    let sample_size = args.u64_or("sample-size", 1000)?.min(run_length);
+    let store = FileRunStore::<u64>::open(data, n, run_length)?;
+    Ok((store, run_length, sample_size))
+}
+
+/// `opaq sketch`: one pass over a data file, print dectiles, optionally save.
+pub fn sketch(args: &Args) -> CliResult<String> {
+    let (store, run_length, sample_size) = open_store(args)?;
+    let config = OpaqConfig::builder()
+        .run_length(run_length)
+        .sample_size(sample_size)
+        .build()?;
+    let (sketch, stats) = OpaqEstimator::new(config).build_sketch_with_stats(&store)?;
+
+    let mut out = format!(
+        "built sketch: {} sample points over {} runs ({} keys); io {:?}, sampling {:?}, merge {:?}\n",
+        sketch.len(),
+        sketch.runs(),
+        sketch.total_elements(),
+        stats.io,
+        stats.sampling,
+        stats.merge
+    );
+    out.push_str(&render_quantiles(&sketch, 10)?);
+    if let Some(path) = args.get("out") {
+        persist::save(&sketch, path)?;
+        out.push_str(&format!("sketch saved to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn render_quantiles(sketch: &opaq_core::QuantileSketch<u64>, q: u64) -> CliResult<String> {
+    let mut table = TextTable::new(format!("{q}-quantile estimates (deterministic bounds)"))
+        .header(["phi", "lower", "upper", "max slack (elements)"]);
+    for est in sketch.estimate_q_quantiles(q)? {
+        table.row([
+            format!("{:.3}", est.phi),
+            est.lower.to_string(),
+            est.upper.to_string(),
+            est.max_rank_slack.to_string(),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// `opaq query`: estimate quantiles from a saved sketch.
+pub fn query(args: &Args) -> CliResult<String> {
+    let sketch = persist::load(args.require("sketch")?)?;
+    if let Some(phis) = args.f64_list("phi")? {
+        let mut table = TextTable::new("quantile estimates").header(["phi", "lower", "upper"]);
+        for phi in phis {
+            let est = sketch.estimate(phi)?;
+            table.row([format!("{phi:.4}"), est.lower.to_string(), est.upper.to_string()]);
+        }
+        Ok(table.render())
+    } else {
+        let q = args.u64_or("q", 10)?;
+        render_quantiles(&sketch, q)
+    }
+}
+
+/// `opaq rank`: bound the rank of a value from a saved sketch.
+pub fn rank(args: &Args) -> CliResult<String> {
+    let sketch = persist::load(args.require("sketch")?)?;
+    let value = args.require_u64("value")?;
+    let bounds = sketch.rank_bounds(value);
+    let (phi_lo, phi_hi) = bounds.phi_bounds(sketch.total_elements());
+    Ok(format!(
+        "rank of {value}: between {} and {} of {} elements (phi in [{:.4}, {:.4}])\n",
+        bounds.min_rank,
+        bounds.max_rank,
+        sketch.total_elements(),
+        phi_lo,
+        phi_hi
+    ))
+}
+
+/// `opaq histogram`: equi-depth bucket boundaries from a saved sketch.
+pub fn histogram(args: &Args) -> CliResult<String> {
+    let sketch = persist::load(args.require("sketch")?)?;
+    let buckets = args.u64_or("buckets", 32)?;
+    if buckets < 2 {
+        return Err(CliError::Usage("--buckets must be at least 2".to_string()));
+    }
+    let mut table = TextTable::new(format!("{buckets}-bucket equi-depth histogram"))
+        .header(["bucket", "upper boundary (<=)", "approx depth"]);
+    let depth = sketch.total_elements() / buckets;
+    let estimates = sketch.estimate_q_quantiles(buckets)?;
+    for (i, est) in estimates.iter().enumerate() {
+        table.row([(i + 1).to_string(), est.upper.to_string(), depth.to_string()]);
+    }
+    table.row([buckets.to_string(), sketch.dataset_max().to_string(), depth.to_string()]);
+    Ok(table.render())
+}
+
+/// `opaq exact`: exact quantile via the §4 two-pass extension.
+pub fn exact(args: &Args) -> CliResult<String> {
+    let (store, run_length, sample_size) = open_store(args)?;
+    let phi = args.f64_or("phi", 0.5)?;
+    let config = OpaqConfig::builder()
+        .run_length(run_length)
+        .sample_size(sample_size)
+        .build()?;
+    let sketch = OpaqEstimator::new(config).build_sketch(&store)?;
+    let result = exact_quantile(&store, &sketch, phi)?;
+    Ok(format!(
+        "exact {phi}-quantile = {} (rank {} of {}; second pass buffered {} candidates, bound {})\n",
+        result.value,
+        result.target_rank,
+        store.len(),
+        result.candidates_kept,
+        sketch.max_elements_between_bounds()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp(tag: &str, ext: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("opaq-cli-cmd-{tag}-{}.{ext}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn generate_sketch_query_round_trip() {
+        let data_path = temp("roundtrip", "bin");
+        let sketch_path = temp("roundtrip", "sketch");
+        let data_str = data_path.to_str().unwrap();
+        let sketch_str = sketch_path.to_str().unwrap();
+
+        let out = run(
+            "generate",
+            &args(&["--out", data_str, "--n", "50000", "--dist", "zipf", "--seed", "3"]),
+        )
+        .unwrap();
+        assert!(out.contains("50000 keys"));
+
+        let out = run(
+            "sketch",
+            &args(&[
+                "--data", data_str, "--n", "50000", "--run-length", "5000", "--sample-size", "500",
+                "--out", sketch_str,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("built sketch: 5000 sample points"));
+        assert!(out.contains("sketch saved"));
+
+        let out = run("query", &args(&["--sketch", sketch_str, "--phi", "0.5,0.9"])).unwrap();
+        assert!(out.contains("0.5000"));
+        assert!(out.contains("0.9000"));
+
+        let out = run("rank", &args(&["--sketch", sketch_str, "--value", "100"])).unwrap();
+        assert!(out.contains("rank of 100"));
+
+        let out = run("histogram", &args(&["--sketch", sketch_str, "--buckets", "8"])).unwrap();
+        assert!(out.contains("8-bucket equi-depth histogram"));
+
+        std::fs::remove_file(data_path).unwrap();
+        std::fs::remove_file(sketch_path).unwrap();
+    }
+
+    #[test]
+    fn exact_command_matches_full_sort() {
+        let data_path = temp("exact", "bin");
+        let data_str = data_path.to_str().unwrap();
+        run(
+            "generate",
+            &args(&["--out", data_str, "--n", "20000", "--dist", "uniform", "--seed", "9"]),
+        )
+        .unwrap();
+        let out = run(
+            "exact",
+            &args(&["--data", data_str, "--n", "20000", "--phi", "0.25", "--sample-size", "200"]),
+        )
+        .unwrap();
+        assert!(out.contains("exact 0.25-quantile"), "{out}");
+
+        // Independent verification against the generator + a sort.
+        let spec = DatasetSpec {
+            n: 20000,
+            distribution: Distribution::Uniform { domain: 1 << 31 },
+            duplicate_fraction: 0.1,
+            seed: 9,
+        };
+        let mut data = spec.generate();
+        data.sort_unstable();
+        let truth = data[((0.25f64 * 20000.0).ceil() as usize) - 1];
+        assert!(out.contains(&format!("= {truth} ")), "output {out} vs truth {truth}");
+        std::fs::remove_file(data_path).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_and_missing_options_error() {
+        assert!(run("frobnicate", &Args::default()).is_err());
+        assert!(run("generate", &Args::default()).is_err());
+        assert!(run("query", &Args::default()).is_err());
+        assert!(run("histogram", &args(&["--sketch", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn unknown_distribution_rejected() {
+        let data_path = temp("baddist", "bin");
+        let err = run(
+            "generate",
+            &args(&["--out", data_path.to_str().unwrap(), "--n", "100", "--dist", "cauchy"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown distribution"));
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let text = usage();
+        for cmd in ["generate", "sketch", "query", "rank", "histogram", "exact"] {
+            assert!(text.contains(cmd), "usage must mention {cmd}");
+        }
+        assert_eq!(run("help", &Args::default()).unwrap(), text);
+    }
+}

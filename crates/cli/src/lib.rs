@@ -1,0 +1,59 @@
+//! Library backing the `opaq` command-line tool.
+//!
+//! The binary in `main.rs` is a thin shell around [`commands::run`]; all the
+//! logic lives here so it can be unit- and integration-tested without
+//! spawning processes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+pub mod persist;
+
+/// Errors surfaced by the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Usage(String),
+    /// The underlying OPAQ library reported an error.
+    Opaq(opaq_core::OpaqError),
+    /// The storage layer reported an error.
+    Storage(opaq_storage::StorageError),
+    /// A filesystem or I/O failure outside the storage layer.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Opaq(e) => write!(f, "{e}"),
+            CliError::Storage(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<opaq_core::OpaqError> for CliError {
+    fn from(e: opaq_core::OpaqError) -> Self {
+        CliError::Opaq(e)
+    }
+}
+
+impl From<opaq_storage::StorageError> for CliError {
+    fn from(e: opaq_storage::StorageError) -> Self {
+        CliError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Convenience alias for CLI results.
+pub type CliResult<T> = Result<T, CliError>;

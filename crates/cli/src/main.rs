@@ -1,0 +1,44 @@
+//! `opaq` — command-line front end for the OPAQ reproduction.
+//!
+//! ```text
+//! opaq generate  --out data.bin --n 1000000 --dist zipf --param 0.86 --seed 7
+//! opaq sketch    --data data.bin --n 1000000 --run-length 100000 --sample-size 1000 --out data.sketch
+//! opaq query     --sketch data.sketch --q 10
+//! opaq query     --sketch data.sketch --phi 0.5,0.95,0.99
+//! opaq rank      --sketch data.sketch --value 123456
+//! opaq histogram --sketch data.sketch --buckets 32
+//! opaq exact     --data data.bin --n 1000000 --run-length 100000 --sample-size 1000 --phi 0.5
+//! ```
+//!
+//! Keys are unsigned 64-bit little-endian integers, densely packed, exactly
+//! the format [`opaq_storage::FileRunStore`] reads and writes.
+
+use opaq_cli::commands;
+use opaq_cli::args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{}", commands::usage());
+        return ExitCode::SUCCESS;
+    }
+    let command = argv[0].clone();
+    let args = match Args::parse(&argv[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&command, &args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

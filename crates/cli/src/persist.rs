@@ -1,0 +1,157 @@
+//! Sketch persistence: save a [`QuantileSketch<u64>`] to disk and load it
+//! back.
+//!
+//! Persisting the sorted sample list is what makes the paper's incremental
+//! formulation practical ("if the sorted samples are kept from the runs of
+//! the old data…"): the sketch of yesterday's data is a few kilobytes, so the
+//! CLI writes it next to the data file and future runs only sample new runs.
+//!
+//! The format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic  "OPAQSKT1"                     8 bytes
+//! total_elements, runs, max_gap         3 × u64 LE
+//! dataset_min, dataset_max              2 × u64 LE
+//! sample_count                          u64 LE
+//! sample_count × (value u64, gap u64)   16 bytes each
+//! ```
+
+use crate::{CliError, CliResult};
+use bytes::{Buf, BufMut};
+use opaq_core::{QuantileSketch, SamplePoint};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OPAQSKT1";
+
+/// Serialize a sketch into bytes.
+pub fn to_bytes(sketch: &QuantileSketch<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 6 * 8 + sketch.len() * 16);
+    out.put_slice(MAGIC);
+    out.put_u64_le(sketch.total_elements());
+    out.put_u64_le(sketch.runs());
+    out.put_u64_le(sketch.max_gap());
+    out.put_u64_le(sketch.dataset_min());
+    out.put_u64_le(sketch.dataset_max());
+    out.put_u64_le(sketch.len() as u64);
+    for sp in sketch.samples() {
+        out.put_u64_le(sp.value);
+        out.put_u64_le(sp.gap);
+    }
+    out
+}
+
+/// Deserialize a sketch from bytes.
+pub fn from_bytes(mut bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
+    if bytes.len() < 8 + 6 * 8 || &bytes[..8] != MAGIC {
+        return Err(CliError::Usage(
+            "not an OPAQ sketch file (bad magic or truncated header)".to_string(),
+        ));
+    }
+    bytes.advance(8);
+    let total_elements = bytes.get_u64_le();
+    let runs = bytes.get_u64_le();
+    let max_gap = bytes.get_u64_le();
+    let dataset_min = bytes.get_u64_le();
+    let dataset_max = bytes.get_u64_le();
+    let count = bytes.get_u64_le() as usize;
+    if bytes.remaining() < count * 16 {
+        return Err(CliError::Usage(format!(
+            "sketch file truncated: expected {count} sample points"
+        )));
+    }
+    let mut samples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let value = bytes.get_u64_le();
+        let gap = bytes.get_u64_le();
+        samples.push(SamplePoint { value, gap });
+    }
+    if !samples.windows(2).all(|w| w[0].value <= w[1].value) {
+        return Err(CliError::Usage("sketch file corrupt: samples not sorted".to_string()));
+    }
+    if samples.iter().map(|s| s.gap).sum::<u64>() != total_elements {
+        return Err(CliError::Usage(
+            "sketch file corrupt: gaps do not sum to the element count".to_string(),
+        ));
+    }
+    Ok(QuantileSketch::assemble(samples, total_elements, runs, max_gap, dataset_min, dataset_max))
+}
+
+/// Save a sketch to `path`.
+pub fn save(sketch: &QuantileSketch<u64>, path: impl AsRef<Path>) -> CliResult<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&to_bytes(sketch))?;
+    Ok(())
+}
+
+/// Load a sketch from `path`.
+pub fn load(path: impl AsRef<Path>) -> CliResult<QuantileSketch<u64>> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_core::{OpaqConfig, OpaqEstimator};
+    use opaq_storage::MemRunStore;
+    use std::path::PathBuf;
+
+    fn sample_sketch() -> QuantileSketch<u64> {
+        let data: Vec<u64> = (0..10_000).map(|i| (i * 48271) % 65_536).collect();
+        let store = MemRunStore::new(data, 1_000);
+        let config = OpaqConfig::builder().run_length(1_000).sample_size(100).build().unwrap();
+        OpaqEstimator::new(config).build_sketch(&store).unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("opaq-cli-persist-{tag}-{}.sketch", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn bytes_round_trip_preserves_everything() {
+        let sketch = sample_sketch();
+        let restored = from_bytes(&to_bytes(&sketch)).unwrap();
+        assert_eq!(restored, sketch);
+        assert_eq!(
+            restored.estimate(0.5).unwrap().upper,
+            sketch.estimate(0.5).unwrap().upper
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let sketch = sample_sketch();
+        let path = temp_path("file");
+        save(&sketch, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored, sketch);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = from_bytes(b"NOTASKETCHFILE_AT_ALL_______________________________________").unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let mut bytes = to_bytes(&sample_sketch());
+        bytes.truncate(bytes.len() - 8);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_gap_sum_rejected() {
+        let mut bytes = to_bytes(&sample_sketch());
+        // Overwrite the first sample's gap (header is 56 bytes, value 8 bytes)
+        // with a wrong-but-small value so the gap sum no longer matches.
+        let off = 56 + 8;
+        bytes[off..off + 8].copy_from_slice(&12_345u64.to_le_bytes()[..8]);
+        assert!(from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's closed-form error bounds (§2.2 lemmas and §2.4 RER bounds).
+//!
+//! These are *a-priori* bounds computable from the configuration alone; the
+//! experiments compare them against the measured error rates.
+
+use crate::OpaqConfig;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form worst-case guarantees for a given configuration and dataset
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoreticalBounds {
+    /// Lemma 1/2: maximum number of elements between the true quantile and
+    /// either bound (`≤ n/s` for full equal runs).
+    pub max_elements_per_bound: u64,
+    /// Lemma 3: maximum number of elements between `e_l` and `e_u` (`≤ 2n/s`).
+    pub max_elements_between_bounds: u64,
+    /// Upper bound on RER_A in percent (`2/s·100`).
+    pub rer_a_percent: f64,
+    /// Upper bound on RER_L in percent for `q` quantiles (`q/s·100`).
+    pub rer_l_percent: f64,
+    /// Upper bound on RER_N in percent for `q` quantiles (`q/s·100`).
+    pub rer_n_percent: f64,
+}
+
+impl TheoreticalBounds {
+    /// Compute the bounds for estimating `q`-quantiles of `n` elements with
+    /// the given configuration.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `q < 2`.
+    pub fn new(config: &OpaqConfig, n: u64, q: u64) -> Self {
+        assert!(n > 0, "dataset size must be positive");
+        assert!(q >= 2, "q must be at least 2");
+        let s = config.sample_size;
+        let g = config.sub_run_length();
+        let r = n.div_ceil(config.run_length);
+        let per_bound = g + r.saturating_sub(1) * g.saturating_sub(1);
+        Self {
+            max_elements_per_bound: per_bound,
+            max_elements_between_bounds: 2 * per_bound,
+            rer_a_percent: 2.0 / s as f64 * 100.0,
+            rer_l_percent: q as f64 / s as f64 * 100.0,
+            rer_n_percent: q as f64 / s as f64 * 100.0,
+        }
+    }
+
+    /// The simple `n/s` statement of the per-bound guarantee (only exact when
+    /// all runs are full and `s` divides `m`).
+    pub fn n_over_s(n: u64, s: u64) -> u64 {
+        assert!(s > 0, "sample size must be positive");
+        n / s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpaqConfig;
+
+    #[test]
+    fn bounds_match_paper_for_divisible_case() {
+        // n = 1M, m = 100k, s = 1000: g = 100, r = 10.
+        let config = OpaqConfig::builder().run_length(100_000).sample_size(1000).build().unwrap();
+        let b = TheoreticalBounds::new(&config, 1_000_000, 10);
+        // per bound = 100 + 9*99 = 991 <= n/s = 1000
+        assert_eq!(b.max_elements_per_bound, 991);
+        assert!(b.max_elements_per_bound <= TheoreticalBounds::n_over_s(1_000_000, 1000));
+        assert_eq!(b.max_elements_between_bounds, 2 * 991);
+        assert!((b.rer_a_percent - 0.2).abs() < 1e-12);
+        assert!((b.rer_l_percent - 1.0).abs() < 1e-12);
+        assert!((b.rer_n_percent - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubling_s_halves_the_bounds() {
+        let c1 = OpaqConfig::builder().run_length(100_000).sample_size(500).build().unwrap();
+        let c2 = OpaqConfig::builder().run_length(100_000).sample_size(1000).build().unwrap();
+        let b1 = TheoreticalBounds::new(&c1, 1_000_000, 10);
+        let b2 = TheoreticalBounds::new(&c2, 1_000_000, 10);
+        assert!((b1.rer_a_percent / b2.rer_a_percent - 2.0).abs() < 1e-9);
+        assert!(b1.max_elements_per_bound > b2.max_elements_per_bound);
+    }
+
+    #[test]
+    fn single_run_case() {
+        let config = OpaqConfig::builder().run_length(1000).sample_size(100).build().unwrap();
+        let b = TheoreticalBounds::new(&config, 1000, 10);
+        assert_eq!(b.max_elements_per_bound, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 2")]
+    fn q_below_two_panics() {
+        let config = OpaqConfig::default();
+        TheoreticalBounds::new(&config, 100, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_n_panics() {
+        let config = OpaqConfig::default();
+        TheoreticalBounds::new(&config, 0, 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the OPAQ core.
+
+use opaq_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the OPAQ core.
+#[derive(Debug)]
+pub enum OpaqError {
+    /// The storage layer failed while reading a run.
+    Storage(StorageError),
+    /// The configuration is internally inconsistent (e.g. `s > m`).
+    InvalidConfig(String),
+    /// The operation needs a non-empty dataset / sketch.
+    EmptyDataset,
+    /// A quantile fraction outside `(0, 1]` was requested.
+    InvalidPhi(f64),
+    /// Sketches with incompatible shapes were combined.
+    IncompatibleSketches(String),
+}
+
+impl fmt::Display for OpaqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpaqError::Storage(e) => write!(f, "storage error: {e}"),
+            OpaqError::InvalidConfig(msg) => write!(f, "invalid OPAQ configuration: {msg}"),
+            OpaqError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            OpaqError::InvalidPhi(phi) => {
+                write!(f, "quantile fraction {phi} outside the valid range (0, 1]")
+            }
+            OpaqError::IncompatibleSketches(msg) => write!(f, "incompatible sketches: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpaqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpaqError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for OpaqError {
+    fn from(e: StorageError) -> Self {
+        OpaqError::Storage(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type OpaqResult<T> = Result<T, OpaqError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OpaqError::EmptyDataset.to_string().contains("non-empty"));
+        assert!(OpaqError::InvalidPhi(1.5).to_string().contains("1.5"));
+        assert!(OpaqError::InvalidConfig("s > m".into()).to_string().contains("s > m"));
+        assert!(OpaqError::IncompatibleSketches("x".into()).to_string().contains('x'));
+        let storage: OpaqError = StorageError::Corrupt("bad".into()).into();
+        assert!(storage.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn source_chains_storage_errors() {
+        use std::error::Error;
+        let e: OpaqError = StorageError::Corrupt("bad".into()).into();
+        assert!(e.source().is_some());
+        assert!(OpaqError::EmptyDataset.source().is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Incremental maintenance (§4).
+//!
+//! "It is easy to use the OPAQ algorithm to deal with new data incrementally.
+//! If the sorted samples are kept from the runs of the old data, one need
+//! only compute the sorted samples from the new runs and merge with the old
+//! sorted samples."  [`IncrementalOpaq`] is that loop: it holds the current
+//! sketch and folds in new runs (or whole new stores) as they arrive, without
+//! ever revisiting old data.
+
+use crate::sample_phase::sample_run;
+use crate::sketch::QuantileSketch;
+use crate::{Key, OpaqConfig, OpaqError, OpaqResult, QuantileEstimate};
+use opaq_storage::RunStore;
+
+/// An OPAQ estimator that absorbs data incrementally, one run at a time.
+#[derive(Debug, Clone)]
+pub struct IncrementalOpaq<K> {
+    config: OpaqConfig,
+    sketch: Option<QuantileSketch<K>>,
+    runs_absorbed: u64,
+}
+
+impl<K: Key> IncrementalOpaq<K> {
+    /// Create an empty incremental estimator.
+    ///
+    /// # Errors
+    /// Returns [`OpaqError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: OpaqConfig) -> OpaqResult<Self> {
+        config.validate()?;
+        Ok(Self { config, sketch: None, runs_absorbed: 0 })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OpaqConfig {
+        &self.config
+    }
+
+    /// Number of runs absorbed so far.
+    pub fn runs_absorbed(&self) -> u64 {
+        self.runs_absorbed
+    }
+
+    /// Total number of elements summarised so far.
+    pub fn total_elements(&self) -> u64 {
+        self.sketch.as_ref().map(|s| s.total_elements()).unwrap_or(0)
+    }
+
+    /// Absorb one new run of raw data (consumed; the run is sampled in place).
+    ///
+    /// Runs larger than the configured run length are split so that the
+    /// per-run error guarantees keep holding.
+    pub fn add_run(&mut self, mut run: Vec<K>) -> OpaqResult<()> {
+        if run.is_empty() {
+            return Err(OpaqError::EmptyDataset);
+        }
+        let m = self.config.run_length as usize;
+        let mut run_samples = Vec::new();
+        let mut start = 0usize;
+        while start < run.len() {
+            let end = (start + m).min(run.len());
+            let rs = sample_run(&mut run[start..end], self.config.sample_size, self.config.strategy)?;
+            run_samples.push(rs);
+            start = end;
+        }
+        let new_sketch = QuantileSketch::from_run_samples(run_samples)?;
+        self.runs_absorbed += new_sketch.runs();
+        self.sketch = Some(match self.sketch.take() {
+            Some(old) => old.merge(&new_sketch),
+            None => new_sketch,
+        });
+        Ok(())
+    }
+
+    /// Absorb every run of a store (e.g. a newly arrived data file).
+    pub fn add_store<S: RunStore<K>>(&mut self, store: &S) -> OpaqResult<()> {
+        if store.is_empty() {
+            return Err(OpaqError::EmptyDataset);
+        }
+        for run_idx in 0..store.layout().runs() {
+            self.add_run(store.read_run(run_idx)?)?;
+        }
+        Ok(())
+    }
+
+    /// The current sketch, if any data has been absorbed.
+    pub fn sketch(&self) -> Option<&QuantileSketch<K>> {
+        self.sketch.as_ref()
+    }
+
+    /// Estimate the φ-quantile of everything absorbed so far.
+    ///
+    /// # Errors
+    /// [`OpaqError::EmptyDataset`] if no data has been absorbed yet.
+    pub fn estimate(&self, phi: f64) -> OpaqResult<QuantileEstimate<K>> {
+        self.sketch.as_ref().ok_or(OpaqError::EmptyDataset)?.estimate(phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_storage::MemRunStore;
+
+    fn config(m: u64, s: u64) -> OpaqConfig {
+        OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_batch_estimate_quality() {
+        let data: Vec<u64> = (0..20_000).map(|i| (i * 2654435761u64) % 65_537).collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+
+        let mut inc = IncrementalOpaq::new(config(1000, 100)).unwrap();
+        for chunk in data.chunks(1000) {
+            inc.add_run(chunk.to_vec()).unwrap();
+        }
+        assert_eq!(inc.total_elements(), 20_000);
+        assert_eq!(inc.runs_absorbed(), 20);
+
+        for i in 1..10 {
+            let phi = i as f64 / 10.0;
+            let est = inc.estimate(phi).unwrap();
+            let truth = sorted[(est.target_rank - 1) as usize];
+            assert!(est.lower <= truth && truth <= est.upper, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn oversized_run_is_split() {
+        let mut inc = IncrementalOpaq::new(config(100, 10)).unwrap();
+        inc.add_run((0..1000).collect()).unwrap();
+        assert_eq!(inc.runs_absorbed(), 10);
+        assert_eq!(inc.total_elements(), 1000);
+        // Per-bound slack must reflect run length 100, not 1000.
+        assert!(inc.sketch().unwrap().max_gap() <= 10);
+    }
+
+    #[test]
+    fn add_store_absorbs_every_run() {
+        let store = MemRunStore::new((0u64..5000).collect(), 500);
+        let mut inc = IncrementalOpaq::new(config(500, 50)).unwrap();
+        inc.add_store(&store).unwrap();
+        assert_eq!(inc.total_elements(), 5000);
+        let est = inc.estimate(0.5).unwrap();
+        assert!(est.lower <= 2499 && 2499 <= est.upper);
+    }
+
+    #[test]
+    fn estimates_stay_valid_as_data_arrives() {
+        // Old data: values 0..10k; new data: values 100k..110k — the median
+        // shifts dramatically and the sketch must track it.
+        let mut inc = IncrementalOpaq::new(config(1000, 100)).unwrap();
+        inc.add_run((0..10_000).collect()).unwrap();
+        let before = inc.estimate(0.5).unwrap();
+        assert!(before.lower <= 4_999 && 4_999 <= before.upper);
+
+        inc.add_run((100_000..110_000).collect()).unwrap();
+        let after = inc.estimate(0.5).unwrap();
+        // True median of the combined 20k elements (rank 10_000) is 9_999.
+        assert!(after.lower <= 9_999 && 9_999 <= after.upper);
+        assert_eq!(inc.total_elements(), 20_000);
+    }
+
+    #[test]
+    fn empty_cases_error() {
+        let mut inc = IncrementalOpaq::<u64>::new(config(10, 2)).unwrap();
+        assert!(matches!(inc.estimate(0.5), Err(OpaqError::EmptyDataset)));
+        assert!(matches!(inc.add_run(vec![]), Err(OpaqError::EmptyDataset)));
+        let empty_store = MemRunStore::<u64>::new(vec![], 10);
+        assert!(matches!(inc.add_store(&empty_store), Err(OpaqError::EmptyDataset)));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(IncrementalOpaq::<u64>::new(OpaqConfig {
+            run_length: 5,
+            sample_size: 10,
+            strategy: Default::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The sample phase (§2.1): regular samples from every run.
+//!
+//! From a run of `m` in-memory elements the phase extracts the `s` elements
+//! of rank `⌈m/s⌉, ⌈2m/s⌉, …, m` by multi-selection (`O(m log s)`), together
+//! with the *gap* of each sample — the number of new elements of the run it
+//! stands for.  Gaps are what make the error bounds work for runs whose
+//! length is not an exact multiple of `s` (the paper assumes divisibility
+//! "without loss of generality"; we do not have to).
+
+use crate::{Key, OpaqError, OpaqResult};
+use opaq_select::{multiselect_with, regular_sample_ranks, SelectionStrategy};
+
+/// The regular samples of one run, in ascending order, with their gaps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSample<K> {
+    /// Sample values in ascending order (the last one is the run maximum).
+    pub values: Vec<K>,
+    /// `gaps[i]` = within-run rank of `values[i]` minus the rank of
+    /// `values[i-1]` (with rank 0 before the first sample); the gaps sum to
+    /// the run length.
+    pub gaps: Vec<u64>,
+    /// The smallest element of the run (needed because the first sample has
+    /// rank `⌈m/s⌉ ≥ 1` and therefore is generally *not* the minimum).
+    pub run_min: K,
+    /// The run length `m` this sample was derived from.
+    pub run_len: u64,
+}
+
+impl<K: Key> RunSample<K> {
+    /// The largest sample, which by construction is the run maximum.
+    pub fn run_max(&self) -> K {
+        *self.values.last().expect("a run sample always has at least one sample")
+    }
+
+    /// Largest gap in this run (`⌈m/s⌉` for full regular sampling).
+    pub fn max_gap(&self) -> u64 {
+        self.gaps.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Extract the `s` regular samples of `run` (which is partially reordered in
+/// the process, as selection is in-place).
+///
+/// If the run is shorter than `s`, every element becomes a sample with gap 1
+/// — the bounds only get tighter.
+///
+/// # Errors
+/// Returns [`OpaqError::EmptyDataset`] if the run is empty or
+/// [`OpaqError::InvalidConfig`] if `s == 0`.
+pub fn sample_run<K: Key>(
+    run: &mut [K],
+    s: u64,
+    strategy: SelectionStrategy,
+) -> OpaqResult<RunSample<K>> {
+    if run.is_empty() {
+        return Err(OpaqError::EmptyDataset);
+    }
+    if s == 0 {
+        return Err(OpaqError::InvalidConfig("sample size s must be positive".into()));
+    }
+    let m = run.len();
+    let s_eff = (s as usize).min(m);
+    let run_min = *run.iter().min().expect("non-empty run has a minimum");
+    let ranks = regular_sample_ranks(m, s_eff);
+    let values = multiselect_with(run, &ranks, strategy);
+    let mut gaps = Vec::with_capacity(ranks.len());
+    let mut prev_rank_1based = 0u64;
+    for &r in &ranks {
+        let rank_1based = (r + 1) as u64;
+        gaps.push(rank_1based - prev_rank_1based);
+        prev_rank_1based = rank_1based;
+    }
+    debug_assert_eq!(gaps.iter().sum::<u64>(), m as u64);
+    Ok(RunSample { values, gaps, run_min, run_len: m as u64 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_select::SelectionStrategy;
+
+    fn strategy() -> SelectionStrategy {
+        SelectionStrategy::default()
+    }
+
+    #[test]
+    fn samples_of_identity_run() {
+        // run = 1..=100, s = 10 -> samples 10, 20, ..., 100, gaps all 10.
+        let mut run: Vec<u64> = (1..=100).collect();
+        let rs = sample_run(&mut run, 10, strategy()).unwrap();
+        assert_eq!(rs.values, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(rs.gaps, vec![10; 10]);
+        assert_eq!(rs.run_min, 1);
+        assert_eq!(rs.run_max(), 100);
+        assert_eq!(rs.run_len, 100);
+        assert_eq!(rs.max_gap(), 10);
+    }
+
+    #[test]
+    fn samples_of_shuffled_run_match_sorted_ranks() {
+        let mut run: Vec<u64> = (0..1000).map(|i| (i * 48271) % 10007).collect();
+        let mut sorted = run.clone();
+        sorted.sort_unstable();
+        let rs = sample_run(&mut run, 16, strategy()).unwrap();
+        assert_eq!(rs.values.len(), 16);
+        assert!(rs.values.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(rs.run_max(), *sorted.last().unwrap());
+        assert_eq!(rs.run_min, sorted[0]);
+        assert_eq!(rs.gaps.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn last_sample_is_always_run_max() {
+        for len in [7usize, 64, 129, 1000] {
+            let mut run: Vec<u64> = (0..len as u64).rev().collect();
+            let rs = sample_run(&mut run, 5, strategy()).unwrap();
+            assert_eq!(rs.run_max(), (len - 1) as u64, "len {len}");
+        }
+    }
+
+    #[test]
+    fn short_run_takes_every_element() {
+        let mut run = vec![5u64, 1, 9];
+        let rs = sample_run(&mut run, 10, strategy()).unwrap();
+        assert_eq!(rs.values, vec![1, 5, 9]);
+        assert_eq!(rs.gaps, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn gaps_sum_to_run_length_when_not_divisible() {
+        let mut run: Vec<u64> = (0..103).collect();
+        let rs = sample_run(&mut run, 10, strategy()).unwrap();
+        assert_eq!(rs.gaps.iter().sum::<u64>(), 103);
+        assert_eq!(rs.values.len(), 10);
+        assert!(rs.max_gap() <= 11);
+    }
+
+    #[test]
+    fn duplicate_heavy_run() {
+        let mut run = vec![7u64; 64];
+        let rs = sample_run(&mut run, 8, strategy()).unwrap();
+        assert!(rs.values.iter().all(|&v| v == 7));
+        assert_eq!(rs.gaps, vec![8; 8]);
+    }
+
+    #[test]
+    fn empty_run_errors() {
+        let mut run: Vec<u64> = vec![];
+        assert!(matches!(sample_run(&mut run, 4, strategy()), Err(OpaqError::EmptyDataset)));
+    }
+
+    #[test]
+    fn zero_sample_size_errors() {
+        let mut run = vec![1u64, 2];
+        assert!(matches!(
+            sample_run(&mut run, 0, strategy()),
+            Err(OpaqError::InvalidConfig(_))
+        ));
+    }
+}

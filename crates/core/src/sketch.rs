@@ -1,0 +1,362 @@
+//! The [`QuantileSketch`]: the merged, sorted sample list plus the metadata
+//! the quantile phase needs.
+//!
+//! The sketch *is* the paper's "sorted sample list of size r·s", enriched
+//! with per-sample gaps so that runs of unequal length (tail runs, merged
+//! sketches from different machines) keep their deterministic guarantees.
+//! It supports:
+//!
+//! * quantile estimation ([`QuantileSketch::estimate`], the quantile phase),
+//! * rank estimation of arbitrary values (§4 of the paper),
+//! * merging with another sketch (the basis of both the incremental and the
+//!   parallel formulations),
+//! * the memory accounting the paper's `r·s + m ≤ M` constraint refers to.
+
+use crate::quantile_phase::{self, QuantileEstimate};
+use crate::rank::RankBounds;
+use crate::sample_phase::RunSample;
+use crate::{Key, OpaqError, OpaqResult};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One entry of the merged sample list: a sample value and the number of
+/// elements of its run that it newly accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplePoint<K> {
+    /// The sample value.
+    pub value: K,
+    /// Number of elements of the sample's run represented by this sample
+    /// (the paper's `m/s`; varies only for tail runs).
+    pub gap: u64,
+}
+
+/// The merged, sorted sample list produced by the sample phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch<K> {
+    samples: Vec<SamplePoint<K>>,
+    /// Prefix sums of the gaps: `prefix_gaps[i]` = sum of `samples[..=i].gap`.
+    prefix_gaps: Vec<u64>,
+    total_elements: u64,
+    runs: u64,
+    max_gap: u64,
+    dataset_min: K,
+    dataset_max: K,
+}
+
+impl<K: Key> QuantileSketch<K> {
+    /// Merge the per-run sample lists into a sketch (the final step of the
+    /// sample phase).  Uses a k-way heap merge: `O(r·s·log r)`, exactly the
+    /// cost the paper's Table 2 charges for "merging r sample lists".
+    ///
+    /// # Errors
+    /// Returns [`OpaqError::EmptyDataset`] if `run_samples` is empty.
+    pub fn from_run_samples(run_samples: Vec<RunSample<K>>) -> OpaqResult<Self> {
+        if run_samples.is_empty() {
+            return Err(OpaqError::EmptyDataset);
+        }
+        let runs = run_samples.len() as u64;
+        let total_elements: u64 = run_samples.iter().map(|r| r.run_len).sum();
+        let max_gap = run_samples.iter().map(|r| r.max_gap()).max().unwrap_or(1).max(1);
+        let dataset_min = run_samples
+            .iter()
+            .map(|r| r.run_min)
+            .min()
+            .expect("at least one run");
+        let dataset_max = run_samples
+            .iter()
+            .map(|r| r.run_max())
+            .max()
+            .expect("at least one run");
+
+        let total_samples: usize = run_samples.iter().map(|r| r.values.len()).sum();
+        let mut samples = Vec::with_capacity(total_samples);
+
+        // K-way merge of the already-sorted per-run sample lists.
+        let mut heap: BinaryHeap<Reverse<(K, usize, usize)>> = BinaryHeap::with_capacity(run_samples.len());
+        for (run_idx, rs) in run_samples.iter().enumerate() {
+            if !rs.values.is_empty() {
+                heap.push(Reverse((rs.values[0], run_idx, 0)));
+            }
+        }
+        while let Some(Reverse((value, run_idx, pos))) = heap.pop() {
+            let rs = &run_samples[run_idx];
+            samples.push(SamplePoint { value, gap: rs.gaps[pos] });
+            let next = pos + 1;
+            if next < rs.values.len() {
+                heap.push(Reverse((rs.values[next], run_idx, next)));
+            }
+        }
+        debug_assert!(samples.windows(2).all(|w| w[0].value <= w[1].value));
+
+        Ok(Self::from_parts(samples, total_elements, runs, max_gap, dataset_min, dataset_max))
+    }
+
+    /// Assemble a sketch from an already-sorted sample list and its metadata.
+    ///
+    /// This is the constructor used by the parallel global-merge algorithms,
+    /// which produce the sorted sample list through message passing rather
+    /// than through [`QuantileSketch::from_run_samples`].
+    ///
+    /// # Panics
+    /// Panics if the samples are not sorted by value or if the gaps do not
+    /// sum to `total_elements`.
+    pub fn assemble(
+        samples: Vec<SamplePoint<K>>,
+        total_elements: u64,
+        runs: u64,
+        max_gap: u64,
+        dataset_min: K,
+        dataset_max: K,
+    ) -> Self {
+        assert!(
+            samples.windows(2).all(|w| w[0].value <= w[1].value),
+            "sample list must be sorted by value"
+        );
+        assert_eq!(
+            samples.iter().map(|s| s.gap).sum::<u64>(),
+            total_elements,
+            "sample gaps must account for every element"
+        );
+        Self::from_parts(samples, total_elements, runs, max_gap, dataset_min, dataset_max)
+    }
+
+    /// Assemble a sketch from raw parts (used by merge and by the parallel
+    /// global-merge algorithms, which produce an already-sorted sample list).
+    pub(crate) fn from_parts(
+        samples: Vec<SamplePoint<K>>,
+        total_elements: u64,
+        runs: u64,
+        max_gap: u64,
+        dataset_min: K,
+        dataset_max: K,
+    ) -> Self {
+        let mut prefix_gaps = Vec::with_capacity(samples.len());
+        let mut acc = 0u64;
+        for s in &samples {
+            acc += s.gap;
+            prefix_gaps.push(acc);
+        }
+        debug_assert_eq!(acc, total_elements, "gaps must account for every element");
+        Self { samples, prefix_gaps, total_elements, runs, max_gap, dataset_min, dataset_max }
+    }
+
+    /// The sorted sample list.
+    pub fn samples(&self) -> &[SamplePoint<K>] {
+        &self.samples
+    }
+
+    /// Number of sample points (`r·s` in the paper's notation).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the sketch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of data elements the sketch summarises (`n`).
+    pub fn total_elements(&self) -> u64 {
+        self.total_elements
+    }
+
+    /// Number of runs merged into the sketch (`r`).
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The largest per-sample gap (`⌈m/s⌉` for equal full runs).
+    pub fn max_gap(&self) -> u64 {
+        self.max_gap
+    }
+
+    /// The smallest element of the dataset.
+    pub fn dataset_min(&self) -> K {
+        self.dataset_min
+    }
+
+    /// The largest element of the dataset (always equal to the largest
+    /// sample, because the run maximum is always sampled).
+    pub fn dataset_max(&self) -> K {
+        self.dataset_max
+    }
+
+    /// Prefix sums of the sample gaps (internal to the quantile phase).
+    pub(crate) fn prefix_gaps(&self) -> &[u64] {
+        &self.prefix_gaps
+    }
+
+    /// Lemma 1/2 bound: the maximum number of data elements that can lie
+    /// between the true quantile and either estimated bound.  Equals
+    /// `g + (r−1)(g−1)` which is at most `n/s` when all runs are full.
+    pub fn max_elements_per_bound(&self) -> u64 {
+        self.max_gap + (self.runs.saturating_sub(1)) * (self.max_gap.saturating_sub(1))
+    }
+
+    /// Lemma 3 bound: the maximum number of data elements in `[e_l, e_u]`,
+    /// i.e. twice [`Self::max_elements_per_bound`].
+    pub fn max_elements_between_bounds(&self) -> u64 {
+        2 * self.max_elements_per_bound()
+    }
+
+    /// Estimate the φ-quantile (the quantile phase, formulas (2)–(5)).
+    ///
+    /// # Errors
+    /// [`OpaqError::InvalidPhi`] if `phi ∉ (0, 1]`, [`OpaqError::EmptyDataset`]
+    /// if the sketch is empty.
+    pub fn estimate(&self, phi: f64) -> OpaqResult<QuantileEstimate<K>> {
+        quantile_phase::estimate_phi(self, phi)
+    }
+
+    /// Estimate the quantile of 1-based rank `psi` directly.
+    pub fn estimate_rank(&self, psi: u64) -> OpaqResult<QuantileEstimate<K>> {
+        quantile_phase::estimate_rank(self, psi)
+    }
+
+    /// Estimate all `q`-quantiles (`φ = 1/q … (q−1)/q`).  The cost per
+    /// additional quantile is `O(log(r·s))` — the "constant extra time per
+    /// quantile" the paper advertises, since the sample list is already built.
+    pub fn estimate_q_quantiles(&self, q: u64) -> OpaqResult<Vec<QuantileEstimate<K>>> {
+        if q < 2 {
+            return Err(OpaqError::InvalidConfig("q must be at least 2".into()));
+        }
+        (1..q).map(|i| self.estimate(i as f64 / q as f64)).collect()
+    }
+
+    /// Bounds on the rank of an arbitrary `value` (§4: "the sorted sample
+    /// list can obviously be used to estimate the rank of any arbitrary
+    /// element in the whole data set").
+    pub fn rank_bounds(&self, value: K) -> RankBounds {
+        crate::rank::rank_bounds(self, value)
+    }
+
+    /// Merge two sketches summarising disjoint parts of a dataset.
+    ///
+    /// This is the primitive behind both the incremental formulation (§4:
+    /// "keep the sorted samples from the runs of the old data … merge with
+    /// the old sorted samples") and the parallel global merge.
+    pub fn merge(&self, other: &QuantileSketch<K>) -> QuantileSketch<K> {
+        let mut samples = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.samples.len() && j < other.samples.len() {
+            if self.samples[i].value <= other.samples[j].value {
+                samples.push(self.samples[i]);
+                i += 1;
+            } else {
+                samples.push(other.samples[j]);
+                j += 1;
+            }
+        }
+        samples.extend_from_slice(&self.samples[i..]);
+        samples.extend_from_slice(&other.samples[j..]);
+        QuantileSketch::from_parts(
+            samples,
+            self.total_elements + other.total_elements,
+            self.runs + other.runs,
+            self.max_gap.max(other.max_gap),
+            self.dataset_min.min(other.dataset_min),
+            self.dataset_max.max(other.dataset_max),
+        )
+    }
+
+    /// Memory footprint of the sketch in sample points (the `r·s` term of the
+    /// paper's memory constraint).
+    pub fn memory_sample_points(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample_phase::sample_run;
+    use opaq_select::SelectionStrategy;
+
+    fn sketch_of_runs(runs: Vec<Vec<u64>>, s: u64) -> QuantileSketch<u64> {
+        let run_samples: Vec<RunSample<u64>> = runs
+            .into_iter()
+            .map(|mut run| sample_run(&mut run, s, SelectionStrategy::default()).unwrap())
+            .collect();
+        QuantileSketch::from_run_samples(run_samples).unwrap()
+    }
+
+    #[test]
+    fn merged_sample_list_is_sorted_and_complete() {
+        let sketch = sketch_of_runs(
+            vec![(0..100).collect(), (100..200).rev().collect(), (50..150).collect()],
+            10,
+        );
+        assert_eq!(sketch.len(), 30);
+        assert_eq!(sketch.total_elements(), 300);
+        assert_eq!(sketch.runs(), 3);
+        assert!(sketch.samples().windows(2).all(|w| w[0].value <= w[1].value));
+        assert_eq!(sketch.prefix_gaps().last().copied(), Some(300));
+        assert_eq!(sketch.dataset_min(), 0);
+        assert_eq!(sketch.dataset_max(), 199);
+        assert_eq!(sketch.max_gap(), 10);
+    }
+
+    #[test]
+    fn bounds_formulae() {
+        let sketch = sketch_of_runs(vec![(0..100).collect(), (0..100).collect()], 10);
+        // g = 10, r = 2 -> per bound 10 + 1*9 = 19, between bounds 38.
+        assert_eq!(sketch.max_elements_per_bound(), 19);
+        assert_eq!(sketch.max_elements_between_bounds(), 38);
+    }
+
+    #[test]
+    fn single_run_sketch() {
+        let sketch = sketch_of_runs(vec![(0..64).collect()], 8);
+        assert_eq!(sketch.runs(), 1);
+        assert_eq!(sketch.max_elements_per_bound(), 8);
+    }
+
+    #[test]
+    fn empty_run_samples_error() {
+        assert!(matches!(
+            QuantileSketch::<u64>::from_run_samples(vec![]),
+            Err(OpaqError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_stays_sorted() {
+        let a = sketch_of_runs(vec![(0..100).collect()], 10);
+        let b = sketch_of_runs(vec![(1000..1100).collect(), (500..600).collect()], 10);
+        let merged = a.merge(&b);
+        assert_eq!(merged.total_elements(), 300);
+        assert_eq!(merged.runs(), 3);
+        assert_eq!(merged.len(), 30);
+        assert!(merged.samples().windows(2).all(|w| w[0].value <= w[1].value));
+        assert_eq!(merged.dataset_min(), 0);
+        assert_eq!(merged.dataset_max(), 1099);
+        assert_eq!(merged.prefix_gaps().last().copied(), Some(300));
+    }
+
+    #[test]
+    fn merge_is_commutative_in_content() {
+        let a = sketch_of_runs(vec![(0..50).collect()], 5);
+        let b = sketch_of_runs(vec![(25..75).collect()], 5);
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        assert_eq!(ab.total_elements(), ba.total_elements());
+        assert_eq!(
+            ab.samples().iter().map(|s| s.value).collect::<Vec<_>>(),
+            ba.samples().iter().map(|s| s.value).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn estimate_q_quantiles_rejects_q_below_two() {
+        let sketch = sketch_of_runs(vec![(0..100).collect()], 10);
+        assert!(sketch.estimate_q_quantiles(1).is_err());
+        assert_eq!(sketch.estimate_q_quantiles(4).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn memory_sample_points_matches_len() {
+        let sketch = sketch_of_runs(vec![(0..100).collect(); 4], 25);
+        assert_eq!(sketch.memory_sample_points(), 100);
+        assert!(!sketch.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the paper's lemmas.
+//!
+//! These are the library's crown-jewel invariants: for *any* data
+//! distribution, run structure and sample size,
+//!
+//! * Lemma 1 — at most `n/s`-ish elements lie between the true quantile and
+//!   the lower bound,
+//! * Lemma 2 — the same for the upper bound,
+//! * Lemma 3 — at most twice that between the two bounds,
+//! * and (the definition of a bound) `e_l ≤ Q_φ ≤ e_u`.
+
+use opaq_core::{OpaqConfig, OpaqEstimator};
+use opaq_storage::MemRunStore;
+use proptest::prelude::*;
+
+/// Check every dectile of `data` for the enclosure and slack properties.
+fn check_lemmas(data: Vec<u64>, m: u64, s: u64) -> Result<(), TestCaseError> {
+    let n = data.len() as u64;
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let store = MemRunStore::new(data, m);
+    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+
+    let slack = sketch.max_elements_per_bound();
+    for i in 1..10u64 {
+        let phi = i as f64 / 10.0;
+        let est = sketch.estimate(phi).unwrap();
+        let psi = est.target_rank;
+        let truth = sorted[(psi - 1) as usize];
+
+        // Enclosure.
+        prop_assert!(
+            est.lower <= truth && truth <= est.upper,
+            "phi={phi}: [{:?}, {:?}] misses {truth} (n={n}, m={m}, s={s})",
+            est.lower,
+            est.upper
+        );
+
+        // Lemma 1: elements strictly between lower bound and truth.
+        let rank_le = |v: u64| sorted.partition_point(|&x| x <= v) as u64;
+        let rank_lt = |v: u64| sorted.partition_point(|&x| x < v) as u64;
+        let below_gap = psi.saturating_sub(rank_le(est.lower));
+        prop_assert!(below_gap <= slack, "lemma 1 violated: {below_gap} > {slack}");
+
+        // Lemma 2: elements strictly between truth and upper bound.
+        let above_gap = rank_lt(est.upper).saturating_sub(psi);
+        prop_assert!(above_gap <= slack, "lemma 2 violated: {above_gap} > {slack}");
+
+        // Lemma 3: elements strictly inside (lower, upper).
+        let between = rank_lt(est.upper).saturating_sub(rank_le(est.lower));
+        prop_assert!(
+            between <= sketch.max_elements_between_bounds(),
+            "lemma 3 violated: {between} > {}",
+            sketch.max_elements_between_bounds()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lemmas_hold_for_arbitrary_data_and_config(
+        data in proptest::collection::vec(any::<u64>(), 100..4000),
+        m_divisor in 2u64..20,
+        s_choice in 2u64..64,
+    ) {
+        let n = data.len() as u64;
+        let m = (n / m_divisor).max(1);
+        let s = s_choice.min(m);
+        check_lemmas(data, m, s)?;
+    }
+
+    #[test]
+    fn lemmas_hold_for_duplicate_heavy_data(
+        distinct in 1u64..20,
+        len in 200usize..3000,
+        m_divisor in 2u64..10,
+    ) {
+        let data: Vec<u64> = (0..len as u64).map(|i| i % distinct).collect();
+        let m = (len as u64 / m_divisor).max(1);
+        let s = 8u64.min(m);
+        check_lemmas(data, m, s)?;
+    }
+
+    #[test]
+    fn lemmas_hold_for_sorted_and_reverse_inputs(
+        len in 200usize..3000,
+        reverse in any::<bool>(),
+        m_divisor in 2u64..10,
+    ) {
+        let mut data: Vec<u64> = (0..len as u64).collect();
+        if reverse {
+            data.reverse();
+        }
+        let m = (len as u64 / m_divisor).max(1);
+        check_lemmas(data, m, 16u64.min(m))?;
+    }
+
+    #[test]
+    fn exact_pass_returns_true_order_statistic(
+        data in proptest::collection::vec(0u64..10_000, 100..2000),
+        phi_percent in 1u64..100,
+    ) {
+        let phi = phi_percent as f64 / 100.0;
+        let n = data.len() as u64;
+        let m = (n / 4).max(1);
+        let s = 16u64.min(m);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let psi = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        let truth = sorted[(psi - 1) as usize];
+
+        let store = MemRunStore::new(data, m);
+        let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+        let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+        let exact = opaq_core::exact_quantile(&store, &sketch, phi).unwrap();
+        prop_assert_eq!(exact.value, truth);
+    }
+
+    #[test]
+    fn rank_bounds_enclose_true_rank_for_arbitrary_values(
+        data in proptest::collection::vec(0u64..5_000, 100..2000),
+        probe in 0u64..6_000,
+    ) {
+        let n = data.len() as u64;
+        let m = (n / 5).max(1);
+        let s = 16u64.min(m);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let truth = sorted.partition_point(|&x| x <= probe) as u64;
+
+        let store = MemRunStore::new(data, m);
+        let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+        let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+        let rb = sketch.rank_bounds(probe);
+        prop_assert!(rb.min_rank <= truth && truth <= rb.max_rank,
+            "rank {truth} outside [{}, {}]", rb.min_rank, rb.max_rank);
+    }
+
+    #[test]
+    fn merged_sketches_preserve_lemmas(
+        left in proptest::collection::vec(any::<u64>(), 100..1500),
+        right in proptest::collection::vec(any::<u64>(), 100..1500),
+    ) {
+        let m = 100u64;
+        let s = 10u64;
+        let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+        let est = OpaqEstimator::new(config);
+
+        let store_l = MemRunStore::new(left.clone(), m);
+        let store_r = MemRunStore::new(right.clone(), m);
+        let sketch = est.build_sketch(&store_l).unwrap().merge(&est.build_sketch(&store_r).unwrap());
+
+        let mut all = left;
+        all.extend(right);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        let n = all.len() as u64;
+
+        for i in 1..4u64 {
+            let phi = i as f64 / 4.0;
+            let est = sketch.estimate(phi).unwrap();
+            let psi = ((phi * n as f64).ceil() as u64).clamp(1, n);
+            let truth = sorted[(psi - 1) as usize];
+            prop_assert!(est.lower <= truth && truth <= est.upper);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Duplicate injection.
+//!
+//! The paper's experiments set "the number of duplicates for each data set of
+//! size n … to n/10" to study the impact of repeated keys on estimation
+//! accuracy.  [`inject_duplicates`] reproduces that: a chosen fraction of
+//! positions is overwritten with values copied from other (random) positions,
+//! guaranteeing at least that many duplicate keys while leaving the overall
+//! distribution essentially unchanged.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Overwrite `fraction` of the positions of `keys` with values copied from
+/// other random positions.  Returns the number of positions overwritten.
+///
+/// # Panics
+/// Panics if `fraction` is not in `[0, 1]`.
+pub fn inject_duplicates(keys: &mut [u64], fraction: f64, seed: u64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "duplicate fraction must be in [0, 1]");
+    if keys.len() < 2 || fraction == 0.0 {
+        return 0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE_D1CE_D1CE_D1CE);
+    let count = ((keys.len() as f64) * fraction).round() as usize;
+    let count = count.min(keys.len());
+    for _ in 0..count {
+        let dst = rng.gen_range(0..keys.len());
+        let src = rng.gen_range(0..keys.len());
+        keys[dst] = keys[src];
+    }
+    count
+}
+
+/// Count how many elements of `keys` share their value with at least one
+/// other element (a simple duplicate metric used in tests and reports).
+pub fn count_duplicated_elements(keys: &[u64]) -> usize {
+    let mut sorted = keys.to_vec();
+    sorted.sort_unstable();
+    let mut dup = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        if j - i > 1 {
+            dup += j - i;
+        }
+        i = j;
+    }
+    dup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injects_requested_count() {
+        let mut keys: Vec<u64> = (0..10_000).collect();
+        let written = inject_duplicates(&mut keys, 0.1, 42);
+        assert_eq!(written, 1000);
+        // At least some duplication must now exist (distinct values before).
+        assert!(count_duplicated_elements(&keys) > 0);
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut keys: Vec<u64> = (0..100).collect();
+        let orig = keys.clone();
+        assert_eq!(inject_duplicates(&mut keys, 0.0, 1), 0);
+        assert_eq!(keys, orig);
+    }
+
+    #[test]
+    fn full_fraction_caps_at_len() {
+        let mut keys: Vec<u64> = (0..50).collect();
+        assert_eq!(inject_duplicates(&mut keys, 1.0, 1), 50);
+    }
+
+    #[test]
+    fn tiny_inputs_are_safe() {
+        let mut one = vec![5u64];
+        assert_eq!(inject_duplicates(&mut one, 0.5, 0), 0);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(inject_duplicates(&mut empty, 0.5, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        inject_duplicates(&mut [1, 2, 3], 1.5, 0);
+    }
+
+    #[test]
+    fn count_duplicated_elements_counts_all_members() {
+        assert_eq!(count_duplicated_elements(&[1, 2, 3]), 0);
+        assert_eq!(count_duplicated_elements(&[1, 1, 2, 3]), 2);
+        assert_eq!(count_duplicated_elements(&[7, 7, 7]), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a: Vec<u64> = (0..1000).collect();
+        let mut b: Vec<u64> = (0..1000).collect();
+        inject_duplicates(&mut a, 0.1, 99);
+        inject_duplicates(&mut b, 0.1, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Normally distributed keys (Box–Muller), clamped to the key domain.
+//!
+//! Not part of the paper's evaluation, but used by the extended robustness
+//! tests: OPAQ's bounds are distribution-free, so a third distribution is a
+//! cheap way to exercise that claim.
+
+use crate::{rng_from_seed, KeyGenerator};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generates keys from a normal distribution with the given mean and
+/// standard deviation, rounded and clamped to `[0, domain)`.
+#[derive(Debug, Clone)]
+pub struct NormalGenerator {
+    rng: SmallRng,
+    domain: u64,
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl NormalGenerator {
+    /// Create a generator with `mean` and `std_dev` over `[0, domain)`.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0` or `std_dev <= 0`.
+    pub fn new(seed: u64, domain: u64, mean: f64, std_dev: f64) -> Self {
+        assert!(domain > 0, "key domain must be non-empty");
+        assert!(std_dev > 0.0, "standard deviation must be positive");
+        Self { rng: rng_from_seed(seed), domain, mean, std_dev, spare: None }
+    }
+
+    /// A generator centred in the middle of the domain with a spread of one
+    /// eighth of the domain (keeps clamping negligible).
+    pub fn centred(seed: u64, domain: u64) -> Self {
+        Self::new(seed, domain, domain as f64 / 2.0, domain as f64 / 8.0)
+    }
+
+    fn sample_standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller transform.
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+}
+
+impl KeyGenerator for NormalGenerator {
+    fn generate(&mut self, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                let x = self.mean + self.std_dev * self.sample_standard_normal();
+                x.round().clamp(0.0, (self.domain - 1) as f64) as u64
+            })
+            .collect()
+    }
+
+    fn label(&self) -> String {
+        "normal".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_stay_in_domain() {
+        let keys = NormalGenerator::centred(1, 10_000).generate(20_000);
+        assert!(keys.iter().all(|&k| k < 10_000));
+    }
+
+    #[test]
+    fn empirical_mean_close_to_requested() {
+        let keys = NormalGenerator::new(2, 1_000_000, 400_000.0, 50_000.0).generate(100_000);
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        assert!((mean - 400_000.0).abs() < 2_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn empirical_std_dev_close_to_requested() {
+        let keys = NormalGenerator::new(3, 1_000_000, 500_000.0, 30_000.0).generate(100_000);
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        let var = keys.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / keys.len() as f64;
+        let sd = var.sqrt();
+        assert!((sd - 30_000.0).abs() < 1_500.0, "sd {sd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_std_dev_panics() {
+        NormalGenerator::new(0, 10, 5.0, 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = NormalGenerator::centred(7, 1 << 20).generate(100);
+        let b = NormalGenerator::centred(7, 1 << 20).generate(100);
+        assert_eq!(a, b);
+    }
+}

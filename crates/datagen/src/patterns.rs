@@ -1,0 +1,120 @@
+//! Deterministic adversarial key orders.
+//!
+//! OPAQ's error bounds do not depend on the input *order*, but its substrate
+//! algorithms (selection, merging) historically have order-sensitive worst
+//! cases; these generators exercise them.
+
+use crate::KeyGenerator;
+
+/// Which deterministic pattern to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `0, 1, 2, …` — already sorted.
+    Sorted,
+    /// `n-1, n-2, …, 0` — reverse sorted.
+    ReverseSorted,
+    /// `0, 1, …, k, k, …, 1, 0` — ascending then descending ("organ pipe").
+    OrganPipe,
+    /// All keys equal to a constant.
+    Constant(u64),
+    /// `0, k, 1, k+1, …` — two interleaved sorted sequences ("sawtooth").
+    Sawtooth,
+}
+
+/// Generates one of the deterministic [`Pattern`]s.
+#[derive(Debug, Clone)]
+pub struct PatternGenerator {
+    pattern: Pattern,
+    emitted: u64,
+}
+
+impl PatternGenerator {
+    /// Create a generator for `pattern`.
+    pub fn new(pattern: Pattern) -> Self {
+        Self { pattern, emitted: 0 }
+    }
+
+    fn key_at(&self, i: u64, n_hint: u64) -> u64 {
+        match self.pattern {
+            Pattern::Sorted => i,
+            Pattern::ReverseSorted => u64::MAX - i,
+            Pattern::OrganPipe => {
+                let half = n_hint / 2;
+                if i < half {
+                    i
+                } else {
+                    n_hint.saturating_sub(i + 1)
+                }
+            }
+            Pattern::Constant(c) => c,
+            Pattern::Sawtooth => {
+                if i % 2 == 0 {
+                    i / 2
+                } else {
+                    (1 << 32) + i / 2
+                }
+            }
+        }
+    }
+}
+
+impl KeyGenerator for PatternGenerator {
+    fn generate(&mut self, n: usize) -> Vec<u64> {
+        let start = self.emitted;
+        let total_hint = start + n as u64;
+        let out = (0..n as u64).map(|i| self.key_at(start + i, total_hint)).collect();
+        self.emitted += n as u64;
+        out
+    }
+
+    fn label(&self) -> String {
+        match self.pattern {
+            Pattern::Sorted => "sorted".into(),
+            Pattern::ReverseSorted => "reverse-sorted".into(),
+            Pattern::OrganPipe => "organ-pipe".into(),
+            Pattern::Constant(_) => "constant".into(),
+            Pattern::Sawtooth => "sawtooth".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_is_sorted() {
+        let keys = PatternGenerator::new(Pattern::Sorted).generate(1000);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reverse_sorted_is_descending() {
+        let keys = PatternGenerator::new(Pattern::ReverseSorted).generate(1000);
+        assert!(keys.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let keys = PatternGenerator::new(Pattern::Constant(9)).generate(100);
+        assert!(keys.iter().all(|&k| k == 9));
+    }
+
+    #[test]
+    fn organ_pipe_rises_then_falls() {
+        let keys = PatternGenerator::new(Pattern::OrganPipe).generate(10);
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sawtooth_interleaves_two_sorted_streams() {
+        let keys = PatternGenerator::new(Pattern::Sawtooth).generate(6);
+        assert_eq!(keys, vec![0, 1 << 32, 1, (1 << 32) + 1, 2, (1 << 32) + 2]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PatternGenerator::new(Pattern::Sorted).label(), "sorted");
+        assert_eq!(PatternGenerator::new(Pattern::Constant(0)).label(), "constant");
+    }
+}

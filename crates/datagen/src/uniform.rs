@@ -1,0 +1,82 @@
+//! Uniformly distributed keys.
+
+use crate::{rng_from_seed, KeyGenerator};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Generates i.i.d. keys uniform over `[0, domain)`.
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    rng: SmallRng,
+    domain: u64,
+}
+
+impl UniformGenerator {
+    /// Create a generator with the given `seed` over `[0, domain)`.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0`.
+    pub fn new(seed: u64, domain: u64) -> Self {
+        assert!(domain > 0, "key domain must be non-empty");
+        Self { rng: rng_from_seed(seed), domain }
+    }
+
+    /// The key domain size.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+}
+
+impl KeyGenerator for UniformGenerator {
+    fn generate(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.rng.gen_range(0..self.domain)).collect()
+    }
+
+    fn label(&self) -> String {
+        "uniform".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_stay_in_domain() {
+        let keys = UniformGenerator::new(42, 1000).generate(10_000);
+        assert!(keys.iter().all(|&k| k < 1000));
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let domain = 1_000_000u64;
+        let keys = UniformGenerator::new(1, domain).generate(200_000);
+        let mean = keys.iter().copied().map(|k| k as f64).sum::<f64>() / keys.len() as f64;
+        let expected = domain as f64 / 2.0;
+        assert!((mean - expected).abs() < expected * 0.02, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn successive_calls_continue_the_stream() {
+        let mut g = UniformGenerator::new(9, 1 << 30);
+        let first = g.generate(50);
+        let second = g.generate(50);
+        assert_ne!(first, second);
+        let mut h = UniformGenerator::new(9, 1 << 30);
+        let both = h.generate(100);
+        assert_eq!(&both[..50], &first[..]);
+        assert_eq!(&both[50..], &second[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        UniformGenerator::new(0, 0);
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(UniformGenerator::new(0, 10).label(), "uniform");
+    }
+}

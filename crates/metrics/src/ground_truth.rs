@@ -1,0 +1,152 @@
+//! Exact order statistics used as ground truth by every experiment.
+
+/// Exact quantile information for a dataset, computed from a sorted copy.
+///
+/// The φ-quantile of an ordered sequence is defined by the paper as "the
+/// element with rank ⌈φ·n⌉"; [`GroundTruth::quantile_value`] follows that
+/// definition (1-based rank, clamped to `[1, n]`).
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    sorted: Vec<u64>,
+}
+
+impl GroundTruth {
+    /// Build ground truth by sorting a copy of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    pub fn new(data: &[u64]) -> Self {
+        assert!(!data.is_empty(), "ground truth requires a non-empty dataset");
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        Self { sorted }
+    }
+
+    /// Build from data that is already sorted (asserted in debug builds).
+    pub fn from_sorted(sorted: Vec<u64>) -> Self {
+        assert!(!sorted.is_empty(), "ground truth requires a non-empty dataset");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        Self { sorted }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// The sorted data (borrow).
+    pub fn sorted(&self) -> &[u64] {
+        &self.sorted
+    }
+
+    /// The 1-based rank `⌈φ·n⌉` of the φ-quantile, clamped to `[1, n]`.
+    pub fn quantile_rank(&self, phi: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&phi), "phi must be in [0, 1]");
+        let n = self.n();
+        let rank = (phi * n as f64).ceil() as u64;
+        rank.clamp(1, n)
+    }
+
+    /// The exact φ-quantile value.
+    pub fn quantile_value(&self, phi: f64) -> u64 {
+        let rank = self.quantile_rank(phi);
+        self.sorted[(rank - 1) as usize]
+    }
+
+    /// The exact values of the `q`-quantiles `φ = 1/q, …, (q−1)/q`
+    /// (e.g. `q = 10` gives the nine dectiles).
+    pub fn quantiles(&self, q: u64) -> Vec<u64> {
+        assert!(q >= 2, "q must be at least 2");
+        (1..q).map(|i| self.quantile_value(i as f64 / q as f64)).collect()
+    }
+
+    /// Number of elements strictly less than `value`.
+    pub fn rank_lt(&self, value: u64) -> u64 {
+        self.sorted.partition_point(|&x| x < value) as u64
+    }
+
+    /// Number of elements less than or equal to `value`.
+    pub fn rank_le(&self, value: u64) -> u64 {
+        self.sorted.partition_point(|&x| x <= value) as u64
+    }
+
+    /// Number of elements equal to `value`.
+    pub fn count_eq(&self, value: u64) -> u64 {
+        self.rank_le(value) - self.rank_lt(value)
+    }
+
+    /// Number of elements in the closed interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn count_in_closed_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        self.rank_le(hi) - self.rank_lt(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_sequence() {
+        let gt = GroundTruth::new(&[5, 1, 3, 2, 4]);
+        // rank ceil(0.5*5)=3 -> value 3
+        assert_eq!(gt.quantile_value(0.5), 3);
+    }
+
+    #[test]
+    fn dectiles_of_1_to_100() {
+        let data: Vec<u64> = (1..=100).collect();
+        let gt = GroundTruth::new(&data);
+        let dectiles = gt.quantiles(10);
+        assert_eq!(dectiles, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn extreme_phis_clamp() {
+        let gt = GroundTruth::new(&[10, 20, 30]);
+        assert_eq!(gt.quantile_value(0.0), 10, "phi=0 clamps to rank 1");
+        assert_eq!(gt.quantile_value(1.0), 30);
+    }
+
+    #[test]
+    fn ranks_and_counts_with_duplicates() {
+        let gt = GroundTruth::new(&[1, 2, 2, 2, 3, 5]);
+        assert_eq!(gt.rank_lt(2), 1);
+        assert_eq!(gt.rank_le(2), 4);
+        assert_eq!(gt.count_eq(2), 3);
+        assert_eq!(gt.count_eq(4), 0);
+        assert_eq!(gt.count_in_closed_range(2, 3), 4);
+        assert_eq!(gt.count_in_closed_range(0, 100), 6);
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let data: Vec<u64> = vec![9, 4, 6, 1];
+        let a = GroundTruth::new(&data);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let b = GroundTruth::from_sorted(sorted);
+        assert_eq!(a.quantiles(4), b.quantiles(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_data_panics() {
+        GroundTruth::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in [0, 1]")]
+    fn bad_phi_panics() {
+        GroundTruth::new(&[1]).quantile_rank(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        GroundTruth::new(&[1, 2]).count_in_closed_range(3, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error metrics, ground truth and timing instrumentation for the OPAQ
+//! reproduction.
+//!
+//! Section 2.4 of the paper quantifies estimation error with three measures
+//! (Figure 2 defines the terms):
+//!
+//! * **RER_A** — `(Ne − Nt)/n · 100`, where `Ne` is the number of elements
+//!   between the estimated lower and upper bounds and `Nt` the number of
+//!   duplicates of the exact quantile value between those bounds.  Reported
+//!   per dectile ("A for Almaden": the measure used by `[AS95]`).
+//! * **RER_L** — the maximum over quantiles of the relative difference
+//!   between the number of elements separating successive *true* quantiles
+//!   and the number separating successive *estimated* bounds ("L for Load
+//!   balancing").
+//! * **RER_N** — the maximum over quantiles of the number of elements between
+//!   a true quantile and its estimated bound, normalised by `n/q`
+//!   ("N for Normalised").
+//!
+//! This crate computes all three from a sorted copy of the data plus the
+//! estimated bounds, provides exact ground-truth quantiles, a phase timer
+//! for the Table 11/12 breakdowns, and a fixed-width text-table builder used
+//! by every experiment binary.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error_rates;
+pub mod ground_truth;
+pub mod table;
+pub mod timing;
+
+pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, RelativeErrorRates};
+pub use ground_truth::GroundTruth;
+pub use table::{fmt2, TextTable};
+pub use timing::{PhaseBreakdown, PhaseTimer};

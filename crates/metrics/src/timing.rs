@@ -1,0 +1,175 @@
+//! Phase timing for the Table 11 / Table 12 breakdowns.
+//!
+//! The paper reports the fraction of total execution time spent in I/O,
+//! sampling, local merging and global merging.  [`PhaseTimer`] accumulates
+//! named durations (measured or modelled) and [`PhaseBreakdown`] turns them
+//! into fractions of the total.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Accumulates named phase durations.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `duration` to the named phase (creating it if needed).
+    pub fn add(&mut self, phase: &str, duration: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(name, _)| name == phase) {
+            entry.1 += duration;
+        } else {
+            self.phases.push((phase.to_string(), duration));
+        }
+    }
+
+    /// Time the closure and charge its wall-clock duration to `phase`,
+    /// returning the closure's result.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(phase, start.elapsed());
+        out
+    }
+
+    /// Total accumulated time across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// The accumulated time of one phase (zero if the phase never ran).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|(name, _)| name == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Produce the fraction-of-total breakdown.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        let total = self.total();
+        let total_secs = total.as_secs_f64();
+        let phases = self
+            .phases
+            .iter()
+            .map(|(name, d)| {
+                let fraction = if total_secs > 0.0 { d.as_secs_f64() / total_secs } else { 0.0 };
+                (name.clone(), d.as_secs_f64(), fraction)
+            })
+            .collect();
+        PhaseBreakdown { total_seconds: total_secs, phases }
+    }
+
+    /// Merge another timer's phases into this one (used to combine
+    /// per-processor timers into a machine-wide maximum is *not* what this
+    /// does — it sums; see `PhaseBreakdown` consumers for per-processor
+    /// handling).
+    pub fn merge(&mut self, other: &PhaseTimer) {
+        for (name, d) in &other.phases {
+            self.add(name, *d);
+        }
+    }
+}
+
+/// Phase durations expressed as seconds and fractions of the total.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Total seconds across all phases.
+    pub total_seconds: f64,
+    /// `(phase name, seconds, fraction of total)` in insertion order.
+    pub phases: Vec<(String, f64, f64)>,
+}
+
+impl PhaseBreakdown {
+    /// Fraction of the total attributed to `phase` (zero if absent).
+    pub fn fraction(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(name, _, _)| name == phase)
+            .map(|(_, _, f)| *f)
+            .unwrap_or(0.0)
+    }
+
+    /// Seconds attributed to `phase` (zero if absent).
+    pub fn seconds(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(name, _, _)| name == phase)
+            .map(|(_, s, _)| *s)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut t = PhaseTimer::new();
+        t.add("io", Duration::from_millis(300));
+        t.add("sampling", Duration::from_millis(500));
+        t.add("io", Duration::from_millis(200));
+        assert_eq!(t.total(), Duration::from_millis(1000));
+        assert_eq!(t.get("io"), Duration::from_millis(500));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut t = PhaseTimer::new();
+        t.add("a", Duration::from_millis(250));
+        t.add("b", Duration::from_millis(750));
+        let b = t.breakdown();
+        assert!((b.fraction("a") - 0.25).abs() < 1e-9);
+        assert!((b.fraction("b") - 0.75).abs() < 1e-9);
+        let sum: f64 = b.phases.iter().map(|(_, _, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timer_breakdown_is_zero() {
+        let b = PhaseTimer::new().breakdown();
+        assert_eq!(b.total_seconds, 0.0);
+        assert_eq!(b.fraction("anything"), 0.0);
+    }
+
+    #[test]
+    fn time_closure_records_and_returns() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("compute", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(t.get("compute") >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn merge_sums_phases() {
+        let mut a = PhaseTimer::new();
+        a.add("io", Duration::from_secs(1));
+        let mut b = PhaseTimer::new();
+        b.add("io", Duration::from_secs(2));
+        b.add("merge", Duration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.get("io"), Duration::from_secs(3));
+        assert_eq!(a.get("merge"), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn breakdown_seconds_lookup() {
+        let mut t = PhaseTimer::new();
+        t.add("x", Duration::from_millis(1500));
+        let b = t.breakdown();
+        assert!((b.seconds("x") - 1.5).abs() < 1e-9);
+        assert_eq!(b.seconds("y"), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Bitonic merge of `p` distributed sorted lists.
+//!
+//! The paper's first global-merge option: "These are variations of the
+//! Bitonic sort … the only difference between Bitonic sort and Bitonic merge
+//! is that the initial sorting step is not required because the local lists
+//! are already sorted."  We implement the classic block-bitonic network
+//! (Batcher's network over processors, compare-split over whole blocks, as
+//! in Kumar–Grama–Gupta–Karypis): every processor keeps its block sorted
+//! ascending; a compare-split step exchanges blocks with the partner, merges
+//! them, and keeps either the smallest or the largest `len` elements.
+//!
+//! Requires `p` to be a power of two (the paper's experiments use 1–16
+//! processors, all powers of two).
+
+use crate::machine::{Machine, ProcessorCtx};
+
+/// Merge `p = lists.len()` locally sorted lists into a globally sorted
+/// sequence, distributed across the same `p` processors (processor `i`
+/// returns slot `i` of the output; the concatenation of the slots is sorted).
+///
+/// Each processor keeps exactly its original number of elements.
+///
+/// # Panics
+/// Panics if `lists.len()` is not a power of two, does not match the
+/// machine's processor count, or any list is unsorted (debug builds only).
+pub fn bitonic_merge<T>(machine: &Machine, lists: Vec<Vec<T>>) -> Vec<Vec<T>>
+where
+    T: Ord + Clone + Send + Sync,
+{
+    let p = machine.p();
+    assert_eq!(lists.len(), p, "one list per processor is required");
+    assert!(p.is_power_of_two(), "bitonic merge requires a power-of-two processor count");
+    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])), "lists must be sorted");
+    if p == 1 {
+        return lists;
+    }
+
+    let results = machine.run::<Vec<T>, Vec<T>, _>(|ctx| {
+        let mut block = lists[ctx.id()].clone();
+        let id = ctx.id();
+        let stages = p.trailing_zeros();
+        for k in 1..=stages {
+            for j in (0..k).rev() {
+                let partner = id ^ (1usize << j);
+                // Ascending region if the k-th bit of id is 0.
+                let ascending = id & (1usize << k) == 0;
+                let keep_low = ascending == (id < partner);
+                block = compare_split(ctx, block, partner, keep_low);
+            }
+        }
+        block
+    });
+    results.into_iter().map(|(block, _)| block).collect()
+}
+
+/// One compare-split step: exchange blocks with `partner`, merge, keep either
+/// the lowest or the highest `my_len` elements.
+fn compare_split<T>(ctx: &mut ProcessorCtx<Vec<T>>, block: Vec<T>, partner: usize, keep_low: bool) -> Vec<T>
+where
+    T: Ord + Clone + Send,
+{
+    let my_len = block.len();
+    ctx.send(partner, my_len as u64, block.clone());
+    let theirs = ctx.recv_from(partner);
+    let merged = merge_sorted(block, theirs);
+    if keep_low {
+        merged[..my_len].to_vec()
+    } else {
+        merged[merged.len() - my_len..].to_vec()
+    }
+}
+
+/// Merge two sorted vectors.
+fn merge_sorted<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    fn check_global_sort(p: usize, lists: Vec<Vec<u64>>) {
+        let machine = Machine::new(p, CostModel::sp2());
+        let mut expected: Vec<u64> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
+        let out = bitonic_merge(&machine, lists);
+        assert_eq!(out.len(), p);
+        for (i, block) in out.iter().enumerate() {
+            assert_eq!(block.len(), sizes[i], "processor {i} keeps its element count");
+        }
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn merges_equal_blocks() {
+        let lists: Vec<Vec<u64>> = vec![
+            vec![1, 5, 9, 13],
+            vec![2, 6, 10, 14],
+            vec![3, 7, 11, 15],
+            vec![4, 8, 12, 16],
+        ];
+        check_global_sort(4, lists);
+    }
+
+    #[test]
+    fn merges_disjoint_ranges_already_in_place() {
+        let lists: Vec<Vec<u64>> = vec![vec![0, 1, 2], vec![10, 11, 12], vec![20, 21, 22], vec![30, 31, 32]];
+        check_global_sort(4, lists);
+    }
+
+    #[test]
+    fn merges_reverse_placed_ranges() {
+        let lists: Vec<Vec<u64>> = vec![vec![30, 31, 32], vec![20, 21, 22], vec![10, 11, 12], vec![0, 1, 2]];
+        check_global_sort(4, lists);
+    }
+
+    #[test]
+    fn merges_with_duplicates_and_unequal_sizes() {
+        let lists: Vec<Vec<u64>> = vec![
+            vec![5; 10],
+            vec![1, 5, 5, 9],
+            vec![0, 2, 4, 6, 8, 10, 12, 14],
+            vec![5, 7],
+        ];
+        check_global_sort(4, lists);
+    }
+
+    #[test]
+    fn merges_larger_pseudorandom_lists_on_8_processors() {
+        let lists: Vec<Vec<u64>> = (0..8)
+            .map(|pid| {
+                let mut l: Vec<u64> = (0..500u64).map(|i| (i * 2654435761 + pid * 977) % 100_000).collect();
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        check_global_sort(8, lists);
+    }
+
+    #[test]
+    fn two_processors() {
+        check_global_sort(2, vec![vec![4, 5, 6], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn single_processor_is_identity() {
+        let machine = Machine::new(1, CostModel::sp2());
+        let out = bitonic_merge(&machine, vec![vec![3u64, 4, 5]]);
+        assert_eq!(out, vec![vec![3, 4, 5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        let machine = Machine::new(3, CostModel::sp2());
+        let _ = bitonic_merge(&machine, vec![vec![1u64], vec![2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one list per processor")]
+    fn wrong_list_count_panics() {
+        let machine = Machine::new(2, CostModel::sp2());
+        let _ = bitonic_merge(&machine, vec![vec![1u64]]);
+    }
+}

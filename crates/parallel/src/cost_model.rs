@@ -1,0 +1,126 @@
+//! The paper's two-level machine model.
+//!
+//! "The two-level model assumes a fixed cost for an off-processor access
+//! independent of the distance between the communicating processors.  A unit
+//! computation local to a processor has a cost of δ.  Communication between
+//! processors has a start-up overhead of τ, while the data transfer rate is
+//! 1/μ."  The model lets us report *modelled* communication and computation
+//! times for the merge algorithms (Table 8) alongside measured wall-clock.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Two-level cost model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one unit of local computation (the paper's δ), in seconds.
+    pub delta: f64,
+    /// Start-up overhead of one message (the paper's τ), in seconds.
+    pub tau: f64,
+    /// Per-word transfer time (the paper's μ), in seconds.
+    pub mu: f64,
+}
+
+impl CostModel {
+    /// Parameters loosely calibrated to the IBM SP-2's switch: ~40 µs message
+    /// latency, ~35 MB/s per-link bandwidth (≈ 0.11 µs per 4-byte word), and
+    /// a ~10 ns unit computation (RS/6000-390 class core).
+    pub fn sp2() -> Self {
+        Self { delta: 10e-9, tau: 40e-6, mu: 0.11e-6 }
+    }
+
+    /// Modelled cost of sending one message of `words` words.
+    pub fn message(&self, words: u64) -> Duration {
+        Duration::from_secs_f64(self.tau + self.mu * words as f64)
+    }
+
+    /// Modelled cost of `units` units of local computation.
+    pub fn compute(&self, units: u64) -> Duration {
+        Duration::from_secs_f64(self.delta * units as f64)
+    }
+
+    /// Analytical cost of the **bitonic merge** of `p` lists of `x` elements
+    /// each (Table 8): `O(δ·x·(1+log p)·log p + (1+log p)·log p·(τ + μ·x))`.
+    pub fn bitonic_merge_cost(&self, p: u64, x: u64) -> Duration {
+        if p <= 1 {
+            return Duration::ZERO;
+        }
+        let logp = (p as f64).log2();
+        let stages = (1.0 + logp) * logp;
+        Duration::from_secs_f64(
+            self.delta * (x as f64) * stages + stages * (self.tau + self.mu * x as f64),
+        )
+    }
+
+    /// Analytical cost of the **sample merge** of `p` lists of `x` elements
+    /// each with a secondary sample of `s2` pivot candidates per processor
+    /// (Table 8): `O(δ·(s2 + (p−1)·log x + x·log p) + (1+log p)·log p·(τ + μ·s2)
+    /// + 2·(τ·p + μ·x))` with the bucket-expansion factor folded into `x`.
+    pub fn sample_merge_cost(&self, p: u64, x: u64, s2: u64) -> Duration {
+        if p <= 1 {
+            return Duration::ZERO;
+        }
+        let logp = (p as f64).log2();
+        let logx = (x.max(2) as f64).log2();
+        let compute = self.delta * (s2 as f64 + (p as f64 - 1.0) * logx + x as f64 * logp);
+        let gather = (1.0 + logp) * logp * (self.tau + self.mu * s2 as f64);
+        let exchange = 2.0 * (self.tau * p as f64 + self.mu * x as f64);
+        Duration::from_secs_f64(compute + gather + exchange)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::sp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_is_affine_in_words() {
+        let m = CostModel { delta: 0.0, tau: 1.0, mu: 0.5 };
+        assert_eq!(m.message(0), Duration::from_secs_f64(1.0));
+        assert_eq!(m.message(4), Duration::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn compute_cost_scales_linearly() {
+        let m = CostModel { delta: 2e-9, tau: 0.0, mu: 0.0 };
+        assert_eq!(m.compute(1_000_000), Duration::from_secs_f64(2e-3));
+    }
+
+    #[test]
+    fn single_processor_merges_are_free() {
+        let m = CostModel::sp2();
+        assert_eq!(m.bitonic_merge_cost(1, 1000), Duration::ZERO);
+        assert_eq!(m.sample_merge_cost(1, 1000, 64), Duration::ZERO);
+    }
+
+    #[test]
+    fn bitonic_wins_for_small_lists_sample_wins_for_large() {
+        // The paper: "We expect the Bitonic merge to have better performance
+        // for small data sets and small number of processors.  In other cases
+        // the sample merge should perform better."
+        let m = CostModel::sp2();
+        let p = 8;
+        let small = 128u64;
+        let large = 1 << 20;
+        assert!(m.bitonic_merge_cost(p, small) < m.sample_merge_cost(p, small, 64));
+        assert!(m.bitonic_merge_cost(p, large) > m.sample_merge_cost(p, large, 64));
+    }
+
+    #[test]
+    fn costs_grow_with_p_and_x() {
+        let m = CostModel::sp2();
+        assert!(m.bitonic_merge_cost(16, 1000) > m.bitonic_merge_cost(4, 1000));
+        assert!(m.sample_merge_cost(8, 10_000, 64) > m.sample_merge_cost(8, 1000, 64));
+    }
+
+    #[test]
+    fn default_is_sp2() {
+        assert_eq!(CostModel::default(), CostModel::sp2());
+    }
+}

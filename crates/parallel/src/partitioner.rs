@@ -1,0 +1,121 @@
+//! Data partitioning helpers.
+//!
+//! Two flavours are useful around OPAQ:
+//!
+//! * [`block_partition`] — split a dataset into `p` contiguous blocks, the
+//!   way the experiments distribute `n/p` elements to each processor.
+//! * [`quantile_partition`] — use an OPAQ sketch's quantile estimates as
+//!   splitter values so that each of the `p` ranges holds roughly the same
+//!   number of elements; this is the "load balancing many parallel
+//!   applications" / external-sorting use case the introduction motivates
+//!   (`[DNS91]`).
+
+use opaq_core::{Key, OpaqResult, QuantileSketch};
+
+/// Split `data` into `p` contiguous blocks whose sizes differ by at most one.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn block_partition<K: Clone>(data: &[K], p: usize) -> Vec<Vec<K>> {
+    assert!(p > 0, "at least one partition is required");
+    let n = data.len();
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        out.push(data[start..start + len].to_vec());
+        start += len;
+    }
+    out
+}
+
+/// Derive `p − 1` splitter values from a sketch so that the `p` resulting
+/// key ranges hold approximately `n/p` elements each.
+///
+/// The splitters are the upper bounds of the `i/p` quantile estimates, which
+/// guarantees (by Lemma 2) that at most `n/s` elements per splitter can end
+/// up on the "wrong" side relative to an exact split.
+///
+/// # Errors
+/// Propagates estimation errors (empty sketch, `p < 2` is reported as an
+/// invalid quantile configuration).
+pub fn quantile_partition<K: Key>(sketch: &QuantileSketch<K>, p: u64) -> OpaqResult<Vec<K>> {
+    Ok(sketch.estimate_q_quantiles(p)?.into_iter().map(|e| e.upper).collect())
+}
+
+/// Assign every key of `data` to its bucket under the given splitters
+/// (bucket `i` receives keys `≤ splitters[i]`, the last bucket the rest).
+pub fn scatter_by_splitters<K: Ord + Clone>(data: &[K], splitters: &[K]) -> Vec<Vec<K>> {
+    let mut out = vec![Vec::new(); splitters.len() + 1];
+    for key in data {
+        let bucket = splitters.partition_point(|s| s < key);
+        out[bucket].push(key.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_core::{OpaqConfig, OpaqEstimator};
+    use opaq_storage::MemRunStore;
+
+    #[test]
+    fn block_partition_sizes_balanced() {
+        let data: Vec<u64> = (0..103).collect();
+        let parts = block_partition(&data, 4);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+        let flat: Vec<u64> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, data);
+    }
+
+    #[test]
+    fn block_partition_more_parts_than_elements() {
+        let parts = block_partition(&[1u64, 2], 5);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+        assert_eq!(parts.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        block_partition::<u64>(&[], 0);
+    }
+
+    #[test]
+    fn quantile_partition_balances_buckets() {
+        let data: Vec<u64> = (0..50_000).map(|i| (i * 48271) % 1_000_003).collect();
+        let store = MemRunStore::new(data.clone(), 5000);
+        let config = OpaqConfig::builder().run_length(5000).sample_size(500).build().unwrap();
+        let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+        let p = 8u64;
+        let splitters = quantile_partition(&sketch, p).unwrap();
+        assert_eq!(splitters.len(), 7);
+        assert!(splitters.windows(2).all(|w| w[0] <= w[1]));
+
+        let buckets = scatter_by_splitters(&data, &splitters);
+        let fair = data.len() as f64 / p as f64;
+        for (i, b) in buckets.iter().enumerate() {
+            let deviation = (b.len() as f64 - fair).abs() / fair;
+            assert!(deviation < 0.15, "bucket {i} holds {} elements (fair share {fair})", b.len());
+        }
+    }
+
+    #[test]
+    fn scatter_respects_splitter_boundaries() {
+        let buckets = scatter_by_splitters(&[1, 2, 3, 4, 5, 6], &[2, 4]);
+        assert_eq!(buckets, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    fn quantile_partition_rejects_p_below_two() {
+        let store = MemRunStore::new((0u64..100).collect(), 10);
+        let config = OpaqConfig::builder().run_length(10).sample_size(5).build().unwrap();
+        let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+        assert!(quantile_partition(&sketch, 1).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Sample merge of `p` distributed sorted lists (PSRS-style).
+//!
+//! The paper's second global-merge option, derived from sample sort /
+//! parallel sorting by regular sampling (`[LLS+93]`): because every local
+//! list is already sorted, only the splitter selection, the all-to-all
+//! exchange and the final local merges remain.
+//!
+//! 1. every processor picks `p` regular samples of its local sorted list and
+//!    sends them to processor 0;
+//! 2. processor 0 sorts the `p²` candidates, picks `p − 1` regular splitters
+//!    and broadcasts them;
+//! 3. every processor partitions its list by the splitters and sends piece
+//!    `j` to processor `j` (the all-to-all);
+//! 4. every processor k-way merges the pieces it received.
+//!
+//! The output is globally sorted across processors; per-processor sizes may
+//! differ by the usual bucket-expansion factor (bounded by ~3/2 for regular
+//! sampling).
+
+use crate::machine::Machine;
+
+/// Messages exchanged during the sample merge.
+enum Msg<T> {
+    /// Pivot candidates sent to processor 0.
+    Candidates(Vec<T>),
+    /// Splitters broadcast from processor 0.
+    Splitters(Vec<T>),
+    /// A partition destined for its bucket owner.
+    Partition(Vec<T>),
+}
+
+/// Merge `p = lists.len()` locally sorted lists into a globally sorted
+/// sequence distributed across the same `p` processors.
+///
+/// Unlike [`crate::bitonic_merge`], any processor count is supported, but
+/// per-processor output sizes are only approximately balanced.
+///
+/// # Panics
+/// Panics if `lists.len()` does not match the machine's processor count or
+/// (in debug builds) if any list is unsorted.
+pub fn sample_merge<T>(machine: &Machine, lists: Vec<Vec<T>>) -> Vec<Vec<T>>
+where
+    T: Ord + Clone + Send + Sync,
+{
+    let p = machine.p();
+    assert_eq!(lists.len(), p, "one list per processor is required");
+    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])), "lists must be sorted");
+    if p == 1 {
+        return lists;
+    }
+
+    let results = machine.run::<Msg<T>, Vec<T>, _>(|ctx| {
+        let id = ctx.id();
+        let local = &lists[id];
+
+        // --- step 1: regular samples of the local list -> processor 0 ------
+        let candidates = regular_samples(local, p);
+        let words = candidates.len() as u64;
+        ctx.send(0, words, Msg::Candidates(candidates));
+
+        // --- step 2: processor 0 selects and broadcasts the splitters ------
+        let splitters: Vec<T> = if id == 0 {
+            let mut all: Vec<T> = Vec::with_capacity(p * p);
+            for src in 0..p {
+                match ctx.recv_from(src) {
+                    Msg::Candidates(c) => all.extend(c),
+                    _ => unreachable!("processor 0 expects candidates first"),
+                }
+            }
+            all.sort_unstable();
+            let splitters = regular_splitters(&all, p);
+            for dst in 0..p {
+                ctx.send(dst, splitters.len() as u64, Msg::Splitters(splitters.clone()));
+            }
+            splitters
+        } else {
+            match ctx.recv_from(0) {
+                Msg::Splitters(s) => s,
+                _ => unreachable!("non-root processors expect splitters first from 0"),
+            }
+        };
+        // Processor 0 also sent the splitters to itself; drain that message.
+        if id == 0 {
+            match ctx.recv_from(0) {
+                Msg::Splitters(_) => {}
+                _ => unreachable!("self-broadcast must be splitters"),
+            }
+        }
+
+        // --- step 3: partition the local list and exchange ------------------
+        let partitions = partition_by_splitters(local, &splitters);
+        debug_assert_eq!(partitions.len(), p);
+        for (dst, part) in partitions.into_iter().enumerate() {
+            let words = part.len() as u64;
+            ctx.send(dst, words, Msg::Partition(part));
+        }
+
+        // --- step 4: k-way merge of the received pieces ----------------------
+        let mut pieces: Vec<Vec<T>> = Vec::with_capacity(p);
+        for src in 0..p {
+            match ctx.recv_from(src) {
+                Msg::Partition(part) => pieces.push(part),
+                _ => unreachable!("after splitters only partitions are exchanged"),
+            }
+        }
+        merge_k_sorted(pieces)
+    });
+    results.into_iter().map(|(block, _)| block).collect()
+}
+
+/// `count` regular samples (last element always included when non-empty).
+fn regular_samples<T: Clone>(sorted: &[T], count: usize) -> Vec<T> {
+    if sorted.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    (1..=count.min(n))
+        .map(|i| sorted[(i * n).div_ceil(count.min(n)) - 1].clone())
+        .collect()
+}
+
+/// `p − 1` regular splitters of the sorted candidate list.
+fn regular_splitters<T: Clone>(sorted: &[T], p: usize) -> Vec<T> {
+    if sorted.is_empty() || p <= 1 {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    (1..p).map(|i| sorted[(i * n / p).min(n - 1)].clone()).collect()
+}
+
+/// Split a sorted list into `splitters.len() + 1` sorted pieces such that
+/// piece `j` holds the elements in `(splitter[j-1], splitter[j]]`-ish ranges
+/// (boundary elements go to the lower bucket, keeping the split stable).
+fn partition_by_splitters<T: Ord + Clone>(sorted: &[T], splitters: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(splitters.len() + 1);
+    let mut start = 0usize;
+    for s in splitters {
+        let end = start + sorted[start..].partition_point(|x| x <= s);
+        out.push(sorted[start..end].to_vec());
+        start = end;
+    }
+    out.push(sorted[start..].to_vec());
+    out
+}
+
+/// Merge `k` sorted vectors (simple repeated two-way merge over a small `k`).
+fn merge_k_sorted<T: Ord + Clone>(mut pieces: Vec<Vec<T>>) -> Vec<T> {
+    while pieces.len() > 1 {
+        let mut next = Vec::with_capacity(pieces.len().div_ceil(2));
+        let mut iter = pieces.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        pieces = next;
+    }
+    pieces.pop().unwrap_or_default()
+}
+
+fn merge_two<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    out.push(a.next().expect("peeked"));
+                } else {
+                    out.push(b.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CostModel;
+
+    fn check_global_sort(p: usize, lists: Vec<Vec<u64>>) {
+        let machine = Machine::new(p, CostModel::sp2());
+        let mut expected: Vec<u64> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        let out = sample_merge(&machine, lists);
+        assert_eq!(out.len(), p);
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn merges_equal_blocks() {
+        check_global_sort(
+            4,
+            vec![vec![1, 5, 9, 13], vec![2, 6, 10, 14], vec![3, 7, 11, 15], vec![4, 8, 12, 16]],
+        );
+    }
+
+    #[test]
+    fn works_for_non_power_of_two_processors() {
+        check_global_sort(3, vec![vec![9, 10, 11], vec![0, 5, 20], vec![1, 2, 3]]);
+        check_global_sort(5, vec![vec![1, 2], vec![3], vec![0, 10], vec![7, 8, 9], vec![4, 5, 6]]);
+    }
+
+    #[test]
+    fn merges_duplicate_heavy_lists() {
+        check_global_sort(4, vec![vec![5; 50], vec![5; 10], vec![1, 5, 9], vec![5, 5, 5, 7]]);
+    }
+
+    #[test]
+    fn merges_empty_and_tiny_lists() {
+        check_global_sort(4, vec![vec![], vec![3], vec![], vec![1, 2]]);
+    }
+
+    #[test]
+    fn merges_larger_pseudorandom_lists_on_8_processors() {
+        let lists: Vec<Vec<u64>> = (0..8)
+            .map(|pid| {
+                let mut l: Vec<u64> = (0..1000u64).map(|i| (i * 48271 + pid * 131) % 65_536).collect();
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        check_global_sort(8, lists);
+    }
+
+    #[test]
+    fn output_sizes_are_roughly_balanced_for_uniform_data() {
+        let p = 4;
+        let lists: Vec<Vec<u64>> = (0..p as u64)
+            .map(|pid| {
+                let mut l: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761 + pid) % 1_000_000).collect();
+                l.sort_unstable();
+                l
+            })
+            .collect();
+        let machine = Machine::new(p, CostModel::sp2());
+        let out = sample_merge(&machine, lists);
+        let per = 2000usize;
+        for (i, block) in out.iter().enumerate() {
+            assert!(
+                block.len() <= per * 2,
+                "bucket {i} holds {} elements, more than twice the fair share",
+                block.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_is_identity() {
+        let machine = Machine::new(1, CostModel::sp2());
+        let out = sample_merge(&machine, vec![vec![1u64, 2, 3]]);
+        assert_eq!(out, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn helper_regular_samples() {
+        assert_eq!(regular_samples(&[1, 2, 3, 4, 5, 6, 7, 8], 4), vec![2, 4, 6, 8]);
+        assert_eq!(regular_samples::<u64>(&[], 4), Vec::<u64>::new());
+        assert_eq!(regular_samples(&[7], 4), vec![7]);
+    }
+
+    #[test]
+    fn helper_partition_by_splitters() {
+        let parts = partition_by_splitters(&[1, 2, 3, 4, 5, 6], &[2, 4]);
+        assert_eq!(parts, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        let parts = partition_by_splitters(&[5, 5, 5], &[5]);
+        assert_eq!(parts, vec![vec![5, 5, 5], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one list per processor")]
+    fn wrong_list_count_panics() {
+        let machine = Machine::new(2, CostModel::sp2());
+        let _ = sample_merge(&machine, vec![vec![1u64]]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Scalability bookkeeping for the Figure 4–6 experiments.
+//!
+//! The paper evaluates three scalability properties:
+//!
+//! * **scale-up** (Figure 4): per-processor data fixed, `p` grows — total
+//!   time should stay flat;
+//! * **size-up** (Figure 5): `p` fixed, per-processor data grows — total
+//!   time should grow linearly;
+//! * **speed-up** (Figure 6): total data fixed, `p` grows — time should drop
+//!   as `1/p`.
+//!
+//! [`ScalingReport`] holds a series of `(p, n, time)` points and derives the
+//! figures' y-axes.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One measured point of a scalability sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of processors.
+    pub processors: usize,
+    /// Total number of elements across all processors.
+    pub total_elements: u64,
+    /// Total execution time (modelled or measured, consistently per sweep).
+    pub time: Duration,
+}
+
+/// A series of scalability points, ordered as collected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// The collected points.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// Create an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one point.
+    pub fn push(&mut self, processors: usize, total_elements: u64, time: Duration) {
+        self.points.push(ScalingPoint { processors, total_elements, time });
+    }
+
+    /// Speed-up relative to the first point (typically `p = 1`):
+    /// `speedup_i = time_0 / time_i`.
+    ///
+    /// Returns an empty vector if no points were collected.
+    pub fn speedups(&self) -> Vec<f64> {
+        let Some(base) = self.points.first() else { return Vec::new() };
+        self.points
+            .iter()
+            .map(|p| base.time.as_secs_f64() / p.time.as_secs_f64().max(f64::MIN_POSITIVE))
+            .collect()
+    }
+
+    /// Parallel efficiency: `speedup_i / (p_i / p_0)`.
+    pub fn efficiencies(&self) -> Vec<f64> {
+        let Some(base) = self.points.first() else { return Vec::new() };
+        self.speedups()
+            .iter()
+            .zip(&self.points)
+            .map(|(s, p)| s / (p.processors as f64 / base.processors as f64))
+            .collect()
+    }
+
+    /// Scale-up metric: `time_0 / time_i` when both `p` and `n` grow by the
+    /// same factor (1.0 = perfect scale-up, the flat line of Figure 4).
+    pub fn scaleups(&self) -> Vec<f64> {
+        self.speedups()
+    }
+
+    /// Throughput (elements per second) of each point — the natural size-up
+    /// y-axis: flat throughput means linear size-up (Figure 5).
+    pub fn throughputs(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|p| p.total_elements as f64 / p.time.as_secs_f64().max(f64::MIN_POSITIVE))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_relative_to_first_point() {
+        let mut r = ScalingReport::new();
+        r.push(1, 1000, Duration::from_secs(8));
+        r.push(2, 1000, Duration::from_secs(4));
+        r.push(4, 1000, Duration::from_secs(2));
+        assert_eq!(r.speedups(), vec![1.0, 2.0, 4.0]);
+        assert_eq!(r.efficiencies(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn imperfect_speedup_has_lower_efficiency() {
+        let mut r = ScalingReport::new();
+        r.push(1, 1000, Duration::from_secs(8));
+        r.push(4, 1000, Duration::from_secs(4));
+        assert_eq!(r.speedups(), vec![1.0, 2.0]);
+        assert_eq!(r.efficiencies(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn throughputs_for_sizeup() {
+        let mut r = ScalingReport::new();
+        r.push(4, 1000, Duration::from_secs(1));
+        r.push(4, 2000, Duration::from_secs(2));
+        let t = r.throughputs();
+        assert!((t[0] - t[1]).abs() < 1e-9, "linear size-up means flat throughput");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ScalingReport::new();
+        assert!(r.speedups().is_empty());
+        assert!(r.efficiencies().is_empty());
+        assert!(r.throughputs().is_empty());
+    }
+
+    #[test]
+    fn scaleup_alias() {
+        let mut r = ScalingReport::new();
+        r.push(1, 1000, Duration::from_secs(5));
+        r.push(2, 2000, Duration::from_secs(5));
+        assert_eq!(r.scaleups(), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the distributed merge algorithms: for any input
+//! lists, the concatenation of the per-processor outputs must equal the
+//! sorted concatenation of the inputs.
+
+use opaq_parallel::{bitonic_merge, sample_merge, CostModel, Machine};
+use proptest::prelude::*;
+
+fn sorted_lists(p: usize, raw: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    (0..p)
+        .map(|i| {
+            let mut l = raw.get(i).cloned().unwrap_or_default();
+            l.sort_unstable();
+            l
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitonic_merge_globally_sorts(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..200), 1..9),
+        p_exp in 1u32..4,
+    ) {
+        let p = 1usize << p_exp; // 2, 4, 8
+        let lists = sorted_lists(p, &raw);
+        let mut expected: Vec<u64> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
+
+        let machine = Machine::new(p, CostModel::sp2());
+        let out = bitonic_merge(&machine, lists);
+        prop_assert_eq!(out.iter().map(Vec::len).collect::<Vec<_>>(), sizes,
+            "bitonic keeps per-processor sizes");
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn sample_merge_globally_sorts(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..200), 1..7),
+        p in 2usize..7,
+    ) {
+        let lists = sorted_lists(p, &raw);
+        let mut expected: Vec<u64> = lists.iter().flatten().copied().collect();
+        expected.sort_unstable();
+
+        let machine = Machine::new(p, CostModel::sp2());
+        let out = sample_merge(&machine, lists);
+        prop_assert_eq!(out.len(), p);
+        // Each block must itself be sorted and blocks must not overlap.
+        for w in out.windows(2) {
+            if let (Some(last), Some(first)) = (w[0].last(), w[1].first()) {
+                prop_assert!(last <= first, "blocks must be range-disjoint");
+            }
+        }
+        let flat: Vec<u64> = out.into_iter().flatten().collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn both_merges_agree_on_identical_input(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u32>(), 1..100), 4..5),
+    ) {
+        let p = 4usize;
+        let lists: Vec<Vec<u64>> = sorted_lists(p, &raw.iter()
+            .map(|l| l.iter().map(|&x| x as u64).collect())
+            .collect::<Vec<_>>());
+        let machine = Machine::new(p, CostModel::sp2());
+        let a: Vec<u64> = bitonic_merge(&machine, lists.clone()).into_iter().flatten().collect();
+        let b: Vec<u64> = sample_merge(&machine, lists).into_iter().flatten().collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Selection algorithms used by the OPAQ sampling phase.
+//!
+//! The OPAQ paper (Alsabti, Ranka, Singh — VLDB 1997) derives `s` *regular
+//! samples* from every in-memory run of `m` elements: the elements of exact
+//! rank `m/s, 2m/s, …, m` within the run.  Finding a single rank is the
+//! classical *selection problem*; finding all `s` ranks at once is a
+//! *multi-selection* problem which the paper solves in `O(m log s)` by
+//! recursive median splitting (§2.1).
+//!
+//! This crate provides the complete substrate:
+//!
+//! * [`median_of_medians`] — the deterministic worst-case `O(n)` algorithm of
+//!   Blum, Floyd, Pratt, Rivest and Tarjan (cited as `[ea72]` in the paper).
+//! * [`floyd_rivest`] — the expected `O(n)` randomized SELECT algorithm of
+//!   Floyd and Rivest (cited as `[FR75]`).
+//! * [`quickselect`] — a pragmatic randomized quickselect used as the default
+//!   strategy (small constants, in-place).
+//! * [`multiselect`] — simultaneous selection of many order statistics by
+//!   recursive partitioning, the workhorse of the sample phase.
+//! * [`partition`] — three-way (Dutch national flag) partitioning primitives
+//!   shared by the algorithms above, duplicate-robust by construction.
+//!
+//! All algorithms operate in place on `&mut [T]` where `T: Ord`, never
+//! allocate proportionally to the input (apart from recursion bookkeeping),
+//! and are exact: they place the requested order statistic at its index and
+//! return a reference to it.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod floyd_rivest;
+pub mod median_of_medians;
+pub mod multiselect;
+pub mod partition;
+pub mod quickselect;
+
+pub use floyd_rivest::floyd_rivest_select;
+pub use median_of_medians::median_of_medians_select;
+pub use multiselect::{multiselect, multiselect_with, regular_sample_ranks};
+pub use quickselect::quickselect;
+
+/// Strategy used for single-rank selection inside the multi-selection driver
+/// and by the OPAQ sample phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionStrategy {
+    /// Randomized quickselect with median-of-three pivoting (default; the
+    /// paper notes the randomized selection "has small constant and is
+    /// practically very efficient").
+    #[default]
+    Quickselect,
+    /// Deterministic median-of-medians (worst-case linear, `[ea72]`).
+    MedianOfMedians,
+    /// Floyd–Rivest SELECT (expected linear with very small constants,
+    /// `[FR75]`).
+    FloydRivest,
+}
+
+impl SelectionStrategy {
+    /// Select the element of the given `rank` (0-based) within `data`,
+    /// partially reordering `data` so that `data[rank]` holds the answer,
+    /// everything before it is `<=` and everything after it is `>=`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or `rank >= data.len()`.
+    pub fn select<'a, T: Ord>(&self, data: &'a mut [T], rank: usize) -> &'a T {
+        assert!(
+            rank < data.len(),
+            "selection rank {rank} out of bounds for slice of length {}",
+            data.len()
+        );
+        match self {
+            SelectionStrategy::Quickselect => quickselect(data, rank),
+            SelectionStrategy::MedianOfMedians => median_of_medians_select(data, rank),
+            SelectionStrategy::FloydRivest => floyd_rivest_select(data, rank),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_strategies(mut data: Vec<u64>) {
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for strategy in [
+            SelectionStrategy::Quickselect,
+            SelectionStrategy::MedianOfMedians,
+            SelectionStrategy::FloydRivest,
+        ] {
+            for rank in [0, data.len() / 3, data.len() / 2, data.len() - 1] {
+                let mut work = data.clone();
+                let got = *strategy.select(&mut work, rank);
+                assert_eq!(got, sorted[rank], "{strategy:?} rank {rank}");
+            }
+        }
+        // keep `data` used for clarity
+        data.clear();
+    }
+
+    #[test]
+    fn strategies_agree_with_sort_small() {
+        check_all_strategies(vec![5, 3, 9, 1, 7, 7, 2, 8, 0, 4]);
+    }
+
+    #[test]
+    fn strategies_agree_with_sort_duplicates() {
+        check_all_strategies(vec![4; 33]);
+        check_all_strategies(vec![1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn strategies_agree_with_sort_larger() {
+        let data: Vec<u64> = (0..1000).map(|i| (i * 2654435761_u64) % 4096).collect();
+        check_all_strategies(data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn select_out_of_bounds_panics() {
+        let mut data = vec![1_u64, 2, 3];
+        SelectionStrategy::Quickselect.select(&mut data, 3);
+    }
+
+    #[test]
+    fn default_strategy_is_quickselect() {
+        assert_eq!(SelectionStrategy::default(), SelectionStrategy::Quickselect);
+    }
+}

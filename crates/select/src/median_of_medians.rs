@@ -1,0 +1,136 @@
+//! Deterministic worst-case linear selection (median of medians).
+//!
+//! Implements the algorithm of Blum, Floyd, Pratt, Rivest and Tarjan
+//! ("Time Bounds for Selection", 1972), cited as `[ea72]` by the OPAQ paper.
+//! Guarantees `O(n)` comparisons in the worst case, which the paper uses to
+//! state the `O(m log s)` worst-case bound for the sample phase.
+
+use crate::partition::{insertion_sort, partition_three_way};
+
+const GROUP: usize = 5;
+const INSERTION_CUTOFF: usize = 32;
+
+/// Select the element of 0-based `rank` in `data` using the deterministic
+/// median-of-medians pivot rule.
+///
+/// Partially reorders `data`: on return `data[rank]` is the requested order
+/// statistic, everything before it is `<=` and everything after it is `>=`.
+///
+/// # Panics
+/// Panics if `data` is empty or `rank >= data.len()`.
+pub fn median_of_medians_select<T: Ord>(data: &mut [T], rank: usize) -> &T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(rank < data.len(), "rank out of bounds");
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    loop {
+        let len = hi - lo;
+        if len <= INSERTION_CUTOFF {
+            insertion_sort(&mut data[lo..hi]);
+            return &data[rank];
+        }
+        let pivot_rel = median_of_medians_pivot(&mut data[lo..hi]);
+        let p = partition_three_way(&mut data[lo..hi], pivot_rel);
+        let (band_lo, band_hi) = (lo + p.lt, lo + p.gt);
+        if rank < band_lo {
+            hi = band_lo;
+        } else if rank >= band_hi {
+            lo = band_hi;
+        } else {
+            return &data[rank];
+        }
+    }
+}
+
+/// Compute the index (relative to `slice`) of a pivot guaranteed to have at
+/// least ~30% of the elements on either side: the median of the medians of
+/// groups of five.
+///
+/// The group medians are swapped into the prefix `slice[..groups]`, and the
+/// median of that prefix is found recursively; its index is returned.
+fn median_of_medians_pivot<T: Ord>(slice: &mut [T]) -> usize {
+    let len = slice.len();
+    let groups = len / GROUP; // ignore the final partial group for pivot purposes
+    if groups == 0 {
+        return len / 2;
+    }
+    for g in 0..groups {
+        let start = g * GROUP;
+        insertion_sort(&mut slice[start..start + GROUP]);
+        // Median of this group sits at start + 2; park it at position g.
+        slice.swap(g, start + 2);
+    }
+    // Recursively select the median of the group medians in the prefix.
+    let target = groups / 2;
+    // The recursion terminates because `groups < len` strictly for len >= 5.
+    let _ = median_of_medians_select(&mut slice[..groups], target);
+    target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_every_rank_small() {
+        let base: Vec<i32> = vec![13, -4, 0, 99, 7, 7, 7, 2, 55, -100, 8];
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        for rank in 0..base.len() {
+            let mut work = base.clone();
+            assert_eq!(*median_of_medians_select(&mut work, rank), sorted[rank]);
+        }
+    }
+
+    #[test]
+    fn worst_case_patterns() {
+        // Sorted, reverse sorted, organ pipe, all-equal: all are classic
+        // quickselect killers; the deterministic rule must stay linear and
+        // (more importantly here) correct.
+        let n = 5000usize;
+        let patterns: Vec<Vec<u32>> = vec![
+            (0..n as u32).collect(),
+            (0..n as u32).rev().collect(),
+            (0..n as u32 / 2).chain((0..n as u32 / 2).rev()).collect(),
+            vec![7; n],
+        ];
+        for base in patterns {
+            let mut sorted = base.clone();
+            sorted.sort_unstable();
+            for rank in [0, n / 4, n / 2, n - 1] {
+                let mut work = base.clone();
+                assert_eq!(*median_of_medians_select(&mut work, rank), sorted[rank]);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_order_invariant() {
+        let mut data: Vec<u64> = (0..4096).map(|i| (i * 2654435761) % 65536).collect();
+        let rank = 1000;
+        let val = *median_of_medians_select(&mut data, rank);
+        assert!(data[..rank].iter().all(|x| *x <= val));
+        assert!(data[rank + 1..].iter().all(|x| *x >= val));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of bounds")]
+    fn rank_out_of_bounds_panics() {
+        let mut data = vec![1, 2, 3];
+        median_of_medians_select(&mut data, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sort(
+            mut data in proptest::collection::vec(any::<u32>(), 1..400),
+            rank_seed in any::<usize>(),
+        ) {
+            let rank = rank_seed % data.len();
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(*median_of_medians_select(&mut data, rank), sorted[rank]);
+        }
+    }
+}

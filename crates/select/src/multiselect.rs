@@ -1,0 +1,204 @@
+//! Multi-selection: place many order statistics simultaneously.
+//!
+//! The OPAQ sample phase needs the elements of rank `m/s, 2m/s, …, m` inside
+//! every run.  The paper's recipe (§2.1) is recursive median splitting: find
+//! the median of the run, split, recurse on both halves until the sub-lists
+//! reach size `m/s`, then take each sub-list maximum.  That is exactly
+//! multi-selection, and the general formulation implemented here — recurse on
+//! the *middle requested rank*, then solve the left ranks in the left part and
+//! the right ranks in the right part — achieves the same `O(m log s)` bound
+//! while supporting arbitrary rank sets (the quantile-phase unit tests use
+//! irregular rank sets too).
+
+use crate::SelectionStrategy;
+
+/// Return the 0-based ranks of the `s` regular samples of a run of length `m`:
+/// the elements of 1-based rank `⌈m/s⌉, ⌈2m/s⌉, …, m`.
+///
+/// When `s` does not divide `m` the ranks are spread as evenly as possible
+/// (the paper assumes divisibility "without loss of generality" and notes the
+/// algorithm is easily adjusted otherwise); the final sample is always the
+/// run maximum, which is what the error-bound proofs rely on.
+///
+/// # Panics
+/// Panics if `s == 0` or `s > m`.
+pub fn regular_sample_ranks(m: usize, s: usize) -> Vec<usize> {
+    assert!(s > 0, "sample size must be positive");
+    assert!(s <= m, "sample size {s} cannot exceed run length {m}");
+    (1..=s)
+        .map(|i| {
+            // 1-based rank ⌈i*m/s⌉ converted to a 0-based index.
+            let rank_1based = (i * m).div_ceil(s);
+            rank_1based - 1
+        })
+        .collect()
+}
+
+/// Simultaneously select all the order statistics listed in `ranks`
+/// (0-based, may be unsorted but must be unique and in-bounds), using the
+/// default [`SelectionStrategy`].
+///
+/// On return, `data[r]` holds the order statistic of rank `r` for every
+/// `r ∈ ranks`, and the slice is partitioned consistently around those
+/// positions.  Returns the selected values in ascending rank order.
+///
+/// # Panics
+/// Panics if any rank is out of bounds or if `ranks` contains duplicates.
+pub fn multiselect<T: Ord + Clone>(data: &mut [T], ranks: &[usize]) -> Vec<T> {
+    multiselect_with(data, ranks, SelectionStrategy::default())
+}
+
+/// [`multiselect`] with an explicit single-rank [`SelectionStrategy`].
+pub fn multiselect_with<T: Ord + Clone>(
+    data: &mut [T],
+    ranks: &[usize],
+    strategy: SelectionStrategy,
+) -> Vec<T> {
+    let mut sorted_ranks: Vec<usize> = ranks.to_vec();
+    sorted_ranks.sort_unstable();
+    for pair in sorted_ranks.windows(2) {
+        assert!(pair[0] != pair[1], "duplicate rank {} in multiselect", pair[0]);
+    }
+    if let Some(&max) = sorted_ranks.last() {
+        assert!(max < data.len(), "rank {max} out of bounds for slice of length {}", data.len());
+    }
+    recurse(data, 0, &sorted_ranks, strategy);
+    sorted_ranks.iter().map(|&r| data[r].clone()).collect()
+}
+
+/// Recursive driver: `offset` is the absolute index of `data[0]` in the
+/// original slice; `ranks` are absolute, sorted, and all fall inside
+/// `[offset, offset + data.len())`.
+fn recurse<T: Ord>(data: &mut [T], offset: usize, ranks: &[usize], strategy: SelectionStrategy) {
+    if ranks.is_empty() || data.is_empty() {
+        return;
+    }
+    if data.len() == 1 {
+        return;
+    }
+    // Select the middle requested rank; this splits both the data and the
+    // remaining ranks roughly in half, giving the O(m log s) bound.
+    let mid = ranks.len() / 2;
+    let pivot_rank = ranks[mid];
+    let rel = pivot_rank - offset;
+    let _ = strategy.select(data, rel);
+    // Left of `rel` everything is <= data[rel]; right of it everything is >=.
+    let (left, rest) = data.split_at_mut(rel);
+    let right = &mut rest[1..];
+    let left_ranks = &ranks[..mid];
+    let right_ranks: Vec<usize> = ranks[mid + 1..].iter().copied().collect();
+    recurse(left, offset, left_ranks, strategy);
+    recurse(right, offset + rel + 1, &right_ranks, strategy);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regular_ranks_divisible() {
+        // m = 12, s = 4 -> 1-based ranks 3, 6, 9, 12 -> 0-based 2, 5, 8, 11.
+        assert_eq!(regular_sample_ranks(12, 4), vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn regular_ranks_not_divisible() {
+        // m = 10, s = 3 -> 1-based ranks ceil(10/3)=4, ceil(20/3)=7, 10.
+        assert_eq!(regular_sample_ranks(10, 3), vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn regular_ranks_always_end_at_max() {
+        for m in [1usize, 2, 7, 100, 1001] {
+            for s in [1usize, 2, 3, 5] {
+                if s <= m {
+                    let ranks = regular_sample_ranks(m, s);
+                    assert_eq!(ranks.len(), s);
+                    assert_eq!(*ranks.last().unwrap(), m - 1, "m={m} s={s}");
+                    assert!(ranks.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn regular_ranks_s_too_large_panics() {
+        regular_sample_ranks(3, 4);
+    }
+
+    #[test]
+    fn multiselect_matches_sort() {
+        let base: Vec<u32> = (0..200).map(|i| (i * 7919) % 151).collect();
+        let ranks = vec![0usize, 10, 50, 99, 150, 199];
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        let mut work = base.clone();
+        let picked = multiselect(&mut work, &ranks);
+        let expected: Vec<u32> = ranks.iter().map(|&r| sorted[r]).collect();
+        assert_eq!(picked, expected);
+        // In-place positions must also be correct.
+        for &r in &ranks {
+            assert_eq!(work[r], sorted[r]);
+        }
+    }
+
+    #[test]
+    fn multiselect_unsorted_rank_input() {
+        let base: Vec<i32> = vec![5, -2, 8, 0, 3, 3, 9, -7, 1, 4];
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        let mut work = base.clone();
+        let picked = multiselect(&mut work, &[7, 0, 3]);
+        assert_eq!(picked, vec![sorted[0], sorted[3], sorted[7]]);
+    }
+
+    #[test]
+    fn multiselect_all_strategies_agree() {
+        let base: Vec<u64> = (0..5000).map(|i| (i * 2654435761) % 9973).collect();
+        let ranks = regular_sample_ranks(base.len(), 16);
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u64> = ranks.iter().map(|&r| sorted[r]).collect();
+        for strategy in [
+            SelectionStrategy::Quickselect,
+            SelectionStrategy::MedianOfMedians,
+            SelectionStrategy::FloydRivest,
+        ] {
+            let mut work = base.clone();
+            assert_eq!(multiselect_with(&mut work, &ranks, strategy), expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn multiselect_duplicate_ranks_panic() {
+        let mut data = vec![1, 2, 3, 4];
+        multiselect(&mut data, &[1, 1]);
+    }
+
+    #[test]
+    fn multiselect_single_element_slice() {
+        let mut data = vec![42_u8];
+        assert_eq!(multiselect(&mut data, &[0]), vec![42]);
+    }
+
+    proptest! {
+        #[test]
+        fn multiselect_regular_samples_match_sort(
+            data in proptest::collection::vec(any::<u32>(), 1..500),
+            s_seed in 1usize..32,
+        ) {
+            let m = data.len();
+            let s = s_seed.min(m);
+            let ranks = regular_sample_ranks(m, s);
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let mut work = data.clone();
+            let picked = multiselect(&mut work, &ranks);
+            let expected: Vec<u32> = ranks.iter().map(|&r| sorted[r]).collect();
+            prop_assert_eq!(picked, expected);
+        }
+    }
+}

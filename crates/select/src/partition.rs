@@ -1,0 +1,181 @@
+//! Partitioning primitives shared by the selection algorithms.
+//!
+//! All selection routines in this crate reduce to repeatedly partitioning a
+//! slice around a pivot value.  To stay robust in the presence of heavy
+//! duplication (the OPAQ experiments deliberately inject `n/10` duplicate
+//! keys) we use a *three-way* partition: elements strictly less than the
+//! pivot, elements equal to the pivot, and elements strictly greater.
+
+/// Result of a three-way partition of a slice around a pivot value.
+///
+/// After partitioning, the slice is laid out as `[< pivot | == pivot | > pivot]`
+/// and the two indices delimit the "equal" band: `lt` is the index of the
+/// first element equal to the pivot and `gt` is the index one past the last
+/// element equal to the pivot.  The band is never empty because the pivot
+/// itself is part of the slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Index of the first element equal to the pivot.
+    pub lt: usize,
+    /// Index one past the last element equal to the pivot.
+    pub gt: usize,
+}
+
+impl Partition {
+    /// Whether a 0-based `rank` falls inside the equal band, i.e. the pivot
+    /// value *is* the order statistic of that rank.
+    #[inline]
+    pub fn contains(&self, rank: usize) -> bool {
+        rank >= self.lt && rank < self.gt
+    }
+}
+
+/// Three-way partition of `data` around the value currently stored at
+/// `pivot_index`.
+///
+/// Returns the [`Partition`] describing the equal band.  Runs in `O(len)`
+/// with a single forward scan (Dutch national flag).
+///
+/// # Panics
+/// Panics if `pivot_index >= data.len()`.
+pub fn partition_three_way<T: Ord>(data: &mut [T], pivot_index: usize) -> Partition {
+    assert!(pivot_index < data.len(), "pivot index out of bounds");
+    let len = data.len();
+    // Move pivot to the end so we can compare against it by index without
+    // aliasing issues.
+    data.swap(pivot_index, len - 1);
+
+    let mut lt = 0; // next slot for an element < pivot
+    let mut i = 0; // scan cursor
+    let mut gt = len - 1; // first slot of the region > pivot (pivot parked at end)
+
+    while i < gt {
+        match data[i].cmp(&data[len - 1]) {
+            core::cmp::Ordering::Less => {
+                data.swap(i, lt);
+                lt += 1;
+                i += 1;
+            }
+            core::cmp::Ordering::Equal => {
+                i += 1;
+            }
+            core::cmp::Ordering::Greater => {
+                gt -= 1;
+                data.swap(i, gt);
+            }
+        }
+    }
+    // Move the pivot into the start of the "greater" region; it joins the
+    // equal band.
+    data.swap(gt, len - 1);
+    gt += 1;
+
+    debug_assert!(lt < gt);
+    Partition { lt, gt }
+}
+
+/// Classic two-way Hoare-style partition used by the Floyd–Rivest algorithm,
+/// which manages duplicate-heavy inputs through its sampling step instead.
+///
+/// Partitions `data` around the value at `pivot_index` and returns the final
+/// index of the pivot; elements before that index are `<=` the pivot and
+/// elements after it are `>=` the pivot.
+pub fn partition_two_way<T: Ord>(data: &mut [T], pivot_index: usize) -> usize {
+    let p = partition_three_way(data, pivot_index);
+    // Any index inside the equal band is a valid two-way split point; the
+    // middle keeps both sides balanced when duplicates abound.
+    (p.lt + p.gt - 1) / 2
+}
+
+/// Insertion sort for tiny slices; used as the base case of the recursive
+/// algorithms.  `O(len^2)` but with excellent constants for `len <= 32`.
+pub fn insertion_sort<T: Ord>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_partitioned<T: Ord>(data: &[T], p: Partition) -> bool {
+        let pivot = &data[p.lt];
+        data[..p.lt].iter().all(|x| x < pivot)
+            && data[p.lt..p.gt].iter().all(|x| x == pivot)
+            && data[p.gt..].iter().all(|x| x > pivot)
+    }
+
+    #[test]
+    fn three_way_basic() {
+        let mut data = vec![5, 1, 7, 5, 3, 5, 9, 0, 5];
+        let p = partition_three_way(&mut data, 0);
+        assert!(is_partitioned(&data, p));
+        assert_eq!(p.gt - p.lt, 4, "all four fives in the equal band");
+    }
+
+    #[test]
+    fn three_way_all_equal() {
+        let mut data = vec![2_u32; 17];
+        let p = partition_three_way(&mut data, 8);
+        assert_eq!(p.lt, 0);
+        assert_eq!(p.gt, 17);
+    }
+
+    #[test]
+    fn three_way_single_element() {
+        let mut data = vec![42];
+        let p = partition_three_way(&mut data, 0);
+        assert_eq!((p.lt, p.gt), (0, 1));
+    }
+
+    #[test]
+    fn three_way_sorted_and_reverse() {
+        let mut asc: Vec<i32> = (0..50).collect();
+        let p = partition_three_way(&mut asc, 25);
+        assert!(is_partitioned(&asc, p));
+
+        let mut desc: Vec<i32> = (0..50).rev().collect();
+        let p = partition_three_way(&mut desc, 25);
+        assert!(is_partitioned(&desc, p));
+    }
+
+    #[test]
+    fn contains_band() {
+        let p = Partition { lt: 3, gt: 6 };
+        assert!(!p.contains(2));
+        assert!(p.contains(3));
+        assert!(p.contains(5));
+        assert!(!p.contains(6));
+    }
+
+    #[test]
+    fn two_way_split_point_holds_invariant() {
+        let mut data = vec![9, 3, 9, 9, 1, 9, 2, 9];
+        let idx = partition_two_way(&mut data, 0);
+        let pivot = data[idx];
+        assert!(data[..idx].iter().all(|x| *x <= pivot));
+        assert!(data[idx + 1..].iter().all(|x| *x >= pivot));
+    }
+
+    #[test]
+    fn insertion_sort_sorts() {
+        let mut data = vec![5, 4, 3, 2, 1, 0, 9, 8, 7, 6];
+        insertion_sort(&mut data);
+        assert_eq!(data, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn insertion_sort_empty_and_single() {
+        let mut empty: Vec<u8> = vec![];
+        insertion_sort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![7_u8];
+        insertion_sort(&mut one);
+        assert_eq!(one, vec![7]);
+    }
+}

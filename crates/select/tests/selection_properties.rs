@@ -1,0 +1,84 @@
+//! Property-based tests for the selection substrate.
+
+use opaq_select::{
+    floyd_rivest_select, median_of_medians_select, multiselect_with, quickselect,
+    regular_sample_ranks, SelectionStrategy,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every strategy returns exactly the value a full sort would put at the
+    /// requested rank, and establishes the partition invariant around it.
+    #[test]
+    fn all_strategies_agree_with_sort_and_partition(
+        data in proptest::collection::vec(any::<i64>(), 1..500),
+        rank_seed in any::<usize>(),
+    ) {
+        let rank = rank_seed % data.len();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let expected = sorted[rank];
+
+        for (name, result) in [
+            ("quickselect", { let mut w = data.clone(); let v = *quickselect(&mut w, rank); (v, w) }),
+            ("median_of_medians", { let mut w = data.clone(); let v = *median_of_medians_select(&mut w, rank); (v, w) }),
+            ("floyd_rivest", { let mut w = data.clone(); let v = *floyd_rivest_select(&mut w, rank); (v, w) }),
+        ]
+        .map(|(n, (v, w))| (n, (v, w)))
+        {
+            let (value, work) = result;
+            prop_assert_eq!(value, expected, "{} value mismatch", name);
+            prop_assert!(work[..rank].iter().all(|x| *x <= value), "{} left invariant", name);
+            prop_assert!(work[rank + 1..].iter().all(|x| *x >= value), "{} right invariant", name);
+        }
+    }
+
+    /// Multi-selection of a random set of ranks equals per-rank selection.
+    #[test]
+    fn multiselect_matches_individual_selections(
+        data in proptest::collection::vec(any::<u32>(), 1..400),
+        rank_count in 1usize..16,
+    ) {
+        let len = data.len();
+        let mut ranks: Vec<usize> = (0..rank_count).map(|i| (i * 7919 + 13) % len).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = ranks.iter().map(|&r| sorted[r]).collect();
+
+        for strategy in [
+            SelectionStrategy::Quickselect,
+            SelectionStrategy::MedianOfMedians,
+            SelectionStrategy::FloydRivest,
+        ] {
+            let mut work = data.clone();
+            let got = multiselect_with(&mut work, &ranks, strategy);
+            prop_assert_eq!(&got, &expected, "{:?}", strategy);
+        }
+    }
+
+    /// Regular sample ranks are strictly increasing, end at the maximum and
+    /// have gaps of at most ceil(m/s).
+    #[test]
+    fn regular_ranks_structure(m in 1usize..10_000, s_seed in 1usize..2_000) {
+        let s = s_seed.min(m);
+        let ranks = regular_sample_ranks(m, s);
+        prop_assert_eq!(ranks.len(), s);
+        prop_assert_eq!(*ranks.last().unwrap(), m - 1);
+        prop_assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+        let max_gap = ranks
+            .iter()
+            .scan(0usize, |prev, &r| {
+                let gap = r + 1 - *prev;
+                *prev = r + 1;
+                Some(gap)
+            })
+            .max()
+            .unwrap();
+        prop_assert!(max_gap <= m.div_ceil(s));
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixed-width binary encoding of record keys.
+//!
+//! The paper's experiments use 4-byte integer keys; this codec generalises to
+//! any fixed-width key so the library can store `u32`, `u64`, `i32`, `i64`
+//! and order-preserving `f64` keys on disk without a serialization framework.
+
+use bytes::{Buf, BufMut};
+
+/// A key type that can be written to and read from a fixed number of bytes.
+///
+/// Implementations must round-trip exactly: `decode(encode(x)) == x`.
+pub trait FixedWidthCodec: Copy + Send + Sync + 'static {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+
+    /// Append the little-endian encoding of `self` to `buf`.
+    fn encode<B: BufMut>(&self, buf: &mut B);
+
+    /// Decode a value from the front of `buf`, advancing it by [`Self::WIDTH`].
+    fn decode<B: Buf>(buf: &mut B) -> Self;
+}
+
+macro_rules! impl_codec_int {
+    ($ty:ty, $put:ident, $get:ident, $width:expr) => {
+        impl FixedWidthCodec for $ty {
+            const WIDTH: usize = $width;
+
+            #[inline]
+            fn encode<B: BufMut>(&self, buf: &mut B) {
+                buf.$put(*self);
+            }
+
+            #[inline]
+            fn decode<B: Buf>(buf: &mut B) -> Self {
+                buf.$get()
+            }
+        }
+    };
+}
+
+impl_codec_int!(u32, put_u32_le, get_u32_le, 4);
+impl_codec_int!(u64, put_u64_le, get_u64_le, 8);
+impl_codec_int!(i32, put_i32_le, get_i32_le, 4);
+impl_codec_int!(i64, put_i64_le, get_i64_le, 8);
+
+impl FixedWidthCodec for f64 {
+    const WIDTH: usize = 8;
+
+    #[inline]
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_f64_le(*self);
+    }
+
+    #[inline]
+    fn decode<B: Buf>(buf: &mut B) -> Self {
+        buf.get_f64_le()
+    }
+}
+
+/// Encode a whole slice of keys into a byte vector.
+pub fn encode_slice<K: FixedWidthCodec>(keys: &[K]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(keys.len() * K::WIDTH);
+    for k in keys {
+        k.encode(&mut out);
+    }
+    out
+}
+
+/// Decode `count` keys from a byte slice.
+///
+/// # Panics
+/// Panics if `bytes.len() < count * K::WIDTH`.
+pub fn decode_slice<K: FixedWidthCodec>(mut bytes: &[u8], count: usize) -> Vec<K> {
+    assert!(
+        bytes.len() >= count * K::WIDTH,
+        "byte buffer too small: {} bytes for {} keys of width {}",
+        bytes.len(),
+        count,
+        K::WIDTH
+    );
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(K::decode(&mut bytes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let keys: Vec<u64> = vec![0, 1, u64::MAX, 42, 1 << 63];
+        let bytes = encode_slice(&keys);
+        assert_eq!(bytes.len(), keys.len() * 8);
+        assert_eq!(decode_slice::<u64>(&bytes, keys.len()), keys);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let keys: Vec<u32> = (0..100).map(|i| i * 40503).collect();
+        let bytes = encode_slice(&keys);
+        assert_eq!(decode_slice::<u32>(&bytes, keys.len()), keys);
+    }
+
+    #[test]
+    fn i64_round_trip_negative() {
+        let keys: Vec<i64> = vec![i64::MIN, -1, 0, 1, i64::MAX];
+        let bytes = encode_slice(&keys);
+        assert_eq!(decode_slice::<i64>(&bytes, keys.len()), keys);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let keys: Vec<f64> = vec![0.0, -1.5, 3.25, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = encode_slice(&keys);
+        assert_eq!(decode_slice::<f64>(&bytes, keys.len()), keys);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte buffer too small")]
+    fn decode_too_small_panics() {
+        let bytes = vec![0u8; 7];
+        let _ = decode_slice::<u64>(&bytes, 1);
+    }
+
+    #[test]
+    fn widths_are_correct() {
+        assert_eq!(<u32 as FixedWidthCodec>::WIDTH, 4);
+        assert_eq!(<u64 as FixedWidthCodec>::WIDTH, 8);
+        assert_eq!(<i32 as FixedWidthCodec>::WIDTH, 4);
+        assert_eq!(<i64 as FixedWidthCodec>::WIDTH, 8);
+        assert_eq!(<f64 as FixedWidthCodec>::WIDTH, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_u64_round_trip(keys in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let bytes = encode_slice(&keys);
+            prop_assert_eq!(decode_slice::<u64>(&bytes, keys.len()), keys);
+        }
+
+        #[test]
+        fn arbitrary_i32_round_trip(keys in proptest::collection::vec(any::<i32>(), 0..200)) {
+            let bytes = encode_slice(&keys);
+            prop_assert_eq!(decode_slice::<i32>(&bytes, keys.len()), keys);
+        }
+    }
+}

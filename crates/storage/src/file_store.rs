@@ -1,0 +1,284 @@
+//! File-backed [`RunStore`]: the disk-resident substrate proper.
+//!
+//! Records are stored as densely packed little-endian fixed-width keys in a
+//! single binary file.  Runs are contiguous byte ranges, so reading a run is
+//! one seek plus one large sequential read — exactly the access pattern the
+//! paper's cost analysis assumes (`O(n)` to read the data from disk).
+
+use crate::codec::{decode_slice, encode_slice, FixedWidthCodec};
+use crate::{DiskModel, IoStats, RunLayout, RunStore, StorageError, StorageResult};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Builder for [`FileRunStore`]: writes a dataset to disk run by run.
+///
+/// ```no_run
+/// use opaq_storage::{FileRunStoreBuilder, RunStore};
+/// let store = FileRunStoreBuilder::<u64>::new("/tmp/keys.bin", 1_000_000)
+///     .unwrap()
+///     .append(&(0u64..5_000_000).collect::<Vec<_>>())
+///     .unwrap()
+///     .finish()
+///     .unwrap();
+/// assert_eq!(store.layout().runs(), 5);
+/// ```
+pub struct FileRunStoreBuilder<K> {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    written: u64,
+    m: u64,
+    stats: IoStats,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: FixedWidthCodec> FileRunStoreBuilder<K> {
+    /// Start writing a new dataset file at `path` with run length `m`.
+    /// An existing file at `path` is truncated.
+    pub fn new(path: impl AsRef<Path>, m: u64) -> StorageResult<Self> {
+        assert!(m > 0, "run length m must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Self {
+            path,
+            writer: BufWriter::with_capacity(1 << 20, file),
+            written: 0,
+            m,
+            stats: IoStats::new(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Append a batch of keys (any size; batches need not align with runs).
+    pub fn append(mut self, keys: &[K]) -> StorageResult<Self> {
+        let start = Instant::now();
+        let bytes = encode_slice(keys);
+        self.writer.write_all(&bytes)?;
+        self.written += keys.len() as u64;
+        self.stats
+            .record_write(bytes.len() as u64, start.elapsed(), Duration::ZERO);
+        Ok(self)
+    }
+
+    /// Flush and produce the readable [`FileRunStore`].
+    pub fn finish(mut self) -> StorageResult<FileRunStore<K>> {
+        self.writer.flush()?;
+        drop(self.writer);
+        FileRunStore::open(&self.path, self.written, self.m)
+    }
+}
+
+/// A read-only, file-backed run store.
+#[derive(Debug)]
+pub struct FileRunStore<K> {
+    path: PathBuf,
+    file: Mutex<File>,
+    layout: RunLayout,
+    stats: IoStats,
+    disk_model: Option<DiskModel>,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: FixedWidthCodec> FileRunStore<K> {
+    /// Open an existing dataset file containing exactly `n` keys, to be read
+    /// as runs of length `m`.
+    ///
+    /// Fails with [`StorageError::Corrupt`] if the file size does not match
+    /// `n * K::WIDTH` bytes.
+    pub fn open(path: impl AsRef<Path>, n: u64, m: u64) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let expected = n * K::WIDTH as u64;
+        let actual = file.metadata()?.len();
+        if actual != expected {
+            return Err(StorageError::Corrupt(format!(
+                "{} is {actual} bytes, expected {expected} for {n} keys of width {}",
+                path.display(),
+                K::WIDTH
+            )));
+        }
+        let layout = RunLayout::new(n, m.min(n.max(1)));
+        Ok(Self {
+            path,
+            file: Mutex::new(file),
+            layout,
+            stats: IoStats::new(),
+            disk_model: None,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Attach a [`DiskModel`]; subsequent reads accumulate modelled disk time.
+    pub fn with_disk_model(mut self, model: DiskModel) -> Self {
+        self.disk_model = Some(model);
+        self
+    }
+
+    /// The path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Remove the underlying file (cleanup helper for experiments).
+    pub fn remove_file(self) -> StorageResult<()> {
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+impl<K: FixedWidthCodec> RunStore<K> for FileRunStore<K> {
+    fn layout(&self) -> RunLayout {
+        self.layout
+    }
+
+    fn read_run(&self, run: u64) -> StorageResult<Vec<K>> {
+        if run >= self.layout.runs() {
+            return Err(StorageError::RunOutOfRange {
+                requested: run,
+                available: self.layout.runs(),
+            });
+        }
+        let start = Instant::now();
+        let offset = self.layout.run_start(run) * K::WIDTH as u64;
+        let len = self.layout.run_len(run) as usize;
+        let byte_len = len * K::WIDTH;
+        let mut buf = vec![0u8; byte_len];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)?;
+        }
+        let keys = decode_slice::<K>(&buf, len);
+        let modelled = self
+            .disk_model
+            .map(|m| m.transfer_time(byte_len as u64))
+            .unwrap_or(Duration::ZERO);
+        self.stats
+            .record_read(byte_len as u64, start.elapsed(), modelled);
+        Ok(keys)
+    }
+
+    fn io_stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "opaq-storage-test-{tag}-{}-{}.bin",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        p
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let path = temp_path("roundtrip");
+        let data: Vec<u64> = (0..10_000).map(|i: u64| i.wrapping_mul(48271) % 65536).collect();
+        let store = FileRunStoreBuilder::<u64>::new(&path, 1024)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(store.layout().runs(), 10);
+        let mut back = Vec::new();
+        store.for_each_run(|_, run| back.extend(run)).unwrap();
+        assert_eq!(back, data);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn append_in_multiple_batches() {
+        let path = temp_path("batches");
+        let store = FileRunStoreBuilder::<u32>::new(&path, 7)
+            .unwrap()
+            .append(&[1, 2, 3])
+            .unwrap()
+            .append(&[4, 5, 6, 7, 8, 9, 10, 11])
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(store.len(), 11);
+        assert_eq!(store.read_run(0).unwrap(), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(store.read_run(1).unwrap(), vec![8, 9, 10, 11]);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_detected() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, [0u8; 12]).unwrap();
+        let err = FileRunStore::<u64>::open(&path, 2, 2).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_stats_track_bytes_and_calls() {
+        let path = temp_path("stats");
+        let data: Vec<u64> = (0..100).collect();
+        let store = FileRunStoreBuilder::<u64>::new(&path, 25)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+        for run in 0..4 {
+            let _ = store.read_run(run).unwrap();
+        }
+        let s = store.io_stats().snapshot();
+        assert_eq!(s.read_calls, 4);
+        assert_eq!(s.bytes_read, 100 * 8);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn disk_model_modelled_time() {
+        let path = temp_path("model");
+        let data: Vec<u64> = (0..1000).collect();
+        let store = FileRunStoreBuilder::<u64>::new(&path, 100)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .with_disk_model(DiskModel::sp2_node_disk());
+        let _ = store.read_run(0).unwrap();
+        let snap = store.io_stats().snapshot();
+        assert!(snap.modelled >= Duration::from_millis(10));
+        assert_eq!(snap.effective_io_time(), snap.modelled);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_run() {
+        let path = temp_path("oob");
+        let store = FileRunStoreBuilder::<u32>::new(&path, 4)
+            .unwrap()
+            .append(&[1, 2, 3, 4])
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert!(matches!(
+            store.read_run(1).unwrap_err(),
+            StorageError::RunOutOfRange { .. }
+        ));
+        store.remove_file().unwrap();
+    }
+}

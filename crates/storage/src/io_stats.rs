@@ -1,0 +1,157 @@
+//! Shared I/O accounting.
+//!
+//! The paper reports that "the algorithm spends around 50% of the total
+//! execution time in performing I/O" (Table 11) and breaks total time into
+//! I/O / sampling / local merge / global merge fractions (Table 12).  To
+//! reproduce those measurements we thread an [`IoStats`] handle through every
+//! store: it counts bytes and read calls, accumulates the *measured* wall
+//! time spent inside read system calls, and — when a
+//! [`crate::DiskModel`] is attached to a store — the *modelled* disk time.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cheap, cloneable handle to shared I/O counters.
+#[derive(Debug, Clone, Default)]
+pub struct IoStats {
+    inner: Arc<Mutex<Counters>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    bytes_read: u64,
+    bytes_written: u64,
+    read_calls: u64,
+    write_calls: u64,
+    measured_nanos: u64,
+    modelled_nanos: u64,
+}
+
+/// An immutable snapshot of the counters at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    /// Total bytes read through instrumented stores.
+    pub bytes_read: u64,
+    /// Total bytes written through instrumented stores.
+    pub bytes_written: u64,
+    /// Number of run-read operations.
+    pub read_calls: u64,
+    /// Number of run/record write operations.
+    pub write_calls: u64,
+    /// Wall-clock time actually spent in read/write paths.
+    pub measured: Duration,
+    /// Disk time predicted by the attached [`crate::DiskModel`] (zero when no
+    /// model is attached).
+    pub modelled: Duration,
+}
+
+impl IoStats {
+    /// Create a fresh, zeroed handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `bytes` bytes that took `measured` wall time and
+    /// `modelled` modelled disk time.
+    pub fn record_read(&self, bytes: u64, measured: Duration, modelled: Duration) {
+        let mut c = self.inner.lock();
+        c.bytes_read += bytes;
+        c.read_calls += 1;
+        c.measured_nanos += measured.as_nanos() as u64;
+        c.modelled_nanos += modelled.as_nanos() as u64;
+    }
+
+    /// Record a write of `bytes` bytes that took `measured` wall time and
+    /// `modelled` modelled disk time.
+    pub fn record_write(&self, bytes: u64, measured: Duration, modelled: Duration) {
+        let mut c = self.inner.lock();
+        c.bytes_written += bytes;
+        c.write_calls += 1;
+        c.measured_nanos += measured.as_nanos() as u64;
+        c.modelled_nanos += modelled.as_nanos() as u64;
+    }
+
+    /// Take a snapshot of the current counters.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        let c = *self.inner.lock();
+        IoStatsSnapshot {
+            bytes_read: c.bytes_read,
+            bytes_written: c.bytes_written,
+            read_calls: c.read_calls,
+            write_calls: c.write_calls,
+            measured: Duration::from_nanos(c.measured_nanos),
+            modelled: Duration::from_nanos(c.modelled_nanos),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = Counters::default();
+    }
+}
+
+impl IoStatsSnapshot {
+    /// The I/O time to report: the modelled time when a disk model was in
+    /// play (it dominates and is deterministic), otherwise the measured time.
+    pub fn effective_io_time(&self) -> Duration {
+        if self.modelled > Duration::ZERO {
+            self.modelled
+        } else {
+            self.measured
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed() {
+        let s = IoStats::new().snapshot();
+        assert_eq!(s, IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn accumulates_reads_and_writes() {
+        let stats = IoStats::new();
+        stats.record_read(100, Duration::from_micros(5), Duration::from_micros(50));
+        stats.record_read(200, Duration::from_micros(5), Duration::from_micros(100));
+        stats.record_write(50, Duration::from_micros(1), Duration::ZERO);
+        let s = stats.snapshot();
+        assert_eq!(s.bytes_read, 300);
+        assert_eq!(s.bytes_written, 50);
+        assert_eq!(s.read_calls, 2);
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.measured, Duration::from_micros(11));
+        assert_eq!(s.modelled, Duration::from_micros(150));
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let stats = IoStats::new();
+        let clone = stats.clone();
+        clone.record_read(8, Duration::ZERO, Duration::ZERO);
+        assert_eq!(stats.snapshot().bytes_read, 8);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let stats = IoStats::new();
+        stats.record_read(8, Duration::from_secs(1), Duration::ZERO);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStatsSnapshot::default());
+    }
+
+    #[test]
+    fn effective_io_time_prefers_modelled() {
+        let mut s = IoStatsSnapshot {
+            measured: Duration::from_millis(1),
+            ..Default::default()
+        };
+        assert_eq!(s.effective_io_time(), Duration::from_millis(1));
+        s.modelled = Duration::from_millis(7);
+        assert_eq!(s.effective_io_time(), Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,158 @@
+//! Run layout arithmetic: how a dataset of `n` elements is cut into runs.
+//!
+//! The paper assumes (without loss of generality) that `m` divides `n`; real
+//! datasets are rarely that polite, so [`RunLayout`] supports a short tail
+//! run and exposes the exact run boundaries used throughout the workspace.
+
+/// Describes how a dataset of `n` elements is partitioned into runs of (at
+/// most) `m` elements each.
+///
+/// Runs `0 .. full_runs()` have exactly `m` elements; if `m` does not divide
+/// `n` there is one final shorter run.  `m` is the paper's "size of each run"
+/// — the number of elements that fit in main memory at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunLayout {
+    n: u64,
+    m: u64,
+}
+
+impl RunLayout {
+    /// Create a layout for `n` total elements and run length `m`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`, or if `n > 0 && m > n` (a "run" larger than the
+    /// dataset would silently degrade OPAQ to plain sorting; callers should
+    /// clamp `m` to `n` themselves if that is what they want).
+    pub fn new(n: u64, m: u64) -> Self {
+        assert!(m > 0, "run length m must be positive");
+        assert!(
+            n == 0 || m <= n,
+            "run length m={m} must not exceed the dataset size n={n}"
+        );
+        Self { n, m }
+    }
+
+    /// Total number of elements `n`.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Nominal run length `m`.
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of runs `r = ⌈n/m⌉`.
+    #[inline]
+    pub fn runs(&self) -> u64 {
+        self.n.div_ceil(self.m)
+    }
+
+    /// Number of runs that have exactly `m` elements.
+    #[inline]
+    pub fn full_runs(&self) -> u64 {
+        self.n / self.m
+    }
+
+    /// Length of run `run` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `run >= self.runs()`.
+    #[inline]
+    pub fn run_len(&self, run: u64) -> u64 {
+        assert!(run < self.runs(), "run index {run} out of range");
+        let start = run * self.m;
+        (self.n - start).min(self.m)
+    }
+
+    /// Index of the first element of run `run`.
+    #[inline]
+    pub fn run_start(&self, run: u64) -> u64 {
+        assert!(run < self.runs(), "run index {run} out of range");
+        run * self.m
+    }
+
+    /// Iterator over `(run_index, start, len)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        (0..self.runs()).map(move |r| (r, self.run_start(r), self.run_len(r)))
+    }
+
+    /// Whether the final run is shorter than `m`.
+    #[inline]
+    pub fn has_tail_run(&self) -> bool {
+        self.n % self.m != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let l = RunLayout::new(1_000, 100);
+        assert_eq!(l.runs(), 10);
+        assert_eq!(l.full_runs(), 10);
+        assert!(!l.has_tail_run());
+        assert_eq!(l.run_len(0), 100);
+        assert_eq!(l.run_len(9), 100);
+        assert_eq!(l.run_start(9), 900);
+    }
+
+    #[test]
+    fn tail_run() {
+        let l = RunLayout::new(1_050, 100);
+        assert_eq!(l.runs(), 11);
+        assert_eq!(l.full_runs(), 10);
+        assert!(l.has_tail_run());
+        assert_eq!(l.run_len(10), 50);
+    }
+
+    #[test]
+    fn single_run() {
+        let l = RunLayout::new(64, 64);
+        assert_eq!(l.runs(), 1);
+        assert_eq!(l.run_len(0), 64);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let l = RunLayout::new(0, 128);
+        assert_eq!(l.runs(), 0);
+        assert_eq!(l.full_runs(), 0);
+        assert_eq!(l.iter().count(), 0);
+    }
+
+    #[test]
+    fn iter_covers_everything_exactly_once() {
+        let l = RunLayout::new(987, 100);
+        let mut covered = 0u64;
+        let mut expected_start = 0u64;
+        for (idx, start, len) in l.iter() {
+            assert_eq!(start, expected_start, "run {idx} starts where previous ended");
+            covered += len;
+            expected_start = start + len;
+        }
+        assert_eq!(covered, 987);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_m_panics() {
+        RunLayout::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn m_larger_than_n_panics() {
+        RunLayout::new(10, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn run_len_out_of_range_panics() {
+        RunLayout::new(100, 10).run_len(10);
+    }
+}

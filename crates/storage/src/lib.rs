@@ -1,0 +1,40 @@
+//! Disk-resident data substrate for the OPAQ reproduction.
+//!
+//! The OPAQ paper assumes "the data size is larger than the size of the
+//! memory and the data is disk-resident" and reads it as `r = n/m` *runs* of
+//! `m` elements each, where a run fits in main memory.  This crate provides
+//! everything the algorithm needs to stream such data:
+//!
+//! * [`codec`] — fixed-width binary encoding of record keys ([`codec::FixedWidthCodec`]).
+//! * [`layout`] — the [`layout::RunLayout`] arithmetic (`n`, `m`, `r`, tail runs).
+//! * [`io_stats`] — shared [`io_stats::IoStats`] counters: bytes, calls,
+//!   measured wall time and *modelled* disk time.
+//! * [`disk_model`] — a simple seek + bandwidth [`disk_model::DiskModel`] used
+//!   to reproduce the paper's I/O-bound regime (Tables 11–12) independently of
+//!   how fast the host page cache happens to be.
+//! * [`run_store`] — the [`run_store::RunStore`] trait: a source of runs.
+//! * [`file_store`] — a file-backed implementation with buffered sequential reads.
+//! * [`mem_store`] — an in-memory implementation for tests and small inputs.
+//!
+//! The stores are deliberately *pull*-oriented (`read_run(i) -> Vec<K>`):
+//! OPAQ's one-pass structure means each run is read exactly once, processed
+//! entirely in memory, and dropped.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod codec;
+pub mod disk_model;
+pub mod file_store;
+pub mod io_stats;
+pub mod layout;
+pub mod mem_store;
+pub mod run_store;
+
+pub use codec::FixedWidthCodec;
+pub use disk_model::DiskModel;
+pub use file_store::{FileRunStore, FileRunStoreBuilder};
+pub use io_stats::{IoStats, IoStatsSnapshot};
+pub use layout::RunLayout;
+pub use mem_store::MemRunStore;
+pub use run_store::{RunStore, StorageError, StorageResult};

@@ -1,0 +1,114 @@
+//! The [`RunStore`] trait: a source of disk-resident runs.
+
+use crate::{IoStats, RunLayout};
+use std::fmt;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The store is inconsistent with its declared layout (truncated file,
+    /// wrong record width, …).
+    Corrupt(String),
+    /// A run index outside `0..layout.runs()` was requested.
+    RunOutOfRange {
+        /// Requested run index.
+        requested: u64,
+        /// Number of runs actually available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt run store: {msg}"),
+            StorageError::RunOutOfRange { requested, available } => {
+                write!(f, "run {requested} out of range (store has {available} runs)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// A source of run-partitioned, disk-resident data with key type `K`.
+///
+/// OPAQ reads each run exactly once; implementations therefore optimise for
+/// sequential whole-run reads rather than random record access.
+pub trait RunStore<K>: Send + Sync {
+    /// The run layout (total elements, run length, number of runs).
+    fn layout(&self) -> RunLayout;
+
+    /// Read run `run` (0-based) entirely into memory.
+    fn read_run(&self, run: u64) -> StorageResult<Vec<K>>;
+
+    /// The shared I/O statistics handle for this store.
+    fn io_stats(&self) -> &IoStats;
+
+    /// Total number of elements (shorthand for `layout().n()`).
+    fn len(&self) -> u64 {
+        self.layout().n()
+    }
+
+    /// Whether the store holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every run in order, calling `f(run_index, run_data)`.
+    ///
+    /// This is the one-pass access pattern OPAQ uses: the default
+    /// implementation simply reads runs sequentially.
+    fn for_each_run(&self, mut f: impl FnMut(u64, Vec<K>)) -> StorageResult<()>
+    where
+        Self: Sized,
+    {
+        for run in 0..self.layout().runs() {
+            let data = self.read_run(run)?;
+            f(run, data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_error_display() {
+        let e = StorageError::RunOutOfRange { requested: 7, available: 3 };
+        assert!(e.to_string().contains("run 7"));
+        let e = StorageError::Corrupt("short file".into());
+        assert!(e.to_string().contains("short file"));
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(e.source().is_some());
+        assert!(StorageError::Corrupt("y".into()).source().is_none());
+    }
+}

@@ -1,0 +1,110 @@
+//! Failure-injection tests for the storage layer: the store must surface
+//! clean errors (never panic, never return wrong data) when the underlying
+//! file disappears, shrinks or is corrupted after it was opened.
+
+use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore, StorageError};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "opaq-failure-{tag}-{}-{}.bin",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    p
+}
+
+fn build_store(path: &PathBuf, n: u64, m: u64) -> FileRunStore<u64> {
+    let data: Vec<u64> = (0..n).collect();
+    FileRunStoreBuilder::<u64>::new(path, m)
+        .unwrap()
+        .append(&data)
+        .unwrap()
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn opening_a_missing_file_is_an_io_error() {
+    let path = temp_path("missing");
+    let err = FileRunStore::<u64>::open(&path, 10, 5).unwrap_err();
+    assert!(matches!(err, StorageError::Io(_)), "{err}");
+}
+
+#[test]
+fn wrong_declared_length_is_detected_at_open() {
+    let path = temp_path("wrong-length");
+    let store = build_store(&path, 100, 10);
+    drop(store);
+    // Declare more keys than the file holds.
+    let err = FileRunStore::<u64>::open(&path, 200, 10).unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncation_after_open_fails_reads_cleanly() {
+    let path = temp_path("truncate");
+    let store = build_store(&path, 1_000, 100);
+    // Shrink the file behind the store's back to half a run.
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(50 * 8).unwrap();
+    drop(file);
+
+    // Reading the first half-run still succeeds only if fully present; later
+    // runs must error rather than fabricate data.
+    let mut saw_error = false;
+    for run in 0..store.layout().runs() {
+        match store.read_run(run) {
+            Ok(keys) => assert!(keys.iter().all(|&k| k < 1_000), "no fabricated keys"),
+            Err(StorageError::Io(_)) => saw_error = true,
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+    assert!(saw_error, "at least one run read must fail after truncation");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn deleting_the_file_after_open_fails_reads_cleanly() {
+    let path = temp_path("unlink");
+    let store = build_store(&path, 500, 100);
+    std::fs::remove_file(&path).unwrap();
+    // On Unix the open handle keeps the data readable; either outcome (ok or
+    // a clean Io error) is acceptable, but never a panic or wrong length.
+    for run in 0..store.layout().runs() {
+        if let Ok(keys) = store.read_run(run) {
+            assert_eq!(keys.len() as u64, store.layout().run_len(run));
+        }
+    }
+}
+
+#[test]
+fn concurrent_readers_see_consistent_runs() {
+    let path = temp_path("concurrent");
+    let store = std::sync::Arc::new(build_store(&path, 10_000, 1_000));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let store = std::sync::Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            let mut total = 0u64;
+            for run in 0..store.layout().runs() {
+                let keys = store.read_run(run).unwrap();
+                assert_eq!(keys.len(), 1_000);
+                // Runs are contiguous slices of 0..10_000.
+                assert_eq!(keys[0] % 1_000, 0);
+                assert!(keys.windows(2).all(|w| w[1] == w[0] + 1));
+                total += keys.len() as u64;
+            }
+            total
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 10_000);
+    }
+    std::sync::Arc::try_unwrap(store).unwrap().remove_file().unwrap();
+}

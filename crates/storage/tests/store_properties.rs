@@ -1,0 +1,90 @@
+//! Property-based tests for the storage substrate: file and memory stores
+//! must agree with each other and with the raw data for any layout.
+
+use opaq_storage::{FileRunStoreBuilder, MemRunStore, RunLayout, RunStore};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path() -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "opaq-storage-prop-{}-{}.bin",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The file store returns exactly what was written, run by run, for any
+    /// run length, and its I/O statistics account for every byte.
+    #[test]
+    fn file_store_round_trips_any_layout(
+        data in proptest::collection::vec(any::<u64>(), 1..2_000),
+        m_seed in 1u64..500,
+    ) {
+        let m = m_seed.min(data.len() as u64);
+        let path = temp_path();
+        let store = FileRunStoreBuilder::<u64>::new(&path, m)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+
+        let mut reassembled = Vec::new();
+        for run in 0..store.layout().runs() {
+            reassembled.extend(store.read_run(run).unwrap());
+        }
+        prop_assert_eq!(&reassembled, &data);
+        let stats = store.io_stats().snapshot();
+        prop_assert_eq!(stats.bytes_read, data.len() as u64 * 8);
+        prop_assert_eq!(stats.read_calls, store.layout().runs());
+        store.remove_file().unwrap();
+    }
+
+    /// Memory and file stores expose identical layouts and run contents.
+    #[test]
+    fn mem_and_file_stores_agree(
+        data in proptest::collection::vec(any::<u32>(), 1..1_500),
+        m_seed in 1u64..200,
+    ) {
+        let m = m_seed.min(data.len() as u64);
+        let mem = MemRunStore::new(data.clone(), m);
+        let path = temp_path();
+        let file = FileRunStoreBuilder::<u32>::new(&path, m)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+        prop_assert_eq!(mem.layout(), file.layout());
+        for run in 0..mem.layout().runs() {
+            prop_assert_eq!(mem.read_run(run).unwrap(), file.read_run(run).unwrap());
+        }
+        file.remove_file().unwrap();
+    }
+
+    /// Run layout arithmetic covers every element exactly once.
+    #[test]
+    fn layout_partitions_exactly(n in 1u64..1_000_000, m_seed in 1u64..10_000) {
+        let m = m_seed.min(n);
+        let layout = RunLayout::new(n, m);
+        let mut covered = 0u64;
+        let mut next_start = 0u64;
+        for (idx, start, len) in layout.iter() {
+            prop_assert_eq!(start, next_start);
+            prop_assert!(len <= m);
+            prop_assert!(len > 0, "run {} empty", idx);
+            covered += len;
+            next_start += len;
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(layout.runs(), n.div_ceil(m));
+    }
+}

@@ -1,0 +1,63 @@
+//! Parallel OPAQ for load balancing — the `[DNS91]` use case: pick splitters
+//! so that `p` workers each receive an (almost) equal share of a skewed
+//! dataset.
+//!
+//! ```text
+//! cargo run --release --example parallel_load_balance
+//! ```
+//!
+//! The dataset is heavily skewed (Zipf 0.86), so naive equal-width range
+//! partitioning produces wildly unbalanced workers.  The example contrasts
+//! that with quantile-based splitters computed by the *parallel* OPAQ
+//! formulation (8 simulated processors, sample merge).
+
+use opaq::parallel::{block_partition, scatter_by_splitters, quantile_partition};
+use opaq::{DatasetSpec, MergeAlgorithm, OpaqConfig, ParallelOpaq};
+
+fn imbalance(buckets: &[Vec<u64>], fair: f64) -> f64 {
+    buckets.iter().map(|b| (b.len() as f64 / fair - 1.0).abs()).fold(0.0, f64::max)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u64 = 2_000_000;
+    let workers = 8usize;
+    let data = DatasetSpec::paper_zipf(n, 123).generate();
+    let fair = n as f64 / workers as f64;
+
+    // --- naive equal-width range partitioning --------------------------------
+    let max = *data.iter().max().expect("non-empty");
+    let width = (max / workers as u64).max(1);
+    let naive_splitters: Vec<u64> = (1..workers as u64).map(|i| i * width).collect();
+    let naive = scatter_by_splitters(&data, &naive_splitters);
+    println!(
+        "equal-width ranges: worker sizes {:?} (max imbalance {:.0}%)",
+        naive.iter().map(Vec::len).collect::<Vec<_>>(),
+        imbalance(&naive, fair) * 100.0
+    );
+
+    // --- quantile-based partitioning via parallel OPAQ -----------------------
+    let per_proc = n / workers as u64;
+    let config = OpaqConfig::builder()
+        .run_length((per_proc / 4).max(1024))
+        .sample_size(1024)
+        .build()?;
+    let popaq = ParallelOpaq::new(config, workers).with_merge(MergeAlgorithm::Sample);
+    let report = popaq.run_on_partitions(block_partition(&data, workers))?;
+    let splitters = quantile_partition(&report.sketch, workers as u64)?;
+    let balanced = scatter_by_splitters(&data, &splitters);
+    println!(
+        "OPAQ quantile splits: worker sizes {:?} (max imbalance {:.1}%)",
+        balanced.iter().map(Vec::len).collect::<Vec<_>>(),
+        imbalance(&balanced, fair) * 100.0
+    );
+    println!(
+        "modelled parallel time: io {:.2?}, sampling {:.2?}, local merge {:.2?}, global merge {:.2?}",
+        report.modelled.io, report.modelled.sampling, report.modelled.local_merge, report.modelled.global_merge
+    );
+
+    assert!(
+        imbalance(&balanced, fair) < imbalance(&naive, fair),
+        "quantile-based splits must beat equal-width splits on skewed data"
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Integration tests for the §4 extensions used by the examples: rank
+//! estimation, equi-depth histogram boundaries and quantile-based
+//! partitioning on realistic workloads.
+
+use opaq::parallel::{quantile_partition, scatter_by_splitters};
+use opaq::{DatasetSpec, GroundTruth, MemRunStore, OpaqConfig, OpaqEstimator};
+
+fn build(data: &[u64], m: u64, s: u64) -> opaq::QuantileSketch<u64> {
+    let store = MemRunStore::new(data.to_vec(), m);
+    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    OpaqEstimator::new(config).build_sketch(&store).unwrap()
+}
+
+#[test]
+fn rank_bounds_enclose_exact_ranks_on_skewed_data() {
+    let data = DatasetSpec::paper_zipf(100_000, 17).generate();
+    let truth = GroundTruth::new(&data);
+    let sketch = build(&data, 10_000, 500);
+    // Probe a mix of present and absent keys across the whole domain.
+    for probe in [0u64, 1, 5, 100, 1_000, 50_000, 1_000_000, u64::MAX / 2] {
+        let rb = sketch.rank_bounds(probe);
+        let exact = truth.rank_le(probe);
+        assert!(
+            rb.min_rank <= exact && exact <= rb.max_rank,
+            "probe {probe}: exact rank {exact} outside [{}, {}]",
+            rb.min_rank,
+            rb.max_rank
+        );
+        // The width of the rank interval is bounded by r*(g-1).
+        assert!(rb.width() <= sketch.runs() * (sketch.max_gap() - 1));
+    }
+}
+
+#[test]
+fn equi_depth_buckets_are_balanced_within_the_guarantee() {
+    let n: u64 = 200_000;
+    let buckets = 16u64;
+    let data = DatasetSpec::paper_uniform(n, 23).generate();
+    let sketch = build(&data, 20_000, 1_000);
+
+    let splitters = quantile_partition(&sketch, buckets).unwrap();
+    assert_eq!(splitters.len(), buckets as usize - 1);
+    let scattered = scatter_by_splitters(&data, &splitters);
+    assert_eq!(scattered.len(), buckets as usize);
+    assert_eq!(scattered.iter().map(Vec::len).sum::<usize>(), n as usize);
+
+    let fair = n / buckets;
+    let slack = sketch.max_elements_per_bound();
+    for (i, bucket) in scattered.iter().enumerate() {
+        let len = bucket.len() as u64;
+        assert!(
+            len <= fair + 2 * slack && len + 2 * slack >= fair,
+            "bucket {i} holds {len}, fair share {fair}, slack {slack}"
+        );
+    }
+}
+
+#[test]
+fn point_estimates_are_monotone_in_phi() {
+    let data = DatasetSpec::paper_uniform(150_000, 3).generate();
+    let sketch = build(&data, 15_000, 750);
+    let estimates = sketch.estimate_q_quantiles(100).unwrap();
+    for pair in estimates.windows(2) {
+        assert!(pair[0].lower <= pair[1].lower, "lower bounds must be monotone");
+        assert!(pair[0].upper <= pair[1].upper, "upper bounds must be monotone");
+    }
+}
+
+#[test]
+fn sorted_sample_list_is_reusable_for_many_quantile_sets() {
+    // "The same sorted sample list can potentially be used for finding other
+    // quantiles" — estimating different q values must all stay correct.
+    let data = DatasetSpec::paper_zipf(80_000, 8).generate();
+    let truth = GroundTruth::new(&data);
+    let sketch = build(&data, 8_000, 400);
+    for q in [2u64, 4, 10, 25, 100] {
+        for e in sketch.estimate_q_quantiles(q).unwrap() {
+            let exact = truth.quantile_value(e.phi);
+            assert!(e.lower <= exact && exact <= e.upper, "q={q} phi={}", e.phi);
+        }
+    }
+}
