@@ -36,7 +36,13 @@ impl AdaptiveIntervalEstimator {
     /// Panics if `k < 2`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 2, "at least two intervals are required");
-        Self { counts: vec![0.0; k], lo: 0, hi: 0, seen: 0, k }
+        Self {
+            counts: vec![0.0; k],
+            lo: 0,
+            hi: 0,
+            seen: 0,
+            k,
+        }
     }
 
     fn width(&self) -> f64 {
@@ -119,7 +125,11 @@ impl StreamingEstimator for AdaptiveIntervalEstimator {
         for (i, &c) in self.counts.iter().enumerate() {
             if acc + c >= target || i == self.k - 1 {
                 // Linear interpolation inside interval i.
-                let into = if c > 0.0 { ((target - acc) / c).clamp(0.0, 1.0) } else { 0.0 };
+                let into = if c > 0.0 {
+                    ((target - acc) / c).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 let a = self.lo as f64 + i as f64 * self.width();
                 return Some((a + into * self.width()).round() as u64);
             }
@@ -149,7 +159,9 @@ mod tests {
 
     #[test]
     fn exactish_for_uniform_data() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_000)
+            .collect();
         let mut est = AdaptiveIntervalEstimator::new(1000);
         est.observe_all(&data);
         let mut sorted = data;
@@ -174,10 +186,16 @@ mod tests {
         assert_eq!(est.observed(), 11_000);
         // Median of combined data is in the upper block.
         let got = est.estimate(0.5).unwrap();
-        assert!(got >= 900_000, "median estimate {got} should be in the large block");
+        assert!(
+            got >= 900_000,
+            "median estimate {got} should be in the large block"
+        );
         // 5th percentile is in the small block.
         let got = est.estimate(0.05).unwrap();
-        assert!(got < 10_000, "5th percentile {got} should be in the small block");
+        assert!(
+            got < 10_000,
+            "5th percentile {got} should be in the small block"
+        );
     }
 
     #[test]

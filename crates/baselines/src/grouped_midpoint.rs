@@ -29,7 +29,12 @@ impl GroupedMidpointEstimator {
     pub fn new(lo: u64, hi: u64, cells: usize) -> Self {
         assert!(hi > lo, "range must be non-empty");
         assert!(cells > 0, "at least one cell is required");
-        Self { lo, hi, counts: vec![0; cells], seen: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; cells],
+            seen: 0,
+        }
     }
 
     fn cell_width(&self) -> f64 {
@@ -89,7 +94,9 @@ mod tests {
 
     #[test]
     fn accurate_when_the_assumed_range_is_right() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271) % 1_000_000).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(48271) % 1_000_000)
+            .collect();
         let mut est = GroupedMidpointEstimator::new(0, 1_000_000, 2000);
         est.observe_all(&data);
         let mut sorted = data;
@@ -145,6 +152,9 @@ mod tests {
 
     #[test]
     fn memory_points() {
-        assert_eq!(GroupedMidpointEstimator::new(0, 10, 100).memory_points(), 102);
+        assert_eq!(
+            GroupedMidpointEstimator::new(0, 10, 100).memory_points(),
+            102
+        );
     }
 }

@@ -88,7 +88,9 @@ mod tests {
     /// Every estimator should produce a sane median for uniform data.
     #[test]
     fn all_estimators_bound_the_median_of_uniform_data() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_000)
+            .collect();
         let mut sorted = data.clone();
         sorted.sort_unstable();
         let truth = sorted[sorted.len() / 2];

@@ -37,7 +37,10 @@ pub fn multipass_exact_quantile<S: RunStore<u64>>(
     memory_elements: usize,
 ) -> StorageResult<MultipassResult> {
     assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-    assert!(memory_elements >= 16, "need at least 16 elements of working memory");
+    assert!(
+        memory_elements >= 16,
+        "need at least 16 elements of working memory"
+    );
     let n = store.len();
     assert!(n > 0, "store must not be empty");
     let target = ((phi * n as f64).ceil() as u64).clamp(1, n);
@@ -86,6 +89,13 @@ pub fn multipass_exact_quantile<S: RunStore<u64>>(
             return Ok(MultipassResult { value, passes });
         }
 
+        // The range has collapsed to a single value whose duplicates exceed
+        // memory; no further narrowing is possible (or needed) — the target
+        // rank falls on that value.
+        if lo == hi {
+            return Ok(MultipassResult { value: lo, passes });
+        }
+
         // Narrow to the bucket containing the target rank.
         let mut acc = rank_below_lo;
         let mut chosen = buckets; // default: last bucket
@@ -98,7 +108,11 @@ pub fn multipass_exact_quantile<S: RunStore<u64>>(
         }
         rank_below_lo = acc;
         lo += chosen as u64 * bucket_width;
-        hi = if chosen == buckets { hi } else { lo + bucket_width - 1 };
+        hi = if chosen == buckets {
+            hi
+        } else {
+            lo.saturating_add(bucket_width - 1).min(hi)
+        };
     }
 }
 
@@ -116,11 +130,17 @@ mod tests {
 
     #[test]
     fn exact_median_wide_domain() {
-        let data: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(6364136223846793005)).collect();
+        let data: Vec<u64> = (0..50_000u64)
+            .map(|i| i.wrapping_mul(6364136223846793005))
+            .collect();
         let store = MemRunStore::new(data.clone(), 5000);
         let r = multipass_exact_quantile(&store, 0.5, 1024).unwrap();
         assert_eq!(r.value, truth(&data, 0.5));
-        assert!(r.passes >= 2, "wide domain needs narrowing passes, got {}", r.passes);
+        assert!(
+            r.passes >= 2,
+            "wide domain needs narrowing passes, got {}",
+            r.passes
+        );
     }
 
     #[test]
@@ -155,7 +175,10 @@ mod tests {
     fn extreme_quantiles() {
         let data: Vec<u64> = (1..=10_000u64).map(|i| i * 1_000_003).collect();
         let store = MemRunStore::new(data.clone(), 1000);
-        assert_eq!(multipass_exact_quantile(&store, 1.0, 256).unwrap().value, truth(&data, 1.0));
+        assert_eq!(
+            multipass_exact_quantile(&store, 1.0, 256).unwrap().value,
+            truth(&data, 1.0)
+        );
         assert_eq!(
             multipass_exact_quantile(&store, 0.0001, 256).unwrap().value,
             truth(&data, 0.0001)

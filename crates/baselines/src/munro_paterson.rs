@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn approximate_median_of_large_uniform_stream() {
-        let data: Vec<u64> = (0..200_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let data: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_000)
+            .collect();
         let mut sk = MunroPatersonSketch::new(4, 500);
         sk.observe_all(&data);
         let got = sk.estimate(0.5).unwrap() as f64;
@@ -190,7 +192,11 @@ mod tests {
         let mut sk = MunroPatersonSketch::new(1, 128);
         sk.observe_all(&(0..100_000u64).collect::<Vec<_>>());
         // 100k / 128 ≈ 781 buffers worth of data collapse into ~log2(781) ≈ 10 levels.
-        assert!(sk.memory_points() <= 128 * 13, "memory {}", sk.memory_points());
+        assert!(
+            sk.memory_points() <= 128 * 13,
+            "memory {}",
+            sk.memory_points()
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl StreamingEstimator for P2Estimator {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 for (i, &v) in self.initial.iter().enumerate() {
                     self.heights[i] = v;
                 }
@@ -113,11 +114,12 @@ impl StreamingEstimator for P2Estimator {
             {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }
@@ -169,14 +171,18 @@ mod tests {
 
     #[test]
     fn median_of_uniform_stream() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271) % 1_000_000).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(48271) % 1_000_000)
+            .collect();
         let got = run_p2(&data, 0.5) as f64;
         assert!((got - 500_000.0).abs() < 30_000.0, "median {got}");
     }
 
     #[test]
     fn ninety_fifth_percentile_of_uniform_stream() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761) % 1_000_000).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_000)
+            .collect();
         let got = run_p2(&data, 0.95) as f64;
         assert!((got - 950_000.0).abs() < 40_000.0, "p95 {got}");
     }

@@ -107,13 +107,18 @@ mod tests {
         r.observe_all(&(0..n).collect::<Vec<_>>());
         let mean = r.sample().iter().map(|&x| x as f64).sum::<f64>() / r.sample().len() as f64;
         let expected = (n - 1) as f64 / 2.0;
-        assert!((mean - expected).abs() < expected * 0.1, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
     fn median_estimate_close_for_uniform_stream() {
         let mut r = ReservoirSampler::new(5000, 4);
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(48271) % 1_000_003).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(48271) % 1_000_003)
+            .collect();
         r.observe_all(&data);
         let mut sorted = data;
         sorted.sort_unstable();

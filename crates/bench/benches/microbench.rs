@@ -6,7 +6,9 @@
 //! in `cargo bench`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use opaq_baselines::{AdaptiveIntervalEstimator, P2Estimator, ReservoirSampler, StreamingEstimator};
+use opaq_baselines::{
+    AdaptiveIntervalEstimator, P2Estimator, ReservoirSampler, StreamingEstimator,
+};
 use opaq_core::{sample_run, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, KeyGenerator, UniformGenerator};
 use opaq_parallel::{bitonic_merge, sample_merge, CostModel, Machine};
@@ -59,7 +61,11 @@ fn bench_sample_phase(c: &mut Criterion) {
     }
     let data = DatasetSpec::paper_uniform(500_000, 3).generate();
     let store = MemRunStore::new(data, 50_000);
-    let config = OpaqConfig::builder().run_length(50_000).sample_size(1000).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(50_000)
+        .sample_size(1000)
+        .build()
+        .unwrap();
     group.bench_function("build_sketch_500k_keys_10_runs", |b| {
         b.iter(|| black_box(OpaqEstimator::new(config).build_sketch(&store).unwrap()))
     });
@@ -71,11 +77,17 @@ fn bench_quantile_phase(c: &mut Criterion) {
     group.sample_size(30);
     let data = DatasetSpec::paper_uniform(500_000, 4).generate();
     let store = MemRunStore::new(data, 50_000);
-    let config = OpaqConfig::builder().run_length(50_000).sample_size(1000).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(50_000)
+        .sample_size(1000)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
     // The paper claims O(1)-ish cost per additional quantile once the sample
     // list exists; these two benches make the claim measurable.
-    group.bench_function("single_quantile", |b| b.iter(|| black_box(sketch.estimate(0.5).unwrap())));
+    group.bench_function("single_quantile", |b| {
+        b.iter(|| black_box(sketch.estimate(0.5).unwrap()))
+    });
     group.bench_function("ninety_nine_quantiles", |b| {
         b.iter(|| black_box(sketch.estimate_q_quantiles(100).unwrap()))
     });

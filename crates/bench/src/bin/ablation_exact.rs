@@ -22,10 +22,20 @@ fn main() {
     let mut table = TextTable::new(format!(
         "Ablation: exact second pass, n = {n} — candidates kept vs the 2n/s bound"
     ))
-    .header(["s", "candidates kept", "bound 2n/s", "median exact?", "p90 exact?"]);
+    .header([
+        "s",
+        "candidates kept",
+        "bound 2n/s",
+        "median exact?",
+        "p90 exact?",
+    ]);
 
     for s in [100u64, 250, 500, 1000, 2000] {
-        let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s)
+            .build()
+            .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
         let median = exact_quantile(&store, &sketch, 0.5).unwrap();
         let p90 = exact_quantile(&store, &sketch, 0.9).unwrap();

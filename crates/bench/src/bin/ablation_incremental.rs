@@ -19,7 +19,11 @@ fn main() {
     let batches = 6usize;
     let m = (batch / 4).max(1000);
     let s = 500u64;
-    let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s.min(m))
+        .build()
+        .unwrap();
 
     let mut incremental = IncrementalOpaq::<u64>::new(config).unwrap();
     let mut all_data: Vec<u64> = Vec::new();
@@ -27,7 +31,13 @@ fn main() {
     let mut table = TextTable::new(format!(
         "Ablation: incremental maintenance, {batches} batches of {batch} keys (s = {s})"
     ))
-    .header(["batch", "total n", "RER_N incremental", "RER_N rebuilt", "sample points held"]);
+    .header([
+        "batch",
+        "total n",
+        "RER_N incremental",
+        "RER_N rebuilt",
+        "sample points held",
+    ]);
 
     for b in 1..=batches {
         let new = DatasetSpec::paper_uniform(batch, 100 + b as u64).generate();
@@ -40,7 +50,9 @@ fn main() {
         let inc_rates = error_rates_for_bounds(&all_data, &to_bounds_view(&inc_estimates));
 
         let rebuilt_store = MemRunStore::new(all_data.clone(), m);
-        let rebuilt_sketch = OpaqEstimator::new(config).build_sketch(&rebuilt_store).unwrap();
+        let rebuilt_sketch = OpaqEstimator::new(config)
+            .build_sketch(&rebuilt_store)
+            .unwrap();
         let rebuilt_estimates = rebuilt_sketch.estimate_q_quantiles(DECTILES).unwrap();
         let rebuilt_rates = error_rates_for_bounds(&all_data, &to_bounds_view(&rebuilt_estimates));
 
@@ -49,7 +61,11 @@ fn main() {
             all_data.len().to_string(),
             fmt2(inc_rates.rer_n),
             fmt2(rebuilt_rates.rer_n),
-            incremental.sketch().unwrap().memory_sample_points().to_string(),
+            incremental
+                .sketch()
+                .unwrap()
+                .memory_sample_points()
+                .to_string(),
         ]);
     }
     print!("{}", table.render());

@@ -14,7 +14,9 @@ fn sorted_lists(p: usize, per: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..p)
         .map(|_| {
-            let mut l: Vec<u64> = (0..per).map(|_| rng.gen_range(0..u32::MAX as u64)).collect();
+            let mut l: Vec<u64> = (0..per)
+                .map(|_| rng.gen_range(0..u32::MAX as u64))
+                .collect();
             l.sort_unstable();
             l
         })
@@ -25,7 +27,11 @@ fn time_merge(p: usize, per: usize, bitonic: bool) -> f64 {
     let machine = Machine::new(p, CostModel::sp2());
     let lists = sorted_lists(p, per, (p * per) as u64);
     let start = Instant::now();
-    let out = if bitonic { bitonic_merge(&machine, lists) } else { sample_merge(&machine, lists) };
+    let out = if bitonic {
+        bitonic_merge(&machine, lists)
+    } else {
+        sample_merge(&machine, lists)
+    };
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(out.iter().map(Vec::len).sum::<usize>(), p * per);
     elapsed
@@ -33,15 +39,22 @@ fn time_merge(p: usize, per: usize, bitonic: bool) -> f64 {
 
 fn main() {
     // Per-processor list sizes (entries); the paper's x-axis is 1K..128K bytes.
-    let sizes = [1_024usize, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 131_072];
+    let sizes = [
+        1_024usize, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 131_072,
+    ];
     let processors = [2usize, 4, 8];
 
-    let mut table = TextTable::new(
-        "Figure 3: measured global-merge wall time (ms) — Bitonic vs Sample merge",
-    )
-    .header([
-        "entries/proc", "p=2 bitonic", "p=2 sample", "p=4 bitonic", "p=4 sample", "p=8 bitonic", "p=8 sample",
-    ]);
+    let mut table =
+        TextTable::new("Figure 3: measured global-merge wall time (ms) — Bitonic vs Sample merge")
+            .header([
+                "entries/proc",
+                "p=2 bitonic",
+                "p=2 sample",
+                "p=4 bitonic",
+                "p=4 sample",
+                "p=8 bitonic",
+                "p=8 sample",
+            ]);
     for &per in &sizes {
         let mut row = vec![per.to_string()];
         for &p in &processors {

@@ -15,10 +15,9 @@ fn main() {
     let processors = [1usize, 2, 4, 8, 16];
     let s = 1024u64;
 
-    let mut table = TextTable::new(
-        "Figure 4: scale-up — modelled total time (s) for fixed per-processor size",
-    )
-    .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16", "scaleup@16"]);
+    let mut table =
+        TextTable::new("Figure 4: scale-up — modelled total time (s) for fixed per-processor size")
+            .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16", "scaleup@16"]);
 
     for &per_paper in &per_proc_paper {
         let per = scaled(per_paper);
@@ -28,7 +27,11 @@ fn main() {
             let n = per * p as u64;
             let data = DatasetSpec::paper_uniform(n, 5).generate();
             let m = (per / 4).max(s);
-            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let config = OpaqConfig::builder()
+                .run_length(m)
+                .sample_size(s.min(m))
+                .build()
+                .unwrap();
             let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
             let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
             let total = report.modelled.total();

@@ -15,10 +15,9 @@ fn main() {
     let processors = [1usize, 2, 4, 8, 16];
     let s = 1024u64;
 
-    let mut table = TextTable::new(
-        "Figure 5: size-up — modelled total time (s) vs per-processor data size",
-    )
-    .header(["p", "0.5M", "1M", "2M", "4M", "throughput ratio 4M/0.5M"]);
+    let mut table =
+        TextTable::new("Figure 5: size-up — modelled total time (s) vs per-processor data size")
+            .header(["p", "0.5M", "1M", "2M", "4M", "throughput ratio 4M/0.5M"]);
 
     for &p in &processors {
         let mut row = vec![p.to_string()];
@@ -28,7 +27,11 @@ fn main() {
             let n = per * p as u64;
             let data = DatasetSpec::paper_uniform(n, 5).generate();
             let m = (per / 4).max(s);
-            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let config = OpaqConfig::builder()
+                .run_length(m)
+                .sample_size(s.min(m))
+                .build()
+                .unwrap();
             let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
             let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
             let total = report.modelled.total();

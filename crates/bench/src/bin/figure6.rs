@@ -24,7 +24,11 @@ fn main() {
     for &p in &processors {
         let per = n / p as u64;
         let m = (per / 4).max(s.min(per));
-        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s.min(m))
+            .build()
+            .unwrap();
         let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
         let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
         scaling.push(p, n, report.modelled.total());

@@ -11,7 +11,9 @@ use opaq_parallel::{block_partition, MergeAlgorithm, ParallelOpaq};
 
 fn main() {
     let p = 8usize;
-    let paper_sizes: [u64; 7] = [500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000];
+    let paper_sizes: [u64; 7] = [
+        500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000,
+    ];
     let sizes: Vec<u64> = paper_sizes.iter().map(|&n| scaled(n)).collect();
     let s = 1024u64;
 
@@ -21,7 +23,11 @@ fn main() {
         let spec = DatasetSpec::paper_uniform(n, 11);
         let data = spec.generate();
         let m = (n / (p as u64 * 4)).max(s);
-        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s.min(m))
+            .build()
+            .unwrap();
         let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
         let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
         let estimates = report.sketch.estimate_q_quantiles(DECTILES).unwrap();

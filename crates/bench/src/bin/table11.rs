@@ -15,10 +15,9 @@ fn main() {
     let processors = [1usize, 2, 4, 8, 16];
     let s = 1024u64;
 
-    let mut table = TextTable::new(
-        "Table 11: I/O time as a fraction of total (modelled SP-2 disk + switch)",
-    )
-    .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16"]);
+    let mut table =
+        TextTable::new("Table 11: I/O time as a fraction of total (modelled SP-2 disk + switch)")
+            .header(["per-proc", "p=1", "p=2", "p=4", "p=8", "p=16"]);
 
     for &per_paper in &per_proc_paper {
         let per = scaled(per_paper);
@@ -27,7 +26,11 @@ fn main() {
             let n = per * p as u64;
             let data = DatasetSpec::paper_uniform(n, 5).generate();
             let m = (per / 4).max(s);
-            let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+            let config = OpaqConfig::builder()
+                .run_length(m)
+                .sample_size(s.min(m))
+                .build()
+                .unwrap();
             let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
             let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
             row.push(format!("{:.2}", report.modelled.io_fraction()));
@@ -35,5 +38,7 @@ fn main() {
         table.row(row);
     }
     print!("{}", table.render());
-    println!("expectation: roughly constant ~0.5 across sizes and processor counts (paper Table 11)");
+    println!(
+        "expectation: roughly constant ~0.5 across sizes and processor counts (paper Table 11)"
+    );
 }

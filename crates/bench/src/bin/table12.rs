@@ -25,7 +25,11 @@ fn main() {
         let n = per * p as u64;
         let data = DatasetSpec::paper_uniform(n, 5).generate();
         let m = (per / 4).max(s);
-        let config = OpaqConfig::builder().run_length(m).sample_size(s.min(m)).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s.min(m))
+            .build()
+            .unwrap();
         let popaq = ParallelOpaq::new(config, p).with_merge(MergeAlgorithm::Sample);
         let report = popaq.run_on_partitions(block_partition(&data, p)).unwrap();
         let (io, sampling, local, global) = report.modelled.fractions();

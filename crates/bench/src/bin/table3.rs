@@ -14,7 +14,10 @@ fn main() {
     let sample_sizes = [250u64, 500, 1000];
 
     let mut per_dist_results: Vec<Vec<Vec<f64>>> = Vec::new(); // [dist][s][dectile]
-    let specs = [DatasetSpec::paper_uniform(n, 42), DatasetSpec::paper_zipf(n, 43)];
+    let specs = [
+        DatasetSpec::paper_uniform(n, 42),
+        DatasetSpec::paper_zipf(n, 43),
+    ];
     for spec in &specs {
         let mut per_s = Vec::new();
         for &s in &sample_sizes {
@@ -42,5 +45,10 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("paper bound: RER_A <= 2/s*100 = {:.2} / {:.2} / {:.2}", 200.0 / 250.0, 200.0 / 500.0, 200.0 / 1000.0);
+    println!(
+        "paper bound: RER_A <= 2/s*100 = {:.2} / {:.2} / {:.2}",
+        200.0 / 250.0,
+        200.0 / 500.0,
+        200.0 / 1000.0
+    );
 }

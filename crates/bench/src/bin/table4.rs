@@ -11,7 +11,10 @@ fn main() {
     let n = scaled(1_000_000);
     let m = paper_run_length(n);
     let sample_sizes = [250u64, 500, 1000];
-    let specs = [DatasetSpec::paper_uniform(n, 42), DatasetSpec::paper_zipf(n, 43)];
+    let specs = [
+        DatasetSpec::paper_uniform(n, 42),
+        DatasetSpec::paper_zipf(n, 43),
+    ];
 
     let mut rer_l_row: Vec<String> = vec!["RER_L".to_string()];
     let mut rer_n_row: Vec<String> = vec!["RER_N".to_string()];
@@ -26,9 +29,17 @@ fn main() {
     let mut table = TextTable::new(format!(
         "Table 4: RER_L / RER_N (%) by sample size, n = {n} (uniform s=250/500/1000, then zipf)"
     ))
-    .header(["metric", "u s=250", "u s=500", "u s=1000", "z s=250", "z s=500", "z s=1000"]);
+    .header([
+        "metric", "u s=250", "u s=500", "u s=1000", "z s=250", "z s=500", "z s=1000",
+    ]);
     table.row(rer_l_row);
     table.row(rer_n_row);
     print!("{}", table.render());
-    println!("paper bound: RER_L, RER_N <= q/s*100 = {:.2} / {:.2} / {:.2}", 1000.0 / 250.0, 1000.0 / 500.0, 1000.0 / 1000.0);
+    let bound = |s: f64| 10.0 / s * 100.0; // q = 10 dectiles
+    println!(
+        "paper bound: RER_L, RER_N <= q/s*100 = {:.2} / {:.2} / {:.2}",
+        bound(250.0),
+        bound(500.0),
+        bound(1000.0)
+    );
 }

@@ -13,9 +13,12 @@ fn main() {
 
     // [dist][size][dectile]
     let mut results: Vec<Vec<Vec<f64>>> = vec![Vec::new(), Vec::new()];
-    for (di, make_spec) in [DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec, DatasetSpec::paper_zipf]
-        .into_iter()
-        .enumerate()
+    for (di, make_spec) in [
+        DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec,
+        DatasetSpec::paper_zipf,
+    ]
+    .into_iter()
+    .enumerate()
     {
         for &n in &sizes {
             let spec = make_spec(n, 42 + di as u64);

@@ -13,7 +13,10 @@ fn main() {
 
     let mut rer_l_row: Vec<String> = vec!["RER_L".to_string()];
     let mut rer_n_row: Vec<String> = vec!["RER_N".to_string()];
-    for make_spec in [DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec, DatasetSpec::paper_zipf] {
+    for make_spec in [
+        DatasetSpec::paper_uniform as fn(u64, u64) -> DatasetSpec,
+        DatasetSpec::paper_zipf,
+    ] {
         for &n in &sizes {
             let run = run_sequential_accuracy(&make_spec(n, 42), paper_run_length(n), s);
             rer_l_row.push(fmt2(run.rates.rer_l));
@@ -29,5 +32,7 @@ fn main() {
     table.row(rer_l_row);
     table.row(rer_n_row);
     print!("{}", table.render());
-    println!("expectation: both stay around 0.5-0.6% as in the paper, independent of n and distribution");
+    println!(
+        "expectation: both stay around 0.5-0.6% as in the paper, independent of n and distribution"
+    );
 }

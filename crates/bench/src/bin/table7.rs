@@ -5,7 +5,10 @@
 //! Run with `cargo run --release -p opaq-bench --bin table7`.
 
 use opaq_baselines::{AdaptiveIntervalEstimator, ReservoirSampler, StreamingEstimator};
-use opaq_bench::{dectile_labels, error_rates_for_bounds, paper_run_length, run_sequential_accuracy, scaled, to_bounds_view, DECTILES};
+use opaq_bench::{
+    dectile_labels, error_rates_for_bounds, paper_run_length, run_sequential_accuracy, scaled,
+    to_bounds_view, DECTILES,
+};
 use opaq_datagen::DatasetSpec;
 use opaq_metrics::{fmt2, QuantileBoundsView, TextTable};
 
@@ -19,7 +22,11 @@ fn baseline_rates(data: &[u64], estimator: &mut dyn StreamingEstimator) -> Vec<f
         .map(|i| {
             let phi = i as f64 / DECTILES as f64;
             let v = estimator.estimate(phi).expect("baseline estimate");
-            QuantileBoundsView { phi, lower: v, upper: v }
+            QuantileBoundsView {
+                phi,
+                lower: v,
+                upper: v,
+            }
         })
         .collect();
     error_rates_for_bounds(data, &bounds).rer_a_per_quantile
@@ -31,7 +38,10 @@ fn main() {
     // r = n/m = 10 runs; r*s = MEMORY_POINTS  =>  s = MEMORY_POINTS / 10.
     let s = (MEMORY_POINTS as u64 * m / n).max(2);
 
-    let specs = [DatasetSpec::paper_uniform(n, 42), DatasetSpec::paper_zipf(n, 43)];
+    let specs = [
+        DatasetSpec::paper_uniform(n, 42),
+        DatasetSpec::paper_zipf(n, 43),
+    ];
     let mut columns: Vec<Vec<f64>> = Vec::new();
     for spec in &specs {
         let data = spec.generate();

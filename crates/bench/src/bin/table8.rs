@@ -15,7 +15,9 @@ fn main() {
     let mut table = TextTable::new(
         "Table 8: modelled global-merge time (ms) under the two-level model (bitonic | sample)",
     )
-    .header(["p", "x=1k B", "x=1k S", "x=10k B", "x=10k S", "x=100k B", "x=100k S", "x=1M B", "x=1M S"]);
+    .header([
+        "p", "x=1k B", "x=1k S", "x=10k B", "x=10k S", "x=100k B", "x=100k S", "x=1M B", "x=1M S",
+    ]);
     for &p in &processors {
         let mut row = vec![p.to_string()];
         for &x in &list_sizes {
@@ -27,5 +29,7 @@ fn main() {
         table.row(row);
     }
     print!("{}", table.render());
-    println!("expectation: bitonic wins for small x / small p, sample merge wins for large x / large p");
+    println!(
+        "expectation: bitonic wins for small x / small p, sample merge wins for large x / large p"
+    );
 }

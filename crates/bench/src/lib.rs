@@ -78,7 +78,11 @@ pub fn run_sequential_accuracy(spec: &DatasetSpec, m: u64, s: u64) -> AccuracyRu
     let truth = GroundTruth::new(&data);
     let bounds: Vec<QuantileBoundsView> = estimates
         .iter()
-        .map(|e| QuantileBoundsView { phi: e.phi, lower: e.lower, upper: e.upper })
+        .map(|e| QuantileBoundsView {
+            phi: e.phi,
+            lower: e.lower,
+            upper: e.upper,
+        })
         .collect();
     let rates = compute_error_rates(&truth, &bounds);
     AccuracyRun { rates, estimates }
@@ -100,7 +104,11 @@ pub fn dectile_labels() -> Vec<String> {
 pub fn to_bounds_view(estimates: &[QuantileEstimate<u64>]) -> Vec<QuantileBoundsView> {
     estimates
         .iter()
-        .map(|e| QuantileBoundsView { phi: e.phi, lower: e.lower, upper: e.upper })
+        .map(|e| QuantileBoundsView {
+            phi: e.phi,
+            lower: e.lower,
+            upper: e.upper,
+        })
         .collect()
 }
 

@@ -61,9 +61,9 @@ impl Args {
 
     /// A required option parsed as `u64`.
     pub fn require_u64(&self, key: &str) -> CliResult<u64> {
-        self.require(key)?.parse::<u64>().map_err(|_| {
-            CliError::Usage(format!("option --{key} must be an unsigned integer"))
-        })
+        self.require(key)?
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("option --{key} must be an unsigned integer")))
     }
 
     /// An optional option parsed as `u64`, with a default.
@@ -88,11 +88,15 @@ impl Args {
 
     /// A comma-separated list of `f64` values.
     pub fn f64_list(&self, key: &str) -> CliResult<Option<Vec<f64>>> {
-        let Some(raw) = self.get(key) else { return Ok(None) };
+        let Some(raw) = self.get(key) else {
+            return Ok(None);
+        };
         let mut out = Vec::new();
         for part in raw.split(',') {
             let v: f64 = part.trim().parse().map_err(|_| {
-                CliError::Usage(format!("option --{key} must be a comma-separated list of numbers"))
+                CliError::Usage(format!(
+                    "option --{key} must be a comma-separated list of numbers"
+                ))
             })?;
             out.push(v);
         }
@@ -131,7 +135,10 @@ mod tests {
     fn missing_required_option_is_an_error() {
         let args = parse(&["--n", "42"]);
         assert!(args.require("out").is_err());
-        assert!(matches!(args.require("out").unwrap_err(), CliError::Usage(_)));
+        assert!(matches!(
+            args.require("out").unwrap_err(),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ fn parse_spec(args: &Args) -> CliResult<DatasetSpec> {
     let duplicate_fraction = args.f64_or("dup", 0.1)?;
     let distribution = match args.get("dist").unwrap_or("uniform") {
         "uniform" => Distribution::Uniform { domain },
-        "zipf" => Distribution::Zipf { domain, parameter: args.f64_or("param", 0.86)? },
+        "zipf" => Distribution::Zipf {
+            domain,
+            parameter: args.f64_or("param", 0.86)?,
+        },
         "normal" => Distribution::Normal {
             domain,
             mean: args.f64_or("mean", domain as f64 / 2.0)?,
@@ -72,7 +75,12 @@ fn parse_spec(args: &Args) -> CliResult<DatasetSpec> {
             )))
         }
     };
-    Ok(DatasetSpec { n, distribution, duplicate_fraction, seed })
+    Ok(DatasetSpec {
+        n,
+        distribution,
+        duplicate_fraction,
+        seed,
+    })
 }
 
 /// `opaq generate`: write a synthetic dataset file.
@@ -150,7 +158,11 @@ pub fn query(args: &Args) -> CliResult<String> {
         let mut table = TextTable::new("quantile estimates").header(["phi", "lower", "upper"]);
         for phi in phis {
             let est = sketch.estimate(phi)?;
-            table.row([format!("{phi:.4}"), est.lower.to_string(), est.upper.to_string()]);
+            table.row([
+                format!("{phi:.4}"),
+                est.lower.to_string(),
+                est.upper.to_string(),
+            ]);
         }
         Ok(table.render())
     } else {
@@ -182,14 +194,25 @@ pub fn histogram(args: &Args) -> CliResult<String> {
     if buckets < 2 {
         return Err(CliError::Usage("--buckets must be at least 2".to_string()));
     }
-    let mut table = TextTable::new(format!("{buckets}-bucket equi-depth histogram"))
-        .header(["bucket", "upper boundary (<=)", "approx depth"]);
+    let mut table = TextTable::new(format!("{buckets}-bucket equi-depth histogram")).header([
+        "bucket",
+        "upper boundary (<=)",
+        "approx depth",
+    ]);
     let depth = sketch.total_elements() / buckets;
     let estimates = sketch.estimate_q_quantiles(buckets)?;
     for (i, est) in estimates.iter().enumerate() {
-        table.row([(i + 1).to_string(), est.upper.to_string(), depth.to_string()]);
+        table.row([
+            (i + 1).to_string(),
+            est.upper.to_string(),
+            depth.to_string(),
+        ]);
     }
-    table.row([buckets.to_string(), sketch.dataset_max().to_string(), depth.to_string()]);
+    table.row([
+        buckets.to_string(),
+        sketch.dataset_max().to_string(),
+        depth.to_string(),
+    ]);
     Ok(table.render())
 }
 
@@ -237,7 +260,9 @@ mod tests {
 
         let out = run(
             "generate",
-            &args(&["--out", data_str, "--n", "50000", "--dist", "zipf", "--seed", "3"]),
+            &args(&[
+                "--out", data_str, "--n", "50000", "--dist", "zipf", "--seed", "3",
+            ]),
         )
         .unwrap();
         assert!(out.contains("50000 keys"));
@@ -245,22 +270,38 @@ mod tests {
         let out = run(
             "sketch",
             &args(&[
-                "--data", data_str, "--n", "50000", "--run-length", "5000", "--sample-size", "500",
-                "--out", sketch_str,
+                "--data",
+                data_str,
+                "--n",
+                "50000",
+                "--run-length",
+                "5000",
+                "--sample-size",
+                "500",
+                "--out",
+                sketch_str,
             ]),
         )
         .unwrap();
         assert!(out.contains("built sketch: 5000 sample points"));
         assert!(out.contains("sketch saved"));
 
-        let out = run("query", &args(&["--sketch", sketch_str, "--phi", "0.5,0.9"])).unwrap();
+        let out = run(
+            "query",
+            &args(&["--sketch", sketch_str, "--phi", "0.5,0.9"]),
+        )
+        .unwrap();
         assert!(out.contains("0.5000"));
         assert!(out.contains("0.9000"));
 
         let out = run("rank", &args(&["--sketch", sketch_str, "--value", "100"])).unwrap();
         assert!(out.contains("rank of 100"));
 
-        let out = run("histogram", &args(&["--sketch", sketch_str, "--buckets", "8"])).unwrap();
+        let out = run(
+            "histogram",
+            &args(&["--sketch", sketch_str, "--buckets", "8"]),
+        )
+        .unwrap();
         assert!(out.contains("8-bucket equi-depth histogram"));
 
         std::fs::remove_file(data_path).unwrap();
@@ -273,12 +314,23 @@ mod tests {
         let data_str = data_path.to_str().unwrap();
         run(
             "generate",
-            &args(&["--out", data_str, "--n", "20000", "--dist", "uniform", "--seed", "9"]),
+            &args(&[
+                "--out", data_str, "--n", "20000", "--dist", "uniform", "--seed", "9",
+            ]),
         )
         .unwrap();
         let out = run(
             "exact",
-            &args(&["--data", data_str, "--n", "20000", "--phi", "0.25", "--sample-size", "200"]),
+            &args(&[
+                "--data",
+                data_str,
+                "--n",
+                "20000",
+                "--phi",
+                "0.25",
+                "--sample-size",
+                "200",
+            ]),
         )
         .unwrap();
         assert!(out.contains("exact 0.25-quantile"), "{out}");
@@ -293,7 +345,10 @@ mod tests {
         let mut data = spec.generate();
         data.sort_unstable();
         let truth = data[((0.25f64 * 20000.0).ceil() as usize) - 1];
-        assert!(out.contains(&format!("= {truth} ")), "output {out} vs truth {truth}");
+        assert!(
+            out.contains(&format!("= {truth} ")),
+            "output {out} vs truth {truth}"
+        );
         std::fs::remove_file(data_path).unwrap();
     }
 
@@ -310,7 +365,14 @@ mod tests {
         let data_path = temp("baddist", "bin");
         let err = run(
             "generate",
-            &args(&["--out", data_path.to_str().unwrap(), "--n", "100", "--dist", "cauchy"]),
+            &args(&[
+                "--out",
+                data_path.to_str().unwrap(),
+                "--n",
+                "100",
+                "--dist",
+                "cauchy",
+            ]),
         )
         .unwrap_err();
         assert!(err.to_string().contains("unknown distribution"));

@@ -13,8 +13,8 @@
 //! Keys are unsigned 64-bit little-endian integers, densely packed, exactly
 //! the format [`opaq_storage::FileRunStore`] reads and writes.
 
-use opaq_cli::commands;
 use opaq_cli::args::Args;
+use opaq_cli::commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

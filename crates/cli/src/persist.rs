@@ -55,7 +55,9 @@ pub fn from_bytes(mut bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
     let dataset_min = bytes.get_u64_le();
     let dataset_max = bytes.get_u64_le();
     let count = bytes.get_u64_le() as usize;
-    if bytes.remaining() < count * 16 {
+    // Divide rather than multiply: `count` comes from the file, and a crafted
+    // value could overflow `count * 16` and slip past the truncation guard.
+    if bytes.remaining() / 16 < count {
         return Err(CliError::Usage(format!(
             "sketch file truncated: expected {count} sample points"
         )));
@@ -67,14 +69,23 @@ pub fn from_bytes(mut bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
         samples.push(SamplePoint { value, gap });
     }
     if !samples.windows(2).all(|w| w[0].value <= w[1].value) {
-        return Err(CliError::Usage("sketch file corrupt: samples not sorted".to_string()));
+        return Err(CliError::Usage(
+            "sketch file corrupt: samples not sorted".to_string(),
+        ));
     }
     if samples.iter().map(|s| s.gap).sum::<u64>() != total_elements {
         return Err(CliError::Usage(
             "sketch file corrupt: gaps do not sum to the element count".to_string(),
         ));
     }
-    Ok(QuantileSketch::assemble(samples, total_elements, runs, max_gap, dataset_min, dataset_max))
+    Ok(QuantileSketch::assemble(
+        samples,
+        total_elements,
+        runs,
+        max_gap,
+        dataset_min,
+        dataset_max,
+    ))
 }
 
 /// Save a sketch to `path`.
@@ -101,13 +112,20 @@ mod tests {
     fn sample_sketch() -> QuantileSketch<u64> {
         let data: Vec<u64> = (0..10_000).map(|i| (i * 48271) % 65_536).collect();
         let store = MemRunStore::new(data, 1_000);
-        let config = OpaqConfig::builder().run_length(1_000).sample_size(100).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(1_000)
+            .sample_size(100)
+            .build()
+            .unwrap();
         OpaqEstimator::new(config).build_sketch(&store).unwrap()
     }
 
     fn temp_path(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("opaq-cli-persist-{tag}-{}.sketch", std::process::id()));
+        p.push(format!(
+            "opaq-cli-persist-{tag}-{}.sketch",
+            std::process::id()
+        ));
         p
     }
 
@@ -134,7 +152,8 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let err = from_bytes(b"NOTASKETCHFILE_AT_ALL_______________________________________").unwrap_err();
+        let err = from_bytes(b"NOTASKETCHFILE_AT_ALL_______________________________________")
+            .unwrap_err();
         assert!(err.to_string().contains("magic"));
     }
 

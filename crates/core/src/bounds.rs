@@ -61,7 +61,11 @@ mod tests {
     #[test]
     fn bounds_match_paper_for_divisible_case() {
         // n = 1M, m = 100k, s = 1000: g = 100, r = 10.
-        let config = OpaqConfig::builder().run_length(100_000).sample_size(1000).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(100_000)
+            .sample_size(1000)
+            .build()
+            .unwrap();
         let b = TheoreticalBounds::new(&config, 1_000_000, 10);
         // per bound = 100 + 9*99 = 991 <= n/s = 1000
         assert_eq!(b.max_elements_per_bound, 991);
@@ -74,8 +78,16 @@ mod tests {
 
     #[test]
     fn doubling_s_halves_the_bounds() {
-        let c1 = OpaqConfig::builder().run_length(100_000).sample_size(500).build().unwrap();
-        let c2 = OpaqConfig::builder().run_length(100_000).sample_size(1000).build().unwrap();
+        let c1 = OpaqConfig::builder()
+            .run_length(100_000)
+            .sample_size(500)
+            .build()
+            .unwrap();
+        let c2 = OpaqConfig::builder()
+            .run_length(100_000)
+            .sample_size(1000)
+            .build()
+            .unwrap();
         let b1 = TheoreticalBounds::new(&c1, 1_000_000, 10);
         let b2 = TheoreticalBounds::new(&c2, 1_000_000, 10);
         assert!((b1.rer_a_percent / b2.rer_a_percent - 2.0).abs() < 1e-9);
@@ -84,7 +96,11 @@ mod tests {
 
     #[test]
     fn single_run_case() {
-        let config = OpaqConfig::builder().run_length(1000).sample_size(100).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(1000)
+            .sample_size(100)
+            .build()
+            .unwrap();
         let b = TheoreticalBounds::new(&config, 1000, 10);
         assert_eq!(b.max_elements_per_bound, 10);
     }

@@ -59,16 +59,24 @@ impl OpaqConfig {
                  for n={n} (max feasible s={s})"
             )));
         }
-        Ok(Self { run_length: m, sample_size: s.max(min_s.min(m)), strategy: SelectionStrategy::default() })
+        Ok(Self {
+            run_length: m,
+            sample_size: s.max(min_s.min(m)),
+            strategy: SelectionStrategy::default(),
+        })
     }
 
     /// Validate the invariants `m ≥ 1`, `1 ≤ s ≤ m`.
     pub fn validate(&self) -> OpaqResult<()> {
         if self.run_length == 0 {
-            return Err(OpaqError::InvalidConfig("run length m must be positive".into()));
+            return Err(OpaqError::InvalidConfig(
+                "run length m must be positive".into(),
+            ));
         }
         if self.sample_size == 0 {
-            return Err(OpaqError::InvalidConfig("sample size s must be positive".into()));
+            return Err(OpaqError::InvalidConfig(
+                "sample size s must be positive".into(),
+            ));
         }
         if self.sample_size > self.run_length {
             return Err(OpaqError::InvalidConfig(format!(
@@ -156,7 +164,11 @@ mod tests {
 
     #[test]
     fn builder_rejects_s_greater_than_m() {
-        let err = OpaqConfig::builder().run_length(10).sample_size(11).build().unwrap_err();
+        let err = OpaqConfig::builder()
+            .run_length(10)
+            .sample_size(11)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, OpaqError::InvalidConfig(_)));
     }
 
@@ -168,9 +180,17 @@ mod tests {
 
     #[test]
     fn sub_run_length_rounds_up() {
-        let c = OpaqConfig::builder().run_length(10).sample_size(3).build().unwrap();
+        let c = OpaqConfig::builder()
+            .run_length(10)
+            .sample_size(3)
+            .build()
+            .unwrap();
         assert_eq!(c.sub_run_length(), 4);
-        let c = OpaqConfig::builder().run_length(100).sample_size(10).build().unwrap();
+        let c = OpaqConfig::builder()
+            .run_length(100)
+            .sample_size(10)
+            .build()
+            .unwrap();
         assert_eq!(c.sub_run_length(), 10);
     }
 
@@ -182,7 +202,11 @@ mod tests {
         let c = OpaqConfig::for_memory_budget(n, memory, q).unwrap();
         c.validate().unwrap();
         assert!(c.sample_size >= 2 * q);
-        assert!(c.memory_elements(n) <= memory + c.run_length, "within ~budget: {}", c.memory_elements(n));
+        assert!(
+            c.memory_elements(n) <= memory + c.run_length,
+            "within ~budget: {}",
+            c.memory_elements(n)
+        );
     }
 
     #[test]
@@ -194,7 +218,11 @@ mod tests {
 
     #[test]
     fn memory_elements_accounts_run_plus_samples() {
-        let c = OpaqConfig::builder().run_length(1000).sample_size(100).build().unwrap();
+        let c = OpaqConfig::builder()
+            .run_length(1000)
+            .sample_size(100)
+            .build()
+            .unwrap();
         // n = 10_000 -> r = 10 -> memory = 1000 + 10*100 = 2000
         assert_eq!(c.memory_elements(10_000), 2000);
     }

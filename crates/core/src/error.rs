@@ -58,8 +58,12 @@ mod tests {
     fn display_messages() {
         assert!(OpaqError::EmptyDataset.to_string().contains("non-empty"));
         assert!(OpaqError::InvalidPhi(1.5).to_string().contains("1.5"));
-        assert!(OpaqError::InvalidConfig("s > m".into()).to_string().contains("s > m"));
-        assert!(OpaqError::IncompatibleSketches("x".into()).to_string().contains('x'));
+        assert!(OpaqError::InvalidConfig("s > m".into())
+            .to_string()
+            .contains("s > m"));
+        assert!(OpaqError::IncompatibleSketches("x".into())
+            .to_string()
+            .contains('x'));
         let storage: OpaqError = StorageError::Corrupt("bad".into()).into();
         assert!(storage.to_string().contains("bad"));
     }

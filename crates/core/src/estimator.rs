@@ -57,7 +57,8 @@ impl OpaqEstimator {
         K: Key,
         S: RunStore<K>,
     {
-        self.build_sketch_with_stats(store).map(|(sketch, _)| sketch)
+        self.build_sketch_with_stats(store)
+            .map(|(sketch, _)| sketch)
     }
 
     /// Like [`Self::build_sketch`], also returning per-phase timings.
@@ -94,7 +95,11 @@ impl OpaqEstimator {
         // otherwise use the measured wall time of the read calls.
         let io_after = store.io_stats().snapshot();
         let modelled_delta = io_after.modelled.saturating_sub(io_before.modelled);
-        stats.io = if modelled_delta > Duration::ZERO { modelled_delta } else { measured_io };
+        stats.io = if modelled_delta > Duration::ZERO {
+            modelled_delta
+        } else {
+            measured_io
+        };
 
         let merge_start = Instant::now();
         let sketch = QuantileSketch::from_run_samples(run_samples)?;
@@ -103,7 +108,11 @@ impl OpaqEstimator {
     }
 
     /// One-shot convenience: build the sketch and estimate the `q`-quantiles.
-    pub fn estimate_q_quantiles<K, S>(&self, store: &S, q: u64) -> OpaqResult<Vec<QuantileEstimate<K>>>
+    pub fn estimate_q_quantiles<K, S>(
+        &self,
+        store: &S,
+        q: u64,
+    ) -> OpaqResult<Vec<QuantileEstimate<K>>>
     where
         K: Key,
         S: RunStore<K>,
@@ -128,7 +137,11 @@ mod tests {
     use opaq_storage::{DiskModel, MemRunStore};
 
     fn config(m: u64, s: u64) -> OpaqConfig {
-        OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap()
+        OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -165,7 +178,11 @@ mod tests {
         let store = MemRunStore::new(data, 5000).with_disk_model(DiskModel::sp2_node_disk());
         let est = OpaqEstimator::new(config(5000, 500));
         let (_, stats) = est.build_sketch_with_stats(&store).unwrap();
-        assert!(stats.io >= Duration::from_millis(100), "modelled I/O for 10 runs: {:?}", stats.io);
+        assert!(
+            stats.io >= Duration::from_millis(100),
+            "modelled I/O for 10 runs: {:?}",
+            stats.io
+        );
         assert!(stats.total() >= stats.io);
         assert!(stats.sampling > Duration::ZERO);
     }
@@ -174,15 +191,25 @@ mod tests {
     fn empty_store_errors() {
         let store = MemRunStore::<u64>::new(vec![], 10);
         let est = OpaqEstimator::new(config(10, 2));
-        assert!(matches!(est.build_sketch(&store), Err(OpaqError::EmptyDataset)));
+        assert!(matches!(
+            est.build_sketch(&store),
+            Err(OpaqError::EmptyDataset)
+        ));
     }
 
     #[test]
     fn invalid_config_rejected_at_build_time() {
         let store = MemRunStore::new((0u64..10).collect(), 5);
-        let bad = OpaqConfig { run_length: 5, sample_size: 10, strategy: Default::default() };
+        let bad = OpaqConfig {
+            run_length: 5,
+            sample_size: 10,
+            strategy: Default::default(),
+        };
         let est = OpaqEstimator::new(bad);
-        assert!(matches!(est.build_sketch(&store), Err(OpaqError::InvalidConfig(_))));
+        assert!(matches!(
+            est.build_sketch(&store),
+            Err(OpaqError::InvalidConfig(_))
+        ));
     }
 
     #[test]

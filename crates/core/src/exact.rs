@@ -32,7 +32,11 @@ pub struct ExactQuantile<K> {
 /// [`OpaqError::IncompatibleSketches`] if the sketch does not describe the
 /// same number of elements as the store (a mismatched pairing would silently
 /// produce wrong answers).
-pub fn exact_quantile<K, S>(store: &S, sketch: &QuantileSketch<K>, phi: f64) -> OpaqResult<ExactQuantile<K>>
+pub fn exact_quantile<K, S>(
+    store: &S,
+    sketch: &QuantileSketch<K>,
+    phi: f64,
+) -> OpaqResult<ExactQuantile<K>>
 where
     K: Key,
     S: RunStore<K>,
@@ -73,7 +77,11 @@ where
         })?;
     let idx = (rank_in_candidates - 1) as usize;
     let value = *opaq_select::quickselect(&mut candidates, idx);
-    Ok(ExactQuantile { value, target_rank: psi, candidates_kept: candidates.len() })
+    Ok(ExactQuantile {
+        value,
+        target_rank: psi,
+        candidates_kept: candidates.len(),
+    })
 }
 
 #[cfg(test)]
@@ -91,7 +99,11 @@ mod tests {
 
     fn setup(data: Vec<u64>, m: u64, s: u64) -> (MemRunStore<u64>, QuantileSketch<u64>) {
         let store = MemRunStore::new(data, m);
-        let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s)
+            .build()
+            .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
         (store, sketch)
     }

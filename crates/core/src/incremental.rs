@@ -27,7 +27,11 @@ impl<K: Key> IncrementalOpaq<K> {
     /// Returns [`OpaqError::InvalidConfig`] if the configuration is invalid.
     pub fn new(config: OpaqConfig) -> OpaqResult<Self> {
         config.validate()?;
-        Ok(Self { config, sketch: None, runs_absorbed: 0 })
+        Ok(Self {
+            config,
+            sketch: None,
+            runs_absorbed: 0,
+        })
     }
 
     /// The configuration in use.
@@ -42,7 +46,10 @@ impl<K: Key> IncrementalOpaq<K> {
 
     /// Total number of elements summarised so far.
     pub fn total_elements(&self) -> u64 {
-        self.sketch.as_ref().map(|s| s.total_elements()).unwrap_or(0)
+        self.sketch
+            .as_ref()
+            .map(|s| s.total_elements())
+            .unwrap_or(0)
     }
 
     /// Absorb one new run of raw data (consumed; the run is sampled in place).
@@ -58,7 +65,11 @@ impl<K: Key> IncrementalOpaq<K> {
         let mut start = 0usize;
         while start < run.len() {
             let end = (start + m).min(run.len());
-            let rs = sample_run(&mut run[start..end], self.config.sample_size, self.config.strategy)?;
+            let rs = sample_run(
+                &mut run[start..end],
+                self.config.sample_size,
+                self.config.strategy,
+            )?;
             run_samples.push(rs);
             start = end;
         }
@@ -92,7 +103,10 @@ impl<K: Key> IncrementalOpaq<K> {
     /// # Errors
     /// [`OpaqError::EmptyDataset`] if no data has been absorbed yet.
     pub fn estimate(&self, phi: f64) -> OpaqResult<QuantileEstimate<K>> {
-        self.sketch.as_ref().ok_or(OpaqError::EmptyDataset)?.estimate(phi)
+        self.sketch
+            .as_ref()
+            .ok_or(OpaqError::EmptyDataset)?
+            .estimate(phi)
     }
 }
 
@@ -102,7 +116,11 @@ mod tests {
     use opaq_storage::MemRunStore;
 
     fn config(m: u64, s: u64) -> OpaqConfig {
-        OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap()
+        OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -168,7 +186,10 @@ mod tests {
         assert!(matches!(inc.estimate(0.5), Err(OpaqError::EmptyDataset)));
         assert!(matches!(inc.add_run(vec![]), Err(OpaqError::EmptyDataset)));
         let empty_store = MemRunStore::<u64>::new(vec![], 10);
-        assert!(matches!(inc.add_store(&empty_store), Err(OpaqError::EmptyDataset)));
+        assert!(matches!(
+            inc.add_store(&empty_store),
+            Err(OpaqError::EmptyDataset)
+        ));
     }
 
     #[test]

@@ -53,8 +53,11 @@ impl<K: Key> QuantileEstimate<K> {
 }
 
 /// Estimate the φ-quantile of the dataset summarised by `sketch`.
-pub fn estimate_phi<K: Key>(sketch: &QuantileSketch<K>, phi: f64) -> OpaqResult<QuantileEstimate<K>> {
-    if !(phi > 0.0 && phi <= 1.0) || !phi.is_finite() {
+pub fn estimate_phi<K: Key>(
+    sketch: &QuantileSketch<K>,
+    phi: f64,
+) -> OpaqResult<QuantileEstimate<K>> {
+    if !(phi > 0.0 && phi <= 1.0 && phi.is_finite()) {
         return Err(OpaqError::InvalidPhi(phi));
     }
     if sketch.is_empty() {
@@ -68,7 +71,10 @@ pub fn estimate_phi<K: Key>(sketch: &QuantileSketch<K>, phi: f64) -> OpaqResult<
 }
 
 /// Estimate the quantile of 1-based rank `psi` (`1 ≤ psi ≤ n`).
-pub fn estimate_rank<K: Key>(sketch: &QuantileSketch<K>, psi: u64) -> OpaqResult<QuantileEstimate<K>> {
+pub fn estimate_rank<K: Key>(
+    sketch: &QuantileSketch<K>,
+    psi: u64,
+) -> OpaqResult<QuantileEstimate<K>> {
     if sketch.is_empty() {
         return Err(OpaqError::EmptyDataset);
     }
@@ -94,7 +100,8 @@ pub fn estimate_rank<K: Key>(sketch: &QuantileSketch<K>, psi: u64) -> OpaqResult
     // ----- lower bound: last i with prefix[i] + cross_run_slack <= psi ------
     // prefix[i] + cross_run_slack bounds the number of elements strictly
     // below L[i] from above, so L[i] <= the psi-th element.
-    let candidates = prefix.partition_point(|&covered| covered.saturating_add(cross_run_slack) <= psi);
+    let candidates =
+        prefix.partition_point(|&covered| covered.saturating_add(cross_run_slack) <= psi);
     let (lower, lower_sample_index) = if candidates == 0 {
         // No sample is guaranteed to sit at or below the target rank; fall
         // back to the dataset minimum, which trivially is a lower bound.
@@ -215,7 +222,9 @@ mod tests {
     #[test]
     fn lemma_1_and_2_rank_slack_holds_empirically() {
         // Check |rank(bound) - psi| <= max_rank_slack for many phis.
-        let data: Vec<u64> = (0..10_000).map(|i| (i * 1103515245 + 12345) % 65536).collect();
+        let data: Vec<u64> = (0..10_000)
+            .map(|i| (i * 1103515245 + 12345) % 65536)
+            .collect();
         let mut sorted = data.clone();
         sorted.sort_unstable();
         let sketch = sketch_of(data, 1000, 100);
@@ -237,11 +246,26 @@ mod tests {
     fn invalid_phi_rejected() {
         let data: Vec<u64> = (0..100).collect();
         let sketch = sketch_of(data, 10, 2);
-        assert!(matches!(sketch.estimate(0.0), Err(OpaqError::InvalidPhi(_))));
-        assert!(matches!(sketch.estimate(1.5), Err(OpaqError::InvalidPhi(_))));
-        assert!(matches!(sketch.estimate(f64::NAN), Err(OpaqError::InvalidPhi(_))));
-        assert!(matches!(sketch.estimate_rank(0), Err(OpaqError::InvalidPhi(_))));
-        assert!(matches!(sketch.estimate_rank(101), Err(OpaqError::InvalidPhi(_))));
+        assert!(matches!(
+            sketch.estimate(0.0),
+            Err(OpaqError::InvalidPhi(_))
+        ));
+        assert!(matches!(
+            sketch.estimate(1.5),
+            Err(OpaqError::InvalidPhi(_))
+        ));
+        assert!(matches!(
+            sketch.estimate(f64::NAN),
+            Err(OpaqError::InvalidPhi(_))
+        ));
+        assert!(matches!(
+            sketch.estimate_rank(0),
+            Err(OpaqError::InvalidPhi(_))
+        ));
+        assert!(matches!(
+            sketch.estimate_rank(101),
+            Err(OpaqError::InvalidPhi(_))
+        ));
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl RankBounds {
     /// The corresponding bounds on the quantile fraction `rank / n`.
     pub fn phi_bounds(&self, n: u64) -> (f64, f64) {
         assert!(n > 0, "dataset size must be positive");
-        (self.min_rank as f64 / n as f64, self.max_rank as f64 / n as f64)
+        (
+            self.min_rank as f64 / n as f64,
+            self.max_rank as f64 / n as f64,
+        )
     }
 }
 
@@ -98,7 +101,11 @@ mod tests {
         let sketch = sketch_of(data, 50, 10);
         let rb = sketch.rank_bounds(5);
         assert_eq!(rb.min_rank, 0);
-        assert!(rb.max_rank <= 10, "only per-run slack remains: {}", rb.max_rank);
+        assert!(
+            rb.max_rank <= 10,
+            "only per-run slack remains: {}",
+            rb.max_rank
+        );
     }
 
     #[test]
@@ -112,7 +119,10 @@ mod tests {
 
     #[test]
     fn helpers() {
-        let rb = RankBounds { min_rank: 10, max_rank: 30 };
+        let rb = RankBounds {
+            min_rank: 10,
+            max_rank: 30,
+        };
         assert_eq!(rb.width(), 20);
         assert_eq!(rb.midpoint(), 20);
         let (lo, hi) = rb.phi_bounds(100);
@@ -122,6 +132,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn phi_bounds_zero_n_panics() {
-        RankBounds { min_rank: 0, max_rank: 0 }.phi_bounds(0);
+        RankBounds {
+            min_rank: 0,
+            max_rank: 0,
+        }
+        .phi_bounds(0);
     }
 }

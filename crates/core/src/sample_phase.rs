@@ -29,7 +29,10 @@ pub struct RunSample<K> {
 impl<K: Key> RunSample<K> {
     /// The largest sample, which by construction is the run maximum.
     pub fn run_max(&self) -> K {
-        *self.values.last().expect("a run sample always has at least one sample")
+        *self
+            .values
+            .last()
+            .expect("a run sample always has at least one sample")
     }
 
     /// Largest gap in this run (`⌈m/s⌉` for full regular sampling).
@@ -56,7 +59,9 @@ pub fn sample_run<K: Key>(
         return Err(OpaqError::EmptyDataset);
     }
     if s == 0 {
-        return Err(OpaqError::InvalidConfig("sample size s must be positive".into()));
+        return Err(OpaqError::InvalidConfig(
+            "sample size s must be positive".into(),
+        ));
     }
     let m = run.len();
     let s_eff = (s as usize).min(m);
@@ -71,7 +76,12 @@ pub fn sample_run<K: Key>(
         prev_rank_1based = rank_1based;
     }
     debug_assert_eq!(gaps.iter().sum::<u64>(), m as u64);
-    Ok(RunSample { values, gaps, run_min, run_len: m as u64 })
+    Ok(RunSample {
+        values,
+        gaps,
+        run_min,
+        run_len: m as u64,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +156,10 @@ mod tests {
     #[test]
     fn empty_run_errors() {
         let mut run: Vec<u64> = vec![];
-        assert!(matches!(sample_run(&mut run, 4, strategy()), Err(OpaqError::EmptyDataset)));
+        assert!(matches!(
+            sample_run(&mut run, 4, strategy()),
+            Err(OpaqError::EmptyDataset)
+        ));
     }
 
     #[test]

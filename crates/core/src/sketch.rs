@@ -56,7 +56,12 @@ impl<K: Key> QuantileSketch<K> {
         }
         let runs = run_samples.len() as u64;
         let total_elements: u64 = run_samples.iter().map(|r| r.run_len).sum();
-        let max_gap = run_samples.iter().map(|r| r.max_gap()).max().unwrap_or(1).max(1);
+        let max_gap = run_samples
+            .iter()
+            .map(|r| r.max_gap())
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let dataset_min = run_samples
             .iter()
             .map(|r| r.run_min)
@@ -72,7 +77,8 @@ impl<K: Key> QuantileSketch<K> {
         let mut samples = Vec::with_capacity(total_samples);
 
         // K-way merge of the already-sorted per-run sample lists.
-        let mut heap: BinaryHeap<Reverse<(K, usize, usize)>> = BinaryHeap::with_capacity(run_samples.len());
+        let mut heap: BinaryHeap<Reverse<(K, usize, usize)>> =
+            BinaryHeap::with_capacity(run_samples.len());
         for (run_idx, rs) in run_samples.iter().enumerate() {
             if !rs.values.is_empty() {
                 heap.push(Reverse((rs.values[0], run_idx, 0)));
@@ -80,7 +86,10 @@ impl<K: Key> QuantileSketch<K> {
         }
         while let Some(Reverse((value, run_idx, pos))) = heap.pop() {
             let rs = &run_samples[run_idx];
-            samples.push(SamplePoint { value, gap: rs.gaps[pos] });
+            samples.push(SamplePoint {
+                value,
+                gap: rs.gaps[pos],
+            });
             let next = pos + 1;
             if next < rs.values.len() {
                 heap.push(Reverse((rs.values[next], run_idx, next)));
@@ -88,7 +97,14 @@ impl<K: Key> QuantileSketch<K> {
         }
         debug_assert!(samples.windows(2).all(|w| w[0].value <= w[1].value));
 
-        Ok(Self::from_parts(samples, total_elements, runs, max_gap, dataset_min, dataset_max))
+        Ok(Self::from_parts(
+            samples,
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+        ))
     }
 
     /// Assemble a sketch from an already-sorted sample list and its metadata.
@@ -117,7 +133,14 @@ impl<K: Key> QuantileSketch<K> {
             total_elements,
             "sample gaps must account for every element"
         );
-        Self::from_parts(samples, total_elements, runs, max_gap, dataset_min, dataset_max)
+        Self::from_parts(
+            samples,
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+        )
     }
 
     /// Assemble a sketch from raw parts (used by merge and by the parallel
@@ -137,7 +160,15 @@ impl<K: Key> QuantileSketch<K> {
             prefix_gaps.push(acc);
         }
         debug_assert_eq!(acc, total_elements, "gaps must account for every element");
-        Self { samples, prefix_gaps, total_elements, runs, max_gap, dataset_min, dataset_max }
+        Self {
+            samples,
+            prefix_gaps,
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+        }
     }
 
     /// The sorted sample list.
@@ -283,13 +314,20 @@ mod tests {
     #[test]
     fn merged_sample_list_is_sorted_and_complete() {
         let sketch = sketch_of_runs(
-            vec![(0..100).collect(), (100..200).rev().collect(), (50..150).collect()],
+            vec![
+                (0..100).collect(),
+                (100..200).rev().collect(),
+                (50..150).collect(),
+            ],
             10,
         );
         assert_eq!(sketch.len(), 30);
         assert_eq!(sketch.total_elements(), 300);
         assert_eq!(sketch.runs(), 3);
-        assert!(sketch.samples().windows(2).all(|w| w[0].value <= w[1].value));
+        assert!(sketch
+            .samples()
+            .windows(2)
+            .all(|w| w[0].value <= w[1].value));
         assert_eq!(sketch.prefix_gaps().last().copied(), Some(300));
         assert_eq!(sketch.dataset_min(), 0);
         assert_eq!(sketch.dataset_max(), 199);
@@ -327,7 +365,10 @@ mod tests {
         assert_eq!(merged.total_elements(), 300);
         assert_eq!(merged.runs(), 3);
         assert_eq!(merged.len(), 30);
-        assert!(merged.samples().windows(2).all(|w| w[0].value <= w[1].value));
+        assert!(merged
+            .samples()
+            .windows(2)
+            .all(|w| w[0].value <= w[1].value));
         assert_eq!(merged.dataset_min(), 0);
         assert_eq!(merged.dataset_max(), 1099);
         assert_eq!(merged.prefix_gaps().last().copied(), Some(300));

@@ -7,13 +7,19 @@ use opaq_select::SelectionStrategy;
 use opaq_storage::MemRunStore;
 
 fn data(n: u64, seed: u64) -> Vec<u64> {
-    (0..n).map(|i| (i.wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33).collect()
+    (0..n)
+        .map(|i| (i.wrapping_mul(6364136223846793005).wrapping_add(seed)) >> 33)
+        .collect()
 }
 
 #[test]
 fn sketch_is_deterministic_for_a_given_input() {
     let keys = data(30_000, 7);
-    let config = OpaqConfig::builder().run_length(3_000).sample_size(300).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(3_000)
+        .sample_size(300)
+        .build()
+        .unwrap();
     let build = || {
         OpaqEstimator::new(config)
             .build_sketch(&MemRunStore::new(keys.clone(), 3_000))
@@ -57,7 +63,11 @@ fn selection_strategy_does_not_change_the_sketch() {
 #[test]
 fn all_duplicate_dataset_collapses_bounds_to_the_single_value() {
     let keys = vec![42u64; 10_000];
-    let config = OpaqConfig::builder().run_length(1_000).sample_size(50).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(1_000)
+        .sample_size(50)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config)
         .build_sketch(&MemRunStore::new(keys, 1_000))
         .unwrap();
@@ -93,7 +103,11 @@ fn sample_size_equal_to_run_length_gives_exact_answers() {
     let keys = data(5_000, 11);
     let mut sorted = keys.clone();
     sorted.sort_unstable();
-    let config = OpaqConfig::builder().run_length(500).sample_size(500).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(500)
+        .sample_size(500)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config)
         .build_sketch(&MemRunStore::new(keys, 500))
         .unwrap();
@@ -109,10 +123,18 @@ fn sample_size_equal_to_run_length_gives_exact_answers() {
 #[test]
 fn tiny_datasets_smaller_than_one_run_work() {
     let keys = vec![5u64, 1, 9, 3, 7];
-    let config = OpaqConfig::builder().run_length(100).sample_size(10).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(100)
+        .sample_size(10)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config)
         .build_sketch(&MemRunStore::new(keys, 100))
         .unwrap();
     let est = sketch.estimate(0.5).unwrap();
-    assert_eq!((est.lower, est.upper), (5, 5), "median of 1,3,5,7,9 is exact here");
+    assert_eq!(
+        (est.lower, est.upper),
+        (5, 5),
+        "median of 1,3,5,7,9 is exact here"
+    );
 }

@@ -19,7 +19,11 @@ fn check_lemmas(data: Vec<u64>, m: u64, s: u64) -> Result<(), TestCaseError> {
     let mut sorted = data.clone();
     sorted.sort_unstable();
     let store = MemRunStore::new(data, m);
-    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
 
     let slack = sketch.max_elements_per_bound();
@@ -41,11 +45,17 @@ fn check_lemmas(data: Vec<u64>, m: u64, s: u64) -> Result<(), TestCaseError> {
         let rank_le = |v: u64| sorted.partition_point(|&x| x <= v) as u64;
         let rank_lt = |v: u64| sorted.partition_point(|&x| x < v) as u64;
         let below_gap = psi.saturating_sub(rank_le(est.lower));
-        prop_assert!(below_gap <= slack, "lemma 1 violated: {below_gap} > {slack}");
+        prop_assert!(
+            below_gap <= slack,
+            "lemma 1 violated: {below_gap} > {slack}"
+        );
 
         // Lemma 2: elements strictly between truth and upper bound.
         let above_gap = rank_lt(est.upper).saturating_sub(psi);
-        prop_assert!(above_gap <= slack, "lemma 2 violated: {above_gap} > {slack}");
+        prop_assert!(
+            above_gap <= slack,
+            "lemma 2 violated: {above_gap} > {slack}"
+        );
 
         // Lemma 3: elements strictly inside (lower, upper).
         let between = rank_lt(est.upper).saturating_sub(rank_le(est.lower));

@@ -16,7 +16,10 @@ use rand::{Rng, SeedableRng};
 /// # Panics
 /// Panics if `fraction` is not in `[0, 1]`.
 pub fn inject_duplicates(keys: &mut [u64], fraction: f64, seed: u64) -> usize {
-    assert!((0.0..=1.0).contains(&fraction), "duplicate fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "duplicate fraction must be in [0, 1]"
+    );
     if keys.len() < 2 || fraction == 0.0 {
         return 0;
     }

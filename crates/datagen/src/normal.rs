@@ -27,7 +27,13 @@ impl NormalGenerator {
     pub fn new(seed: u64, domain: u64, mean: f64, std_dev: f64) -> Self {
         assert!(domain > 0, "key domain must be non-empty");
         assert!(std_dev > 0.0, "standard deviation must be positive");
-        Self { rng: rng_from_seed(seed), domain, mean, std_dev, spare: None }
+        Self {
+            rng: rng_from_seed(seed),
+            domain,
+            mean,
+            std_dev,
+            spare: None,
+        }
     }
 
     /// A generator centred in the middle of the domain with a spread of one

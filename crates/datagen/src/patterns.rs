@@ -31,7 +31,10 @@ pub struct PatternGenerator {
 impl PatternGenerator {
     /// Create a generator for `pattern`.
     pub fn new(pattern: Pattern) -> Self {
-        Self { pattern, emitted: 0 }
+        Self {
+            pattern,
+            emitted: 0,
+        }
     }
 
     fn key_at(&self, i: u64, n_hint: u64) -> u64 {
@@ -48,7 +51,7 @@ impl PatternGenerator {
             }
             Pattern::Constant(c) => c,
             Pattern::Sawtooth => {
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     i / 2
                 } else {
                     (1 << 32) + i / 2
@@ -62,7 +65,9 @@ impl KeyGenerator for PatternGenerator {
     fn generate(&mut self, n: usize) -> Vec<u64> {
         let start = self.emitted;
         let total_hint = start + n as u64;
-        let out = (0..n as u64).map(|i| self.key_at(start + i, total_hint)).collect();
+        let out = (0..n as u64)
+            .map(|i| self.key_at(start + i, total_hint))
+            .collect();
         self.emitted += n as u64;
         out
     }
@@ -115,6 +120,9 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(PatternGenerator::new(Pattern::Sorted).label(), "sorted");
-        assert_eq!(PatternGenerator::new(Pattern::Constant(0)).label(), "constant");
+        assert_eq!(
+            PatternGenerator::new(Pattern::Constant(0)).label(),
+            "constant"
+        );
     }
 }

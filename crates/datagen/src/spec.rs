@@ -74,7 +74,10 @@ impl DatasetSpec {
     pub fn paper_zipf(n: u64, seed: u64) -> Self {
         Self {
             n,
-            distribution: Distribution::Zipf { domain: 1 << 31, parameter: 0.86 },
+            distribution: Distribution::Zipf {
+                domain: 1 << 31,
+                parameter: 0.86,
+            },
             duplicate_fraction: 0.1,
             seed,
         }
@@ -84,15 +87,21 @@ impl DatasetSpec {
     pub fn generate(&self) -> Vec<u64> {
         let n = self.n as usize;
         let mut keys = match self.distribution {
-            Distribution::Uniform { domain } => UniformGenerator::new(self.seed, domain).generate(n),
+            Distribution::Uniform { domain } => {
+                UniformGenerator::new(self.seed, domain).generate(n)
+            }
             Distribution::Zipf { domain, parameter } => {
                 ZipfGenerator::from_paper_parameter(self.seed, domain, parameter).generate(n)
             }
-            Distribution::Normal { domain, mean, std_dev } => {
-                NormalGenerator::new(self.seed, domain, mean, std_dev).generate(n)
-            }
+            Distribution::Normal {
+                domain,
+                mean,
+                std_dev,
+            } => NormalGenerator::new(self.seed, domain, mean, std_dev).generate(n),
             Distribution::Sorted => PatternGenerator::new(Pattern::Sorted).generate(n),
-            Distribution::ReverseSorted => PatternGenerator::new(Pattern::ReverseSorted).generate(n),
+            Distribution::ReverseSorted => {
+                PatternGenerator::new(Pattern::ReverseSorted).generate(n)
+            }
             Distribution::OrganPipe => PatternGenerator::new(Pattern::OrganPipe).generate(n),
             Distribution::Constant(c) => PatternGenerator::new(Pattern::Constant(c)).generate(n),
         };
@@ -124,7 +133,10 @@ mod tests {
         let spec = DatasetSpec::paper_uniform(10_000, 3);
         let keys = spec.generate();
         assert_eq!(keys.len(), 10_000);
-        assert!(count_duplicated_elements(&keys) >= 1000 / 2, "duplicates injected");
+        assert!(
+            count_duplicated_elements(&keys) >= 1000 / 2,
+            "duplicates injected"
+        );
         assert_eq!(spec.label(), "uniform");
     }
 
@@ -151,14 +163,26 @@ mod tests {
     fn all_distributions_generate_requested_length() {
         for dist in [
             Distribution::Uniform { domain: 1000 },
-            Distribution::Zipf { domain: 1000, parameter: 0.86 },
-            Distribution::Normal { domain: 1000, mean: 500.0, std_dev: 100.0 },
+            Distribution::Zipf {
+                domain: 1000,
+                parameter: 0.86,
+            },
+            Distribution::Normal {
+                domain: 1000,
+                mean: 500.0,
+                std_dev: 100.0,
+            },
             Distribution::Sorted,
             Distribution::ReverseSorted,
             Distribution::OrganPipe,
             Distribution::Constant(3),
         ] {
-            let spec = DatasetSpec { n: 777, distribution: dist, duplicate_fraction: 0.05, seed: 1 };
+            let spec = DatasetSpec {
+                n: 777,
+                distribution: dist,
+                duplicate_fraction: 0.05,
+                seed: 1,
+            };
             assert_eq!(spec.generate().len(), 777, "{dist:?}");
         }
     }

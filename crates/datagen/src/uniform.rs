@@ -18,7 +18,10 @@ impl UniformGenerator {
     /// Panics if `domain == 0`.
     pub fn new(seed: u64, domain: u64) -> Self {
         assert!(domain > 0, "key domain must be non-empty");
-        Self { rng: rng_from_seed(seed), domain }
+        Self {
+            rng: rng_from_seed(seed),
+            domain,
+        }
     }
 
     /// The key domain size.
@@ -54,7 +57,10 @@ mod tests {
         let keys = UniformGenerator::new(1, domain).generate(200_000);
         let mean = keys.iter().copied().map(|k| k as f64).sum::<f64>() / keys.len() as f64;
         let expected = domain as f64 / 2.0;
-        assert!((mean - expected).abs() < expected * 0.02, "mean {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < expected * 0.02,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl ZipfGenerator {
     /// # Panics
     /// Panics if `p` is outside `[0, 1]` or `domain == 0`.
     pub fn from_paper_parameter(seed: u64, domain: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "paper Zipf parameter must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "paper Zipf parameter must be in [0, 1]"
+        );
         let mut g = Self::new(seed, domain, 1.0 - p);
         g.paper_parameter = Some(p);
         g

@@ -62,14 +62,32 @@ pub struct ErrorReport {
 /// # Panics
 /// Panics if `bounds` is empty, if any `lower > upper`, or if the φ values
 /// are not strictly increasing inside `(0, 1)`.
-pub fn compute_error_rates(truth: &GroundTruth, bounds: &[QuantileBoundsView]) -> RelativeErrorRates {
-    assert!(!bounds.is_empty(), "at least one quantile bound is required");
+pub fn compute_error_rates(
+    truth: &GroundTruth,
+    bounds: &[QuantileBoundsView],
+) -> RelativeErrorRates {
+    assert!(
+        !bounds.is_empty(),
+        "at least one quantile bound is required"
+    );
     for b in bounds {
-        assert!(b.lower <= b.upper, "lower bound {} exceeds upper bound {}", b.lower, b.upper);
-        assert!(b.phi > 0.0 && b.phi < 1.0, "phi {} must be inside (0, 1)", b.phi);
+        assert!(
+            b.lower <= b.upper,
+            "lower bound {} exceeds upper bound {}",
+            b.lower,
+            b.upper
+        );
+        assert!(
+            b.phi > 0.0 && b.phi < 1.0,
+            "phi {} must be inside (0, 1)",
+            b.phi
+        );
     }
     for pair in bounds.windows(2) {
-        assert!(pair[0].phi < pair[1].phi, "phi values must be strictly increasing");
+        assert!(
+            pair[0].phi < pair[1].phi,
+            "phi values must be strictly increasing"
+        );
     }
 
     let n = truth.n() as f64;
@@ -95,7 +113,11 @@ pub fn compute_error_rates(truth: &GroundTruth, bounds: &[QuantileBoundsView]) -
     let mut rer_l = 0.0f64;
     for w in bounds.windows(2) {
         let (a, b) = (&w[0], &w[1]);
-        let ni = rank_gap(truth, truth.quantile_value(a.phi), truth.quantile_value(b.phi));
+        let ni = rank_gap(
+            truth,
+            truth.quantile_value(a.phi),
+            truth.quantile_value(b.phi),
+        );
         let nli = rank_gap(truth, a.lower, b.lower);
         let nui = rank_gap(truth, a.upper, b.upper);
         if ni > 0.0 {
@@ -115,7 +137,11 @@ pub fn compute_error_rates(truth: &GroundTruth, bounds: &[QuantileBoundsView]) -
         rer_n = rer_n.max(dui / per_quantile_mass * 100.0);
     }
 
-    RelativeErrorRates { rer_a_per_quantile, rer_l, rer_n }
+    RelativeErrorRates {
+        rer_a_per_quantile,
+        rer_l,
+        rer_n,
+    }
 }
 
 /// Number of elements separating two values, measured as the difference of
@@ -140,7 +166,11 @@ mod tests {
         let bounds: Vec<QuantileBoundsView> = (1..10)
             .map(|i| {
                 let v = truth.quantile_value(i as f64 / 10.0);
-                QuantileBoundsView { phi: i as f64 / 10.0, lower: v, upper: v }
+                QuantileBoundsView {
+                    phi: i as f64 / 10.0,
+                    lower: v,
+                    upper: v,
+                }
             })
             .collect();
         let rates = compute_error_rates(&truth, &bounds);
@@ -156,7 +186,11 @@ mod tests {
         let bounds: Vec<QuantileBoundsView> = (1..10)
             .map(|i| {
                 let v = truth.quantile_value(i as f64 / 10.0);
-                QuantileBoundsView { phi: i as f64 / 10.0, lower: v - 10, upper: v + 10 }
+                QuantileBoundsView {
+                    phi: i as f64 / 10.0,
+                    lower: v - 10,
+                    upper: v + 10,
+                }
             })
             .collect();
         let rates = compute_error_rates(&truth, &bounds);
@@ -188,11 +222,15 @@ mod tests {
         // 100 copies of each value 1..=10; true median value is 5.
         let mut data = Vec::new();
         for v in 1..=10u64 {
-            data.extend(std::iter::repeat(v).take(100));
+            data.extend(std::iter::repeat_n(v, 100));
         }
         let truth = GroundTruth::new(&data);
         let median = truth.quantile_value(0.5);
-        let bounds = vec![QuantileBoundsView { phi: 0.5, lower: median, upper: median }];
+        let bounds = vec![QuantileBoundsView {
+            phi: 0.5,
+            lower: median,
+            upper: median,
+        }];
         let rates = compute_error_rates(&truth, &bounds);
         // Ne = 100 (all copies of the median value), Nt = 100 -> RER_A = 0.
         assert!(rates.rer_a_max() < 1e-9);
@@ -219,8 +257,16 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_phis_panic() {
         let truth = uniform_truth(10);
-        let b = QuantileBoundsView { phi: 0.5, lower: 5, upper: 5 };
-        let a = QuantileBoundsView { phi: 0.2, lower: 2, upper: 2 };
+        let b = QuantileBoundsView {
+            phi: 0.5,
+            lower: 5,
+            upper: 5,
+        };
+        let a = QuantileBoundsView {
+            phi: 0.2,
+            lower: 2,
+            upper: 2,
+        };
         compute_error_rates(&truth, &[b, a]);
     }
 
@@ -228,6 +274,13 @@ mod tests {
     #[should_panic(expected = "exceeds upper bound")]
     fn inverted_bounds_panic() {
         let truth = uniform_truth(10);
-        compute_error_rates(&truth, &[QuantileBoundsView { phi: 0.5, lower: 6, upper: 5 }]);
+        compute_error_rates(
+            &truth,
+            &[QuantileBoundsView {
+                phi: 0.5,
+                lower: 6,
+                upper: 5,
+            }],
+        );
     }
 }

@@ -16,7 +16,10 @@ impl GroundTruth {
     /// # Panics
     /// Panics if `data` is empty.
     pub fn new(data: &[u64]) -> Self {
-        assert!(!data.is_empty(), "ground truth requires a non-empty dataset");
+        assert!(
+            !data.is_empty(),
+            "ground truth requires a non-empty dataset"
+        );
         let mut sorted = data.to_vec();
         sorted.sort_unstable();
         Self { sorted }
@@ -24,8 +27,14 @@ impl GroundTruth {
 
     /// Build from data that is already sorted (asserted in debug builds).
     pub fn from_sorted(sorted: Vec<u64>) -> Self {
-        assert!(!sorted.is_empty(), "ground truth requires a non-empty dataset");
-        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        assert!(
+            !sorted.is_empty(),
+            "ground truth requires a non-empty dataset"
+        );
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "input must be sorted"
+        );
         Self { sorted }
     }
 
@@ -57,7 +66,9 @@ impl GroundTruth {
     /// (e.g. `q = 10` gives the nine dectiles).
     pub fn quantiles(&self, q: u64) -> Vec<u64> {
         assert!(q >= 2, "q must be at least 2");
-        (1..q).map(|i| self.quantile_value(i as f64 / q as f64)).collect()
+        (1..q)
+            .map(|i| self.quantile_value(i as f64 / q as f64))
+            .collect()
     }
 
     /// Number of elements strictly less than `value`.

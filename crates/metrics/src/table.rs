@@ -17,7 +17,11 @@ pub struct TextTable {
 impl TextTable {
     /// Create a table with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), header: Vec::new(), rows: Vec::new() }
+        Self {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Set the column headers.
@@ -77,7 +81,13 @@ fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
         .iter()
         .enumerate()
-        .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+        .map(|(i, c)| {
+            format!(
+                "{:>width$}",
+                c,
+                width = widths.get(i).copied().unwrap_or(c.len())
+            )
+        })
         .collect::<Vec<_>>()
         .join("  ")
 }

@@ -60,11 +60,18 @@ impl PhaseTimer {
             .phases
             .iter()
             .map(|(name, d)| {
-                let fraction = if total_secs > 0.0 { d.as_secs_f64() / total_secs } else { 0.0 };
+                let fraction = if total_secs > 0.0 {
+                    d.as_secs_f64() / total_secs
+                } else {
+                    0.0
+                };
                 (name.clone(), d.as_secs_f64(), fraction)
             })
             .collect();
-        PhaseBreakdown { total_seconds: total_secs, phases }
+        PhaseBreakdown {
+            total_seconds: total_secs,
+            phases,
+        }
     }
 
     /// Merge another timer's phases into this one (used to combine

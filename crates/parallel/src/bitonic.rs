@@ -14,11 +14,25 @@
 
 use crate::machine::{Machine, ProcessorCtx};
 
+/// A block element during the merge: a real value or the `+∞` padding that
+/// equalises block sizes (compare-split is only correct for equal blocks).
+///
+/// The derived `Ord` places every `Value` before `Infinity`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Padded<T> {
+    Value(T),
+    Infinity,
+}
+
 /// Merge `p = lists.len()` locally sorted lists into a globally sorted
 /// sequence, distributed across the same `p` processors (processor `i`
 /// returns slot `i` of the output; the concatenation of the slots is sorted).
 ///
-/// Each processor keeps exactly its original number of elements.
+/// Each processor keeps exactly its original number of elements.  Blocks of
+/// unequal length are padded to a common length with `+∞` sentinels for the
+/// duration of the network (block compare-split obeys the 0-1 principle only
+/// for equal blocks), then a final routing round moves every value to the
+/// processor that owns its output rank.
 ///
 /// # Panics
 /// Panics if `lists.len()` is not a power of two, does not match the
@@ -29,15 +43,36 @@ where
 {
     let p = machine.p();
     assert_eq!(lists.len(), p, "one list per processor is required");
-    assert!(p.is_power_of_two(), "bitonic merge requires a power-of-two processor count");
-    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])), "lists must be sorted");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic merge requires a power-of-two processor count"
+    );
+    debug_assert!(
+        lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])),
+        "lists must be sorted"
+    );
     if p == 1 {
         return lists;
     }
 
-    let results = machine.run::<Vec<T>, Vec<T>, _>(|ctx| {
-        let mut block = lists[ctx.id()].clone();
+    let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
+    let total: usize = sizes.iter().sum();
+    let pad_len = sizes.iter().copied().max().unwrap_or(0);
+    // offsets[j] = first global output rank owned by processor j.
+    let offsets: Vec<usize> = sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let start = *acc;
+            *acc += s;
+            Some(start)
+        })
+        .collect();
+
+    let results = machine.run::<Vec<Padded<T>>, Vec<T>, _>(|ctx| {
         let id = ctx.id();
+        let mut block: Vec<Padded<T>> = lists[id].iter().cloned().map(Padded::Value).collect();
+        block.resize(pad_len, Padded::Infinity);
+
         let stages = p.trailing_zeros();
         for k in 1..=stages {
             for j in (0..k).rev() {
@@ -48,14 +83,47 @@ where
                 block = compare_split(ctx, block, partner, keep_low);
             }
         }
-        block
+
+        // `block` now holds global ranks [id·pad_len, (id+1)·pad_len) of the
+        // padded sorted sequence (real values occupy ranks < total).  Route
+        // each value to the processor owning its output rank; sending every
+        // peer a (possibly empty) segment keeps the receive order static.
+        let mut outgoing: Vec<Vec<Padded<T>>> = (0..ctx.p()).map(|_| Vec::new()).collect();
+        for (i, element) in block.into_iter().enumerate() {
+            if let Padded::Value(value) = element {
+                let rank = id * pad_len + i;
+                debug_assert!(rank < total, "padding must sort after every value");
+                let owner = offsets.partition_point(|&start| start <= rank) - 1;
+                outgoing[owner].push(Padded::Value(value));
+            }
+        }
+        for (dest, segment) in outgoing.into_iter().enumerate() {
+            let words = segment.len() as u64;
+            ctx.send(dest, words, segment);
+        }
+        // Sources hold increasing rank ranges, so concatenating the segments
+        // in source order reassembles this processor's sorted output block.
+        let mut mine: Vec<T> = Vec::with_capacity(sizes[id]);
+        for src in 0..ctx.p() {
+            mine.extend(ctx.recv_from(src).into_iter().filter_map(|e| match e {
+                Padded::Value(v) => Some(v),
+                Padded::Infinity => None,
+            }));
+        }
+        debug_assert_eq!(mine.len(), sizes[id]);
+        mine
     });
     results.into_iter().map(|(block, _)| block).collect()
 }
 
 /// One compare-split step: exchange blocks with `partner`, merge, keep either
 /// the lowest or the highest `my_len` elements.
-fn compare_split<T>(ctx: &mut ProcessorCtx<Vec<T>>, block: Vec<T>, partner: usize, keep_low: bool) -> Vec<T>
+fn compare_split<T>(
+    ctx: &mut ProcessorCtx<Vec<T>>,
+    block: Vec<T>,
+    partner: usize,
+    keep_low: bool,
+) -> Vec<T>
 where
     T: Ord + Clone + Send,
 {
@@ -105,7 +173,11 @@ mod tests {
         let out = bitonic_merge(&machine, lists);
         assert_eq!(out.len(), p);
         for (i, block) in out.iter().enumerate() {
-            assert_eq!(block.len(), sizes[i], "processor {i} keeps its element count");
+            assert_eq!(
+                block.len(),
+                sizes[i],
+                "processor {i} keeps its element count"
+            );
         }
         let flat: Vec<u64> = out.into_iter().flatten().collect();
         assert_eq!(flat, expected);
@@ -124,13 +196,23 @@ mod tests {
 
     #[test]
     fn merges_disjoint_ranges_already_in_place() {
-        let lists: Vec<Vec<u64>> = vec![vec![0, 1, 2], vec![10, 11, 12], vec![20, 21, 22], vec![30, 31, 32]];
+        let lists: Vec<Vec<u64>> = vec![
+            vec![0, 1, 2],
+            vec![10, 11, 12],
+            vec![20, 21, 22],
+            vec![30, 31, 32],
+        ];
         check_global_sort(4, lists);
     }
 
     #[test]
     fn merges_reverse_placed_ranges() {
-        let lists: Vec<Vec<u64>> = vec![vec![30, 31, 32], vec![20, 21, 22], vec![10, 11, 12], vec![0, 1, 2]];
+        let lists: Vec<Vec<u64>> = vec![
+            vec![30, 31, 32],
+            vec![20, 21, 22],
+            vec![10, 11, 12],
+            vec![0, 1, 2],
+        ];
         check_global_sort(4, lists);
     }
 
@@ -149,7 +231,9 @@ mod tests {
     fn merges_larger_pseudorandom_lists_on_8_processors() {
         let lists: Vec<Vec<u64>> = (0..8)
             .map(|pid| {
-                let mut l: Vec<u64> = (0..500u64).map(|i| (i * 2654435761 + pid * 977) % 100_000).collect();
+                let mut l: Vec<u64> = (0..500u64)
+                    .map(|i| (i * 2654435761 + pid * 977) % 100_000)
+                    .collect();
                 l.sort_unstable();
                 l
             })

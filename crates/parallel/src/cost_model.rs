@@ -26,7 +26,11 @@ impl CostModel {
     /// latency, ~35 MB/s per-link bandwidth (≈ 0.11 µs per 4-byte word), and
     /// a ~10 ns unit computation (RS/6000-390 class core).
     pub fn sp2() -> Self {
-        Self { delta: 10e-9, tau: 40e-6, mu: 0.11e-6 }
+        Self {
+            delta: 10e-9,
+            tau: 40e-6,
+            mu: 0.11e-6,
+        }
     }
 
     /// Modelled cost of sending one message of `words` words.
@@ -81,14 +85,22 @@ mod tests {
 
     #[test]
     fn message_cost_is_affine_in_words() {
-        let m = CostModel { delta: 0.0, tau: 1.0, mu: 0.5 };
+        let m = CostModel {
+            delta: 0.0,
+            tau: 1.0,
+            mu: 0.5,
+        };
         assert_eq!(m.message(0), Duration::from_secs_f64(1.0));
         assert_eq!(m.message(4), Duration::from_secs_f64(3.0));
     }
 
     #[test]
     fn compute_cost_scales_linearly() {
-        let m = CostModel { delta: 2e-9, tau: 0.0, mu: 0.0 };
+        let m = CostModel {
+            delta: 2e-9,
+            tau: 0.0,
+            mu: 0.0,
+        };
         assert_eq!(m.compute(1_000_000), Duration::from_secs_f64(2e-3));
     }
 

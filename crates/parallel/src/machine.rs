@@ -84,8 +84,16 @@ impl<M: Send> ProcessorCtx<M> {
     /// # Panics
     /// Panics if `to >= p`.
     pub fn send(&self, to: usize, words: u64, msg: M) {
-        assert!(to < self.p, "destination processor {to} out of range (p = {})", self.p);
-        let modelled = if to == self.id { Duration::ZERO } else { self.cost.message(words) };
+        assert!(
+            to < self.p,
+            "destination processor {to} out of range (p = {})",
+            self.p
+        );
+        let modelled = if to == self.id {
+            Duration::ZERO
+        } else {
+            self.cost.message(words)
+        };
         self.stats.record(words, modelled);
         self.senders[to]
             .send((self.id, words, msg))
@@ -160,7 +168,9 @@ impl Machine {
         F: Fn(&mut ProcessorCtx<M>) -> R + Send + Sync,
     {
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..self.p).map(|_| unbounded()).unzip();
-        let stats: Vec<Arc<CommStats>> = (0..self.p).map(|_| Arc::new(CommStats::default())).collect();
+        let stats: Vec<Arc<CommStats>> = (0..self.p)
+            .map(|_| Arc::new(CommStats::default()))
+            .collect();
 
         let mut ctxs: Vec<ProcessorCtx<M>> = receivers
             .into_iter()
@@ -184,7 +194,10 @@ impl Machine {
                 .iter_mut()
                 .map(|ctx| scope.spawn(move |_| worker(ctx)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
         .expect("machine scope panicked");
 
@@ -260,7 +273,9 @@ mod tests {
         for (id, (_, stats)) in out.iter().enumerate().skip(1) {
             assert_eq!(stats.messages_sent(), 1, "proc {id}");
             assert_eq!(stats.words_sent(), 10);
-            assert!(stats.modelled_time() >= CostModel::sp2().message(10) - Duration::from_nanos(1));
+            assert!(
+                stats.modelled_time() >= CostModel::sp2().message(10) - Duration::from_nanos(1)
+            );
         }
     }
 

@@ -15,7 +15,9 @@ use crate::bitonic::bitonic_merge;
 use crate::cost_model::CostModel;
 use crate::machine::Machine;
 use crate::sample_merge::sample_merge;
-use opaq_core::{sample_run, Key, OpaqConfig, OpaqError, OpaqResult, QuantileSketch, RunSample, SamplePoint};
+use opaq_core::{
+    sample_run, Key, OpaqConfig, OpaqError, OpaqResult, QuantileSketch, RunSample, SamplePoint,
+};
 use opaq_storage::{DiskModel, FixedWidthCodec, MemRunStore, RunStore};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -188,7 +190,10 @@ impl ParallelOpaq {
                 .iter()
                 .map(|store| scope.spawn(move || self.local_phases(store)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("local phase thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("local phase thread panicked"))
+                .collect()
         });
         let mut local_results = Vec::with_capacity(self.processors);
         let mut measured = PhaseTimes::default();
@@ -202,7 +207,8 @@ impl ParallelOpaq {
 
         // ---- global merge of the p local sample lists -----------------------
         let machine = Machine::new(self.processors, self.cost);
-        let lists: Vec<Vec<SamplePoint<K>>> = local_results.iter().map(|l| l.samples.clone()).collect();
+        let lists: Vec<Vec<SamplePoint<K>>> =
+            local_results.iter().map(|l| l.samples.clone()).collect();
         let per_proc_list: u64 = lists.iter().map(|l| l.len() as u64).max().unwrap_or(0);
         let keyed: Vec<Vec<KeyedPoint<K>>> = lists
             .into_iter()
@@ -213,7 +219,11 @@ impl ParallelOpaq {
         let (merged_blocks, modelled_comm) = match self.merge {
             MergeAlgorithm::Bitonic => {
                 let out = bitonic_merge(&machine, keyed);
-                (out, self.cost.bitonic_merge_cost(self.processors as u64, per_proc_list))
+                (
+                    out,
+                    self.cost
+                        .bitonic_merge_cost(self.processors as u64, per_proc_list),
+                )
             }
             MergeAlgorithm::Sample => {
                 let out = sample_merge(&machine, keyed);
@@ -231,8 +241,11 @@ impl ParallelOpaq {
         modelled.global_merge = modelled_comm;
 
         // ---- assemble the global sketch --------------------------------------
-        let samples: Vec<SamplePoint<K>> =
-            merged_blocks.into_iter().flatten().map(|KeyedPoint(sp)| sp).collect();
+        let samples: Vec<SamplePoint<K>> = merged_blocks
+            .into_iter()
+            .flatten()
+            .map(|KeyedPoint(sp)| sp)
+            .collect();
         let total_elements: u64 = local_results.iter().map(|l| l.total_elements).sum();
         let runs: u64 = local_results.iter().map(|l| l.runs).sum();
         let max_gap = local_results.iter().map(|l| l.max_gap).max().unwrap_or(1);
@@ -246,7 +259,14 @@ impl ParallelOpaq {
             .map(|l| l.max)
             .max()
             .expect("at least one processor");
-        let sketch = QuantileSketch::assemble(samples, total_elements, runs, max_gap, dataset_min, dataset_max);
+        let sketch = QuantileSketch::assemble(
+            samples,
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+        );
 
         Ok(ParallelRunReport {
             sketch,
@@ -343,7 +363,10 @@ impl<K: Ord> PartialOrd for KeyedPoint<K> {
 
 impl<K: Ord> Ord for KeyedPoint<K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.value.cmp(&other.0.value).then(self.0.gap.cmp(&other.0.gap))
+        self.0
+            .value
+            .cmp(&other.0.value)
+            .then(self.0.gap.cmp(&other.0.gap))
     }
 }
 
@@ -353,11 +376,17 @@ mod tests {
     use opaq_core::OpaqConfig;
 
     fn config(m: u64, s: u64) -> OpaqConfig {
-        OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap()
+        OpaqConfig::builder()
+            .run_length(m)
+            .sample_size(s)
+            .build()
+            .unwrap()
     }
 
     fn partitioned_data(n: u64, p: usize) -> (Vec<u64>, Vec<Vec<u64>>) {
-        let data: Vec<u64> = (0..n).map(|i| i.wrapping_mul(2654435761) % 1_000_003).collect();
+        let data: Vec<u64> = (0..n)
+            .map(|i| i.wrapping_mul(2654435761) % 1_000_003)
+            .collect();
         let per = n as usize / p;
         let parts = data.chunks(per).take(p).map(|c| c.to_vec()).collect();
         (data, parts)
@@ -401,7 +430,9 @@ mod tests {
         let report = popaq.run_on_partitions(parts).unwrap();
 
         let store = MemRunStore::new(data, 500);
-        let sequential = opaq_core::OpaqEstimator::new(cfg).build_sketch(&store).unwrap();
+        let sequential = opaq_core::OpaqEstimator::new(cfg)
+            .build_sketch(&store)
+            .unwrap();
         assert_eq!(report.sketch.total_elements(), sequential.total_elements());
         assert_eq!(report.sketch.runs(), sequential.runs());
         assert_eq!(report.sketch.len(), sequential.len());
@@ -437,7 +468,10 @@ mod tests {
     fn bitonic_with_non_power_of_two_rejected() {
         let (_, parts) = partitioned_data(3_000, 3);
         let popaq = ParallelOpaq::new(config(100, 10), 3).with_merge(MergeAlgorithm::Bitonic);
-        assert!(matches!(popaq.run_on_partitions(parts), Err(OpaqError::InvalidConfig(_))));
+        assert!(matches!(
+            popaq.run_on_partitions(parts),
+            Err(OpaqError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -452,7 +486,10 @@ mod tests {
     fn mismatched_store_count_rejected() {
         let popaq = ParallelOpaq::new(config(100, 10), 4);
         let stores: Vec<MemRunStore<u64>> = vec![MemRunStore::new((0..100).collect(), 100)];
-        assert!(matches!(popaq.run_on_stores(&stores), Err(OpaqError::InvalidConfig(_))));
+        assert!(matches!(
+            popaq.run_on_stores(&stores),
+            Err(OpaqError::InvalidConfig(_))
+        ));
     }
 
     #[test]

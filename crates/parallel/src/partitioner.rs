@@ -42,7 +42,11 @@ pub fn block_partition<K: Clone>(data: &[K], p: usize) -> Vec<Vec<K>> {
 /// Propagates estimation errors (empty sketch, `p < 2` is reported as an
 /// invalid quantile configuration).
 pub fn quantile_partition<K: Key>(sketch: &QuantileSketch<K>, p: u64) -> OpaqResult<Vec<K>> {
-    Ok(sketch.estimate_q_quantiles(p)?.into_iter().map(|e| e.upper).collect())
+    Ok(sketch
+        .estimate_q_quantiles(p)?
+        .into_iter()
+        .map(|e| e.upper)
+        .collect())
 }
 
 /// Assign every key of `data` to its bucket under the given splitters
@@ -90,7 +94,11 @@ mod tests {
     fn quantile_partition_balances_buckets() {
         let data: Vec<u64> = (0..50_000).map(|i| (i * 48271) % 1_000_003).collect();
         let store = MemRunStore::new(data.clone(), 5000);
-        let config = OpaqConfig::builder().run_length(5000).sample_size(500).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(5000)
+            .sample_size(500)
+            .build()
+            .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
         let p = 8u64;
         let splitters = quantile_partition(&sketch, p).unwrap();
@@ -101,7 +109,11 @@ mod tests {
         let fair = data.len() as f64 / p as f64;
         for (i, b) in buckets.iter().enumerate() {
             let deviation = (b.len() as f64 - fair).abs() / fair;
-            assert!(deviation < 0.15, "bucket {i} holds {} elements (fair share {fair})", b.len());
+            assert!(
+                deviation < 0.15,
+                "bucket {i} holds {} elements (fair share {fair})",
+                b.len()
+            );
         }
     }
 
@@ -114,7 +126,11 @@ mod tests {
     #[test]
     fn quantile_partition_rejects_p_below_two() {
         let store = MemRunStore::new((0u64..100).collect(), 10);
-        let config = OpaqConfig::builder().run_length(10).sample_size(5).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(10)
+            .sample_size(5)
+            .build()
+            .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
         assert!(quantile_partition(&sketch, 1).is_err());
     }

@@ -44,7 +44,10 @@ where
 {
     let p = machine.p();
     assert_eq!(lists.len(), p, "one list per processor is required");
-    debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])), "lists must be sorted");
+    debug_assert!(
+        lists.iter().all(|l| l.windows(2).all(|w| w[0] <= w[1])),
+        "lists must be sorted"
+    );
     if p == 1 {
         return lists;
     }
@@ -70,7 +73,11 @@ where
             all.sort_unstable();
             let splitters = regular_splitters(&all, p);
             for dst in 0..p {
-                ctx.send(dst, splitters.len() as u64, Msg::Splitters(splitters.clone()));
+                ctx.send(
+                    dst,
+                    splitters.len() as u64,
+                    Msg::Splitters(splitters.clone()),
+                );
             }
             splitters
         } else {
@@ -125,7 +132,9 @@ fn regular_splitters<T: Clone>(sorted: &[T], p: usize) -> Vec<T> {
         return Vec::new();
     }
     let n = sorted.len();
-    (1..p).map(|i| sorted[(i * n / p).min(n - 1)].clone()).collect()
+    (1..p)
+        .map(|i| sorted[(i * n / p).min(n - 1)].clone())
+        .collect()
 }
 
 /// Split a sorted list into `splitters.len() + 1` sorted pieces such that
@@ -199,19 +208,36 @@ mod tests {
     fn merges_equal_blocks() {
         check_global_sort(
             4,
-            vec![vec![1, 5, 9, 13], vec![2, 6, 10, 14], vec![3, 7, 11, 15], vec![4, 8, 12, 16]],
+            vec![
+                vec![1, 5, 9, 13],
+                vec![2, 6, 10, 14],
+                vec![3, 7, 11, 15],
+                vec![4, 8, 12, 16],
+            ],
         );
     }
 
     #[test]
     fn works_for_non_power_of_two_processors() {
         check_global_sort(3, vec![vec![9, 10, 11], vec![0, 5, 20], vec![1, 2, 3]]);
-        check_global_sort(5, vec![vec![1, 2], vec![3], vec![0, 10], vec![7, 8, 9], vec![4, 5, 6]]);
+        check_global_sort(
+            5,
+            vec![
+                vec![1, 2],
+                vec![3],
+                vec![0, 10],
+                vec![7, 8, 9],
+                vec![4, 5, 6],
+            ],
+        );
     }
 
     #[test]
     fn merges_duplicate_heavy_lists() {
-        check_global_sort(4, vec![vec![5; 50], vec![5; 10], vec![1, 5, 9], vec![5, 5, 5, 7]]);
+        check_global_sort(
+            4,
+            vec![vec![5; 50], vec![5; 10], vec![1, 5, 9], vec![5, 5, 5, 7]],
+        );
     }
 
     #[test]
@@ -223,7 +249,9 @@ mod tests {
     fn merges_larger_pseudorandom_lists_on_8_processors() {
         let lists: Vec<Vec<u64>> = (0..8)
             .map(|pid| {
-                let mut l: Vec<u64> = (0..1000u64).map(|i| (i * 48271 + pid * 131) % 65_536).collect();
+                let mut l: Vec<u64> = (0..1000u64)
+                    .map(|i| (i * 48271 + pid * 131) % 65_536)
+                    .collect();
                 l.sort_unstable();
                 l
             })
@@ -236,7 +264,9 @@ mod tests {
         let p = 4;
         let lists: Vec<Vec<u64>> = (0..p as u64)
             .map(|pid| {
-                let mut l: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761 + pid) % 1_000_000).collect();
+                let mut l: Vec<u64> = (0..2000u64)
+                    .map(|i| (i * 2654435761 + pid) % 1_000_000)
+                    .collect();
                 l.sort_unstable();
                 l
             })
@@ -262,7 +292,10 @@ mod tests {
 
     #[test]
     fn helper_regular_samples() {
-        assert_eq!(regular_samples(&[1, 2, 3, 4, 5, 6, 7, 8], 4), vec![2, 4, 6, 8]);
+        assert_eq!(
+            regular_samples(&[1, 2, 3, 4, 5, 6, 7, 8], 4),
+            vec![2, 4, 6, 8]
+        );
         assert_eq!(regular_samples::<u64>(&[], 4), Vec::<u64>::new());
         assert_eq!(regular_samples(&[7], 4), vec![7]);
     }

@@ -41,7 +41,11 @@ impl ScalingReport {
 
     /// Add one point.
     pub fn push(&mut self, processors: usize, total_elements: u64, time: Duration) {
-        self.points.push(ScalingPoint { processors, total_elements, time });
+        self.points.push(ScalingPoint {
+            processors,
+            total_elements,
+            time,
+        });
     }
 
     /// Speed-up relative to the first point (typically `p = 1`):
@@ -49,7 +53,9 @@ impl ScalingReport {
     ///
     /// Returns an empty vector if no points were collected.
     pub fn speedups(&self) -> Vec<f64> {
-        let Some(base) = self.points.first() else { return Vec::new() };
+        let Some(base) = self.points.first() else {
+            return Vec::new();
+        };
         self.points
             .iter()
             .map(|p| base.time.as_secs_f64() / p.time.as_secs_f64().max(f64::MIN_POSITIVE))
@@ -58,7 +64,9 @@ impl ScalingReport {
 
     /// Parallel efficiency: `speedup_i / (p_i / p_0)`.
     pub fn efficiencies(&self) -> Vec<f64> {
-        let Some(base) = self.points.first() else { return Vec::new() };
+        let Some(base) = self.points.first() else {
+            return Vec::new();
+        };
         self.speedups()
             .iter()
             .zip(&self.points)
@@ -111,7 +119,10 @@ mod tests {
         r.push(4, 1000, Duration::from_secs(1));
         r.push(4, 2000, Duration::from_secs(2));
         let t = r.throughputs();
-        assert!((t[0] - t[1]).abs() < 1e-9, "linear size-up means flat throughput");
+        assert!(
+            (t[0] - t[1]).abs() < 1e-9,
+            "linear size-up means flat throughput"
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub fn floyd_rivest_select<T: Ord>(data: &mut [T], rank: usize) -> &T {
             let n = len as f64;
             let i = (rank - lo) as f64;
             let z = (2.0 / 3.0) * n.ln();
-            let sd = 0.5 * (z * n * (n - i) * i / n).sqrt().max(1.0)
+            let sd = 0.5
+                * (z * n * (n - i) * i / n).sqrt().max(1.0)
                 * if i < n / 2.0 { -1.0 } else { 1.0 };
             let sample = z.exp().powf(2.0 / 3.0); // ~ n^{2/3} * (ln n)^{1/3}
             let new_lo = (rank as f64 - i * sample / n + sd).max(lo as f64) as usize;
@@ -92,9 +93,9 @@ mod tests {
         let base: Vec<u16> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
         let mut sorted = base.clone();
         sorted.sort_unstable();
-        for rank in 0..base.len() {
+        for (rank, &expected) in sorted.iter().enumerate() {
             let mut work = base.clone();
-            assert_eq!(*floyd_rivest_select(&mut work, rank), sorted[rank]);
+            assert_eq!(*floyd_rivest_select(&mut work, rank), expected);
         }
     }
 
@@ -108,7 +109,11 @@ mod tests {
         sorted.sort_unstable();
         for rank in [0, 1, n / 10, n / 2, n - 2, n - 1] {
             let mut work = data.clone();
-            assert_eq!(*floyd_rivest_select(&mut work, rank), sorted[rank], "rank {rank}");
+            assert_eq!(
+                *floyd_rivest_select(&mut work, rank),
+                sorted[rank],
+                "rank {rank}"
+            );
         }
     }
 
@@ -123,7 +128,9 @@ mod tests {
 
     #[test]
     fn partial_order_invariant() {
-        let mut data: Vec<i64> = (0..10_000).map(|i| ((i * 2654435761_i64) % 5000) - 2500).collect();
+        let mut data: Vec<i64> = (0..10_000)
+            .map(|i| ((i * 2654435761_i64) % 5000) - 2500)
+            .collect();
         let rank = 7777;
         let val = *floyd_rivest_select(&mut data, rank);
         assert!(data[..rank].iter().all(|x| *x <= val));

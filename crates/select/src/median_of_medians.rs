@@ -77,9 +77,9 @@ mod tests {
         let base: Vec<i32> = vec![13, -4, 0, 99, 7, 7, 7, 2, 55, -100, 8];
         let mut sorted = base.clone();
         sorted.sort_unstable();
-        for rank in 0..base.len() {
+        for (rank, &expected) in sorted.iter().enumerate() {
             let mut work = base.clone();
-            assert_eq!(*median_of_medians_select(&mut work, rank), sorted[rank]);
+            assert_eq!(*median_of_medians_select(&mut work, rank), expected);
         }
     }
 

@@ -57,10 +57,18 @@ pub fn multiselect_with<T: Ord + Clone>(
     let mut sorted_ranks: Vec<usize> = ranks.to_vec();
     sorted_ranks.sort_unstable();
     for pair in sorted_ranks.windows(2) {
-        assert!(pair[0] != pair[1], "duplicate rank {} in multiselect", pair[0]);
+        assert!(
+            pair[0] != pair[1],
+            "duplicate rank {} in multiselect",
+            pair[0]
+        );
     }
     if let Some(&max) = sorted_ranks.last() {
-        assert!(max < data.len(), "rank {max} out of bounds for slice of length {}", data.len());
+        assert!(
+            max < data.len(),
+            "rank {max} out of bounds for slice of length {}",
+            data.len()
+        );
     }
     recurse(data, 0, &sorted_ranks, strategy);
     sorted_ranks.iter().map(|&r| data[r].clone()).collect()
@@ -86,7 +94,7 @@ fn recurse<T: Ord>(data: &mut [T], offset: usize, ranks: &[usize], strategy: Sel
     let (left, rest) = data.split_at_mut(rel);
     let right = &mut rest[1..];
     let left_ranks = &ranks[..mid];
-    let right_ranks: Vec<usize> = ranks[mid + 1..].iter().copied().collect();
+    let right_ranks: Vec<usize> = ranks[mid + 1..].to_vec();
     recurse(left, offset, left_ranks, strategy);
     recurse(right, offset + rel + 1, &right_ranks, strategy);
 }
@@ -167,7 +175,11 @@ mod tests {
             SelectionStrategy::FloydRivest,
         ] {
             let mut work = base.clone();
-            assert_eq!(multiselect_with(&mut work, &ranks, strategy), expected, "{strategy:?}");
+            assert_eq!(
+                multiselect_with(&mut work, &ranks, strategy),
+                expected,
+                "{strategy:?}"
+            );
         }
     }
 

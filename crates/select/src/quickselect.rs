@@ -91,9 +91,9 @@ mod tests {
         let base = vec![9_u32, 1, 8, 2, 7, 3, 6, 4, 5, 0];
         let mut sorted = base.clone();
         sorted.sort_unstable();
-        for rank in 0..base.len() {
+        for (rank, &expected) in sorted.iter().enumerate() {
             let mut work = base.clone();
-            assert_eq!(*quickselect(&mut work, rank), sorted[rank]);
+            assert_eq!(*quickselect(&mut work, rank), expected);
         }
     }
 

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn sp2_is_much_slower_than_nvme() {
         let bytes = 8 * 1024 * 1024;
-        assert!(DiskModel::sp2_node_disk().transfer_time(bytes) > DiskModel::modern_nvme().transfer_time(bytes) * 10);
+        assert!(
+            DiskModel::sp2_node_disk().transfer_time(bytes)
+                > DiskModel::modern_nvme().transfer_time(bytes) * 10
+        );
     }
 
     #[test]

@@ -189,7 +189,9 @@ mod tests {
     #[test]
     fn write_then_read_round_trip() {
         let path = temp_path("roundtrip");
-        let data: Vec<u64> = (0..10_000).map(|i: u64| i.wrapping_mul(48271) % 65536).collect();
+        let data: Vec<u64> = (0..10_000)
+            .map(|i: u64| i.wrapping_mul(48271) % 65536)
+            .collect();
         let store = FileRunStoreBuilder::<u64>::new(&path, 1024)
             .unwrap()
             .append(&data)

@@ -82,7 +82,7 @@ impl RunLayout {
     /// Whether the final run is shorter than `m`.
     #[inline]
     pub fn has_tail_run(&self) -> bool {
-        self.n % self.m != 0
+        !self.n.is_multiple_of(self.m)
     }
 }
 
@@ -131,7 +131,10 @@ mod tests {
         let mut covered = 0u64;
         let mut expected_start = 0u64;
         for (idx, start, len) in l.iter() {
-            assert_eq!(start, expected_start, "run {idx} starts where previous ended");
+            assert_eq!(
+                start, expected_start,
+                "run {idx} starts where previous ended"
+            );
             covered += len;
             expected_start = start + len;
         }

@@ -83,7 +83,9 @@ mod tests {
         let store = MemRunStore::new(data.clone(), 128);
         assert_eq!(store.layout().runs(), 8);
         let mut reassembled = Vec::new();
-        store.for_each_run(|_, run| reassembled.extend(run)).unwrap();
+        store
+            .for_each_run(|_, run| reassembled.extend(run))
+            .unwrap();
         assert_eq!(reassembled, data);
     }
 
@@ -97,7 +99,13 @@ mod tests {
     fn out_of_range_run_errors() {
         let store = MemRunStore::new((0u32..10).collect(), 4);
         let err = store.read_run(3).unwrap_err();
-        assert!(matches!(err, StorageError::RunOutOfRange { requested: 3, available: 3 }));
+        assert!(matches!(
+            err,
+            StorageError::RunOutOfRange {
+                requested: 3,
+                available: 3
+            }
+        ));
     }
 
     #[test]
@@ -113,7 +121,8 @@ mod tests {
 
     #[test]
     fn disk_model_accumulates_modelled_time() {
-        let store = MemRunStore::new((0u64..100).collect(), 10).with_disk_model(DiskModel::sp2_node_disk());
+        let store =
+            MemRunStore::new((0u64..100).collect(), 10).with_disk_model(DiskModel::sp2_node_disk());
         let _ = store.read_run(0).unwrap();
         assert!(store.io_stats().snapshot().modelled >= Duration::from_millis(10));
     }

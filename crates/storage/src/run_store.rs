@@ -25,8 +25,14 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt run store: {msg}"),
-            StorageError::RunOutOfRange { requested, available } => {
-                write!(f, "run {requested} out of range (store has {available} runs)")
+            StorageError::RunOutOfRange {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "run {requested} out of range (store has {available} runs)"
+                )
             }
         }
     }
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn storage_error_display() {
-        let e = StorageError::RunOutOfRange { requested: 7, available: 3 };
+        let e = StorageError::RunOutOfRange {
+            requested: 7,
+            available: 3,
+        };
         assert!(e.to_string().contains("run 7"));
         let e = StorageError::Corrupt("short file".into());
         assert!(e.to_string().contains("short file"));
@@ -107,7 +116,7 @@ mod tests {
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e: StorageError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: StorageError = std::io::Error::other("x").into();
         assert!(e.source().is_some());
         assert!(StorageError::Corrupt("y".into()).source().is_none());
     }

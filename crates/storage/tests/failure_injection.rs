@@ -65,7 +65,10 @@ fn truncation_after_open_fails_reads_cleanly() {
             Err(other) => panic!("unexpected error kind: {other}"),
         }
     }
-    assert!(saw_error, "at least one run read must fail after truncation");
+    assert!(
+        saw_error,
+        "at least one run read must fail after truncation"
+    );
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -106,5 +109,8 @@ fn concurrent_readers_see_consistent_runs() {
     for h in handles {
         assert_eq!(h.join().unwrap(), 10_000);
     }
-    std::sync::Arc::try_unwrap(store).unwrap().remove_file().unwrap();
+    std::sync::Arc::try_unwrap(store)
+        .unwrap()
+        .remove_file()
+        .unwrap();
 }

@@ -33,8 +33,16 @@ impl EquiDepthHistogram {
         // Assume uniformity inside the bucket (the classic optimizer
         // assumption); interpolate between the bucket's bounds.
         let hi = self.boundaries[bucket] as f64;
-        let lo = if bucket == 0 { 0.0 } else { self.boundaries[bucket - 1] as f64 };
-        let within = if hi > lo { ((x as f64 - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 1.0 };
+        let lo = if bucket == 0 {
+            0.0
+        } else {
+            self.boundaries[bucket - 1] as f64
+        };
+        let within = if hi > lo {
+            ((x as f64 - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
         bucket as f64 * self.depth + within * self.depth
     }
 
@@ -52,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One pass over the "relation" to build the histogram boundaries.
     let store = MemRunStore::new(data.clone(), 100_000);
-    let config = OpaqConfig::builder().run_length(100_000).sample_size(2_000).build()?;
+    let config = OpaqConfig::builder()
+        .run_length(100_000)
+        .sample_size(2_000)
+        .build()?;
     let sketch = OpaqEstimator::new(config).build_sketch(&store)?;
     let boundaries: Vec<u64> = sketch
         .estimate_q_quantiles(buckets)?
@@ -60,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|e| e.upper)
         .chain(std::iter::once(sketch.dataset_max()))
         .collect();
-    let histogram = EquiDepthHistogram { boundaries, depth: n as f64 / buckets as f64, n };
+    let histogram = EquiDepthHistogram {
+        boundaries,
+        depth: n as f64 / buckets as f64,
+        n,
+    };
 
     // Evaluate a few range predicates against the exact selectivity.
     let truth = GroundTruth::new(&data);
@@ -71,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (1_000_000, 100_000_000),
         (5_000_000, 2_000_000_000),
     ];
-    println!("{:>24} {:>12} {:>12} {:>10}", "predicate", "estimated", "exact", "abs err");
+    println!(
+        "{:>24} {:>12} {:>12} {:>10}",
+        "predicate", "estimated", "exact", "abs err"
+    );
     for (lo, hi) in predicates {
         let est = histogram.estimate_selectivity(lo, hi);
         let exact = (truth.rank_le(hi) - truth.rank_lt(lo)) as f64 / n as f64;

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut partitions: Vec<Vec<u64>> = vec![Vec::new(); splitters.len() + 1];
     for run_idx in 0..store.layout().runs() {
         let run = store.read_run(run_idx)?;
-        for (bucket, keys) in scatter_by_splitters(&run, &splitters).into_iter().enumerate() {
+        for (bucket, keys) in scatter_by_splitters(&run, &splitters)
+            .into_iter()
+            .enumerate()
+        {
             partitions[bucket].extend(keys);
         }
     }
@@ -67,10 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         partition.sort_unstable();
         sorted.extend_from_slice(partition);
     }
-    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "concatenation must be globally sorted");
+    assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "concatenation must be globally sorted"
+    );
     let mut expected = data;
     expected.sort_unstable();
-    assert_eq!(sorted, expected, "external sort must agree with an in-memory sort");
-    println!("pass 3: all partitions sorted independently; concatenation verified against a full sort");
+    assert_eq!(
+        sorted, expected,
+        "external sort must agree with an in-memory sort"
+    );
+    println!(
+        "pass 3: all partitions sorted independently; concatenation verified against a full sort"
+    );
     Ok(())
 }

@@ -11,13 +11,16 @@
 //! new runs are ever sampled, and compares against the exact median of the
 //! accumulated history.
 
-use opaq::datagen::{Distribution, DatasetSpec};
+use opaq::datagen::{DatasetSpec, Distribution};
 use opaq::{GroundTruth, IncrementalOpaq, OpaqConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch_size: u64 = 250_000;
     let days = 8u64;
-    let config = OpaqConfig::builder().run_length(50_000).sample_size(1_000).build()?;
+    let config = OpaqConfig::builder()
+        .run_length(50_000)
+        .sample_size(1_000)
+        .build()?;
     let mut estimator = IncrementalOpaq::<u64>::new(config)?;
     let mut history: Vec<u64> = Vec::new();
 
@@ -29,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The daily distribution drifts: later days carry larger keys.
         let spec = DatasetSpec {
             n: batch_size,
-            distribution: Distribution::Uniform { domain: 1_000_000 + day * 500_000 },
+            distribution: Distribution::Uniform {
+                domain: 1_000_000 + day * 500_000,
+            },
             duplicate_fraction: 0.1,
             seed: 1_000 + day,
         };
@@ -39,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let estimate = estimator.estimate(0.5)?;
         let exact = GroundTruth::new(&history).quantile_value(0.5);
-        assert!(estimate.lower <= exact && exact <= estimate.upper, "bounds must always hold");
+        assert!(
+            estimate.lower <= exact && exact <= estimate.upper,
+            "bounds must always hold"
+        );
         println!(
             "{:>4} {:>12} {:>14} {:>14} {:>14} {:>10}",
             day + 1,
@@ -47,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             estimate.lower,
             exact,
             estimate.upper,
-            estimator.sketch().map(|s| s.memory_sample_points()).unwrap_or(0)
+            estimator
+                .sketch()
+                .map(|s| s.memory_sample_points())
+                .unwrap_or(0)
         );
     }
     println!("\nonly the new runs were ever sampled; old data was never revisited (paper §4)");

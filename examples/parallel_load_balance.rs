@@ -11,11 +11,14 @@
 //! that with quantile-based splitters computed by the *parallel* OPAQ
 //! formulation (8 simulated processors, sample merge).
 
-use opaq::parallel::{block_partition, scatter_by_splitters, quantile_partition};
+use opaq::parallel::{block_partition, quantile_partition, scatter_by_splitters};
 use opaq::{DatasetSpec, MergeAlgorithm, OpaqConfig, ParallelOpaq};
 
 fn imbalance(buckets: &[Vec<u64>], fair: f64) -> f64 {
-    buckets.iter().map(|b| (b.len() as f64 / fair - 1.0).abs()).fold(0.0, f64::max)
+    buckets
+        .iter()
+        .map(|b| (b.len() as f64 / fair - 1.0).abs())
+        .fold(0.0, f64::max)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store = FileRunStoreBuilder::<u64>::new(&path, run_length)?
         .append(&data)?
         .finish()?;
-    println!("wrote {} keys to {} ({} runs of {} keys)", n, path.display(), store.layout().runs(), run_length);
+    println!(
+        "wrote {} keys to {} ({} runs of {} keys)",
+        n,
+        path.display(),
+        store.layout().runs(),
+        run_length
+    );
 
     // --- 2. one pass: build the sketch ---------------------------------------
     let config = OpaqConfig::builder()
@@ -42,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. quantile phase: dectiles with deterministic bounds --------------
     let truth = GroundTruth::new(&data);
-    println!("\n{:>8} {:>12} {:>12} {:>12} {:>8}", "phi", "lower", "exact", "upper", "ok?");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12} {:>8}",
+        "phi", "lower", "exact", "upper", "ok?"
+    );
     for estimate in sketch.estimate_q_quantiles(10)? {
         let exact = truth.quantile_value(estimate.phi);
         let ok = estimate.lower <= exact && exact <= estimate.upper;

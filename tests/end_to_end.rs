@@ -41,19 +41,30 @@ fn file_backed_pipeline_respects_theoretical_bounds() {
         .finish()
         .unwrap();
 
-    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
     let estimates = sketch.estimate_q_quantiles(10).unwrap();
 
     let truth = GroundTruth::new(&data);
     let bounds: Vec<QuantileBoundsView> = estimates
         .iter()
-        .map(|e| QuantileBoundsView { phi: e.phi, lower: e.lower, upper: e.upper })
+        .map(|e| QuantileBoundsView {
+            phi: e.phi,
+            lower: e.lower,
+            upper: e.upper,
+        })
         .collect();
     let rates = compute_error_rates(&truth, &bounds);
     let theory = TheoreticalBounds::new(&config, n, 10);
 
-    assert!(rates.rer_a_max() <= theory.rer_a_percent + 1e-9, "{rates:?} vs {theory:?}");
+    assert!(
+        rates.rer_a_max() <= theory.rer_a_percent + 1e-9,
+        "{rates:?} vs {theory:?}"
+    );
     assert!(rates.rer_n <= theory.rer_n_percent + 1e-9);
     for e in &estimates {
         let exact = truth.quantile_value(e.phi);
@@ -72,7 +83,11 @@ fn parallel_agrees_with_sequential() {
     let s: u64 = 200;
     let data = DatasetSpec::paper_zipf(n, 5).generate();
 
-    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s)
+        .build()
+        .unwrap();
     let sequential = OpaqEstimator::new(config)
         .build_sketch(&MemRunStore::new(data.clone(), m))
         .unwrap();
@@ -91,7 +106,11 @@ fn parallel_agrees_with_sequential() {
         let truth = GroundTruth::new(&data);
         for e in report.sketch.estimate_q_quantiles(10).unwrap() {
             let exact = truth.quantile_value(e.phi);
-            assert!(e.lower <= exact && exact <= e.upper, "{merge:?} phi {}", e.phi);
+            assert!(
+                e.lower <= exact && exact <= e.upper,
+                "{merge:?} phi {}",
+                e.phi
+            );
         }
     }
 }
@@ -102,22 +121,42 @@ fn parallel_agrees_with_sequential() {
 fn exact_pass_agrees_with_full_sort_across_distributions() {
     let distributions = [
         Distribution::Uniform { domain: 1 << 20 },
-        Distribution::Zipf { domain: 1 << 20, parameter: 0.86 },
-        Distribution::Normal { domain: 1 << 20, mean: 500_000.0, std_dev: 100_000.0 },
+        Distribution::Zipf {
+            domain: 1 << 20,
+            parameter: 0.86,
+        },
+        Distribution::Normal {
+            domain: 1 << 20,
+            mean: 500_000.0,
+            std_dev: 100_000.0,
+        },
         Distribution::Sorted,
         Distribution::ReverseSorted,
         Distribution::Constant(7),
     ];
     for distribution in distributions {
-        let spec = DatasetSpec { n: 50_000, distribution, duplicate_fraction: 0.1, seed: 3 };
+        let spec = DatasetSpec {
+            n: 50_000,
+            distribution,
+            duplicate_fraction: 0.1,
+            seed: 3,
+        };
         let data = spec.generate();
         let truth = GroundTruth::new(&data);
         let store = MemRunStore::new(data, 5_000);
-        let config = OpaqConfig::builder().run_length(5_000).sample_size(100).build().unwrap();
+        let config = OpaqConfig::builder()
+            .run_length(5_000)
+            .sample_size(100)
+            .build()
+            .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
         for phi in [0.25, 0.5, 0.75, 0.99] {
             let exact = exact_quantile(&store, &sketch, phi).unwrap();
-            assert_eq!(exact.value, truth.quantile_value(phi), "{distribution:?} phi {phi}");
+            assert_eq!(
+                exact.value,
+                truth.quantile_value(phi),
+                "{distribution:?} phi {phi}"
+            );
         }
     }
 }
@@ -137,7 +176,11 @@ fn opaq_accuracy_is_competitive_with_baselines_under_equal_memory() {
     // OPAQ: r = 10 runs, s = memory/10.
     let m = n / 10;
     let s = memory_points as u64 / 10;
-    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s)
+        .build()
+        .unwrap();
     let sketch = OpaqEstimator::new(config)
         .build_sketch(&MemRunStore::new(data.clone(), m))
         .unwrap();
@@ -145,7 +188,11 @@ fn opaq_accuracy_is_competitive_with_baselines_under_equal_memory() {
         .estimate_q_quantiles(10)
         .unwrap()
         .iter()
-        .map(|e| QuantileBoundsView { phi: e.phi, lower: e.lower, upper: e.upper })
+        .map(|e| QuantileBoundsView {
+            phi: e.phi,
+            lower: e.lower,
+            upper: e.upper,
+        })
         .collect();
     let opaq_rates = compute_error_rates(&truth, &opaq_bounds);
 
@@ -159,19 +206,26 @@ fn opaq_accuracy_is_competitive_with_baselines_under_equal_memory() {
             .map(|i| {
                 let phi = i as f64 / 10.0;
                 let v = estimator.estimate(phi).unwrap();
-                QuantileBoundsView { phi, lower: v, upper: v }
+                QuantileBoundsView {
+                    phi,
+                    lower: v,
+                    upper: v,
+                }
             })
             .collect();
-        worst_baseline = worst_baseline.max(compute_error_rates(&truth, &bounds).rer_a_max());
+        worst_baseline = worst_baseline.max(compute_error_rates(&truth, &bounds).rer_n);
     }
 
-    // OPAQ's worst dectile error must not be dramatically worse than the
-    // baselines' (the paper claims comparable-or-better); allow a small
-    // factor to keep the test robust to sampling noise.
+    // Compare worst dectile *displacement* from the truth (RER_N): that is
+    // the error a point estimator actually commits.  (RER_A would be
+    // meaningless here — a point interval [v, v] contains ~1 element however
+    // wrong v is, while OPAQ's deterministic interval must contain up to
+    // 2n/s by design.)  The paper claims comparable-or-better accuracy;
+    // allow a factor for sampling luck on the baselines' side.
     assert!(
-        opaq_rates.rer_a_max() <= worst_baseline * 1.5 + 0.05,
-        "OPAQ {} vs worst baseline {}",
-        opaq_rates.rer_a_max(),
+        opaq_rates.rer_n <= worst_baseline * 1.5 + 0.05,
+        "OPAQ displacement {} vs worst baseline displacement {}",
+        opaq_rates.rer_n,
         worst_baseline
     );
     // And OPAQ must respect its deterministic cap, which the baselines do not have.
@@ -183,13 +237,19 @@ fn opaq_accuracy_is_competitive_with_baselines_under_equal_memory() {
 fn incremental_union_of_two_stores() {
     use opaq::IncrementalOpaq;
 
-    let config = OpaqConfig::builder().run_length(10_000).sample_size(200).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(10_000)
+        .sample_size(200)
+        .build()
+        .unwrap();
     let mut inc = IncrementalOpaq::<u64>::new(config).unwrap();
 
     let old = DatasetSpec::paper_uniform(100_000, 1).generate();
     let new = DatasetSpec::paper_uniform(50_000, 2).generate();
-    inc.add_store(&MemRunStore::new(old.clone(), 10_000)).unwrap();
-    inc.add_store(&MemRunStore::new(new.clone(), 10_000)).unwrap();
+    inc.add_store(&MemRunStore::new(old.clone(), 10_000))
+        .unwrap();
+    inc.add_store(&MemRunStore::new(new.clone(), 10_000))
+        .unwrap();
 
     let mut all = old;
     all.extend(new);

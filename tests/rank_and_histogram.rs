@@ -7,7 +7,11 @@ use opaq::{DatasetSpec, GroundTruth, MemRunStore, OpaqConfig, OpaqEstimator};
 
 fn build(data: &[u64], m: u64, s: u64) -> opaq::QuantileSketch<u64> {
     let store = MemRunStore::new(data.to_vec(), m);
-    let config = OpaqConfig::builder().run_length(m).sample_size(s).build().unwrap();
+    let config = OpaqConfig::builder()
+        .run_length(m)
+        .sample_size(s)
+        .build()
+        .unwrap();
     OpaqEstimator::new(config).build_sketch(&store).unwrap()
 }
 
@@ -61,8 +65,14 @@ fn point_estimates_are_monotone_in_phi() {
     let sketch = build(&data, 15_000, 750);
     let estimates = sketch.estimate_q_quantiles(100).unwrap();
     for pair in estimates.windows(2) {
-        assert!(pair[0].lower <= pair[1].lower, "lower bounds must be monotone");
-        assert!(pair[0].upper <= pair[1].upper, "upper bounds must be monotone");
+        assert!(
+            pair[0].lower <= pair[1].lower,
+            "lower bounds must be monotone"
+        );
+        assert!(
+            pair[0].upper <= pair[1].upper,
+            "upper bounds must be monotone"
+        );
     }
 }
 

@@ -1,0 +1,56 @@
+//! Workspace smoke test: the `examples/quickstart.rs` flow end-to-end through
+//! the `opaq` facade re-exports, scaled down to stay fast in tier-1.
+//!
+//! Builds a sketch over 100k reversed keys, estimates the median, and checks
+//! the paper's guarantees: the true median is enclosed by the bounds and, per
+//! Lemma 3, at most `2n/s` elements lie strictly between the bounds.
+
+use opaq::{GroundTruth, MemRunStore, OpaqConfig, OpaqEstimator};
+
+#[test]
+fn quickstart_flow_estimates_median_of_reversed_keys() {
+    let n: u64 = 100_000;
+    let run_length: u64 = 10_000;
+    let sample_size: u64 = 500;
+
+    // 100k reversed keys 99_999, 99_998, …, 0 — the adversarial layout for a
+    // one-pass algorithm, exercised entirely through facade re-exports.
+    let data: Vec<u64> = (0..n).rev().collect();
+    let store = MemRunStore::new(data.clone(), run_length);
+
+    let config = OpaqConfig::builder()
+        .run_length(run_length)
+        .sample_size(sample_size)
+        .build()
+        .expect("valid config");
+    let sketch = OpaqEstimator::new(config)
+        .build_sketch(&store)
+        .expect("sketch builds in one pass");
+    let median = sketch.estimate(0.5).expect("median estimate");
+
+    // Enclosure: the exact median (rank ⌈n/2⌉ = 50_000, value 49_999) is
+    // inside the deterministic bounds.
+    let truth = GroundTruth::new(&data);
+    let exact = truth.quantile_value(0.5);
+    assert_eq!(exact, 49_999);
+    assert!(
+        median.lower <= exact && exact <= median.upper,
+        "bounds [{}, {}] miss the exact median {exact}",
+        median.lower,
+        median.upper
+    );
+
+    // Lemma 3: at most 2n/s elements strictly between the bounds.  The data
+    // is a permutation of 0..n, so values count ranks directly.
+    let lemma3_cap = 2 * n / sample_size;
+    assert!(
+        sketch.max_elements_between_bounds() <= lemma3_cap,
+        "advertised bound {} exceeds Lemma 3 cap {lemma3_cap}",
+        sketch.max_elements_between_bounds()
+    );
+    let strictly_between = (median.upper - median.lower).saturating_sub(1);
+    assert!(
+        strictly_between <= lemma3_cap,
+        "{strictly_between} elements between bounds exceeds 2n/s = {lemma3_cap}"
+    );
+}

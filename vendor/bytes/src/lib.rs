@@ -1,0 +1,158 @@
+//! Hermetic stand-in for the subset of the `bytes` crate used by OPAQ.
+//!
+//! OPAQ's storage codec and CLI persistence only need the [`Buf`] / [`BufMut`]
+//! traits over `&[u8]` and `Vec<u8>` with little-endian fixed-width accessors,
+//! so that is exactly what this shim provides.
+//!
+//! To switch to the real crate, point the `bytes` entry in the root
+//! `[workspace.dependencies]` at a registry version instead of this path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+macro_rules! get_le {
+    ($(#[$doc:meta] $name:ident -> $t:ty),* $(,)?) => {$(
+        #[$doc]
+        #[inline]
+        fn $name(&mut self) -> $t {
+            const W: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; W];
+            raw.copy_from_slice(&self.chunk()[..W]);
+            self.advance(W);
+            <$t>::from_le_bytes(raw)
+        }
+    )*};
+}
+
+/// Read access to a contiguous buffer of bytes, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Number of bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes from the cursor into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    get_le! {
+        /// Read a little-endian `u32` and advance.
+        get_u32_le -> u32,
+        /// Read a little-endian `u64` and advance.
+        get_u64_le -> u64,
+        /// Read a little-endian `i32` and advance.
+        get_i32_le -> i32,
+        /// Read a little-endian `i64` and advance.
+        get_i64_le -> i64,
+        /// Read a little-endian `f64` and advance.
+        get_f64_le -> f64,
+    }
+
+    /// Read a single byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! put_le {
+    ($(#[$doc:meta] $name:ident($t:ty)),* $(,)?) => {$(
+        #[$doc]
+        #[inline]
+        fn $name(&mut self, value: $t) {
+            self.put_slice(&value.to_le_bytes());
+        }
+    )*};
+}
+
+/// Append-only write access to a growable byte buffer, mirroring
+/// `bytes::BufMut`.
+pub trait BufMut {
+    /// Append `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    put_le! {
+        /// Append a little-endian `u32`.
+        put_u32_le(u32),
+        /// Append a little-endian `u64`.
+        put_u64_le(u64),
+        /// Append a little-endian `i32`.
+        put_i32_le(i32),
+        /// Append a little-endian `i64`.
+        put_i64_le(i64),
+        /// Append a little-endian `f64`.
+        put_f64_le(f64),
+    }
+
+    /// Append a single byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i32_le(-7);
+        buf.put_i64_le(i64::MIN);
+        buf.put_f64_le(3.25);
+        buf.put_slice(b"tail");
+
+        let mut view: &[u8] = &buf;
+        assert_eq!(view.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(view.get_u64_le(), u64::MAX - 1);
+        assert_eq!(view.get_i32_le(), -7);
+        assert_eq!(view.get_i64_le(), i64::MIN);
+        assert_eq!(view.get_f64_le(), 3.25);
+        assert_eq!(view.remaining(), 4);
+        view.advance(1);
+        assert_eq!(view.chunk(), b"ail");
+    }
+
+    #[test]
+    #[should_panic]
+    fn advancing_past_the_end_panics() {
+        let mut view: &[u8] = b"ab";
+        view.advance(3);
+    }
+}

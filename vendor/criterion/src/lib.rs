@@ -1,0 +1,249 @@
+//! Hermetic stand-in for the subset of `criterion` used by OPAQ.
+//!
+//! Implements `Criterion`, benchmark groups, `Bencher::iter`, `black_box`
+//! and the `criterion_group!`/`criterion_main!` macros.  Rather than
+//! criterion's statistical engine, each benchmark is warmed up once and then
+//! timed over a fixed number of sampled batches; the per-iteration median is
+//! printed as a single line.  That keeps `cargo bench` functional (and
+//! `cargo bench --no-run` compiling) with zero external dependencies.
+//!
+//! To switch to the real crate, point the `criterion` entry in the root
+//! `[workspace.dependencies]` at a registry version instead of this path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that inhibits constant-folding of its argument.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration outside the measurement.
+        black_box(routine());
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2]
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Run the benchmark `id` with the closure `routine`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.criterion
+            .report(&self.name, &id.label(), bencher.median());
+        self
+    }
+
+    /// Run the benchmark `id`, handing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&self.name, &id.label(), bencher.median());
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: 10,
+            measured: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.report("standalone", &id.label(), bencher.median());
+        self
+    }
+
+    fn report(&mut self, group: &str, label: &str, median: Duration) {
+        self.benchmarks_run += 1;
+        println!("{group}/{label:<48} median {median:>12.3?}");
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            eprintln!(
+                "[criterion shim] group `{}`: {} benchmarks done",
+                stringify!($group),
+                criterion.benchmarks_run()
+            );
+        }
+    };
+}
+
+/// Entry point running every group listed.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn squares(c: &mut Criterion) {
+        let mut group = c.benchmark_group("squares");
+        group.sample_size(3);
+        group.bench_function("sum_1000", |b| {
+            b.iter(|| (0..1000u64).map(|i| i * i).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 500), &500u64, |b, &n| {
+            b.iter(|| (0..n).map(|i| i * i).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, squares);
+
+    #[test]
+    fn group_runs_all_benchmarks() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut bencher = Bencher {
+            samples: 4,
+            measured: Vec::new(),
+        };
+        bencher.iter(|| black_box(2 + 2));
+        assert_eq!(bencher.measured.len(), 4);
+        let _ = bencher.median();
+    }
+}

@@ -1,0 +1,130 @@
+//! Hermetic stand-in for the subset of `crossbeam` used by OPAQ.
+//!
+//! The simulated distributed-memory machine needs unbounded MPSC channels
+//! and scoped threads; both are delegated to `std` (`std::sync::mpsc` and
+//! `std::thread::scope`) behind crossbeam's signatures.
+//!
+//! To switch to the real crate, point the `crossbeam` entry in the root
+//! `[workspace.dependencies]` at a registry version instead of this path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer channels with crossbeam's `unbounded()` constructor.
+
+    /// The sending half of an unbounded channel (cloneable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// The receiving half of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `scope(|s| ...)` shape.
+
+    use std::any::Any;
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type ThreadResult<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    ///
+    /// `Copy` so it can be handed to spawned closures by value, matching the
+    /// `|scope| ... scope.spawn(|_| ...)` call shape of crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope; the closure receives the scope
+        /// again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a [`Scope`]; all spawned threads are joined before this
+    /// returns.  Panics from unjoined threads propagate (so the `Err` arm is
+    /// never constructed here, matching how OPAQ consumes the result).
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use super::thread;
+
+    #[test]
+    fn channels_and_scoped_threads_cooperate() {
+        let (tx, rx) = unbounded::<u64>();
+        let mut data = vec![1u64, 2, 3];
+        let total = thread::scope(|scope| {
+            let tx2 = tx.clone();
+            let slice = &data;
+            let h = scope.spawn(move |_| {
+                for &v in slice {
+                    tx2.send(v * 10).unwrap();
+                }
+                slice.len()
+            });
+            let n = h.join().expect("worker panicked");
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            (n, sum)
+        })
+        .expect("scope failed");
+        assert_eq!(total, (3, 60));
+        data.push(4);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let out = thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21u64).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,460 @@
+//! Hermetic stand-in for the subset of `proptest` used by OPAQ.
+//!
+//! Provides the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! integer-range and `any::<T>()` strategies and `collection::vec`, running
+//! each property over a deterministic, per-test seeded stream of cases.
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! case number and message and panics immediately.  Streams are seeded from
+//! the test's name, so failures reproduce exactly across runs and machines.
+//!
+//! To switch to the real crate, point the `proptest` entry in the root
+//! `[workspace.dependencies]` at a registry version instead of this path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Why a test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A test-case failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`], mirroring proptest's constructor.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of a single property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case generator driving `proptest!`.
+
+    use super::*;
+
+    pub use super::{TestCaseError, TestCaseResult};
+
+    /// Deterministic RNG for one property test, seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// Build the generator for the test named `name`.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self(SmallRng::seed_from_u64(hash))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values for one property-test argument.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate the next value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a default "arbitrary value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value, biased toward boundary cases.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Generate a boundary-biased arbitrary integer: edges and small values show
+/// up far more often than under a uniform draw, which is where off-by-one
+/// bugs live.
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                match rng.next_u64() % 8 {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    4 => (rng.next_u64() % 16) as $t,
+                    // A draw with a random bit-width, so magnitudes spread
+                    // across the whole range instead of clustering at the top.
+                    5 | 6 => {
+                        let shift = rng.next_u64() % 64;
+                        (rng.next_u64() >> shift) as $t
+                    }
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => 1.0,
+            3 => -1.0,
+            _ => {
+                // Uniform in (-2^32, 2^32): finite, spans signs and magnitudes.
+                let unit = rng.0.gen::<f64>() - 0.5;
+                unit * 2.0 * (1u64 << 32) as f64
+            }
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::*;
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                min: len,
+                max_inclusive: len,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from a
+    /// [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs in scope.
+
+    pub use crate::collection;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::new_value(&($strategy), &mut rng); )+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+///
+/// The shim has no rejection bookkeeping; the case simply passes vacuously.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 3i32..=5, len in 1usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((3..=5).contains(&y));
+            prop_assert!((1..4).contains(&len));
+        }
+
+        #[test]
+        fn vec_strategy_respects_lengths(
+            v in collection::vec(any::<u64>(), 2..10),
+            nested in collection::vec(collection::vec(any::<u32>(), 0..3), 1..4),
+        ) {
+            prop_assert!((2..10).contains(&v.len()));
+            prop_assert!((1..4).contains(&nested.len()));
+            for inner in &nested {
+                prop_assert!(inner.len() < 3);
+            }
+        }
+
+        #[test]
+        fn question_mark_propagates(ok in any::<bool>()) {
+            fn helper(_: bool) -> TestCaseResult {
+                Ok(())
+            }
+            helper(ok)?;
+            prop_assert_eq!(1 + 1, 2);
+            prop_assert_ne!(1, 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..5) {
+            prop_assume!(x > 10); // always discards — must not fail
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    #[test]
+    fn arbitrary_integers_hit_boundaries() {
+        let mut rng = TestRng::for_test("boundaries");
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            let v = u64::arbitrary(&mut rng);
+            saw_zero |= v == 0;
+            saw_max |= v == u64::MAX;
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_the_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            fn always_fails(_x in 0u64..5) {
+                prop_assert!(false, "boom");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,86 @@
+//! Hermetic stand-in for the subset of `serde` used by OPAQ.
+//!
+//! OPAQ derives `Serialize`/`Deserialize` on its report and config types so
+//! they can be exported by downstream users, but the workspace itself never
+//! serializes through serde (the on-disk formats are hand-rolled and
+//! versioned).  This shim therefore provides the two marker traits and the
+//! derive macros, which is enough for the derives and trait bounds to
+//! compile hermetically.
+//!
+//! To switch to the real crate, point the `serde` entry in the root
+//! `[workspace.dependencies]` at a registry version (with the `derive`
+//! feature) instead of this path.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+// The derives emit `impl ::serde::... for T`; inside this crate's own tests
+// that absolute path must resolve back to us.
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// The shim carries no serializer plumbing; the trait exists so bounds and
+/// derives compile identically to real serde.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data of
+/// lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl Serialize for std::time::Duration {}
+impl<'de> Deserialize<'de> for std::time::Duration {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, super::Serialize, super::Deserialize)]
+    struct Report {
+        #[serde(skip, default)]
+        hidden: u64,
+        value: f64,
+    }
+
+    #[derive(Debug, super::Serialize, super::Deserialize)]
+    enum Kind {
+        A,
+        B(u32),
+    }
+
+    #[test]
+    fn derived_types_satisfy_the_bounds() {
+        fn assert_serde<T: super::Serialize + for<'a> super::Deserialize<'a>>() {}
+        assert_serde::<Report>();
+        assert_serde::<Kind>();
+        assert_serde::<Vec<Report>>();
+        assert_serde::<std::time::Duration>();
+        let report = Report {
+            hidden: 1,
+            value: 2.5,
+        };
+        assert_eq!((report.hidden, report.value), (1, 2.5));
+        for kind in [Kind::A, Kind::B(3)] {
+            match kind {
+                Kind::A => {}
+                Kind::B(inner) => assert_eq!(inner, 3),
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Derive macros for the hermetic `serde` shim.
+//!
+//! The shim traits are pure markers, so the derives only need to find the
+//! type's name (and generics, rejected explicitly since no OPAQ type needs
+//! them) and emit an empty impl.  Implemented with the bare `proc_macro`
+//! API — no `syn`/`quote` — so the workspace stays dependency-free.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following `struct`/`enum`/`union`, panicking with a
+/// useful message if the item has generic parameters (unsupported here).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        // Skip attributes (`#[...]`) and visibility; look for the item keyword.
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "the serde shim derive does not support generic type `{name}`; \
+                                     implement the marker traits by hand"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected a type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde shim derive: input is not a struct, enum or union");
+}
+
+/// Derive the `serde::Serialize` marker; accepts (and ignores) `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derive the `serde::Deserialize` marker; accepts (and ignores)
+/// `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
