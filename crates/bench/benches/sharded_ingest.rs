@@ -1,0 +1,61 @@
+//! Sequential vs. sharded ingestion wall-clock.
+//!
+//! Builds the same sketch four ways — the sequential [`OpaqEstimator`] and
+//! [`ShardedOpaq`] with 2, 4 and 8 worker threads — over a multi-run
+//! in-memory store, so `cargo bench --bench sharded_ingest` answers "what
+//! does sharding buy on this machine?".  The sampling work (`O(m log s)`
+//! multi-selection per run) dominates, so on a machine with ≥ 4 cores the
+//! 4-thread variant should beat sequential clearly; on a single core the
+//! numbers instead measure the (small) dispatch overhead.  Sketch equality
+//! across all variants is asserted once up front, so the bench doubles as a
+//! smoke test of the bit-identity invariant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opaq_core::{OpaqConfig, OpaqEstimator};
+use opaq_datagen::DatasetSpec;
+use opaq_parallel::ShardedOpaq;
+use opaq_storage::MemRunStore;
+
+const N: u64 = 2_000_000;
+const RUN_LENGTH: u64 = 125_000; // 16 runs
+const SAMPLE_SIZE: u64 = 2_000;
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let data = DatasetSpec::paper_uniform(N, 41).generate();
+    let store = MemRunStore::new(data, RUN_LENGTH);
+    let config = OpaqConfig::builder()
+        .run_length(RUN_LENGTH)
+        .sample_size(SAMPLE_SIZE)
+        .build()
+        .unwrap();
+
+    // The invariant the satellites pin down, asserted on the bench workload.
+    let sequential = OpaqEstimator::new(config).build_sketch(&store).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let sharded = ShardedOpaq::new(config, threads)
+            .unwrap()
+            .build_sketch(&store)
+            .unwrap();
+        assert_eq!(sharded, sequential, "threads {threads}");
+    }
+
+    let mut group = c.benchmark_group("sharded_ingest_2m_keys_16_runs");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(OpaqEstimator::new(config).build_sketch(&store).unwrap()))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded", threads),
+            &threads,
+            |b, &threads| {
+                let sharded = ShardedOpaq::new(config, threads).unwrap();
+                b.iter(|| black_box(sharded.build_sketch(&store).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest);
+criterion_main!(benches);

@@ -8,6 +8,7 @@ use crate::{persist, CliError, CliResult};
 use opaq_core::{exact_quantile, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
 use opaq_metrics::TextTable;
+use opaq_parallel::ShardedOpaq;
 use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore};
 
 /// The usage text printed by `opaq help`.
@@ -21,7 +22,10 @@ COMMANDS:
              [--domain D] [--dup FRACTION] [--seed S]
              write N u64 keys (little-endian) to FILE
   sketch     --data FILE --n N [--run-length M] [--sample-size S] [--out SKETCH]
-             one pass over FILE; print dectiles and optionally save the sketch
+             [--threads T]
+             one pass over FILE; print dectiles and optionally save the sketch.
+             --threads > 1 shards the ingest over T worker threads (the sketch
+             is bit-identical to the single-threaded one)
   query      --sketch SKETCH [--q Q] [--phi P1,P2,...]
              estimate quantiles from a saved sketch (no data access)
   rank       --sketch SKETCH --value V
@@ -112,23 +116,50 @@ fn open_store(args: &Args) -> CliResult<(FileRunStore<u64>, u64, u64)> {
 }
 
 /// `opaq sketch`: one pass over a data file, print dectiles, optionally save.
+///
+/// With `--threads T > 1` the ingest is sharded over `T` worker threads fed
+/// by a prefetching dispatcher; the resulting sketch is bit-identical to the
+/// single-threaded one, so `--out` files are byte-for-byte reproducible
+/// across thread counts.
 pub fn sketch(args: &Args) -> CliResult<String> {
     let (store, run_length, sample_size) = open_store(args)?;
+    let threads = args.u64_or("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".to_string()));
+    }
     let config = OpaqConfig::builder()
         .run_length(run_length)
         .sample_size(sample_size)
         .build()?;
-    let (sketch, stats) = OpaqEstimator::new(config).build_sketch_with_stats(&store)?;
 
-    let mut out = format!(
-        "built sketch: {} sample points over {} runs ({} keys); io {:?}, sampling {:?}, merge {:?}\n",
-        sketch.len(),
-        sketch.runs(),
-        sketch.total_elements(),
-        stats.io,
-        stats.sampling,
-        stats.merge
-    );
+    let (sketch, mut out) = if threads > 1 {
+        let sharded = ShardedOpaq::new(config, threads as usize)?;
+        let (sketch, report) = sharded.build_sketch_with_report(&store)?;
+        let header = format!(
+            "built sketch: {} sample points over {} runs ({} keys); {} shards, dispatch {:?}, merge {:?}, io {:?}\n{}",
+            sketch.len(),
+            sketch.runs(),
+            sketch.total_elements(),
+            report.shards.len(),
+            report.dispatch,
+            report.merge,
+            report.io.effective_io_time(),
+            report.render_table()
+        );
+        (sketch, header)
+    } else {
+        let (sketch, stats) = OpaqEstimator::new(config).build_sketch_with_stats(&store)?;
+        let header = format!(
+            "built sketch: {} sample points over {} runs ({} keys); io {:?}, sampling {:?}, merge {:?}\n",
+            sketch.len(),
+            sketch.runs(),
+            sketch.total_elements(),
+            stats.io,
+            stats.sampling,
+            stats.merge
+        );
+        (sketch, header)
+    };
     out.push_str(&render_quantiles(&sketch, 10)?);
     if let Some(path) = args.get("out") {
         persist::save(&sketch, path)?;
@@ -349,6 +380,60 @@ mod tests {
             out.contains(&format!("= {truth} ")),
             "output {out} vs truth {truth}"
         );
+        std::fs::remove_file(data_path).unwrap();
+    }
+
+    #[test]
+    fn sharded_sketch_is_byte_identical_to_sequential() {
+        let data_path = temp("sharded", "bin");
+        let data_str = data_path.to_str().unwrap();
+        run(
+            "generate",
+            &args(&[
+                "--out", data_str, "--n", "30000", "--dist", "zipf", "--seed", "17",
+            ]),
+        )
+        .unwrap();
+
+        let mut saved = Vec::new();
+        for threads in ["1", "2", "4", "8"] {
+            let sketch_path = temp(&format!("sharded-t{threads}"), "sketch");
+            let out = run(
+                "sketch",
+                &args(&[
+                    "--data",
+                    data_str,
+                    "--n",
+                    "30000",
+                    "--run-length",
+                    "3000",
+                    "--sample-size",
+                    "300",
+                    "--threads",
+                    threads,
+                    "--out",
+                    sketch_path.to_str().unwrap(),
+                ]),
+            )
+            .unwrap();
+            assert!(out.contains("built sketch: 3000 sample points"), "{out}");
+            if threads != "1" {
+                assert!(out.contains("shards"), "{out}");
+            }
+            saved.push(std::fs::read(&sketch_path).unwrap());
+            std::fs::remove_file(sketch_path).unwrap();
+        }
+        for other in &saved[1..] {
+            assert_eq!(
+                &saved[0], other,
+                "sharded sketch files must be byte-identical to sequential"
+            );
+        }
+        assert!(run(
+            "sketch",
+            &args(&["--data", data_str, "--n", "30000", "--threads", "0"]),
+        )
+        .is_err());
         std::fs::remove_file(data_path).unwrap();
     }
 

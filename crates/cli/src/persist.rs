@@ -78,14 +78,15 @@ pub fn from_bytes(mut bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
             "sketch file corrupt: gaps do not sum to the element count".to_string(),
         ));
     }
-    Ok(QuantileSketch::assemble(
+    QuantileSketch::assemble(
         samples,
         total_elements,
         runs,
         max_gap,
         dataset_min,
         dataset_max,
-    ))
+    )
+    .map_err(|e| CliError::Usage(format!("sketch file corrupt: {e}")))
 }
 
 /// Save a sketch to `path`.

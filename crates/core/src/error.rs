@@ -12,7 +12,8 @@ pub enum OpaqError {
     InvalidConfig(String),
     /// The operation needs a non-empty dataset / sketch.
     EmptyDataset,
-    /// A quantile fraction outside `(0, 1]` was requested.
+    /// A quantile fraction outside `[0, 1]` (or a rank outside `1..=n`) was
+    /// requested.
     InvalidPhi(f64),
     /// Sketches with incompatible shapes were combined.
     IncompatibleSketches(String),
@@ -25,7 +26,7 @@ impl fmt::Display for OpaqError {
             OpaqError::InvalidConfig(msg) => write!(f, "invalid OPAQ configuration: {msg}"),
             OpaqError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
             OpaqError::InvalidPhi(phi) => {
-                write!(f, "quantile fraction {phi} outside the valid range (0, 1]")
+                write!(f, "quantile fraction {phi} outside the valid range [0, 1]")
             }
             OpaqError::IncompatibleSketches(msg) => write!(f, "incompatible sketches: {msg}"),
         }

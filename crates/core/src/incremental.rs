@@ -76,7 +76,7 @@ impl<K: Key> IncrementalOpaq<K> {
         let new_sketch = QuantileSketch::from_run_samples(run_samples)?;
         self.runs_absorbed += new_sketch.runs();
         self.sketch = Some(match self.sketch.take() {
-            Some(old) => old.merge(&new_sketch),
+            Some(old) => old.merge(&new_sketch)?,
             None => new_sketch,
         });
         Ok(())
@@ -96,6 +96,13 @@ impl<K: Key> IncrementalOpaq<K> {
     /// The current sketch, if any data has been absorbed.
     pub fn sketch(&self) -> Option<&QuantileSketch<K>> {
         self.sketch.as_ref()
+    }
+
+    /// Consume the estimator and return the accumulated sketch, if any data
+    /// has been absorbed (used by the sharded ingestion workers, which hand
+    /// their per-shard sketch to the merge tree without cloning it).
+    pub fn into_sketch(self) -> Option<QuantileSketch<K>> {
+        self.sketch
     }
 
     /// Estimate the φ-quantile of everything absorbed so far.

@@ -53,11 +53,16 @@ impl<K: Key> QuantileEstimate<K> {
 }
 
 /// Estimate the φ-quantile of the dataset summarised by `sketch`.
+///
+/// The boundaries are well-defined rather than out-of-range: `phi = 0.0`
+/// targets rank 1 (whose lower bound is the dataset minimum, exactly the
+/// smallest element) and `phi = 1.0` targets rank `n`, which resolves to the
+/// dataset maximum exactly because the run maximum is always sampled.
 pub fn estimate_phi<K: Key>(
     sketch: &QuantileSketch<K>,
     phi: f64,
 ) -> OpaqResult<QuantileEstimate<K>> {
-    if !(phi > 0.0 && phi <= 1.0 && phi.is_finite()) {
+    if !((0.0..=1.0).contains(&phi) && phi.is_finite()) {
         return Err(OpaqError::InvalidPhi(phi));
     }
     if sketch.is_empty() {
@@ -71,6 +76,11 @@ pub fn estimate_phi<K: Key>(
 }
 
 /// Estimate the quantile of 1-based rank `psi` (`1 ≤ psi ≤ n`).
+///
+/// `psi = n` short-circuits to the dataset maximum with zero slack: the
+/// largest sample of every run-derived sketch *is* the run (and hence
+/// dataset) maximum, so reporting a looser interval would discard
+/// information the sketch already holds.
 pub fn estimate_rank<K: Key>(
     sketch: &QuantileSketch<K>,
     psi: u64,
@@ -80,7 +90,19 @@ pub fn estimate_rank<K: Key>(
     }
     let n = sketch.total_elements();
     if psi == 0 || psi > n {
-        return Err(OpaqError::InvalidPhi(psi as f64 / n as f64));
+        return Err(OpaqError::InvalidPhi(psi as f64 / n.max(1) as f64));
+    }
+    if psi == n {
+        let last = sketch.len() - 1;
+        return Ok(QuantileEstimate {
+            phi: 1.0,
+            target_rank: n,
+            lower: sketch.dataset_max(),
+            upper: sketch.dataset_max(),
+            lower_sample_index: Some(last),
+            upper_sample_index: last,
+            max_rank_slack: 0,
+        });
     }
     let samples = sketch.samples();
     let prefix = sketch.prefix_gaps();
@@ -204,9 +226,36 @@ mod tests {
         assert_eq!(est.lower, 1);
         assert!(est.lower_sample_index.is_none());
         assert!(est.upper >= 1);
-        // phi = 1.0 must return the dataset maximum as upper bound.
+        // phi = 1.0 must return the dataset maximum, exactly.
         let est = sketch.estimate(1.0).unwrap();
         assert_eq!(est.upper, 1000);
+        assert_eq!(est.lower, 1000);
+        assert_eq!(est.max_rank_slack, 0);
+        assert_eq!(est.target_rank, 1000);
+        // phi = 0.0 targets rank 1 and is bounded below by the dataset min.
+        let est = sketch.estimate(0.0).unwrap();
+        assert_eq!(est.phi, 0.0);
+        assert_eq!(est.target_rank, 1);
+        assert_eq!(est.lower, 1);
+        assert!(est.upper >= 1);
+    }
+
+    #[test]
+    fn rank_boundaries_are_exact_or_enclosing() {
+        // Tail run (m does not divide n) plus duplicates: the boundary ranks
+        // must still resolve without out-of-range indices.
+        let data: Vec<u64> = (0..1037).map(|i| i % 13).collect();
+        let sketch = sketch_of(data.clone(), 100, 7);
+        let n = data.len() as u64;
+        // estimate_rank(n) == dataset maximum, exactly.
+        let est = sketch.estimate_rank(n).unwrap();
+        assert_eq!(est.lower, 12);
+        assert_eq!(est.upper, 12);
+        assert_eq!(est.upper_sample_index, sketch.len() - 1);
+        assert_eq!(est.lower_sample_index, Some(sketch.len() - 1));
+        // estimate_rank(1) is bounded below by the dataset minimum.
+        let est = sketch.estimate_rank(1).unwrap();
+        assert_eq!(est.lower, 0);
     }
 
     #[test]
@@ -246,8 +295,10 @@ mod tests {
     fn invalid_phi_rejected() {
         let data: Vec<u64> = (0..100).collect();
         let sketch = sketch_of(data, 10, 2);
+        // phi = 0.0 is a valid boundary now; negatives are not.
+        assert!(sketch.estimate(0.0).is_ok());
         assert!(matches!(
-            sketch.estimate(0.0),
+            sketch.estimate(-0.1),
             Err(OpaqError::InvalidPhi(_))
         ));
         assert!(matches!(

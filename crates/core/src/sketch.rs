@@ -113,9 +113,14 @@ impl<K: Key> QuantileSketch<K> {
     /// which produce the sorted sample list through message passing rather
     /// than through [`QuantileSketch::from_run_samples`].
     ///
-    /// # Panics
-    /// Panics if the samples are not sorted by value or if the gaps do not
-    /// sum to `total_elements`.
+    /// # Errors
+    /// [`OpaqError::EmptyDataset`] if `samples` is empty or `total_elements`
+    /// is zero, and [`OpaqError::IncompatibleSketches`] if the samples are
+    /// not sorted by value, the gaps do not sum to `total_elements`, `runs`
+    /// is zero, a gap is zero or exceeds `max_gap` (an understated `max_gap`
+    /// would silently loosen nothing but *tighten* the quantile-phase slack
+    /// below what the data supports, breaking the enclosure guarantee), or
+    /// the samples do not respect `dataset_min`/`dataset_max`.
     pub fn assemble(
         samples: Vec<SamplePoint<K>>,
         total_elements: u64,
@@ -123,24 +128,68 @@ impl<K: Key> QuantileSketch<K> {
         max_gap: u64,
         dataset_min: K,
         dataset_max: K,
-    ) -> Self {
-        assert!(
-            samples.windows(2).all(|w| w[0].value <= w[1].value),
-            "sample list must be sorted by value"
-        );
-        assert_eq!(
-            samples.iter().map(|s| s.gap).sum::<u64>(),
-            total_elements,
-            "sample gaps must account for every element"
-        );
-        Self::from_parts(
+    ) -> OpaqResult<Self> {
+        if samples.is_empty() || total_elements == 0 {
+            return Err(OpaqError::EmptyDataset);
+        }
+        if runs == 0 {
+            return Err(OpaqError::IncompatibleSketches(
+                "a non-empty sketch must summarise at least one run".into(),
+            ));
+        }
+        if !samples.windows(2).all(|w| w[0].value <= w[1].value) {
+            return Err(OpaqError::IncompatibleSketches(
+                "sample list must be sorted by value".into(),
+            ));
+        }
+        if samples.iter().any(|s| s.gap == 0) {
+            return Err(OpaqError::IncompatibleSketches(
+                "every sample must account for at least one element".into(),
+            ));
+        }
+        // Gaps ≥ 1 everywhere, so this also rejects max_gap == 0.
+        let observed_max_gap = samples.iter().map(|s| s.gap).max().expect("non-empty");
+        if observed_max_gap > max_gap {
+            return Err(OpaqError::IncompatibleSketches(format!(
+                "sample gaps reach {observed_max_gap} but max_gap claims {max_gap}"
+            )));
+        }
+        let gap_sum: u64 = samples.iter().map(|s| s.gap).sum();
+        if gap_sum != total_elements {
+            return Err(OpaqError::IncompatibleSketches(format!(
+                "sample gaps sum to {gap_sum}, expected {total_elements}"
+            )));
+        }
+        if dataset_min > dataset_max {
+            return Err(OpaqError::IncompatibleSketches(
+                "dataset_min must not exceed dataset_max".into(),
+            ));
+        }
+        // Samples are dataset elements, so they must lie within [min, max],
+        // and regular sampling always samples the run maximum, so the
+        // largest sample *is* the dataset maximum.  The quantile phase's
+        // psi == n short-circuit relies on exactly this invariant.
+        let first = samples.first().expect("non-empty").value;
+        let last = samples.last().expect("non-empty").value;
+        if first < dataset_min {
+            return Err(OpaqError::IncompatibleSketches(
+                "samples must not undercut dataset_min".into(),
+            ));
+        }
+        if last != dataset_max {
+            return Err(OpaqError::IncompatibleSketches(
+                "the largest sample must equal dataset_max (the run maximum is always sampled)"
+                    .into(),
+            ));
+        }
+        Ok(Self::from_parts(
             samples,
             total_elements,
             runs,
             max_gap,
             dataset_min,
             dataset_max,
-        )
+        ))
     }
 
     /// Assemble a sketch from raw parts (used by merge and by the parallel
@@ -232,8 +281,11 @@ impl<K: Key> QuantileSketch<K> {
 
     /// Estimate the φ-quantile (the quantile phase, formulas (2)–(5)).
     ///
+    /// The boundaries are exact: `phi = 0.0` targets rank 1 and bounds it
+    /// below by the dataset minimum, `phi = 1.0` returns the dataset maximum.
+    ///
     /// # Errors
-    /// [`OpaqError::InvalidPhi`] if `phi ∉ (0, 1]`, [`OpaqError::EmptyDataset`]
+    /// [`OpaqError::InvalidPhi`] if `phi ∉ [0, 1]`, [`OpaqError::EmptyDataset`]
     /// if the sketch is empty.
     pub fn estimate(&self, phi: f64) -> OpaqResult<QuantileEstimate<K>> {
         quantile_phase::estimate_phi(self, phi)
@@ -247,9 +299,16 @@ impl<K: Key> QuantileSketch<K> {
     /// Estimate all `q`-quantiles (`φ = 1/q … (q−1)/q`).  The cost per
     /// additional quantile is `O(log(r·s))` — the "constant extra time per
     /// quantile" the paper advertises, since the sample list is already built.
+    ///
+    /// The degenerate request `q = 1` has exactly one boundary, the
+    /// 1.0-quantile, so it returns the dataset maximum (exactly — the run
+    /// maximum is always sampled) instead of an out-of-range rank.
     pub fn estimate_q_quantiles(&self, q: u64) -> OpaqResult<Vec<QuantileEstimate<K>>> {
-        if q < 2 {
-            return Err(OpaqError::InvalidConfig("q must be at least 2".into()));
+        if q == 0 {
+            return Err(OpaqError::InvalidConfig("q must be at least 1".into()));
+        }
+        if q == 1 {
+            return Ok(vec![self.estimate(1.0)?]);
         }
         (1..q).map(|i| self.estimate(i as f64 / q as f64)).collect()
     }
@@ -266,7 +325,24 @@ impl<K: Key> QuantileSketch<K> {
     /// This is the primitive behind both the incremental formulation (§4:
     /// "keep the sorted samples from the runs of the old data … merge with
     /// the old sorted samples") and the parallel global merge.
-    pub fn merge(&self, other: &QuantileSketch<K>) -> QuantileSketch<K> {
+    ///
+    /// Ties are broken in favour of `self`, so folding sketches left to
+    /// right keeps equal sample values ordered by the run index they came
+    /// from.  That stability is what makes the sharded ingestion path
+    /// (`opaq-parallel`'s `ShardedOpaq`) bit-identical to the sequential
+    /// fold for any shard count.
+    ///
+    /// # Errors
+    /// [`OpaqError::EmptyDataset`] if either sketch is empty: an empty
+    /// sketch has no meaningful `dataset_min`/`dataset_max`, so merging it
+    /// would propagate whatever placeholder values it was constructed with.
+    /// Callers that may hold "no data yet" should model that as
+    /// `Option<QuantileSketch>` (as [`crate::IncrementalOpaq`] does) rather
+    /// than as an empty sketch.
+    pub fn merge(&self, other: &QuantileSketch<K>) -> OpaqResult<QuantileSketch<K>> {
+        if self.is_empty() || other.is_empty() {
+            return Err(OpaqError::EmptyDataset);
+        }
         let mut samples = Vec::with_capacity(self.samples.len() + other.samples.len());
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.samples.len() && j < other.samples.len() {
@@ -280,14 +356,14 @@ impl<K: Key> QuantileSketch<K> {
         }
         samples.extend_from_slice(&self.samples[i..]);
         samples.extend_from_slice(&other.samples[j..]);
-        QuantileSketch::from_parts(
+        Ok(QuantileSketch::from_parts(
             samples,
             self.total_elements + other.total_elements,
             self.runs + other.runs,
             self.max_gap.max(other.max_gap),
             self.dataset_min.min(other.dataset_min),
             self.dataset_max.max(other.dataset_max),
-        )
+        ))
     }
 
     /// Memory footprint of the sketch in sample points (the `r·s` term of the
@@ -361,7 +437,7 @@ mod tests {
     fn merge_combines_counts_and_stays_sorted() {
         let a = sketch_of_runs(vec![(0..100).collect()], 10);
         let b = sketch_of_runs(vec![(1000..1100).collect(), (500..600).collect()], 10);
-        let merged = a.merge(&b);
+        let merged = a.merge(&b).unwrap();
         assert_eq!(merged.total_elements(), 300);
         assert_eq!(merged.runs(), 3);
         assert_eq!(merged.len(), 30);
@@ -378,8 +454,8 @@ mod tests {
     fn merge_is_commutative_in_content() {
         let a = sketch_of_runs(vec![(0..50).collect()], 5);
         let b = sketch_of_runs(vec![(25..75).collect()], 5);
-        let ab = a.merge(&b);
-        let ba = b.merge(&a);
+        let ab = a.merge(&b).unwrap();
+        let ba = b.merge(&a).unwrap();
         assert_eq!(ab.total_elements(), ba.total_elements());
         assert_eq!(
             ab.samples().iter().map(|s| s.value).collect::<Vec<_>>(),
@@ -388,10 +464,95 @@ mod tests {
     }
 
     #[test]
-    fn estimate_q_quantiles_rejects_q_below_two() {
+    fn estimate_q_quantiles_boundaries() {
         let sketch = sketch_of_runs(vec![(0..100).collect()], 10);
-        assert!(sketch.estimate_q_quantiles(1).is_err());
+        assert!(matches!(
+            sketch.estimate_q_quantiles(0),
+            Err(OpaqError::InvalidConfig(_))
+        ));
+        // q = 1: the single boundary is the dataset maximum, exactly.
+        let single = sketch.estimate_q_quantiles(1).unwrap();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].lower, 99);
+        assert_eq!(single[0].upper, 99);
+        assert_eq!(single[0].target_rank, 100);
         assert_eq!(sketch.estimate_q_quantiles(4).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn merge_with_degenerate_sketches() {
+        let a = sketch_of_runs(vec![(0..100).collect()], 10);
+        // Merging two single-run sketches keeps min/max/max_gap correct.
+        let b = sketch_of_runs(vec![(200..250).collect()], 5);
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.dataset_min(), 0);
+        assert_eq!(merged.dataset_max(), 249);
+        assert_eq!(merged.runs(), 2);
+        assert_eq!(merged.max_gap(), 10);
+        assert_eq!(merged.total_elements(), 150);
+        // A single-element run degenerates gracefully.
+        let c = sketch_of_runs(vec![vec![7]], 4);
+        let merged = a.merge(&c).unwrap();
+        assert_eq!(merged.total_elements(), 101);
+        assert_eq!(merged.max_gap(), 10);
+        assert_eq!(merged.dataset_min(), 0);
+    }
+
+    #[test]
+    fn assemble_rejects_degenerate_inputs() {
+        // Empty sample list: typed error, not a sketch with bogus min/max.
+        assert!(matches!(
+            QuantileSketch::<u64>::assemble(vec![], 0, 0, 1, 0, 0),
+            Err(OpaqError::EmptyDataset)
+        ));
+        let sp = |value, gap| SamplePoint { value, gap };
+        // Unsorted samples.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(5u64, 1), sp(3, 1)], 2, 1, 1, 3, 5),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Gap sum mismatch.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(1u64, 2)], 3, 1, 2, 1, 1),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Zero gap.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(1u64, 0), sp(2, 2)], 2, 1, 2, 1, 2),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Zero runs for a non-empty list.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(1u64, 1)], 1, 0, 1, 1, 1),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Inverted min/max.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(1u64, 1)], 1, 1, 1, 9, 1),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Understated max_gap: would tighten the quantile-phase slack below
+        // what the data supports, so it must be rejected (this also covers
+        // max_gap == 0, since every gap is at least 1).
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(1u64, 5), sp(2, 5)], 10, 1, 4, 1, 2),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(4u64, 1)], 1, 1, 0, 2, 4),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // Largest sample must equal dataset_max: the run maximum is always
+        // sampled, and the psi == n short-circuit relies on it.
+        assert!(matches!(
+            QuantileSketch::assemble(vec![sp(4u64, 1)], 1, 1, 1, 2, 9),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        // A valid single-sample sketch assembles.
+        let s = QuantileSketch::assemble(vec![sp(4u64, 1)], 1, 1, 1, 2, 4).unwrap();
+        assert_eq!(s.max_gap(), 1);
+        assert_eq!(s.dataset_min(), 2);
+        assert_eq!(s.dataset_max(), 4);
     }
 
     #[test]

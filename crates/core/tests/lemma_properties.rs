@@ -162,7 +162,7 @@ proptest! {
 
         let store_l = MemRunStore::new(left.clone(), m);
         let store_r = MemRunStore::new(right.clone(), m);
-        let sketch = est.build_sketch(&store_l).unwrap().merge(&est.build_sketch(&store_r).unwrap());
+        let sketch = est.build_sketch(&store_l).unwrap().merge(&est.build_sketch(&store_r).unwrap()).unwrap();
 
         let mut all = left;
         all.extend(right);

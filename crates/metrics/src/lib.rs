@@ -26,10 +26,12 @@
 
 pub mod error_rates;
 pub mod ground_truth;
+pub mod shard;
 pub mod table;
 pub mod timing;
 
 pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, RelativeErrorRates};
 pub use ground_truth::GroundTruth;
+pub use shard::{render_shard_table, ShardStats};
 pub use table::{fmt2, TextTable};
 pub use timing::{PhaseBreakdown, PhaseTimer};

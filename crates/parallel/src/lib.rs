@@ -15,7 +15,9 @@
 //! message so the analytical complexities of Table 8 can be reported next to
 //! the measured wall-clock times.
 //!
-//! Entry point: [`ParallelOpaq`].
+//! Entry points: [`ParallelOpaq`] (simulated distributed-memory machine) and
+//! [`ShardedOpaq`] ([`sharded`]: real multi-threaded ingestion over a
+//! [`opaq_storage::RunStore`], bit-identical to the sequential fold).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,6 +28,7 @@ pub mod machine;
 pub mod parallel_opaq;
 pub mod partitioner;
 pub mod sample_merge;
+pub mod sharded;
 pub mod speedup;
 
 pub use bitonic::bitonic_merge;
@@ -34,4 +37,5 @@ pub use machine::{CommStats, Machine, ProcessorCtx};
 pub use parallel_opaq::{MergeAlgorithm, ParallelOpaq, ParallelRunReport, PhaseTimes};
 pub use partitioner::{block_partition, quantile_partition, scatter_by_splitters};
 pub use sample_merge::sample_merge;
+pub use sharded::{ShardedIngestReport, ShardedOpaq};
 pub use speedup::{ScalingPoint, ScalingReport};

@@ -266,7 +266,7 @@ impl ParallelOpaq {
             max_gap,
             dataset_min,
             dataset_max,
-        );
+        )?;
 
         Ok(ParallelRunReport {
             sketch,

@@ -38,10 +38,18 @@ pub fn block_partition<K: Clone>(data: &[K], p: usize) -> Vec<Vec<K>> {
 /// guarantees (by Lemma 2) that at most `n/s` elements per splitter can end
 /// up on the "wrong" side relative to an exact split.
 ///
+/// `p = 1` needs no splitters and returns an empty list.
+///
 /// # Errors
-/// Propagates estimation errors (empty sketch, `p < 2` is reported as an
+/// Propagates estimation errors (empty sketch, `p = 0` is reported as an
 /// invalid quantile configuration).
 pub fn quantile_partition<K: Key>(sketch: &QuantileSketch<K>, p: u64) -> OpaqResult<Vec<K>> {
+    if sketch.is_empty() {
+        return Err(opaq_core::OpaqError::EmptyDataset);
+    }
+    if p == 1 {
+        return Ok(Vec::new());
+    }
     Ok(sketch
         .estimate_q_quantiles(p)?
         .into_iter()
@@ -124,7 +132,7 @@ mod tests {
     }
 
     #[test]
-    fn quantile_partition_rejects_p_below_two() {
+    fn quantile_partition_boundary_p_values() {
         let store = MemRunStore::new((0u64..100).collect(), 10);
         let config = OpaqConfig::builder()
             .run_length(10)
@@ -132,6 +140,8 @@ mod tests {
             .build()
             .unwrap();
         let sketch = OpaqEstimator::new(config).build_sketch(&store).unwrap();
-        assert!(quantile_partition(&sketch, 1).is_err());
+        assert!(quantile_partition(&sketch, 0).is_err());
+        // A single partition needs no splitters.
+        assert_eq!(quantile_partition(&sketch, 1).unwrap(), Vec::<u64>::new());
     }
 }

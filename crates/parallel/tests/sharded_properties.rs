@@ -1,0 +1,88 @@
+//! Property-based pin of the sharded-ingestion invariant: for any input,
+//! any run length, and any thread count in `1..=8`, [`ShardedOpaq`] must
+//! produce a sketch **identical** to the sequential [`IncrementalOpaq`]
+//! fold over the same store — same samples, same gaps, same bounds, same
+//! metadata — regardless of worker completion order.
+
+use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
+use opaq_parallel::ShardedOpaq;
+use opaq_storage::{MemRunStore, RunStore};
+use proptest::prelude::*;
+
+fn sequential_sketch(data: Vec<u64>, m: u64, s: u64) -> QuantileSketch<u64> {
+    let store = MemRunStore::new(data, m);
+    let config = OpaqConfig::builder()
+        .run_length(store.layout().m())
+        .sample_size(s.min(store.layout().m()))
+        .build()
+        .unwrap();
+    let mut inc = IncrementalOpaq::new(config).unwrap();
+    inc.add_store(&store).unwrap();
+    inc.into_sketch().unwrap()
+}
+
+fn assert_sharded_identical(data: Vec<u64>, m: u64, s: u64) -> Result<(), TestCaseError> {
+    let reference = sequential_sketch(data.clone(), m, s);
+    let store = MemRunStore::new(data, m);
+    let config = OpaqConfig::builder()
+        .run_length(store.layout().m())
+        .sample_size(s.min(store.layout().m()))
+        .build()
+        .unwrap();
+    for threads in 1..=8usize {
+        let sharded = ShardedOpaq::new(config, threads)
+            .unwrap()
+            .build_sketch(&store)
+            .unwrap();
+        // `QuantileSketch: PartialEq` covers samples, gaps, prefix sums,
+        // element/run counts, max gap and dataset bounds in one comparison.
+        prop_assert_eq!(&sharded, &reference, "threads {}", threads);
+        // Bounds derived from the sketches must agree too (belt and braces:
+        // the quantile phase only reads what PartialEq already compared).
+        for q in [2u64, 5, 10] {
+            let a = sharded.estimate_q_quantiles(q).unwrap();
+            let b = reference.estimate_q_quantiles(q).unwrap();
+            prop_assert_eq!(a, b, "threads {} q {}", threads, q);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_equals_sequential_random(
+        data in proptest::collection::vec(any::<u64>(), 1..4_000),
+        m_seed in 1u64..600,
+        s in 1u64..64,
+    ) {
+        let m = m_seed.min(data.len() as u64);
+        assert_sharded_identical(data, m, s)?;
+    }
+
+    #[test]
+    fn sharded_equals_sequential_duplicate_heavy(
+        len in 1usize..4_000,
+        domain in 1u64..6,
+        m_seed in 1u64..400,
+        s in 1u64..32,
+    ) {
+        // Tiny domains force massive duplication, the regime where merge
+        // tie-breaking order could diverge between shard counts.
+        let data: Vec<u64> = (0..len as u64).map(|i| (i * 48271) % domain).collect();
+        let m = m_seed.min(data.len() as u64);
+        assert_sharded_identical(data, m, s)?;
+    }
+
+    #[test]
+    fn sharded_equals_sequential_reversed(
+        len in 1usize..4_000,
+        m_seed in 1u64..500,
+        s in 1u64..48,
+    ) {
+        let data: Vec<u64> = (0..len as u64).rev().collect();
+        let m = m_seed.min(data.len() as u64);
+        assert_sharded_identical(data, m, s)?;
+    }
+}

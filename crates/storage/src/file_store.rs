@@ -37,8 +37,18 @@ pub struct FileRunStoreBuilder<K> {
 impl<K: FixedWidthCodec> FileRunStoreBuilder<K> {
     /// Start writing a new dataset file at `path` with run length `m`.
     /// An existing file at `path` is truncated.
+    ///
+    /// # Errors
+    /// [`StorageError::InvalidLayout`] if `m == 0`, or an I/O error if the
+    /// file cannot be created.
     pub fn new(path: impl AsRef<Path>, m: u64) -> StorageResult<Self> {
-        assert!(m > 0, "run length m must be positive");
+        if m == 0 {
+            return Err(StorageError::invalid_layout(
+                0,
+                m,
+                "run length m must be positive",
+            ));
+        }
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .create(true)
@@ -67,7 +77,20 @@ impl<K: FixedWidthCodec> FileRunStoreBuilder<K> {
     }
 
     /// Flush and produce the readable [`FileRunStore`].
+    ///
+    /// # Errors
+    /// [`StorageError::InvalidLayout`] if no keys were appended: a zero-key
+    /// store would have no runs, and every consumer (the sample phase, the
+    /// sharded ingester) treats that as a distinct "empty dataset" error
+    /// rather than a silently empty store.
     pub fn finish(mut self) -> StorageResult<FileRunStore<K>> {
+        if self.written == 0 {
+            return Err(StorageError::invalid_layout(
+                0,
+                self.m,
+                format!("no keys appended to {}", self.path.display()),
+            ));
+        }
         self.writer.flush()?;
         drop(self.writer);
         FileRunStore::open(&self.path, self.written, self.m)
@@ -87,23 +110,43 @@ pub struct FileRunStore<K> {
 
 impl<K: FixedWidthCodec> FileRunStore<K> {
     /// Open an existing dataset file containing exactly `n` keys, to be read
-    /// as runs of length `m`.
+    /// as runs of length `m`.  A run length larger than the dataset is
+    /// clamped to `n` (a single run), matching [`crate::MemRunStore`].
     ///
-    /// Fails with [`StorageError::Corrupt`] if the file size does not match
-    /// `n * K::WIDTH` bytes.
+    /// # Errors
+    /// [`StorageError::InvalidLayout`] if `n == 0` (a store over zero keys
+    /// has no runs to read — callers that want "no data yet" should not
+    /// open a file for it) or `m == 0`; [`StorageError::Corrupt`] if the
+    /// file is shorter or longer than the `n * K::WIDTH` bytes the layout
+    /// declares.
     pub fn open(path: impl AsRef<Path>, n: u64, m: u64) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
+        if n == 0 {
+            return Err(StorageError::invalid_layout(
+                n,
+                m,
+                format!(
+                    "cannot open {} as a run store over zero keys",
+                    path.display()
+                ),
+            ));
+        }
+        let layout = RunLayout::try_new(n, m.min(n))?;
         let file = File::open(&path)?;
         let expected = n * K::WIDTH as u64;
         let actual = file.metadata()?.len();
         if actual != expected {
+            let kind = if actual < expected {
+                "truncated: is"
+            } else {
+                "oversized: is"
+            };
             return Err(StorageError::Corrupt(format!(
-                "{} is {actual} bytes, expected {expected} for {n} keys of width {}",
+                "{} {kind} {actual} bytes, expected {expected} for {n} keys of width {}",
                 path.display(),
                 K::WIDTH
             )));
         }
-        let layout = RunLayout::new(n, m.min(n.max(1)));
         Ok(Self {
             path,
             file: Mutex::new(file),
@@ -228,7 +271,80 @@ mod tests {
         std::fs::write(&path, [0u8; 12]).unwrap();
         let err = FileRunStore::<u64>::open(&path, 2, 2).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = FileRunStore::<u64>::open(&path, 1, 1).unwrap_err();
+        assert!(err.to_string().contains("oversized"), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn degenerate_layouts_are_typed_errors() {
+        let path = temp_path("degenerate");
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        // n = 0: a clean error, not a store that silently yields no runs.
+        let err = FileRunStore::<u64>::open(&path, 0, 4).unwrap_err();
+        assert!(
+            matches!(err, StorageError::InvalidLayout { n: 0, .. }),
+            "{err}"
+        );
+        // m = 0: a clean error, not a panic.
+        let err = FileRunStore::<u64>::open(&path, 2, 0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::InvalidLayout { m: 0, .. }),
+            "{err}"
+        );
+        let Err(err) = FileRunStoreBuilder::<u64>::new(&path, 0) else {
+            panic!("builder with m = 0 must fail");
+        };
+        assert!(
+            matches!(err, StorageError::InvalidLayout { m: 0, .. }),
+            "{err}"
+        );
+        // A builder that never saw a key refuses to produce an empty store.
+        let err = FileRunStoreBuilder::<u64>::new(&path, 4)
+            .unwrap()
+            .finish()
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::InvalidLayout { n: 0, .. }),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_run_length_is_clamped_to_single_run() {
+        let path = temp_path("clamp");
+        let store = FileRunStoreBuilder::<u64>::new(&path, 1000)
+            .unwrap()
+            .append(&[1, 2, 3])
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(store.layout().runs(), 1);
+        assert_eq!(store.read_run(0).unwrap(), vec![1, 2, 3]);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn tail_run_when_m_does_not_divide_n() {
+        let path = temp_path("tail");
+        let data: Vec<u64> = (0..1037).collect();
+        let store = FileRunStoreBuilder::<u64>::new(&path, 100)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(store.layout().runs(), 11);
+        assert!(store.layout().has_tail_run());
+        assert_eq!(store.read_run(10).unwrap().len(), 37);
+        let mut prefetched = Vec::new();
+        store
+            .for_each_run_prefetched(2, |_, run| prefetched.extend(run))
+            .unwrap();
+        assert_eq!(prefetched, data);
+        store.remove_file().unwrap();
     }
 
     #[test]

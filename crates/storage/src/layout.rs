@@ -32,6 +32,27 @@ impl RunLayout {
         Self { n, m }
     }
 
+    /// Fallible constructor for layouts built from untrusted input (CLI
+    /// options, file headers): returns [`crate::StorageError::InvalidLayout`]
+    /// instead of panicking when `m == 0` or `m > n > 0`.
+    pub fn try_new(n: u64, m: u64) -> crate::StorageResult<Self> {
+        if m == 0 {
+            return Err(crate::StorageError::invalid_layout(
+                n,
+                m,
+                "run length m must be positive",
+            ));
+        }
+        if n > 0 && m > n {
+            return Err(crate::StorageError::invalid_layout(
+                n,
+                m,
+                "run length m must not exceed the dataset size n",
+            ));
+        }
+        Ok(Self { n, m })
+    }
+
     /// Total number of elements `n`.
     #[inline]
     pub fn n(&self) -> u64 {
@@ -145,6 +166,24 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_m_panics() {
         RunLayout::new(10, 0);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        use crate::StorageError;
+        assert!(matches!(
+            RunLayout::try_new(10, 0),
+            Err(StorageError::InvalidLayout { m: 0, .. })
+        ));
+        assert!(matches!(
+            RunLayout::try_new(10, 11),
+            Err(StorageError::InvalidLayout { n: 10, m: 11, .. })
+        ));
+        let l = RunLayout::try_new(1_050, 100).unwrap();
+        assert_eq!(l.runs(), 11);
+        assert_eq!(l.run_len(10), 50);
+        // n = 0 with a positive m is a valid (empty) layout.
+        assert_eq!(RunLayout::try_new(0, 5).unwrap().runs(), 0);
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //! * [`run_store`] — the [`run_store::RunStore`] trait: a source of runs.
 //! * [`file_store`] — a file-backed implementation with buffered sequential reads.
 //! * [`mem_store`] — an in-memory implementation for tests and small inputs.
+//! * [`prefetch`] — double-buffered read-ahead
+//!   ([`prefetch::for_each_run_prefetched`], also available as
+//!   [`run_store::RunStore::for_each_run_prefetched`]): a background reader
+//!   thread keeps up to `depth` runs buffered so I/O overlaps the consumer's
+//!   sampling work.  This is the I/O front end of the sharded ingestion path
+//!   in `opaq-parallel`.
 //!
 //! The stores are deliberately *pull*-oriented (`read_run(i) -> Vec<K>`):
 //! OPAQ's one-pass structure means each run is read exactly once, processed
-//! entirely in memory, and dropped.
+//! entirely in memory, and dropped.  The prefetcher preserves that
+//! discipline — delivery order, contents and error propagation are identical
+//! to the sequential path; only the wall-clock overlap differs.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,6 +37,7 @@ pub mod file_store;
 pub mod io_stats;
 pub mod layout;
 pub mod mem_store;
+pub mod prefetch;
 pub mod run_store;
 
 pub use codec::FixedWidthCodec;
@@ -37,4 +46,5 @@ pub use file_store::{FileRunStore, FileRunStoreBuilder};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use layout::RunLayout;
 pub use mem_store::MemRunStore;
+pub use prefetch::{for_each_run_prefetched, DEFAULT_PREFETCH_DEPTH};
 pub use run_store::{RunStore, StorageError, StorageResult};

@@ -1,0 +1,152 @@
+//! Double-buffered read-ahead over a [`RunStore`].
+//!
+//! OPAQ's sample phase alternates between reading a run (I/O-bound) and
+//! multi-selecting its regular samples (CPU-bound).  Issued sequentially the
+//! two costs add; with a read-ahead thread they overlap, which is exactly the
+//! trick the paper's SP-2 implementation used ("the I/O time can be almost
+//! completely overlapped with the computation").  The reader thread buffers
+//! at most `depth` runs in the channel — `depth = 2` is classic double
+//! buffering — so peak memory is bounded by `(depth + 2) · m` keys (`depth`
+//! buffered, plus one held by a reader blocked on a full channel, plus one
+//! being processed by the consumer), preserving the paper's `r·s + m ≤ M`
+//! memory discipline up to the small constant.
+//!
+//! The prefetcher is the I/O front end of `opaq-parallel`'s `ShardedOpaq`
+//! dispatcher: one thread reads runs in order and fans them out to the
+//! sampling workers while the next run is already on its way from disk.
+
+use crate::{RunStore, StorageResult};
+use std::sync::mpsc::sync_channel;
+
+/// Classic double buffering: one run buffered while another is in flight.
+pub const DEFAULT_PREFETCH_DEPTH: usize = 2;
+
+/// Visit every run of `store` in order, reading up to `depth` runs ahead on
+/// a background thread (`depth` is clamped to at least 1).
+///
+/// Runs are delivered to `f` strictly in layout order with exactly the bytes
+/// [`RunStore::read_run`] would return; only the wall-clock overlap between
+/// the read of run `i + 1` and the processing of run `i` distinguishes this
+/// from [`RunStore::for_each_run`].
+///
+/// # Errors
+/// The first [`crate::StorageError`] hit by the reader thread is returned
+/// once every earlier run has been delivered; no later runs are read.
+pub fn for_each_run_prefetched<K, S, F>(store: &S, depth: usize, mut f: F) -> StorageResult<()>
+where
+    K: Send,
+    S: RunStore<K>,
+    F: FnMut(u64, Vec<K>),
+{
+    let runs = store.layout().runs();
+    if runs == 0 {
+        return Ok(());
+    }
+    let depth = depth.max(1);
+    std::thread::scope(|scope| {
+        let (tx, rx) = sync_channel::<StorageResult<(u64, Vec<K>)>>(depth);
+        scope.spawn(move || {
+            for run in 0..runs {
+                let item = store.read_run(run).map(|data| (run, data));
+                let stop = item.is_err();
+                // A send error means the consumer bailed out early; either
+                // way there is nothing useful left to read.
+                if tx.send(item).is_err() || stop {
+                    return;
+                }
+            }
+        });
+        for item in rx {
+            let (run, data) = item?;
+            f(run, data);
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRunStore, StorageError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn delivers_every_run_in_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let store = MemRunStore::new(data.clone(), 1024);
+        let mut reassembled = Vec::new();
+        let mut last_run = None;
+        for_each_run_prefetched(&store, DEFAULT_PREFETCH_DEPTH, |run, chunk| {
+            assert_eq!(run, last_run.map_or(0, |r: u64| r + 1), "strictly in order");
+            last_run = Some(run);
+            reassembled.extend(chunk);
+        })
+        .unwrap();
+        assert_eq!(reassembled, data);
+        assert_eq!(store.io_stats().snapshot().read_calls, 10);
+    }
+
+    #[test]
+    fn matches_sequential_for_tail_runs_and_any_depth() {
+        let data: Vec<u64> = (0..1037).map(|i| i * 7 % 97).collect();
+        for depth in [0usize, 1, 2, 8] {
+            let store = MemRunStore::new(data.clone(), 100);
+            let mut sequential = Vec::new();
+            store.for_each_run(|_, run| sequential.push(run)).unwrap();
+            let mut prefetched = Vec::new();
+            store
+                .for_each_run_prefetched(depth, |_, run| prefetched.push(run))
+                .unwrap();
+            assert_eq!(sequential, prefetched, "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn empty_store_is_a_no_op() {
+        let store = MemRunStore::<u64>::new(vec![], 16);
+        let mut calls = 0u64;
+        for_each_run_prefetched(&store, 2, |_, _| calls += 1).unwrap();
+        assert_eq!(calls, 0);
+    }
+
+    /// A store whose reads fail after a few runs: the error must surface
+    /// after the successful prefix was delivered, and the reader must stop.
+    struct FailingStore {
+        inner: MemRunStore<u64>,
+        fail_from: u64,
+        reads: AtomicU64,
+    }
+
+    impl RunStore<u64> for FailingStore {
+        fn layout(&self) -> crate::RunLayout {
+            self.inner.layout()
+        }
+
+        fn read_run(&self, run: u64) -> StorageResult<Vec<u64>> {
+            self.reads.fetch_add(1, Ordering::SeqCst);
+            if run >= self.fail_from {
+                return Err(StorageError::Corrupt(format!("injected failure at {run}")));
+            }
+            self.inner.read_run(run)
+        }
+
+        fn io_stats(&self) -> &crate::IoStats {
+            self.inner.io_stats()
+        }
+    }
+
+    #[test]
+    fn reader_error_propagates_after_successful_prefix() {
+        let store = FailingStore {
+            inner: MemRunStore::new((0u64..1000).collect(), 100),
+            fail_from: 4,
+            reads: AtomicU64::new(0),
+        };
+        let mut delivered = Vec::new();
+        let err = for_each_run_prefetched(&store, 2, |run, _| delivered.push(run)).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+        // The reader stops at the failure instead of hammering the store.
+        assert_eq!(store.reads.load(Ordering::SeqCst), 5);
+    }
+}

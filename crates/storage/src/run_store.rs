@@ -18,6 +18,27 @@ pub enum StorageError {
         /// Number of runs actually available.
         available: u64,
     },
+    /// The requested `(n, m)` run layout is ill-formed (`m == 0`, or a store
+    /// declared over zero keys where the caller requires data).
+    InvalidLayout {
+        /// Declared number of keys.
+        n: u64,
+        /// Declared run length.
+        m: u64,
+        /// What is wrong with the combination.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Shorthand constructor for [`StorageError::InvalidLayout`].
+    pub fn invalid_layout(n: u64, m: u64, reason: impl Into<String>) -> Self {
+        StorageError::InvalidLayout {
+            n,
+            m,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -33,6 +54,9 @@ impl fmt::Display for StorageError {
                     f,
                     "run {requested} out of range (store has {available} runs)"
                 )
+            }
+            StorageError::InvalidLayout { n, m, reason } => {
+                write!(f, "invalid run layout (n = {n}, m = {m}): {reason}")
             }
         }
     }
@@ -93,6 +117,21 @@ pub trait RunStore<K>: Send + Sync {
             f(run, data);
         }
         Ok(())
+    }
+
+    /// Visit every run in order with a background read-ahead thread keeping
+    /// up to `depth` runs buffered, so I/O overlaps the caller's processing
+    /// (`depth = 2` is classic double buffering).
+    ///
+    /// Semantics are identical to [`RunStore::for_each_run`] — same order,
+    /// same data, same error propagation — only the wall-clock overlap
+    /// differs.  See [`crate::prefetch`] for details.
+    fn for_each_run_prefetched(&self, depth: usize, f: impl FnMut(u64, Vec<K>)) -> StorageResult<()>
+    where
+        Self: Sized,
+        K: Send,
+    {
+        crate::prefetch::for_each_run_prefetched(self, depth, f)
     }
 }
 

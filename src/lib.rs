@@ -14,7 +14,8 @@
 //! * [`metrics`] ([`opaq_metrics`]) — RER_A / RER_L / RER_N and timing.
 //! * [`baselines`] ([`opaq_baselines`]) — the comparison algorithms.
 //! * [`parallel`] ([`opaq_parallel`]) — parallel OPAQ on a simulated
-//!   distributed-memory machine.
+//!   distributed-memory machine, plus [`ShardedOpaq`]: real multi-threaded
+//!   sharded ingestion over any run store.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -48,6 +49,6 @@ pub use opaq_core::{
 };
 pub use opaq_datagen::DatasetSpec;
 pub use opaq_metrics::{compute_error_rates, GroundTruth, QuantileBoundsView};
-pub use opaq_parallel::{MergeAlgorithm, ParallelOpaq};
+pub use opaq_parallel::{MergeAlgorithm, ParallelOpaq, ShardedIngestReport, ShardedOpaq};
 pub use opaq_select::SelectionStrategy;
 pub use opaq_storage::{DiskModel, FileRunStore, FileRunStoreBuilder, MemRunStore, RunStore};

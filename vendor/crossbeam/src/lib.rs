@@ -1,8 +1,11 @@
 //! Hermetic stand-in for the subset of `crossbeam` used by OPAQ.
 //!
 //! The simulated distributed-memory machine needs unbounded MPSC channels
-//! and scoped threads; both are delegated to `std` (`std::sync::mpsc` and
-//! `std::thread::scope`) behind crossbeam's signatures.
+//! and scoped threads, and the sharded ingestion path additionally needs
+//! *bounded* channels for backpressure; all are delegated to `std`
+//! (`std::sync::mpsc` and `std::thread::scope`) behind crossbeam's
+//! signatures — in particular, `bounded()` and `unbounded()` both hand out
+//! the same cloneable [`channel::Sender`] type, as the real crate does.
 //!
 //! To switch to the real crate, point the `crossbeam` entry in the root
 //! `[workspace.dependencies]` at a registry version instead of this path.
@@ -11,16 +14,97 @@
 #![deny(unsafe_code)]
 
 pub mod channel {
-    //! Multi-producer channels with crossbeam's `unbounded()` constructor.
+    //! Multi-producer channels with crossbeam's `unbounded()` and
+    //! `bounded()` constructors.
 
-    /// The sending half of an unbounded channel (cloneable).
-    pub type Sender<T> = std::sync::mpsc::Sender<T>;
-    /// The receiving half of an unbounded channel.
-    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver disconnected.
+    pub use std::sync::mpsc::SendError;
+
+    /// The sending half of a channel (cloneable).  Wraps either an
+    /// unbounded or a bounded (blocking-on-full) std sender so both
+    /// constructors hand out the same type, matching crossbeam's API.
+    #[derive(Debug)]
+    pub struct Sender<T>(SenderKind<T>);
+
+    #[derive(Debug)]
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        /// Returns the value back if the receiving half has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(tx) => tx.send(value),
+                SenderKind::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub type Receiver<T> = mpsc::Receiver<T>;
 
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), rx)
+    }
+
+    /// Create a bounded FIFO channel holding at most `cap` messages;
+    /// senders block while the channel is full (`cap = 0` is a rendezvous
+    /// channel, exactly as in crossbeam).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), rx)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_channel_applies_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let sender = std::thread::spawn(move || {
+                // This send must block until the consumer drains one slot.
+                tx.send(3).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            sender.join().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+            assert!(rx.recv().is_err(), "sender dropped");
+        }
+
+        #[test]
+        fn senders_clone_and_report_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(7).unwrap();
+            tx2.send(8).unwrap();
+            drop(rx);
+            assert!(tx.send(9).is_err());
+            let (btx, brx) = bounded::<u32>(1);
+            drop(brx);
+            assert!(btx.clone().send(1).is_err());
+        }
     }
 }
 
