@@ -9,6 +9,7 @@ use opaq_core::{exact_quantile, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
 use opaq_metrics::TextTable;
 use opaq_parallel::ShardedOpaq;
+use opaq_select::SelectionStrategy;
 use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore};
 
 /// The usage text printed by `opaq help`.
@@ -22,10 +23,11 @@ COMMANDS:
              [--domain D] [--dup FRACTION] [--seed S]
              write N u64 keys (little-endian) to FILE
   sketch     --data FILE --n N [--run-length M] [--sample-size S] [--out SKETCH]
-             [--threads T]
+             [--threads T] [--strategy block|quickselect|floyd-rivest|median-of-medians]
              one pass over FILE; print dectiles and optionally save the sketch.
-             --threads > 1 shards the ingest over T worker threads (the sketch
-             is bit-identical to the single-threaded one)
+             --threads > 1 shards the ingest over T worker threads; selection
+             is exact, so the sketch is bit-identical for every thread count
+             and strategy (default strategy: block, the branchless kernel)
   query      --sketch SKETCH [--q Q] [--phi P1,P2,...]
              estimate quantiles from a saved sketch (no data access)
   rank       --sketch SKETCH --value V
@@ -33,6 +35,7 @@ COMMANDS:
   histogram  --sketch SKETCH [--buckets B]
              print equi-depth histogram boundaries from a saved sketch
   exact      --data FILE --n N --phi P [--run-length M] [--sample-size S]
+             [--strategy ...]
              exact quantile with one estimation pass plus one refinement pass
   help       print this text
 "
@@ -115,6 +118,23 @@ fn open_store(args: &Args) -> CliResult<(FileRunStore<u64>, u64, u64)> {
     Ok((store, run_length, sample_size))
 }
 
+/// Parse `--strategy` (default: the branchless block kernel).  Selection is
+/// exact, so the choice never changes the sketch — only the CPU time.
+fn parse_strategy(args: &Args) -> CliResult<SelectionStrategy> {
+    Ok(match args.get("strategy").unwrap_or("block") {
+        "block" => SelectionStrategy::BlockQuickselect,
+        "quickselect" => SelectionStrategy::Quickselect,
+        "floyd-rivest" => SelectionStrategy::FloydRivest,
+        "median-of-medians" => SelectionStrategy::MedianOfMedians,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown strategy '{other}' (expected block, quickselect, floyd-rivest or \
+                 median-of-medians)"
+            )))
+        }
+    })
+}
+
 /// `opaq sketch`: one pass over a data file, print dectiles, optionally save.
 ///
 /// With `--threads T > 1` the ingest is sharded over `T` worker threads fed
@@ -130,13 +150,14 @@ pub fn sketch(args: &Args) -> CliResult<String> {
     let config = OpaqConfig::builder()
         .run_length(run_length)
         .sample_size(sample_size)
+        .strategy(parse_strategy(args)?)
         .build()?;
 
     let (sketch, mut out) = if threads > 1 {
         let sharded = ShardedOpaq::new(config, threads as usize)?;
         let (sketch, report) = sharded.build_sketch_with_report(&store)?;
         let header = format!(
-            "built sketch: {} sample points over {} runs ({} keys); {} shards, dispatch {:?}, merge {:?}, io {:?}\n{}",
+            "built sketch: {} sample points over {} runs ({} keys); {} shards, dispatch {:?}, merge {:?}, io {:?}, buffers {} reused / {} allocated\n{}",
             sketch.len(),
             sketch.runs(),
             sketch.total_elements(),
@@ -144,19 +165,24 @@ pub fn sketch(args: &Args) -> CliResult<String> {
             report.dispatch,
             report.merge,
             report.io.effective_io_time(),
+            report.io.buffer_reuses,
+            report.io.buffer_allocs,
             report.render_table()
         );
         (sketch, header)
     } else {
         let (sketch, stats) = OpaqEstimator::new(config).build_sketch_with_stats(&store)?;
+        let io = store.io_stats().snapshot();
         let header = format!(
-            "built sketch: {} sample points over {} runs ({} keys); io {:?}, sampling {:?}, merge {:?}\n",
+            "built sketch: {} sample points over {} runs ({} keys); io {:?}, sampling {:?}, merge {:?}, buffers {} reused / {} allocated\n",
             sketch.len(),
             sketch.runs(),
             sketch.total_elements(),
             stats.io,
             stats.sampling,
-            stats.merge
+            stats.merge,
+            io.buffer_reuses,
+            io.buffer_allocs
         );
         (sketch, header)
     };
@@ -254,6 +280,7 @@ pub fn exact(args: &Args) -> CliResult<String> {
     let config = OpaqConfig::builder()
         .run_length(run_length)
         .sample_size(sample_size)
+        .strategy(parse_strategy(args)?)
         .build()?;
     let sketch = OpaqEstimator::new(config).build_sketch(&store)?;
     let result = exact_quantile(&store, &sketch, phi)?;
@@ -429,9 +456,47 @@ mod tests {
                 "sharded sketch files must be byte-identical to sequential"
             );
         }
+
+        // Selection is exact, so every strategy must reproduce the same
+        // sketch file, byte for byte.
+        for strategy in ["block", "quickselect", "floyd-rivest", "median-of-medians"] {
+            let sketch_path = temp(&format!("sharded-{strategy}"), "sketch");
+            run(
+                "sketch",
+                &args(&[
+                    "--data",
+                    data_str,
+                    "--n",
+                    "30000",
+                    "--run-length",
+                    "3000",
+                    "--sample-size",
+                    "300",
+                    "--threads",
+                    "2",
+                    "--strategy",
+                    strategy,
+                    "--out",
+                    sketch_path.to_str().unwrap(),
+                ]),
+            )
+            .unwrap();
+            assert_eq!(
+                saved[0],
+                std::fs::read(&sketch_path).unwrap(),
+                "strategy {strategy} must produce a byte-identical sketch"
+            );
+            std::fs::remove_file(sketch_path).unwrap();
+        }
+
         assert!(run(
             "sketch",
             &args(&["--data", data_str, "--n", "30000", "--threads", "0"]),
+        )
+        .is_err());
+        assert!(run(
+            "sketch",
+            &args(&["--data", data_str, "--n", "30000", "--strategy", "bogus"]),
         )
         .is_err());
         std::fs::remove_file(data_path).unwrap();

@@ -5,7 +5,7 @@
 //! merging the r sample lists" pipeline of Table 2, with per-phase timing so
 //! the experiment harness can reproduce the paper's I/O-fraction tables.
 
-use crate::sample_phase::{sample_run, RunSample};
+use crate::sample_phase::{RunSample, RunSampler};
 use crate::sketch::QuantileSketch;
 use crate::{Key, OpaqConfig, OpaqResult, QuantileEstimate};
 use opaq_storage::RunStore;
@@ -79,14 +79,19 @@ impl OpaqEstimator {
         let mut run_samples: Vec<RunSample<K>> = Vec::with_capacity(layout.runs() as usize);
         let io_before = store.io_stats().snapshot();
 
+        // One run buffer recycled across the whole pass (the store decodes
+        // into it in place) and one sampler reusing its rank table: the
+        // steady-state loop allocates nothing proportional to `m`.
+        let mut sampler = RunSampler::new(self.config.sample_size, self.config.strategy)?;
+        let mut run_buf: Vec<K> = Vec::new();
         let mut measured_io = Duration::ZERO;
         for run_idx in 0..layout.runs() {
             let io_start = Instant::now();
-            let mut run = store.read_run(run_idx)?;
+            store.read_run_into(run_idx, &mut run_buf)?;
             measured_io += io_start.elapsed();
 
             let sample_start = Instant::now();
-            let rs = sample_run(&mut run, self.config.sample_size, self.config.strategy)?;
+            let rs = sampler.sample(&mut run_buf)?;
             stats.sampling += sample_start.elapsed();
             run_samples.push(rs);
         }

@@ -52,12 +52,14 @@ where
     let psi = estimate.target_rank;
     let (lower, upper) = (estimate.lower, estimate.upper);
 
-    // Second pass: count elements below the lower bound and keep candidates.
+    // Second pass: count elements below the lower bound and keep candidates,
+    // recycling one run buffer for the whole scan.
     let mut below = 0u64;
     let mut candidates: Vec<K> = Vec::new();
+    let mut run_buf: Vec<K> = Vec::new();
     for run_idx in 0..store.layout().runs() {
-        let run = store.read_run(run_idx)?;
-        for key in run {
+        store.read_run_into(run_idx, &mut run_buf)?;
+        for &key in &run_buf {
             if key < lower {
                 below += 1;
             } else if key <= upper {
@@ -76,7 +78,7 @@ where
             )
         })?;
     let idx = (rank_in_candidates - 1) as usize;
-    let value = *opaq_select::quickselect(&mut candidates, idx);
+    let value = *opaq_select::quickselect_block(&mut candidates, idx);
     Ok(ExactQuantile {
         value,
         target_rank: psi,

@@ -7,7 +7,7 @@
 //! sketch and folds in new runs (or whole new stores) as they arrive, without
 //! ever revisiting old data.
 
-use crate::sample_phase::sample_run;
+use crate::sample_phase::{RunSample, RunSampler};
 use crate::sketch::QuantileSketch;
 use crate::{Key, OpaqConfig, OpaqError, OpaqResult, QuantileEstimate};
 use opaq_storage::RunStore;
@@ -17,6 +17,7 @@ use opaq_storage::RunStore;
 pub struct IncrementalOpaq<K> {
     config: OpaqConfig,
     sketch: Option<QuantileSketch<K>>,
+    sampler: RunSampler,
     runs_absorbed: u64,
 }
 
@@ -30,6 +31,7 @@ impl<K: Key> IncrementalOpaq<K> {
         Ok(Self {
             config,
             sketch: None,
+            sampler: RunSampler::new(config.sample_size, config.strategy)?,
             runs_absorbed: 0,
         })
     }
@@ -57,20 +59,30 @@ impl<K: Key> IncrementalOpaq<K> {
     /// Runs larger than the configured run length are split so that the
     /// per-run error guarantees keep holding.
     pub fn add_run(&mut self, mut run: Vec<K>) -> OpaqResult<()> {
+        self.add_run_slice(&mut run)
+    }
+
+    /// Absorb one new run **in place**: `run` is partially reordered by the
+    /// selection (the buffer-reuse contract of
+    /// [`crate::sample_phase`]) and handed back to the caller, who typically
+    /// refills it with the next run — the allocation-free ingest hot path
+    /// used by the sharded workers.
+    ///
+    /// Runs larger than the configured run length are split so that the
+    /// per-run error guarantees keep holding.
+    ///
+    /// # Errors
+    /// [`OpaqError::EmptyDataset`] if `run` is empty.
+    pub fn add_run_slice(&mut self, run: &mut [K]) -> OpaqResult<()> {
         if run.is_empty() {
             return Err(OpaqError::EmptyDataset);
         }
         let m = self.config.run_length as usize;
-        let mut run_samples = Vec::new();
+        let mut run_samples: Vec<RunSample<K>> = Vec::with_capacity(run.len().div_ceil(m));
         let mut start = 0usize;
         while start < run.len() {
             let end = (start + m).min(run.len());
-            let rs = sample_run(
-                &mut run[start..end],
-                self.config.sample_size,
-                self.config.strategy,
-            )?;
-            run_samples.push(rs);
+            run_samples.push(self.sampler.sample(&mut run[start..end])?);
             start = end;
         }
         let new_sketch = QuantileSketch::from_run_samples(run_samples)?;
@@ -82,13 +94,16 @@ impl<K: Key> IncrementalOpaq<K> {
         Ok(())
     }
 
-    /// Absorb every run of a store (e.g. a newly arrived data file).
+    /// Absorb every run of a store (e.g. a newly arrived data file),
+    /// recycling a single run buffer across the whole pass.
     pub fn add_store<S: RunStore<K>>(&mut self, store: &S) -> OpaqResult<()> {
         if store.is_empty() {
             return Err(OpaqError::EmptyDataset);
         }
+        let mut buf: Vec<K> = Vec::new();
         for run_idx in 0..store.layout().runs() {
-            self.add_run(store.read_run(run_idx)?)?;
+            store.read_run_into(run_idx, &mut buf)?;
+            self.add_run_slice(&mut buf)?;
         }
         Ok(())
     }

@@ -66,7 +66,7 @@ pub use exact::{exact_quantile, ExactQuantile};
 pub use incremental::IncrementalOpaq;
 pub use quantile_phase::QuantileEstimate;
 pub use rank::RankBounds;
-pub use sample_phase::{sample_run, RunSample};
+pub use sample_phase::{sample_run, RunSample, RunSampler};
 pub use sketch::{QuantileSketch, SamplePoint};
 
 /// The key bound required by the OPAQ core: totally ordered, cheap to copy,

@@ -6,9 +6,24 @@
 //! stands for.  Gaps are what make the error bounds work for runs whose
 //! length is not an exact multiple of `s` (the paper assumes divisibility
 //! "without loss of generality"; we do not have to).
+//!
+//! ## The buffer-reuse contract
+//!
+//! `sample_run` (and [`RunSampler::sample`]) borrows the run as `&mut [K]`
+//! and the selection happens **in place**: on return the slice is *partially
+//! reordered* (each sample value sits at its exact rank, with `<=` on the
+//! left and `>=` on the right).  Nothing in the slice is consumed, which is
+//! what makes the allocation-free ingest loop legal: callers read the next
+//! run **into the same buffer** (`RunStore::read_run_into`) and sample it
+//! again, recycling one `m`-element allocation across the whole pass.  A
+//! caller that needs the run's original order must copy it first — every
+//! OPAQ phase only ever needs each run once, so none do.  [`RunSampler`]
+//! additionally caches the regular-rank table between runs of equal length,
+//! so steady-state per-run work allocates only the `s`-sized `values`/`gaps`
+//! vectors that outlive the call inside the returned [`RunSample`].
 
 use crate::{Key, OpaqError, OpaqResult};
-use opaq_select::{multiselect_with, regular_sample_ranks, SelectionStrategy};
+use opaq_select::{multiselect_into, regular_sample_ranks, SelectionStrategy};
 
 /// The regular samples of one run, in ascending order, with their gaps.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,10 +57,14 @@ impl<K: Key> RunSample<K> {
 }
 
 /// Extract the `s` regular samples of `run` (which is partially reordered in
-/// the process, as selection is in-place).
+/// the process, as selection is in-place — see the module docs for the
+/// buffer-reuse contract).
 ///
 /// If the run is shorter than `s`, every element becomes a sample with gap 1
 /// — the bounds only get tighter.
+///
+/// One-shot convenience over [`RunSampler`]; loops over many runs should
+/// hold a `RunSampler` to reuse its rank table.
 ///
 /// # Errors
 /// Returns [`OpaqError::EmptyDataset`] if the run is empty or
@@ -55,33 +74,76 @@ pub fn sample_run<K: Key>(
     s: u64,
     strategy: SelectionStrategy,
 ) -> OpaqResult<RunSample<K>> {
-    if run.is_empty() {
-        return Err(OpaqError::EmptyDataset);
+    RunSampler::new(s, strategy)?.sample(run)
+}
+
+/// Reusable sample-phase worker: extracts regular samples run after run,
+/// caching the rank table between runs of the same length.
+///
+/// Every full-length run of an ingest shares one `(m, s)` pair, so in steady
+/// state [`RunSampler::sample`] recomputes nothing and allocates only the
+/// returned [`RunSample`]'s own `values`/`gaps` vectors.
+#[derive(Debug, Clone)]
+pub struct RunSampler {
+    s: u64,
+    strategy: SelectionStrategy,
+    /// Regular ranks for a run of length `cached_m` (invalid when
+    /// `cached_m == 0`, i.e. before the first run).
+    ranks: Vec<usize>,
+    cached_m: usize,
+}
+
+impl RunSampler {
+    /// Create a sampler taking `s` regular samples per run with `strategy`.
+    ///
+    /// # Errors
+    /// Returns [`OpaqError::InvalidConfig`] if `s == 0`.
+    pub fn new(s: u64, strategy: SelectionStrategy) -> OpaqResult<Self> {
+        if s == 0 {
+            return Err(OpaqError::InvalidConfig(
+                "sample size s must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            s,
+            strategy,
+            ranks: Vec::new(),
+            cached_m: 0,
+        })
     }
-    if s == 0 {
-        return Err(OpaqError::InvalidConfig(
-            "sample size s must be positive".into(),
-        ));
+
+    /// Extract the regular samples of `run` (partially reordered in place).
+    ///
+    /// # Errors
+    /// Returns [`OpaqError::EmptyDataset`] if the run is empty.
+    pub fn sample<K: Key>(&mut self, run: &mut [K]) -> OpaqResult<RunSample<K>> {
+        if run.is_empty() {
+            return Err(OpaqError::EmptyDataset);
+        }
+        let m = run.len();
+        let s_eff = (self.s as usize).min(m);
+        if self.cached_m != m {
+            self.ranks = regular_sample_ranks(m, s_eff);
+            self.cached_m = m;
+        }
+        let run_min = *run.iter().min().expect("non-empty run has a minimum");
+        let mut values = Vec::with_capacity(self.ranks.len());
+        multiselect_into(run, &self.ranks, self.strategy, &mut values);
+        let mut gaps = Vec::with_capacity(self.ranks.len());
+        let mut prev_rank_1based = 0u64;
+        for &r in &self.ranks {
+            let rank_1based = (r + 1) as u64;
+            gaps.push(rank_1based - prev_rank_1based);
+            prev_rank_1based = rank_1based;
+        }
+        debug_assert_eq!(gaps.iter().sum::<u64>(), m as u64);
+        Ok(RunSample {
+            values,
+            gaps,
+            run_min,
+            run_len: m as u64,
+        })
     }
-    let m = run.len();
-    let s_eff = (s as usize).min(m);
-    let run_min = *run.iter().min().expect("non-empty run has a minimum");
-    let ranks = regular_sample_ranks(m, s_eff);
-    let values = multiselect_with(run, &ranks, strategy);
-    let mut gaps = Vec::with_capacity(ranks.len());
-    let mut prev_rank_1based = 0u64;
-    for &r in &ranks {
-        let rank_1based = (r + 1) as u64;
-        gaps.push(rank_1based - prev_rank_1based);
-        prev_rank_1based = rank_1based;
-    }
-    debug_assert_eq!(gaps.iter().sum::<u64>(), m as u64);
-    Ok(RunSample {
-        values,
-        gaps,
-        run_min,
-        run_len: m as u64,
-    })
 }
 
 #[cfg(test)]
@@ -151,6 +213,34 @@ mod tests {
         let rs = sample_run(&mut run, 8, strategy()).unwrap();
         assert!(rs.values.iter().all(|&v| v == 7));
         assert_eq!(rs.gaps, vec![8; 8]);
+    }
+
+    #[test]
+    fn run_sampler_reuses_rank_table_across_runs() {
+        let mut sampler = RunSampler::new(10, strategy()).unwrap();
+        // Two full-length runs, then a short tail run, then full-length again.
+        for len in [100usize, 100, 37, 100] {
+            let mut run: Vec<u64> = (0..len as u64).rev().collect();
+            let one_shot = sample_run(&mut run.clone(), 10, strategy()).unwrap();
+            let rs = sampler.sample(&mut run).unwrap();
+            assert_eq!(rs, one_shot, "len {len}");
+            assert_eq!(rs.run_len, len as u64);
+            assert_eq!(rs.run_max(), (len - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn run_sampler_rejects_zero_s_and_empty_run() {
+        assert!(matches!(
+            RunSampler::new(0, strategy()),
+            Err(OpaqError::InvalidConfig(_))
+        ));
+        let mut sampler = RunSampler::new(4, strategy()).unwrap();
+        let mut empty: Vec<u64> = vec![];
+        assert!(matches!(
+            sampler.sample(&mut empty),
+            Err(OpaqError::EmptyDataset)
+        ));
     }
 
     #[test]

@@ -33,24 +33,20 @@ fn sketch_is_deterministic_for_a_given_input() {
 #[test]
 fn selection_strategy_does_not_change_the_sketch() {
     let keys = data(20_000, 1);
-    let sketches: Vec<_> = [
-        SelectionStrategy::Quickselect,
-        SelectionStrategy::MedianOfMedians,
-        SelectionStrategy::FloydRivest,
-    ]
-    .into_iter()
-    .map(|strategy| {
-        let config = OpaqConfig::builder()
-            .run_length(2_000)
-            .sample_size(200)
-            .strategy(strategy)
-            .build()
-            .unwrap();
-        OpaqEstimator::new(config)
-            .build_sketch(&MemRunStore::new(keys.clone(), 2_000))
-            .unwrap()
-    })
-    .collect();
+    let sketches: Vec<_> = SelectionStrategy::ALL
+        .into_iter()
+        .map(|strategy| {
+            let config = OpaqConfig::builder()
+                .run_length(2_000)
+                .sample_size(200)
+                .strategy(strategy)
+                .build()
+                .unwrap();
+            OpaqEstimator::new(config)
+                .build_sketch(&MemRunStore::new(keys.clone(), 2_000))
+                .unwrap()
+        })
+        .collect();
     // The selected order statistics are unique values, so every strategy must
     // produce exactly the same sample list.
     let reference: Vec<u64> = sketches[0].samples().iter().map(|s| s.value).collect();

@@ -304,16 +304,19 @@ impl ParallelOpaq {
         let s = self.config.sample_size;
         let log_s = (s.max(2) as f64).log2();
 
+        // One recycled run buffer per simulated processor (see the
+        // sample-phase buffer-reuse contract).
+        let mut run_buf: Vec<K> = Vec::new();
         for run_idx in 0..layout.runs() {
             let io_start = Instant::now();
-            let mut run = store.read_run(run_idx)?;
+            store.read_run_into(run_idx, &mut run_buf)?;
             measured.io += io_start.elapsed();
-            modelled.io += self.disk.transfer_time(run.len() as u64 * 8);
+            modelled.io += self.disk.transfer_time(run_buf.len() as u64 * 8);
 
             let sample_start = Instant::now();
-            let rs = sample_run(&mut run, s, self.config.strategy)?;
+            let rs = sample_run(&mut run_buf, s, self.config.strategy)?;
             measured.sampling += sample_start.elapsed();
-            modelled.sampling += self.cost.compute((run.len() as f64 * log_s) as u64);
+            modelled.sampling += self.cost.compute((run_buf.len() as f64 * log_s) as u64);
             run_samples.push(rs);
         }
 

@@ -31,12 +31,17 @@
 //!   run order, and the merge tree combines shard sketches in ascending
 //!   shard order, so equal sample values are globally ordered by the run
 //!   they came from — exactly as in the sequential left-to-right fold.
-//! * **Bounded memory.**  Every run channel holds at most `prefetch_depth`
-//!   runs, so a slow worker back-pressures the dispatcher instead of letting
-//!   buffered runs pile up; peak memory stays at most
-//!   `(S·(depth + 1) + depth + 2) · m` keys (per shard: `depth` buffered
-//!   plus one being sampled; plus the prefetch pipeline's `depth + 2`) on
-//!   top of the `r·s` sample points.
+//! * **Bounded memory, zero steady-state allocation.**  Every run channel
+//!   holds at most `prefetch_depth` runs, so a slow worker back-pressures
+//!   the dispatcher instead of letting buffered runs pile up; peak memory
+//!   stays at most `(S·(depth + 1) + depth + 2) · m` keys (per shard:
+//!   `depth` buffered plus one being sampled; plus the prefetch pipeline's
+//!   `depth + 2`) on top of the `r·s` sample points.  Those buffers
+//!   *recycle*: workers return each sampled run to a shared
+//!   [`BufferPool`] that the prefetching reader refills via
+//!   `RunStore::read_run_into`, so after warm-up no run read allocates
+//!   (watch the `buffer_allocs`/`buffer_reuses` counters in the report's
+//!   [`IoStatsSnapshot`]).
 //! * **Observability.**  Each worker reports an [`opaq_metrics::ShardStats`]
 //!   (runs, elements, busy vs. starved wall-clock), and the report carries
 //!   the store's [`IoStatsSnapshot`] delta, so "is ingest I/O-bound or
@@ -46,7 +51,7 @@
 use crossbeam::channel;
 use opaq_core::{IncrementalOpaq, Key, OpaqConfig, OpaqError, OpaqResult, QuantileSketch};
 use opaq_metrics::{render_shard_table, ShardStats};
-use opaq_storage::{IoStatsSnapshot, RunStore, DEFAULT_PREFETCH_DEPTH};
+use opaq_storage::{BufferPool, IoStatsSnapshot, RunStore, DEFAULT_PREFETCH_DEPTH};
 use std::time::{Duration, Instant};
 
 /// Multi-threaded OPAQ ingestion over any [`RunStore`].
@@ -93,6 +98,8 @@ fn io_delta(before: IoStatsSnapshot, after: IoStatsSnapshot) -> IoStatsSnapshot 
         write_calls: after.write_calls.saturating_sub(before.write_calls),
         measured: after.measured.saturating_sub(before.measured),
         modelled: after.modelled.saturating_sub(before.modelled),
+        buffer_allocs: after.buffer_allocs.saturating_sub(before.buffer_allocs),
+        buffer_reuses: after.buffer_reuses.saturating_sub(before.buffer_reuses),
     }
 }
 
@@ -173,6 +180,12 @@ impl ShardedOpaq {
 
         type WorkerResult<K> = OpaqResult<(Option<QuantileSketch<K>>, ShardStats)>;
 
+        // One buffer pool shared by the prefetching reader and every worker:
+        // a worker finishes sampling a run and parks the buffer for the
+        // reader to refill, so steady state recycles ~`shards·(depth+1)`
+        // buffers instead of allocating one per run.
+        let pool = BufferPool::<K>::new();
+
         let scope_result: OpaqResult<(QuantileSketch<K>, Vec<ShardStats>, Duration, Duration)> =
             crossbeam::thread::scope(|scope| {
                 let (result_tx, result_rx) = channel::unbounded::<(usize, WorkerResult<K>)>();
@@ -182,6 +195,7 @@ impl ShardedOpaq {
                     run_txs.push(run_tx);
                     let result_tx = result_tx.clone();
                     let config = self.config;
+                    let pool = &pool;
                     scope.spawn(move |_| {
                         let mut inc = match IncrementalOpaq::<K>::new(config) {
                             Ok(inc) => inc,
@@ -195,10 +209,12 @@ impl ShardedOpaq {
                         loop {
                             let wait_start = Instant::now();
                             // Channel closed = all of this shard's runs seen.
-                            let Ok(run) = run_rx.recv() else { break };
+                            let Ok(mut run) = run_rx.recv() else { break };
                             starved += wait_start.elapsed();
                             let work_start = Instant::now();
-                            if let Err(e) = inc.add_run(run) {
+                            let absorbed = inc.add_run_slice(&mut run);
+                            pool.put(run);
+                            if let Err(e) = absorbed {
                                 let _ = result_tx.send((shard, Err(e)));
                                 return;
                             }
@@ -224,12 +240,17 @@ impl ShardedOpaq {
                 // are picked up below rather than here.
                 let dispatch_start = Instant::now();
                 let mut current = 0usize;
-                let dispatched = store.for_each_run_prefetched(self.prefetch_depth, |run, data| {
-                    while current + 1 < shards && run >= starts[current + 1] {
-                        current += 1;
-                    }
-                    let _ = run_txs[current].send(data);
-                });
+                let dispatched = opaq_storage::for_each_run_prefetched_pooled(
+                    store,
+                    self.prefetch_depth,
+                    &pool,
+                    |run, data| {
+                        while current + 1 < shards && run >= starts[current + 1] {
+                            current += 1;
+                        }
+                        let _ = run_txs[current].send(data);
+                    },
+                );
                 drop(run_txs);
                 let dispatch = dispatch_start.elapsed();
 
@@ -396,6 +417,26 @@ mod tests {
             let truth = sorted[(est.target_rank - 1) as usize];
             assert!(est.lower <= truth && truth <= est.upper);
         }
+    }
+
+    #[test]
+    fn run_buffers_recycle_across_the_ingest() {
+        // 40 runs over 4 shards with depth 2: at most
+        // shards·(depth+1) + depth + 2 = 16 buffers can be in flight before
+        // recycling kicks in, so most of the 40 reads must be reuses.
+        let data: Vec<u64> = (0..40_000).map(|i| (i * 48271) % 9973).collect();
+        let store = MemRunStore::new(data, 1000);
+        let cfg = config(1000, 100);
+        let (_, report) = ShardedOpaq::new(cfg, 4)
+            .unwrap()
+            .build_sketch_with_report(&store)
+            .unwrap();
+        assert_eq!(report.io.buffer_allocs + report.io.buffer_reuses, 40);
+        assert!(
+            report.io.buffer_allocs <= 16,
+            "allocs: {}",
+            report.io.buffer_allocs
+        );
     }
 
     #[test]

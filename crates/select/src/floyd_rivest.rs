@@ -6,8 +6,13 @@
 //! the target order statistic is sandwiched between two sample order
 //! statistics with high probability, shrinking the working range to
 //! `O(n^{2/3})` per round.
+//!
+//! The partition step — the only per-element work — runs on the branchless
+//! block kernel ([`crate::partition::partition_three_way_block`]); the
+//! sampling logic above it is untouched, and the selected values are exactly
+//! those of the scalar implementation.
 
-use crate::partition::{insertion_sort, partition_three_way};
+use crate::partition::{insertion_sort, partition_three_way_block};
 
 const INSERTION_CUTOFF: usize = 64;
 /// Range length above which the sampling step is applied (below it a plain
@@ -61,7 +66,7 @@ pub fn floyd_rivest_select<T: Ord>(data: &mut [T], rank: usize) -> &T {
         // current window (which after fencing is statistically close to the
         // target order statistic).
         let pivot_rel = (hi - lo) / 2;
-        let p = partition_three_way(&mut data[lo..hi], pivot_rel);
+        let p = partition_three_way_block(&mut data[lo..hi], pivot_rel);
         let (band_lo, band_hi) = (lo + p.lt, lo + p.gt);
         if rank < band_lo {
             hi = band_lo;
@@ -80,7 +85,7 @@ pub fn floyd_rivest_select<T: Ord>(data: &mut [T], rank: usize) -> &T {
 fn floyd_rivest_inner<T: Ord>(data: &mut [T], lo: usize, hi: usize, rank: usize) {
     debug_assert!(lo <= rank && rank < hi && hi <= data.len());
     let window = &mut data[lo..hi];
-    let _ = crate::quickselect::quickselect(window, rank - lo);
+    let _ = crate::quickselect::quickselect_block(window, rank - lo);
 }
 
 #[cfg(test)]

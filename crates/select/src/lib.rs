@@ -17,13 +17,18 @@
 //!   strategy (small constants, in-place).
 //! * [`multiselect`] — simultaneous selection of many order statistics by
 //!   recursive partitioning, the workhorse of the sample phase.
-//! * [`partition`] — three-way (Dutch national flag) partitioning primitives
-//!   shared by the algorithms above, duplicate-robust by construction.
+//! * [`partition`] — three-way partitioning primitives shared by the
+//!   algorithms above, duplicate-robust by construction: the scalar Dutch
+//!   national flag scan *and* a branchless BlockQuicksort-style kernel
+//!   ([`partition::partition_three_way_block`]) that replaces the
+//!   per-element comparison branch with offset-buffer fills and bulk swaps.
 //!
 //! All algorithms operate in place on `&mut [T]` where `T: Ord`, never
 //! allocate proportionally to the input (apart from recursion bookkeeping),
 //! and are exact: they place the requested order statistic at its index and
-//! return a reference to it.
+//! return a reference to it.  Because selection is exact, **every strategy
+//! returns the same values** — the choice only affects constant factors, so
+//! OPAQ sketches are bit-identical across strategies and kernels.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -36,26 +41,42 @@ pub mod quickselect;
 
 pub use floyd_rivest::floyd_rivest_select;
 pub use median_of_medians::median_of_medians_select;
-pub use multiselect::{multiselect, multiselect_with, regular_sample_ranks};
-pub use quickselect::quickselect;
+pub use multiselect::{multiselect, multiselect_into, multiselect_with, regular_sample_ranks};
+pub use quickselect::{quickselect, quickselect_block};
 
 /// Strategy used for single-rank selection inside the multi-selection driver
 /// and by the OPAQ sample phase.
+///
+/// All strategies are exact, so they select identical values; they differ
+/// only in constant factors and worst-case guarantees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SelectionStrategy {
-    /// Randomized quickselect with median-of-three pivoting (default; the
-    /// paper notes the randomized selection "has small constant and is
-    /// practically very efficient").
+    /// Branchless quickselect: deterministic ninther pivot sampling over the
+    /// BlockQuicksort three-way partition kernel (default — the fastest
+    /// kernel on random data, and RNG-free).
     #[default]
+    BlockQuickselect,
+    /// Randomized quickselect with median-of-three pivoting over the scalar
+    /// Dutch-national-flag partition (the paper notes the randomized
+    /// selection "has small constant and is practically very efficient";
+    /// kept as the reference scalar path).
     Quickselect,
     /// Deterministic median-of-medians (worst-case linear, `[ea72]`).
     MedianOfMedians,
     /// Floyd–Rivest SELECT (expected linear with very small constants,
-    /// `[FR75]`).
+    /// `[FR75]`); its partition step runs on the block kernel.
     FloydRivest,
 }
 
 impl SelectionStrategy {
+    /// Every strategy, in a fixed order (test and benchmark helper).
+    pub const ALL: [SelectionStrategy; 4] = [
+        SelectionStrategy::BlockQuickselect,
+        SelectionStrategy::Quickselect,
+        SelectionStrategy::MedianOfMedians,
+        SelectionStrategy::FloydRivest,
+    ];
+
     /// Select the element of the given `rank` (0-based) within `data`,
     /// partially reordering `data` so that `data[rank]` holds the answer,
     /// everything before it is `<=` and everything after it is `>=`.
@@ -69,6 +90,7 @@ impl SelectionStrategy {
             data.len()
         );
         match self {
+            SelectionStrategy::BlockQuickselect => quickselect_block(data, rank),
             SelectionStrategy::Quickselect => quickselect(data, rank),
             SelectionStrategy::MedianOfMedians => median_of_medians_select(data, rank),
             SelectionStrategy::FloydRivest => floyd_rivest_select(data, rank),
@@ -83,11 +105,7 @@ mod tests {
     fn check_all_strategies(mut data: Vec<u64>) {
         let mut sorted = data.clone();
         sorted.sort_unstable();
-        for strategy in [
-            SelectionStrategy::Quickselect,
-            SelectionStrategy::MedianOfMedians,
-            SelectionStrategy::FloydRivest,
-        ] {
+        for strategy in SelectionStrategy::ALL {
             for rank in [0, data.len() / 3, data.len() / 2, data.len() - 1] {
                 let mut work = data.clone();
                 let got = *strategy.select(&mut work, rank);
@@ -123,7 +141,10 @@ mod tests {
     }
 
     #[test]
-    fn default_strategy_is_quickselect() {
-        assert_eq!(SelectionStrategy::default(), SelectionStrategy::Quickselect);
+    fn default_strategy_is_block_quickselect() {
+        assert_eq!(
+            SelectionStrategy::default(),
+            SelectionStrategy::BlockQuickselect
+        );
     }
 }

@@ -42,41 +42,77 @@ pub fn regular_sample_ranks(m: usize, s: usize) -> Vec<usize> {
 /// `r ∈ ranks`, and the slice is partitioned consistently around those
 /// positions.  Returns the selected values in ascending rank order.
 ///
+/// The bound is `T: Copy` (OPAQ keys are fixed-width scalars): selected
+/// values are plain loads from the reordered slice, never clones through a
+/// reference chain.
+///
 /// # Panics
 /// Panics if any rank is out of bounds or if `ranks` contains duplicates.
-pub fn multiselect<T: Ord + Clone>(data: &mut [T], ranks: &[usize]) -> Vec<T> {
+pub fn multiselect<T: Ord + Copy>(data: &mut [T], ranks: &[usize]) -> Vec<T> {
     multiselect_with(data, ranks, SelectionStrategy::default())
 }
 
 /// [`multiselect`] with an explicit single-rank [`SelectionStrategy`].
-pub fn multiselect_with<T: Ord + Clone>(
+pub fn multiselect_with<T: Ord + Copy>(
     data: &mut [T],
     ranks: &[usize],
     strategy: SelectionStrategy,
 ) -> Vec<T> {
-    let mut sorted_ranks: Vec<usize> = ranks.to_vec();
-    sorted_ranks.sort_unstable();
-    for pair in sorted_ranks.windows(2) {
-        assert!(
-            pair[0] != pair[1],
-            "duplicate rank {} in multiselect",
-            pair[0]
-        );
+    let mut out = Vec::with_capacity(ranks.len());
+    multiselect_into(data, ranks, strategy, &mut out);
+    out
+}
+
+/// [`multiselect_with`] writing the selected values into a caller-provided
+/// buffer (cleared first) instead of allocating a fresh one — the hot-path
+/// entry point used by the sample phase.
+///
+/// When `ranks` is already strictly increasing (as produced by
+/// [`regular_sample_ranks`]) this performs **no allocation at all** beyond
+/// what `out` already owns; unsorted rank sets fall back to one scratch copy
+/// for sorting.
+pub fn multiselect_into<T: Ord + Copy>(
+    data: &mut [T],
+    ranks: &[usize],
+    strategy: SelectionStrategy,
+    out: &mut Vec<T>,
+) {
+    out.clear();
+    if ranks.windows(2).all(|w| w[0] < w[1]) {
+        // Pre-sorted (and therefore duplicate-free): select straight off the
+        // caller's slice.
+        check_bounds(ranks, data.len());
+        recurse(data, 0, ranks, strategy);
+        out.extend(ranks.iter().map(|&r| data[r]));
+    } else {
+        let mut sorted_ranks: Vec<usize> = ranks.to_vec();
+        sorted_ranks.sort_unstable();
+        for pair in sorted_ranks.windows(2) {
+            assert!(
+                pair[0] != pair[1],
+                "duplicate rank {} in multiselect",
+                pair[0]
+            );
+        }
+        check_bounds(&sorted_ranks, data.len());
+        recurse(data, 0, &sorted_ranks, strategy);
+        out.extend(sorted_ranks.iter().map(|&r| data[r]));
     }
+}
+
+fn check_bounds(sorted_ranks: &[usize], len: usize) {
     if let Some(&max) = sorted_ranks.last() {
         assert!(
-            max < data.len(),
-            "rank {max} out of bounds for slice of length {}",
-            data.len()
+            max < len,
+            "rank {max} out of bounds for slice of length {len}"
         );
     }
-    recurse(data, 0, &sorted_ranks, strategy);
-    sorted_ranks.iter().map(|&r| data[r].clone()).collect()
 }
 
 /// Recursive driver: `offset` is the absolute index of `data[0]` in the
 /// original slice; `ranks` are absolute, sorted, and all fall inside
-/// `[offset, offset + data.len())`.
+/// `[offset, offset + data.len())`.  Borrows sub-slices of both `data` and
+/// `ranks` — no per-level allocation.
 fn recurse<T: Ord>(data: &mut [T], offset: usize, ranks: &[usize], strategy: SelectionStrategy) {
     if ranks.is_empty() || data.is_empty() {
         return;
@@ -93,10 +129,8 @@ fn recurse<T: Ord>(data: &mut [T], offset: usize, ranks: &[usize], strategy: Sel
     // Left of `rel` everything is <= data[rel]; right of it everything is >=.
     let (left, rest) = data.split_at_mut(rel);
     let right = &mut rest[1..];
-    let left_ranks = &ranks[..mid];
-    let right_ranks: Vec<usize> = ranks[mid + 1..].to_vec();
-    recurse(left, offset, left_ranks, strategy);
-    recurse(right, offset + rel + 1, &right_ranks, strategy);
+    recurse(left, offset, &ranks[..mid], strategy);
+    recurse(right, offset + rel + 1, &ranks[mid + 1..], strategy);
 }
 
 #[cfg(test)]
@@ -169,11 +203,7 @@ mod tests {
         let mut sorted = base.clone();
         sorted.sort_unstable();
         let expected: Vec<u64> = ranks.iter().map(|&r| sorted[r]).collect();
-        for strategy in [
-            SelectionStrategy::Quickselect,
-            SelectionStrategy::MedianOfMedians,
-            SelectionStrategy::FloydRivest,
-        ] {
+        for strategy in SelectionStrategy::ALL {
             let mut work = base.clone();
             assert_eq!(
                 multiselect_with(&mut work, &ranks, strategy),

@@ -5,6 +5,21 @@
 //! duplication (the OPAQ experiments deliberately inject `n/10` duplicate
 //! keys) we use a *three-way* partition: elements strictly less than the
 //! pivot, elements equal to the pivot, and elements strictly greater.
+//!
+//! Two kernels produce that layout:
+//!
+//! * [`partition_three_way`] — the scalar Dutch-national-flag scan: one
+//!   data-dependent branch per element.  Simple, and kept as the oracle the
+//!   property tests compare against.
+//! * [`partition_three_way_block`] — a BlockQuicksort-style kernel
+//!   (Edelkamp & Weiß, ESA 2016): comparisons fill fixed-size offset
+//!   buffers with unconditional stores and conditional *increments*, then
+//!   the matching elements are swapped in bulk.  No branch in the scan
+//!   depends on a key comparison, so random data no longer pays a ~50%
+//!   misprediction rate per element.  Both kernels return the identical
+//!   [`Partition`] (the equal band is a function of the multiset, not of
+//!   the algorithm), which is what keeps OPAQ sketches bit-identical across
+//!   kernels.
 
 /// Result of a three-way partition of a slice around a pivot value.
 ///
@@ -72,6 +87,108 @@ pub fn partition_three_way<T: Ord>(data: &mut [T], pivot_index: usize) -> Partit
 
     debug_assert!(lt < gt);
     Partition { lt, gt }
+}
+
+/// Block size of the branchless kernel: 128 offsets fit comfortably in L1
+/// alongside the data block itself, and one `u32` offset buffer costs 512
+/// bytes of stack.
+const BLOCK: usize = 128;
+
+/// Branchless stable-order-free compaction: move every element of `data`
+/// satisfying `pred` to the front, returning how many there are.
+///
+/// The scan fills a fixed-size offset buffer with *unconditional* stores and
+/// conditional increments (`offsets[num] = i; num += pred as usize`), so the
+/// only data-dependent operation is an add — no unpredictable branch.  The
+/// subsequent swap loop has fully predictable control flow.
+#[inline]
+fn block_partition_by<T, F: Fn(&T) -> bool>(data: &mut [T], pred: F) -> usize {
+    let mut offsets = [0u32; BLOCK];
+    let mut lt = 0usize; // data[..lt] satisfy pred
+    let mut base = 0usize;
+    while base < data.len() {
+        let block_len = BLOCK.min(data.len() - base);
+        let mut num = 0usize;
+        for i in 0..block_len {
+            // `num <= i < BLOCK` holds, so the store is always in bounds and
+            // the bounds check is branch-predictable.
+            offsets[num] = i as u32;
+            num += usize::from(pred(&data[base + i]));
+        }
+        for &off in &offsets[..num] {
+            // `lt` counts pred-satisfying elements among the scanned prefix,
+            // so `lt <= base + off` always; the swap moves a failing element
+            // into the scanned region where it stays put.
+            data.swap(lt, base + off as usize);
+            lt += 1;
+        }
+        base += block_len;
+    }
+    lt
+}
+
+/// Three-way partition of `data` around the value at `pivot_index`, using the
+/// branchless block kernel.  Returns exactly the same [`Partition`] (and the
+/// same three regions, as multisets) as [`partition_three_way`].
+///
+/// Two block passes produce the `[< | == | >]` layout: the first compacts
+/// `< pivot` to the front, the second compacts `== pivot` to the front of the
+/// remainder.  The second pass only scans the `>=` region, so the extra cost
+/// is bounded by half the slice on balanced pivots — far cheaper than the
+/// mispredictions it replaces.
+///
+/// # Panics
+/// Panics if `pivot_index >= data.len()`.
+pub fn partition_three_way_block<T: Ord>(data: &mut [T], pivot_index: usize) -> Partition {
+    assert!(pivot_index < data.len(), "pivot index out of bounds");
+    let len = data.len();
+    // Park the pivot at the end so the body can be scanned against it
+    // without aliasing the comparison target.
+    data.swap(pivot_index, len - 1);
+    let (body, pivot_slot) = data.split_at_mut(len - 1);
+    let pivot = &pivot_slot[0];
+
+    let lt = block_partition_by(body, |x| x < pivot);
+    let eq = block_partition_by(&mut body[lt..], |x| x == pivot);
+
+    // Un-park the pivot into the first `>` slot; it joins the equal band.
+    let gt = lt + eq;
+    data.swap(gt, len - 1);
+    debug_assert!(lt <= gt && gt < len);
+    Partition { lt, gt: gt + 1 }
+}
+
+/// Deterministic ninther (median of three medians of three) pivot sampling.
+///
+/// Returns the index of a pivot that is the median of nine elements spread
+/// across `data` — the classic defence against sorted, reverse-sorted and
+/// organ-pipe inputs without any RNG state, which keeps the block selection
+/// kernels fully deterministic.  For slices shorter than nine elements the
+/// middle index is returned.
+pub fn ninther_index<T: Ord>(data: &[T]) -> usize {
+    let len = data.len();
+    if len < 9 {
+        return len / 2;
+    }
+    let step = len / 8;
+    let mid = len / 2;
+    let a = median3_index(data, 0, step, 2 * step);
+    let b = median3_index(data, mid - step, mid, mid + step);
+    let c = median3_index(data, len - 1 - 2 * step, len - 1 - step, len - 1);
+    median3_index(data, a, b, c)
+}
+
+/// Index (among `a`, `b`, `c`) holding the median of the three values.
+#[inline]
+fn median3_index<T: Ord>(data: &[T], a: usize, b: usize, c: usize) -> usize {
+    let (va, vb, vc) = (&data[a], &data[b], &data[c]);
+    if (va <= vb && vb <= vc) || (vc <= vb && vb <= va) {
+        b
+    } else if (vb <= va && va <= vc) || (vc <= va && va <= vb) {
+        a
+    } else {
+        c
+    }
 }
 
 /// Classic two-way Hoare-style partition used by the Floyd–Rivest algorithm,
@@ -142,6 +259,48 @@ mod tests {
         let mut desc: Vec<i32> = (0..50).rev().collect();
         let p = partition_three_way(&mut desc, 25);
         assert!(is_partitioned(&desc, p));
+    }
+
+    #[test]
+    fn block_three_way_matches_scalar_layout() {
+        // Exercise: short, exactly one block, several blocks, plus a ragged
+        // tail; duplicate-heavy throughout.
+        for len in [1usize, 2, 9, BLOCK, BLOCK + 1, 3 * BLOCK + 57, 5000] {
+            let data: Vec<u32> = (0..len as u32).map(|i| (i * 48271) % 97).collect();
+            for pivot in [0, len / 2, len - 1] {
+                let mut scalar = data.clone();
+                let ps = partition_three_way(&mut scalar, pivot);
+                let mut block = data.clone();
+                let pb = partition_three_way_block(&mut block, pivot);
+                assert_eq!(ps, pb, "len {len} pivot {pivot}");
+                assert!(is_partitioned(&block, pb), "len {len} pivot {pivot}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_three_way_all_equal_and_extremes() {
+        let mut data = vec![2_u32; 1000];
+        let p = partition_three_way_block(&mut data, 500);
+        assert_eq!((p.lt, p.gt), (0, 1000));
+
+        let mut asc: Vec<i32> = (0..1000).collect();
+        let p = partition_three_way_block(&mut asc, 0);
+        assert_eq!((p.lt, p.gt), (0, 1));
+        let mut desc: Vec<i32> = (0..1000).rev().collect();
+        let p = partition_three_way_block(&mut desc, 0);
+        assert_eq!((p.lt, p.gt), (999, 1000));
+    }
+
+    #[test]
+    fn ninther_picks_a_reasonable_pivot() {
+        // On sorted data the ninther is the exact median region, never an end.
+        let data: Vec<u32> = (0..10_000).collect();
+        let idx = ninther_index(&data);
+        assert!(data[idx] > 2_000 && data[idx] < 8_000, "got {}", data[idx]);
+        // Tiny slices fall back to the middle.
+        assert_eq!(ninther_index(&[5, 1, 4]), 1);
+        assert_eq!(ninther_index(&[1]), 0);
     }
 
     #[test]

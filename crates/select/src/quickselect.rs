@@ -6,7 +6,9 @@
 //! three-way partition is the modern embodiment of that observation and is
 //! additionally immune to duplicate-heavy inputs.
 
-use crate::partition::{insertion_sort, partition_three_way};
+use crate::partition::{
+    insertion_sort, ninther_index, partition_three_way, partition_three_way_block,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,6 +54,42 @@ pub fn quickselect_with_rng<'a, T: Ord, R: Rng>(
         }
         let pivot_index = lo + median_of_three_index(&data[lo..hi], rng);
         let p = partition_three_way(&mut data[lo..hi], pivot_index - lo);
+        let (band_lo, band_hi) = (lo + p.lt, lo + p.gt);
+        if rank < band_lo {
+            hi = band_lo;
+        } else if rank >= band_hi {
+            lo = band_hi;
+        } else {
+            return &data[rank];
+        }
+    }
+}
+
+/// Branchless quickselect: ninther pivot sampling plus the BlockQuicksort
+/// three-way partition kernel ([`partition_three_way_block`]).
+///
+/// Same post-condition as [`quickselect`] — `data[rank]` holds the requested
+/// order statistic with `<=` on the left and `>=` on the right — but the
+/// inner loop contains no branch that depends on a key comparison, so random
+/// inputs stop paying a misprediction per element.  Fully deterministic: the
+/// ninther needs no RNG, which is what the OPAQ experiment harness wants for
+/// reproducible runs.
+///
+/// # Panics
+/// Panics if `data` is empty or `rank >= data.len()`.
+pub fn quickselect_block<T: Ord>(data: &mut [T], rank: usize) -> &T {
+    assert!(!data.is_empty(), "cannot select from an empty slice");
+    assert!(rank < data.len(), "rank out of bounds");
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    loop {
+        let len = hi - lo;
+        if len <= INSERTION_CUTOFF {
+            insertion_sort(&mut data[lo..hi]);
+            return &data[rank];
+        }
+        let pivot_index = ninther_index(&data[lo..hi]);
+        let p = partition_three_way_block(&mut data[lo..hi], pivot_index);
         let (band_lo, band_hi) = (lo + p.lt, lo + p.gt);
         if rank < band_lo {
             hi = band_lo;
@@ -128,6 +166,36 @@ mod tests {
         quickselect(&mut data, 0);
     }
 
+    #[test]
+    fn block_selects_every_rank_of_small_input() {
+        let base = vec![9_u32, 1, 8, 2, 7, 3, 6, 4, 5, 0];
+        let mut sorted = base.clone();
+        sorted.sort_unstable();
+        for (rank, &expected) in sorted.iter().enumerate() {
+            let mut work = base.clone();
+            assert_eq!(*quickselect_block(&mut work, rank), expected);
+        }
+    }
+
+    #[test]
+    fn block_handles_duplicates_sorted_and_reverse() {
+        let mut dup = vec![3_u8; 1000];
+        assert_eq!(*quickselect_block(&mut dup, 999), 3);
+        let mut asc: Vec<u32> = (0..2000).collect();
+        assert_eq!(*quickselect_block(&mut asc, 1234), 1234);
+        let mut desc: Vec<u32> = (0..2000).rev().collect();
+        assert_eq!(*quickselect_block(&mut desc, 1234), 1234);
+    }
+
+    #[test]
+    fn block_partial_ordering_invariant_holds() {
+        let mut data: Vec<u64> = (0..5000).map(|i| (i * 48271) % 1009).collect();
+        let rank = 2500;
+        let val = *quickselect_block(&mut data, rank);
+        assert!(data[..rank].iter().all(|x| *x <= val));
+        assert!(data[rank + 1..].iter().all(|x| *x >= val));
+    }
+
     proptest! {
         #[test]
         fn matches_sort_for_arbitrary_input(
@@ -138,6 +206,18 @@ mod tests {
             let mut sorted = data.clone();
             sorted.sort_unstable();
             let got = *quickselect(&mut data, rank);
+            prop_assert_eq!(got, sorted[rank]);
+        }
+
+        #[test]
+        fn block_matches_sort_for_arbitrary_input(
+            mut data in proptest::collection::vec(any::<i64>(), 1..300),
+            rank_seed in any::<usize>(),
+        ) {
+            let rank = rank_seed % data.len();
+            let mut sorted = data.clone();
+            sorted.sort_unstable();
+            let got = *quickselect_block(&mut data, rank);
             prop_assert_eq!(got, sorted[rank]);
         }
     }

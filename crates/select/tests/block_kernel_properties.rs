@@ -1,0 +1,159 @@
+//! Property-based equivalence suite: the branchless block kernel against the
+//! scalar Dutch-national-flag oracle.
+//!
+//! The block kernel must be *observationally identical* to the scalar one:
+//! same [`Partition`] indices (they are a function of the multiset, not the
+//! algorithm), same three regions as multisets, and — one level up — the
+//! same selected values from `multiselect` for **every**
+//! [`SelectionStrategy`].  Each property runs over four input shapes:
+//! uniform random, duplicate-heavy (tiny domain), reversed, and all-equal —
+//! exactly the shapes where a partition kernel with an off-by-one
+//! equal-band bug would slip through uniform random testing.
+
+use opaq_select::partition::{partition_three_way, partition_three_way_block, Partition};
+use opaq_select::{multiselect_with, quickselect_block, regular_sample_ranks, SelectionStrategy};
+use proptest::prelude::*;
+
+/// The adversarial input shapes, materialised from a (seed, len, domain)
+/// triple: uniform-ish hash spray, duplicate-heavy, reversed, all-equal,
+/// plus a sawtooth that straddles the 128-element block boundary.
+fn shapes(seed: u64, len: usize, domain: u64) -> Vec<Vec<u32>> {
+    let len = len.max(1);
+    let domain = domain.max(1);
+    vec![
+        // Uniform-ish spray over the full u32 range.
+        (0..len as u64)
+            .map(|i| (i.wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15) >> 32) as u32)
+            .collect(),
+        // Duplicate-heavy: tiny domain.
+        (0..len as u64)
+            .map(|i| ((i.wrapping_mul(48271).wrapping_add(seed)) % domain) as u32)
+            .collect(),
+        // Reversed.
+        (0..len as u32).rev().collect(),
+        // All-equal.
+        vec![(seed % u64::from(u32::MAX)) as u32; len],
+        // Sawtooth around the block size.
+        (0..len as u32).map(|i| i % 127).collect(),
+    ]
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block partition returns the identical `Partition` as the scalar
+    /// oracle and establishes the identical three-region layout.
+    #[test]
+    fn block_partition_equals_scalar_oracle(
+        seed in any::<u64>(),
+        len in 1usize..600,
+        domain in 1u64..8,
+        pivot_seed in any::<usize>(),
+    ) {
+        for data in shapes(seed, len, domain) {
+            let pivot = pivot_seed % data.len();
+
+            let mut scalar = data.clone();
+            let ps: Partition = partition_three_way(&mut scalar, pivot);
+            let mut block = data.clone();
+            let pb = partition_three_way_block(&mut block, pivot);
+
+            prop_assert_eq!(ps, pb, "equal band must not depend on the kernel");
+            // Same multiset in each region (regions may be internally
+            // permuted).
+            prop_assert_eq!(
+                sorted(scalar[..ps.lt].to_vec()),
+                sorted(block[..pb.lt].to_vec())
+            );
+            prop_assert_eq!(
+                sorted(scalar[ps.lt..ps.gt].to_vec()),
+                sorted(block[pb.lt..pb.gt].to_vec())
+            );
+            prop_assert_eq!(
+                sorted(scalar[ps.gt..].to_vec()),
+                sorted(block[pb.gt..].to_vec())
+            );
+            // And the three-way invariant holds outright.
+            let pv = block[pb.lt];
+            prop_assert!(block[..pb.lt].iter().all(|x| *x < pv));
+            prop_assert!(block[pb.lt..pb.gt].iter().all(|x| *x == pv));
+            prop_assert!(block[pb.gt..].iter().all(|x| *x > pv));
+        }
+    }
+
+    /// The block quickselect agrees with a full sort on every shape.
+    #[test]
+    fn block_quickselect_matches_sort(
+        seed in any::<u64>(),
+        len in 1usize..600,
+        domain in 1u64..8,
+        rank_seed in any::<usize>(),
+    ) {
+        for data in shapes(seed, len, domain) {
+            let rank = rank_seed % data.len();
+            let truth = sorted(data.clone());
+            let mut work = data;
+            prop_assert_eq!(*quickselect_block(&mut work, rank), truth[rank]);
+            let v = truth[rank];
+            prop_assert!(work[..rank].iter().all(|x| *x <= v));
+            prop_assert!(work[rank + 1..].iter().all(|x| *x >= v));
+        }
+    }
+
+    /// `multiselect` returns identical values for every strategy — block or
+    /// scalar, randomized or deterministic — on regular sample ranks, which
+    /// is the invariant that keeps OPAQ sketches bit-identical across
+    /// kernels.
+    #[test]
+    fn multiselect_agrees_across_all_strategies(
+        seed in any::<u64>(),
+        len in 1usize..600,
+        domain in 1u64..8,
+        s_seed in 1usize..64,
+    ) {
+        for data in shapes(seed, len, domain) {
+            let m = data.len();
+            let s = s_seed.min(m);
+            let ranks = regular_sample_ranks(m, s);
+            let truth = sorted(data.clone());
+            let expected: Vec<u32> = ranks.iter().map(|&r| truth[r]).collect();
+            for strategy in SelectionStrategy::ALL {
+                let mut work = data.clone();
+                let got = multiselect_with(&mut work, &ranks, strategy);
+                prop_assert_eq!(&got, &expected, "{:?}", strategy);
+            }
+        }
+    }
+
+    /// Irregular (unsorted, arbitrary) rank sets also agree across
+    /// strategies — this exercises multiselect's sorting fallback path.
+    #[test]
+    fn multiselect_irregular_ranks_agree(
+        seed in any::<u64>(),
+        len in 1usize..400,
+        domain in 1u64..8,
+        rank_count in 1usize..12,
+    ) {
+        for data in shapes(seed, len, domain) {
+            let n = data.len();
+            let mut ranks: Vec<usize> = (0..rank_count).map(|i| (i * 5407 + 3) % n).collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            // Deliver them unsorted to exercise the sorting fallback.
+            ranks.reverse();
+            let truth = sorted(data.clone());
+            let mut expected: Vec<u32> = ranks.iter().map(|&r| truth[r]).collect();
+            expected.sort_unstable();
+            for strategy in SelectionStrategy::ALL {
+                let mut work = data.clone();
+                let got = multiselect_with(&mut work, &ranks, strategy);
+                prop_assert_eq!(&got, &expected, "{:?}", strategy);
+            }
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use opaq_select::{
     floyd_rivest_select, median_of_medians_select, multiselect_with, quickselect,
-    regular_sample_ranks, SelectionStrategy,
+    quickselect_block, regular_sample_ranks, SelectionStrategy,
 };
 use proptest::prelude::*;
 
@@ -23,6 +23,7 @@ proptest! {
 
         for (name, result) in [
             ("quickselect", { let mut w = data.clone(); let v = *quickselect(&mut w, rank); (v, w) }),
+            ("quickselect_block", { let mut w = data.clone(); let v = *quickselect_block(&mut w, rank); (v, w) }),
             ("median_of_medians", { let mut w = data.clone(); let v = *median_of_medians_select(&mut w, rank); (v, w) }),
             ("floyd_rivest", { let mut w = data.clone(); let v = *floyd_rivest_select(&mut w, rank); (v, w) }),
         ]
@@ -50,11 +51,7 @@ proptest! {
         sorted.sort_unstable();
         let expected: Vec<u32> = ranks.iter().map(|&r| sorted[r]).collect();
 
-        for strategy in [
-            SelectionStrategy::Quickselect,
-            SelectionStrategy::MedianOfMedians,
-            SelectionStrategy::FloydRivest,
-        ] {
+        for strategy in SelectionStrategy::ALL {
             let mut work = data.clone();
             let got = multiselect_with(&mut work, &ranks, strategy);
             prop_assert_eq!(&got, &expected, "{:?}", strategy);

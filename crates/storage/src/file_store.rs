@@ -5,7 +5,7 @@
 //! one seek plus one large sequential read — exactly the access pattern the
 //! paper's cost analysis assumes (`O(n)` to read the data from disk).
 
-use crate::codec::{decode_slice, encode_slice, FixedWidthCodec};
+use crate::codec::{decode_slice_into, encode_slice, FixedWidthCodec};
 use crate::{DiskModel, IoStats, RunLayout, RunStore, StorageError, StorageResult};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -101,11 +101,22 @@ impl<K: FixedWidthCodec> FileRunStoreBuilder<K> {
 #[derive(Debug)]
 pub struct FileRunStore<K> {
     path: PathBuf,
-    file: Mutex<File>,
+    reader: Mutex<Reader>,
     layout: RunLayout,
     stats: IoStats,
     disk_model: Option<DiskModel>,
     _marker: std::marker::PhantomData<K>,
+}
+
+/// The serialized read state: the file handle plus a recycled byte scratch
+/// buffer.  Reads are already serialized by the mutex (one seek + one
+/// sequential read at a time is exactly the access pattern the paper's cost
+/// model assumes), so the scratch rides in the same lock and is reused by
+/// every run read — the raw-byte half of the allocation-free read path.
+#[derive(Debug)]
+struct Reader {
+    file: File,
+    scratch: Vec<u8>,
 }
 
 impl<K: FixedWidthCodec> FileRunStore<K> {
@@ -149,7 +160,10 @@ impl<K: FixedWidthCodec> FileRunStore<K> {
         }
         Ok(Self {
             path,
-            file: Mutex::new(file),
+            reader: Mutex::new(Reader {
+                file,
+                scratch: Vec::new(),
+            }),
             layout,
             stats: IoStats::new(),
             disk_model: None,
@@ -181,6 +195,12 @@ impl<K: FixedWidthCodec> RunStore<K> for FileRunStore<K> {
     }
 
     fn read_run(&self, run: u64) -> StorageResult<Vec<K>> {
+        let mut keys = Vec::new();
+        self.read_run_into(run, &mut keys)?;
+        Ok(keys)
+    }
+
+    fn read_run_into(&self, run: u64, buf: &mut Vec<K>) -> StorageResult<()> {
         if run >= self.layout.runs() {
             return Err(StorageError::RunOutOfRange {
                 requested: run,
@@ -191,20 +211,26 @@ impl<K: FixedWidthCodec> RunStore<K> for FileRunStore<K> {
         let offset = self.layout.run_start(run) * K::WIDTH as u64;
         let len = self.layout.run_len(run) as usize;
         let byte_len = len * K::WIDTH;
-        let mut buf = vec![0u8; byte_len];
+        let reused = buf.capacity() >= len;
         {
-            let mut file = self.file.lock();
+            let mut reader = self.reader.lock();
+            let Reader { file, scratch } = &mut *reader;
+            // resize without clear: existing bytes are about to be
+            // overwritten by read_exact, so only newly grown capacity needs
+            // the zero-fill — steady state does no memset at all.
+            scratch.resize(byte_len, 0);
             file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(&mut buf)?;
+            file.read_exact(scratch)?;
+            decode_slice_into::<K>(scratch, len, buf)?;
         }
-        let keys = decode_slice::<K>(&buf, len);
         let modelled = self
             .disk_model
             .map(|m| m.transfer_time(byte_len as u64))
             .unwrap_or(Duration::ZERO);
         self.stats
             .record_read(byte_len as u64, start.elapsed(), modelled);
-        Ok(keys)
+        self.stats.record_buffer(reused);
+        Ok(())
     }
 
     fn io_stats(&self) -> &IoStats {
@@ -363,6 +389,30 @@ mod tests {
         let s = store.io_stats().snapshot();
         assert_eq!(s.read_calls, 4);
         assert_eq!(s.bytes_read, 100 * 8);
+        store.remove_file().unwrap();
+    }
+
+    #[test]
+    fn read_run_into_recycles_buffers() {
+        let path = temp_path("reuse");
+        let data: Vec<u64> = (0..1000).collect();
+        let store = FileRunStoreBuilder::<u64>::new(&path, 100)
+            .unwrap()
+            .append(&data)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut buf: Vec<u64> = Vec::new();
+        let mut back = Vec::new();
+        for run in 0..store.layout().runs() {
+            store.read_run_into(run, &mut buf).unwrap();
+            back.extend_from_slice(&buf);
+        }
+        assert_eq!(back, data);
+        let s = store.io_stats().snapshot();
+        // First read allocates; the other nine ride the recycled capacity.
+        assert_eq!(s.buffer_allocs, 1);
+        assert_eq!(s.buffer_reuses, 9);
         store.remove_file().unwrap();
     }
 

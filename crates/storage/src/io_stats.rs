@@ -26,6 +26,8 @@ struct Counters {
     write_calls: u64,
     measured_nanos: u64,
     modelled_nanos: u64,
+    buffer_allocs: u64,
+    buffer_reuses: u64,
 }
 
 /// An immutable snapshot of the counters at a point in time.
@@ -44,6 +46,15 @@ pub struct IoStatsSnapshot {
     /// Disk time predicted by the attached [`crate::DiskModel`] (zero when no
     /// model is attached).
     pub modelled: Duration,
+    /// Run reads that had to grow or allocate the destination key buffer
+    /// (see [`crate::RunStore::read_run_into`]).
+    pub buffer_allocs: u64,
+    /// Run reads fully served by recycled buffer capacity — the
+    /// allocation-free hot path.  `read_run` (which must hand out a fresh
+    /// `Vec`) always counts as an alloc; stores that support
+    /// `read_run_into` count a reuse whenever the caller's buffer already
+    /// had room.
+    pub buffer_reuses: u64,
 }
 
 impl IoStats {
@@ -72,6 +83,17 @@ impl IoStats {
         c.modelled_nanos += modelled.as_nanos() as u64;
     }
 
+    /// Record whether a run read was served from recycled buffer capacity
+    /// (`reused == true`) or had to allocate/grow the destination buffer.
+    pub fn record_buffer(&self, reused: bool) {
+        let mut c = self.inner.lock();
+        if reused {
+            c.buffer_reuses += 1;
+        } else {
+            c.buffer_allocs += 1;
+        }
+    }
+
     /// Take a snapshot of the current counters.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         let c = *self.inner.lock();
@@ -82,6 +104,8 @@ impl IoStats {
             write_calls: c.write_calls,
             measured: Duration::from_nanos(c.measured_nanos),
             modelled: Duration::from_nanos(c.modelled_nanos),
+            buffer_allocs: c.buffer_allocs,
+            buffer_reuses: c.buffer_reuses,
         }
     }
 
@@ -134,6 +158,17 @@ mod tests {
         let clone = stats.clone();
         clone.record_read(8, Duration::ZERO, Duration::ZERO);
         assert_eq!(stats.snapshot().bytes_read, 8);
+    }
+
+    #[test]
+    fn buffer_counters_accumulate() {
+        let stats = IoStats::new();
+        stats.record_buffer(false);
+        stats.record_buffer(true);
+        stats.record_buffer(true);
+        let s = stats.snapshot();
+        assert_eq!(s.buffer_allocs, 1);
+        assert_eq!(s.buffer_reuses, 2);
     }
 
     #[test]

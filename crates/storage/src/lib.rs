@@ -22,11 +22,15 @@
 //!   sampling work.  This is the I/O front end of the sharded ingestion path
 //!   in `opaq-parallel`.
 //!
-//! The stores are deliberately *pull*-oriented (`read_run(i) -> Vec<K>`):
-//! OPAQ's one-pass structure means each run is read exactly once, processed
-//! entirely in memory, and dropped.  The prefetcher preserves that
-//! discipline — delivery order, contents and error propagation are identical
-//! to the sequential path; only the wall-clock overlap differs.
+//! The stores are deliberately *pull*-oriented (`read_run(i) -> Vec<K>`,
+//! with the allocation-free twin `read_run_into(i, &mut Vec<K>)` recycling a
+//! caller buffer): OPAQ's one-pass structure means each run is read exactly
+//! once, processed entirely in memory, and dropped.  The prefetcher
+//! preserves that discipline — delivery order, contents and error
+//! propagation are identical to the sequential path; only the wall-clock
+//! overlap differs.  [`prefetch::BufferPool`] closes the recycling loop for
+//! prefetched consumers, and every store counts buffer reuse vs. allocation
+//! in its [`IoStats`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -46,5 +50,7 @@ pub use file_store::{FileRunStore, FileRunStoreBuilder};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use layout::RunLayout;
 pub use mem_store::MemRunStore;
-pub use prefetch::{for_each_run_prefetched, DEFAULT_PREFETCH_DEPTH};
+pub use prefetch::{
+    for_each_run_prefetched, for_each_run_prefetched_pooled, BufferPool, DEFAULT_PREFETCH_DEPTH,
+};
 pub use run_store::{RunStore, StorageError, StorageResult};

@@ -51,6 +51,12 @@ impl<K: FixedWidthCodec> RunStore<K> for MemRunStore<K> {
     }
 
     fn read_run(&self, run: u64) -> StorageResult<Vec<K>> {
+        let mut keys = Vec::new();
+        self.read_run_into(run, &mut keys)?;
+        Ok(keys)
+    }
+
+    fn read_run_into(&self, run: u64, buf: &mut Vec<K>) -> StorageResult<()> {
         if run >= self.layout.runs() {
             return Err(StorageError::RunOutOfRange {
                 requested: run,
@@ -60,12 +66,16 @@ impl<K: FixedWidthCodec> RunStore<K> for MemRunStore<K> {
         let start = self.layout.run_start(run) as usize;
         let len = self.layout.run_len(run) as usize;
         let bytes = (len * self.key_width) as u64;
+        let reused = buf.capacity() >= len;
+        buf.clear();
+        buf.extend_from_slice(&self.data[start..start + len]);
         let modelled = self
             .disk_model
             .map(|m| m.transfer_time(bytes))
             .unwrap_or(Duration::ZERO);
         self.stats.record_read(bytes, Duration::ZERO, modelled);
-        Ok(self.data[start..start + len].to_vec())
+        self.stats.record_buffer(reused);
+        Ok(())
     }
 
     fn io_stats(&self) -> &IoStats {

@@ -91,6 +91,24 @@ pub trait RunStore<K>: Send + Sync {
     /// Read run `run` (0-based) entirely into memory.
     fn read_run(&self, run: u64) -> StorageResult<Vec<K>>;
 
+    /// Read run `run` into `buf` (cleared first), reusing the buffer's
+    /// existing capacity.
+    ///
+    /// This is the allocation-free twin of [`RunStore::read_run`]: callers
+    /// that process one run at a time (the sample phase, the sharded
+    /// dispatcher) keep recycling the same buffer, so after the first run no
+    /// allocation happens on the read path.  The default implementation
+    /// falls back to [`RunStore::read_run`] and replaces `buf` wholesale;
+    /// [`crate::FileRunStore`] and [`crate::MemRunStore`] override it to
+    /// decode straight into the buffer and to record
+    /// alloc-vs-reuse counters in their [`IoStats`].
+    ///
+    /// On error `buf` may be left cleared, but never holds partial garbage.
+    fn read_run_into(&self, run: u64, buf: &mut Vec<K>) -> StorageResult<()> {
+        *buf = self.read_run(run)?;
+        Ok(())
+    }
+
     /// The shared I/O statistics handle for this store.
     fn io_stats(&self) -> &IoStats;
 
