@@ -1,0 +1,142 @@
+//! Serving-layer load benchmark: mixed read/refresh workloads over the
+//! multi-tenant catalog.
+//!
+//! Two halves:
+//!
+//! 1. **Workload replay + report.**  Before any timing, the bench replays a
+//!    full mixed workload (clients ≥ 4, several tenants, refreshes published
+//!    mid-run, and an eviction-budget variant) through
+//!    `opaq_serve::run_workload`, prints the per-tenant p50/p90/p99/p999
+//!    latency tables and **asserts zero torn reads** — every response must
+//!    equal the output of one complete published sketch version,
+//!    byte-for-byte.  A catalog consistency regression fails `cargo bench`
+//!    loudly before a single timing is taken.
+//! 2. **Criterion timings.**  Per-request-type latency against a resident
+//!    snapshot, and whole-workload replays at 4 and 8 client threads for a
+//!    throughput trend.
+//!
+//! Set `OPAQ_BENCH_QUICK=1` (the per-PR CI smoke mode) to shrink the
+//! datasets; the consistency assertions run at full strength either way.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opaq_serve::{
+    run_workload, DatasetId, QueryEngine, QueryRequest, SketchCatalog, TenantId, WorkloadSpec,
+};
+use std::sync::Arc;
+
+fn quick_mode() -> bool {
+    std::env::var_os("OPAQ_BENCH_QUICK").is_some()
+}
+
+/// The workload replayed for the report and the throughput timings.
+fn spec(clients: usize, budget: Option<u64>) -> WorkloadSpec {
+    let mut spec = if quick_mode() {
+        WorkloadSpec::quick()
+    } else {
+        WorkloadSpec::default()
+    };
+    spec.tenants = spec.tenants.max(2);
+    spec.clients = clients;
+    spec.budget_sample_points = budget;
+    spec
+}
+
+/// Replay one workload, print its latency report, and fail hard on any torn
+/// read.  Returns the op count so callers can sanity-check scale.
+fn replay_and_verify(label: &str, spec: &WorkloadSpec) -> u64 {
+    let report = run_workload(spec).expect("workload must run cleanly");
+    println!(
+        "== serve_load workload: {label} ({} tenants, {} clients, {} refreshes) ==",
+        spec.tenants, spec.clients, report.refreshes_published
+    );
+    println!("{}", report.render());
+    assert_eq!(
+        report.torn_reads, 0,
+        "{label}: torn read — a served estimate matched no published sketch version"
+    );
+    assert_eq!(
+        report.verified, report.ops,
+        "{label}: every response must be verified against its claimed version"
+    );
+    assert!(
+        report.refreshes_published > 0,
+        "{label}: refreshes must land mid-workload for the check to mean anything"
+    );
+    report.ops
+}
+
+fn bench_serve_load(c: &mut Criterion) {
+    // Consistency gate + the p50/p99 report the acceptance criterion asks
+    // for: ≥ 4 concurrent clients, refreshes published mid-workload.
+    replay_and_verify("4 clients, unbounded catalog", &spec(4, None));
+    // Same workload under an eviction budget tight enough to force
+    // spill/reload churn between tenants (each initial quick sketch is
+    // (keys/run_length)·s sample points; allow roughly 1.5 sketches).
+    let churn = {
+        let s = spec(4, None);
+        let one_sketch = (s.keys_per_tenant / s.run_length) * s.sample_size;
+        spec(4, Some(one_sketch * 3 / 2))
+    };
+    replay_and_verify("4 clients, eviction budget", &churn);
+
+    // Per-request-type latency against a resident snapshot.
+    let base = spec(1, None);
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    let (tenant, dataset) = (TenantId::new("bench"), DatasetId::new("events"));
+    {
+        let mut inc = opaq_core::IncrementalOpaq::new(
+            opaq_core::OpaqConfig::builder()
+                .run_length(base.run_length)
+                .sample_size(base.sample_size)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        inc.add_run(
+            opaq_datagen::DatasetSpec {
+                n: base.keys_per_tenant,
+                distribution: opaq_datagen::Distribution::Uniform { domain: 1 << 31 },
+                duplicate_fraction: 0.1,
+                seed: 41,
+            }
+            .generate(),
+        )
+        .unwrap();
+        catalog
+            .publish(&tenant, &dataset, inc.into_sketch().unwrap())
+            .unwrap();
+    }
+    let engine = QueryEngine::new(Arc::clone(&catalog));
+    let mut group = c.benchmark_group("serve_query_latency");
+    group.sample_size(20);
+    for (name, request) in [
+        ("quantile", QueryRequest::Quantile { phi: 0.5 }),
+        ("rank", QueryRequest::Rank { key: 1 << 30 }),
+        (
+            "batch3",
+            QueryRequest::QuantileBatch {
+                phis: vec![0.1, 0.5, 0.9],
+            },
+        ),
+        ("profile16", QueryRequest::Profile { count: 16 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.execute(&tenant, &dataset, &request).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Whole-workload throughput trend over client counts.
+    let mut group = c.benchmark_group("serve_mixed_workload");
+    group.sample_size(10);
+    for clients in [4usize, 8] {
+        let spec = spec(clients, None);
+        group.bench_with_input(BenchmarkId::new("clients", clients), &spec, |b, spec| {
+            b.iter(|| black_box(run_workload(spec).unwrap().ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_load);
+criterion_main!(benches);

@@ -10,6 +10,7 @@ use opaq_datagen::{DatasetSpec, Distribution};
 use opaq_metrics::TextTable;
 use opaq_parallel::ShardedOpaq;
 use opaq_select::SelectionStrategy;
+use opaq_serve::WorkloadSpec;
 use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore};
 
 /// The usage text printed by `opaq help`.
@@ -37,6 +38,16 @@ COMMANDS:
   exact      --data FILE --n N --phi P [--run-length M] [--sample-size S]
              [--strategy ...]
              exact quantile with one estimation pass plus one refinement pass
+  serve-bench [--tenants M] [--clients N] [--ops K] [--keys-per-tenant D]
+             [--run-length M] [--sample-size S] [--refreshes R] [--budget B]
+             [--seed S] [--quick]
+             replay a mixed read/refresh workload against the multi-tenant
+             serving catalog: N client threads issue K typed queries each
+             across M tenants while refreshes publish new sketch versions
+             live; prints per-tenant p50/p90/p99/p999 latencies, throughput
+             and the torn-read count (non-zero fails the command).
+             --budget B caps resident sample points to force spill/reload;
+             --quick shrinks everything for smoke runs
   help       print this text
 "
     .to_string()
@@ -51,6 +62,7 @@ pub fn run(command: &str, args: &Args) -> CliResult<String> {
         "rank" => rank(args),
         "histogram" => histogram(args),
         "exact" => exact(args),
+        "serve-bench" => serve_bench(args),
         "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}' (run `opaq help` for the command list)"
@@ -294,6 +306,54 @@ pub fn exact(args: &Args) -> CliResult<String> {
     ))
 }
 
+/// `opaq serve-bench`: drive the multi-tenant serving layer under load.
+///
+/// Every response is verified byte-for-byte against the published sketch
+/// version it claims to have been served from, so the command doubles as a
+/// consistency check: any torn read makes it fail.
+pub fn serve_bench(args: &Args) -> CliResult<String> {
+    let base = if args.flag("quick") {
+        WorkloadSpec::quick()
+    } else {
+        WorkloadSpec::default()
+    };
+    let budget = args.u64_or("budget", 0)?;
+    let spec = WorkloadSpec {
+        tenants: args.u64_or("tenants", base.tenants as u64)? as usize,
+        clients: args.u64_or("clients", base.clients as u64)? as usize,
+        ops_per_client: args.u64_or("ops", base.ops_per_client)?,
+        keys_per_tenant: args.u64_or("keys-per-tenant", base.keys_per_tenant)?,
+        run_length: args.u64_or("run-length", base.run_length)?,
+        sample_size: args.u64_or("sample-size", base.sample_size)?,
+        refresh_rounds: args.u64_or("refreshes", base.refresh_rounds)?,
+        budget_sample_points: (budget > 0).then_some(budget),
+        spill_dir: None,
+        seed: args.u64_or("seed", base.seed)?,
+    };
+    let report = opaq_serve::run_workload(&spec)?;
+    let mut out = format!(
+        "served {} requests from {} clients over {} tenants in {:?} ({:.0} ops/s); {} refreshes \
+         published mid-workload, {} responses verified, {} torn reads\n",
+        report.ops,
+        spec.clients,
+        spec.tenants,
+        report.wall,
+        report.throughput(),
+        report.refreshes_published,
+        report.verified,
+        report.torn_reads,
+    );
+    out.push_str(&report.render());
+    if report.torn_reads > 0 {
+        return Err(CliError::Usage(format!(
+            "{} torn reads observed — served estimates diverged from every published sketch \
+             version\n{out}",
+            report.torn_reads
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,9 +591,46 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let text = usage();
-        for cmd in ["generate", "sketch", "query", "rank", "histogram", "exact"] {
+        for cmd in [
+            "generate",
+            "sketch",
+            "query",
+            "rank",
+            "histogram",
+            "exact",
+            "serve-bench",
+        ] {
             assert!(text.contains(cmd), "usage must mention {cmd}");
         }
         assert_eq!(run("help", &Args::default()).unwrap(), text);
+    }
+
+    #[test]
+    fn serve_bench_quick_serves_and_verifies() {
+        let out = run(
+            "serve-bench",
+            &args(&[
+                "--quick",
+                "--tenants",
+                "2",
+                "--clients",
+                "4",
+                "--ops",
+                "100",
+                "--seed",
+                "5",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("served 400 requests"), "{out}");
+        assert!(out.contains("0 torn reads"), "{out}");
+        assert!(out.contains("p999"), "{out}");
+        assert!(out.contains("tenant-1"), "{out}");
+    }
+
+    #[test]
+    fn serve_bench_rejects_degenerate_shapes() {
+        assert!(run("serve-bench", &args(&["--quick", "--clients", "0"])).is_err());
+        assert!(run("serve-bench", &args(&["--quick", "--ops", "0"])).is_err());
     }
 }

@@ -20,6 +20,8 @@ pub enum CliError {
     Opaq(opaq_core::OpaqError),
     /// The storage layer reported an error.
     Storage(opaq_storage::StorageError),
+    /// The serving layer reported an error.
+    Serve(opaq_serve::ServeError),
     /// A filesystem or I/O failure outside the storage layer.
     Io(std::io::Error),
 }
@@ -30,6 +32,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Opaq(e) => write!(f, "{e}"),
             CliError::Storage(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -46,6 +49,12 @@ impl From<opaq_core::OpaqError> for CliError {
 impl From<opaq_storage::StorageError> for CliError {
     fn from(e: opaq_storage::StorageError) -> Self {
         CliError::Storage(e)
+    }
+}
+
+impl From<opaq_serve::ServeError> for CliError {
+    fn from(e: opaq_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

@@ -6,108 +6,47 @@
 //! the old data…"): the sketch of yesterday's data is a few kilobytes, so the
 //! CLI writes it next to the data file and future runs only sample new runs.
 //!
-//! The format is deliberately simple and versioned:
+//! The binary format — versioned header, FNV-1a checksum, fixed-width body —
+//! lives in [`opaq_storage::sketch_codec`], where the serving catalog's
+//! spill/reload path shares it; this module only composes that codec with
+//! the core's semantic re-validation (`QuantileSketch::from_wire`).  Corrupt
+//! files surface as typed [`StorageError::Corrupt`] /
+//! [`StorageError::VersionMismatch`] errors, never as garbage decodes.
 //!
-//! ```text
-//! magic  "OPAQSKT1"                     8 bytes
-//! total_elements, runs, max_gap         3 × u64 LE
-//! dataset_min, dataset_max              2 × u64 LE
-//! sample_count                          u64 LE
-//! sample_count × (value u64, gap u64)   16 bytes each
-//! ```
+//! [`StorageError::Corrupt`]: opaq_storage::StorageError::Corrupt
+//! [`StorageError::VersionMismatch`]: opaq_storage::StorageError::VersionMismatch
 
-use crate::{CliError, CliResult};
-use bytes::{Buf, BufMut};
-use opaq_core::{QuantileSketch, SamplePoint};
-use std::io::{Read, Write};
+use crate::CliResult;
+use opaq_core::QuantileSketch;
+use opaq_storage::sketch_codec;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"OPAQSKT1";
-
-/// Serialize a sketch into bytes.
+/// Serialize a sketch into bytes (current format version, checksummed).
 pub fn to_bytes(sketch: &QuantileSketch<u64>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + 6 * 8 + sketch.len() * 16);
-    out.put_slice(MAGIC);
-    out.put_u64_le(sketch.total_elements());
-    out.put_u64_le(sketch.runs());
-    out.put_u64_le(sketch.max_gap());
-    out.put_u64_le(sketch.dataset_min());
-    out.put_u64_le(sketch.dataset_max());
-    out.put_u64_le(sketch.len() as u64);
-    for sp in sketch.samples() {
-        out.put_u64_le(sp.value);
-        out.put_u64_le(sp.gap);
-    }
-    out
+    sketch_codec::to_bytes(&sketch.to_wire())
 }
 
-/// Deserialize a sketch from bytes.
-pub fn from_bytes(mut bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
-    if bytes.len() < 8 + 6 * 8 || &bytes[..8] != MAGIC {
-        return Err(CliError::Usage(
-            "not an OPAQ sketch file (bad magic or truncated header)".to_string(),
-        ));
-    }
-    bytes.advance(8);
-    let total_elements = bytes.get_u64_le();
-    let runs = bytes.get_u64_le();
-    let max_gap = bytes.get_u64_le();
-    let dataset_min = bytes.get_u64_le();
-    let dataset_max = bytes.get_u64_le();
-    let count = bytes.get_u64_le() as usize;
-    // Divide rather than multiply: `count` comes from the file, and a crafted
-    // value could overflow `count * 16` and slip past the truncation guard.
-    if bytes.remaining() / 16 < count {
-        return Err(CliError::Usage(format!(
-            "sketch file truncated: expected {count} sample points"
-        )));
-    }
-    let mut samples = Vec::with_capacity(count);
-    for _ in 0..count {
-        let value = bytes.get_u64_le();
-        let gap = bytes.get_u64_le();
-        samples.push(SamplePoint { value, gap });
-    }
-    if !samples.windows(2).all(|w| w[0].value <= w[1].value) {
-        return Err(CliError::Usage(
-            "sketch file corrupt: samples not sorted".to_string(),
-        ));
-    }
-    if samples.iter().map(|s| s.gap).sum::<u64>() != total_elements {
-        return Err(CliError::Usage(
-            "sketch file corrupt: gaps do not sum to the element count".to_string(),
-        ));
-    }
-    QuantileSketch::assemble(
-        samples,
-        total_elements,
-        runs,
-        max_gap,
-        dataset_min,
-        dataset_max,
-    )
-    .map_err(|e| CliError::Usage(format!("sketch file corrupt: {e}")))
+/// Deserialize a sketch from bytes, verifying checksum and invariants.
+pub fn from_bytes(bytes: &[u8]) -> CliResult<QuantileSketch<u64>> {
+    Ok(QuantileSketch::from_wire(sketch_codec::from_bytes(bytes)?)?)
 }
 
 /// Save a sketch to `path`.
 pub fn save(sketch: &QuantileSketch<u64>, path: impl AsRef<Path>) -> CliResult<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&to_bytes(sketch))?;
-    Ok(())
+    Ok(sketch_codec::save(path, &sketch.to_wire())?)
 }
 
 /// Load a sketch from `path`.
 pub fn load(path: impl AsRef<Path>) -> CliResult<QuantileSketch<u64>> {
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    from_bytes(&bytes)
+    Ok(QuantileSketch::from_wire(sketch_codec::load(path)?)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CliError;
     use opaq_core::{OpaqConfig, OpaqEstimator};
-    use opaq_storage::MemRunStore;
+    use opaq_storage::{MemRunStore, StorageError};
     use std::path::PathBuf;
 
     fn sample_sketch() -> QuantileSketch<u64> {
@@ -166,12 +105,31 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_gap_sum_rejected() {
+    fn corrupted_byte_fails_the_checksum() {
         let mut bytes = to_bytes(&sample_sketch());
-        // Overwrite the first sample's gap (header is 56 bytes, value 8 bytes)
-        // with a wrong-but-small value so the gap sum no longer matches.
-        let off = 56 + 8;
-        bytes[off..off + 8].copy_from_slice(&12_345u64.to_le_bytes()[..8]);
-        assert!(from_bytes(&bytes).is_err());
+        // Flip one bit inside the sample list; the checksum catches it
+        // before any semantic validation runs.
+        let off = bytes.len() - 4;
+        bytes[off] ^= 0x01;
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Storage(StorageError::Corrupt(_))),
+            "{err}"
+        );
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_a_typed_mismatch() {
+        let mut bytes = to_bytes(&sample_sketch());
+        bytes[7] = b'7';
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CliError::Storage(StorageError::VersionMismatch { found: b'7', .. })
+            ),
+            "{err}"
+        );
     }
 }

@@ -313,11 +313,67 @@ impl<K: Key> QuantileSketch<K> {
         (1..q).map(|i| self.estimate(i as f64 / q as f64)).collect()
     }
 
+    /// Estimate several quantile fractions in one call.
+    ///
+    /// Each additional quantile costs `O(log(r·s))` on the already-built
+    /// sample list, so batching amortises nothing but saves per-call overhead
+    /// in serving paths; the method exists so a server holding an
+    /// `Arc<QuantileSketch>` snapshot can answer a batch request against one
+    /// consistent sketch version with a single shared reference.
+    ///
+    /// # Errors
+    /// Fails on the first invalid `phi`, with no partial results.
+    pub fn estimate_many(&self, phis: &[f64]) -> OpaqResult<Vec<QuantileEstimate<K>>> {
+        phis.iter().map(|&phi| self.estimate(phi)).collect()
+    }
+
     /// Bounds on the rank of an arbitrary `value` (§4: "the sorted sample
     /// list can obviously be used to estimate the rank of any arbitrary
     /// element in the whole data set").
     pub fn rank_bounds(&self, value: K) -> RankBounds {
         crate::rank::rank_bounds(self, value)
+    }
+
+    /// The sketch's content as the storage layer's wire form, ready for
+    /// [`opaq_storage::sketch_codec`] to encode.
+    pub fn to_wire(&self) -> opaq_storage::SketchWire<K> {
+        opaq_storage::SketchWire {
+            total_elements: self.total_elements,
+            runs: self.runs,
+            max_gap: self.max_gap,
+            dataset_min: self.dataset_min,
+            dataset_max: self.dataset_max,
+            samples: self.samples.iter().map(|s| (s.value, s.gap)).collect(),
+        }
+    }
+
+    /// Rebuild a sketch from its decoded wire form, re-validating every
+    /// semantic invariant via [`QuantileSketch::assemble`] — a structurally
+    /// valid file whose content violates the sketch invariants (unsorted
+    /// samples, gap-sum mismatch, …) is rejected here.
+    ///
+    /// # Errors
+    /// The same errors as [`QuantileSketch::assemble`].
+    pub fn from_wire(wire: opaq_storage::SketchWire<K>) -> OpaqResult<Self> {
+        let opaq_storage::SketchWire {
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+            samples,
+        } = wire;
+        Self::assemble(
+            samples
+                .into_iter()
+                .map(|(value, gap)| SamplePoint { value, gap })
+                .collect(),
+            total_elements,
+            runs,
+            max_gap,
+            dataset_min,
+            dataset_max,
+        )
     }
 
     /// Merge two sketches summarising disjoint parts of a dataset.
@@ -553,6 +609,44 @@ mod tests {
         assert_eq!(s.max_gap(), 1);
         assert_eq!(s.dataset_min(), 2);
         assert_eq!(s.dataset_max(), 4);
+    }
+
+    #[test]
+    fn estimate_many_matches_single_estimates() {
+        let sketch = sketch_of_runs(vec![(0..1000).collect(), (500..1500).collect()], 50);
+        let phis = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let batch = sketch.estimate_many(&phis).unwrap();
+        assert_eq!(batch.len(), phis.len());
+        for (phi, est) in phis.iter().zip(&batch) {
+            assert_eq!(est, &sketch.estimate(*phi).unwrap());
+        }
+        assert!(sketch.estimate_many(&[0.5, 1.5]).is_err());
+        assert!(sketch.estimate_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_sketch() {
+        let sketch = sketch_of_runs(vec![(0..100).collect(), (100..200).rev().collect()], 10);
+        let restored = QuantileSketch::from_wire(sketch.to_wire()).unwrap();
+        assert_eq!(restored, sketch);
+        assert_eq!(
+            restored.estimate(0.5).unwrap(),
+            sketch.estimate(0.5).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_wire_rejects_semantic_corruption() {
+        let sketch = sketch_of_runs(vec![(0..100).collect()], 10);
+        let mut wire = sketch.to_wire();
+        wire.samples.swap(0, 5); // unsorted
+        assert!(matches!(
+            QuantileSketch::from_wire(wire),
+            Err(OpaqError::IncompatibleSketches(_))
+        ));
+        let mut wire = sketch.to_wire();
+        wire.total_elements += 1; // gap-sum mismatch
+        assert!(QuantileSketch::from_wire(wire).is_err());
     }
 
     #[test]

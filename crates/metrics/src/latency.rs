@@ -1,0 +1,364 @@
+//! Lock-free latency/throughput histograms for the sketch-serving layer.
+//!
+//! The serving subsystem (`opaq-serve`) answers quantile queries from many
+//! client threads at once, so its latency instrumentation must be cheap and
+//! contention-free: [`LatencyHistogram::record`] is a handful of relaxed
+//! atomic operations, safe to share behind an `Arc` across any number of
+//! threads with no locking.
+//!
+//! The histogram uses HdrHistogram-style log-linear buckets: values below
+//! [`SUB_BUCKETS`] nanoseconds are counted exactly, and every power-of-two
+//! range above that is split into [`SUB_BUCKETS`] linear sub-buckets, so the
+//! relative error of a reported quantile is at most `1/SUB_BUCKETS`
+//! (≈ 6 % with 16 sub-buckets) across the full `u64` nanosecond range.
+//! Fittingly, reading a latency percentile out of the recorded histogram is
+//! itself a quantile-phase lookup — the same shape of computation the served
+//! sketches perform.
+
+use crate::TextTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-buckets per power-of-two range (relative error ≤ 1/16).
+pub const SUB_BUCKETS: u64 = 16;
+
+const SUB_SHIFT: u32 = 4; // log2(SUB_BUCKETS)
+const BUCKETS: usize = ((64 - SUB_SHIFT as usize) + 1) * SUB_BUCKETS as usize;
+
+/// Map a nanosecond value to its bucket index.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < SUB_BUCKETS {
+        return nanos as usize;
+    }
+    let exp = 63 - nanos.leading_zeros(); // >= SUB_SHIFT
+    let shift = exp - SUB_SHIFT;
+    let sub = (nanos >> shift) & (SUB_BUCKETS - 1);
+    (((exp - SUB_SHIFT + 1) as u64 * SUB_BUCKETS) + sub) as usize
+}
+
+/// Largest nanosecond value that maps into bucket `index` (the value the
+/// quantile queries report, so estimates err on the conservative side).
+fn bucket_upper_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let range = index / SUB_BUCKETS - 1; // 0 = [16, 32)
+    let sub = index % SUB_BUCKETS;
+    let shift = range as u32;
+    let base = SUB_BUCKETS << shift;
+    let width = 1u64 << shift;
+    // The top bucket's exclusive end is 2^64: saturate instead of
+    // overflowing (reachable — `record` clamps huge durations to u64::MAX).
+    base.checked_add((sub + 1) * width)
+        .map_or(u64::MAX, |end| end - 1)
+}
+
+/// A thread-safe log-linear histogram of operation latencies.
+///
+/// All methods take `&self`; recording uses only relaxed atomics, so one
+/// histogram can be shared behind an `Arc` by every client thread of a
+/// serving workload.  Reads ([`Self::quantile`], [`Self::snapshot`]) are
+/// weakly consistent under concurrent writes — fine for reporting.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    min_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+            min_nanos: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one operation latency.
+    pub fn record(&self, latency: Duration) {
+        self.record_nanos(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one operation latency given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Mean recorded latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.total_nanos.load(Ordering::Relaxed) / count)
+    }
+
+    /// Largest recorded latency (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Smallest recorded latency (zero when empty).
+    pub fn min(&self) -> Duration {
+        match self.min_nanos.load(Ordering::Relaxed) {
+            u64::MAX => Duration::ZERO,
+            nanos => Duration::from_nanos(nanos),
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded latencies, as the
+    /// upper bound of the bucket holding that rank (relative error at most
+    /// `1/SUB_BUCKETS`).  Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let count = self.count();
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Duration::from_nanos(
+                    bucket_upper_bound(i).min(self.max_nanos.load(Ordering::Relaxed)),
+                );
+            }
+        }
+        self.max()
+    }
+
+    /// Add every sample of `other` into `self` (used to aggregate per-tenant
+    /// histograms into fleet-wide ones).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let add = theirs.load(Ordering::Relaxed);
+            if add > 0 {
+                mine.fetch_add(add, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_nanos
+            .fetch_add(other.total_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_nanos
+            .fetch_min(other.min_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A plain-data summary of the histogram (p50/p90/p99/p999).
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+}
+
+/// Plain-data summary of a [`LatencyHistogram`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Number of recorded operations.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median latency.
+    pub p50: Duration,
+    /// 90th-percentile latency.
+    pub p90: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// 99.9th-percentile latency.
+    pub p999: Duration,
+    /// Worst recorded latency.
+    pub max: Duration,
+}
+
+impl LatencySnapshot {
+    /// Operations per second over `wall` wall-clock time (0 for zero wall).
+    pub fn throughput(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            0.0
+        } else {
+            self.count as f64 / wall.as_secs_f64()
+        }
+    }
+}
+
+/// Render labelled latency snapshots (e.g. one row per tenant plus a totals
+/// row) as a fixed-width table.
+pub fn render_latency_table(title: &str, rows: &[(String, LatencySnapshot)]) -> String {
+    let mut table =
+        TextTable::new(title).header(["client", "ops", "mean", "p50", "p90", "p99", "p999", "max"]);
+    for (label, snap) in rows {
+        table.row([
+            label.clone(),
+            snap.count.to_string(),
+            format!("{:?}", snap.mean),
+            format!("{:?}", snap.p50),
+            format!("{:?}", snap.p90),
+            format!("{:?}", snap.p99),
+            format!("{:?}", snap.p999),
+            format!("{:?}", snap.max),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_round_trip_bounds_relative_error() {
+        for nanos in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            let upper = bucket_upper_bound(bucket_index(nanos));
+            assert!(upper >= nanos, "upper {upper} < {nanos}");
+            // Log-linear resolution: upper bound within 1/SUB_BUCKETS.
+            assert!(
+                upper as f64 <= nanos as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0,
+                "upper {upper} too far above {nanos}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(u64::MAX);
+        h.record_nanos(u64::MAX - 1);
+        h.record(Duration::MAX); // clamps to u64::MAX nanos
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(u64::MAX));
+        assert_eq!(h.snapshot().max, Duration::from_nanos(u64::MAX));
+        assert_eq!(bucket_upper_bound(bucket_index(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_indices_are_monotonic_and_in_range() {
+        let mut last = 0usize;
+        for exp in 0..64 {
+            let nanos = 1u64 << exp;
+            let idx = bucket_index(nanos);
+            assert!(idx >= last);
+            assert!(idx < BUCKETS, "index {idx} out of range for 2^{exp}");
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_nanos(i * 1_000); // 1µs .. 1ms, uniform
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).as_nanos() as f64;
+        let p99 = h.quantile(0.99).as_nanos() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.10, "p50 {p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.10, "p99 {p99}");
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.max(), Duration::from_nanos(1_000_000));
+        assert_eq!(h.min(), Duration::from_nanos(1_000));
+        let mean = h.mean().as_nanos() as f64;
+        assert!((mean - 500_500.0).abs() / 500_500.0 < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LatencyHistogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_nanos((t * 10_000 + i) % 1_000_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn merge_from_aggregates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_nanos(100);
+        b.record_nanos(1_000_000);
+        b.record_nanos(500);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Duration::from_nanos(100));
+        assert_eq!(a.max(), Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn snapshot_and_table_render() {
+        let h = LatencyHistogram::new();
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!(snap.p50 <= snap.p99 && snap.p99 <= snap.p999 && snap.p999 <= snap.max);
+        assert!(snap.throughput(Duration::from_secs(2)) == 50.0);
+        let rendered = render_latency_table("latency", &[("tenant-0".to_string(), snap)]);
+        assert!(rendered.contains("tenant-0"));
+        assert!(rendered.contains("p999"));
+    }
+}

@@ -18,20 +18,23 @@
 //!
 //! This crate computes all three from a sorted copy of the data plus the
 //! estimated bounds, provides exact ground-truth quantiles, a phase timer
-//! for the Table 11/12 breakdowns, and a fixed-width text-table builder used
-//! by every experiment binary.
+//! for the Table 11/12 breakdowns, a fixed-width text-table builder used
+//! by every experiment binary, and lock-free [`latency`] histograms
+//! (p50/p99/p999) for the multi-tenant serving layer in `opaq-serve`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod error_rates;
 pub mod ground_truth;
+pub mod latency;
 pub mod shard;
 pub mod table;
 pub mod timing;
 
 pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, RelativeErrorRates};
 pub use ground_truth::GroundTruth;
+pub use latency::{render_latency_table, LatencyHistogram, LatencySnapshot};
 pub use shard::{render_shard_table, ShardStats};
 pub use table::{fmt2, TextTable};
 pub use timing::{PhaseBreakdown, PhaseTimer};

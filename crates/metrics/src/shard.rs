@@ -107,6 +107,35 @@ mod tests {
     }
 
     #[test]
+    fn multi_digit_shard_counts_stay_aligned() {
+        // 12 shards: indices go two-digit and the busy/starved columns mix
+        // `ms` and `µs` debug formats; every rendered line must still have
+        // the same printable width.
+        let stats: Vec<ShardStats> = (0..12)
+            .map(|i| ShardStats {
+                shard: i,
+                runs: 10 + i as u64,
+                elements: 1_000 * (i as u64 + 1),
+                sample_points: 100,
+                busy: Duration::from_micros(950 + 137 * i as u64),
+                starved: Duration::from_micros(7 * i as u64),
+            })
+            .collect();
+        let rendered = render_shard_table(&stats);
+        assert!(rendered.contains("12 shards"));
+        assert!(rendered.contains("11"), "two-digit shard index present");
+        let widths: Vec<usize> = rendered
+            .lines()
+            .skip(1) // title
+            .map(|l| l.chars().count())
+            .collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "shard table misaligned: {widths:?}\n{rendered}"
+        );
+    }
+
+    #[test]
     fn table_lists_every_shard_and_totals() {
         let rendered = render_shard_table(&[stat(0, 10, 1), stat(1, 12, 2)]);
         assert!(rendered.contains("sharded ingest (2 shards)"));

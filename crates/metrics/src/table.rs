@@ -54,11 +54,11 @@ impl TextTable {
             .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
-            widths[i] = widths[i].max(h.len());
+            widths[i] = widths[i].max(display_width(h));
         }
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(display_width(cell));
             }
         }
         let mut out = String::new();
@@ -77,6 +77,20 @@ impl TextTable {
     }
 }
 
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Printable width of a cell in characters.  `str::len` counts *bytes*, so
+/// measuring with it misaligns every column that contains a multi-byte
+/// character — most visibly the `µ` in `Duration`'s `123.4µs` debug output,
+/// which appears in the busy/starved columns of multi-shard ingest tables.
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
 fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
         .iter()
@@ -85,7 +99,7 @@ fn format_row(cells: &[String], widths: &[usize]) -> String {
             format!(
                 "{:>width$}",
                 c,
-                width = widths.get(i).copied().unwrap_or(c.len())
+                width = widths.get(i).copied().unwrap_or_else(|| display_width(c))
             )
         })
         .collect::<Vec<_>>()
@@ -136,6 +150,30 @@ mod tests {
     fn fmt2_two_decimals() {
         assert_eq!(fmt2(0.08443), "0.08");
         assert_eq!(fmt2(12.0), "12.00");
+    }
+
+    #[test]
+    fn multibyte_cells_align_by_chars_not_bytes() {
+        // `Duration`'s debug output mixes `ms` and `µs` cells; `µ` is two
+        // bytes but one column, so alignment must count chars.
+        let mut t = TextTable::new("durations").header(["shard", "busy"]);
+        t.row(["9", "1.5ms"]);
+        t.row(["10", "998.7µs"]);
+        t.row(["11", "12.25ms"]);
+        let s = t.render();
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines must have the same char width: {widths:?}\n{s}"
+        );
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = TextTable::new("display").header(["a", "b"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_string(), t.render());
+        assert!(format!("{t}").contains("== display =="));
     }
 
     #[test]

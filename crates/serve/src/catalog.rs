@@ -1,0 +1,776 @@
+//! The versioned, multi-tenant sketch catalog.
+//!
+//! A [`SketchCatalog`] maps `(tenant, dataset)` to an immutable
+//! `Arc<QuantileSketch<u64>>` snapshot tagged with a monotonically increasing
+//! **version** (the entry's epoch).  The concurrency discipline:
+//!
+//! * **Writers build outside, swap inside.**  A refresh builds its sketch
+//!   with no catalog locks held; [`SketchCatalog::publish`] then takes the
+//!   entry's write lock only to swap one `Arc` and bump the version.  The
+//!   critical section is a pointer assignment, so even a publish storm
+//!   cannot stall readers for longer than that.
+//! * **Readers snapshot, then compute.**  [`SketchCatalog::snapshot`] clones
+//!   the `Arc` under the entry's read lock and releases it; all quantile
+//!   work happens on the reader's own snapshot.  A snapshot is therefore
+//!   always a *complete* published version — there is no observable state in
+//!   which part of a new sketch has replaced part of an old one — and it
+//!   stays valid (and allocated) for as long as the reader holds it, no
+//!   matter how many newer versions land meanwhile.
+//! * **Cold tenants spill, hot tenants stay.**  With a configured budget
+//!   (in sample points, the paper's `r·s` memory unit) the catalog evicts
+//!   least-recently-touched entries to disk through
+//!   [`opaq_storage::sketch_codec`] and reloads them transparently on the
+//!   next query, re-validating checksum and sketch invariants on the way in.
+
+use crate::{ServeError, ServeResult};
+use opaq_core::QuantileSketch;
+use opaq_storage::sketch_codec;
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies one tenant of the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+/// Identifies one dataset within a tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(String);
+
+macro_rules! impl_id {
+    ($ty:ident) => {
+        impl $ty {
+            /// Create an id from any string-like value.
+            pub fn new(id: impl Into<String>) -> Self {
+                Self(id.into())
+            }
+
+            /// The id as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $ty {
+            fn from(id: &str) -> Self {
+                Self(id.to_string())
+            }
+        }
+
+        impl From<String> for $ty {
+            fn from(id: String) -> Self {
+                Self(id)
+            }
+        }
+
+        // Lets the nested catalog maps be probed with `&str`, so the
+        // per-query lookup path allocates nothing.  Consistent with the
+        // derived `Hash`/`Eq`: a newtype over `String` hashes exactly like
+        // the `str` it borrows as.
+        impl std::borrow::Borrow<str> for $ty {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+impl_id!(TenantId);
+impl_id!(DatasetId);
+
+type CatalogKey = (TenantId, DatasetId);
+
+/// One complete published version of an entry's sketch.  Cheap to clone
+/// (an `Arc` bump); queries run against the snapshot with no catalog locks.
+#[derive(Debug, Clone)]
+pub struct SketchSnapshot {
+    /// The entry's epoch this snapshot belongs to (1 for the first publish).
+    pub version: u64,
+    /// The immutable sketch of that version.
+    pub sketch: Arc<QuantileSketch<u64>>,
+}
+
+/// Where an entry's current version lives.
+#[derive(Debug)]
+enum Slot {
+    /// In memory, servable with an `Arc` clone.
+    Resident {
+        version: u64,
+        sketch: Arc<QuantileSketch<u64>>,
+    },
+    /// Evicted to a sketch file; reloaded (and re-validated) on next access.
+    Spilled { version: u64, path: PathBuf },
+}
+
+#[derive(Debug)]
+struct Entry {
+    slot: RwLock<Slot>,
+    /// Logical LRU timestamp (catalog clock tick of the last access).
+    last_touch: AtomicU64,
+}
+
+/// Configuration of a [`SketchCatalog`].
+#[derive(Debug, Clone, Default)]
+pub struct CatalogConfig {
+    /// Maximum resident sample points across all entries; `None` = unbounded.
+    /// The most-recently-used entry is never evicted, so a budget smaller
+    /// than a single sketch degenerates to "keep exactly the hot entry".
+    pub budget_sample_points: Option<u64>,
+    /// Directory to spill evicted sketches into (required when a budget is
+    /// set; created on catalog construction if missing).
+    pub spill_dir: Option<PathBuf>,
+}
+
+/// Monotonic counters describing what a catalog has done so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CatalogStats {
+    /// Number of versions published (across all entries).
+    pub publishes: u64,
+    /// Number of snapshots handed out.
+    pub snapshots: u64,
+    /// Number of entries evicted to disk.
+    pub evictions: u64,
+    /// Number of entries reloaded from disk.
+    pub reloads: u64,
+    /// Number of eviction attempts whose spill write failed (the victim
+    /// stayed resident; the triggering publish/read still succeeded).
+    pub spill_failures: u64,
+    /// Number of entries currently in the catalog (resident or spilled).
+    pub entries: u64,
+    /// Sample points currently held in memory.
+    pub resident_sample_points: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    publishes: AtomicU64,
+    snapshots: AtomicU64,
+    evictions: AtomicU64,
+    reloads: AtomicU64,
+    spill_failures: AtomicU64,
+}
+
+/// The versioned multi-tenant sketch catalog.  See the module docs for the
+/// locking discipline; all methods take `&self` and are safe to call from
+/// any number of threads.
+#[derive(Debug)]
+pub struct SketchCatalog {
+    /// Nested rather than tuple-keyed so lookups borrow `&str` and the
+    /// per-query path performs no allocation.
+    entries: RwLock<HashMap<TenantId, HashMap<DatasetId, Arc<Entry>>>>,
+    clock: AtomicU64,
+    resident_points: AtomicU64,
+    config: CatalogConfig,
+    stats: StatsInner,
+}
+
+impl SketchCatalog {
+    /// Create a catalog.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] if an eviction budget is configured
+    /// without a spill directory; I/O errors from creating the directory.
+    pub fn new(config: CatalogConfig) -> ServeResult<Self> {
+        if config.budget_sample_points.is_some() && config.spill_dir.is_none() {
+            return Err(ServeError::InvalidConfig(
+                "an eviction budget requires a spill directory".into(),
+            ));
+        }
+        if let Some(dir) = &config.spill_dir {
+            std::fs::create_dir_all(dir).map_err(opaq_storage::StorageError::Io)?;
+        }
+        Ok(Self {
+            entries: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            resident_points: AtomicU64::new(0),
+            config,
+            stats: StatsInner::default(),
+        })
+    }
+
+    /// Create an unbounded in-memory catalog (no eviction).
+    pub fn unbounded() -> Self {
+        Self::new(CatalogConfig::default()).expect("default config is valid")
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn touch(&self, entry: &Entry) {
+        entry.last_touch.store(self.tick(), Ordering::Relaxed);
+    }
+
+    fn entry(&self, tenant: &TenantId, dataset: &DatasetId) -> Option<Arc<Entry>> {
+        self.entries
+            .read()
+            .get(tenant.as_str())?
+            .get(dataset.as_str())
+            .cloned()
+    }
+
+    fn entry_or_create(&self, tenant: &TenantId, dataset: &DatasetId) -> Arc<Entry> {
+        if let Some(entry) = self.entry(tenant, dataset) {
+            return entry;
+        }
+        let mut entries = self.entries.write();
+        Arc::clone(
+            entries
+                .entry(tenant.clone())
+                .or_default()
+                .entry(dataset.clone())
+                .or_insert_with(|| {
+                    Arc::new(Entry {
+                        // Placeholder until the caller's publish overwrites
+                        // it; version 0 is never observable because entries
+                        // are only created on the publish path below.
+                        slot: RwLock::new(Slot::Resident {
+                            version: 0,
+                            sketch: Arc::new(placeholder_sketch()),
+                        }),
+                        last_touch: AtomicU64::new(0),
+                    })
+                }),
+        )
+    }
+
+    /// Publish `sketch` as the next version of `(tenant, dataset)` and
+    /// return that version.  The swap is an epoch bump: concurrent readers
+    /// keep whatever complete version they already snapshotted.
+    pub fn publish(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        sketch: QuantileSketch<u64>,
+    ) -> ServeResult<u64> {
+        self.publish_arc(tenant, dataset, Arc::new(sketch))
+    }
+
+    /// [`Self::publish`] for an already-shared sketch.
+    pub fn publish_arc(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        sketch: Arc<QuantileSketch<u64>>,
+    ) -> ServeResult<u64> {
+        let new_points = sketch.len() as u64;
+        let entry = self.entry_or_create(tenant, dataset);
+        let version = {
+            // Everything touching this entry — slot state, spill files, its
+            // share of `resident_points` — mutates under its slot lock.
+            // Moving the counter updates outside would let an eviction sweep
+            // interleave between swap and subtract and transiently wrap the
+            // u64 counter, which `enforce_budget` would read as "spill the
+            // whole catalog".
+            let mut slot = entry.slot.write();
+            let (old_version, freed_points, stale_spill) = match &*slot {
+                Slot::Resident { version, sketch } => {
+                    // version 0 is the placeholder of a just-created entry.
+                    let freed = if *version == 0 {
+                        0
+                    } else {
+                        sketch.len() as u64
+                    };
+                    (*version, freed, None)
+                }
+                Slot::Spilled { version, path, .. } => (*version, 0, Some(path.clone())),
+            };
+            let version = old_version + 1;
+            *slot = Slot::Resident { version, sketch };
+            if let Some(stale) = stale_spill {
+                // The spilled bytes describe a superseded version.  Delete
+                // them *while still holding the slot lock*: the eviction
+                // sweep writes spill files under this same lock, so a
+                // deferred delete could race a re-eviction of this entry and
+                // destroy the fresh file its new `Spilled` state points at.
+                let _ = std::fs::remove_file(stale);
+            }
+            // Net counter change, add before sub so the transient value is
+            // high rather than wrapped-negative.
+            self.resident_points
+                .fetch_add(new_points, Ordering::Relaxed);
+            if freed_points > 0 {
+                self.resident_points
+                    .fetch_sub(freed_points, Ordering::Relaxed);
+            }
+            version
+        };
+        self.touch(&entry);
+        self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(tenant, dataset);
+        Ok(version)
+    }
+
+    /// Publish a sketch previously persisted with the shared sketch codec
+    /// (warm start from the CLI's `--out` files, for example).
+    pub fn load_persisted(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        path: impl AsRef<Path>,
+    ) -> ServeResult<u64> {
+        let sketch = QuantileSketch::from_wire(sketch_codec::load(path)?)?;
+        self.publish(tenant, dataset, sketch)
+    }
+
+    /// Hand out the current complete version of `(tenant, dataset)`,
+    /// transparently reloading it from disk if it was evicted.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownEntry`] if nothing was ever published for the
+    /// key; storage/core errors if a spilled sketch fails to reload.
+    pub fn snapshot(&self, tenant: &TenantId, dataset: &DatasetId) -> ServeResult<SketchSnapshot> {
+        let entry = self
+            .entry(tenant, dataset)
+            .ok_or_else(|| ServeError::UnknownEntry {
+                tenant: tenant.clone(),
+                dataset: dataset.clone(),
+            })?;
+        self.touch(&entry);
+
+        {
+            let slot = entry.slot.read();
+            if let Slot::Resident { version, sketch } = &*slot {
+                if *version == 0 {
+                    // Entry created by a concurrent publish that has not
+                    // swapped its real sketch in yet: not observable data.
+                    return Err(ServeError::UnknownEntry {
+                        tenant: tenant.clone(),
+                        dataset: dataset.clone(),
+                    });
+                }
+                self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+                return Ok(SketchSnapshot {
+                    version: *version,
+                    sketch: Arc::clone(sketch),
+                });
+            }
+        }
+
+        // Spilled: take the write lock, re-check (another reader may have
+        // won the reload race), then reload and re-validate.
+        let snapshot = {
+            let mut slot = entry.slot.write();
+            match &*slot {
+                Slot::Resident { version, sketch } => SketchSnapshot {
+                    version: *version,
+                    sketch: Arc::clone(sketch),
+                },
+                Slot::Spilled { version, path } => {
+                    let sketch = Arc::new(QuantileSketch::from_wire(sketch_codec::load(path)?)?);
+                    // The slot is Resident again: drop the on-disk copy now
+                    // (under the lock), otherwise a later publish over the
+                    // Resident slot would leave it orphaned forever.  A
+                    // re-eviction rewrites the file from scratch anyway.
+                    let _ = std::fs::remove_file(path);
+                    let reloaded = SketchSnapshot {
+                        version: *version,
+                        sketch: Arc::clone(&sketch),
+                    };
+                    self.resident_points
+                        .fetch_add(sketch.len() as u64, Ordering::Relaxed);
+                    self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    *slot = Slot::Resident {
+                        version: *version,
+                        sketch,
+                    };
+                    reloaded
+                }
+            }
+        };
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.enforce_budget(tenant, dataset);
+        Ok(snapshot)
+    }
+
+    /// Evict least-recently-touched resident entries (never `keep`) until
+    /// the resident total fits the budget.  Best-effort in every sense: a
+    /// concurrent toucher may revive an entry between selection and
+    /// eviction (costing an extra reload later, never correctness), and a
+    /// spill-write failure (disk full, directory removed) only stops the
+    /// sweep and bumps [`CatalogStats::spill_failures`] — the victim stays
+    /// resident and servable, and the publish or read that triggered the
+    /// sweep still succeeds, because its own work already landed.
+    fn enforce_budget(&self, keep_tenant: &TenantId, keep_dataset: &DatasetId) {
+        let Some(budget) = self.config.budget_sample_points else {
+            return;
+        };
+        let dir = self
+            .config
+            .spill_dir
+            .as_ref()
+            .expect("validated at construction")
+            .clone();
+        while self.resident_points.load(Ordering::Relaxed) > budget {
+            // Pick the coldest resident entry other than the kept one.
+            let victim = {
+                let entries = self.entries.read();
+                let mut coldest: Option<(CatalogKey, Arc<Entry>, u64)> = None;
+                for (tenant, datasets) in entries.iter() {
+                    for (dataset, entry) in datasets.iter() {
+                        if tenant == keep_tenant && dataset == keep_dataset {
+                            continue;
+                        }
+                        // try_read: skip entries mid-publish/mid-reload
+                        // rather than block the eviction sweep on them.
+                        let Some(slot) = entry.slot.try_read() else {
+                            continue;
+                        };
+                        if !matches!(&*slot, Slot::Resident { version, .. } if *version > 0) {
+                            continue;
+                        }
+                        drop(slot);
+                        let touch = entry.last_touch.load(Ordering::Relaxed);
+                        if coldest.as_ref().is_none_or(|(_, _, t)| touch < *t) {
+                            coldest =
+                                Some(((tenant.clone(), dataset.clone()), Arc::clone(entry), touch));
+                        }
+                    }
+                }
+                coldest
+            };
+            let Some((key, entry, _)) = victim else {
+                // Nothing evictable (only `keep` is resident): budgets are
+                // best-effort, the hot entry always stays servable.
+                return;
+            };
+            let mut slot = entry.slot.write();
+            if let Slot::Resident { version, sketch } = &*slot {
+                let (version, sketch) = (*version, Arc::clone(sketch));
+                let path = dir.join(spill_file_name(&key));
+                if sketch_codec::save(&path, &sketch.to_wire()).is_err() {
+                    // A failed write can leave a truncated file behind (e.g.
+                    // ENOSPC after create); nothing will ever point at it,
+                    // so reap it now rather than accumulate corrupt orphans.
+                    let _ = std::fs::remove_file(&path);
+                    self.stats.spill_failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                *slot = Slot::Spilled { version, path };
+                self.resident_points
+                    .fetch_sub(sketch.len() as u64, Ordering::Relaxed);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Raced to Spilled by another sweep: loop re-checks the total.
+        }
+    }
+
+    /// Whether `(tenant, dataset)` has a published sketch (resident or
+    /// spilled).
+    pub fn contains(&self, tenant: &TenantId, dataset: &DatasetId) -> bool {
+        self.entry(tenant, dataset).is_some()
+    }
+
+    /// Number of entries (resident or spilled).
+    pub fn len(&self) -> usize {
+        self.entries.read().values().map(HashMap::len).sum()
+    }
+
+    /// Whether the catalog holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(tenant, dataset)` keys, sorted for deterministic reporting.
+    pub fn keys(&self) -> Vec<(TenantId, DatasetId)> {
+        let mut keys: Vec<_> = self
+            .entries
+            .read()
+            .iter()
+            .flat_map(|(tenant, datasets)| {
+                datasets
+                    .keys()
+                    .map(|dataset| (tenant.clone(), dataset.clone()))
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Sample points currently resident in memory.
+    pub fn resident_sample_points(&self) -> u64 {
+        self.resident_points.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot for reporting.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            publishes: self.stats.publishes.load(Ordering::Relaxed),
+            snapshots: self.stats.snapshots.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            reloads: self.stats.reloads.load(Ordering::Relaxed),
+            spill_failures: self.stats.spill_failures.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            resident_sample_points: self.resident_sample_points(),
+        }
+    }
+}
+
+/// A structurally valid 1-element sketch used as the never-observable
+/// placeholder of a just-created entry (version 0).
+fn placeholder_sketch() -> QuantileSketch<u64> {
+    QuantileSketch::assemble(
+        vec![opaq_core::SamplePoint { value: 0, gap: 1 }],
+        1,
+        1,
+        1,
+        0,
+        0,
+    )
+    .expect("placeholder sketch is valid")
+}
+
+/// Deterministic, filesystem-safe spill file name for a catalog key.
+fn spill_file_name(key: &CatalogKey) -> String {
+    let sanitize = |s: &str| {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .take(32)
+            .collect::<String>()
+    };
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    format!(
+        "{}--{}--{:016x}.sketch",
+        sanitize(key.0.as_str()),
+        sanitize(key.1.as_str()),
+        hasher.finish()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_core::{IncrementalOpaq, OpaqConfig};
+
+    fn sketch_of(range: std::ops::Range<u64>) -> QuantileSketch<u64> {
+        let config = OpaqConfig::builder()
+            .run_length(100)
+            .sample_size(10)
+            .build()
+            .unwrap();
+        let mut inc = IncrementalOpaq::new(config).unwrap();
+        inc.add_run(range.collect()).unwrap();
+        inc.into_sketch().unwrap()
+    }
+
+    fn key(t: &str, d: &str) -> (TenantId, DatasetId) {
+        (TenantId::from(t), DatasetId::from(d))
+    }
+
+    #[test]
+    fn publish_bumps_versions_and_snapshots_see_them() {
+        let catalog = SketchCatalog::unbounded();
+        let (t, d) = key("acme", "clicks");
+        assert!(!catalog.contains(&t, &d));
+        assert_eq!(catalog.publish(&t, &d, sketch_of(0..1000)).unwrap(), 1);
+        let v1 = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.sketch.total_elements(), 1000);
+
+        assert_eq!(catalog.publish(&t, &d, sketch_of(0..2000)).unwrap(), 2);
+        let v2 = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.sketch.total_elements(), 2000);
+        // The old snapshot stays alive and untouched.
+        assert_eq!(v1.sketch.total_elements(), 1000);
+        assert_eq!(catalog.stats().publishes, 2);
+    }
+
+    #[test]
+    fn unknown_entries_are_typed_errors() {
+        let catalog = SketchCatalog::unbounded();
+        let (t, d) = key("ghost", "none");
+        let err = catalog.snapshot(&t, &d).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownEntry { .. }), "{err}");
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn tenants_and_datasets_are_isolated() {
+        let catalog = SketchCatalog::unbounded();
+        let (a, d1) = key("a", "x");
+        let (b, d2) = key("b", "x");
+        catalog.publish(&a, &d1, sketch_of(0..500)).unwrap();
+        catalog.publish(&b, &d2, sketch_of(0..900)).unwrap();
+        catalog
+            .publish(&a, &DatasetId::from("y"), sketch_of(0..100))
+            .unwrap();
+        assert_eq!(catalog.len(), 3);
+        assert_eq!(
+            catalog.snapshot(&a, &d1).unwrap().sketch.total_elements(),
+            500
+        );
+        assert_eq!(
+            catalog.snapshot(&b, &d2).unwrap().sketch.total_elements(),
+            900
+        );
+        let keys = catalog.keys();
+        assert_eq!(keys.len(), 3);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn eviction_spills_cold_entries_and_reload_restores_them() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("opaq-serve-evict-{}", std::process::id()));
+        let catalog = SketchCatalog::new(CatalogConfig {
+            // Each sketch_of(0..1000) has 100 sample points; allow two.
+            budget_sample_points: Some(200),
+            spill_dir: Some(dir.clone()),
+        })
+        .unwrap();
+
+        let tenants: Vec<_> = (0..4).map(|i| key(&format!("t{i}"), "data")).collect();
+        for (t, d) in &tenants {
+            catalog.publish(t, d, sketch_of(0..1000)).unwrap();
+        }
+        assert!(
+            catalog.resident_sample_points() <= 200,
+            "resident {} over budget",
+            catalog.resident_sample_points()
+        );
+        let stats = catalog.stats();
+        assert!(stats.evictions >= 2, "{stats:?}");
+
+        // Every entry still serves identical estimates, reloading as needed.
+        let reference = sketch_of(0..1000);
+        for (t, d) in &tenants {
+            let snap = catalog.snapshot(t, d).unwrap();
+            assert_eq!(snap.version, 1);
+            assert_eq!(*snap.sketch, reference);
+        }
+        assert!(catalog.stats().reloads >= 2);
+        // And the budget still holds after the reload churn.
+        assert!(catalog.resident_sample_points() <= 200);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reload_then_republish_leaves_no_orphaned_spill_files() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("opaq-serve-orphan-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let catalog = SketchCatalog::new(CatalogConfig {
+            budget_sample_points: Some(100), // exactly one 100-point sketch
+            spill_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let (a, da) = key("a", "data");
+        let (b, db) = key("b", "data");
+        catalog.publish(&a, &da, sketch_of(0..1000)).unwrap();
+        catalog.publish(&b, &db, sketch_of(0..1000)).unwrap(); // evicts a
+        catalog.snapshot(&a, &da).unwrap(); // reloads a, evicts b
+        catalog.publish(&a, &da, sketch_of(0..2000)).unwrap(); // v2 over resident
+                                                               // Only b is spilled, so exactly its one file may exist on disk —
+                                                               // the reload must have deleted a's file, or the republish above
+                                                               // would have orphaned it forever.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 1, "spill dir must hold only live spill files");
+        assert_eq!(catalog.snapshot(&b, &db).unwrap().version, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn spill_failure_degrades_gracefully_instead_of_failing_the_publish() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("opaq-serve-spillfail-{}", std::process::id()));
+        let catalog = SketchCatalog::new(CatalogConfig {
+            budget_sample_points: Some(100),
+            spill_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let (a, da) = key("a", "data");
+        let (b, db) = key("b", "data");
+        catalog.publish(&a, &da, sketch_of(0..1000)).unwrap();
+        // Break the spill directory out from under the catalog: the next
+        // over-budget publish cannot evict, but must still land.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let version = catalog.publish(&b, &db, sketch_of(0..1000)).unwrap();
+        assert_eq!(version, 1, "publish must succeed despite the failed spill");
+        let stats = catalog.stats();
+        assert!(stats.spill_failures > 0, "{stats:?}");
+        assert_eq!(stats.evictions, 0);
+        // Both entries stay resident and servable (budget is best-effort).
+        assert_eq!(catalog.snapshot(&a, &da).unwrap().version, 1);
+        assert_eq!(catalog.snapshot(&b, &db).unwrap().version, 1);
+        assert_eq!(catalog.resident_sample_points(), 200);
+    }
+
+    #[test]
+    fn budget_without_spill_dir_is_rejected() {
+        let err = SketchCatalog::new(CatalogConfig {
+            budget_sample_points: Some(100),
+            spill_dir: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn publish_over_spilled_entry_supersedes_it() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("opaq-serve-supersede-{}", std::process::id()));
+        let catalog = SketchCatalog::new(CatalogConfig {
+            budget_sample_points: Some(100),
+            spill_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        let (a, d) = key("a", "data");
+        let (b, d2) = key("b", "data");
+        catalog.publish(&a, &d, sketch_of(0..1000)).unwrap();
+        // Publishing b evicts a (only non-keep entry).
+        catalog.publish(&b, &d2, sketch_of(0..1000)).unwrap();
+        assert_eq!(catalog.stats().evictions, 1);
+        // Publishing a again supersedes the spilled version: version 2, no
+        // reload of the stale file.
+        assert_eq!(catalog.publish(&a, &d, sketch_of(0..3000)).unwrap(), 2);
+        let snap = catalog.snapshot(&a, &d).unwrap();
+        assert_eq!(snap.version, 2);
+        assert_eq!(snap.sketch.total_elements(), 3000);
+        assert_eq!(catalog.stats().reloads, 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn load_persisted_round_trips_through_the_cli_format() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("opaq-serve-warm-{}.sketch", std::process::id()));
+        let sketch = sketch_of(0..5000);
+        sketch_codec::save(&path, &sketch.to_wire()).unwrap();
+
+        let catalog = SketchCatalog::unbounded();
+        let (t, d) = key("warm", "start");
+        assert_eq!(catalog.load_persisted(&t, &d, &path).unwrap(), 1);
+        let snap = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(*snap.sketch, sketch);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn spill_file_names_are_safe_and_distinct() {
+        let a = spill_file_name(&key("a/b", "x"));
+        let b = spill_file_name(&key("a_b", "x"));
+        assert_ne!(a, b, "hash suffix disambiguates sanitized collisions");
+        assert!(!a.contains('/'));
+        let long = spill_file_name(&key(&"t".repeat(200), "d"));
+        assert!(long.len() < 120);
+    }
+}

@@ -1,0 +1,136 @@
+//! # opaq-serve — concurrent multi-tenant sketch serving
+//!
+//! OPAQ's whole point is that one I/O-efficient pass yields a tiny sketch
+//! that can answer *any* quantile query afterwards.  This crate is the layer
+//! that actually faces that query traffic: a versioned, multi-tenant catalog
+//! of immutable sketch snapshots, a typed query engine with per-tenant
+//! latency accounting, a background refresh pipeline, and a load-generator
+//! harness that drives all of it under concurrent read/refresh workloads.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  client threads                    refresh workers (opaq-parallel ingest)
+//!       │ execute(tenant, dataset, request)      │ build new sketch
+//!       ▼                                        ▼
+//!  ┌─────────────┐    snapshot()          ┌──────────────┐
+//!  │ QueryEngine │ ─────────────────────▶ │ SketchCatalog │ ◀── publish()
+//!  │  (latency   │   Arc<QuantileSketch>  │  (tenant,     │     epoch swap
+//!  │  histograms)│   + version epoch      │   dataset) →  │
+//!  └─────────────┘                        │  versioned    │ ──▶ LRU spill to
+//!                                         │  entries      │     sketch files
+//!                                         └──────────────┘ ◀── reload
+//! ```
+//!
+//! * **Catalog epochs** ([`catalog`]): every `(tenant, dataset)` entry holds
+//!   an immutable `Arc<QuantileSketch<u64>>` tagged with a monotonically
+//!   increasing *version*.  Publication is an epoch swap: the writer builds
+//!   the new sketch entirely outside any lock, then replaces the `Arc` under
+//!   a per-entry write lock held only for the pointer swap.  Readers clone
+//!   the `Arc` under the corresponding read lock — a few instructions — and
+//!   then query their snapshot with no locks at all, so a reader can never
+//!   observe a half-published sketch, and an in-flight query keeps its old
+//!   snapshot alive even while newer versions land.
+//! * **Eviction** ([`catalog`]): the catalog has an optional resident budget
+//!   in sample points (the paper's `r·s` memory unit).  When publications
+//!   push the resident total over budget, the least-recently-touched entries
+//!   are written out through [`opaq_storage::sketch_codec`] — the same
+//!   versioned, checksummed format the CLI persists — and dropped from
+//!   memory; the next query for a spilled tenant transparently reloads and
+//!   re-validates the sketch.
+//! * **Queries** ([`query`]): typed requests — `Quantile{phi}`, `Rank{key}`,
+//!   `QuantileBatch{phis}`, `Profile{count}` — executed against one snapshot,
+//!   so a batch is answered by a single consistent version.  Every execution
+//!   is recorded in lock-free per-tenant latency histograms
+//!   ([`opaq_metrics::latency`]) plus a fleet-wide one (p50/p99/p999).
+//! * **Refresh pipeline** ([`refresh`]): a small worker pool that ingests new
+//!   data in the background — via `opaq_parallel::ShardedOpaq` or any
+//!   caller-supplied builder — and publishes the result as the entry's next
+//!   version.  Readers are never blocked by an in-progress build.
+//! * **Load generator** ([`load`]): replays a mixed read/refresh workload
+//!   across N client threads and M tenants, verifies *every* response
+//!   byte-for-byte against a directly-computed estimate from the version it
+//!   claims to have served (catching torn reads), and reports per-tenant and
+//!   overall latency distributions.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod catalog;
+pub mod load;
+pub mod query;
+pub mod refresh;
+
+pub use catalog::{
+    CatalogConfig, CatalogStats, DatasetId, SketchCatalog, SketchSnapshot, TenantId,
+};
+pub use load::{run_workload, LoadReport, WorkloadSpec};
+pub use query::{QueryEngine, QueryOutput, QueryRequest, QueryResponse};
+pub use refresh::RefreshPool;
+
+use opaq_core::OpaqError;
+use opaq_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No sketch has ever been published for the requested entry.
+    UnknownEntry {
+        /// The tenant that was addressed.
+        tenant: TenantId,
+        /// The dataset that was addressed.
+        dataset: DatasetId,
+    },
+    /// The catalog configuration is inconsistent (e.g. an eviction budget
+    /// without a spill directory to evict into).
+    InvalidConfig(String),
+    /// The refresh pool has shut down and accepts no further jobs.
+    RefreshClosed,
+    /// The underlying OPAQ core reported an error.
+    Opaq(OpaqError),
+    /// The storage layer (spill/reload codec) reported an error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownEntry { tenant, dataset } => {
+                write!(
+                    f,
+                    "no sketch published for tenant '{tenant}' dataset '{dataset}'"
+                )
+            }
+            ServeError::InvalidConfig(msg) => write!(f, "invalid catalog configuration: {msg}"),
+            ServeError::RefreshClosed => write!(f, "refresh pool has shut down"),
+            ServeError::Opaq(e) => write!(f, "{e}"),
+            ServeError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Opaq(e) => Some(e),
+            ServeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpaqError> for ServeError {
+    fn from(e: OpaqError) -> Self {
+        ServeError::Opaq(e)
+    }
+}
+
+impl From<StorageError> for ServeError {
+    fn from(e: StorageError) -> Self {
+        ServeError::Storage(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type ServeResult<T> = Result<T, ServeError>;

@@ -1,0 +1,318 @@
+//! The background refresh pipeline: build new sketch versions off the
+//! serving path, publish them with an epoch swap.
+//!
+//! A [`RefreshPool`] owns a few worker threads fed over a channel.  Each job
+//! carries a *builder* closure that produces the new sketch — typically by
+//! ingesting new runs with `opaq_parallel::ShardedOpaq` (see
+//! [`RefreshPool::submit_ingest`]) or by folding increments into an
+//! `IncrementalOpaq` — and the worker publishes the result to the catalog.
+//! The catalog's epoch-swap discipline does the rest: readers keep serving
+//! the old version for the whole (possibly long) build and flip to the new
+//! one at a single pointer swap.
+
+use crate::catalog::{DatasetId, SketchCatalog, TenantId};
+use crate::{ServeError, ServeResult};
+use crossbeam::channel;
+use opaq_core::{OpaqConfig, QuantileSketch};
+use opaq_parallel::ShardedOpaq;
+use opaq_storage::RunStore;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Builder = Box<dyn FnOnce() -> ServeResult<QuantileSketch<u64>> + Send>;
+
+struct Job {
+    tenant: TenantId,
+    dataset: DatasetId,
+    build: Builder,
+}
+
+#[derive(Default)]
+struct Progress {
+    submitted: AtomicU64,
+    published: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A pool of background refresh workers publishing into one catalog.
+///
+/// Dropping the pool closes the queue and joins every worker, so queued
+/// refreshes finish (or fail) before the drop returns.
+pub struct RefreshPool {
+    catalog: Arc<SketchCatalog>,
+    tx: Option<channel::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    progress: Arc<Progress>,
+    failures: Arc<Mutex<Vec<(TenantId, DatasetId, ServeError)>>>,
+}
+
+impl std::fmt::Debug for RefreshPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RefreshPool")
+            .field("workers", &self.workers.len())
+            .field("submitted", &self.submitted())
+            .field("published", &self.published())
+            .field("failed", &self.failed())
+            .finish()
+    }
+}
+
+impl RefreshPool {
+    /// Spawn a pool of `workers` refresh threads publishing into `catalog`.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] if `workers == 0`.
+    pub fn new(catalog: Arc<SketchCatalog>, workers: usize) -> ServeResult<Self> {
+        if workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "a refresh pool needs at least one worker".into(),
+            ));
+        }
+        let (tx, rx) = channel::unbounded::<Job>();
+        // std's Receiver is single-consumer; workers take turns holding it
+        // while they wait.  Dispatch is serialized (cheap), the sketch
+        // builds — the expensive part — run concurrently.
+        let rx = Arc::new(Mutex::new(rx));
+        let progress = Arc::new(Progress::default());
+        let failures = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let catalog = Arc::clone(&catalog);
+                let progress = Arc::clone(&progress);
+                let failures = Arc::clone(&failures);
+                std::thread::Builder::new()
+                    .name(format!("opaq-serve-refresh-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let rx = rx.lock();
+                            rx.recv()
+                        };
+                        let Ok(job) = job else {
+                            return; // queue closed and drained
+                        };
+                        let result = (job.build)()
+                            .and_then(|sketch| catalog.publish(&job.tenant, &job.dataset, sketch));
+                        match result {
+                            Ok(_version) => {
+                                progress.published.fetch_add(1, Ordering::Release);
+                            }
+                            Err(e) => {
+                                failures.lock().push((job.tenant, job.dataset, e));
+                                progress.failed.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                    })
+                    .expect("spawning a refresh worker cannot fail")
+            })
+            .collect();
+        Ok(Self {
+            catalog,
+            tx: Some(tx),
+            workers,
+            progress,
+            failures,
+        })
+    }
+
+    /// The catalog the pool publishes into.
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.catalog
+    }
+
+    /// Queue a refresh whose new sketch is produced by `build` on a worker
+    /// thread.
+    ///
+    /// # Errors
+    /// [`ServeError::RefreshClosed`] if the pool has shut down.
+    pub fn submit(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        build: impl FnOnce() -> ServeResult<QuantileSketch<u64>> + Send + 'static,
+    ) -> ServeResult<()> {
+        let Some(tx) = &self.tx else {
+            return Err(ServeError::RefreshClosed);
+        };
+        self.progress.submitted.fetch_add(1, Ordering::Release);
+        tx.send(Job {
+            tenant: tenant.clone(),
+            dataset: dataset.clone(),
+            build: Box::new(build),
+        })
+        .map_err(|_| ServeError::RefreshClosed)
+    }
+
+    /// Queue a full re-ingest of `store` through the sharded multi-threaded
+    /// ingestion path (`threads` worker threads inside the build; the result
+    /// is bit-identical to a sequential ingest for any count).
+    pub fn submit_ingest<S>(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        store: Arc<S>,
+        config: OpaqConfig,
+        threads: usize,
+    ) -> ServeResult<()>
+    where
+        S: RunStore<u64> + Send + Sync + 'static,
+    {
+        let sharded = ShardedOpaq::new(config, threads)?;
+        self.submit(tenant, dataset, move || Ok(sharded.build_sketch(&*store)?))
+    }
+
+    /// Refreshes queued so far.
+    pub fn submitted(&self) -> u64 {
+        self.progress.submitted.load(Ordering::Acquire)
+    }
+
+    /// Refreshes successfully published so far.
+    pub fn published(&self) -> u64 {
+        self.progress.published.load(Ordering::Acquire)
+    }
+
+    /// Refreshes that failed (build or publish error).
+    pub fn failed(&self) -> u64 {
+        self.progress.failed.load(Ordering::Acquire)
+    }
+
+    /// Drain the recorded failures.
+    pub fn take_failures(&self) -> Vec<(TenantId, DatasetId, ServeError)> {
+        std::mem::take(&mut self.failures.lock())
+    }
+
+    /// Block until every submitted refresh has been published or failed, or
+    /// `timeout` elapses; returns whether the pool went idle in time.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = self.published() + self.failed();
+            if done >= self.submitted() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl Drop for RefreshPool {
+    fn drop(&mut self) {
+        self.tx = None; // close the queue; workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_core::OpaqError;
+    use opaq_storage::MemRunStore;
+
+    fn config() -> OpaqConfig {
+        OpaqConfig::builder()
+            .run_length(1000)
+            .sample_size(100)
+            .build()
+            .unwrap()
+    }
+
+    fn ids() -> (TenantId, DatasetId) {
+        (TenantId::from("t"), DatasetId::from("d"))
+    }
+
+    #[test]
+    fn background_ingest_publishes_the_sharded_sketch() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = RefreshPool::new(Arc::clone(&catalog), 2).unwrap();
+        let (t, d) = ids();
+        let store = Arc::new(MemRunStore::new((0u64..10_000).collect(), 1000));
+        pool.submit_ingest(&t, &d, Arc::clone(&store), config(), 2)
+            .unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(pool.published(), 1);
+        let snap = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(snap.version, 1);
+        // Bit-identical to the direct sharded build.
+        let direct = ShardedOpaq::new(config(), 2)
+            .unwrap()
+            .build_sketch(&*store)
+            .unwrap();
+        assert_eq!(*snap.sketch, direct);
+    }
+
+    #[test]
+    fn sequential_submissions_stack_versions() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = RefreshPool::new(Arc::clone(&catalog), 1).unwrap();
+        let (t, d) = ids();
+        for round in 1..=5u64 {
+            pool.submit(&t, &d, move || {
+                let mut inc = opaq_core::IncrementalOpaq::new(
+                    OpaqConfig::builder()
+                        .run_length(100)
+                        .sample_size(10)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+                inc.add_run((0..round * 100).collect()).unwrap();
+                Ok(inc.into_sketch().unwrap())
+            })
+            .unwrap();
+        }
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        let snap = catalog.snapshot(&t, &d).unwrap();
+        // One worker: jobs run in order, so version 5 summarises 500 keys.
+        assert_eq!(snap.version, 5);
+        assert_eq!(snap.sketch.total_elements(), 500);
+    }
+
+    #[test]
+    fn failures_are_recorded_not_published() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = RefreshPool::new(Arc::clone(&catalog), 2).unwrap();
+        let (t, d) = ids();
+        pool.submit(&t, &d, || Err(ServeError::Opaq(OpaqError::EmptyDataset)))
+            .unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(pool.failed(), 1);
+        assert_eq!(pool.published(), 0);
+        let failures = pool.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert!(!catalog.contains(&t, &d));
+        assert!(pool.take_failures().is_empty(), "drained");
+    }
+
+    #[test]
+    fn zero_workers_rejected_and_drop_joins() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        assert!(matches!(
+            RefreshPool::new(Arc::clone(&catalog), 0),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let pool = RefreshPool::new(Arc::clone(&catalog), 3).unwrap();
+        let (t, d) = ids();
+        pool.submit(&t, &d, || {
+            let mut inc = opaq_core::IncrementalOpaq::new(
+                OpaqConfig::builder()
+                    .run_length(100)
+                    .sample_size(10)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            inc.add_run((0..100).collect()).unwrap();
+            Ok(inc.into_sketch().unwrap())
+        })
+        .unwrap();
+        drop(pool); // joins workers; the queued job completes first
+        assert!(catalog.contains(&t, &d));
+    }
+}

@@ -13,6 +13,9 @@
 //!   to reproduce the paper's I/O-bound regime (Tables 11–12) independently of
 //!   how fast the host page cache happens to be.
 //! * [`run_store`] — the [`run_store::RunStore`] trait: a source of runs.
+//! * [`sketch_codec`] — the versioned, checksummed on-disk sketch format
+//!   ([`sketch_codec::SketchWire`]), shared by the CLI's persistence and the
+//!   serving catalog's spill/reload path.
 //! * [`file_store`] — a file-backed implementation with buffered sequential reads.
 //! * [`mem_store`] — an in-memory implementation for tests and small inputs.
 //! * [`prefetch`] — double-buffered read-ahead
@@ -43,6 +46,7 @@ pub mod layout;
 pub mod mem_store;
 pub mod prefetch;
 pub mod run_store;
+pub mod sketch_codec;
 
 pub use codec::FixedWidthCodec;
 pub use disk_model::DiskModel;
@@ -54,3 +58,4 @@ pub use prefetch::{
     for_each_run_prefetched, for_each_run_prefetched_pooled, BufferPool, DEFAULT_PREFETCH_DEPTH,
 };
 pub use run_store::{RunStore, StorageError, StorageResult};
+pub use sketch_codec::SketchWire;

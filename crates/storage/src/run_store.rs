@@ -28,6 +28,16 @@ pub enum StorageError {
         /// What is wrong with the combination.
         reason: String,
     },
+    /// A persisted artefact (e.g. a saved sketch) declares a format version
+    /// this build does not understand — written by a newer build, or the
+    /// version byte itself is damage.  Distinct from [`StorageError::Corrupt`]
+    /// so callers can suggest "upgrade" rather than "re-ingest".
+    VersionMismatch {
+        /// Version byte found in the file.
+        found: u8,
+        /// Newest format version this build can read.
+        supported: u8,
+    },
 }
 
 impl StorageError {
@@ -57,6 +67,23 @@ impl fmt::Display for StorageError {
             }
             StorageError::InvalidLayout { n, m, reason } => {
                 write!(f, "invalid run layout (n = {n}, m = {m}): {reason}")
+            }
+            StorageError::VersionMismatch { found, supported } => {
+                // Versions are ASCII digits on disk; show the digit when the
+                // byte is printable, the raw value when it is damage.
+                let show = |b: u8| {
+                    if b.is_ascii_graphic() {
+                        format!("'{}'", b as char)
+                    } else {
+                        format!("{b:#04x}")
+                    }
+                };
+                write!(
+                    f,
+                    "unsupported format version {} (newest supported: {})",
+                    show(*found),
+                    show(*supported)
+                )
             }
         }
     }

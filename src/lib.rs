@@ -16,6 +16,9 @@
 //! * [`parallel`] ([`opaq_parallel`]) — parallel OPAQ on a simulated
 //!   distributed-memory machine, plus [`ShardedOpaq`]: real multi-threaded
 //!   sharded ingestion over any run store.
+//! * [`serve`] ([`opaq_serve`]) — concurrent multi-tenant sketch serving:
+//!   the versioned [`SketchCatalog`], typed [`QueryEngine`], background
+//!   refresh and the load-generator harness.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -40,6 +43,7 @@ pub use opaq_datagen as datagen;
 pub use opaq_metrics as metrics;
 pub use opaq_parallel as parallel;
 pub use opaq_select as select;
+pub use opaq_serve as serve;
 pub use opaq_storage as storage;
 
 pub use opaq_baselines::StreamingEstimator;
@@ -51,4 +55,5 @@ pub use opaq_datagen::DatasetSpec;
 pub use opaq_metrics::{compute_error_rates, GroundTruth, QuantileBoundsView};
 pub use opaq_parallel::{MergeAlgorithm, ParallelOpaq, ShardedIngestReport, ShardedOpaq};
 pub use opaq_select::SelectionStrategy;
+pub use opaq_serve::{QueryEngine, QueryRequest, SketchCatalog};
 pub use opaq_storage::{DiskModel, FileRunStore, FileRunStoreBuilder, MemRunStore, RunStore};

@@ -99,6 +99,24 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Try to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
@@ -131,5 +149,18 @@ mod tests {
         assert_eq!(*l.read(), 1);
         *l.write() = 2;
         assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(7u32);
+        assert_eq!(*l.try_read().expect("uncontended"), 7);
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "writer blocks try_read");
+            assert!(l.try_write().is_none(), "writer blocks try_write");
+        }
+        *l.try_write().expect("uncontended") = 8;
+        assert_eq!(*l.read(), 8);
     }
 }
