@@ -1,0 +1,83 @@
+//! HTTP front-end load benchmark: the serving workload replayed over real
+//! loopback TCP through `opaq-net`.
+//!
+//! Mirrors `serve_load.rs`, one layer out: before any timing, a full mixed
+//! workload (clients ≥ 4, refreshes mid-run, TTL probe tenant) is replayed
+//! through `opaq_net::run_http_workload`, which re-renders every response
+//! from the registered sketch of its claimed `x-opaq-version` and compares
+//! **byte-for-byte** — a torn read, an HTTP error, or a missing TTL
+//! expiry→refresh cycle fails `cargo bench` before a single timing.  Then
+//! criterion times whole-workload throughput at two client counts, giving
+//! the over-the-wire cost next to `serve_load`'s in-process numbers.
+//!
+//! Set `OPAQ_BENCH_QUICK=1` (per-PR CI smoke) to shrink the datasets; the
+//! consistency assertions run at full strength either way.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opaq_net::{run_http_workload, HttpWorkloadSpec};
+use std::time::Duration;
+
+fn quick_mode() -> bool {
+    std::env::var_os("OPAQ_BENCH_QUICK").is_some()
+}
+
+fn spec(clients: usize, ttl: Option<Duration>) -> HttpWorkloadSpec {
+    let mut spec = if quick_mode() {
+        HttpWorkloadSpec::quick()
+    } else {
+        HttpWorkloadSpec::default()
+    };
+    spec.spec.tenants = spec.spec.tenants.max(2);
+    spec.spec.clients = clients;
+    spec.ttl = ttl;
+    spec
+}
+
+fn replay_and_verify(label: &str, spec: &HttpWorkloadSpec) -> u64 {
+    let report = run_http_workload(spec).expect("http workload must run cleanly");
+    println!(
+        "== http_serve workload: {label} ({} tenants, {} clients, {} refreshes) ==",
+        spec.spec.tenants, spec.spec.clients, report.refreshes_published
+    );
+    println!("{}", report.render());
+    assert_eq!(
+        report.torn_reads, 0,
+        "{label}: torn read — a wire response matched no published sketch version byte-for-byte"
+    );
+    assert_eq!(report.http_errors, 0, "{label}: HTTP error status observed");
+    assert_eq!(report.verified, report.ops);
+    assert!(
+        report.refreshes_published > 0,
+        "{label}: refreshes must land mid-workload"
+    );
+    if spec.ttl.is_some() {
+        assert!(
+            report.ttl_refreshes_observed >= 1,
+            "{label}: the TTL probe must observe a full expiry→refresh→publish cycle"
+        );
+    }
+    report.ops
+}
+
+fn bench_http_serve(c: &mut Criterion) {
+    // Consistency gate: byte-for-byte over the wire, with the TTL probe on.
+    replay_and_verify(
+        "4 clients + ttl probe",
+        &spec(4, Some(Duration::from_millis(100))),
+    );
+
+    // Whole-workload throughput trend over client counts (TTL probe off so
+    // the timing loop is not gated on the expiry grace window).
+    let mut group = c.benchmark_group("http_mixed_workload");
+    group.sample_size(10);
+    for clients in [4usize, 8] {
+        let spec = spec(clients, None);
+        group.bench_with_input(BenchmarkId::new("clients", clients), &spec, |b, spec| {
+            b.iter(|| black_box(run_http_workload(spec).unwrap().ops))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_http_serve);
+criterion_main!(benches);

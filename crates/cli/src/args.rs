@@ -43,6 +43,45 @@ impl Args {
         Ok(args)
     }
 
+    /// Check every provided key against the command's declared `options`
+    /// (take a value) and `flags` (bare).  Catches the silent-degradation
+    /// class of bug — `--theads 4` used to parse fine and fall back to the
+    /// default thread count — with a typed [`CliError::Usage`] that names
+    /// the offender, suggests a near-miss spelling, and points at the help.
+    pub fn validate(&self, command: &str, options: &[&str], flags: &[&str]) -> CliResult<()> {
+        let complain = |key: &str, detail: String| {
+            // Exclude the key itself: misuse errors (flag given a value,
+            // option given bare) would otherwise "suggest" the very key the
+            // user typed, at distance 0.
+            let suggestion = nearest(key, options.iter().chain(flags.iter()))
+                .filter(|s| *s != key)
+                .map(|s| format!(" (did you mean --{s}?)"))
+                .unwrap_or_default();
+            Err(CliError::Usage(format!(
+                "{detail}{suggestion}; run `opaq help` for usage of '{command}'"
+            )))
+        };
+        for key in self.values.keys() {
+            if options.contains(&key.as_str()) {
+                continue;
+            }
+            if flags.contains(&key.as_str()) {
+                return complain(key, format!("flag --{key} takes no value"));
+            }
+            return complain(key, format!("unknown option --{key} for '{command}'"));
+        }
+        for key in &self.flags {
+            if flags.contains(&key.as_str()) {
+                continue;
+            }
+            if options.contains(&key.as_str()) {
+                return complain(key, format!("option --{key} requires a value"));
+            }
+            return complain(key, format!("unknown flag --{key} for '{command}'"));
+        }
+        Ok(())
+    }
+
     /// The raw value of `--key`, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
@@ -104,6 +143,30 @@ impl Args {
     }
 }
 
+/// The closest declared key within Levenshtein distance 2, for "did you
+/// mean" hints on typos like `--theads`.
+fn nearest<'a>(key: &str, candidates: impl Iterator<Item = &'a &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (levenshtein(key, c), *c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let substitution = prev[j] + usize::from(ca != cb);
+            current.push(substitution.min(prev[j + 1] + 1).min(current[j] + 1));
+        }
+        prev = current;
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +222,59 @@ mod tests {
         let args = parse(&["--fast", "--n", "5"]);
         assert!(args.flag("fast"));
         assert_eq!(args.require_u64("n").unwrap(), 5);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_options_with_a_suggestion() {
+        let args = parse(&["--theads", "4"]);
+        let err = args
+            .validate("sketch", &["threads", "data", "n"], &[])
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown option --theads"), "{msg}");
+        assert!(msg.contains("did you mean --threads?"), "{msg}");
+        assert!(msg.contains("opaq help"), "{msg}");
+    }
+
+    #[test]
+    fn validate_accepts_declared_keys() {
+        let args = parse(&["--n", "4", "--quick"]);
+        args.validate("cmd", &["n"], &["quick"]).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_flag_option_confusion() {
+        // A flag given a value: `--quick yes` silently parsed as an option
+        // before, making `flag("quick")` false.
+        let args = parse(&["--quick", "yes"]);
+        let err = args.validate("cmd", &["n"], &["quick"]).unwrap_err();
+        assert!(err.to_string().contains("takes no value"), "{err}");
+        assert!(
+            !err.to_string().contains("did you mean --quick"),
+            "must not suggest the key the user already typed: {err}"
+        );
+        // An option given bare: `--budget` with no value.
+        let args = parse(&["--budget"]);
+        let err = args.validate("cmd", &["budget"], &[]).unwrap_err();
+        assert!(err.to_string().contains("requires a value"), "{err}");
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_flags() {
+        let args = parse(&["--verbosee"]);
+        let err = args.validate("cmd", &[], &["verbose"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown flag --verbosee"), "{msg}");
+        assert!(msg.contains("did you mean --verbose?"), "{msg}");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("threads", "threads"), 0);
+        assert_eq!(levenshtein("theads", "threads"), 1);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert!(nearest("zzz", ["threads"].iter()).is_none());
     }
 }

@@ -142,26 +142,62 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded latencies, as the
-    /// upper bound of the bucket holding that rank (relative error at most
-    /// `1/SUB_BUCKETS`).  Zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
+    /// The `q`-quantile of the recorded latencies, or `None` when nothing
+    /// has been recorded or `q` is NaN — the typed form of
+    /// [`Self::quantile`], so callers can distinguish "no data" from "fast".
+    ///
+    /// Target-rank arithmetic at the edges: `q ≤ 0.0` targets rank 1 (the
+    /// minimum-holding bucket), `q ≥ 1.0` targets rank `count` and reports
+    /// the *exact* recorded maximum rather than a bucket bound.  Any bucket
+    /// answer is additionally clamped to the exact recorded maximum, so a
+    /// recording that landed in the saturation bucket (values up to
+    /// `u64::MAX` ns, e.g. a clamped `Duration::MAX`) reports the true
+    /// maximum instead of the bucket's saturated upper bound.
+    pub fn try_quantile(&self, q: f64) -> Option<Duration> {
         let count = self.count();
-        if count == 0 {
-            return Duration::ZERO;
+        if count == 0 || q.is_nan() {
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
+        // ceil(q·count) is the 1-based target rank; clamp keeps q = 0.0 at
+        // rank 1 and float round-off at q = 1.0 from overshooting `count`.
         let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if target == count {
+            // The top rank is tracked exactly — never report a bucket bound
+            // (the saturation bucket's would be u64::MAX) when the true
+            // maximum is known.
+            return Some(self.max());
+        }
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
-                return Duration::from_nanos(
+                return Some(Duration::from_nanos(
                     bucket_upper_bound(i).min(self.max_nanos.load(Ordering::Relaxed)),
-                );
+                ));
             }
         }
-        self.max()
+        // Unreachable when counts are consistent; weakly-consistent reads
+        // under concurrent writes may briefly under-count a bucket, in which
+        // case the exact maximum is the conservative answer.
+        Some(self.max())
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the recorded latencies, as the
+    /// upper bound of the bucket holding that rank (relative error at most
+    /// `1/SUB_BUCKETS`), clamped to the exact recorded maximum.  Zero when
+    /// empty; see [`Self::try_quantile`] for the `Option` form.
+    pub fn quantile(&self, q: f64) -> Duration {
+        self.try_quantile(q).unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of recordings that landed in the final (saturation) bucket —
+    /// durations of roughly 2<sup>63</sup> ns and above, including
+    /// `Duration`s clamped to `u64::MAX` ns on the way in.  Non-zero values
+    /// mean the histogram's resolution ceiling was hit and `max()` should be
+    /// read as "at least".
+    pub fn saturated_count(&self) -> u64 {
+        self.buckets[BUCKETS - 1].load(Ordering::Relaxed)
     }
 
     /// Add every sample of `other` into `self` (used to aggregate per-tenant
@@ -316,6 +352,83 @@ mod tests {
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.min(), Duration::ZERO);
         assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_typed_none_not_a_bucket_value() {
+        let h = LatencyHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.try_quantile(q), None, "q={q}");
+        }
+        assert_eq!(h.try_quantile(f64::NAN), None);
+        // After one recording the same calls all have answers.
+        h.record_nanos(42);
+        assert!(h.try_quantile(0.5).is_some());
+        assert_eq!(h.try_quantile(f64::NAN), None, "NaN stays typed-None");
+    }
+
+    #[test]
+    fn single_recording_pins_rank_arithmetic_at_count_one() {
+        // count = 1: every q targets rank 1 = rank count, so every quantile
+        // is the one exact recording — no bucket rounding is visible.
+        let h = LatencyHistogram::new();
+        h.record_nanos(123_457); // deliberately not a bucket boundary
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0, -3.0, 7.0] {
+            assert_eq!(
+                h.try_quantile(q),
+                Some(Duration::from_nanos(123_457)),
+                "q={q}"
+            );
+        }
+        assert_eq!(h.min(), h.max());
+    }
+
+    #[test]
+    fn edge_quantiles_clamp_target_ranks() {
+        let h = LatencyHistogram::new();
+        for nanos in [100u64, 200, 400, 800] {
+            h.record_nanos(nanos);
+        }
+        // q = 0.0 targets rank 1: the answer must cover the minimum without
+        // jumping to a later bucket (conservative upper bound of min's own
+        // bucket).
+        let q0 = h.quantile(0.0).as_nanos() as u64;
+        assert!((100..200).contains(&q0), "q0 = {q0}");
+        // q = 1.0 targets rank `count` and is the exact maximum.
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(800));
+        // Out-of-range q clamps instead of panicking or indexing garbage.
+        assert_eq!(h.quantile(42.0), h.quantile(1.0));
+        assert_eq!(h.quantile(-42.0), h.quantile(0.0));
+    }
+
+    #[test]
+    fn saturation_bucket_reports_exact_max_not_a_garbage_bound() {
+        let h = LatencyHistogram::new();
+        // Three huge recordings near the u64 ceiling: all land in the final
+        // (saturation) bucket, whose naive upper bound is u64::MAX.
+        h.record_nanos(u64::MAX - 2);
+        h.record_nanos(u64::MAX - 1);
+        h.record_nanos(u64::MAX);
+        assert_eq!(h.saturated_count(), 3);
+        // Every quantile of this distribution must clamp to the *exact*
+        // recorded maximum, not the bucket bound.
+        assert_eq!(h.try_quantile(1.0), Some(Duration::from_nanos(u64::MAX)));
+        assert_eq!(h.try_quantile(0.5), Some(Duration::from_nanos(u64::MAX)));
+        // Mixed with a small value, the saturated tail still reports exactly.
+        let mixed = LatencyHistogram::new();
+        mixed.record_nanos(1_000);
+        mixed.record_nanos(u64::MAX - 5);
+        assert_eq!(mixed.saturated_count(), 1);
+        assert_eq!(
+            mixed.try_quantile(1.0),
+            Some(Duration::from_nanos(u64::MAX - 5)),
+            "exact max, not the saturated bucket bound"
+        );
+        assert_eq!(mixed.try_quantile(0.25), Some(Duration::from_nanos(1_023)));
+        // Small values don't count as saturated.
+        let small = LatencyHistogram::new();
+        small.record_nanos(5);
+        assert_eq!(small.saturated_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! A minimal keep-alive HTTP/1.1 client for the workload harness, the CLI's
+//! HTTP mode and the examples.
+//!
+//! One [`HttpClient`] owns one connection and reuses it across requests;
+//! when the server closes (keep-alive request cap, shutdown, idle timeout)
+//! the next request transparently reconnects once.  Only what the harness
+//! needs: `GET`/`POST`, `Content-Length` framing, no redirects, no TLS.
+
+use crate::{NetError, NetResult};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    /// [`NetError::Protocol`] if the body is not UTF-8.
+    pub fn body_str(&self) -> NetResult<&str> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| NetError::Protocol("response body is not UTF-8".into()))
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+    read_timeout: Duration,
+}
+
+impl HttpClient {
+    /// Create a client for `addr` (e.g. `"127.0.0.1:8080"`); connects lazily.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            conn: None,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the per-response read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// `GET target` (path plus optional query string).
+    ///
+    /// # Errors
+    /// Connection or protocol failures; HTTP error statuses are *not*
+    /// errors — check [`ClientResponse::status`].
+    pub fn get(&mut self, target: &str) -> NetResult<ClientResponse> {
+        self.request("GET", target, None)
+    }
+
+    /// `POST target` with a JSON body.
+    ///
+    /// # Errors
+    /// As for [`Self::get`].
+    pub fn post_json(&mut self, target: &str, body: &str) -> NetResult<ClientResponse> {
+        self.request("POST", target, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> NetResult<ClientResponse> {
+        // First attempt on the cached connection (if any), one transparent
+        // retry on a fresh connection: a server that closed the keep-alive
+        // between requests surfaces as an I/O error or clean EOF here.
+        let had_conn = self.conn.is_some();
+        match self.attempt(method, target, body) {
+            Ok(response) => Ok(response),
+            Err(_) if had_conn => {
+                self.conn = None;
+                self.attempt(method, target, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> NetResult<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: {}\r\n", self.addr);
+        if let Some(body) = body {
+            head.push_str("content-type: application/json\r\n");
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = conn.get_mut();
+        stream.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            stream.write_all(body.as_bytes())?;
+        }
+        stream.flush()?;
+
+        let response = read_response(conn)?;
+        if response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        {
+            self.conn = None;
+        }
+        Ok(response)
+    }
+}
+
+fn read_response(conn: &mut BufReader<TcpStream>) -> NetResult<ClientResponse> {
+    let status_line = read_line(conn)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(NetError::Protocol(format!(
+            "bad status line: {status_line:?}"
+        )));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| NetError::Protocol(format!("bad status code in {status_line:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(conn)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| NetError::Protocol("response header without ':'".into()))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| NetError::Protocol("response without Content-Length".into()))?;
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> NetResult<String> {
+    let mut line = Vec::new();
+    let n = conn.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Err(NetError::Protocol("connection closed mid-response".into()));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    }
+    String::from_utf8(line).map_err(|_| NetError::Protocol("non-UTF-8 response header".into()))
+}

@@ -1,0 +1,458 @@
+//! Hand-rolled HTTP/1.1 message framing: request parsing and response
+//! writing over a buffered `TcpStream`.
+//!
+//! Only the subset the front-end needs, parsed strictly:
+//!
+//! * request line `METHOD target HTTP/1.1` (or 1.0), target split into path
+//!   and query string, both percent-decoded per segment/parameter;
+//! * headers until the blank line, with a hard cap on total header bytes
+//!   (overflow → [`ParseError::HeadersTooLarge`], surfaced as **431**);
+//! * bodies framed by a single strict `Content-Length` (digits only, one
+//!   occurrence), capped ([`ParseError::BodyTooLarge`] → **413**);
+//!   `Transfer-Encoding` is refused rather than half-implemented (**501**).
+//!
+//! Keep-alive policy lives in the server; this module just reports what the
+//! request asked for ([`Request::wants_keep_alive`]).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// The raw (still percent-encoded) path, always starting with `/`.
+    /// Routing uses [`Request::segments`]; the raw form is kept so an
+    /// encoded `/` inside a segment stays distinguishable from a separator.
+    pub path: String,
+    /// The `/`-separated path segments, percent-decoded individually (so
+    /// `a%2Fb` is one segment containing a literal slash, and `+` stays a
+    /// plus — `+`-as-space applies to query values only).
+    pub segments: Vec<String>,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers in order, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the request line said HTTP/1.1 (vs 1.0).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client wants the connection kept open after the response
+    /// (HTTP/1.1 defaults to yes, 1.0 to no; `Connection` overrides).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed; each variant maps to one HTTP status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Clean EOF before the first byte of a request (keep-alive close).
+    ConnectionClosed,
+    /// The socket read failed or timed out mid-request.
+    Io(std::io::Error),
+    /// Malformed request line / header / length framing (**400**).
+    Malformed(String),
+    /// Header block exceeded the configured cap (**431**).
+    HeadersTooLarge,
+    /// Declared body exceeded the configured cap (**413**).
+    BodyTooLarge,
+    /// `Transfer-Encoding` or other framing this server refuses (**501**).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ParseError::HeadersTooLarge => write!(f, "request header block too large"),
+            ParseError::BodyTooLarge => write!(f, "request body too large"),
+            ParseError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+/// Framing limits applied while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Cap on request line + all header bytes (431 beyond this).
+    pub max_header_bytes: usize,
+    /// Cap on the declared body length (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for ReadLimits {
+    fn default() -> Self {
+        Self {
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Read one request from `reader`.
+///
+/// # Errors
+/// See [`ParseError`]; `ConnectionClosed` is the *clean* end of a keep-alive
+/// connection, everything else is a real fault.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    limits: &ReadLimits,
+) -> Result<Request, ParseError> {
+    let mut header_bytes = 0usize;
+    let request_line = read_crlf_line(reader, limits.max_header_bytes, &mut header_bytes)?;
+    if request_line.is_empty() {
+        return Err(ParseError::Malformed("empty request line".into()));
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| ParseError::Malformed("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(ParseError::Malformed("extra tokens in request line".into()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(ParseError::Unsupported(format!("HTTP version {other}")));
+        }
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    // Split on `/` *before* decoding so an encoded slash inside a segment
+    // (tenant ids may contain one) is data, not a separator; `+` is a
+    // literal in paths, a space only in query strings.
+    let segments = raw_path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| percent_decode(s, false))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| ParseError::Malformed("bad percent-encoding in path".into()))?;
+    let path = raw_path.to_string();
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k, true)
+                .ok_or_else(|| ParseError::Malformed("bad percent-encoding in query".into()))?;
+            let v = percent_decode(v, true)
+                .ok_or_else(|| ParseError::Malformed("bad percent-encoding in query".into()))?;
+            query.push((k, v));
+        }
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_crlf_line(reader, limits.max_header_bytes, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed("header without ':'".into()))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::Malformed("bad header name".into()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ParseError::Unsupported("Transfer-Encoding".into()));
+    }
+    let lengths: Vec<&str> = headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let body = match lengths.as_slice() {
+        [] => Vec::new(),
+        [raw] => {
+            if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::Malformed("non-numeric Content-Length".into()));
+            }
+            let declared: u64 = raw
+                .parse()
+                .map_err(|_| ParseError::Malformed("Content-Length out of range".into()))?;
+            if declared > limits.max_body_bytes as u64 {
+                return Err(ParseError::BodyTooLarge);
+            }
+            let mut body = vec![0u8; declared as usize];
+            reader.read_exact(&mut body).map_err(ParseError::Io)?;
+            body
+        }
+        _ => {
+            return Err(ParseError::Malformed(
+                "multiple Content-Length headers".into(),
+            ))
+        }
+    };
+
+    Ok(Request {
+        method,
+        path,
+        segments,
+        query,
+        headers,
+        body,
+        http11,
+    })
+}
+
+/// Read one CRLF-terminated line (returned without the terminator), charging
+/// its bytes against the shared header budget.
+fn read_crlf_line(
+    reader: &mut BufReader<TcpStream>,
+    max_header_bytes: usize,
+    used: &mut usize,
+) -> Result<String, ParseError> {
+    let budget = max_header_bytes.saturating_sub(*used);
+    // Read at most budget + 1 bytes: seeing one byte past the budget without
+    // a newline distinguishes "too large" from "line fits exactly".
+    let mut limited = reader.by_ref().take(budget as u64 + 1);
+    let mut line = Vec::new();
+    match limited.read_until(b'\n', &mut line) {
+        Ok(0) => {
+            return if line.is_empty() && *used == 0 {
+                Err(ParseError::ConnectionClosed)
+            } else {
+                Err(ParseError::Malformed("truncated header line".into()))
+            };
+        }
+        Ok(_) => {}
+        Err(e) => return Err(ParseError::Io(e)),
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(if line.len() > budget {
+            ParseError::HeadersTooLarge
+        } else {
+            ParseError::Malformed("truncated header line".into())
+        });
+    }
+    if line.len() > budget {
+        return Err(ParseError::HeadersTooLarge);
+    }
+    *used += line.len();
+    line.pop(); // \n
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ParseError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Decode `%xx` sequences in one path segment or query component;
+/// `plus_as_space` additionally maps `+` to a space (query strings only).
+fn percent_decode(s: &str, plus_as_space: bool) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// One HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (reason phrase derived from it).
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Content-Type` and `Connection` are
+    /// managed by the writer).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON `{"error": ...}` response.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        crate::json::write_escaped(&mut body, message);
+        body.push('}');
+        Self::json(status, body)
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize to `w`, announcing `keep_alive` in the `Connection` header.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        // Query components: `+` is a space.
+        assert_eq!(percent_decode("a%20b+c", true).as_deref(), Some("a b c"));
+        // Path segments: `+` is a literal plus; %2F is a literal slash
+        // *inside* the segment (splitting already happened).
+        assert_eq!(percent_decode("a%20b+c", false).as_deref(), Some("a b+c"));
+        assert_eq!(percent_decode("a%2Fb", false).as_deref(), Some("a/b"));
+        assert_eq!(percent_decode("caf%C3%A9", false).as_deref(), Some("café"));
+        assert!(percent_decode("%zz", false).is_none());
+        assert!(percent_decode("%2", false).is_none());
+        assert!(
+            percent_decode("%ff", false).is_none(),
+            "invalid UTF-8 rejected"
+        );
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_codes() {
+        for code in [200u16, 400, 404, 405, 408, 411, 413, 431, 500, 501, 503] {
+            assert_ne!(reason_phrase(code), "Unknown", "{code}");
+        }
+        assert_eq!(reason_phrase(418), "Unknown");
+    }
+
+    #[test]
+    fn response_serialization_is_framed() {
+        let resp =
+            Response::json(200, "{\"ok\":true}".to_string()).with_header("x-opaq-version", "7");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-opaq-version: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let resp = Response::error(404, "no such \"entry\"");
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":\"no such \\\"entry\\\"\"}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! # opaq-net — HTTP/1.1 front-end over the OPAQ serving layer
+//!
+//! `opaq-serve` made the sketches queryable in-process; this crate makes
+//! them queryable over real TCP, completing the paper→production arc: one
+//! I/O-efficient pass builds a tiny sketch, the catalog versions it, and any
+//! HTTP client can now ask for quantiles.  Everything is dependency-free —
+//! hand-rolled request parsing, a small JSON wire, `std::net` sockets — in
+//! the same spirit as the vendored shims elsewhere in the workspace.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 accept thread (non-blocking poll, shutdown-aware)
+//!                      │ bounded channel (full ⇒ 503, shed load)
+//!          ┌───────────┼───────────┐
+//!          ▼           ▼           ▼
+//!     worker 0     worker 1  …  worker W        (keep-alive loop per conn:
+//!          │ parse → route → respond             request cap, read timeout,
+//!          ▼                                     idle timeout)
+//!    ┌──────────────┐   snapshot + estimate   ┌───────────────┐
+//!    │ QueryEngine  │ ───────────────────────▶│ SketchCatalog │
+//!    │ (latency     │   version + freshness   │ (TTL: expired │──▶ RefreshPool
+//!    │  histograms) │                         │  ⇒ hook fires)│    re-ingest
+//!    └──────────────┘                         └───────────────┘
+//! ```
+//!
+//! * **Wire** ([`http`], [`json`]): strict request parsing (single
+//!   `Content-Length`, capped headers → 431, capped bodies → 413, no
+//!   `Transfer-Encoding`), and a JSON reader/writer whose output is a pure
+//!   function of the data — the consistency harness depends on that.
+//! * **Server** ([`server`]): bounded accept pool, keep-alive with a
+//!   per-connection request cap, shutdown that drains in-flight requests
+//!   before joining (same close-then-join discipline as `RefreshPool`).
+//!   Routes:
+//!
+//!   | route | answer |
+//!   |---|---|
+//!   | `GET /v1/{tenant}/{dataset}/quantile?phi=` | φ-quantile bounds |
+//!   | `GET /v1/{tenant}/{dataset}/rank?key=` | rank bounds of a key |
+//!   | `GET /v1/{tenant}/{dataset}/profile?count=` | equi-depth profile |
+//!   | `POST /v1/{tenant}/{dataset}/quantile_batch` | `{"phis":[…]}`, one consistent version |
+//!   | `GET /healthz` | liveness + entry count |
+//!   | `GET /metrics` | text exposition: per-tenant p50/p99/p999, catalog stats |
+//!
+//!   Every `/v1` response carries `x-opaq-version` (the sketch epoch that
+//!   answered — the handle the byte-for-byte verification keys on) and
+//!   `x-opaq-freshness` (`fresh|stale|refreshing`, the catalog's TTL tag).
+//! * **Client** ([`client`]): minimal keep-alive client with transparent
+//!   single reconnect, for the harness/CLI/examples.
+//! * **Workload harness** ([`workload`]): the HTTP twin of
+//!   `opaq_serve::run_workload` — N client threads × M tenants over real
+//!   sockets, every response re-rendered locally from the registered sketch
+//!   of its claimed version and compared **byte-for-byte**, plus a TTL probe
+//!   that watches an expiring tenant serve non-fresh tags until its
+//!   background refresh publishes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod workload;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{Request, Response};
+pub use json::Json;
+pub use server::{
+    render_response_json, HttpServer, ServerConfig, ServerStats, FRESHNESS_HEADER, VERSION_HEADER,
+};
+pub use workload::{run_http_workload, HttpLoadReport, HttpWorkloadSpec};
+
+use opaq_serve::ServeError;
+use std::fmt;
+
+/// Errors surfaced by the network layer.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket/file I/O failure.
+    Io(std::io::Error),
+    /// Bad server or workload configuration.
+    InvalidConfig(String),
+    /// The peer violated the HTTP/JSON protocol contract.
+    Protocol(String),
+    /// The serving layer reported an error.
+    Serve(ServeError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ServeError> for NetError {
+    fn from(e: ServeError) -> Self {
+        NetError::Serve(e)
+    }
+}
+
+impl From<opaq_core::OpaqError> for NetError {
+    fn from(e: opaq_core::OpaqError) -> Self {
+        NetError::Serve(ServeError::Opaq(e))
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type NetResult<T> = Result<T, NetError>;

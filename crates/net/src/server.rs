@@ -1,0 +1,577 @@
+//! The HTTP server: a bounded accept/worker pool over
+//! `std::net::TcpListener`, routing to an `opaq_serve::QueryEngine`.
+//!
+//! ## Threading model
+//!
+//! One accept thread polls the (non-blocking) listener and hands accepted
+//! connections to a **bounded** channel feeding `workers` handler threads.
+//! A full queue answers **503** and closes instead of buffering unboundedly
+//! — the back-pressure story mirrors the bounded crossbeam channels of the
+//! sharded ingest path.  Each handler owns its connection for the duration:
+//! keep-alive serves up to [`ServerConfig::keep_alive_max_requests`]
+//! requests per connection, with a read timeout per request and an idle
+//! timeout between requests (both shutdown-aware).
+//!
+//! ## Shutdown ordering
+//!
+//! [`HttpServer::shutdown`] mirrors the refresh pool's drain-then-join
+//! discipline: stop accepting (join the accept thread), close the
+//! connection queue, then join the handlers — which finish their in-flight
+//! request, announce `connection: close`, and exit.  When `shutdown`
+//! returns, no thread will touch the engine or catalog again, so a caller
+//! tearing down "HTTP server → refresh pool → catalog" gets a quiescent
+//! stack at every step.
+
+use crate::http::{read_request, ParseError, ReadLimits, Request, Response};
+use crate::json::{write_escaped, write_f64};
+use crate::{NetError, NetResult};
+use crossbeam::channel;
+use opaq_core::QuantileEstimate;
+use opaq_serve::{
+    DatasetId, QueryEngine, QueryOutput, QueryRequest, QueryResponse, ServeError, TenantId,
+};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Response header carrying the sketch version that answered.
+pub const VERSION_HEADER: &str = "x-opaq-version";
+/// Response header carrying the TTL status (`fresh|stale|refreshing`).
+pub const FRESHNESS_HEADER: &str = "x-opaq-freshness";
+
+/// Tunables of one [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Connection-handler threads (the accept pool bound).
+    pub workers: usize,
+    /// Accepted-but-unhandled connections the queue holds before the accept
+    /// thread answers 503 and closes.
+    pub accept_backlog: usize,
+    /// Requests served per connection before the server closes it.
+    pub keep_alive_max_requests: u32,
+    /// Timeout for reading one request once its first byte arrived.
+    pub read_timeout: Duration,
+    /// How long an idle keep-alive connection may wait for its next request.
+    pub keep_alive_idle: Duration,
+    /// Request parsing limits (header/body caps).
+    pub limits: ReadLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            accept_backlog: 64,
+            keep_alive_max_requests: 1_000,
+            read_timeout: Duration::from_secs(5),
+            keep_alive_idle: Duration::from_secs(10),
+            limits: ReadLimits::default(),
+        }
+    }
+}
+
+/// Monotonic counters of one server's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections refused with 503 because the queue was full.
+    pub rejected: u64,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Requests that could not be parsed (400/408/413/431/501 family).
+    pub parse_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    requests: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running HTTP front-end over one [`QueryEngine`].
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HttpServer {
+    /// Bind `config.addr` and start serving `engine`.
+    ///
+    /// # Errors
+    /// [`NetError::InvalidConfig`] for zero workers; I/O errors from binding.
+    pub fn start(engine: Arc<QueryEngine>, config: ServerConfig) -> NetResult<Self> {
+        if config.workers == 0 {
+            return Err(NetError::InvalidConfig(
+                "the server needs at least one worker".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept: the accept thread polls so it can observe
+        // shutdown without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(config.accept_backlog);
+        let conn_rx = Arc::new(parking_lot::Mutex::new(conn_rx));
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let engine = Arc::clone(&engine);
+                let config = config.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("opaq-net-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let rx = conn_rx.lock();
+                            rx.recv()
+                        };
+                        let Ok(stream) = stream else {
+                            return; // queue closed and drained
+                        };
+                        handle_connection(stream, &engine, &config, &shutdown, &stats);
+                    })
+                    .expect("spawning an HTTP worker cannot fail")
+            })
+            .collect();
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("opaq-net-accept".to_string())
+                .spawn(move || {
+                    // `conn_tx` moves in here: when this thread exits, the
+                    // channel closes and the workers drain out.
+                    let conn_tx = conn_tx;
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                // Bounded hand-off: a full queue means the
+                                // workers are saturated — shed load with a
+                                // 503 instead of queueing unboundedly.
+                                if let Err(back) = try_send(&conn_tx, stream) {
+                                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    let mut stream = back;
+                                    let _ = Response::error(503, "server overloaded")
+                                        .write_to(&mut stream, false);
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => {
+                                // Transient accept failure (e.g. EMFILE):
+                                // back off briefly rather than spin.
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                })
+                .expect("spawning the accept thread cannot fail")
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            workers,
+            stats,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, drain queued connections' in-flight requests, join
+    /// every thread.  Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            // Joining the accept thread drops the connection sender, which
+            // closes the queue; the workers then drain what was accepted
+            // (each serving at most its current request before noticing the
+            // flag) and exit.
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Non-blocking send; gives the stream back on a full (or closed) queue so
+/// the accept thread can answer 503 instead of blocking.
+fn try_send(tx: &channel::Sender<TcpStream>, stream: TcpStream) -> Result<(), TcpStream> {
+    tx.try_send(stream).map_err(|e| match e {
+        channel::TrySendError::Full(stream) | channel::TrySendError::Disconnected(stream) => stream,
+    })
+}
+
+/// Serve one connection until close/limits/shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Arc<QueryEngine>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    stats: &StatsInner,
+) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    for served in 0..config.keep_alive_max_requests {
+        match wait_for_request(&mut reader, config, shutdown) {
+            Wait::Ready => {}
+            Wait::Close => return,
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
+        let request = read_request(&mut reader, &config.limits);
+        let (response, keep_alive) = match request {
+            Ok(request) => {
+                let response = route(engine, &request);
+                let keep_alive = request.wants_keep_alive()
+                    && served + 1 < config.keep_alive_max_requests
+                    && !shutdown.load(Ordering::Acquire);
+                (response, keep_alive)
+            }
+            Err(ParseError::ConnectionClosed) => return,
+            Err(e) => {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                (parse_error_response(&e), false)
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        if response.write_to(reader.get_mut(), keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+enum Wait {
+    Ready,
+    Close,
+}
+
+/// Idle phase between keep-alive requests: poll for the first byte with a
+/// short timeout so both shutdown and the idle deadline are observed without
+/// consuming any request bytes (pipelined bytes already buffered count as
+/// ready).  A request whose bytes have already arrived is reported `Ready`
+/// even under shutdown — it gets served (with `connection: close`) rather
+/// than dropped, so the drain semantics documented on
+/// [`HttpServer::shutdown`] hold for queued work too.
+fn wait_for_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> Wait {
+    if !reader.buffer().is_empty() {
+        return Wait::Ready;
+    }
+    let started = Instant::now();
+    let poll = Duration::from_millis(50);
+    loop {
+        // Probe for data *before* consulting the shutdown flag, so a
+        // request that raced shutdown onto the wire is answered, not
+        // silently closed on.
+        let _ = reader.get_ref().set_read_timeout(Some(poll));
+        let mut probe = [0u8; 1];
+        match reader.get_ref().peek(&mut probe) {
+            Ok(0) => return Wait::Close, // clean EOF
+            Ok(_) => return Wait::Ready,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return Wait::Close,
+        }
+        if shutdown.load(Ordering::Acquire) {
+            return Wait::Close;
+        }
+        if started.elapsed() > config.keep_alive_idle {
+            return Wait::Close;
+        }
+    }
+}
+
+fn parse_error_response(e: &ParseError) -> Response {
+    match e {
+        ParseError::HeadersTooLarge => Response::error(431, &e.to_string()),
+        ParseError::BodyTooLarge => Response::error(413, &e.to_string()),
+        ParseError::Unsupported(_) => Response::error(501, &e.to_string()),
+        ParseError::Io(io) if io.kind() == std::io::ErrorKind::WouldBlock => {
+            Response::error(408, "timed out reading the request")
+        }
+        ParseError::Io(io) if io.kind() == std::io::ErrorKind::TimedOut => {
+            Response::error(408, "timed out reading the request")
+        }
+        _ => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Route one parsed request to the engine.  Pure function of
+/// `(engine state, request)` — the HTTP workload harness re-renders
+/// expected responses through the same code path to compare bytes.
+pub fn route(engine: &Arc<QueryEngine>, request: &Request) -> Response {
+    // Segments were percent-decoded individually by the parser, so a tenant
+    // id containing a literal `/` (sent as `%2F`) is one segment here.
+    let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
+    match segments.as_slice() {
+        ["healthz"] => {
+            if request.method != "GET" {
+                return Response::error(405, "healthz is GET-only");
+            }
+            let stats = engine.catalog().stats();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"entries\":{},\"publishes\":{}}}",
+                    stats.entries, stats.publishes
+                ),
+            )
+        }
+        ["metrics"] => {
+            if request.method != "GET" {
+                return Response::error(405, "metrics is GET-only");
+            }
+            Response::text(200, render_metrics(engine))
+        }
+        ["v1", tenant, dataset, op] => route_v1(engine, request, tenant, dataset, op),
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn route_v1(
+    engine: &Arc<QueryEngine>,
+    request: &Request,
+    tenant: &str,
+    dataset: &str,
+    op: &str,
+) -> Response {
+    let query = match op {
+        "quantile" => {
+            if request.method != "GET" {
+                return Response::error(405, "quantile is GET-only");
+            }
+            let Some(raw) = request.query_param("phi") else {
+                return Response::error(400, "missing query parameter phi");
+            };
+            let Ok(phi) = raw.parse::<f64>() else {
+                return Response::error(400, "phi must be a number");
+            };
+            if !phi.is_finite() {
+                return Response::error(400, "phi must be finite");
+            }
+            QueryRequest::Quantile { phi }
+        }
+        "rank" => {
+            if request.method != "GET" {
+                return Response::error(405, "rank is GET-only");
+            }
+            let Some(raw) = request.query_param("key") else {
+                return Response::error(400, "missing query parameter key");
+            };
+            let Ok(key) = raw.parse::<u64>() else {
+                return Response::error(400, "key must be an unsigned integer");
+            };
+            QueryRequest::Rank { key }
+        }
+        "profile" => {
+            if request.method != "GET" {
+                return Response::error(405, "profile is GET-only");
+            }
+            let count = match request.query_param("count") {
+                None => 10,
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(count) => count,
+                    Err(_) => return Response::error(400, "count must be an unsigned integer"),
+                },
+            };
+            QueryRequest::Profile { count }
+        }
+        "quantile_batch" => {
+            if request.method != "POST" {
+                return Response::error(405, "quantile_batch is POST-only");
+            }
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                return Response::error(400, "body must be UTF-8 JSON");
+            };
+            let parsed = match crate::json::Json::parse(body) {
+                Ok(parsed) => parsed,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let Some(items) = parsed.get("phis").and_then(|v| v.as_array()) else {
+                return Response::error(400, "body must be {\"phis\": [numbers]}");
+            };
+            let mut phis = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_f64() {
+                    Some(phi) if phi.is_finite() => phis.push(phi),
+                    _ => return Response::error(400, "phis must be finite numbers"),
+                }
+            }
+            QueryRequest::QuantileBatch { phis }
+        }
+        _ => return Response::error(404, "no such operation"),
+    };
+
+    let tenant = TenantId::new(tenant);
+    let dataset = DatasetId::new(dataset);
+    match engine.execute(&tenant, &dataset, &query) {
+        Ok(response) => {
+            let version = response.version.to_string();
+            let freshness = response.freshness.as_str();
+            Response::json(200, render_response_json(&response))
+                .with_header(VERSION_HEADER, version)
+                .with_header(FRESHNESS_HEADER, freshness)
+        }
+        Err(ServeError::UnknownEntry { .. }) => {
+            Response::error(404, &format!("no sketch published for {tenant}/{dataset}"))
+        }
+        Err(ServeError::Opaq(e)) => Response::error(400, &e.to_string()),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Canonical JSON body of a successful query response.  Both the server and
+/// the HTTP workload harness use this single renderer, so "byte-for-byte
+/// identical to the in-process answer" is checkable by string equality.
+pub fn render_response_json(response: &QueryResponse) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"version\":");
+    out.push_str(&response.version.to_string());
+    out.push_str(",\"total_elements\":");
+    out.push_str(&response.total_elements.to_string());
+    out.push_str(",\"freshness\":");
+    write_escaped(&mut out, response.freshness.as_str());
+    match &response.output {
+        QueryOutput::Quantile(est) => {
+            out.push_str(",\"estimate\":");
+            write_estimate(&mut out, est);
+        }
+        QueryOutput::Rank(bounds) => {
+            out.push_str(",\"rank\":{\"min_rank\":");
+            out.push_str(&bounds.min_rank.to_string());
+            out.push_str(",\"max_rank\":");
+            out.push_str(&bounds.max_rank.to_string());
+            out.push('}');
+        }
+        QueryOutput::QuantileBatch(ests) | QueryOutput::Profile(ests) => {
+            out.push_str(",\"estimates\":[");
+            for (i, est) in ests.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_estimate(&mut out, est);
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn write_estimate(out: &mut String, est: &QuantileEstimate<u64>) {
+    out.push_str("{\"phi\":");
+    write_f64(out, est.phi);
+    out.push_str(",\"target_rank\":");
+    out.push_str(&est.target_rank.to_string());
+    out.push_str(",\"lower\":");
+    out.push_str(&est.lower.to_string());
+    out.push_str(",\"upper\":");
+    out.push_str(&est.upper.to_string());
+    out.push_str(",\"max_rank_slack\":");
+    out.push_str(&est.max_rank_slack.to_string());
+    out.push('}');
+}
+
+/// Text exposition of per-tenant latency quantiles and catalog stats
+/// (Prometheus-style lines, integer nanoseconds).
+fn render_metrics(engine: &Arc<QueryEngine>) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("# TYPE opaq_request_latency_nanos gauge\n");
+    let mut render_histogram = |label: &str, snap: &opaq_metrics::LatencySnapshot| {
+        for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
+            out.push_str(&format!(
+                "opaq_request_latency_nanos{{tenant=\"{label}\",quantile=\"{q}\"}} {}\n",
+                value.as_nanos()
+            ));
+        }
+        out.push_str(&format!(
+            "opaq_request_count{{tenant=\"{label}\"}} {}\n",
+            snap.count
+        ));
+    };
+    for (tenant, snap) in engine.latency_report() {
+        render_histogram(tenant.as_str(), &snap);
+    }
+    render_histogram("_all", &engine.overall().snapshot());
+
+    let stats = engine.catalog().stats();
+    for (name, value) in [
+        ("opaq_catalog_entries", stats.entries),
+        ("opaq_catalog_publishes", stats.publishes),
+        ("opaq_catalog_snapshots", stats.snapshots),
+        ("opaq_catalog_evictions", stats.evictions),
+        ("opaq_catalog_reloads", stats.reloads),
+        ("opaq_catalog_spill_failures", stats.spill_failures),
+        ("opaq_catalog_stale_snapshots", stats.stale_snapshots),
+        ("opaq_catalog_ttl_refreshes", stats.ttl_refreshes),
+        (
+            "opaq_catalog_resident_sample_points",
+            stats.resident_sample_points,
+        ),
+    ] {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out
+}

@@ -1,0 +1,548 @@
+//! The HTTP twin of `opaq_serve::run_workload`: replay a mixed read/refresh
+//! workload over real TCP and verify every response **byte-for-byte**.
+//!
+//! Verification discipline (same as the in-process harness, now across the
+//! wire): before a version is published, the refresher registers an
+//! independent clone of that version's sketch keyed `(tenant, version)`.
+//! Every HTTP response names the version that answered it in the
+//! `x-opaq-version` header, so the client re-executes the request against
+//! the registered sketch, re-renders the canonical JSON body through the
+//! *same* renderer the server uses, and compares bytes.  Any response that
+//! is not exactly the serialization of one complete published version — a
+//! torn sketch, an invented version, a half-flushed body — counts as torn.
+//!
+//! On top of that, an optional **TTL probe tenant** gets a short `max_age`
+//! and a refresh hook into a real `RefreshPool`: a dedicated watcher client
+//! polls it over HTTP and records the freshness transitions — `fresh` until
+//! expiry, then `stale`/`refreshing` (old version still served, byte-exact)
+//! until the background re-ingest publishes, then `fresh` again at the next
+//! version.
+
+use crate::client::HttpClient;
+use crate::server::{
+    render_response_json, HttpServer, ServerConfig, ServerStats, FRESHNESS_HEADER, VERSION_HEADER,
+};
+use crate::{NetError, NetResult};
+use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
+use opaq_metrics::{render_latency_table, LatencyHistogram, LatencySnapshot};
+use opaq_serve::{
+    chunk_spec, execute_on, next_rand, request_for, CatalogStats, DatasetId, Freshness,
+    QueryEngine, QueryRequest, QueryResponse, RefreshPool, SketchCatalog, TenantId, WorkloadSpec,
+};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of one HTTP serving workload.
+#[derive(Debug, Clone)]
+pub struct HttpWorkloadSpec {
+    /// Tenant/client/op counts and sketch parameters (shared with the
+    /// in-process harness; its `budget_sample_points`/`spill_dir` are
+    /// ignored here — eviction churn is the in-process suite's job).
+    pub spec: WorkloadSpec,
+    /// TTL applied to the dedicated probe tenant; `None` disables the
+    /// staleness leg of the workload.
+    pub ttl: Option<Duration>,
+    /// Server tuning (workers, keep-alive, limits).
+    pub server: ServerConfig,
+}
+
+impl Default for HttpWorkloadSpec {
+    fn default() -> Self {
+        Self {
+            spec: WorkloadSpec::default(),
+            ttl: Some(Duration::from_millis(200)),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl HttpWorkloadSpec {
+    /// A small configuration for CI smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            spec: WorkloadSpec::quick(),
+            ttl: Some(Duration::from_millis(100)),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// What an HTTP workload observed.
+#[derive(Debug, Clone)]
+pub struct HttpLoadReport {
+    /// Requests issued by the client threads (each ends up verified, torn,
+    /// or an HTTP error; TTL-probe traffic is counted in
+    /// [`Self::probe_polls`] instead).
+    pub ops: u64,
+    /// Client responses verified byte-for-byte against their claimed
+    /// version.
+    pub verified: u64,
+    /// Responses (client or probe) that matched no complete published
+    /// version (must be 0).
+    pub torn_reads: u64,
+    /// Non-200 responses observed (client or probe; must be 0).
+    pub http_errors: u64,
+    /// Verified polls issued by the TTL watcher, including during the
+    /// post-client grace window.
+    pub probe_polls: u64,
+    /// Versions published by the background refresher while clients ran.
+    pub refreshes_published: u64,
+    /// TTL probe: responses served past their `max_age` (`stale` or
+    /// `refreshing`).
+    pub non_fresh_served: u64,
+    /// TTL probe: version bumps that followed an observed expiry — i.e.
+    /// complete expiry→refresh→publish cycles seen over the wire.
+    pub ttl_refreshes_observed: u64,
+    /// Wall-clock time of the client phase.
+    pub wall: Duration,
+    /// Client-observed (over-the-wire) latency distribution.
+    pub latency: LatencySnapshot,
+    /// Catalog counters at the end of the run.
+    pub catalog: CatalogStats,
+    /// HTTP server counters at the end of the run.
+    pub server: ServerStats,
+}
+
+impl HttpLoadReport {
+    /// Requests per second over the client phase.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Render the report as text.
+    pub fn render(&self) -> String {
+        let mut out = render_latency_table(
+            "http client-observed latency",
+            &[("all".to_string(), self.latency)],
+        );
+        out.push_str(&format!(
+            "ops {} | verified {} | torn {} | http errors {} | refreshes {} | \
+             probe polls {} | non-fresh {} | ttl refreshes observed {} | {:.0} ops/s\n",
+            self.ops,
+            self.verified,
+            self.torn_reads,
+            self.http_errors,
+            self.refreshes_published,
+            self.probe_polls,
+            self.non_fresh_served,
+            self.ttl_refreshes_observed,
+            self.throughput()
+        ));
+        out
+    }
+}
+
+/// `(tenant-name, version) -> the complete sketch of that version`,
+/// registered *before* the catalog publish.
+type Registry = Arc<RwLock<HashMap<(String, u64), Arc<QuantileSketch<u64>>>>>;
+
+/// Map a typed request to its HTTP form: `(target, optional JSON body)`.
+fn wire_form(tenant: &str, dataset: &str, request: &QueryRequest) -> (String, Option<String>) {
+    match request {
+        QueryRequest::Quantile { phi } => {
+            (format!("/v1/{tenant}/{dataset}/quantile?phi={phi}"), None)
+        }
+        QueryRequest::Rank { key } => (format!("/v1/{tenant}/{dataset}/rank?key={key}"), None),
+        QueryRequest::Profile { count } => (
+            format!("/v1/{tenant}/{dataset}/profile?count={count}"),
+            None,
+        ),
+        QueryRequest::QuantileBatch { phis } => {
+            let mut body = String::from("{\"phis\":[");
+            for (i, phi) in phis.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("{phi}"));
+            }
+            body.push_str("]}");
+            (format!("/v1/{tenant}/{dataset}/quantile_batch"), Some(body))
+        }
+    }
+}
+
+enum Verdict {
+    Verified { version: u64, freshness: Freshness },
+    Torn,
+    HttpError,
+}
+
+/// Re-render the expected body from the registered sketch of the claimed
+/// version and compare bytes.
+fn verify(
+    tenant: &str,
+    request: &QueryRequest,
+    response: &crate::client::ClientResponse,
+    registry: &Registry,
+) -> Verdict {
+    if response.status != 200 {
+        return Verdict::HttpError;
+    }
+    let Some(version) = response
+        .header(VERSION_HEADER)
+        .and_then(|v| v.parse::<u64>().ok())
+    else {
+        return Verdict::Torn;
+    };
+    let Some(freshness) = response.header(FRESHNESS_HEADER).and_then(Freshness::parse) else {
+        return Verdict::Torn;
+    };
+    let Some(sketch) = registry.read().get(&(tenant.to_string(), version)).cloned() else {
+        return Verdict::Torn; // a version the refresher never registered
+    };
+    let Ok(output) = execute_on(&sketch, request) else {
+        return Verdict::Torn;
+    };
+    let expected = render_response_json(&QueryResponse {
+        output,
+        version,
+        total_elements: sketch.total_elements(),
+        freshness,
+    });
+    if expected.as_bytes() == response.body.as_slice() {
+        Verdict::Verified { version, freshness }
+    } else {
+        Verdict::Torn
+    }
+}
+
+/// Run `spec` end to end: stand the server up on a loopback port, hammer it
+/// with real HTTP clients, verify every byte, and tear everything down in
+/// order (server, refresh pool, catalog).
+///
+/// # Errors
+/// Configuration, socket and serving-layer errors.  Torn reads and HTTP
+/// error statuses are *reported*, not errors — the caller decides whether
+/// non-zero is fatal.
+pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadReport> {
+    let spec = &http_spec.spec;
+    if spec.tenants == 0 || spec.clients == 0 || spec.ops_per_client == 0 {
+        return Err(NetError::InvalidConfig(
+            "a workload needs at least one tenant, one client and one op".into(),
+        ));
+    }
+    let config = OpaqConfig::builder()
+        .run_length(spec.run_length)
+        .sample_size(spec.sample_size.min(spec.run_length))
+        .build()
+        .map_err(opaq_serve::ServeError::from)?;
+
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+    let registry: Registry = Arc::new(RwLock::new(HashMap::new()));
+
+    let ids: Vec<(TenantId, DatasetId)> = (0..spec.tenants)
+        .map(|i| {
+            (
+                TenantId::new(format!("tenant-{i}")),
+                DatasetId::new("events"),
+            )
+        })
+        .collect();
+
+    // Initial version per tenant; the refresher keeps folding new runs in.
+    let mut incrementals = Vec::with_capacity(spec.tenants);
+    for (tenant_idx, (tenant, dataset)) in ids.iter().enumerate() {
+        let mut inc = IncrementalOpaq::new(config).map_err(opaq_serve::ServeError::from)?;
+        inc.add_run(chunk_spec(spec, tenant_idx, 0, spec.keys_per_tenant).generate())
+            .map_err(opaq_serve::ServeError::from)?;
+        let sketch = inc.sketch().expect("just added a run").clone();
+        registry
+            .write()
+            .insert((tenant.to_string(), 1), Arc::new(sketch.clone()));
+        catalog.publish(tenant, dataset, sketch)?;
+        incrementals.push(inc);
+    }
+
+    // The TTL probe tenant: short max_age + a refresh hook that re-ingests
+    // through a real RefreshPool.  The builder registers the new version's
+    // sketch *before* returning it for publication, so the watcher can
+    // byte-verify across the refresh boundary.
+    let pool = Arc::new(RefreshPool::new(Arc::clone(&catalog), 1)?);
+    let ttl_tenant = TenantId::new("ttl-probe");
+    let ttl_dataset = DatasetId::new("events");
+    if let Some(ttl) = http_spec.ttl {
+        let mut inc = IncrementalOpaq::new(config).map_err(opaq_serve::ServeError::from)?;
+        inc.add_run(
+            chunk_spec(spec, usize::MAX / 2, 0, spec.keys_per_tenant.min(20_000)).generate(),
+        )
+        .map_err(opaq_serve::ServeError::from)?;
+        let sketch = inc.into_sketch().ok_or(opaq_serve::ServeError::Opaq(
+            opaq_core::OpaqError::EmptyDataset,
+        ))?;
+        registry
+            .write()
+            .insert((ttl_tenant.to_string(), 1), Arc::new(sketch.clone()));
+        catalog.publish(&ttl_tenant, &ttl_dataset, sketch)?;
+        catalog.set_ttl(&ttl_tenant, &ttl_dataset, Some(ttl))?;
+
+        let weak_pool = Arc::downgrade(&pool);
+        let weak_catalog = Arc::downgrade(&catalog);
+        let hook_registry = Arc::clone(&registry);
+        let rounds = Arc::new(AtomicU64::new(0));
+        let hook_spec = spec.clone();
+        catalog.set_refresh_hook(Box::new(move |tenant, dataset| {
+            let Some(pool) = weak_pool.upgrade() else {
+                return false;
+            };
+            let weak_catalog = weak_catalog.clone();
+            let registry = Arc::clone(&hook_registry);
+            let rounds = Arc::clone(&rounds);
+            let hook_spec = hook_spec.clone();
+            let tenant_name = tenant.to_string();
+            let (tenant, dataset) = (tenant.clone(), dataset.clone());
+            let (submit_tenant, submit_dataset) = (tenant.clone(), dataset.clone());
+            pool.submit(&submit_tenant, &submit_dataset, move || {
+                let round = rounds.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut inc = IncrementalOpaq::new(config)?;
+                inc.add_run(
+                    chunk_spec(
+                        &hook_spec,
+                        usize::MAX / 2,
+                        round,
+                        hook_spec.keys_per_tenant.min(20_000),
+                    )
+                    .generate(),
+                )?;
+                let sketch = inc.into_sketch().ok_or(opaq_serve::ServeError::Opaq(
+                    opaq_core::OpaqError::EmptyDataset,
+                ))?;
+                // Only this pool refreshes the probe tenant, and the
+                // catalog fires at most one in-flight refresh per entry, so
+                // `current version + 1` is exactly what publish will assign.
+                if let Some(catalog) = weak_catalog.upgrade() {
+                    let version = catalog.snapshot(&tenant, &dataset)?.version + 1;
+                    registry
+                        .write()
+                        .insert((tenant_name.clone(), version), Arc::new(sketch.clone()));
+                }
+                Ok(sketch)
+            })
+            .is_ok()
+        }));
+    }
+
+    // Thread-per-connection: every client (plus the TTL watcher) holds one
+    // keep-alive connection for the whole run, so the worker pool must be at
+    // least that wide or late connections would starve in the accept queue.
+    let mut server_config = http_spec.server.clone();
+    server_config.workers = server_config.workers.max(spec.clients + 2);
+    let mut server = HttpServer::start(Arc::clone(&engine), server_config)?;
+    let addr = server.local_addr().to_string();
+
+    let torn = AtomicU64::new(0);
+    let verified = AtomicU64::new(0);
+    let http_errors = AtomicU64::new(0);
+    let probe_polls = AtomicU64::new(0);
+    let probe_torn = AtomicU64::new(0);
+    let probe_errors = AtomicU64::new(0);
+    let refreshes = AtomicU64::new(0);
+    let non_fresh = AtomicU64::new(0);
+    let ttl_bumps = AtomicU64::new(0);
+    let stop_watcher = AtomicBool::new(false);
+    let latency = LatencyHistogram::new();
+    let client_phase_nanos = AtomicU64::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| -> NetResult<()> {
+        // Background refresher over the main tenants (in-process publishes,
+        // registered first — exactly the in-process harness discipline).
+        let refresher = {
+            let catalog = Arc::clone(&catalog);
+            let registry = Arc::clone(&registry);
+            let ids = &ids;
+            let refreshes = &refreshes;
+            scope.spawn(move || -> NetResult<()> {
+                for round in 1..=spec.refresh_rounds {
+                    for (tenant_idx, (tenant, dataset)) in ids.iter().enumerate() {
+                        let chunk =
+                            chunk_spec(spec, tenant_idx, round, (spec.keys_per_tenant / 4).max(1))
+                                .generate();
+                        let inc = &mut incrementals[tenant_idx];
+                        inc.add_run(chunk).map_err(opaq_serve::ServeError::from)?;
+                        let sketch = inc.sketch().expect("non-empty").clone();
+                        registry
+                            .write()
+                            .insert((tenant.to_string(), round + 1), Arc::new(sketch.clone()));
+                        catalog.publish(tenant, dataset, sketch)?;
+                        refreshes.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                }
+                Ok(())
+            })
+        };
+
+        // TTL watcher: poll the probe tenant over HTTP, byte-verify, and
+        // record the expiry→refresh→publish cycles it can see on the wire.
+        let watcher = http_spec.ttl.map(|ttl| {
+            let addr = addr.clone();
+            let registry = Arc::clone(&registry);
+            let ttl_tenant = ttl_tenant.to_string();
+            let (probe_torn, probe_polls, probe_errors) =
+                (&probe_torn, &probe_polls, &probe_errors);
+            let (non_fresh, ttl_bumps, stop_watcher) = (&non_fresh, &ttl_bumps, &stop_watcher);
+            scope.spawn(move || -> NetResult<()> {
+                let mut client = HttpClient::new(addr);
+                let request = QueryRequest::Quantile { phi: 0.5 };
+                let (target, _) = wire_form(&ttl_tenant, "events", &request);
+                let mut last: Option<(u64, Freshness)> = None;
+                let mut expiry_seen_at: Option<u64> = None;
+                while !stop_watcher.load(Ordering::Acquire) {
+                    let response = client.get(&target)?;
+                    match verify(&ttl_tenant, &request, &response, &registry) {
+                        Verdict::Verified { version, freshness } => {
+                            // Probe traffic is verified like everything else
+                            // but tracked apart from client ops, so reported
+                            // throughput stays a pure client-phase number.
+                            probe_polls.fetch_add(1, Ordering::Relaxed);
+                            if freshness != Freshness::Fresh {
+                                non_fresh.fetch_add(1, Ordering::Relaxed);
+                                expiry_seen_at = Some(version);
+                            }
+                            if let (Some(expired_version), Some((last_version, _))) =
+                                (expiry_seen_at, last)
+                            {
+                                if version > last_version && version > expired_version {
+                                    // A full cycle: expiry observed at the
+                                    // old version, then a newer one landed.
+                                    ttl_bumps.fetch_add(1, Ordering::Relaxed);
+                                    expiry_seen_at = None;
+                                }
+                            }
+                            last = Some((version, freshness));
+                        }
+                        Verdict::Torn => {
+                            probe_torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Verdict::HttpError => {
+                            probe_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    std::thread::sleep(ttl / 4);
+                }
+                Ok(())
+            })
+        });
+
+        let mut clients = Vec::with_capacity(spec.clients);
+        for client_idx in 0..spec.clients {
+            let addr = addr.clone();
+            let registry = Arc::clone(&registry);
+            let ids = &ids;
+            let (torn, verified, http_errors) = (&torn, &verified, &http_errors);
+            let latency = &latency;
+            clients.push(scope.spawn(move || -> NetResult<()> {
+                let mut client = HttpClient::new(addr);
+                let mut rng = spec
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
+                for _ in 0..spec.ops_per_client {
+                    let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
+                    let (tenant, dataset) = &ids[tenant_idx];
+                    let request = request_for(&mut rng);
+                    let (target, body) = wire_form(tenant.as_str(), dataset.as_str(), &request);
+                    let sent = Instant::now();
+                    let response = match &body {
+                        Some(body) => client.post_json(&target, body)?,
+                        None => client.get(&target)?,
+                    };
+                    latency.record(sent.elapsed());
+                    match verify(tenant.as_str(), &request, &response, &registry) {
+                        Verdict::Verified { .. } => {
+                            verified.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Verdict::Torn => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Verdict::HttpError => {
+                            http_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(())
+            }));
+        }
+
+        // Join everything defensively: the watcher loops until the stop
+        // flag, so any early return (a client error) or panic propagation
+        // before `stop_watcher` is set would leave `scope` blocked on it
+        // forever.  Collect failures, always set the flag, then report.
+        fn note(
+            first_error: &mut Option<NetError>,
+            joined: std::thread::Result<NetResult<()>>,
+            who: &str,
+        ) {
+            let outcome = match joined {
+                Ok(Ok(())) => return,
+                Ok(Err(e)) => e,
+                Err(_) => NetError::Protocol(format!("{who} thread panicked")),
+            };
+            if first_error.is_none() {
+                *first_error = Some(outcome);
+            }
+        }
+        let mut first_error: Option<NetError> = None;
+        for client in clients {
+            note(&mut first_error, client.join(), "client");
+        }
+        client_phase_nanos.store(
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        // The client phase may be shorter than the probe tenant's TTL; give
+        // the watcher a grace window to see one complete cycle (expiry →
+        // background refresh → publish → fresh again) before stopping it —
+        // but only on the happy path; a failed run stops immediately.
+        if first_error.is_none() {
+            if let Some(ttl) = http_spec.ttl {
+                let grace = (ttl * 30).max(Duration::from_secs(2));
+                let deadline = Instant::now() + grace;
+                while ttl_bumps.load(Ordering::Relaxed) == 0 && Instant::now() < deadline {
+                    std::thread::sleep(ttl / 4);
+                }
+            }
+        }
+        stop_watcher.store(true, Ordering::Release);
+        if let Some(watcher) = watcher {
+            note(&mut first_error, watcher.join(), "watcher");
+        }
+        note(&mut first_error, refresher.join(), "refresher");
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+    let wall = Duration::from_nanos(client_phase_nanos.load(Ordering::Relaxed));
+
+    // Teardown order: HTTP server first (no more engine calls), then the
+    // refresh pool (drains any in-flight re-ingest into the still-live
+    // catalog), then the catalog goes with the last Arc.  Stats are read
+    // after the drain so in-flight requests are counted.
+    server.shutdown();
+    let server_stats = server.stats();
+    pool.shutdown();
+
+    // Client ops only: the probe's verified polls live in `probe_polls`, so
+    // `ops / wall` is a pure client-phase throughput.  Torn reads and HTTP
+    // errors stay shared — they are correctness signals wherever they occur.
+    Ok(HttpLoadReport {
+        ops: verified.load(Ordering::Relaxed)
+            + torn.load(Ordering::Relaxed)
+            + http_errors.load(Ordering::Relaxed),
+        verified: verified.load(Ordering::Relaxed),
+        torn_reads: torn.load(Ordering::Relaxed) + probe_torn.load(Ordering::Relaxed),
+        http_errors: http_errors.load(Ordering::Relaxed) + probe_errors.load(Ordering::Relaxed),
+        probe_polls: probe_polls.load(Ordering::Relaxed),
+        refreshes_published: refreshes.load(Ordering::Relaxed),
+        non_fresh_served: non_fresh.load(Ordering::Relaxed),
+        ttl_refreshes_observed: ttl_bumps.load(Ordering::Relaxed),
+        wall,
+        latency: latency.snapshot(),
+        catalog: catalog.stats(),
+        server: server_stats,
+    })
+}

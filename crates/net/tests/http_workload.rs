@@ -1,0 +1,56 @@
+//! The HTTP workload harness end to end: zero torn reads, zero HTTP errors,
+//! refreshes mid-run, and at least one complete TTL expiry→refresh→publish
+//! cycle observed over the wire.
+
+use opaq_net::{run_http_workload, HttpWorkloadSpec, NetError};
+use std::time::Duration;
+
+#[test]
+fn quick_http_workload_serves_everything_untorn() {
+    let mut spec = HttpWorkloadSpec::quick();
+    spec.spec.clients = 4;
+    spec.spec.tenants = 2;
+    spec.spec.ops_per_client = 150;
+    spec.ttl = Some(Duration::from_millis(80));
+    let report = run_http_workload(&spec).unwrap();
+
+    assert_eq!(
+        report.torn_reads,
+        0,
+        "torn reads over the wire:\n{}",
+        report.render()
+    );
+    assert_eq!(report.http_errors, 0, "{}", report.render());
+    assert!(report.verified >= 4 * 150, "{}", report.render());
+    assert_eq!(report.verified, report.ops);
+    assert_eq!(
+        report.refreshes_published,
+        2 * 3,
+        "quick spec: 2 tenants x 3 rounds"
+    );
+    assert!(
+        report.non_fresh_served > 0,
+        "the TTL probe must observe expiry: {}",
+        report.render()
+    );
+    assert!(
+        report.ttl_refreshes_observed >= 1,
+        "at least one full expiry→refresh→publish cycle: {}",
+        report.render()
+    );
+    assert!(report.catalog.ttl_refreshes >= 1);
+    assert!(report.server.requests >= report.ops);
+    assert!(report.latency.p50 <= report.latency.p999);
+    let rendered = report.render();
+    assert!(rendered.contains("ttl refreshes observed"), "{rendered}");
+}
+
+#[test]
+fn degenerate_specs_are_rejected() {
+    let mut spec = HttpWorkloadSpec::quick();
+    spec.spec.clients = 0;
+    assert!(matches!(
+        run_http_workload(&spec),
+        Err(NetError::InvalidConfig(_))
+    ));
+}

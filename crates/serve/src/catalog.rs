@@ -21,6 +21,14 @@
 //!   least-recently-touched entries to disk through
 //!   [`opaq_storage::sketch_codec`] and reloads them transparently on the
 //!   next query, re-validating checksum and sketch invariants on the way in.
+//! * **TTL is stale-while-refresh, never stale-and-block.**  An entry may
+//!   carry a `max_age` (per entry via [`SketchCatalog::set_ttl`], or a
+//!   catalog-wide [`CatalogConfig::default_max_age`]).  An expired entry
+//!   keeps serving its last complete version; the snapshot is merely tagged
+//!   ([`Freshness::Stale`], or [`Freshness::Refreshing`] once the first
+//!   expired access has routed the entry to the installed refresh hook —
+//!   at most one in-flight refresh per entry).  The next publish resets the
+//!   clock and the tag in the same step.
 
 use crate::{ServeError, ServeResult};
 use opaq_core::QuantileSketch;
@@ -31,8 +39,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Identifies one tenant of the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,6 +100,61 @@ impl_id!(DatasetId);
 
 type CatalogKey = (TenantId, DatasetId);
 
+/// Age-based staleness of a served snapshot relative to its entry's TTL.
+///
+/// Staleness is *stale-while-refresh*: an expired entry keeps serving its
+/// last complete version (readers are never blocked and never see an error
+/// just because data aged out) — the tag tells the caller how old the answer
+/// is, and whether a replacement is already being built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// The snapshot is within its entry's `max_age` (or the entry has no
+    /// TTL configured).
+    Fresh,
+    /// The snapshot outlived its `max_age` and no background refresh is in
+    /// flight (no refresh hook installed, or the previous refresh aborted).
+    Stale,
+    /// The snapshot outlived its `max_age` and a background refresh is in
+    /// flight; the entry keeps serving this version until the new one is
+    /// published with the usual epoch swap.
+    Refreshing,
+}
+
+impl Freshness {
+    /// Stable lower-case wire form (`fresh` / `stale` / `refreshing`),
+    /// carried verbatim in the HTTP `X-Opaq-Freshness` response header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Freshness::Fresh => "fresh",
+            Freshness::Stale => "stale",
+            Freshness::Refreshing => "refreshing",
+        }
+    }
+
+    /// Parse the wire form produced by [`Freshness::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fresh" => Some(Freshness::Fresh),
+            "stale" => Some(Freshness::Stale),
+            "refreshing" => Some(Freshness::Refreshing),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Freshness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Called (at most once per expiry) when a snapshot finds its entry past
+/// `max_age`; typically submits a re-ingest to a `RefreshPool`.  Returns
+/// whether a refresh really is in flight now: `false` (pool gone, submit
+/// rejected) clears the in-flight flag again, so the entry reports
+/// [`Freshness::Stale`] and a later snapshot may re-try the hook.
+pub type RefreshHook = Box<dyn Fn(&TenantId, &DatasetId) -> bool + Send + Sync>;
+
 /// One complete published version of an entry's sketch.  Cheap to clone
 /// (an `Arc` bump); queries run against the snapshot with no catalog locks.
 #[derive(Debug, Clone)]
@@ -99,6 +163,8 @@ pub struct SketchSnapshot {
     pub version: u64,
     /// The immutable sketch of that version.
     pub sketch: Arc<QuantileSketch<u64>>,
+    /// Whether the version is within its TTL at the time of the snapshot.
+    pub freshness: Freshness,
 }
 
 /// Where an entry's current version lives.
@@ -113,11 +179,23 @@ enum Slot {
     Spilled { version: u64, path: PathBuf },
 }
 
+/// Sentinel for "no TTL configured" in [`Entry::ttl_nanos`].
+const NO_TTL: u64 = u64::MAX;
+
 #[derive(Debug)]
 struct Entry {
     slot: RwLock<Slot>,
     /// Logical LRU timestamp (catalog clock tick of the last access).
     last_touch: AtomicU64,
+    /// Wall-clock nanos (relative to the catalog's epoch instant) of the
+    /// last publish; drives TTL expiry.
+    published_at_nanos: AtomicU64,
+    /// The entry's `max_age` in nanos ([`NO_TTL`] = never expires).
+    ttl_nanos: AtomicU64,
+    /// Whether a background refresh triggered by TTL expiry is in flight.
+    /// Set by the snapshot that fires the refresh hook, cleared by the next
+    /// publish (or by [`SketchCatalog::refresh_aborted`] on failure).
+    refreshing: AtomicBool,
 }
 
 /// Configuration of a [`SketchCatalog`].
@@ -130,6 +208,9 @@ pub struct CatalogConfig {
     /// Directory to spill evicted sketches into (required when a budget is
     /// set; created on catalog construction if missing).
     pub spill_dir: Option<PathBuf>,
+    /// Default `max_age` applied to every new entry (overridable per entry
+    /// with [`SketchCatalog::set_ttl`]); `None` = entries never expire.
+    pub default_max_age: Option<Duration>,
 }
 
 /// Monotonic counters describing what a catalog has done so far.
@@ -146,6 +227,12 @@ pub struct CatalogStats {
     /// Number of eviction attempts whose spill write failed (the victim
     /// stayed resident; the triggering publish/read still succeeded).
     pub spill_failures: u64,
+    /// Number of snapshots served past their TTL (tagged `stale` or
+    /// `refreshing`).
+    pub stale_snapshots: u64,
+    /// Number of background refreshes triggered by TTL expiry (refresh-hook
+    /// invocations).
+    pub ttl_refreshes: u64,
     /// Number of entries currently in the catalog (resident or spilled).
     pub entries: u64,
     /// Sample points currently held in memory.
@@ -159,12 +246,13 @@ struct StatsInner {
     evictions: AtomicU64,
     reloads: AtomicU64,
     spill_failures: AtomicU64,
+    stale_snapshots: AtomicU64,
+    ttl_refreshes: AtomicU64,
 }
 
 /// The versioned multi-tenant sketch catalog.  See the module docs for the
 /// locking discipline; all methods take `&self` and are safe to call from
 /// any number of threads.
-#[derive(Debug)]
 pub struct SketchCatalog {
     /// Nested rather than tuple-keyed so lookups borrow `&str` and the
     /// per-query path performs no allocation.
@@ -173,6 +261,20 @@ pub struct SketchCatalog {
     resident_points: AtomicU64,
     config: CatalogConfig,
     stats: StatsInner,
+    /// Monotonic origin for `published_at_nanos` timestamps.
+    epoch: Instant,
+    /// Invoked when a snapshot finds its entry past `max_age`.
+    refresh_hook: RwLock<Option<RefreshHook>>,
+}
+
+impl fmt::Debug for SketchCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SketchCatalog")
+            .field("entries", &self.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SketchCatalog {
@@ -196,6 +298,8 @@ impl SketchCatalog {
             resident_points: AtomicU64::new(0),
             config,
             stats: StatsInner::default(),
+            epoch: Instant::now(),
+            refresh_hook: RwLock::new(None),
         })
     }
 
@@ -210,6 +314,101 @@ impl SketchCatalog {
 
     fn touch(&self, entry: &Entry) {
         entry.last_touch.store(self.tick(), Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the catalog's epoch instant (saturating at u64).
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Install the hook fired (once per expiry) when a snapshot finds an
+    /// entry past its `max_age`.  The hook runs on the snapshotting thread
+    /// and must be cheap — typically a `RefreshPool::submit_ingest` — and
+    /// must not call back into a catalog method that takes the same entry's
+    /// write lock synchronously.
+    pub fn set_refresh_hook(&self, hook: RefreshHook) {
+        *self.refresh_hook.write() = Some(hook);
+    }
+
+    /// Set (or clear, with `None`) the `max_age` of one entry.  Takes effect
+    /// on the next snapshot; the age is measured from the entry's last
+    /// publish.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownEntry`] if nothing was ever published for the key.
+    pub fn set_ttl(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        max_age: Option<Duration>,
+    ) -> ServeResult<()> {
+        let entry = self
+            .entry(tenant, dataset)
+            .ok_or_else(|| ServeError::UnknownEntry {
+                tenant: tenant.clone(),
+                dataset: dataset.clone(),
+            })?;
+        let nanos = max_age.map_or(NO_TTL, |age| {
+            (age.as_nanos().min(u64::MAX as u128) as u64).min(NO_TTL - 1)
+        });
+        entry.ttl_nanos.store(nanos, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Tell the catalog that a TTL-triggered background refresh gave up
+    /// (build or publish failed), so the next expired snapshot may trigger
+    /// another one instead of reporting `refreshing` forever.
+    pub fn refresh_aborted(&self, tenant: &TenantId, dataset: &DatasetId) {
+        if let Some(entry) = self.entry(tenant, dataset) {
+            entry.refreshing.store(false, Ordering::Release);
+        }
+    }
+
+    /// Classify `entry`'s age and fire the refresh hook on the first expired
+    /// snapshot.  Runs with no slot lock held: the fields involved are all
+    /// atomics, and serving a (possibly just-superseded) tag is harmless.
+    fn classify_freshness(
+        &self,
+        entry: &Entry,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+    ) -> Freshness {
+        let ttl = entry.ttl_nanos.load(Ordering::Relaxed);
+        if ttl == NO_TTL {
+            return Freshness::Fresh;
+        }
+        let age = self
+            .now_nanos()
+            .saturating_sub(entry.published_at_nanos.load(Ordering::Relaxed));
+        if age <= ttl {
+            return Freshness::Fresh;
+        }
+        self.stats.stale_snapshots.fetch_add(1, Ordering::Relaxed);
+        if entry.refreshing.load(Ordering::Acquire) {
+            return Freshness::Refreshing;
+        }
+        let hook = self.refresh_hook.read();
+        let Some(hook) = hook.as_ref() else {
+            return Freshness::Stale;
+        };
+        // Exactly one expired snapshot wins the CAS and routes the entry to
+        // the refresh pipeline; the publish it eventually produces clears
+        // the flag (and resets the publish timestamp) in one step.  A hook
+        // that could not actually start a refresh (pool shut down or gone)
+        // hands the flag back, so the entry degrades to `stale` instead of
+        // claiming `refreshing` forever.
+        if entry
+            .refreshing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            if !hook(tenant, dataset) {
+                entry.refreshing.store(false, Ordering::Release);
+                return Freshness::Stale;
+            }
+            self.stats.ttl_refreshes.fetch_add(1, Ordering::Relaxed);
+        }
+        Freshness::Refreshing
     }
 
     fn entry(&self, tenant: &TenantId, dataset: &DatasetId) -> Option<Arc<Entry>> {
@@ -240,6 +439,13 @@ impl SketchCatalog {
                             sketch: Arc::new(placeholder_sketch()),
                         }),
                         last_touch: AtomicU64::new(0),
+                        published_at_nanos: AtomicU64::new(0),
+                        ttl_nanos: AtomicU64::new(
+                            self.config.default_max_age.map_or(NO_TTL, |age| {
+                                (age.as_nanos().min(u64::MAX as u128) as u64).min(NO_TTL - 1)
+                            }),
+                        ),
+                        refreshing: AtomicBool::new(false),
                     })
                 }),
         )
@@ -306,6 +512,12 @@ impl SketchCatalog {
             }
             version
         };
+        // Publication resets the TTL clock and completes any in-flight
+        // background refresh: the very next snapshot is fresh again.
+        entry
+            .published_at_nanos
+            .store(self.now_nanos(), Ordering::Relaxed);
+        entry.refreshing.store(false, Ordering::Release);
         self.touch(&entry);
         self.stats.publishes.fetch_add(1, Ordering::Relaxed);
         self.enforce_budget(tenant, dataset);
@@ -338,6 +550,7 @@ impl SketchCatalog {
                 dataset: dataset.clone(),
             })?;
         self.touch(&entry);
+        let freshness = self.classify_freshness(&entry, tenant, dataset);
 
         {
             let slot = entry.slot.read();
@@ -354,6 +567,7 @@ impl SketchCatalog {
                 return Ok(SketchSnapshot {
                     version: *version,
                     sketch: Arc::clone(sketch),
+                    freshness,
                 });
             }
         }
@@ -366,6 +580,7 @@ impl SketchCatalog {
                 Slot::Resident { version, sketch } => SketchSnapshot {
                     version: *version,
                     sketch: Arc::clone(sketch),
+                    freshness,
                 },
                 Slot::Spilled { version, path } => {
                     let sketch = Arc::new(QuantileSketch::from_wire(sketch_codec::load(path)?)?);
@@ -377,6 +592,7 @@ impl SketchCatalog {
                     let reloaded = SketchSnapshot {
                         version: *version,
                         sketch: Arc::clone(&sketch),
+                        freshness,
                     };
                     self.resident_points
                         .fetch_add(sketch.len() as u64, Ordering::Relaxed);
@@ -511,6 +727,8 @@ impl SketchCatalog {
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             reloads: self.stats.reloads.load(Ordering::Relaxed),
             spill_failures: self.stats.spill_failures.load(Ordering::Relaxed),
+            stale_snapshots: self.stats.stale_snapshots.load(Ordering::Relaxed),
+            ttl_refreshes: self.stats.ttl_refreshes.load(Ordering::Relaxed),
             entries: self.len() as u64,
             resident_sample_points: self.resident_sample_points(),
         }
@@ -635,6 +853,7 @@ mod tests {
             // Each sketch_of(0..1000) has 100 sample points; allow two.
             budget_sample_points: Some(200),
             spill_dir: Some(dir.clone()),
+            default_max_age: None,
         })
         .unwrap();
 
@@ -671,6 +890,7 @@ mod tests {
         let catalog = SketchCatalog::new(CatalogConfig {
             budget_sample_points: Some(100), // exactly one 100-point sketch
             spill_dir: Some(dir.clone()),
+            default_max_age: None,
         })
         .unwrap();
         let (a, da) = key("a", "data");
@@ -695,6 +915,7 @@ mod tests {
         let catalog = SketchCatalog::new(CatalogConfig {
             budget_sample_points: Some(100),
             spill_dir: Some(dir.clone()),
+            default_max_age: None,
         })
         .unwrap();
         let (a, da) = key("a", "data");
@@ -719,6 +940,7 @@ mod tests {
         let err = SketchCatalog::new(CatalogConfig {
             budget_sample_points: Some(100),
             spill_dir: None,
+            default_max_age: None,
         })
         .unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
@@ -731,6 +953,7 @@ mod tests {
         let catalog = SketchCatalog::new(CatalogConfig {
             budget_sample_points: Some(100),
             spill_dir: Some(dir.clone()),
+            default_max_age: None,
         })
         .unwrap();
         let (a, d) = key("a", "data");
@@ -762,6 +985,155 @@ mod tests {
         let snap = catalog.snapshot(&t, &d).unwrap();
         assert_eq!(*snap.sketch, sketch);
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ttl_expiry_tags_stale_then_refreshing_then_fresh_again() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let (t, d) = key("acme", "clicks");
+        catalog.publish(&t, &d, sketch_of(0..1000)).unwrap();
+        // No TTL: always fresh.
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Fresh
+        );
+
+        catalog
+            .set_ttl(&t, &d, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Fresh
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        // Expired with no refresh hook installed: stale, and it keeps
+        // serving the old complete version (stale-while-refresh).
+        let snap = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(snap.freshness, Freshness::Stale);
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.sketch.total_elements(), 1000);
+        assert!(catalog.stats().stale_snapshots >= 1);
+        assert_eq!(catalog.stats().ttl_refreshes, 0);
+
+        // With a hook, the first expired snapshot routes the entry to the
+        // refresh pipeline exactly once and tags `refreshing` from then on.
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired_in_hook = Arc::clone(&fired);
+        catalog.set_refresh_hook(Box::new(move |tenant, dataset| {
+            assert_eq!(tenant.as_str(), "acme");
+            assert_eq!(dataset.as_str(), "clicks");
+            fired_in_hook.fetch_add(1, Ordering::Relaxed);
+            true
+        }));
+        for _ in 0..5 {
+            assert_eq!(
+                catalog.snapshot(&t, &d).unwrap().freshness,
+                Freshness::Refreshing
+            );
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires once");
+        assert_eq!(catalog.stats().ttl_refreshes, 1);
+
+        // The publish the refresh produces resets clock and tag together.
+        assert_eq!(catalog.publish(&t, &d, sketch_of(0..2000)).unwrap(), 2);
+        let snap = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(snap.freshness, Freshness::Fresh);
+        assert_eq!(snap.version, 2);
+
+        // And once it expires again the cycle restarts (a second hook fire).
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Refreshing
+        );
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn aborted_refresh_reopens_the_trigger() {
+        let catalog = SketchCatalog::unbounded();
+        let (t, d) = key("a", "d");
+        catalog.publish(&t, &d, sketch_of(0..100)).unwrap();
+        catalog.set_ttl(&t, &d, Some(Duration::ZERO)).unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired_in_hook = Arc::clone(&fired);
+        catalog.set_refresh_hook(Box::new(move |_, _| {
+            fired_in_hook.fetch_add(1, Ordering::Relaxed);
+            true
+        }));
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Refreshing
+        );
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+        // A failed build reports back; the next snapshot may re-trigger.
+        catalog.refresh_aborted(&t, &d);
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Refreshing
+        );
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn hook_that_cannot_submit_degrades_to_stale_and_retries() {
+        // A hook whose refresh pool is gone (or whose submit was rejected)
+        // returns false: the entry must report Stale — not Refreshing
+        // forever — and the next expired snapshot must re-try the hook.
+        let catalog = SketchCatalog::unbounded();
+        let (t, d) = key("a", "d");
+        catalog.publish(&t, &d, sketch_of(0..100)).unwrap();
+        catalog.set_ttl(&t, &d, Some(Duration::ZERO)).unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired_in_hook = Arc::clone(&fired);
+        catalog.set_refresh_hook(Box::new(move |_, _| {
+            fired_in_hook.fetch_add(1, Ordering::Relaxed);
+            false // e.g. Weak<RefreshPool> failed to upgrade
+        }));
+        for round in 1..=3u64 {
+            assert_eq!(
+                catalog.snapshot(&t, &d).unwrap().freshness,
+                Freshness::Stale
+            );
+            assert_eq!(fired.load(Ordering::Relaxed), round, "hook re-tries");
+        }
+        // Failed routings are not counted as refreshes.
+        assert_eq!(catalog.stats().ttl_refreshes, 0);
+    }
+
+    #[test]
+    fn default_max_age_applies_to_new_entries() {
+        let catalog = SketchCatalog::new(CatalogConfig {
+            default_max_age: Some(Duration::ZERO),
+            ..CatalogConfig::default()
+        })
+        .unwrap();
+        let (t, d) = key("a", "d");
+        catalog.publish(&t, &d, sketch_of(0..100)).unwrap();
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Stale
+        );
+        // Per-entry override clears it.
+        catalog.set_ttl(&t, &d, None).unwrap();
+        assert_eq!(
+            catalog.snapshot(&t, &d).unwrap().freshness,
+            Freshness::Fresh
+        );
+        // Setting a TTL on an unknown entry is a typed error.
+        assert!(matches!(
+            catalog.set_ttl(&TenantId::from("nope"), &d, None),
+            Err(ServeError::UnknownEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn freshness_wire_form_round_trips() {
+        for f in [Freshness::Fresh, Freshness::Stale, Freshness::Refreshing] {
+            assert_eq!(Freshness::parse(f.as_str()), Some(f));
+            assert_eq!(format!("{f}"), f.as_str());
+        }
+        assert_eq!(Freshness::parse("bogus"), None);
     }
 
     #[test]

@@ -46,7 +46,17 @@
 //! * **Refresh pipeline** ([`refresh`]): a small worker pool that ingests new
 //!   data in the background — via `opaq_parallel::ShardedOpaq` or any
 //!   caller-supplied builder — and publishes the result as the entry's next
-//!   version.  Readers are never blocked by an in-progress build.
+//!   version.  Readers are never blocked by an in-progress build, and
+//!   shutdown closes the queue *before* joining the workers, so every
+//!   accepted refresh drains (publishes or fails) before teardown completes.
+//! * **TTL / staleness** ([`catalog`]): entries may carry a `max_age`
+//!   (per-entry [`SketchCatalog::set_ttl`] or catalog-wide default).  Expired
+//!   entries keep serving their last complete version, tagged
+//!   [`Freshness::Stale`] — or [`Freshness::Refreshing`] once the first
+//!   expired access routed the entry to the installed refresh hook (at most
+//!   one in-flight refresh per entry); the next publish resets both clock
+//!   and tag.  The tag rides on every [`QueryResponse`] and, through
+//!   `opaq-net`, on every HTTP response's `X-Opaq-Freshness` header.
 //! * **Load generator** ([`load`]): replays a mixed read/refresh workload
 //!   across N client threads and M tenants, verifies *every* response
 //!   byte-for-byte against a directly-computed estimate from the version it
@@ -62,10 +72,11 @@ pub mod query;
 pub mod refresh;
 
 pub use catalog::{
-    CatalogConfig, CatalogStats, DatasetId, SketchCatalog, SketchSnapshot, TenantId,
+    CatalogConfig, CatalogStats, DatasetId, Freshness, RefreshHook, SketchCatalog, SketchSnapshot,
+    TenantId,
 };
-pub use load::{run_workload, LoadReport, WorkloadSpec};
-pub use query::{QueryEngine, QueryOutput, QueryRequest, QueryResponse};
+pub use load::{chunk_spec, next_rand, request_for, run_workload, LoadReport, WorkloadSpec};
+pub use query::{execute_on, QueryEngine, QueryOutput, QueryRequest, QueryResponse};
 pub use refresh::RefreshPool;
 
 use opaq_core::OpaqError;

@@ -152,7 +152,9 @@ impl LoadReport {
 }
 
 /// Deterministic per-thread PRNG (splitmix-style), independent of the shims.
-fn next_rand(state: &mut u64) -> u64 {
+/// Public so the HTTP workload harness in `opaq-net` replays the *same*
+/// request stream and data chunks — comparable run for run by construction.
+pub fn next_rand(state: &mut u64) -> u64 {
     *state = state
         .wrapping_mul(6364136223846793005)
         .wrapping_add(1442695040888963407);
@@ -173,7 +175,9 @@ fn tenant_ids(spec: &WorkloadSpec) -> Vec<(TenantId, DatasetId)> {
         .collect()
 }
 
-fn chunk_spec(spec: &WorkloadSpec, tenant: usize, round: u64, n: u64) -> DatasetSpec {
+/// The dataset chunk tenant `tenant` ingests in refresh round `round`
+/// (round 0 is the initial load).  Shared with the HTTP harness.
+pub fn chunk_spec(spec: &WorkloadSpec, tenant: usize, round: u64, n: u64) -> DatasetSpec {
     DatasetSpec {
         n,
         distribution: Distribution::Uniform { domain: 1 << 31 },
@@ -186,7 +190,9 @@ fn chunk_spec(spec: &WorkloadSpec, tenant: usize, round: u64, n: u64) -> Dataset
     }
 }
 
-fn request_for(rng: &mut u64) -> QueryRequest {
+/// The next request in the workload's round-robin mix.  Shared with the
+/// HTTP harness.
+pub fn request_for(rng: &mut u64) -> QueryRequest {
     let phi_of = |r: u64| (r % 10_000) as f64 / 10_000.0;
     match next_rand(rng) % 4 {
         0 => QueryRequest::Quantile {
@@ -251,6 +257,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
     let catalog = Arc::new(SketchCatalog::new(CatalogConfig {
         budget_sample_points: spec.budget_sample_points,
         spill_dir,
+        default_max_age: None,
     })?);
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
 

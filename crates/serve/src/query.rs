@@ -8,7 +8,7 @@
 //! version tag is what lets callers (and the load generator's torn-read
 //! check) verify a response against the exact sketch that produced it.
 
-use crate::catalog::{DatasetId, SketchCatalog, SketchSnapshot, TenantId};
+use crate::catalog::{DatasetId, Freshness, SketchCatalog, SketchSnapshot, TenantId};
 use crate::ServeResult;
 use opaq_core::{QuantileEstimate, QuantileSketch, RankBounds};
 use opaq_metrics::{LatencyHistogram, LatencySnapshot};
@@ -64,6 +64,9 @@ pub struct QueryResponse {
     pub version: u64,
     /// Total elements summarised by that snapshot.
     pub total_elements: u64,
+    /// TTL status of the answering snapshot (`fresh` unless the entry has a
+    /// `max_age` and outlived it; see [`Freshness`]).
+    pub freshness: Freshness,
 }
 
 /// Execute `request` against a sketch directly (no catalog, no metrics).
@@ -139,6 +142,7 @@ impl QueryEngine {
             output: execute_on(&snapshot.sketch, request)?,
             version: snapshot.version,
             total_elements: snapshot.sketch.total_elements(),
+            freshness: snapshot.freshness,
         })
     }
 
@@ -205,6 +209,7 @@ mod tests {
             .unwrap();
         assert_eq!(quantile.version, 1);
         assert_eq!(quantile.total_elements, 10_000);
+        assert_eq!(quantile.freshness, Freshness::Fresh);
         let QueryOutput::Quantile(est) = &quantile.output else {
             panic!("wrong output kind")
         };

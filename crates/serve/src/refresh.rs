@@ -38,12 +38,24 @@ struct Progress {
 
 /// A pool of background refresh workers publishing into one catalog.
 ///
-/// Dropping the pool closes the queue and joins every worker, so queued
-/// refreshes finish (or fail) before the drop returns.
+/// Shutdown discipline ([`RefreshPool::shutdown`], also run by `Drop`):
+/// **close the queue first, then join the workers.**  Closing first means no
+/// new job can be accepted mid-teardown; joining second means every job that
+/// *was* accepted is drained — built and published (or recorded as failed) —
+/// before shutdown returns.  A server tearing down in the order "HTTP
+/// workers, refresh pool, catalog" therefore can never have an in-flight
+/// ingest publish into a catalog whose owner already finished tearing down:
+/// when `shutdown` returns, the pool is quiescent and will never touch the
+/// catalog again.
 pub struct RefreshPool {
     catalog: Arc<SketchCatalog>,
-    tx: Option<channel::Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// `None` once the queue is closed.  Behind a mutex so a concurrent
+    /// `submit` either completes its send before the queue closes (and the
+    /// job is then drained by the joining workers) or observes the closed
+    /// queue and gets a typed [`ServeError::RefreshClosed`] — there is no
+    /// window where a submit is accepted but silently dropped.
+    tx: Mutex<Option<channel::Sender<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     progress: Arc<Progress>,
     failures: Arc<Mutex<Vec<(TenantId, DatasetId, ServeError)>>>,
 }
@@ -51,7 +63,7 @@ pub struct RefreshPool {
 impl std::fmt::Debug for RefreshPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RefreshPool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers.lock().len())
             .field("submitted", &self.submitted())
             .field("published", &self.published())
             .field("failed", &self.failed())
@@ -100,6 +112,10 @@ impl RefreshPool {
                                 progress.published.fetch_add(1, Ordering::Release);
                             }
                             Err(e) => {
+                                // A TTL-triggered refresh that dies must not
+                                // leave its entry claiming `refreshing`
+                                // forever — reopen the trigger.
+                                catalog.refresh_aborted(&job.tenant, &job.dataset);
                                 failures.lock().push((job.tenant, job.dataset, e));
                                 progress.failed.fetch_add(1, Ordering::Release);
                             }
@@ -110,8 +126,8 @@ impl RefreshPool {
             .collect();
         Ok(Self {
             catalog,
-            tx: Some(tx),
-            workers,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
             progress,
             failures,
         })
@@ -133,16 +149,25 @@ impl RefreshPool {
         dataset: &DatasetId,
         build: impl FnOnce() -> ServeResult<QuantileSketch<u64>> + Send + 'static,
     ) -> ServeResult<()> {
-        let Some(tx) = &self.tx else {
+        // Hold the sender lock across the send: either the whole submission
+        // lands before a concurrent `shutdown` takes the sender (and the
+        // drain-then-join discipline guarantees it completes), or it fails
+        // with the typed error.  An accepted submit is never half-dropped.
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else {
             return Err(ServeError::RefreshClosed);
         };
-        self.progress.submitted.fetch_add(1, Ordering::Release);
         tx.send(Job {
             tenant: tenant.clone(),
             dataset: dataset.clone(),
             build: Box::new(build),
         })
-        .map_err(|_| ServeError::RefreshClosed)
+        .map_err(|_| ServeError::RefreshClosed)?;
+        // Count only after the send succeeded, so `submitted` is exactly
+        // the number of jobs the queue accepted and `wait_idle` can never
+        // wait on a job that was rejected.
+        self.progress.submitted.fetch_add(1, Ordering::Release);
+        Ok(())
     }
 
     /// Queue a full re-ingest of `store` through the sharded multi-threaded
@@ -183,6 +208,37 @@ impl RefreshPool {
         std::mem::take(&mut self.failures.lock())
     }
 
+    /// Shut the pool down: close the queue, then join every worker.
+    ///
+    /// Safe to call from any thread, any number of times (later calls are
+    /// no-ops), and concurrently with `submit` — a submit either completes
+    /// before the queue closes (its job is then drained before this method
+    /// returns) or fails with [`ServeError::RefreshClosed`].  After
+    /// `shutdown` returns the pool is quiescent: every accepted job has
+    /// been published or recorded as failed, and no worker will ever touch
+    /// the catalog again.
+    pub fn shutdown(&self) {
+        // 1. Close the queue.  Taking the sender out under the lock
+        //    linearizes against `submit`: no job can be accepted after this
+        //    point.
+        let tx = self.tx.lock().take();
+        drop(tx);
+        // 2. Join the workers.  The channel reports disconnection only
+        //    after it is both closed *and* drained, so every worker first
+        //    finishes the jobs that were accepted, then exits.  Taking the
+        //    handles out under their own lock makes concurrent shutdowns
+        //    join disjoint (possibly empty) sets instead of racing.
+        let workers: Vec<_> = self.workers.lock().drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Whether [`Self::shutdown`] has closed the queue.
+    pub fn is_shut_down(&self) -> bool {
+        self.tx.lock().is_none()
+    }
+
     /// Block until every submitted refresh has been published or failed, or
     /// `timeout` elapses; returns whether the pool went idle in time.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
@@ -202,10 +258,7 @@ impl RefreshPool {
 
 impl Drop for RefreshPool {
     fn drop(&mut self) {
-        self.tx = None; // close the queue; workers drain and exit
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -314,5 +367,75 @@ mod tests {
         .unwrap();
         drop(pool); // joins workers; the queued job completes first
         assert!(catalog.contains(&t, &d));
+    }
+
+    #[test]
+    fn explicit_shutdown_drains_then_rejects() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = RefreshPool::new(Arc::clone(&catalog), 2).unwrap();
+        let (t, d) = ids();
+        let store = Arc::new(MemRunStore::new((0u64..5_000).collect(), 1000));
+        for _ in 0..4 {
+            pool.submit_ingest(&t, &d, Arc::clone(&store), config(), 1)
+                .unwrap();
+        }
+        assert!(!pool.is_shut_down());
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        // Every accepted job drained before shutdown returned.
+        assert_eq!(pool.published() + pool.failed(), pool.submitted());
+        assert_eq!(catalog.snapshot(&t, &d).unwrap().version, 4);
+        // Closed queue rejects with the typed error; shutdown is idempotent.
+        assert!(matches!(
+            pool.submit_ingest(&t, &d, store, config(), 1),
+            Err(ServeError::RefreshClosed)
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ttl_hook_routes_expired_entries_through_the_pool() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = Arc::new(RefreshPool::new(Arc::clone(&catalog), 1).unwrap());
+        let (t, d) = ids();
+        let store = Arc::new(MemRunStore::new((0u64..10_000).collect(), 1000));
+        pool.submit_ingest(&t, &d, Arc::clone(&store), config(), 1)
+            .unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        catalog.set_ttl(&t, &d, Some(Duration::ZERO)).unwrap();
+
+        // Weak hook: no Arc cycle between catalog and pool, and a hook that
+        // outlives the pool degrades to `stale` instead of dangling.
+        let weak = Arc::downgrade(&pool);
+        let hook_store = Arc::clone(&store);
+        catalog.set_refresh_hook(Box::new(move |tenant, dataset| {
+            let Some(pool) = weak.upgrade() else {
+                return false;
+            };
+            pool.submit_ingest(
+                tenant,
+                dataset,
+                Arc::clone(&hook_store),
+                OpaqConfig::builder()
+                    .run_length(1000)
+                    .sample_size(100)
+                    .build()
+                    .unwrap(),
+                1,
+            )
+            .is_ok()
+        }));
+
+        // Expired snapshot triggers the background re-ingest; once it
+        // publishes, the version has bumped and the entry is fresh again
+        // (TTL zero => immediately stale again on the *next* read, so check
+        // the version bump rather than a fresh tag).
+        let before = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(before.freshness, crate::Freshness::Refreshing);
+        assert_eq!(before.version, 1);
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert_eq!(pool.published(), 2);
+        let after = catalog.snapshot(&t, &d).unwrap();
+        assert_eq!(after.version, 2);
     }
 }

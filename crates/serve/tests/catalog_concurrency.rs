@@ -61,6 +61,7 @@ fn hammer(tenants: u64, versions: u64, readers: usize, budget: Option<u64>) {
             SketchCatalog::new(CatalogConfig {
                 budget_sample_points: Some(points),
                 spill_dir: Some(dir),
+                default_max_age: None,
             })
             .unwrap()
         }

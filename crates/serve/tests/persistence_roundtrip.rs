@@ -99,6 +99,7 @@ fn catalog_spill_reload_preserves_estimates() {
     let catalog = SketchCatalog::new(CatalogConfig {
         budget_sample_points: Some(1), // evict everything but the hot entry
         spill_dir: Some(dir.clone()),
+        default_max_age: None,
     })
     .unwrap();
 

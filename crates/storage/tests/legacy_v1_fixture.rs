@@ -1,0 +1,150 @@
+//! Pin the legacy (version-1, checksum-less) sketch file format with a
+//! checked-in binary fixture.
+//!
+//! The fixture at `tests/fixtures/legacy_v1.sketch` was written by the
+//! original v1 encoder: `"OPAQSKT" '1'` followed by the raw body
+//! (`total_elements=30, runs=3, max_gap=10, min=5, max=900`, three
+//! `(value, gap)` samples).  These tests assert that
+//!
+//! 1. the bytes decode exactly (field for field) forever — old spill and
+//!    `--out` files keep loading across format bumps;
+//! 2. a decode → re-encode round trip upgrades to the current (v2,
+//!    checksummed) format and survives its own decode;
+//! 3. truncation at *every* field boundary of the v1 layout fails with the
+//!    typed `Corrupt` error rather than decoding garbage, and a checksum
+//!    flip at every field boundary of the upgraded v2 bytes is caught.
+
+use opaq_storage::sketch_codec::{self, SketchWire, FORMAT_VERSION, LEGACY_VERSION, MAGIC};
+use opaq_storage::StorageError;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/legacy_v1.sketch")
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(fixture_path()).expect("fixture file is checked in")
+}
+
+fn expected() -> SketchWire<u64> {
+    SketchWire {
+        total_elements: 30,
+        runs: 3,
+        max_gap: 10,
+        dataset_min: 5,
+        dataset_max: 900,
+        samples: vec![(5, 10), (450, 10), (900, 10)],
+    }
+}
+
+/// v1 layout field boundaries (byte offsets into the file).
+fn v1_field_boundaries() -> Vec<usize> {
+    let mut offsets = vec![
+        0,  // magic
+        7,  // version digit
+        8,  // total_elements
+        16, // runs
+        24, // max_gap
+        32, // dataset_min
+        40, // dataset_max
+        48, // sample count
+        56, // first sample
+    ];
+    // Every (value, gap) pair and its halves.
+    for sample in 0..3usize {
+        offsets.push(56 + sample * 16 + 8);
+        offsets.push(56 + sample * 16 + 16);
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[test]
+fn fixture_decodes_byte_exactly() {
+    let bytes = fixture_bytes();
+    assert_eq!(bytes.len(), 104, "fixture layout drifted");
+    assert_eq!(&bytes[..7], MAGIC);
+    assert_eq!(bytes[7], LEGACY_VERSION);
+    let wire = sketch_codec::from_bytes::<u64>(&bytes).unwrap();
+    assert_eq!(wire, expected());
+    // Loading through the file API gives the identical value.
+    assert_eq!(sketch_codec::load::<u64>(fixture_path()).unwrap(), wire);
+}
+
+#[test]
+fn fixture_reencodes_as_v2_and_round_trips() {
+    let wire = sketch_codec::from_bytes::<u64>(&fixture_bytes()).unwrap();
+    let v2 = sketch_codec::to_bytes(&wire);
+    assert_eq!(v2[7], FORMAT_VERSION, "re-encode must upgrade the version");
+    assert_eq!(
+        v2.len(),
+        fixture_bytes().len() + 8,
+        "v2 = v1 + the 8-byte checksum"
+    );
+    let back = sketch_codec::from_bytes::<u64>(&v2).unwrap();
+    assert_eq!(back, wire);
+    // And the body bytes after (magic, version, checksum) are identical to
+    // the v1 body: the upgrade only prepends integrity, never rewrites data.
+    assert_eq!(&v2[16..], &fixture_bytes()[8..]);
+}
+
+#[test]
+fn truncation_at_every_v1_field_boundary_is_a_typed_error() {
+    let bytes = fixture_bytes();
+    for &cut in &v1_field_boundaries() {
+        if cut == bytes.len() {
+            continue;
+        }
+        let err = sketch_codec::from_bytes::<u64>(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt(_)),
+            "cut at {cut}: expected Corrupt, got {err}"
+        );
+    }
+    // One byte short of complete, and one byte of trailing garbage.
+    assert!(sketch_codec::from_bytes::<u64>(&bytes[..bytes.len() - 1]).is_err());
+    let mut padded = bytes.clone();
+    padded.push(0);
+    let err = sketch_codec::from_bytes::<u64>(&padded).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn checksum_flip_at_every_field_boundary_of_the_upgraded_file_is_caught() {
+    let wire = sketch_codec::from_bytes::<u64>(&fixture_bytes()).unwrap();
+    let v2 = sketch_codec::to_bytes(&wire);
+    // v2 boundaries = v1 boundaries shifted by the 8-byte checksum, plus the
+    // checksum field itself.
+    let mut boundaries = vec![8usize]; // checksum start
+    boundaries.extend(
+        v1_field_boundaries()
+            .into_iter()
+            .filter(|&b| b >= 8)
+            .map(|b| b + 8),
+    );
+    for &boundary in &boundaries {
+        if boundary >= v2.len() {
+            continue;
+        }
+        let mut corrupted = v2.clone();
+        corrupted[boundary] ^= 0x01;
+        let err = sketch_codec::from_bytes::<u64>(&corrupted).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt(_)),
+            "flip at {boundary}: expected Corrupt, got {err}"
+        );
+    }
+}
+
+#[test]
+fn legacy_fixture_loads_into_a_servable_sketch() {
+    // The whole point of keeping v1 readable: a pre-upgrade file still
+    // becomes a working sketch (semantic validation included).
+    let wire = sketch_codec::load::<u64>(fixture_path()).unwrap();
+    let sketch = opaq_core::QuantileSketch::from_wire(wire).unwrap();
+    assert_eq!(sketch.total_elements(), 30);
+    let est = sketch.estimate(0.5).unwrap();
+    assert!(est.lower <= est.upper);
+    assert!(est.lower >= 5 && est.upper <= 900);
+}

@@ -19,6 +19,9 @@
 //! * [`serve`] ([`opaq_serve`]) — concurrent multi-tenant sketch serving:
 //!   the versioned [`SketchCatalog`], typed [`QueryEngine`], background
 //!   refresh and the load-generator harness.
+//! * [`net`] ([`opaq_net`]) — the HTTP/1.1 front-end over the serving
+//!   layer: dependency-free server/client, versioned + freshness-tagged
+//!   responses, `/metrics` exposition and the HTTP workload harness.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -41,6 +44,7 @@ pub use opaq_baselines as baselines;
 pub use opaq_core as core;
 pub use opaq_datagen as datagen;
 pub use opaq_metrics as metrics;
+pub use opaq_net as net;
 pub use opaq_parallel as parallel;
 pub use opaq_select as select;
 pub use opaq_serve as serve;

@@ -22,6 +22,10 @@ pub mod channel {
     /// Error returned by [`Sender::send`] when the receiver disconnected.
     pub use std::sync::mpsc::SendError;
 
+    /// Error returned by [`Sender::try_send`]: the channel was full (bounded
+    /// channels only) or the receiver disconnected.
+    pub use std::sync::mpsc::TrySendError;
+
     /// The sending half of a channel (cloneable).  Wraps either an
     /// unbounded or a bounded (blocking-on-full) std sender so both
     /// constructors hand out the same type, matching crossbeam's API.
@@ -52,6 +56,21 @@ pub mod channel {
             match &self.0 {
                 SenderKind::Unbounded(tx) => tx.send(value),
                 SenderKind::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Send `value` without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] if a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] if the receiver is gone (both give
+        /// the value back).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderKind::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                SenderKind::Bounded(tx) => tx.try_send(value),
             }
         }
     }
