@@ -46,6 +46,14 @@ fn replay_and_verify(label: &str, spec: &HttpWorkloadSpec) -> u64 {
     );
     assert_eq!(report.http_errors, 0, "{label}: HTTP error status observed");
     assert_eq!(report.verified, report.ops);
+    assert_eq!(
+        report.plan_verified, report.plan_ops,
+        "{label}: a /v1/query plan failed its offline byte replay"
+    );
+    assert!(
+        report.plan_ops > 0,
+        "{label}: the workload must exercise the plan route"
+    );
     assert!(
         report.refreshes_published > 0,
         "{label}: refreshes must land mid-workload"

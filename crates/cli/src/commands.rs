@@ -8,10 +8,15 @@ use crate::{persist, CliError, CliResult};
 use opaq_core::{exact_quantile, IncrementalOpaq, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
 use opaq_metrics::TextTable;
-use opaq_net::{HttpServer, HttpWorkloadSpec, ServerConfig};
+use opaq_net::json::write_escaped;
+use opaq_net::{HttpClient, HttpServer, HttpWorkloadSpec, Json, ServerConfig};
 use opaq_parallel::ShardedOpaq;
+use opaq_query::QueryPlan;
 use opaq_select::SelectionStrategy;
-use opaq_serve::{DatasetId, QueryEngine, RefreshPool, SketchCatalog, TenantId, WorkloadSpec};
+use opaq_serve::{
+    execute_on, DatasetId, QueryEngine, QueryOutput, QueryRequest, RefreshPool, SketchCatalog,
+    TenantId, WorkloadSpec,
+};
 use opaq_storage::{FileRunStore, FileRunStoreBuilder, RunStore};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -35,6 +40,12 @@ COMMANDS:
              and strategy (default strategy: block, the branchless kernel)
   query      --sketch SKETCH [--q Q] [--phi P1,P2,...]
              estimate quantiles from a saved sketch (no data access)
+             --expr 'fetch T/D | coalesce | quantile 0.5' --addr HOST:PORT
+             compile a pipeline expression (see opaq-query: fetch by
+             tenant/dataset glob, coalesce, then quantile/rank/profile) and
+             run it against a serving front-end's POST /v1/query; prints
+             the per-source (tenant, dataset, version, freshness)
+             provenance alongside the estimates
   rank       --sketch SKETCH --value V
              bound the rank of an arbitrary value from a saved sketch
   histogram  --sketch SKETCH [--buckets B]
@@ -66,6 +77,7 @@ COMMANDS:
                GET  /v1/{tenant}/{dataset}/rank?key=K
                GET  /v1/{tenant}/{dataset}/profile?count=B
                POST /v1/{tenant}/{dataset}/quantile_batch  {\"phis\":[...]}
+               POST /v1/query  {\"plan\":\"fetch t-*/d | coalesce | ...\"}
                GET  /healthz | GET /metrics
              every response carries x-opaq-version and x-opaq-freshness.
              --ttl-ms T ages entries: expired tenants serve stale until a
@@ -263,7 +275,7 @@ pub fn sketch(args: &Args) -> CliResult<String> {
 fn render_quantiles(sketch: &opaq_core::QuantileSketch<u64>, q: u64) -> CliResult<String> {
     let mut table = TextTable::new(format!("{q}-quantile estimates (deterministic bounds)"))
         .header(["phi", "lower", "upper", "max slack (elements)"]);
-    for est in sketch.estimate_q_quantiles(q)? {
+    for est in profile_of(sketch, q)? {
         table.row([
             format!("{:.3}", est.phi),
             est.lower.to_string(),
@@ -274,16 +286,65 @@ fn render_quantiles(sketch: &opaq_core::QuantileSketch<u64>, q: u64) -> CliResul
     Ok(table.render())
 }
 
-/// `opaq query`: estimate quantiles from a saved sketch.
+/// Run one typed request against a local sketch — the same
+/// `QueryRequest`/`execute_on` model the HTTP routes and plan executor use,
+/// so local and served answers can never drift.
+fn execute_local(
+    sketch: &opaq_core::QuantileSketch<u64>,
+    request: &QueryRequest,
+) -> CliResult<QueryOutput> {
+    Ok(execute_on(sketch, request)?)
+}
+
+fn profile_of(
+    sketch: &opaq_core::QuantileSketch<u64>,
+    count: u64,
+) -> CliResult<Vec<opaq_core::QuantileEstimate<u64>>> {
+    match execute_local(sketch, &QueryRequest::Profile { count })? {
+        QueryOutput::Profile(estimates) => Ok(estimates),
+        other => Err(CliError::Usage(format!(
+            "profile request answered with a non-profile output {other:?}"
+        ))),
+    }
+}
+
+/// `opaq query`: estimate quantiles from a saved sketch, or run a pipeline
+/// expression against a remote serving front-end.
 pub fn query(args: &Args) -> CliResult<String> {
-    args.validate("query", &["sketch", "q", "phi"], &[])?;
+    args.validate("query", &["sketch", "q", "phi", "expr", "addr"], &[])?;
+    match (args.get("expr"), args.get("sketch")) {
+        (Some(expr), None) => return query_remote(args, expr),
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--sketch (local) and --expr (remote pipeline) are mutually exclusive".to_string(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "query needs either --sketch SKETCH (local) or --expr 'PLAN' --addr HOST:PORT \
+                 (remote pipeline)"
+                    .to_string(),
+            ))
+        }
+        (None, Some(_)) => {}
+    }
+    if args.get("addr").is_some() {
+        return Err(CliError::Usage(
+            "--addr only applies to --expr (remote pipeline) queries".to_string(),
+        ));
+    }
     let sketch = persist::load(args.require("sketch")?)?;
     if let Some(phis) = args.f64_list("phi")? {
+        let output = execute_local(&sketch, &QueryRequest::QuantileBatch { phis })?;
+        let QueryOutput::QuantileBatch(estimates) = output else {
+            return Err(CliError::Usage(format!(
+                "batch request answered with a non-batch output {output:?}"
+            )));
+        };
         let mut table = TextTable::new("quantile estimates").header(["phi", "lower", "upper"]);
-        for phi in phis {
-            let est = sketch.estimate(phi)?;
+        for est in estimates {
             table.row([
-                format!("{phi:.4}"),
+                format!("{:.4}", est.phi),
                 est.lower.to_string(),
                 est.upper.to_string(),
             ]);
@@ -295,12 +356,136 @@ pub fn query(args: &Args) -> CliResult<String> {
     }
 }
 
+/// `opaq query --expr`: POST the pipeline to a front-end's `/v1/query` and
+/// render the provenance-tagged answer.
+fn query_remote(args: &Args, expr: &str) -> CliResult<String> {
+    let Some(addr) = args.get("addr") else {
+        return Err(CliError::Usage(
+            "--expr needs --addr HOST:PORT (the serving front-end to query)".to_string(),
+        ));
+    };
+    // Compile locally first: same grammar, same typed stage errors — a bad
+    // plan fails here without a round trip.
+    QueryPlan::parse(expr).map_err(|e| CliError::Usage(format!("invalid plan: {e}")))?;
+    let mut body = String::from("{\"plan\":");
+    write_escaped(&mut body, expr);
+    body.push('}');
+    let mut client = HttpClient::new(addr.to_string());
+    let response = client
+        .post_json("/v1/query", &body)
+        .map_err(|e| CliError::Usage(format!("could not query {addr}: {e}")))?;
+    let text = response
+        .body_str()
+        .map_err(|e| CliError::Usage(format!("non-UTF-8 response body: {e}")))?;
+    if response.status != 200 {
+        return Err(CliError::Usage(format!(
+            "{addr} answered HTTP {}: {text}",
+            response.status
+        )));
+    }
+    let parsed =
+        Json::parse(text).map_err(|e| CliError::Usage(format!("malformed response: {e}")))?;
+    render_plan_answer(&parsed, text)
+}
+
+/// Text rendering of a `/v1/query` response: the source provenance table,
+/// then the estimates in the same shape the local commands print.
+fn render_plan_answer(parsed: &Json, raw: &str) -> CliResult<String> {
+    let malformed = || CliError::Usage(format!("malformed plan response: {raw}"));
+    let sources = parsed
+        .get("sources")
+        .and_then(Json::as_array)
+        .ok_or_else(malformed)?;
+    let total = parsed
+        .get("total_elements")
+        .and_then(Json::as_u64)
+        .ok_or_else(malformed)?;
+    let mut table = TextTable::new(format!(
+        "plan sources ({} entries, {total} elements fused)",
+        sources.len()
+    ))
+    .header(["tenant", "dataset", "version", "freshness"]);
+    for source in sources {
+        table.row([
+            source
+                .get("tenant")
+                .and_then(Json::as_str)
+                .ok_or_else(malformed)?
+                .to_string(),
+            source
+                .get("dataset")
+                .and_then(Json::as_str)
+                .ok_or_else(malformed)?
+                .to_string(),
+            source
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?
+                .to_string(),
+            source
+                .get("freshness")
+                .and_then(Json::as_str)
+                .ok_or_else(malformed)?
+                .to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    let estimate_row = |table: &mut TextTable, est: &Json| -> CliResult<()> {
+        table.row([
+            format!(
+                "{:.4}",
+                est.get("phi")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(malformed)?
+            ),
+            est.get("lower")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?
+                .to_string(),
+            est.get("upper")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?
+                .to_string(),
+        ]);
+        Ok(())
+    };
+    if let Some(est) = parsed.get("estimate") {
+        let mut table = TextTable::new("quantile estimate").header(["phi", "lower", "upper"]);
+        estimate_row(&mut table, est)?;
+        out.push_str(&table.render());
+    } else if let Some(estimates) = parsed.get("estimates").and_then(Json::as_array) {
+        let mut table = TextTable::new("quantile estimates").header(["phi", "lower", "upper"]);
+        for est in estimates {
+            estimate_row(&mut table, est)?;
+        }
+        out.push_str(&table.render());
+    } else if let Some(rank) = parsed.get("rank") {
+        out.push_str(&format!(
+            "rank: between {} and {} of {total} elements\n",
+            rank.get("min_rank")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?,
+            rank.get("max_rank")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?,
+        ));
+    } else {
+        return Err(malformed());
+    }
+    Ok(out)
+}
+
 /// `opaq rank`: bound the rank of a value from a saved sketch.
 pub fn rank(args: &Args) -> CliResult<String> {
     args.validate("rank", &["sketch", "value"], &[])?;
     let sketch = persist::load(args.require("sketch")?)?;
     let value = args.require_u64("value")?;
-    let bounds = sketch.rank_bounds(value);
+    let output = execute_local(&sketch, &QueryRequest::Rank { key: value })?;
+    let QueryOutput::Rank(bounds) = output else {
+        return Err(CliError::Usage(format!(
+            "rank request answered with a non-rank output {output:?}"
+        )));
+    };
     let (phi_lo, phi_hi) = bounds.phi_bounds(sketch.total_elements());
     Ok(format!(
         "rank of {value}: between {} and {} of {} elements (phi in [{:.4}, {:.4}])\n",
@@ -326,7 +511,7 @@ pub fn histogram(args: &Args) -> CliResult<String> {
         "approx depth",
     ]);
     let depth = sketch.total_elements() / buckets;
-    let estimates = sketch.estimate_q_quantiles(buckets)?;
+    let estimates = profile_of(&sketch, buckets)?;
     for (i, est) in estimates.iter().enumerate() {
         table.row([
             (i + 1).to_string(),
@@ -456,14 +641,17 @@ fn serve_bench_http(args: &Args, spec: WorkloadSpec) -> CliResult<String> {
         .map_err(|e| CliError::Usage(format!("http workload failed: {e}")))?;
     let mut out = format!(
         "served {} HTTP requests over {} tenants in {:?} ({:.0} ops/s); {} refreshes \
-         published mid-workload, {} responses verified byte-for-byte, {} torn reads, \
-         {} http errors; ttl probe: {} non-fresh responses, {} expiry-refresh cycles observed\n",
+         published mid-workload, {} responses verified byte-for-byte, {} /v1/query plans \
+         replayed offline and verified (of {}), {} torn reads, {} http errors; \
+         ttl probe: {} non-fresh responses, {} expiry-refresh cycles observed\n",
         report.ops,
         http_spec.spec.tenants,
         report.wall,
         report.throughput(),
         report.refreshes_published,
         report.verified,
+        report.plan_verified,
+        report.plan_ops,
         report.torn_reads,
         report.http_errors,
         report.non_fresh_served,
@@ -474,6 +662,13 @@ fn serve_bench_http(args: &Args, spec: WorkloadSpec) -> CliResult<String> {
         return Err(CliError::Usage(format!(
             "{} torn reads / {} http errors observed over the wire\n{out}",
             report.torn_reads, report.http_errors
+        )));
+    }
+    if report.plan_verified < report.plan_ops {
+        return Err(CliError::Usage(format!(
+            "{} of {} /v1/query plans failed their offline byte replay\n{out}",
+            report.plan_ops - report.plan_verified,
+            report.plan_ops
         )));
     }
     if http_spec.ttl.is_some() && report.ttl_refreshes_observed == 0 {
@@ -592,15 +787,13 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         }));
     }
 
-    let mut server = HttpServer::start(
-        Arc::clone(&engine),
-        ServerConfig {
-            addr,
-            workers: workers as usize,
-            ..ServerConfig::default()
-        },
-    )
-    .map_err(|e| CliError::Usage(format!("could not start the HTTP server: {e}")))?;
+    let server_config = ServerConfig::builder()
+        .addr(addr)
+        .workers(workers as usize)
+        .build()
+        .map_err(|e| CliError::Usage(format!("invalid server configuration: {e}")))?;
+    let mut server = HttpServer::start(Arc::clone(&engine), server_config)
+        .map_err(|e| CliError::Usage(format!("could not start the HTTP server: {e}")))?;
     let bound = server.local_addr();
 
     println!(
@@ -996,6 +1189,126 @@ mod tests {
         assert!(out.contains("0 http errors"), "{out}");
         assert!(out.contains("expiry-refresh cycles observed"), "{out}");
         assert!(out.contains("verified byte-for-byte"), "{out}");
+    }
+
+    #[test]
+    fn query_modes_are_mutually_exclusive_and_validated() {
+        // Neither mode selected.
+        let err = run("query", &Args::default()).unwrap_err();
+        assert!(err.to_string().contains("--sketch"), "{err}");
+        assert!(err.to_string().contains("--expr"), "{err}");
+        // Both modes at once.
+        let err = run(
+            "query",
+            &args(&["--sketch", "x", "--expr", "fetch a/b | quantile 0.5"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // Remote mode without a target.
+        let err = run("query", &args(&["--expr", "fetch a/b | quantile 0.5"])).unwrap_err();
+        assert!(err.to_string().contains("--addr"), "{err}");
+        // --addr is remote-only.
+        let err = run("query", &args(&["--sketch", "x", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.to_string().contains("--expr"), "{err}");
+        // A bad plan fails at local compile time, before any socket I/O
+        // (127.0.0.1:1 would refuse the connection if we got that far).
+        let err = run(
+            "query",
+            &args(&["--expr", "fetch a/b | juggle", "--addr", "127.0.0.1:1"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid plan"), "{err}");
+        assert!(err.to_string().contains("stage"), "{err}");
+    }
+
+    #[test]
+    fn query_expr_runs_a_pipeline_against_a_live_server() {
+        use std::io::BufReader;
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let control_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let control_addr = control_listener.local_addr().unwrap();
+        let control_client = std::net::TcpStream::connect(control_addr).unwrap();
+        let (control_server, _) = control_listener.accept().unwrap();
+
+        let serve_args = args(&[
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--tenants",
+            "2",
+            "--keys-per-tenant",
+            "20000",
+            "--run-length",
+            "2000",
+            "--sample-size",
+            "200",
+        ]);
+        let handle = std::thread::spawn(move || {
+            super::serve_with_control(&serve_args, BufReader::new(control_server))
+        });
+        let addr = format!("127.0.0.1:{port}");
+        let mut client = opaq_net::HttpClient::new(addr.clone());
+        let mut healthy = false;
+        for _ in 0..100 {
+            if client.get("/healthz").map(|r| r.status).ok() == Some(200) {
+                healthy = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(healthy, "server never came up on port {port}");
+
+        // A coalescing pipeline over both tenants, through the public CLI.
+        let out = run(
+            "query",
+            &args(&[
+                "--expr",
+                "fetch tenant-*/events | coalesce | quantile 0.25,0.75",
+                "--addr",
+                &addr,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("plan sources (2 entries"), "{out}");
+        assert!(out.contains("tenant-0"), "{out}");
+        assert!(out.contains("tenant-1"), "{out}");
+        assert!(out.contains("fresh"), "{out}");
+        assert!(out.contains("0.2500"), "{out}");
+        assert!(out.contains("0.7500"), "{out}");
+
+        // A rank pipeline renders bounds instead of a table of estimates.
+        let out = run(
+            "query",
+            &args(&[
+                "--expr",
+                "fetch tenant-0/events | rank 1000000",
+                "--addr",
+                &addr,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("plan sources (1 entries"), "{out}");
+        assert!(out.contains("rank: between"), "{out}");
+
+        // A server-side plan failure surfaces the typed error body.
+        let err = run(
+            "query",
+            &args(&[
+                "--expr",
+                "fetch ghost-*/events | coalesce | quantile 0.5",
+                "--addr",
+                &addr,
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("HTTP 404"), "{err}");
+        assert!(err.to_string().contains("not_found"), "{err}");
+
+        drop(control_client);
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("shutdown complete"), "{out}");
     }
 
     #[test]

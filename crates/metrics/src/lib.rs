@@ -29,6 +29,7 @@ pub mod error_rates;
 pub mod ground_truth;
 pub mod latency;
 pub mod shard;
+pub mod stage;
 pub mod table;
 pub mod timing;
 
@@ -36,5 +37,6 @@ pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, Rela
 pub use ground_truth::GroundTruth;
 pub use latency::{render_latency_table, LatencyHistogram, LatencySnapshot};
 pub use shard::{render_shard_table, ShardStats};
+pub use stage::{PlanStage, StageLatency};
 pub use table::{fmt2, TextTable};
 pub use timing::{PhaseBreakdown, PhaseTimer};

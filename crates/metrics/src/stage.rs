@@ -1,0 +1,141 @@
+//! Per-stage latency attribution for executed query plans.
+//!
+//! A plan in `opaq-query` runs as `fetch → [merge] → extract`.  Each stage
+//! has a very different cost profile — fetch may reload a spilled sketch
+//! from disk, merge is `O(total sample points)`, extract is a handful of
+//! binary searches — so a single end-to-end histogram hides exactly the
+//! information an operator needs when plan latency regresses.
+//! [`StageLatency`] keeps one lock-free [`LatencyHistogram`] per stage;
+//! recording is a few relaxed atomics, safe to share behind an `Arc`
+//! across all serving threads.
+
+use crate::latency::{LatencyHistogram, LatencySnapshot};
+use std::time::Duration;
+
+/// One stage of an executed query plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStage {
+    /// Snapshot resolution against the catalog (including spill reloads).
+    Fetch,
+    /// The deterministic sketch merge tree (only recorded when a plan
+    /// actually merges two or more sketches).
+    Merge,
+    /// Quantile/rank/profile estimation on the fused sketch.
+    Extract,
+}
+
+impl PlanStage {
+    /// Every stage, in execution order.
+    pub const ALL: [PlanStage; 3] = [PlanStage::Fetch, PlanStage::Merge, PlanStage::Extract];
+
+    /// Stable lower-case label (`fetch` / `merge` / `extract`), used as the
+    /// `stage` label of the `/metrics` exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanStage::Fetch => "fetch",
+            PlanStage::Merge => "merge",
+            PlanStage::Extract => "extract",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lock-free per-stage latency histograms for plan execution.
+#[derive(Debug, Default)]
+pub struct StageLatency {
+    fetch: LatencyHistogram,
+    merge: LatencyHistogram,
+    extract: LatencyHistogram,
+}
+
+impl StageLatency {
+    /// Create empty histograms for all stages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one stage execution.
+    pub fn record(&self, stage: PlanStage, elapsed: Duration) {
+        self.histogram(stage).record(elapsed);
+    }
+
+    /// The histogram of one stage.
+    pub fn histogram(&self, stage: PlanStage) -> &LatencyHistogram {
+        match stage {
+            PlanStage::Fetch => &self.fetch,
+            PlanStage::Merge => &self.merge,
+            PlanStage::Extract => &self.extract,
+        }
+    }
+
+    /// Snapshots of every stage in execution order (stages that never ran
+    /// report `count == 0`), for deterministic metrics rendering.
+    pub fn snapshot(&self) -> Vec<(PlanStage, LatencySnapshot)> {
+        PlanStage::ALL
+            .iter()
+            .map(|&stage| (stage, self.histogram(stage).snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_wire_forms() {
+        assert_eq!(PlanStage::Fetch.as_str(), "fetch");
+        assert_eq!(PlanStage::Merge.as_str(), "merge");
+        assert_eq!(PlanStage::Extract.as_str(), "extract");
+        assert_eq!(format!("{}", PlanStage::Merge), "merge");
+    }
+
+    #[test]
+    fn stages_record_independently() {
+        let stages = StageLatency::new();
+        stages.record(PlanStage::Fetch, Duration::from_micros(10));
+        stages.record(PlanStage::Fetch, Duration::from_micros(20));
+        stages.record(PlanStage::Extract, Duration::from_micros(5));
+        assert_eq!(stages.histogram(PlanStage::Fetch).count(), 2);
+        assert_eq!(stages.histogram(PlanStage::Merge).count(), 0);
+        assert_eq!(stages.histogram(PlanStage::Extract).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_covers_all_stages_in_order() {
+        let stages = StageLatency::new();
+        stages.record(PlanStage::Merge, Duration::from_micros(3));
+        let snap = stages.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, PlanStage::Fetch);
+        assert_eq!(snap[1].0, PlanStage::Merge);
+        assert_eq!(snap[2].0, PlanStage::Extract);
+        assert_eq!(snap[0].1.count, 0);
+        assert_eq!(snap[1].1.count, 1);
+    }
+
+    #[test]
+    fn recording_is_thread_safe() {
+        let stages = std::sync::Arc::new(StageLatency::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stages = std::sync::Arc::clone(&stages);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        stages.record(PlanStage::ALL[(i % 3) as usize], Duration::from_nanos(i));
+                    }
+                });
+            }
+        });
+        let total: u64 = PlanStage::ALL
+            .iter()
+            .map(|&s| stages.histogram(s).count())
+            .sum();
+        assert_eq!(total, 4_000);
+    }
+}

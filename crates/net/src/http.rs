@@ -349,11 +349,24 @@ impl Response {
         }
     }
 
-    /// A JSON `{"error": ...}` response.
+    /// A typed JSON error response, `{"error":{"code":...,"message":...}}`,
+    /// with the code derived from the status via [`default_error_code`].
+    /// Every error body the server emits goes through here (or
+    /// [`Response::error_coded`]), so clients can branch on one stable
+    /// machine-readable `code` across all endpoints.
     pub fn error(status: u16, message: &str) -> Self {
-        let mut body = String::from("{\"error\":");
+        Self::error_coded(status, default_error_code(status), message)
+    }
+
+    /// A typed JSON error response with an explicit `code` (for statuses
+    /// that carry more than one distinct error kind, e.g. the plan
+    /// endpoint's `invalid_plan` vs `needs_coalesce` under 400).
+    pub fn error_coded(status: u16, code: &str, message: &str) -> Self {
+        let mut body = String::from("{\"error\":{\"code\":");
+        crate::json::write_escaped(&mut body, code);
+        body.push_str(",\"message\":");
         crate::json::write_escaped(&mut body, message);
-        body.push('}');
+        body.push_str("}}");
         Self::json(status, body)
     }
 
@@ -383,6 +396,24 @@ impl Response {
         w.write_all(head.as_bytes())?;
         w.write_all(&self.body)?;
         w.flush()
+    }
+}
+
+/// Stable machine-readable error code for a status (the `code` field of
+/// the `{"error":{...}}` body when the emitter doesn't pick a finer one).
+pub fn default_error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "timeout",
+        411 => "length_required",
+        413 => "payload_too_large",
+        431 => "headers_too_large",
+        500 => "internal",
+        501 => "unsupported",
+        503 => "overloaded",
+        _ => "error",
     }
 }
 
@@ -448,11 +479,24 @@ mod tests {
     }
 
     #[test]
-    fn error_bodies_are_json() {
+    fn error_bodies_are_typed_json_objects() {
         let resp = Response::error(404, "no such \"entry\"");
         assert_eq!(
             String::from_utf8(resp.body).unwrap(),
-            "{\"error\":\"no such \\\"entry\\\"\"}"
+            "{\"error\":{\"code\":\"not_found\",\"message\":\"no such \\\"entry\\\"\"}}"
         );
+        let resp = Response::error_coded(400, "needs_coalesce", "add '| coalesce'");
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            "{\"error\":{\"code\":\"needs_coalesce\",\"message\":\"add '| coalesce'\"}}"
+        );
+    }
+
+    #[test]
+    fn every_emitted_status_has_a_stable_code() {
+        for code in [400u16, 404, 405, 408, 411, 413, 431, 500, 501, 503] {
+            assert_ne!(default_error_code(code), "error", "{code}");
+        }
+        assert_eq!(default_error_code(418), "error");
     }
 }

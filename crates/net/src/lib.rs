@@ -39,12 +39,23 @@
 //!   | `GET /v1/{tenant}/{dataset}/rank?key=` | rank bounds of a key |
 //!   | `GET /v1/{tenant}/{dataset}/profile?count=` | equi-depth profile |
 //!   | `POST /v1/{tenant}/{dataset}/quantile_batch` | `{"phis":[…]}`, one consistent version |
+//!   | `POST /v1/query` | `{"plan":"fetch t-*/d \| coalesce \| quantile 0.5"}` pipeline (see `opaq-query`) |
 //!   | `GET /healthz` | liveness + entry count |
-//!   | `GET /metrics` | text exposition: per-tenant p50/p99/p999, catalog stats |
+//!   | `GET /metrics` | text exposition: per-tenant p50/p99/p999, per-plan-stage latency, catalog stats |
 //!
-//!   Every `/v1` response carries `x-opaq-version` (the sketch epoch that
-//!   answered — the handle the byte-for-byte verification keys on) and
-//!   `x-opaq-freshness` (`fresh|stale|refreshing`, the catalog's TTL tag).
+//!   Every route lowers to one typed [`server::ApiRequest`], compiles to an
+//!   `opaq_query::QueryPlan` (the GET family as degenerate one-target
+//!   plans), and runs through one shared `PlanExecutor` — a single request
+//!   model and a single response renderer behind the whole surface.  Error
+//!   bodies are uniformly `{"error":{"code":...,"message":...}}` with
+//!   stable machine-readable codes.
+//!
+//!   Every single-target `/v1` response carries `x-opaq-version` (the
+//!   sketch epoch that answered — the handle the byte-for-byte verification
+//!   keys on) and `x-opaq-freshness` (`fresh|stale|refreshing`, the
+//!   catalog's TTL tag); `/v1/query` responses instead embed the full
+//!   `(tenant, dataset, version, freshness)` tuple per contributing source,
+//!   plus an `x-opaq-sources` count header.
 //! * **Client** ([`client`]): minimal keep-alive client with transparent
 //!   single reconnect, for the harness/CLI/examples.
 //! * **Workload harness** ([`workload`]): the HTTP twin of
@@ -67,7 +78,8 @@ pub use client::{ClientResponse, HttpClient};
 pub use http::{Request, Response};
 pub use json::Json;
 pub use server::{
-    render_response_json, HttpServer, ServerConfig, ServerStats, FRESHNESS_HEADER, VERSION_HEADER,
+    render_plan_response_json, render_response_json, ApiRequest, HttpServer, ServerConfig,
+    ServerConfigBuilder, ServerStats, FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
 };
 pub use workload::{run_http_workload, HttpLoadReport, HttpWorkloadSpec};
 

@@ -27,8 +27,10 @@ use crate::json::{write_escaped, write_f64};
 use crate::{NetError, NetResult};
 use crossbeam::channel;
 use opaq_core::QuantileEstimate;
+use opaq_query::{PlanExecutor, PlanResponse, QueryError, QueryPlan};
 use opaq_serve::{
-    DatasetId, QueryEngine, QueryOutput, QueryRequest, QueryResponse, ServeError, TenantId,
+    DatasetId, Freshness, QueryEngine, QueryOutput, QueryRequest, QueryResponse, ServeError,
+    TenantId,
 };
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,9 +42,16 @@ use std::time::{Duration, Instant};
 pub const VERSION_HEADER: &str = "x-opaq-version";
 /// Response header carrying the TTL status (`fresh|stale|refreshing`).
 pub const FRESHNESS_HEADER: &str = "x-opaq-freshness";
+/// Response header carrying the number of catalog entries a plan fused.
+pub const SOURCES_HEADER: &str = "x-opaq-sources";
 
 /// Tunables of one [`HttpServer`].
+///
+/// Marked `#[non_exhaustive]`: construct it with [`ServerConfig::builder`]
+/// (or start from [`ServerConfig::default`]), so query-engine knobs can be
+/// added later without breaking downstream construction sites.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks a free port).
     pub addr: String,
@@ -72,6 +81,95 @@ impl Default for ServerConfig {
             keep_alive_idle: Duration::from_secs(10),
             limits: ReadLimits::default(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// Start building a validated configuration (from the defaults).
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ServerConfig`] — see [`ServerConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Connection-handler threads (must be at least one).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Accepted-but-unhandled connections queued before shedding with 503.
+    /// Zero is valid: every connection not immediately claimed by a worker
+    /// is shed (useful for overload tests).
+    pub fn accept_backlog(mut self, backlog: usize) -> Self {
+        self.config.accept_backlog = backlog;
+        self
+    }
+
+    /// Requests served per connection before closing (must be positive).
+    pub fn keep_alive_max_requests(mut self, max: u32) -> Self {
+        self.config.keep_alive_max_requests = max;
+        self
+    }
+
+    /// Timeout for reading one request (must be non-zero).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Idle deadline between keep-alive requests (must be non-zero).
+    pub fn keep_alive_idle(mut self, idle: Duration) -> Self {
+        self.config.keep_alive_idle = idle;
+        self
+    }
+
+    /// Request parsing limits (header/body caps).
+    pub fn limits(mut self, limits: ReadLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// [`NetError::InvalidConfig`] for zero workers, a zero keep-alive
+    /// request cap, or zero timeouts — all of which would make the server
+    /// accept connections it can never answer.
+    pub fn build(self) -> NetResult<ServerConfig> {
+        if self.config.workers == 0 {
+            return Err(NetError::InvalidConfig(
+                "the server needs at least one worker".into(),
+            ));
+        }
+        if self.config.keep_alive_max_requests == 0 {
+            return Err(NetError::InvalidConfig(
+                "keep_alive_max_requests must be positive".into(),
+            ));
+        }
+        if self.config.read_timeout.is_zero() {
+            return Err(NetError::InvalidConfig(
+                "read_timeout must be non-zero".into(),
+            ));
+        }
+        if self.config.keep_alive_idle.is_zero() {
+            return Err(NetError::InvalidConfig(
+                "keep_alive_idle must be non-zero".into(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -146,11 +244,17 @@ impl HttpServer {
         let stats = Arc::new(StatsInner::default());
         let (conn_tx, conn_rx) = channel::bounded::<TcpStream>(config.accept_backlog);
         let conn_rx = Arc::new(parking_lot::Mutex::new(conn_rx));
+        // One executor serves every route: the GET point queries compile to
+        // degenerate plans and run through it alongside POST /v1/query, so
+        // there is exactly one evaluation path (and one set of per-stage
+        // latency histograms) behind the whole API surface.
+        let executor = Arc::new(PlanExecutor::new(Arc::clone(engine.catalog())));
 
         let workers = (0..config.workers)
             .map(|i| {
                 let conn_rx = Arc::clone(&conn_rx);
                 let engine = Arc::clone(&engine);
+                let executor = Arc::clone(&executor);
                 let config = config.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
@@ -164,7 +268,7 @@ impl HttpServer {
                         let Ok(stream) = stream else {
                             return; // queue closed and drained
                         };
-                        handle_connection(stream, &engine, &config, &shutdown, &stats);
+                        handle_connection(stream, &engine, &executor, &config, &shutdown, &stats);
                     })
                     .expect("spawning an HTTP worker cannot fail")
             })
@@ -261,6 +365,7 @@ fn try_send(tx: &channel::Sender<TcpStream>, stream: TcpStream) -> Result<(), Tc
 fn handle_connection(
     stream: TcpStream,
     engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
     config: &ServerConfig,
     shutdown: &AtomicBool,
     stats: &StatsInner,
@@ -276,7 +381,7 @@ fn handle_connection(
         let request = read_request(&mut reader, &config.limits);
         let (response, keep_alive) = match request {
             Ok(request) => {
-                let response = route(engine, &request);
+                let response = route(engine, executor, &request);
                 let keep_alive = request.wants_keep_alive()
                     && served + 1 < config.keep_alive_max_requests
                     && !shutdown.load(Ordering::Acquire);
@@ -358,10 +463,49 @@ fn parse_error_response(e: &ParseError) -> Response {
     }
 }
 
+/// A typed, already-validated API request: the single conversion layer
+/// between wire parameters and the executor.  Every endpoint — the four
+/// legacy GET/POST point routes and the plan endpoint — lowers to one of
+/// these, and both compile to a [`QueryPlan`] for the shared executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiRequest {
+    /// A single-`(tenant, dataset)` point query (the GET /v1 family).
+    Point {
+        /// The tenant addressed by the path.
+        tenant: TenantId,
+        /// The dataset addressed by the path.
+        dataset: DatasetId,
+        /// The validated extract request.
+        request: QueryRequest,
+    },
+    /// A pipeline expression (POST /v1/query).
+    Plan(QueryPlan),
+}
+
+impl ApiRequest {
+    /// Lower to the plan the executor runs.  Point requests become
+    /// degenerate exact-selector plans, so ids containing `*`/`?` remain
+    /// addressable through the path-based API.
+    pub fn into_plan(self) -> QueryPlan {
+        match self {
+            ApiRequest::Point {
+                tenant,
+                dataset,
+                request,
+            } => QueryPlan::single(tenant, dataset, request),
+            ApiRequest::Plan(plan) => plan,
+        }
+    }
+}
+
 /// Route one parsed request to the engine.  Pure function of
 /// `(engine state, request)` — the HTTP workload harness re-renders
 /// expected responses through the same code path to compare bytes.
-pub fn route(engine: &Arc<QueryEngine>, request: &Request) -> Response {
+pub fn route(
+    engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
+    request: &Request,
+) -> Response {
     // Segments were percent-decoded individually by the parser, so a tenant
     // id containing a literal `/` (sent as `%2F`) is one segment here.
     let segments: Vec<&str> = request.segments.iter().map(String::as_str).collect();
@@ -383,103 +527,201 @@ pub fn route(engine: &Arc<QueryEngine>, request: &Request) -> Response {
             if request.method != "GET" {
                 return Response::error(405, "metrics is GET-only");
             }
-            Response::text(200, render_metrics(engine))
+            Response::text(200, render_metrics(engine, executor))
         }
-        ["v1", tenant, dataset, op] => route_v1(engine, request, tenant, dataset, op),
+        ["v1", "query"] => route_query(engine, executor, request),
+        ["v1", tenant, dataset, op] => {
+            let api = match parse_point_request(request, tenant, dataset, op) {
+                Ok(api) => api,
+                Err(response) => return *response,
+            };
+            let plan = api.into_plan();
+            match run_plan(engine, executor, &plan) {
+                Ok(executed) => {
+                    // A degenerate plan has exactly one source; reconstruct
+                    // the legacy single-target response shape from it, so
+                    // the GET bodies stay byte-for-byte what they were when
+                    // each route parsed and executed on its own.
+                    let (version, freshness) = executed
+                        .sources
+                        .first()
+                        .map(|s| (s.version, s.freshness))
+                        .unwrap_or((0, Freshness::Fresh));
+                    let response = QueryResponse {
+                        output: executed.output,
+                        version,
+                        total_elements: executed.total_elements,
+                        freshness,
+                    };
+                    Response::json(200, render_response_json(&response))
+                        .with_header(VERSION_HEADER, version.to_string())
+                        .with_header(FRESHNESS_HEADER, freshness.as_str())
+                }
+                Err(response) => *response,
+            }
+        }
         _ => Response::error(404, "no such route"),
     }
 }
 
-fn route_v1(
-    engine: &Arc<QueryEngine>,
+/// Parse the legacy per-`(tenant, dataset)` wire parameters into a typed
+/// [`ApiRequest::Point`].  Validation errors come back as ready-to-send
+/// responses with the same statuses and messages the per-route parsers
+/// used to emit.
+fn parse_point_request(
     request: &Request,
     tenant: &str,
     dataset: &str,
     op: &str,
-) -> Response {
+) -> Result<ApiRequest, Box<Response>> {
+    let fail = |status: u16, message: &str| Err(Box::new(Response::error(status, message)));
     let query = match op {
         "quantile" => {
             if request.method != "GET" {
-                return Response::error(405, "quantile is GET-only");
+                return fail(405, "quantile is GET-only");
             }
             let Some(raw) = request.query_param("phi") else {
-                return Response::error(400, "missing query parameter phi");
+                return fail(400, "missing query parameter phi");
             };
             let Ok(phi) = raw.parse::<f64>() else {
-                return Response::error(400, "phi must be a number");
+                return fail(400, "phi must be a number");
             };
             if !phi.is_finite() {
-                return Response::error(400, "phi must be finite");
+                return fail(400, "phi must be finite");
             }
             QueryRequest::Quantile { phi }
         }
         "rank" => {
             if request.method != "GET" {
-                return Response::error(405, "rank is GET-only");
+                return fail(405, "rank is GET-only");
             }
             let Some(raw) = request.query_param("key") else {
-                return Response::error(400, "missing query parameter key");
+                return fail(400, "missing query parameter key");
             };
             let Ok(key) = raw.parse::<u64>() else {
-                return Response::error(400, "key must be an unsigned integer");
+                return fail(400, "key must be an unsigned integer");
             };
             QueryRequest::Rank { key }
         }
         "profile" => {
             if request.method != "GET" {
-                return Response::error(405, "profile is GET-only");
+                return fail(405, "profile is GET-only");
             }
             let count = match request.query_param("count") {
                 None => 10,
                 Some(raw) => match raw.parse::<u64>() {
                     Ok(count) => count,
-                    Err(_) => return Response::error(400, "count must be an unsigned integer"),
+                    Err(_) => return fail(400, "count must be an unsigned integer"),
                 },
             };
             QueryRequest::Profile { count }
         }
         "quantile_batch" => {
             if request.method != "POST" {
-                return Response::error(405, "quantile_batch is POST-only");
+                return fail(405, "quantile_batch is POST-only");
             }
             let Ok(body) = std::str::from_utf8(&request.body) else {
-                return Response::error(400, "body must be UTF-8 JSON");
+                return fail(400, "body must be UTF-8 JSON");
             };
             let parsed = match crate::json::Json::parse(body) {
                 Ok(parsed) => parsed,
-                Err(e) => return Response::error(400, &e.to_string()),
+                Err(e) => return fail(400, &e.to_string()),
             };
             let Some(items) = parsed.get("phis").and_then(|v| v.as_array()) else {
-                return Response::error(400, "body must be {\"phis\": [numbers]}");
+                return fail(400, "body must be {\"phis\": [numbers]}");
             };
             let mut phis = Vec::with_capacity(items.len());
             for item in items {
                 match item.as_f64() {
                     Some(phi) if phi.is_finite() => phis.push(phi),
-                    _ => return Response::error(400, "phis must be finite numbers"),
+                    _ => return fail(400, "phis must be finite numbers"),
                 }
             }
             QueryRequest::QuantileBatch { phis }
         }
-        _ => return Response::error(404, "no such operation"),
+        _ => return fail(404, "no such operation"),
     };
+    Ok(ApiRequest::Point {
+        tenant: TenantId::new(tenant),
+        dataset: DatasetId::new(dataset),
+        request: query,
+    })
+}
 
-    let tenant = TenantId::new(tenant);
-    let dataset = DatasetId::new(dataset);
-    match engine.execute(&tenant, &dataset, &query) {
-        Ok(response) => {
-            let version = response.version.to_string();
-            let freshness = response.freshness.as_str();
-            Response::json(200, render_response_json(&response))
-                .with_header(VERSION_HEADER, version)
-                .with_header(FRESHNESS_HEADER, freshness)
+/// `POST /v1/query`: parse `{"plan": "fetch ... | ..."}`, execute, render
+/// the plan response with its full source provenance.
+fn route_query(
+    engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
+    request: &Request,
+) -> Response {
+    if request.method != "POST" {
+        return Response::error(405, "query is POST-only");
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let parsed = match crate::json::Json::parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let Some(text) = parsed.get("plan").and_then(|v| v.as_str()) else {
+        return Response::error(400, "body must be {\"plan\": \"fetch ... | ...\"}");
+    };
+    let plan = match QueryPlan::parse(text) {
+        Ok(plan) => plan,
+        Err(e) => return Response::error_coded(400, "invalid_plan", &e.to_string()),
+    };
+    match run_plan(engine, executor, &plan) {
+        Ok(executed) => {
+            let sources = executed.sources.len().to_string();
+            Response::json(200, render_plan_response_json(&executed))
+                .with_header(SOURCES_HEADER, sources)
         }
-        Err(ServeError::UnknownEntry { .. }) => {
+        Err(response) => *response,
+    }
+}
+
+/// Execute a plan through the shared executor, recording request latency
+/// exactly as the engine's own execute path does: the elapsed time lands in
+/// the fleet-wide histogram once, and in each distinct contributing
+/// tenant's histogram, on success only.
+fn run_plan(
+    engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
+    plan: &QueryPlan,
+) -> Result<PlanResponse, Box<Response>> {
+    let start = Instant::now();
+    let executed = executor.execute(plan).map_err(plan_error_response)?;
+    let elapsed = start.elapsed();
+    engine.overall().record(elapsed);
+    let mut previous: Option<&TenantId> = None;
+    for source in &executed.sources {
+        // Sources arrive in sorted key order, so equal tenants are adjacent.
+        if previous != Some(&source.tenant) {
+            engine.tenant_histogram(&source.tenant).record(elapsed);
+            previous = Some(&source.tenant);
+        }
+    }
+    Ok(executed)
+}
+
+/// Map executor errors to responses.  The single-target serve errors keep
+/// the statuses and messages the legacy routes emitted; plan-specific
+/// failures get their own stable codes.
+fn plan_error_response(e: QueryError) -> Box<Response> {
+    Box::new(match &e {
+        QueryError::Parse { .. } => Response::error_coded(400, "invalid_plan", &e.to_string()),
+        QueryError::NoMatch { .. } => Response::error_coded(404, "not_found", &e.to_string()),
+        QueryError::NeedsCoalesce { .. } => {
+            Response::error_coded(400, "needs_coalesce", &e.to_string())
+        }
+        QueryError::Serve(ServeError::UnknownEntry { tenant, dataset }) => {
             Response::error(404, &format!("no sketch published for {tenant}/{dataset}"))
         }
-        Err(ServeError::Opaq(e)) => Response::error(400, &e.to_string()),
-        Err(e) => Response::error(500, &e.to_string()),
-    }
+        QueryError::Serve(ServeError::Opaq(err)) => Response::error(400, &err.to_string()),
+        QueryError::Serve(err) => Response::error(500, &err.to_string()),
+    })
 }
 
 /// Canonical JSON body of a successful query response.  Both the server and
@@ -493,6 +735,58 @@ pub fn render_response_json(response: &QueryResponse) -> String {
     out.push_str(&response.total_elements.to_string());
     out.push_str(",\"freshness\":");
     write_escaped(&mut out, response.freshness.as_str());
+    match &response.output {
+        QueryOutput::Quantile(est) => {
+            out.push_str(",\"estimate\":");
+            write_estimate(&mut out, est);
+        }
+        QueryOutput::Rank(bounds) => {
+            out.push_str(",\"rank\":{\"min_rank\":");
+            out.push_str(&bounds.min_rank.to_string());
+            out.push_str(",\"max_rank\":");
+            out.push_str(&bounds.max_rank.to_string());
+            out.push('}');
+        }
+        QueryOutput::QuantileBatch(ests) | QueryOutput::Profile(ests) => {
+            out.push_str(",\"estimates\":[");
+            for (i, est) in ests.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_estimate(&mut out, est);
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Canonical JSON body of a successful `POST /v1/query` response: the same
+/// output keys as [`render_response_json`], plus the full `sources` array —
+/// one `(tenant, dataset, version, freshness)` tuple per contributing
+/// snapshot — in place of the single version/freshness pair.  Shared with
+/// the workload verifier so plan answers are byte-replayable too.
+pub fn render_plan_response_json(response: &PlanResponse) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"total_elements\":");
+    out.push_str(&response.total_elements.to_string());
+    out.push_str(",\"sources\":[");
+    for (i, source) in response.sources.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"tenant\":");
+        write_escaped(&mut out, source.tenant.as_str());
+        out.push_str(",\"dataset\":");
+        write_escaped(&mut out, source.dataset.as_str());
+        out.push_str(",\"version\":");
+        out.push_str(&source.version.to_string());
+        out.push_str(",\"freshness\":");
+        write_escaped(&mut out, source.freshness.as_str());
+        out.push('}');
+    }
+    out.push(']');
     match &response.output {
         QueryOutput::Quantile(est) => {
             out.push_str(",\"estimate\":");
@@ -534,9 +828,9 @@ fn write_estimate(out: &mut String, est: &QuantileEstimate<u64>) {
     out.push('}');
 }
 
-/// Text exposition of per-tenant latency quantiles and catalog stats
-/// (Prometheus-style lines, integer nanoseconds).
-fn render_metrics(engine: &Arc<QueryEngine>) -> String {
+/// Text exposition of per-tenant latency quantiles, per-plan-stage latency
+/// and catalog stats (Prometheus-style lines, integer nanoseconds).
+fn render_metrics(engine: &Arc<QueryEngine>, executor: &Arc<PlanExecutor>) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("# TYPE opaq_request_latency_nanos gauge\n");
     let mut render_histogram = |label: &str, snap: &opaq_metrics::LatencySnapshot| {
@@ -555,6 +849,20 @@ fn render_metrics(engine: &Arc<QueryEngine>) -> String {
         render_histogram(tenant.as_str(), &snap);
     }
     render_histogram("_all", &engine.overall().snapshot());
+
+    out.push_str("# TYPE opaq_plan_stage_latency_nanos gauge\n");
+    for (stage, snap) in executor.stages().snapshot() {
+        for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
+            out.push_str(&format!(
+                "opaq_plan_stage_latency_nanos{{stage=\"{stage}\",quantile=\"{q}\"}} {}\n",
+                value.as_nanos()
+            ));
+        }
+        out.push_str(&format!(
+            "opaq_plan_stage_count{{stage=\"{stage}\"}} {}\n",
+            snap.count
+        ));
+    }
 
     let stats = engine.catalog().stats();
     for (name, value) in [

@@ -17,14 +17,27 @@
 //! expiry, then `stale`/`refreshing` (old version still served, byte-exact)
 //! until the background re-ingest publishes, then `fresh` again at the next
 //! version.
+//!
+//! Every fifth client op is a **plan op**: a `POST /v1/query` pipeline
+//! (`fetch tenant-*/events | coalesce | …`) that fans out over every main
+//! tenant.  The response embeds the full `(tenant, dataset, version,
+//! freshness)` provenance, so the client replays the plan offline — looks
+//! up each claimed version's registered sketch, fuses them with the same
+//! deterministic merge tree, re-runs the extract, re-renders through the
+//! server's renderer — and compares bytes.  A plan answer that names a
+//! version the refresher never registered, skips a tenant, or differs by
+//! one byte from the offline replay counts as torn.
 
 use crate::client::HttpClient;
+use crate::json::{write_escaped, Json};
 use crate::server::{
-    render_response_json, HttpServer, ServerConfig, ServerStats, FRESHNESS_HEADER, VERSION_HEADER,
+    render_plan_response_json, render_response_json, HttpServer, ServerConfig, ServerStats,
+    FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
 };
 use crate::{NetError, NetResult};
 use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
 use opaq_metrics::{render_latency_table, LatencyHistogram, LatencySnapshot};
+use opaq_query::{merge_tree, PlanResponse, PlanSource};
 use opaq_serve::{
     chunk_spec, execute_on, next_rand, request_for, CatalogStats, DatasetId, Freshness,
     QueryEngine, QueryRequest, QueryResponse, RefreshPool, SketchCatalog, TenantId, WorkloadSpec,
@@ -73,13 +86,18 @@ impl HttpWorkloadSpec {
 /// What an HTTP workload observed.
 #[derive(Debug, Clone)]
 pub struct HttpLoadReport {
-    /// Requests issued by the client threads (each ends up verified, torn,
-    /// or an HTTP error; TTL-probe traffic is counted in
-    /// [`Self::probe_polls`] instead).
+    /// Single-target requests issued by the client threads (each ends up
+    /// verified, torn, or an HTTP error; plan ops are counted in
+    /// [`Self::plan_ops`] and TTL-probe traffic in [`Self::probe_polls`]).
     pub ops: u64,
     /// Client responses verified byte-for-byte against their claimed
     /// version.
     pub verified: u64,
+    /// `POST /v1/query` plans issued by the client threads.
+    pub plan_ops: u64,
+    /// Plan responses whose offline replay (registered sketches of every
+    /// claimed version, fused and re-rendered) matched byte-for-byte.
+    pub plan_verified: u64,
     /// Responses (client or probe) that matched no complete published
     /// version (must be 0).
     pub torn_reads: u64,
@@ -107,9 +125,10 @@ pub struct HttpLoadReport {
 }
 
 impl HttpLoadReport {
-    /// Requests per second over the client phase.
+    /// Client requests per second (single-target and plan ops) over the
+    /// client phase.
     pub fn throughput(&self) -> f64 {
-        self.ops as f64 / self.wall.as_secs_f64().max(1e-9)
+        (self.ops + self.plan_ops) as f64 / self.wall.as_secs_f64().max(1e-9)
     }
 
     /// Render the report as text.
@@ -119,10 +138,13 @@ impl HttpLoadReport {
             &[("all".to_string(), self.latency)],
         );
         out.push_str(&format!(
-            "ops {} | verified {} | torn {} | http errors {} | refreshes {} | \
-             probe polls {} | non-fresh {} | ttl refreshes observed {} | {:.0} ops/s\n",
+            "ops {} | verified {} | plan ops {} | plan verified {} | torn {} | \
+             http errors {} | refreshes {} | probe polls {} | non-fresh {} | \
+             ttl refreshes observed {} | {:.0} ops/s\n",
             self.ops,
             self.verified,
+            self.plan_ops,
+            self.plan_verified,
             self.torn_reads,
             self.http_errors,
             self.refreshes_published,
@@ -170,6 +192,14 @@ enum Verdict {
     HttpError,
 }
 
+/// Plan responses verify against their full claimed provenance, not a
+/// single `(version, freshness)` pair, so their verdict carries no handle.
+enum PlanVerdict {
+    Verified,
+    Torn,
+    HttpError,
+}
+
 /// Re-render the expected body from the registered sketch of the claimed
 /// version and compare bytes.
 fn verify(
@@ -206,6 +236,124 @@ fn verify(
         Verdict::Verified { version, freshness }
     } else {
         Verdict::Torn
+    }
+}
+
+/// Pick a coalescing pipeline over every main tenant: the plan text to POST
+/// plus the typed extract the offline replay re-runs.
+fn plan_for(rng: &mut u64) -> (String, QueryRequest) {
+    let (extract, request) = match next_rand(rng) % 4 {
+        0 => (
+            "quantile 0.5".to_string(),
+            QueryRequest::Quantile { phi: 0.5 },
+        ),
+        1 => (
+            "quantile 0.25,0.5,0.75".to_string(),
+            QueryRequest::QuantileBatch {
+                phis: vec![0.25, 0.5, 0.75],
+            },
+        ),
+        2 => {
+            let key = next_rand(rng) % (1 << 24);
+            (format!("rank {key}"), QueryRequest::Rank { key })
+        }
+        _ => ("profile 8".to_string(), QueryRequest::Profile { count: 8 }),
+    };
+    // `tenant-*` matches every main tenant and not `ttl-probe`, so the
+    // expected source set is exactly the workload's tenant list.
+    (
+        format!("fetch tenant-*/events | coalesce | {extract}"),
+        request,
+    )
+}
+
+/// Replay a plan response offline and compare bytes.
+///
+/// The response claims its provenance — `(tenant, dataset, version,
+/// freshness)` per source.  The claimed set must be exactly the expected
+/// tenant set, every claimed version must have been registered before
+/// publication, and fusing the registered sketches in response order with
+/// the same deterministic merge tree, re-running the extract, and
+/// re-rendering through [`render_plan_response_json`] must reproduce the
+/// body byte-for-byte.
+fn verify_plan(
+    request: &QueryRequest,
+    response: &crate::client::ClientResponse,
+    registry: &Registry,
+    expected: &[(String, String)],
+) -> PlanVerdict {
+    if response.status != 200 {
+        return PlanVerdict::HttpError;
+    }
+    let Ok(body) = std::str::from_utf8(&response.body) else {
+        return PlanVerdict::Torn;
+    };
+    let Ok(parsed) = Json::parse(body) else {
+        return PlanVerdict::Torn;
+    };
+    let Some(claimed) = parsed.get("sources").and_then(Json::as_array) else {
+        return PlanVerdict::Torn;
+    };
+    if response
+        .header(SOURCES_HEADER)
+        .and_then(|v| v.parse::<usize>().ok())
+        != Some(claimed.len())
+    {
+        return PlanVerdict::Torn;
+    }
+    let mut sources = Vec::with_capacity(claimed.len());
+    for entry in claimed {
+        let (Some(tenant), Some(dataset), Some(version), Some(freshness)) = (
+            entry.get("tenant").and_then(Json::as_str),
+            entry.get("dataset").and_then(Json::as_str),
+            entry.get("version").and_then(Json::as_u64),
+            entry
+                .get("freshness")
+                .and_then(Json::as_str)
+                .and_then(Freshness::parse),
+        ) else {
+            return PlanVerdict::Torn;
+        };
+        sources.push(PlanSource {
+            tenant: TenantId::new(tenant),
+            dataset: DatasetId::new(dataset),
+            version,
+            freshness,
+        });
+    }
+    // The claimed source set must be the full fan-out, in sorted key order —
+    // a plan that silently skipped a tenant (or invented one) is torn.
+    if sources.len() != expected.len()
+        || sources
+            .iter()
+            .zip(expected)
+            .any(|(s, (t, d))| s.tenant.as_str() != t || s.dataset.as_str() != d)
+    {
+        return PlanVerdict::Torn;
+    }
+    let mut sketches = Vec::with_capacity(sources.len());
+    for source in &sources {
+        let key = (source.tenant.to_string(), source.version);
+        let Some(sketch) = registry.read().get(&key).cloned() else {
+            return PlanVerdict::Torn; // a version the refresher never registered
+        };
+        sketches.push(sketch);
+    }
+    let Ok(fused) = merge_tree(&sketches) else {
+        return PlanVerdict::Torn;
+    };
+    let Ok(output) = execute_on(&fused, request) else {
+        return PlanVerdict::Torn;
+    };
+    let expected_body = render_plan_response_json(&PlanResponse {
+        output,
+        total_elements: fused.total_elements(),
+        sources,
+    });
+    if expected_body.as_bytes() == response.body.as_slice() {
+        PlanVerdict::Verified
+    } else {
+        PlanVerdict::Torn
     }
 }
 
@@ -333,9 +481,22 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     let mut server = HttpServer::start(Arc::clone(&engine), server_config)?;
     let addr = server.local_addr().to_string();
 
+    // Offline-replay target for plan ops: the glob fans out over every main
+    // tenant, and the executor reports sources in sorted key order.
+    let mut expected_sources: Vec<(String, String)> = ids
+        .iter()
+        .map(|(t, d)| (t.to_string(), d.to_string()))
+        .collect();
+    expected_sources.sort();
+    let expected_sources = &expected_sources;
+
     let torn = AtomicU64::new(0);
     let verified = AtomicU64::new(0);
     let http_errors = AtomicU64::new(0);
+    let plan_ops = AtomicU64::new(0);
+    let plan_verified = AtomicU64::new(0);
+    let plan_torn = AtomicU64::new(0);
+    let plan_errors = AtomicU64::new(0);
     let probe_polls = AtomicU64::new(0);
     let probe_torn = AtomicU64::new(0);
     let probe_errors = AtomicU64::new(0);
@@ -434,13 +595,39 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             let registry = Arc::clone(&registry);
             let ids = &ids;
             let (torn, verified, http_errors) = (&torn, &verified, &http_errors);
+            let (plan_ops, plan_verified, plan_torn, plan_errors) =
+                (&plan_ops, &plan_verified, &plan_torn, &plan_errors);
             let latency = &latency;
             clients.push(scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let mut rng = spec
                     .seed
                     .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
-                for _ in 0..spec.ops_per_client {
+                for op_idx in 0..spec.ops_per_client {
+                    // Every fifth op is a coalescing pipeline over all main
+                    // tenants; the rest are single-target requests.
+                    if op_idx % 5 == 4 {
+                        let (plan, request) = plan_for(&mut rng);
+                        let mut body = String::from("{\"plan\":");
+                        write_escaped(&mut body, &plan);
+                        body.push('}');
+                        let sent = Instant::now();
+                        let response = client.post_json("/v1/query", &body)?;
+                        latency.record(sent.elapsed());
+                        plan_ops.fetch_add(1, Ordering::Relaxed);
+                        match verify_plan(&request, &response, &registry, expected_sources) {
+                            PlanVerdict::Verified => {
+                                plan_verified.fetch_add(1, Ordering::Relaxed);
+                            }
+                            PlanVerdict::Torn => {
+                                plan_torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                            PlanVerdict::HttpError => {
+                                plan_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        continue;
+                    }
                     let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
                     let (tenant, dataset) = &ids[tenant_idx];
                     let request = request_for(&mut rng);
@@ -526,16 +713,24 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     let server_stats = server.stats();
     pool.shutdown();
 
-    // Client ops only: the probe's verified polls live in `probe_polls`, so
-    // `ops / wall` is a pure client-phase throughput.  Torn reads and HTTP
-    // errors stay shared — they are correctness signals wherever they occur.
+    // Client ops only: the probe's verified polls live in `probe_polls` and
+    // plan pipelines in `plan_ops`, so `ops` stays a pure single-target
+    // count (`verified == ops` is the consistency gate benches assert on).
+    // Torn reads and HTTP errors stay shared — they are correctness signals
+    // wherever they occur.
     Ok(HttpLoadReport {
         ops: verified.load(Ordering::Relaxed)
             + torn.load(Ordering::Relaxed)
             + http_errors.load(Ordering::Relaxed),
         verified: verified.load(Ordering::Relaxed),
-        torn_reads: torn.load(Ordering::Relaxed) + probe_torn.load(Ordering::Relaxed),
-        http_errors: http_errors.load(Ordering::Relaxed) + probe_errors.load(Ordering::Relaxed),
+        plan_ops: plan_ops.load(Ordering::Relaxed),
+        plan_verified: plan_verified.load(Ordering::Relaxed),
+        torn_reads: torn.load(Ordering::Relaxed)
+            + probe_torn.load(Ordering::Relaxed)
+            + plan_torn.load(Ordering::Relaxed),
+        http_errors: http_errors.load(Ordering::Relaxed)
+            + probe_errors.load(Ordering::Relaxed)
+            + plan_errors.load(Ordering::Relaxed),
         probe_polls: probe_polls.load(Ordering::Relaxed),
         refreshes_published: refreshes.load(Ordering::Relaxed),
         non_fresh_served: non_fresh.load(Ordering::Relaxed),

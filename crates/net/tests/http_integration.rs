@@ -6,9 +6,10 @@
 use opaq_core::{IncrementalOpaq, OpaqConfig};
 use opaq_net::http::ReadLimits;
 use opaq_net::{
-    render_response_json, HttpClient, HttpServer, Json, ServerConfig, FRESHNESS_HEADER,
-    VERSION_HEADER,
+    render_plan_response_json, render_response_json, HttpClient, HttpServer, Json, ServerConfig,
+    FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
 };
+use opaq_query::{merge_tree, PlanResponse, PlanSource};
 use opaq_serve::{
     execute_on, DatasetId, Freshness, QueryEngine, QueryRequest, QueryResponse, RefreshPool,
     SketchCatalog, TenantId,
@@ -200,13 +201,15 @@ fn health_and_metrics_expose_catalog_and_latency() {
 
 #[test]
 fn error_statuses_are_typed() {
-    let (_c, _e, server) = serve(ServerConfig {
-        limits: ReadLimits {
-            max_header_bytes: 512,
-            max_body_bytes: 256,
-        },
-        ..ServerConfig::default()
-    });
+    let (_c, _e, server) = serve(
+        ServerConfig::builder()
+            .limits(ReadLimits {
+                max_header_bytes: 512,
+                max_body_bytes: 256,
+            })
+            .build()
+            .unwrap(),
+    );
     let addr = server.local_addr().to_string();
     let mut client = HttpClient::new(addr.clone());
 
@@ -290,10 +293,12 @@ fn error_statuses_are_typed() {
 
 #[test]
 fn keep_alive_cap_closes_and_client_reconnects() {
-    let (_c, _e, server) = serve(ServerConfig {
-        keep_alive_max_requests: 3,
-        ..ServerConfig::default()
-    });
+    let (_c, _e, server) = serve(
+        ServerConfig::builder()
+            .keep_alive_max_requests(3)
+            .build()
+            .unwrap(),
+    );
     let mut client = HttpClient::new(server.local_addr().to_string());
     // 10 requests across a cap of 3 per connection: the client must ride the
     // `connection: close` handshakes transparently.
@@ -391,6 +396,209 @@ fn ttl_expiry_is_visible_over_the_wire_until_refresh_publishes() {
 }
 
 #[test]
+fn query_plans_are_byte_identical_to_the_offline_merge() {
+    // Three matching tenants plus one the glob must skip.
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    let sketches: Vec<_> = (0..3u64)
+        .map(|i| Arc::new(sketch_of(2_000 + i * 1_000)))
+        .collect();
+    for (i, sketch) in sketches.iter().enumerate() {
+        catalog
+            .publish(
+                &TenantId::new(format!("tenant-{i}")),
+                &DatasetId::new("events"),
+                (**sketch).clone(),
+            )
+            .unwrap();
+    }
+    catalog
+        .publish(
+            &TenantId::new("ttl-probe"),
+            &DatasetId::new("events"),
+            sketch_of(100),
+        )
+        .unwrap();
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+    let server = HttpServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::new(server.local_addr().to_string());
+
+    let response = client
+        .post_json(
+            "/v1/query",
+            "{\"plan\":\"fetch tenant-*/events | coalesce | quantile 0.5,0.99\"}",
+        )
+        .unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    assert_eq!(response.header(SOURCES_HEADER), Some("3"));
+
+    // Offline replay: same sketches, same merge tree, same renderer.
+    let fused = merge_tree(&sketches).unwrap();
+    let expected = render_plan_response_json(&PlanResponse {
+        output: execute_on(
+            &fused,
+            &QueryRequest::QuantileBatch {
+                phis: vec![0.5, 0.99],
+            },
+        )
+        .unwrap(),
+        total_elements: fused.total_elements(),
+        sources: (0..3)
+            .map(|i| PlanSource {
+                tenant: TenantId::new(format!("tenant-{i}")),
+                dataset: DatasetId::new("events"),
+                version: 1,
+                freshness: Freshness::Fresh,
+            })
+            .collect(),
+    });
+    assert_eq!(
+        response.body_str().unwrap(),
+        expected,
+        "plan answer must equal the offline merge byte-for-byte"
+    );
+}
+
+#[test]
+fn degenerate_single_target_plan_agrees_with_the_get_route() {
+    let (_c, _e, server) = serve(ServerConfig::default());
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let get = client.get("/v1/acme/events/quantile?phi=0.5").unwrap();
+    assert_eq!(get.status, 200);
+    let plan = client
+        .post_json(
+            "/v1/query",
+            "{\"plan\":\"fetch acme/events | quantile 0.5\"}",
+        )
+        .unwrap();
+    assert_eq!(plan.status, 200, "{:?}", plan.body_str());
+    assert_eq!(plan.header(SOURCES_HEADER), Some("1"));
+
+    // Same executor, same sketch: the estimates agree and the plan's one
+    // source is exactly the version/freshness the GET route reported.
+    let get_body = Json::parse(get.body_str().unwrap()).unwrap();
+    let plan_body = Json::parse(plan.body_str().unwrap()).unwrap();
+    assert_eq!(get_body.get("estimate"), plan_body.get("estimate"));
+    assert_eq!(
+        get_body.get("total_elements"),
+        plan_body.get("total_elements")
+    );
+    let sources = plan_body.get("sources").unwrap().as_array().unwrap();
+    assert_eq!(sources.len(), 1);
+    assert_eq!(sources[0].get("tenant").unwrap().as_str(), Some("acme"));
+    assert_eq!(
+        sources[0]
+            .get("version")
+            .unwrap()
+            .as_u64()
+            .map(|v| v.to_string()),
+        get.header(VERSION_HEADER).map(str::to_string)
+    );
+    assert_eq!(
+        sources[0].get("freshness").unwrap().as_str(),
+        get.header(FRESHNESS_HEADER)
+    );
+}
+
+#[test]
+fn query_errors_carry_stable_machine_readable_codes() {
+    let (_c, _e, server) = serve(ServerConfig::default());
+    let mut client = HttpClient::new(server.local_addr().to_string());
+    let code_of = |body: &str| -> String {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string()
+    };
+
+    // Wrong method on the plan route.
+    assert_eq!(client.get("/v1/query").unwrap().status, 405);
+    // Unparseable plan text: a typed parse error naming the stage.
+    let bad = client
+        .post_json("/v1/query", "{\"plan\":\"fetch acme/events | juggle\"}")
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(code_of(bad.body_str().unwrap()), "invalid_plan");
+    assert!(
+        bad.body_str().unwrap().contains("stage"),
+        "{:?}",
+        bad.body_str()
+    );
+    // Multi-source selector without a coalesce stage.
+    catalog_publish_second_tenant(&_c);
+    let torn = client
+        .post_json("/v1/query", "{\"plan\":\"fetch */events | quantile 0.5\"}")
+        .unwrap();
+    assert_eq!(torn.status, 400);
+    assert_eq!(code_of(torn.body_str().unwrap()), "needs_coalesce");
+    // A glob that matches nothing.
+    let missing = client
+        .post_json(
+            "/v1/query",
+            "{\"plan\":\"fetch ghost-*/events | coalesce | quantile 0.5\"}",
+        )
+        .unwrap();
+    assert_eq!(missing.status, 404);
+    assert_eq!(code_of(missing.body_str().unwrap()), "not_found");
+    // An exact selector for an unpublished entry keeps the legacy message.
+    let unknown = client
+        .post_json(
+            "/v1/query",
+            "{\"plan\":\"fetch ghost/events | quantile 0.5\"}",
+        )
+        .unwrap();
+    assert_eq!(unknown.status, 404);
+    assert!(
+        unknown
+            .body_str()
+            .unwrap()
+            .contains("no sketch published for ghost/events"),
+        "{:?}",
+        unknown.body_str()
+    );
+    // Legacy routes share the same typed error envelope.
+    let legacy = client.get("/v1/ghost/events/quantile?phi=0.5").unwrap();
+    assert_eq!(legacy.status, 404);
+    assert_eq!(code_of(legacy.body_str().unwrap()), "not_found");
+    let bad_param = client.get("/v1/acme/events/quantile").unwrap();
+    assert_eq!(bad_param.status, 400);
+    assert_eq!(code_of(bad_param.body_str().unwrap()), "bad_request");
+}
+
+fn catalog_publish_second_tenant(catalog: &Arc<SketchCatalog>) {
+    catalog
+        .publish(
+            &TenantId::new("globex"),
+            &DatasetId::new("events"),
+            sketch_of(5_000),
+        )
+        .unwrap();
+}
+
+#[test]
+fn server_config_builder_rejects_unservable_configurations() {
+    assert!(ServerConfig::builder().workers(0).build().is_err());
+    assert!(ServerConfig::builder()
+        .keep_alive_max_requests(0)
+        .build()
+        .is_err());
+    assert!(ServerConfig::builder()
+        .read_timeout(Duration::ZERO)
+        .build()
+        .is_err());
+    assert!(ServerConfig::builder()
+        .keep_alive_idle(Duration::ZERO)
+        .build()
+        .is_err());
+    // Zero backlog is a *valid* tuning (shed everything not immediately
+    // claimed); the builder must not confuse it with a zero cap.
+    let config = ServerConfig::builder().accept_backlog(0).build().unwrap();
+    assert_eq!(config.accept_backlog, 0);
+}
+
+#[test]
 fn shutdown_is_clean_and_connections_stop() {
     let (_c, _e, mut server) = serve(ServerConfig::default());
     let addr = server.local_addr();
@@ -422,11 +630,13 @@ fn shutdown_is_clean_and_connections_stop() {
 fn overload_sheds_with_503_instead_of_queueing_forever() {
     // 1 worker + zero-capacity queue: with the single worker busy on a held
     // connection, a second connection must be bounced with 503.
-    let (_c, _e, server) = serve(ServerConfig {
-        workers: 1,
-        accept_backlog: 0,
-        ..ServerConfig::default()
-    });
+    let (_c, _e, server) = serve(
+        ServerConfig::builder()
+            .workers(1)
+            .accept_backlog(0)
+            .build()
+            .unwrap(),
+    );
     let addr = server.local_addr();
     // Hold the worker: open a connection and a request stream but never
     // finish a request; the worker sits in its keep-alive wait.

@@ -1,6 +1,7 @@
 //! The HTTP workload harness end to end: zero torn reads, zero HTTP errors,
-//! refreshes mid-run, and at least one complete TTL expiry→refresh→publish
-//! cycle observed over the wire.
+//! single-target and plan ops both byte-verified, refreshes mid-run, and at
+//! least one complete TTL expiry→refresh→publish cycle observed over the
+//! wire.
 
 use opaq_net::{run_http_workload, HttpWorkloadSpec, NetError};
 use std::time::Duration;
@@ -21,8 +22,13 @@ fn quick_http_workload_serves_everything_untorn() {
         report.render()
     );
     assert_eq!(report.http_errors, 0, "{}", report.render());
-    assert!(report.verified >= 4 * 150, "{}", report.render());
+    // Every fifth op is a POST /v1/query pipeline; the rest are
+    // single-target requests.  Both legs must verify completely.
+    assert_eq!(report.ops + report.plan_ops, 4 * 150, "{}", report.render());
+    assert_eq!(report.plan_ops, 4 * 150 / 5, "{}", report.render());
     assert_eq!(report.verified, report.ops);
+    assert_eq!(report.plan_verified, report.plan_ops, "{}", report.render());
+    assert!(report.plan_verified > 0);
     assert_eq!(
         report.refreshes_published,
         2 * 3,

@@ -1,0 +1,348 @@
+//! Plan execution against catalog snapshots.
+//!
+//! The executor resolves a plan's selector to immutable sketch snapshots,
+//! fuses them with the deterministic merge tree when the plan coalesces,
+//! runs the extract request on the fused sketch, and reports exactly which
+//! `(tenant, dataset, version, freshness)` tuples answered — the provenance
+//! a byte-for-byte verifier needs to replay the plan offline against the
+//! same versions.
+
+use crate::plan::{QueryPlan, Selector};
+use crate::QueryError;
+use opaq_core::{OpaqError, QuantileSketch};
+use opaq_metrics::{PlanStage, StageLatency};
+use opaq_serve::{execute_on, DatasetId, Freshness, QueryOutput, SketchCatalog, TenantId};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One catalog entry that contributed to a plan answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSource {
+    /// The contributing tenant.
+    pub tenant: TenantId,
+    /// The contributing dataset.
+    pub dataset: DatasetId,
+    /// The published version (epoch) of the snapshot used.
+    pub version: u64,
+    /// TTL status of that snapshot at fetch time.
+    pub freshness: Freshness,
+}
+
+/// A successful plan execution: the estimates plus full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResponse {
+    /// The computed estimates.
+    pub output: QueryOutput,
+    /// Total elements summarised by the (possibly fused) answering sketch.
+    pub total_elements: u64,
+    /// Every snapshot that contributed, in the catalog's sorted key order.
+    /// Degenerate single-target plans have exactly one source, which is how
+    /// the legacy per-`(tenant, dataset)` response shape is reconstructed.
+    pub sources: Vec<PlanSource>,
+}
+
+/// Fuse sketches with the same balanced pairwise tree `ShardedOpaq` uses
+/// for shard results: adjacent pairs per round, ascending order, odd one
+/// carries over.  Deterministic — the same input order always produces the
+/// same fused sketch, which is what makes plan answers byte-replayable.
+///
+/// # Errors
+/// [`OpaqError::EmptyDataset`] for an empty slice; merge errors (e.g.
+/// incompatible sample sizes) propagate from [`QuantileSketch::merge`].
+pub fn merge_tree(
+    sketches: &[Arc<QuantileSketch<u64>>],
+) -> Result<Arc<QuantileSketch<u64>>, OpaqError> {
+    if sketches.is_empty() {
+        return Err(OpaqError::EmptyDataset);
+    }
+    if sketches.len() == 1 {
+        return Ok(Arc::clone(&sketches[0]));
+    }
+    let mut round: Vec<Arc<QuantileSketch<u64>>> = sketches.to_vec();
+    while round.len() > 1 {
+        let mut next = Vec::with_capacity(round.len().div_ceil(2));
+        let mut pairs = round.chunks_exact(2);
+        for pair in &mut pairs {
+            next.push(Arc::new(pair[0].merge(&pair[1])?));
+        }
+        if let [odd] = pairs.remainder() {
+            next.push(Arc::clone(odd));
+        }
+        round = next;
+    }
+    Ok(round.pop().expect("non-empty round"))
+}
+
+/// Executes [`QueryPlan`]s against a catalog, recording per-stage latency.
+///
+/// All methods take `&self`; share one executor behind an `Arc` across
+/// serving threads.  Snapshots are resolved through the catalog's usual
+/// epoch discipline, so a plan over N entries reads N *complete* published
+/// versions — never a torn mixture — and reports each one it used.
+#[derive(Debug)]
+pub struct PlanExecutor {
+    catalog: Arc<SketchCatalog>,
+    stages: StageLatency,
+}
+
+impl PlanExecutor {
+    /// Create an executor over `catalog`.
+    pub fn new(catalog: Arc<SketchCatalog>) -> Self {
+        Self {
+            catalog,
+            stages: StageLatency::new(),
+        }
+    }
+
+    /// The catalog plans resolve against.
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.catalog
+    }
+
+    /// Per-stage latency histograms (fetch / merge / extract).
+    pub fn stages(&self) -> &StageLatency {
+        &self.stages
+    }
+
+    /// Execute one plan.
+    ///
+    /// # Errors
+    /// * [`QueryError::NoMatch`] — a glob selector matched nothing;
+    /// * [`QueryError::Serve`] with `ServeError::UnknownEntry` — an exact
+    ///   selector addressed an entry that was never published;
+    /// * [`QueryError::NeedsCoalesce`] — the selector resolved several
+    ///   entries but the plan has no coalesce stage;
+    /// * [`QueryError::Serve`] — snapshot reload, merge or estimation
+    ///   failures.
+    pub fn execute(&self, plan: &QueryPlan) -> Result<PlanResponse, QueryError> {
+        let fetch_start = Instant::now();
+        let snapshots = self.fetch(&plan.selector)?;
+        self.stages.record(PlanStage::Fetch, fetch_start.elapsed());
+
+        if snapshots.len() > 1 && !plan.coalesce {
+            return Err(QueryError::NeedsCoalesce {
+                matched: snapshots.len(),
+            });
+        }
+
+        let fused = if snapshots.len() > 1 {
+            let merge_start = Instant::now();
+            let sketches: Vec<_> = snapshots
+                .iter()
+                .map(|(_, _, snap)| Arc::clone(&snap.sketch))
+                .collect();
+            let fused = merge_tree(&sketches).map_err(opaq_serve::ServeError::from)?;
+            self.stages.record(PlanStage::Merge, merge_start.elapsed());
+            fused
+        } else {
+            Arc::clone(&snapshots[0].2.sketch)
+        };
+
+        let extract_start = Instant::now();
+        let output = execute_on(&fused, &plan.extract)?;
+        self.stages
+            .record(PlanStage::Extract, extract_start.elapsed());
+
+        Ok(PlanResponse {
+            output,
+            total_elements: fused.total_elements(),
+            sources: snapshots
+                .into_iter()
+                .map(|(tenant, dataset, snap)| PlanSource {
+                    tenant,
+                    dataset,
+                    version: snap.version,
+                    freshness: snap.freshness,
+                })
+                .collect(),
+        })
+    }
+
+    /// Resolve a selector to `(tenant, dataset, snapshot)` triples, in the
+    /// catalog's sorted key order (so merge input order — and therefore the
+    /// fused sketch — is deterministic for a given set of versions).
+    fn fetch(
+        &self,
+        selector: &Selector,
+    ) -> Result<Vec<(TenantId, DatasetId, opaq_serve::SketchSnapshot)>, QueryError> {
+        match selector {
+            Selector::Exact { tenant, dataset } => {
+                let snap = self.catalog.snapshot(tenant, dataset)?;
+                Ok(vec![(tenant.clone(), dataset.clone(), snap)])
+            }
+            Selector::Glob { .. } => {
+                let mut resolved = Vec::new();
+                for (tenant, dataset) in self.catalog.keys() {
+                    if selector.matches(&tenant, &dataset) {
+                        let snap = self.catalog.snapshot(&tenant, &dataset)?;
+                        resolved.push((tenant, dataset, snap));
+                    }
+                }
+                if resolved.is_empty() {
+                    let Selector::Glob { tenant, dataset } = selector else {
+                        unreachable!("outer match")
+                    };
+                    return Err(QueryError::NoMatch {
+                        tenant: tenant.clone(),
+                        dataset: dataset.clone(),
+                    });
+                }
+                Ok(resolved)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_core::{IncrementalOpaq, OpaqConfig};
+    use opaq_serve::{QueryRequest, ServeError};
+
+    fn sketch_of(range: std::ops::Range<u64>) -> QuantileSketch<u64> {
+        let config = OpaqConfig::builder()
+            .run_length(500)
+            .sample_size(50)
+            .build()
+            .unwrap();
+        let mut inc = IncrementalOpaq::new(config).unwrap();
+        inc.add_run(range.collect()).unwrap();
+        inc.into_sketch().unwrap()
+    }
+
+    fn catalog_with(tenants: &[(&str, &str, std::ops::Range<u64>)]) -> Arc<SketchCatalog> {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        for (t, d, range) in tenants {
+            catalog
+                .publish(
+                    &TenantId::from(*t),
+                    &DatasetId::from(*d),
+                    sketch_of(range.clone()),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn merge_tree_matches_manual_pairwise_merge() {
+        let a = Arc::new(sketch_of(0..1000));
+        let b = Arc::new(sketch_of(1000..2000));
+        let c = Arc::new(sketch_of(2000..3000));
+        // Three inputs: ((a+b) + c), with c carried over the first round.
+        let manual = Arc::new(a.merge(&b).unwrap().merge(&c).unwrap());
+        let fused = merge_tree(&[a, b, c]).unwrap();
+        assert_eq!(*fused, *manual);
+        assert_eq!(fused.total_elements(), 3000);
+    }
+
+    #[test]
+    fn merge_tree_edge_cases() {
+        assert!(matches!(merge_tree(&[]), Err(OpaqError::EmptyDataset)));
+        let only = Arc::new(sketch_of(0..100));
+        let fused = merge_tree(std::slice::from_ref(&only)).unwrap();
+        assert!(Arc::ptr_eq(&fused, &only), "single input is not copied");
+    }
+
+    #[test]
+    fn glob_plan_fuses_and_reports_every_source() {
+        let catalog = catalog_with(&[
+            ("tenant-0", "events", 0..1000),
+            ("tenant-1", "events", 1000..2000),
+            ("ttl-probe", "events", 0..10),
+        ]);
+        let executor = PlanExecutor::new(Arc::clone(&catalog));
+        let plan = QueryPlan::parse("fetch tenant-*/events | coalesce | quantile 0.5").unwrap();
+        let response = executor.execute(&plan).unwrap();
+        assert_eq!(response.total_elements, 2000);
+        assert_eq!(response.sources.len(), 2);
+        assert_eq!(response.sources[0].tenant.as_str(), "tenant-0");
+        assert_eq!(response.sources[1].tenant.as_str(), "tenant-1");
+        assert!(response
+            .sources
+            .iter()
+            .all(|s| s.version == 1 && s.freshness == Freshness::Fresh));
+        // Byte-replayable: the same merge offline gives the same output.
+        let offline = merge_tree(&[
+            catalog
+                .snapshot(&TenantId::from("tenant-0"), &DatasetId::from("events"))
+                .unwrap()
+                .sketch,
+            catalog
+                .snapshot(&TenantId::from("tenant-1"), &DatasetId::from("events"))
+                .unwrap()
+                .sketch,
+        ])
+        .unwrap();
+        assert_eq!(
+            response.output,
+            execute_on(&offline, &plan.extract).unwrap()
+        );
+        // Stage attribution: fetch and extract always record, merge did too.
+        let stages = executor.stages();
+        assert_eq!(stages.histogram(PlanStage::Fetch).count(), 1);
+        assert_eq!(stages.histogram(PlanStage::Merge).count(), 1);
+        assert_eq!(stages.histogram(PlanStage::Extract).count(), 1);
+    }
+
+    #[test]
+    fn single_target_plan_skips_the_merge_stage() {
+        let catalog = catalog_with(&[("acme", "events", 0..500)]);
+        let executor = PlanExecutor::new(catalog);
+        let plan = QueryPlan::single(
+            TenantId::from("acme"),
+            DatasetId::from("events"),
+            QueryRequest::Rank { key: 250 },
+        );
+        let response = executor.execute(&plan).unwrap();
+        assert_eq!(response.sources.len(), 1);
+        assert_eq!(response.total_elements, 500);
+        assert_eq!(executor.stages().histogram(PlanStage::Merge).count(), 0);
+        assert_eq!(executor.stages().histogram(PlanStage::Fetch).count(), 1);
+    }
+
+    #[test]
+    fn multi_source_without_coalesce_is_a_typed_error() {
+        let catalog = catalog_with(&[("a", "events", 0..100), ("b", "events", 0..100)]);
+        let executor = PlanExecutor::new(catalog);
+        let plan = QueryPlan::parse("fetch */events | quantile 0.5").unwrap();
+        match executor.execute(&plan) {
+            Err(QueryError::NeedsCoalesce { matched }) => assert_eq!(matched, 2),
+            other => panic!("expected NeedsCoalesce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_glob_and_unknown_exact_are_distinct_errors() {
+        let catalog = catalog_with(&[("a", "events", 0..100)]);
+        let executor = PlanExecutor::new(catalog);
+        let glob = QueryPlan::parse("fetch ghost-*/events | coalesce | quantile 0.5").unwrap();
+        assert!(matches!(
+            executor.execute(&glob),
+            Err(QueryError::NoMatch { .. })
+        ));
+        let exact = QueryPlan::parse("fetch ghost/events | quantile 0.5").unwrap();
+        assert!(matches!(
+            executor.execute(&exact),
+            Err(QueryError::Serve(ServeError::UnknownEntry { .. }))
+        ));
+    }
+
+    #[test]
+    fn estimation_errors_propagate_as_serve_errors() {
+        let catalog = catalog_with(&[("a", "events", 0..100)]);
+        let executor = PlanExecutor::new(catalog);
+        let plan = QueryPlan::parse("fetch a/events | quantile 1.5").unwrap();
+        assert!(matches!(executor.execute(&plan), Err(QueryError::Serve(_))));
+    }
+
+    #[test]
+    fn coalescing_one_source_is_harmless() {
+        let catalog = catalog_with(&[("a", "events", 0..100)]);
+        let executor = PlanExecutor::new(catalog);
+        let plan = QueryPlan::parse("fetch a/* | coalesce | quantile 0.5").unwrap();
+        let response = executor.execute(&plan).unwrap();
+        assert_eq!(response.sources.len(), 1);
+        assert_eq!(executor.stages().histogram(PlanStage::Merge).count(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The hand-rolled pipeline-expression parser.
+//!
+//! Same spirit as the HTTP parser in `opaq-net`: no dependencies, no
+//! regular expressions, every rejection a typed error naming the stage it
+//! came from.  The grammar is deliberately tiny — see the crate-level docs
+//! for the reference — so the parser is a single pass over `|`-separated
+//! stages with one keyword lookup each.
+
+use crate::plan::{QueryPlan, Selector};
+use crate::QueryError;
+use opaq_serve::QueryRequest;
+
+fn parse_error(stage: usize, message: impl Into<String>) -> QueryError {
+    QueryError::Parse {
+        message: message.into(),
+        stage,
+    }
+}
+
+/// Parse one pipeline expression into a [`QueryPlan`].
+pub(crate) fn parse(text: &str) -> Result<QueryPlan, QueryError> {
+    let stages: Vec<&str> = text.split('|').map(str::trim).collect();
+    if stages.iter().all(|s| s.is_empty()) {
+        return Err(parse_error(1, "empty plan: expected 'fetch ... | ...'"));
+    }
+    if stages.len() > 3 {
+        return Err(parse_error(
+            4,
+            "too many stages: a plan is 'fetch SELECTOR [| coalesce] | EXTRACT'",
+        ));
+    }
+
+    let selector = parse_fetch(1, stages[0])?;
+    let (coalesce, extract_idx) = match stages.len() {
+        2 => (false, 1),
+        3 => {
+            parse_coalesce(2, stages[1])?;
+            (true, 2)
+        }
+        _ => return Err(parse_error(
+            2,
+            "missing extract stage: end the plan with 'quantile ...', 'rank ...' or 'profile ...'",
+        )),
+    };
+    let extract = parse_extract(extract_idx + 1, stages[extract_idx])?;
+    Ok(QueryPlan {
+        selector,
+        coalesce,
+        extract,
+    })
+}
+
+/// `fetch TENANT-PATTERN[/DATASET-PATTERN]` — a missing dataset pattern
+/// defaults to `*` (every dataset of the matched tenants).
+fn parse_fetch(stage: usize, text: &str) -> Result<Selector, QueryError> {
+    let Some(rest) = keyword(text, "fetch") else {
+        return Err(parse_error(
+            stage,
+            format!("expected 'fetch TENANT/DATASET', got '{text}'"),
+        ));
+    };
+    let selector = rest.trim();
+    if selector.is_empty() {
+        return Err(parse_error(
+            stage,
+            "fetch needs a selector: 'fetch TENANT/DATASET' (globs with * and ? allowed)",
+        ));
+    }
+    if selector.split_whitespace().nth(1).is_some() {
+        return Err(parse_error(
+            stage,
+            format!("fetch takes one selector, got '{selector}'"),
+        ));
+    }
+    let (tenant, dataset) = match selector.split_once('/') {
+        Some((tenant, dataset)) => (tenant, dataset),
+        None => (selector, "*"),
+    };
+    if tenant.is_empty() {
+        return Err(parse_error(stage, "empty tenant pattern in fetch selector"));
+    }
+    if dataset.is_empty() {
+        return Err(parse_error(
+            stage,
+            "empty dataset pattern in fetch selector (omit the '/' to select every dataset)",
+        ));
+    }
+    Ok(Selector::compile(tenant, dataset))
+}
+
+/// `coalesce` (alias `merge`) — no arguments.
+fn parse_coalesce(stage: usize, text: &str) -> Result<(), QueryError> {
+    match text {
+        "coalesce" | "merge" => Ok(()),
+        _ if keyword(text, "coalesce").is_some() || keyword(text, "merge").is_some() => Err(
+            parse_error(stage, format!("coalesce takes no arguments, got '{text}'")),
+        ),
+        _ => Err(parse_error(
+            stage,
+            format!("expected 'coalesce' between fetch and extract, got '{text}'"),
+        )),
+    }
+}
+
+/// `quantile PHI[,PHI...]` | `rank KEY` | `profile COUNT`.
+fn parse_extract(stage: usize, text: &str) -> Result<QueryRequest, QueryError> {
+    if let Some(rest) = keyword(text, "quantile") {
+        let phis = parse_phis(stage, rest.trim())?;
+        return Ok(if phis.len() == 1 {
+            QueryRequest::Quantile { phi: phis[0] }
+        } else {
+            QueryRequest::QuantileBatch { phis }
+        });
+    }
+    if let Some(rest) = keyword(text, "rank") {
+        let key = rest.trim().parse::<u64>().map_err(|_| {
+            parse_error(
+                stage,
+                format!("rank needs one unsigned integer key, got '{}'", rest.trim()),
+            )
+        })?;
+        return Ok(QueryRequest::Rank { key });
+    }
+    if let Some(rest) = keyword(text, "profile") {
+        let count = rest.trim().parse::<u64>().map_err(|_| {
+            parse_error(
+                stage,
+                format!(
+                    "profile needs one unsigned bucket count, got '{}'",
+                    rest.trim()
+                ),
+            )
+        })?;
+        return Ok(QueryRequest::Profile { count });
+    }
+    Err(parse_error(
+        stage,
+        format!("expected 'quantile ...', 'rank ...' or 'profile ...', got '{text}'"),
+    ))
+}
+
+fn parse_phis(stage: usize, text: &str) -> Result<Vec<f64>, QueryError> {
+    if text.is_empty() {
+        return Err(parse_error(
+            stage,
+            "quantile needs at least one fraction, e.g. 'quantile 0.5,0.99'",
+        ));
+    }
+    let mut phis = Vec::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        let phi = part.parse::<f64>().map_err(|_| {
+            parse_error(
+                stage,
+                format!("quantile fraction must be a number, got '{part}'"),
+            )
+        })?;
+        if !phi.is_finite() {
+            return Err(parse_error(
+                stage,
+                format!("quantile fraction must be finite, got '{part}'"),
+            ));
+        }
+        phis.push(phi);
+    }
+    Ok(phis)
+}
+
+/// If `text` starts with `word` followed by end-of-input or whitespace,
+/// return the remainder.  Keywords are case-sensitive, like HTTP methods.
+fn keyword<'a>(text: &'a str, word: &str) -> Option<&'a str> {
+    let rest = text.strip_prefix(word)?;
+    if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opaq_serve::{DatasetId, TenantId};
+
+    fn parse_ok(text: &str) -> QueryPlan {
+        parse(text).unwrap_or_else(|e| panic!("'{text}' should parse: {e}"))
+    }
+
+    fn parse_err(text: &str) -> (String, usize) {
+        match parse(text) {
+            Err(QueryError::Parse { message, stage }) => (message, stage),
+            other => panic!("'{text}' should fail to parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_pipeline_parses() {
+        let plan = parse_ok("fetch tenant-*/events | coalesce | quantile 0.5,0.99");
+        assert!(plan.coalesce);
+        assert!(matches!(plan.selector, Selector::Glob { .. }));
+        assert_eq!(
+            plan.extract,
+            QueryRequest::QuantileBatch {
+                phis: vec![0.5, 0.99]
+            }
+        );
+    }
+
+    #[test]
+    fn merge_is_an_alias_for_coalesce() {
+        assert_eq!(
+            parse_ok("fetch a/b | merge | rank 100"),
+            parse_ok("fetch a/b | coalesce | rank 100")
+        );
+    }
+
+    #[test]
+    fn single_phi_lowers_to_scalar_quantile() {
+        let plan = parse_ok("fetch acme/events | quantile 0.5");
+        assert!(!plan.coalesce);
+        assert_eq!(plan.extract, QueryRequest::Quantile { phi: 0.5 });
+        assert_eq!(
+            plan.selector,
+            Selector::Exact {
+                tenant: TenantId::from("acme"),
+                dataset: DatasetId::from("events"),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_dataset_pattern_defaults_to_star() {
+        let plan = parse_ok("fetch acme | profile 10");
+        assert_eq!(
+            plan.selector,
+            Selector::Glob {
+                tenant: "acme".to_string(),
+                dataset: "*".to_string(),
+            }
+        );
+        assert_eq!(plan.extract, QueryRequest::Profile { count: 10 });
+    }
+
+    #[test]
+    fn whitespace_is_forgiven_everywhere() {
+        let plan = parse_ok("  fetch   t-*/d  |  coalesce  |  quantile  0.1 , 0.9  ");
+        assert!(plan.coalesce);
+        assert_eq!(
+            plan.extract,
+            QueryRequest::QuantileBatch {
+                phis: vec![0.1, 0.9]
+            }
+        );
+    }
+
+    #[test]
+    fn rank_and_profile_parse_integers() {
+        assert_eq!(
+            parse_ok("fetch a/b | rank 12345").extract,
+            QueryRequest::Rank { key: 12345 }
+        );
+        assert_eq!(
+            parse_ok("fetch a/b | profile 8").extract,
+            QueryRequest::Profile { count: 8 }
+        );
+    }
+
+    #[test]
+    fn errors_name_the_offending_stage() {
+        assert_eq!(parse_err("").1, 1);
+        assert_eq!(parse_err("quantile 0.5").1, 1);
+        assert_eq!(parse_err("fetch a/b").1, 2);
+        assert_eq!(parse_err("fetch a/b | bogus | quantile 0.5").1, 2);
+        assert_eq!(parse_err("fetch a/b | coalesce | bogus 1").1, 3);
+        assert_eq!(parse_err("fetch a/b | c | q | extra").1, 4);
+    }
+
+    #[test]
+    fn malformed_selectors_are_rejected() {
+        assert!(parse_err("fetch | quantile 0.5").0.contains("selector"));
+        assert!(parse_err("fetch /events | quantile 0.5")
+            .0
+            .contains("empty tenant"));
+        assert!(parse_err("fetch acme/ | quantile 0.5")
+            .0
+            .contains("empty dataset"));
+        assert!(parse_err("fetch a b | quantile 0.5")
+            .0
+            .contains("one selector"));
+        assert!(parse_err("fetchx a/b | quantile 0.5").0.contains("fetch"));
+    }
+
+    #[test]
+    fn malformed_extracts_are_rejected() {
+        assert!(parse_err("fetch a/b | quantile").0.contains("at least one"));
+        assert!(parse_err("fetch a/b | quantile nan").0.contains("finite"));
+        assert!(parse_err("fetch a/b | quantile inf").0.contains("finite"));
+        assert!(parse_err("fetch a/b | quantile 0.5,,0.9")
+            .0
+            .contains("number"));
+        assert!(parse_err("fetch a/b | rank -1").0.contains("unsigned"));
+        assert!(parse_err("fetch a/b | rank 1.5").0.contains("unsigned"));
+        assert!(parse_err("fetch a/b | profile ten").0.contains("unsigned"));
+        assert!(parse_err("fetch a/b | quantile55").0.contains("expected"));
+    }
+
+    #[test]
+    fn coalesce_takes_no_arguments() {
+        assert!(parse_err("fetch a/b | coalesce now | quantile 0.5")
+            .0
+            .contains("no arguments"));
+    }
+
+    #[test]
+    fn out_of_range_phi_parses_and_fails_at_execution_instead() {
+        // The parser only insists on finite numbers; range checking lives in
+        // the sketch so HTTP 400s for phi=1.5 flow through one error path.
+        assert_eq!(
+            parse_ok("fetch a/b | quantile 1.5").extract,
+            QueryRequest::Quantile { phi: 1.5 }
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property suite for the pipeline glob matcher.
+//!
+//! The matcher is the only piece of the query layer with a combinatorial
+//! input space, and a subtle backtracking bug (greedy `*` that never
+//! retries) would silently narrow plan fan-outs — the executor would fetch
+//! fewer tenants than the selector names and every downstream byte check
+//! would chase a phantom.  These properties pin the algebra instead of
+//! examples: literals are exact anchored equality, `*` insertion only ever
+//! widens a match, `?` consumes exactly one scalar, adjacent stars
+//! collapse.
+
+use opaq_query::glob_match;
+use proptest::prelude::*;
+
+/// Deterministic text over an alphabet with multi-byte scalars and the
+/// characters tenant ids actually use — but never a metacharacter, so any
+/// generated text doubles as a literal pattern.
+fn text_from(seed: u64, len: usize) -> String {
+    const ALPHABET: [char; 8] = ['a', 'b', '-', '0', 'é', '日', '_', '.'];
+    (0..len)
+        .map(|i| {
+            let mix = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            ALPHABET[(mix >> 32) as usize % ALPHABET.len()]
+        })
+        .collect()
+}
+
+/// Insert `c` at the `at`-th char boundary (clamped).
+fn insert_at_char(text: &str, at: usize, c: char) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let at = at % (chars.len() + 1);
+    let mut out: String = chars[..at].iter().collect();
+    out.push(c);
+    out.extend(&chars[at..]);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A metacharacter-free pattern is anchored equality: it matches itself
+    /// and nothing longer on either side.
+    #[test]
+    fn literal_patterns_are_anchored_equality(
+        seed in any::<u64>(),
+        len in 0usize..20,
+        pad in 1usize..5,
+    ) {
+        let text = text_from(seed, len);
+        prop_assert!(glob_match(&text, &text));
+        let padding = text_from(seed ^ 0xDEAD, pad);
+        prop_assert!(!glob_match(&text, &format!("{text}{padding}")));
+        prop_assert!(!glob_match(&text, &format!("{padding}{text}")));
+    }
+
+    /// `*` alone matches every text, and inserting a `*` anywhere into a
+    /// matching pattern never breaks the match (it can only widen).
+    #[test]
+    fn star_insertion_only_widens(
+        seed in any::<u64>(),
+        len in 0usize..20,
+        at in any::<usize>(),
+    ) {
+        let text = text_from(seed, len);
+        prop_assert!(glob_match("*", &text));
+        let widened = insert_at_char(&text, at, '*');
+        prop_assert!(glob_match(&widened, &text), "{widened:?} vs {text:?}");
+    }
+
+    /// `?` consumes exactly one scalar — a run of n `?`s matches texts of n
+    /// chars (bytes be damned) and no other length.
+    #[test]
+    fn question_mark_is_exactly_one_scalar(
+        seed in any::<u64>(),
+        len in 0usize..12,
+    ) {
+        let pattern = "?".repeat(len);
+        prop_assert!(glob_match(&pattern, &text_from(seed, len)));
+        prop_assert!(!glob_match(&pattern, &text_from(seed, len + 1)));
+        if len > 0 {
+            prop_assert!(!glob_match(&pattern, &text_from(seed, len - 1)));
+        }
+    }
+
+    /// Adjacent stars collapse: `a**b` and `a*b` accept the same texts.
+    #[test]
+    fn adjacent_stars_collapse(
+        seed in any::<u64>(),
+        prefix_len in 0usize..6,
+        suffix_len in 0usize..6,
+        text_len in 0usize..20,
+    ) {
+        let prefix = text_from(seed, prefix_len);
+        let suffix = text_from(seed ^ 0xBEEF, suffix_len);
+        let single = format!("{prefix}*{suffix}");
+        let double = format!("{prefix}**{suffix}");
+        let text = text_from(seed ^ 0xF00D, text_len);
+        prop_assert_eq!(glob_match(&single, &text), glob_match(&double, &text));
+        // And both accept the text they were built from.
+        let built = format!("{prefix}{text}{suffix}");
+        prop_assert!(glob_match(&single, &built));
+        prop_assert!(glob_match(&double, &built));
+    }
+
+    /// Prefix and suffix globs behave like `starts_with` / `ends_with`.
+    #[test]
+    fn prefix_and_suffix_globs(
+        seed in any::<u64>(),
+        len in 0usize..12,
+        tail_len in 0usize..12,
+    ) {
+        let stem = text_from(seed, len);
+        let tail = text_from(seed ^ 0xACE, tail_len);
+        let joined = format!("{stem}{tail}");
+        prop_assert!(glob_match(&format!("{stem}*"), &joined));
+        prop_assert!(glob_match(&format!("*{tail}"), &joined));
+        prop_assert_eq!(
+            glob_match(&format!("{stem}*"), &joined),
+            joined.starts_with(&stem)
+        );
+    }
+}

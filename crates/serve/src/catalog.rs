@@ -199,7 +199,12 @@ struct Entry {
 }
 
 /// Configuration of a [`SketchCatalog`].
+///
+/// Marked `#[non_exhaustive]`: construct it with [`CatalogConfig::builder`]
+/// (or start from [`CatalogConfig::default`]), so future knobs can land
+/// without breaking downstream construction sites.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct CatalogConfig {
     /// Maximum resident sample points across all entries; `None` = unbounded.
     /// The most-recently-used entry is never evicted, so a budget smaller
@@ -211,6 +216,60 @@ pub struct CatalogConfig {
     /// Default `max_age` applied to every new entry (overridable per entry
     /// with [`SketchCatalog::set_ttl`]); `None` = entries never expire.
     pub default_max_age: Option<Duration>,
+}
+
+impl CatalogConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> CatalogConfigBuilder {
+        CatalogConfigBuilder::default()
+    }
+}
+
+/// Builder for [`CatalogConfig`] — see [`CatalogConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct CatalogConfigBuilder {
+    config: CatalogConfig,
+}
+
+impl CatalogConfigBuilder {
+    /// Cap resident sample points across all entries (must be positive;
+    /// requires [`Self::spill_dir`]).
+    pub fn budget_sample_points(mut self, budget: u64) -> Self {
+        self.config.budget_sample_points = Some(budget);
+        self
+    }
+
+    /// Directory to spill evicted sketches into.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Default `max_age` for every new entry.
+    pub fn default_max_age(mut self, max_age: Duration) -> Self {
+        self.config.default_max_age = Some(max_age);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidConfig`] for a zero eviction budget or a budget
+    /// without a spill directory (the same check [`SketchCatalog::new`]
+    /// enforces, surfaced before a catalog is ever constructed).
+    pub fn build(self) -> ServeResult<CatalogConfig> {
+        if self.config.budget_sample_points == Some(0) {
+            return Err(ServeError::InvalidConfig(
+                "eviction budget must be positive (omit it for an unbounded catalog)".into(),
+            ));
+        }
+        if self.config.budget_sample_points.is_some() && self.config.spill_dir.is_none() {
+            return Err(ServeError::InvalidConfig(
+                "an eviction budget requires a spill directory".into(),
+            ));
+        }
+        Ok(self.config)
+    }
 }
 
 /// Monotonic counters describing what a catalog has done so far.
@@ -944,6 +1003,40 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_validates_and_round_trips() {
+        let config = CatalogConfig::builder()
+            .budget_sample_points(200)
+            .spill_dir("/tmp/opaq-spill")
+            .default_max_age(Duration::from_secs(60))
+            .build()
+            .unwrap();
+        assert_eq!(config.budget_sample_points, Some(200));
+        assert_eq!(
+            config.spill_dir.as_deref(),
+            Some(Path::new("/tmp/opaq-spill"))
+        );
+        assert_eq!(config.default_max_age, Some(Duration::from_secs(60)));
+
+        // A zero budget is rejected up front, not at first eviction.
+        let err = CatalogConfig::builder()
+            .budget_sample_points(0)
+            .spill_dir("/tmp/opaq-spill")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+        // As is a budget without anywhere to spill.
+        let err = CatalogConfig::builder()
+            .budget_sample_points(100)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+        // The empty builder is the unbounded default.
+        let unbounded = CatalogConfig::builder().build().unwrap();
+        assert!(unbounded.budget_sample_points.is_none());
+        assert!(unbounded.spill_dir.is_none());
     }
 
     #[test]

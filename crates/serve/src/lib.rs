@@ -72,8 +72,8 @@ pub mod query;
 pub mod refresh;
 
 pub use catalog::{
-    CatalogConfig, CatalogStats, DatasetId, Freshness, RefreshHook, SketchCatalog, SketchSnapshot,
-    TenantId,
+    CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, RefreshHook,
+    SketchCatalog, SketchSnapshot, TenantId,
 };
 pub use load::{chunk_spec, next_rand, request_for, run_workload, LoadReport, WorkloadSpec};
 pub use query::{execute_on, QueryEngine, QueryOutput, QueryRequest, QueryResponse};

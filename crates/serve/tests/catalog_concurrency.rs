@@ -58,11 +58,13 @@ fn hammer(tenants: u64, versions: u64, readers: usize, budget: Option<u64>) {
                 std::process::id()
             ));
             spill_dir = Some(dir.clone());
-            SketchCatalog::new(CatalogConfig {
-                budget_sample_points: Some(points),
-                spill_dir: Some(dir),
-                default_max_age: None,
-            })
+            SketchCatalog::new(
+                CatalogConfig::builder()
+                    .budget_sample_points(points)
+                    .spill_dir(dir)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap()
         }
     });

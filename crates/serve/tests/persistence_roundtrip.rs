@@ -96,11 +96,13 @@ fn save_load_preserves_every_estimate_across_distributions_and_threads() {
 fn catalog_spill_reload_preserves_estimates() {
     let mut dir = std::env::temp_dir();
     dir.push(format!("opaq-serve-roundtrip-spill-{}", std::process::id()));
-    let catalog = SketchCatalog::new(CatalogConfig {
-        budget_sample_points: Some(1), // evict everything but the hot entry
-        spill_dir: Some(dir.clone()),
-        default_max_age: None,
-    })
+    let catalog = SketchCatalog::new(
+        CatalogConfig::builder()
+            .budget_sample_points(1) // evict everything but the hot entry
+            .spill_dir(dir.clone())
+            .build()
+            .unwrap(),
+    )
     .unwrap();
 
     let spec = DatasetSpec {

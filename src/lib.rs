@@ -19,9 +19,14 @@
 //! * [`serve`] ([`opaq_serve`]) — concurrent multi-tenant sketch serving:
 //!   the versioned [`SketchCatalog`], typed [`QueryEngine`], background
 //!   refresh and the load-generator harness.
+//! * [`query`] ([`opaq_query`]) — the composable query pipeline:
+//!   `fetch tenant-*/events | coalesce | quantile 0.5,0.99` expressions
+//!   compiled to typed [`QueryPlan`]s and executed by a [`PlanExecutor`]
+//!   against catalog snapshots, with full per-source provenance.
 //! * [`net`] ([`opaq_net`]) — the HTTP/1.1 front-end over the serving
 //!   layer: dependency-free server/client, versioned + freshness-tagged
-//!   responses, `/metrics` exposition and the HTTP workload harness.
+//!   responses, `POST /v1/query` plans, `/metrics` exposition and the HTTP
+//!   workload harness.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -46,6 +51,7 @@ pub use opaq_datagen as datagen;
 pub use opaq_metrics as metrics;
 pub use opaq_net as net;
 pub use opaq_parallel as parallel;
+pub use opaq_query as query;
 pub use opaq_select as select;
 pub use opaq_serve as serve;
 pub use opaq_storage as storage;
@@ -58,6 +64,7 @@ pub use opaq_core::{
 pub use opaq_datagen::DatasetSpec;
 pub use opaq_metrics::{compute_error_rates, GroundTruth, QuantileBoundsView};
 pub use opaq_parallel::{MergeAlgorithm, ParallelOpaq, ShardedIngestReport, ShardedOpaq};
+pub use opaq_query::{PlanExecutor, QueryPlan};
 pub use opaq_select::SelectionStrategy;
 pub use opaq_serve::{QueryEngine, QueryRequest, SketchCatalog};
 pub use opaq_storage::{DiskModel, FileRunStore, FileRunStoreBuilder, MemRunStore, RunStore};
