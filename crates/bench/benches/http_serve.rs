@@ -6,14 +6,18 @@
 //! through `opaq_net::run_http_workload`, which re-renders every response
 //! from the registered sketch of its claimed `x-opaq-version` and compares
 //! **byte-for-byte** — a torn read, an HTTP error, or a missing TTL
-//! expiry→refresh cycle fails `cargo bench` before a single timing.  Then
-//! criterion times whole-workload throughput at two client counts, giving
-//! the over-the-wire cost next to `serve_load`'s in-process numbers.
+//! expiry→refresh cycle fails `cargo bench` before a single timing.  An
+//! open-loop leg then replays the workload at a fixed offered rate under a
+//! declared SLO (latency from scheduled send times, 503s as sheds) and
+//! fails on any breach.  Finally criterion times whole-workload throughput
+//! at two client counts, giving the over-the-wire cost next to
+//! `serve_load`'s in-process numbers.
 //!
 //! Set `OPAQ_BENCH_QUICK=1` (per-PR CI smoke) to shrink the datasets; the
 //! consistency assertions run at full strength either way.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use opaq_metrics::SloThresholds;
 use opaq_net::{run_http_workload, HttpWorkloadSpec};
 use std::time::Duration;
 
@@ -73,6 +77,35 @@ fn bench_http_serve(c: &mut Criterion) {
         "4 clients + ttl probe",
         &spec(4, Some(Duration::from_millis(100))),
     );
+
+    // Open-loop leg: the same workload under a fixed offered rate with a
+    // declared SLO.  Latency is measured from each op's *scheduled* send
+    // time (coordinated-omission-safe), 503s count as sheds, and any
+    // breach of the declared objectives fails the bench before timing.
+    {
+        let mut open = spec(4, None);
+        open.spec.refresh_rounds = 1;
+        open.target_qps = Some(if quick_mode() { 2_000.0 } else { 5_000.0 });
+        open.slo = SloThresholds {
+            p99: Some(Duration::from_secs(5)),
+            max_error_rate: Some(0.0),
+            max_shed_rate: Some(0.0),
+            ..Default::default()
+        };
+        let report = run_http_workload(&open).expect("open-loop workload must run cleanly");
+        println!(
+            "== http_serve workload: open loop @ {:.0} qps ==",
+            open.target_qps.unwrap()
+        );
+        println!("{}", report.render());
+        assert_eq!(report.torn_reads, 0, "open loop: torn read over the wire");
+        assert_eq!(
+            report.slo.breaches(),
+            0,
+            "open loop: declared SLO breached\n{}",
+            report.render()
+        );
+    }
 
     // Whole-workload throughput trend over client counts (TTL probe off so
     // the timing loop is not gated on the expiry grace window).

@@ -7,7 +7,7 @@ use crate::args::Args;
 use crate::{persist, CliError, CliResult};
 use opaq_core::{exact_quantile, IncrementalOpaq, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
-use opaq_metrics::TextTable;
+use opaq_metrics::{SloThresholds, TextTable};
 use opaq_net::json::write_escaped;
 use opaq_net::{HttpClient, HttpServer, HttpWorkloadSpec, Json, ServerConfig};
 use opaq_parallel::ShardedOpaq;
@@ -55,7 +55,8 @@ COMMANDS:
              exact quantile with one estimation pass plus one refinement pass
   serve-bench [--tenants M] [--clients N] [--ops K] [--keys-per-tenant D]
              [--run-length M] [--sample-size S] [--refreshes R] [--budget B]
-             [--seed S] [--ttl-ms T] [--quick] [--http]
+             [--seed S] [--ttl-ms T] [--quick] [--http] [--qps Q]
+             [--slo-p99-ms M] [--bench-out FILE]
              replay a mixed read/refresh workload against the multi-tenant
              serving catalog: N client threads issue K typed queries each
              across M tenants while refreshes publish new sketch versions
@@ -67,10 +68,18 @@ COMMANDS:
              loopback HTTP server is stood up, every response is verified
              byte-for-byte against its claimed sketch version, and a
              TTL probe tenant (--ttl-ms, default 150) must be observed
-             serving stale-then-refreshed answers
+             serving stale-then-refreshed answers.
+             --qps Q holds an aggregate *open-loop* offered rate instead of
+             closed-loop as-fast-as-possible, with latency measured from
+             each op's scheduled send time (coordinated-omission-safe).
+             --slo-p99-ms M declares the objectives 'p99 <= M ms, zero
+             errors, zero sheds'; any breach makes the command exit
+             nonzero.  --bench-out FILE writes the machine-readable report
+             (BENCH_serve.json format)
   serve      --addr HOST:PORT [--tenants M] [--keys-per-tenant D]
              [--run-length M] [--sample-size S] [--ttl-ms T]
              [--refresh-threads R] [--workers W] [--seed S]
+             [--data-dir DIR] [--slo-p99-ms M]
              run the HTTP front-end over M synthetic tenants
              (tenant-0..M-1, dataset 'events').  Endpoints:
                GET  /v1/{tenant}/{dataset}/quantile?phi=0.5
@@ -82,6 +91,11 @@ COMMANDS:
              every response carries x-opaq-version and x-opaq-freshness.
              --ttl-ms T ages entries: expired tenants serve stale until a
              background re-ingest (--refresh-threads workers) republishes.
+             --data-dir DIR makes the catalog durable: every publish is
+             committed to a write-ahead manifest + per-version sketch files
+             under DIR, and a restart over the same DIR rebuilds the exact
+             catalog (entries, versions, TTLs) instead of re-seeding.
+             --slo-p99-ms M arms the server-side opaq_slo_breaches counter.
              The server runs until stdin reaches EOF (or a 'quit' line),
              then shuts down cleanly and prints a summary
   help       print this text
@@ -572,6 +586,9 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
             "budget",
             "seed",
             "ttl-ms",
+            "qps",
+            "slo-p99-ms",
+            "bench-out",
         ],
         &["quick", "http"],
     )?;
@@ -581,6 +598,29 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
         WorkloadSpec::default()
     };
     let budget = args.u64_or("budget", 0)?;
+    let target_qps = match args.get("qps") {
+        Some(_) => {
+            let qps = args.f64_or("qps", 0.0)?;
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(CliError::Usage(
+                    "--qps must be a positive offered rate".to_string(),
+                ));
+            }
+            Some(qps)
+        }
+        None => None,
+    };
+    // `--slo-p99-ms M` declares "p99 under M ms, zero errors, zero sheds" —
+    // the conservative gate CI holds the open-loop bench to.
+    let slo = match args.get("slo-p99-ms") {
+        Some(_) => SloThresholds {
+            p99: Some(Duration::from_millis(args.u64_or("slo-p99-ms", 0)?)),
+            max_error_rate: Some(0.0),
+            max_shed_rate: Some(0.0),
+            ..Default::default()
+        },
+        None => SloThresholds::default(),
+    };
     let spec = WorkloadSpec {
         tenants: args.u64_or("tenants", base.tenants as u64)? as usize,
         clients: args.u64_or("clients", base.clients as u64)? as usize,
@@ -592,6 +632,7 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
         budget_sample_points: (budget > 0).then_some(budget),
         spill_dir: None,
         seed: args.u64_or("seed", base.seed)?,
+        target_qps,
     };
     if args.flag("http") {
         if budget > 0 {
@@ -601,7 +642,7 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
                     .to_string(),
             ));
         }
-        return serve_bench_http(args, spec);
+        return serve_bench_http(args, spec, slo);
     }
     let report = opaq_serve::run_workload(&spec)?;
     let mut out = format!(
@@ -617,6 +658,29 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
         report.torn_reads,
     );
     out.push_str(&report.render());
+    // In-process ops can't error or shed; the SLO verdicts are latency-only
+    // plus the structural torn-read gate below.
+    let outcome = slo.evaluate(&report.client_latency, 0.0, 0.0);
+    out.push_str(&outcome.render("slo verdicts"));
+    if let Some(path) = args.get("bench-out") {
+        let json = render_bench_serve_json(
+            "opaq serve-bench (in-process, open-loop)",
+            &spec,
+            target_qps,
+            &report.client_latency,
+            report.wall,
+            report.ops,
+            report.verified,
+            report.torn_reads,
+            0.0,
+            0.0,
+            &slo,
+            &outcome,
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Usage(format!("could not write {path}: {e}")))?;
+        out.push_str(&format!("bench report written to {path}\n"));
+    }
     if report.torn_reads > 0 {
         return Err(CliError::Usage(format!(
             "{} torn reads observed — served estimates diverged from every published sketch \
@@ -624,25 +688,127 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
             report.torn_reads
         )));
     }
+    if outcome.is_breached() {
+        return Err(CliError::Usage(format!(
+            "{} of {} declared SLO objectives breached\n{out}",
+            outcome.breaches(),
+            outcome.checks.len()
+        )));
+    }
     Ok(out)
+}
+
+/// Render the machine-readable bench report (the `BENCH_serve.json` format:
+/// same sections as `BENCH_select.json` — benchmark/command/recorded/host/
+/// input/results/acceptance — hand-rolled like everything else JSON here).
+#[allow(clippy::too_many_arguments)]
+fn render_bench_serve_json(
+    benchmark: &str,
+    spec: &WorkloadSpec,
+    target_qps: Option<f64>,
+    latency: &opaq_metrics::LatencySnapshot,
+    wall: Duration,
+    ops: u64,
+    verified: u64,
+    torn_reads: u64,
+    error_rate: f64,
+    shed_rate: f64,
+    slo: &SloThresholds,
+    outcome: &opaq_metrics::SloOutcome,
+) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1_000.0;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let qps_note = match target_qps {
+        Some(qps) => format!("{qps:.0}"),
+        None => "null".to_string(),
+    };
+    let slo_note = match slo.p99 {
+        Some(p99) => format!("\"p99 <= {:.0} ms, zero errors, zero sheds\"", ms(p99)),
+        None => "\"none declared\"".to_string(),
+    };
+    let mut command = format!(
+        "opaq serve-bench{} --tenants {} --clients {} --ops {} --seed {}",
+        if benchmark.contains("--http") {
+            " --http"
+        } else {
+            ""
+        },
+        spec.tenants,
+        spec.clients,
+        spec.ops_per_client,
+        spec.seed,
+    );
+    if let Some(qps) = target_qps {
+        command.push_str(&format!(" --qps {qps:.0}"));
+    }
+    if let Some(p99) = slo.p99 {
+        command.push_str(&format!(" --slo-p99-ms {:.0}", ms(p99)));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"command\": \"{command}\",\n  \"recorded\": \"{}\",\n  \"host\": {{\n    \"cores\": {cores},\n    \"arch\": \"{}\",\n    \"note\": \"open-loop offered rate; latency measured from scheduled send times (coordinated-omission-safe)\"\n  }},\n  \"input\": {{\n    \"tenants\": {},\n    \"clients\": {},\n    \"ops_per_client\": {},\n    \"keys_per_tenant\": {},\n    \"run_length\": {},\n    \"sample_size\": {},\n    \"refresh_rounds\": {},\n    \"target_qps\": {qps_note},\n    \"seed\": {}\n  }},\n  \"results\": {{\n    \"ops\": {ops},\n    \"verified\": {verified},\n    \"torn_reads\": {torn_reads},\n    \"wall_ms\": {:.3},\n    \"throughput_ops_s\": {:.1},\n    \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \"p999_ms\": {:.3},\n    \"max_ms\": {:.3},\n    \"error_rate\": {error_rate:.6},\n    \"shed_rate\": {shed_rate:.6}\n  }},\n  \"acceptance\": {{\n    \"criterion\": {slo_note},\n    \"slo_checks\": {},\n    \"slo_breaches\": {},\n    \"met\": {}\n  }}\n}}\n",
+        today_utc(),
+        std::env::consts::ARCH,
+        spec.tenants,
+        spec.clients,
+        spec.ops_per_client,
+        spec.keys_per_tenant,
+        spec.run_length,
+        spec.sample_size,
+        spec.refresh_rounds,
+        spec.seed,
+        ms(wall),
+        ops as f64 / wall.as_secs_f64().max(1e-9),
+        ms(latency.p50),
+        ms(latency.p99),
+        ms(latency.p999),
+        ms(latency.max),
+        outcome.checks.len(),
+        outcome.breaches(),
+        torn_reads == 0 && !outcome.is_breached(),
+    )
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm —
+/// no clock/locale dependencies beyond `SystemTime`).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// `opaq serve-bench --http`: the same workload shape replayed over real TCP
 /// through the `opaq-net` front-end, byte-verified per response, plus a TTL
 /// probe tenant that must be observed going stale and refreshing.
-fn serve_bench_http(args: &Args, spec: WorkloadSpec) -> CliResult<String> {
+fn serve_bench_http(args: &Args, spec: WorkloadSpec, slo: SloThresholds) -> CliResult<String> {
     let ttl_ms = args.u64_or("ttl-ms", 150)?;
     let http_spec = HttpWorkloadSpec {
+        target_qps: spec.target_qps,
         spec,
         ttl: (ttl_ms > 0).then(|| Duration::from_millis(ttl_ms)),
         server: ServerConfig::default(),
+        slo,
     };
     let report = opaq_net::run_http_workload(&http_spec)
         .map_err(|e| CliError::Usage(format!("http workload failed: {e}")))?;
     let mut out = format!(
         "served {} HTTP requests over {} tenants in {:?} ({:.0} ops/s); {} refreshes \
          published mid-workload, {} responses verified byte-for-byte, {} /v1/query plans \
-         replayed offline and verified (of {}), {} torn reads, {} http errors; \
+         replayed offline and verified (of {}), {} torn reads, {} http errors, {} sheds; \
          ttl probe: {} non-fresh responses, {} expiry-refresh cycles observed\n",
         report.ops,
         http_spec.spec.tenants,
@@ -654,14 +820,41 @@ fn serve_bench_http(args: &Args, spec: WorkloadSpec) -> CliResult<String> {
         report.plan_ops,
         report.torn_reads,
         report.http_errors,
+        report.sheds,
         report.non_fresh_served,
         report.ttl_refreshes_observed,
     );
     out.push_str(&report.render());
+    if let Some(path) = args.get("bench-out") {
+        let json = render_bench_serve_json(
+            "opaq serve-bench --http (open-loop over TCP)",
+            &http_spec.spec,
+            report.target_qps,
+            &report.latency,
+            report.wall,
+            report.ops + report.plan_ops,
+            report.verified + report.plan_verified,
+            report.torn_reads,
+            report.error_rate(),
+            report.shed_rate(),
+            &http_spec.slo,
+            &report.slo,
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Usage(format!("could not write {path}: {e}")))?;
+        out.push_str(&format!("bench report written to {path}\n"));
+    }
     if report.torn_reads > 0 || report.http_errors > 0 {
         return Err(CliError::Usage(format!(
             "{} torn reads / {} http errors observed over the wire\n{out}",
             report.torn_reads, report.http_errors
+        )));
+    }
+    if report.slo.is_breached() {
+        return Err(CliError::Usage(format!(
+            "{} of {} declared SLO objectives breached\n{out}",
+            report.slo.breaches(),
+            report.slo.checks.len()
         )));
     }
     if report.plan_verified < report.plan_ops {
@@ -701,6 +894,8 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
             "refresh-threads",
             "workers",
             "seed",
+            "data-dir",
+            "slo-p99-ms",
         ],
         &[],
     )?;
@@ -721,26 +916,53 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         .run_length(run_length)
         .sample_size(sample_size)
         .build()?;
-    let catalog = Arc::new(SketchCatalog::unbounded());
+    let catalog = match args.get("data-dir") {
+        // Durable mode: every publish commits to the write-ahead manifest
+        // under DIR before the epoch swap; a restart over the same DIR
+        // replays it (see the durability model in opaq-serve's docs).
+        Some(dir) => Arc::new(SketchCatalog::new(
+            opaq_serve::CatalogConfig::builder().data_dir(dir).build()?,
+        )?),
+        None => Arc::new(SketchCatalog::unbounded()),
+    };
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
-    for tenant_idx in 0..tenants {
-        let keys = DatasetSpec {
-            n: keys_per_tenant,
-            distribution: Distribution::Uniform { domain: 1 << 31 },
-            duplicate_fraction: 0.1,
-            seed: seed.wrapping_add(tenant_idx),
+    if let Some(_ms) = args.get("slo-p99-ms") {
+        engine.set_slo_threshold(Some(Duration::from_millis(args.u64_or("slo-p99-ms", 0)?)));
+    }
+    let mut recovery_banner = String::new();
+    let recovered_entries = catalog.recovery().map_or(0, |r| r.entries);
+    if let Some(recovery) = catalog.recovery().filter(|r| r.entries > 0) {
+        // A recovered catalog IS the state: re-seeding would bump every
+        // version and break byte-for-byte continuity across the restart.
+        recovery_banner = format!(
+            "opaq serve: recovered {} entries from {} manifest records ({} torn tail bytes \
+             truncated, {} orphan sketch files removed)\n",
+            recovery.entries,
+            recovery.records_replayed,
+            recovery.torn_tail_bytes,
+            recovery.orphan_spills_removed,
+        );
+        print!("{recovery_banner}");
+    } else {
+        for tenant_idx in 0..tenants {
+            let keys = DatasetSpec {
+                n: keys_per_tenant,
+                distribution: Distribution::Uniform { domain: 1 << 31 },
+                duplicate_fraction: 0.1,
+                seed: seed.wrapping_add(tenant_idx),
+            }
+            .generate();
+            let mut inc = IncrementalOpaq::new(config)?;
+            inc.add_run(keys)?;
+            let sketch = inc
+                .into_sketch()
+                .ok_or(CliError::Usage("empty tenant dataset".to_string()))?;
+            catalog.publish(
+                &TenantId::new(format!("tenant-{tenant_idx}")),
+                &DatasetId::new("events"),
+                sketch,
+            )?;
         }
-        .generate();
-        let mut inc = IncrementalOpaq::new(config)?;
-        inc.add_run(keys)?;
-        let sketch = inc
-            .into_sketch()
-            .ok_or(CliError::Usage("empty tenant dataset".to_string()))?;
-        catalog.publish(
-            &TenantId::new(format!("tenant-{tenant_idx}")),
-            &DatasetId::new("events"),
-            sketch,
-        )?;
     }
 
     // TTL: entries age out after --ttl-ms and are re-ingested (fresh
@@ -751,12 +973,17 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         refresh_threads as usize,
     )?);
     if ttl_ms > 0 {
-        for tenant_idx in 0..tenants {
-            catalog.set_ttl(
-                &TenantId::new(format!("tenant-{tenant_idx}")),
-                &DatasetId::new("events"),
-                Some(Duration::from_millis(ttl_ms)),
-            )?;
+        // Recovered entries keep the TTLs the manifest restored (their names
+        // need not match the synthetic tenant-N scheme); only freshly seeded
+        // tenants get --ttl-ms applied.
+        if recovered_entries == 0 {
+            for tenant_idx in 0..tenants {
+                catalog.set_ttl(
+                    &TenantId::new(format!("tenant-{tenant_idx}")),
+                    &DatasetId::new("events"),
+                    Some(Duration::from_millis(ttl_ms)),
+                )?;
+            }
         }
         let weak = Arc::downgrade(&pool);
         let refresh_round = Arc::new(std::sync::atomic::AtomicU64::new(0));
@@ -797,12 +1024,21 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     let bound = server.local_addr();
 
     println!(
-        "opaq serve: listening on http://{bound} ({tenants} tenants, {keys_per_tenant} keys \
-         each{}); close stdin or send 'quit' to stop",
+        "opaq serve: listening on http://{bound} ({} tenants, {keys_per_tenant} keys \
+         each{}{}); close stdin or send 'quit' to stop",
+        if recovered_entries > 0 {
+            recovered_entries
+        } else {
+            tenants
+        },
         if ttl_ms > 0 {
             format!(", ttl {ttl_ms}ms")
         } else {
             String::new()
+        },
+        match args.get("data-dir") {
+            Some(dir) => format!(", durable in {dir}"),
+            None => String::new(),
         }
     );
     let _ = std::io::stdout().flush();
@@ -827,7 +1063,8 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     Ok(format!(
         "opaq serve: shutdown complete (bound {bound}); served {} requests over {} connections \
          ({} rejected, {} parse errors); catalog: {} publishes, {} snapshots, {} stale, \
-         {} ttl refreshes\n",
+         {} ttl refreshes; durability: {} manifest records, {} recoveries, {} orphans reaped; \
+         slo breaches: {}\n{recovery_banner}",
         stats.requests,
         stats.connections,
         stats.rejected,
@@ -836,6 +1073,10 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         catalog_stats.snapshots,
         catalog_stats.stale_snapshots,
         catalog_stats.ttl_refreshes,
+        catalog_stats.manifest_records,
+        catalog_stats.recoveries,
+        catalog_stats.orphan_spills_removed,
+        engine.slo_breaches(),
     ))
 }
 
@@ -1351,6 +1592,158 @@ mod tests {
         let out = handle.join().unwrap().unwrap();
         assert!(out.contains("shutdown complete"), "{out}");
         assert!(out.contains("catalog: 1 publishes"), "{out}");
+    }
+
+    #[test]
+    fn serve_bench_open_loop_emits_bench_report_and_holds_slo() {
+        let bench_path = temp("bench-serve", "json");
+        let bench_str = bench_path.to_str().unwrap();
+        let out = run(
+            "serve-bench",
+            &args(&[
+                "--quick",
+                "--tenants",
+                "2",
+                "--clients",
+                "2",
+                "--ops",
+                "60",
+                "--qps",
+                "2000",
+                "--slo-p99-ms",
+                "5000",
+                "--bench-out",
+                bench_str,
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("0 torn reads"), "{out}");
+        assert!(out.contains("slo verdicts"), "{out}");
+        assert!(out.contains("target qps"), "{out}");
+        assert!(out.contains("bench report written"), "{out}");
+        let json = std::fs::read_to_string(&bench_path).unwrap();
+        for field in [
+            "\"benchmark\"",
+            "\"recorded\"",
+            "\"host\"",
+            "\"input\"",
+            "\"results\"",
+            "\"acceptance\"",
+            "\"target_qps\": 2000",
+            "\"torn_reads\": 0",
+            "\"slo_breaches\": 0",
+            "\"met\": true",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        // The emitted report is parseable by the workspace's own JSON reader.
+        assert!(Json::parse(&json).is_ok(), "{json}");
+        std::fs::remove_file(&bench_path).unwrap();
+
+        // An impossible latency objective must turn into a nonzero exit.
+        let err = run(
+            "serve-bench",
+            &args(&[
+                "--quick",
+                "--clients",
+                "2",
+                "--ops",
+                "40",
+                "--slo-p99-ms",
+                "0",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("SLO"), "{err}");
+
+        assert!(run("serve-bench", &args(&["--quick", "--qps", "0"])).is_err());
+        assert!(run("serve-bench", &args(&["--quick", "--qps", "nope"])).is_err());
+    }
+
+    #[test]
+    fn serve_restart_over_data_dir_rebuilds_the_exact_catalog() {
+        use std::io::BufReader;
+        let mut data_dir = std::env::temp_dir();
+        data_dir.push(format!("opaq-cli-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&data_dir).unwrap();
+        let data_dir_str = data_dir.to_str().unwrap().to_string();
+
+        let spawn_serve = |port: u16, dir: String| {
+            let control_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let control_addr = control_listener.local_addr().unwrap();
+            let control_client = std::net::TcpStream::connect(control_addr).unwrap();
+            let (control_server, _) = control_listener.accept().unwrap();
+            let handle = std::thread::spawn(move || {
+                let serve_args = args(&[
+                    "--addr",
+                    &format!("127.0.0.1:{port}"),
+                    "--tenants",
+                    "2",
+                    "--keys-per-tenant",
+                    "20000",
+                    "--run-length",
+                    "2000",
+                    "--sample-size",
+                    "200",
+                    "--data-dir",
+                    &dir,
+                ]);
+                super::serve_with_control(&serve_args, BufReader::new(control_server))
+            });
+            (handle, control_client)
+        };
+        let free_port = || {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let await_healthy = |client: &mut opaq_net::HttpClient| {
+            for _ in 0..150 {
+                if client.get("/healthz").map(|r| r.status).ok() == Some(200) {
+                    return true;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            false
+        };
+
+        // First incarnation: seeds 2 tenants, answers a query.
+        let port = free_port();
+        let (handle, control) = spawn_serve(port, data_dir_str.clone());
+        let mut client = opaq_net::HttpClient::new(format!("127.0.0.1:{port}"));
+        assert!(await_healthy(&mut client), "first serve never came up");
+        let first = client.get("/v1/tenant-1/events/quantile?phi=0.5").unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header(opaq_net::VERSION_HEADER), Some("1"));
+        drop(control);
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("catalog: 2 publishes"), "{out}");
+        assert!(out.contains("durability: 2 manifest records"), "{out}");
+
+        // Second incarnation over the same dir: no re-seeding — the catalog
+        // is rebuilt from the manifest, versions continue, and the served
+        // answer is byte-identical to the pre-restart one.
+        let port = free_port();
+        let (handle, control) = spawn_serve(port, data_dir_str);
+        let mut client = opaq_net::HttpClient::new(format!("127.0.0.1:{port}"));
+        assert!(await_healthy(&mut client), "restarted serve never came up");
+        let second = client.get("/v1/tenant-1/events/quantile?phi=0.5").unwrap();
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header(opaq_net::VERSION_HEADER), Some("1"));
+        assert_eq!(
+            second.body, first.body,
+            "restart must serve the recovered version byte-for-byte"
+        );
+        let metrics = client.get("/metrics").unwrap();
+        let metrics = metrics.body_str().unwrap().to_string();
+        assert!(metrics.contains("opaq_catalog_recoveries 1"), "{metrics}");
+        assert!(metrics.contains("opaq_manifest_records 2"), "{metrics}");
+        drop(control);
+        let out = handle.join().unwrap().unwrap();
+        // No new publishes this run — the entries came back from disk.
+        assert!(out.contains("catalog: 0 publishes"), "{out}");
+        assert!(out.contains("recovered 2 entries"), "{out}");
+        assert!(out.contains("1 recoveries"), "{out}");
+        std::fs::remove_dir_all(&data_dir).ok();
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! This crate computes all three from a sorted copy of the data plus the
 //! estimated bounds, provides exact ground-truth quantiles, a phase timer
 //! for the Table 11/12 breakdowns, a fixed-width text-table builder used
-//! by every experiment binary, and lock-free [`latency`] histograms
-//! (p50/p99/p999) for the multi-tenant serving layer in `opaq-serve`.
+//! by every experiment binary, lock-free [`latency`] histograms
+//! (p50/p99/p999) for the multi-tenant serving layer in `opaq-serve`, and
+//! [`slo`] threshold verdicts for the open-loop serving benchmarks.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod error_rates;
 pub mod ground_truth;
 pub mod latency;
 pub mod shard;
+pub mod slo;
 pub mod stage;
 pub mod table;
 pub mod timing;
@@ -37,6 +39,7 @@ pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, Rela
 pub use ground_truth::GroundTruth;
 pub use latency::{render_latency_table, LatencyHistogram, LatencySnapshot};
 pub use shard::{render_shard_table, ShardStats};
+pub use slo::{SloCheck, SloOutcome, SloThresholds};
 pub use stage::{PlanStage, StageLatency};
 pub use table::{fmt2, TextTable};
 pub use timing::{PhaseBreakdown, PhaseTimer};

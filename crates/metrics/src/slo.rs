@@ -1,0 +1,226 @@
+//! Service-level-objective thresholds and verdicts for open-loop benchmarks.
+//!
+//! A closed-loop load generator hides overload: clients wait for each reply
+//! before sending the next request, so an overwhelmed server simply receives
+//! fewer requests and its reported latencies stay flattering.  The open-loop
+//! harnesses in `opaq-serve`/`opaq-net` instead hold a fixed offered rate and
+//! measure each operation from its *scheduled* send time — and this module is
+//! where those coordinated-omission-safe measurements meet the operator's
+//! declared objectives: "p99 under 5 ms, p999 under 20 ms, error rate under
+//! 0.1 %, shed rate under 1 %".
+//!
+//! [`SloThresholds`] declares the objectives (any subset; unset ones are not
+//! checked).  [`SloThresholds::evaluate`] compares them against a
+//! [`LatencySnapshot`] plus observed error/shed rates and returns an
+//! [`SloOutcome`] — one [`SloCheck`] per declared objective with the
+//! threshold, the observation, and a breached flag — which renders as the
+//! same fixed-width [`TextTable`] every other experiment report uses, and
+//! whose [`SloOutcome::breaches`] count is what `opaq serve-bench` turns into
+//! a nonzero exit status.
+
+use crate::{LatencySnapshot, TextTable};
+use std::time::Duration;
+
+/// Declared service-level objectives.  Every field is optional; only the
+/// set ones produce checks in [`Self::evaluate`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloThresholds {
+    /// Maximum acceptable median latency.
+    pub p50: Option<Duration>,
+    /// Maximum acceptable 99th-percentile latency.
+    pub p99: Option<Duration>,
+    /// Maximum acceptable 99.9th-percentile latency.
+    pub p999: Option<Duration>,
+    /// Maximum acceptable error rate (failed ops / total ops, in `[0, 1]`).
+    pub max_error_rate: Option<f64>,
+    /// Maximum acceptable shed rate (rejected ops / total ops, in `[0, 1]`).
+    pub max_shed_rate: Option<f64>,
+}
+
+impl SloThresholds {
+    /// Whether no objective at all has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.p50.is_none()
+            && self.p99.is_none()
+            && self.p999.is_none()
+            && self.max_error_rate.is_none()
+            && self.max_shed_rate.is_none()
+    }
+
+    /// Compare the declared objectives against an observed latency
+    /// distribution and error/shed rates (fractions in `[0, 1]`).
+    ///
+    /// An observation exactly *at* its threshold passes — "p99 under 5 ms"
+    /// with a recorded p99 of exactly 5 ms is a met objective, not a breach.
+    pub fn evaluate(
+        &self,
+        latency: &LatencySnapshot,
+        error_rate: f64,
+        shed_rate: f64,
+    ) -> SloOutcome {
+        let mut checks = Vec::new();
+        let mut latency_check =
+            |name: &'static str, limit: Option<Duration>, observed: Duration| {
+                if let Some(limit) = limit {
+                    checks.push(SloCheck {
+                        name,
+                        threshold: format!("{limit:?}"),
+                        observed: format!("{observed:?}"),
+                        breached: observed > limit,
+                    });
+                }
+            };
+        latency_check("p50", self.p50, latency.p50);
+        latency_check("p99", self.p99, latency.p99);
+        latency_check("p999", self.p999, latency.p999);
+        let mut rate_check = |name: &'static str, limit: Option<f64>, observed: f64| {
+            if let Some(limit) = limit {
+                checks.push(SloCheck {
+                    name,
+                    threshold: format!("{:.4}%", limit * 100.0),
+                    observed: format!("{:.4}%", observed * 100.0),
+                    breached: observed > limit,
+                });
+            }
+        };
+        rate_check("error rate", self.max_error_rate, error_rate);
+        rate_check("shed rate", self.max_shed_rate, shed_rate);
+        SloOutcome { checks }
+    }
+}
+
+/// One declared objective compared against its observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloCheck {
+    /// Which objective this is (`"p99"`, `"error rate"`, ...).
+    pub name: &'static str,
+    /// The declared limit, pre-formatted for display.
+    pub threshold: String,
+    /// The observation, pre-formatted for display.
+    pub observed: String,
+    /// Whether the observation exceeded the limit.
+    pub breached: bool,
+}
+
+/// The result of evaluating every declared objective.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SloOutcome {
+    /// One entry per declared objective, in declaration order.
+    pub checks: Vec<SloCheck>,
+}
+
+impl SloOutcome {
+    /// Number of breached objectives.
+    pub fn breaches(&self) -> usize {
+        self.checks.iter().filter(|c| c.breached).count()
+    }
+
+    /// Whether any objective was breached.
+    pub fn is_breached(&self) -> bool {
+        self.breaches() > 0
+    }
+
+    /// Render the checks as a fixed-width table (empty string when no
+    /// objectives were declared).
+    pub fn render(&self, title: &str) -> String {
+        if self.checks.is_empty() {
+            return String::new();
+        }
+        let mut table =
+            TextTable::new(title).header(["objective", "threshold", "observed", "verdict"]);
+        for check in &self.checks {
+            table.row([
+                check.name.to_string(),
+                check.threshold.clone(),
+                check.observed.clone(),
+                if check.breached { "BREACH" } else { "ok" }.to_string(),
+            ]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyHistogram;
+
+    fn snapshot_around_1ms() -> LatencySnapshot {
+        let h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_nanos(i * 1_000); // 1µs .. 1ms
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn empty_thresholds_declare_no_checks_and_never_breach() {
+        let slo = SloThresholds::default();
+        assert!(slo.is_empty());
+        let outcome = slo.evaluate(&snapshot_around_1ms(), 0.5, 0.5);
+        assert!(outcome.checks.is_empty());
+        assert_eq!(outcome.breaches(), 0);
+        assert!(!outcome.is_breached());
+        assert_eq!(outcome.render("slo"), "");
+    }
+
+    #[test]
+    fn latency_objectives_breach_only_when_exceeded() {
+        let snap = snapshot_around_1ms(); // p99 ≈ 1ms
+        let generous = SloThresholds {
+            p99: Some(Duration::from_secs(1)),
+            ..Default::default()
+        };
+        assert!(!generous.evaluate(&snap, 0.0, 0.0).is_breached());
+
+        let strict = SloThresholds {
+            p50: Some(Duration::from_nanos(1)),
+            p99: Some(Duration::from_nanos(1)),
+            p999: Some(Duration::from_nanos(1)),
+            ..Default::default()
+        };
+        let outcome = strict.evaluate(&snap, 0.0, 0.0);
+        assert_eq!(outcome.checks.len(), 3);
+        assert_eq!(outcome.breaches(), 3);
+
+        // Exactly at the limit is a met objective.
+        let at_limit = SloThresholds {
+            p999: Some(snap.p999),
+            ..Default::default()
+        };
+        assert!(!at_limit.evaluate(&snap, 0.0, 0.0).is_breached());
+    }
+
+    #[test]
+    fn rate_objectives_use_fractions_and_pass_at_the_boundary() {
+        let snap = snapshot_around_1ms();
+        let slo = SloThresholds {
+            max_error_rate: Some(0.001),
+            max_shed_rate: Some(0.01),
+            ..Default::default()
+        };
+        assert!(!slo.evaluate(&snap, 0.001, 0.01).is_breached());
+        let outcome = slo.evaluate(&snap, 0.0011, 0.0);
+        assert_eq!(outcome.breaches(), 1);
+        assert_eq!(outcome.checks[0].name, "error rate");
+        assert!(outcome.checks[0].breached);
+        assert!(!outcome.checks[1].breached);
+        assert_eq!(slo.evaluate(&snap, 0.0, 0.5).breaches(), 1);
+    }
+
+    #[test]
+    fn render_lists_every_declared_objective_with_verdicts() {
+        let snap = snapshot_around_1ms();
+        let slo = SloThresholds {
+            p99: Some(Duration::from_nanos(1)),
+            max_error_rate: Some(1.0),
+            ..Default::default()
+        };
+        let rendered = slo.evaluate(&snap, 0.0, 0.0).render("slo verdicts");
+        assert!(rendered.contains("slo verdicts"));
+        assert!(rendered.contains("p99"));
+        assert!(rendered.contains("error rate"));
+        assert!(rendered.contains("BREACH"));
+        assert!(rendered.contains("ok"));
+    }
+}

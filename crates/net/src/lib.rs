@@ -63,7 +63,13 @@
 //!   sockets, every response re-rendered locally from the registered sketch
 //!   of its claimed version and compared **byte-for-byte**, plus a TTL probe
 //!   that watches an expiring tenant serve non-fresh tags until its
-//!   background refresh publishes.
+//!   background refresh publishes.  With
+//!   [`workload::HttpWorkloadSpec::target_qps`] the clients hold a fixed
+//!   **open-loop** offered rate and measure latency from each op's scheduled
+//!   send time (coordinated-omission-safe), 503s are tallied as *sheds*
+//!   rather than errors, and the report carries verdicts for any declared
+//!   [`opaq_metrics::SloThresholds`] — the machinery behind
+//!   `opaq serve-bench --http --qps N --slo-p99-ms M`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -878,6 +878,13 @@ fn render_metrics(engine: &Arc<QueryEngine>, executor: &Arc<PlanExecutor>) -> St
             "opaq_catalog_resident_sample_points",
             stats.resident_sample_points,
         ),
+        ("opaq_catalog_recoveries", stats.recoveries),
+        ("opaq_manifest_records", stats.manifest_records),
+        (
+            "opaq_catalog_orphan_spills_removed",
+            stats.orphan_spills_removed,
+        ),
+        ("opaq_slo_breaches", engine.slo_breaches()),
     ] {
         out.push_str(&format!("{name} {value}\n"));
     }

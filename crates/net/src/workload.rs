@@ -36,7 +36,9 @@ use crate::server::{
 };
 use crate::{NetError, NetResult};
 use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
-use opaq_metrics::{render_latency_table, LatencyHistogram, LatencySnapshot};
+use opaq_metrics::{
+    render_latency_table, LatencyHistogram, LatencySnapshot, SloOutcome, SloThresholds,
+};
 use opaq_query::{merge_tree, PlanResponse, PlanSource};
 use opaq_serve::{
     chunk_spec, execute_on, next_rand, request_for, CatalogStats, DatasetId, Freshness,
@@ -60,6 +62,16 @@ pub struct HttpWorkloadSpec {
     pub ttl: Option<Duration>,
     /// Server tuning (workers, keep-alive, limits).
     pub server: ServerConfig,
+    /// `Some(qps)` switches the clients from closed-loop to **open-loop**
+    /// rate control: ops get fixed scheduled send times at this aggregate
+    /// rate and latency is measured from the *schedule*, so server queueing
+    /// delay shows up in the distribution instead of silently throttling the
+    /// offered load (coordinated-omission-safe).  `None` is the classic
+    /// closed-loop as-fast-as-possible mode.
+    pub target_qps: Option<f64>,
+    /// Declared objectives; evaluated against the client-observed latency
+    /// distribution and error/shed rates into [`HttpLoadReport::slo`].
+    pub slo: SloThresholds,
 }
 
 impl Default for HttpWorkloadSpec {
@@ -68,6 +80,8 @@ impl Default for HttpWorkloadSpec {
             spec: WorkloadSpec::default(),
             ttl: Some(Duration::from_millis(200)),
             server: ServerConfig::default(),
+            target_qps: None,
+            slo: SloThresholds::default(),
         }
     }
 }
@@ -79,6 +93,8 @@ impl HttpWorkloadSpec {
             spec: WorkloadSpec::quick(),
             ttl: Some(Duration::from_millis(100)),
             server: ServerConfig::default(),
+            target_qps: None,
+            slo: SloThresholds::default(),
         }
     }
 }
@@ -101,8 +117,13 @@ pub struct HttpLoadReport {
     /// Responses (client or probe) that matched no complete published
     /// version (must be 0).
     pub torn_reads: u64,
-    /// Non-200 responses observed (client or probe; must be 0).
+    /// Non-200, non-503 responses observed (client or probe; must be 0).
     pub http_errors: u64,
+    /// Responses shed with 503 because the server's accept queue was full
+    /// (client, plan or probe).  Expected 0 below capacity; under open-loop
+    /// overload this is the server protecting itself, reported apart from
+    /// real errors.
+    pub sheds: u64,
     /// Verified polls issued by the TTL watcher, including during the
     /// post-client grace window.
     pub probe_polls: u64,
@@ -122,6 +143,10 @@ pub struct HttpLoadReport {
     pub catalog: CatalogStats,
     /// HTTP server counters at the end of the run.
     pub server: ServerStats,
+    /// The offered rate the clients held, when run open-loop.
+    pub target_qps: Option<f64>,
+    /// Verdicts for the declared objectives (empty when none declared).
+    pub slo: SloOutcome,
 }
 
 impl HttpLoadReport {
@@ -129,6 +154,23 @@ impl HttpLoadReport {
     /// client phase.
     pub fn throughput(&self) -> f64 {
         (self.ops + self.plan_ops) as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Client-issued requests: the denominator for the error/shed rates.
+    fn attempts(&self) -> f64 {
+        ((self.ops + self.plan_ops) as f64).max(1.0)
+    }
+
+    /// Fraction of requests answered with a non-200, non-503 status.
+    /// (Probe errors count in the numerator; probe traffic is tiny and must
+    /// be error-free in any passing run.)
+    pub fn error_rate(&self) -> f64 {
+        self.http_errors as f64 / self.attempts()
+    }
+
+    /// Fraction of requests shed with 503.
+    pub fn shed_rate(&self) -> f64 {
+        self.sheds as f64 / self.attempts()
     }
 
     /// Render the report as text.
@@ -139,7 +181,7 @@ impl HttpLoadReport {
         );
         out.push_str(&format!(
             "ops {} | verified {} | plan ops {} | plan verified {} | torn {} | \
-             http errors {} | refreshes {} | probe polls {} | non-fresh {} | \
+             http errors {} | sheds {} | refreshes {} | probe polls {} | non-fresh {} | \
              ttl refreshes observed {} | {:.0} ops/s\n",
             self.ops,
             self.verified,
@@ -147,12 +189,17 @@ impl HttpLoadReport {
             self.plan_verified,
             self.torn_reads,
             self.http_errors,
+            self.sheds,
             self.refreshes_published,
             self.probe_polls,
             self.non_fresh_served,
             self.ttl_refreshes_observed,
             self.throughput()
         ));
+        if let Some(qps) = self.target_qps {
+            out.push_str(&format!("target qps (open loop): {qps:.0}\n"));
+        }
+        out.push_str(&self.slo.render("slo verdicts"));
         out
     }
 }
@@ -187,8 +234,14 @@ fn wire_form(tenant: &str, dataset: &str, request: &QueryRequest) -> (String, Op
 }
 
 enum Verdict {
-    Verified { version: u64, freshness: Freshness },
+    Verified {
+        version: u64,
+        freshness: Freshness,
+    },
     Torn,
+    /// 503: the server's bounded queue shed the connection.  Load
+    /// protection, not corruption — tracked apart from real errors.
+    Shed,
     HttpError,
 }
 
@@ -197,6 +250,7 @@ enum Verdict {
 enum PlanVerdict {
     Verified,
     Torn,
+    Shed,
     HttpError,
 }
 
@@ -208,6 +262,9 @@ fn verify(
     response: &crate::client::ClientResponse,
     registry: &Registry,
 ) -> Verdict {
+    if response.status == 503 {
+        return Verdict::Shed;
+    }
     if response.status != 200 {
         return Verdict::HttpError;
     }
@@ -282,6 +339,9 @@ fn verify_plan(
     registry: &Registry,
     expected: &[(String, String)],
 ) -> PlanVerdict {
+    if response.status == 503 {
+        return PlanVerdict::Shed;
+    }
     if response.status != 200 {
         return PlanVerdict::HttpError;
     }
@@ -372,6 +432,13 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             "a workload needs at least one tenant, one client and one op".into(),
         ));
     }
+    if let Some(qps) = http_spec.target_qps {
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err(NetError::InvalidConfig(format!(
+                "target_qps must be positive and finite, got {qps}"
+            )));
+        }
+    }
     let config = OpaqConfig::builder()
         .run_length(spec.run_length)
         .sample_size(spec.sample_size.min(spec.run_length))
@@ -380,6 +447,10 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
 
     let catalog = Arc::new(SketchCatalog::unbounded());
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+    // Arm the server-side breach counter with the declared p99 so
+    // `opaq_slo_breaches` in `/metrics` tracks the same objective the
+    // client-side verdicts use.
+    engine.set_slo_threshold(http_spec.slo.p99);
     let registry: Registry = Arc::new(RwLock::new(HashMap::new()));
 
     let ids: Vec<(TenantId, DatasetId)> = (0..spec.tenants)
@@ -493,13 +564,16 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     let torn = AtomicU64::new(0);
     let verified = AtomicU64::new(0);
     let http_errors = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
     let plan_ops = AtomicU64::new(0);
     let plan_verified = AtomicU64::new(0);
     let plan_torn = AtomicU64::new(0);
     let plan_errors = AtomicU64::new(0);
+    let plan_shed = AtomicU64::new(0);
     let probe_polls = AtomicU64::new(0);
     let probe_torn = AtomicU64::new(0);
     let probe_errors = AtomicU64::new(0);
+    let probe_shed = AtomicU64::new(0);
     let refreshes = AtomicU64::new(0);
     let non_fresh = AtomicU64::new(0);
     let ttl_bumps = AtomicU64::new(0);
@@ -543,8 +617,8 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             let addr = addr.clone();
             let registry = Arc::clone(&registry);
             let ttl_tenant = ttl_tenant.to_string();
-            let (probe_torn, probe_polls, probe_errors) =
-                (&probe_torn, &probe_polls, &probe_errors);
+            let (probe_torn, probe_polls, probe_errors, probe_shed) =
+                (&probe_torn, &probe_polls, &probe_errors, &probe_shed);
             let (non_fresh, ttl_bumps, stop_watcher) = (&non_fresh, &ttl_bumps, &stop_watcher);
             scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
@@ -579,6 +653,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                         Verdict::Torn => {
                             probe_torn.fetch_add(1, Ordering::Relaxed);
                         }
+                        Verdict::Shed => {
+                            probe_shed.fetch_add(1, Ordering::Relaxed);
+                        }
                         Verdict::HttpError => {
                             probe_errors.fetch_add(1, Ordering::Relaxed);
                         }
@@ -589,21 +666,51 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             })
         });
 
+        // Open-loop rate control: the aggregate target rate is divided
+        // evenly across clients (each sends one op every `clients/qps`
+        // seconds), client start times are staggered across one interval so
+        // the aggregate stream is smooth, and every op's latency is measured
+        // from its *scheduled* send time — an op delayed behind a slow
+        // predecessor accrues that queueing delay in the recorded
+        // distribution (coordinated-omission-safe).
+        let interval = http_spec
+            .target_qps
+            .map(|qps| Duration::from_secs_f64(spec.clients as f64 / qps));
         let mut clients = Vec::with_capacity(spec.clients);
         for client_idx in 0..spec.clients {
             let addr = addr.clone();
             let registry = Arc::clone(&registry);
             let ids = &ids;
-            let (torn, verified, http_errors) = (&torn, &verified, &http_errors);
-            let (plan_ops, plan_verified, plan_torn, plan_errors) =
-                (&plan_ops, &plan_verified, &plan_torn, &plan_errors);
+            let (torn, verified, http_errors, shed) = (&torn, &verified, &http_errors, &shed);
+            let (plan_ops, plan_verified, plan_torn, plan_errors, plan_shed) = (
+                &plan_ops,
+                &plan_verified,
+                &plan_torn,
+                &plan_errors,
+                &plan_shed,
+            );
             let latency = &latency;
             clients.push(scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let mut rng = spec
                     .seed
                     .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
+                let stagger = interval
+                    .map(|iv| iv.mul_f64(client_idx as f64 / spec.clients as f64))
+                    .unwrap_or(Duration::ZERO);
                 for op_idx in 0..spec.ops_per_client {
+                    // `sent` is the scheduled time in open-loop mode, the
+                    // actual send time in closed-loop mode.
+                    let sent = match interval {
+                        Some(iv) => {
+                            let scheduled = start + stagger + iv.mul_f64(op_idx as f64);
+                            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                            scheduled
+                        }
+                        None => Instant::now(),
+                    };
                     // Every fifth op is a coalescing pipeline over all main
                     // tenants; the rest are single-target requests.
                     if op_idx % 5 == 4 {
@@ -611,7 +718,6 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                         let mut body = String::from("{\"plan\":");
                         write_escaped(&mut body, &plan);
                         body.push('}');
-                        let sent = Instant::now();
                         let response = client.post_json("/v1/query", &body)?;
                         latency.record(sent.elapsed());
                         plan_ops.fetch_add(1, Ordering::Relaxed);
@@ -621,6 +727,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                             }
                             PlanVerdict::Torn => {
                                 plan_torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                            PlanVerdict::Shed => {
+                                plan_shed.fetch_add(1, Ordering::Relaxed);
                             }
                             PlanVerdict::HttpError => {
                                 plan_errors.fetch_add(1, Ordering::Relaxed);
@@ -632,7 +741,6 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                     let (tenant, dataset) = &ids[tenant_idx];
                     let request = request_for(&mut rng);
                     let (target, body) = wire_form(tenant.as_str(), dataset.as_str(), &request);
-                    let sent = Instant::now();
                     let response = match &body {
                         Some(body) => client.post_json(&target, body)?,
                         None => client.get(&target)?,
@@ -644,6 +752,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                         }
                         Verdict::Torn => {
                             torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Verdict::Shed => {
+                            shed.fetch_add(1, Ordering::Relaxed);
                         }
                         Verdict::HttpError => {
                             http_errors.fetch_add(1, Ordering::Relaxed);
@@ -718,10 +829,11 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     // count (`verified == ops` is the consistency gate benches assert on).
     // Torn reads and HTTP errors stay shared — they are correctness signals
     // wherever they occur.
-    Ok(HttpLoadReport {
+    let mut report = HttpLoadReport {
         ops: verified.load(Ordering::Relaxed)
             + torn.load(Ordering::Relaxed)
-            + http_errors.load(Ordering::Relaxed),
+            + http_errors.load(Ordering::Relaxed)
+            + shed.load(Ordering::Relaxed),
         verified: verified.load(Ordering::Relaxed),
         plan_ops: plan_ops.load(Ordering::Relaxed),
         plan_verified: plan_verified.load(Ordering::Relaxed),
@@ -731,6 +843,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
         http_errors: http_errors.load(Ordering::Relaxed)
             + probe_errors.load(Ordering::Relaxed)
             + plan_errors.load(Ordering::Relaxed),
+        sheds: shed.load(Ordering::Relaxed)
+            + plan_shed.load(Ordering::Relaxed)
+            + probe_shed.load(Ordering::Relaxed),
         probe_polls: probe_polls.load(Ordering::Relaxed),
         refreshes_published: refreshes.load(Ordering::Relaxed),
         non_fresh_served: non_fresh.load(Ordering::Relaxed),
@@ -739,5 +854,11 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
         latency: latency.snapshot(),
         catalog: catalog.stats(),
         server: server_stats,
-    })
+        target_qps: http_spec.target_qps,
+        slo: SloOutcome::default(),
+    };
+    report.slo = http_spec
+        .slo
+        .evaluate(&report.latency, report.error_rate(), report.shed_rate());
+    Ok(report)
 }

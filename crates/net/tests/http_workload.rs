@@ -3,6 +3,7 @@
 //! least one complete TTL expiry→refresh→publish cycle observed over the
 //! wire.
 
+use opaq_metrics::SloThresholds;
 use opaq_net::{run_http_workload, HttpWorkloadSpec, NetError};
 use std::time::Duration;
 
@@ -52,9 +53,63 @@ fn quick_http_workload_serves_everything_untorn() {
 }
 
 #[test]
+fn open_loop_mode_holds_the_offered_rate_and_reports_slo_verdicts() {
+    let mut spec = HttpWorkloadSpec::quick();
+    spec.spec.clients = 2;
+    spec.spec.tenants = 2;
+    spec.spec.ops_per_client = 60;
+    spec.spec.refresh_rounds = 1;
+    spec.ttl = None; // keep the run to the rate-controlled client phase
+    spec.target_qps = Some(1_000.0);
+    spec.slo = SloThresholds {
+        // Generous enough that a loopback run can't breach latency, strict
+        // enough that any error or shed is a breach.
+        p99: Some(Duration::from_secs(5)),
+        p999: Some(Duration::from_secs(10)),
+        max_error_rate: Some(0.0),
+        max_shed_rate: Some(0.0),
+        ..Default::default()
+    };
+    let report = run_http_workload(&spec).unwrap();
+
+    // 120 ops at 1000 qps aggregate: the schedule alone takes ≥ ~118 ms.
+    assert!(
+        report.wall >= Duration::from_millis(100),
+        "open loop must pace the clients, finished in {:?}",
+        report.wall
+    );
+    assert_eq!(report.torn_reads, 0, "{}", report.render());
+    assert_eq!(report.http_errors, 0, "{}", report.render());
+    assert_eq!(report.sheds, 0, "{}", report.render());
+    assert_eq!(report.ops + report.plan_ops, 2 * 60);
+    assert_eq!(report.verified, report.ops);
+    assert_eq!(report.plan_verified, report.plan_ops);
+    assert_eq!(report.target_qps, Some(1_000.0));
+    assert_eq!(report.slo.checks.len(), 4);
+    assert_eq!(report.slo.breaches(), 0, "{}", report.render());
+    let rendered = report.render();
+    assert!(
+        rendered.contains("target qps (open loop): 1000"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("slo verdicts"), "{rendered}");
+}
+
+#[test]
 fn degenerate_specs_are_rejected() {
     let mut spec = HttpWorkloadSpec::quick();
     spec.spec.clients = 0;
+    assert!(matches!(
+        run_http_workload(&spec),
+        Err(NetError::InvalidConfig(_))
+    ));
+    let mut spec = HttpWorkloadSpec::quick();
+    spec.target_qps = Some(0.0);
+    assert!(matches!(
+        run_http_workload(&spec),
+        Err(NetError::InvalidConfig(_))
+    ));
+    spec.target_qps = Some(f64::NAN);
     assert!(matches!(
         run_http_workload(&spec),
         Err(NetError::InvalidConfig(_))

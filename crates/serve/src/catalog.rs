@@ -32,10 +32,11 @@
 
 use crate::{ServeError, ServeResult};
 use opaq_core::QuantileSketch;
+use opaq_storage::manifest::{self, AppendFault, ManifestRecord, ManifestWriter};
 use opaq_storage::sketch_codec;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
@@ -174,6 +175,11 @@ enum Slot {
     Resident {
         version: u64,
         sketch: Arc<QuantileSketch<u64>>,
+        /// In durable mode, the synced on-disk copy of this exact version
+        /// (written before the manifest record that announced it).  Eviction
+        /// then drops residency without rewriting anything — the spill tier
+        /// *is* the persistence tier.  `None` in memory-only catalogs.
+        disk: Option<PathBuf>,
     },
     /// Evicted to a sketch file; reloaded (and re-validated) on next access.
     Spilled { version: u64, path: PathBuf },
@@ -211,12 +217,26 @@ pub struct CatalogConfig {
     /// than a single sketch degenerates to "keep exactly the hot entry".
     pub budget_sample_points: Option<u64>,
     /// Directory to spill evicted sketches into (required when a budget is
-    /// set; created on catalog construction if missing).
+    /// set and no [`Self::data_dir`] is configured; created on catalog
+    /// construction if missing).
     pub spill_dir: Option<PathBuf>,
     /// Default `max_age` applied to every new entry (overridable per entry
     /// with [`SketchCatalog::set_ttl`]); `None` = entries never expire.
     pub default_max_age: Option<Duration>,
+    /// Durable mode: directory holding the write-ahead manifest
+    /// ([`MANIFEST_FILE`]) plus one synced sketch file per published
+    /// version.  Every publish/evict/TTL change appends a manifest record
+    /// *before* the in-memory epoch swap, and a catalog constructed over an
+    /// existing data dir replays the log to rebuild the exact entries,
+    /// versions and TTLs.  Mutually exclusive with [`Self::spill_dir`]: the
+    /// data dir already persists every entry, so it doubles as the spill
+    /// tier.
+    pub data_dir: Option<PathBuf>,
 }
+
+/// File name of the write-ahead publication log inside
+/// [`CatalogConfig::data_dir`].
+pub const MANIFEST_FILE: &str = "catalog.manifest";
 
 impl CatalogConfig {
     /// Start building a validated configuration.
@@ -251,25 +271,48 @@ impl CatalogConfigBuilder {
         self
     }
 
+    /// Durable mode: write-ahead manifest plus per-version sketch files in
+    /// `dir`, replayed on construction — see [`CatalogConfig::data_dir`].
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.data_dir = Some(dir.into());
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
-    /// [`ServeError::InvalidConfig`] for a zero eviction budget or a budget
-    /// without a spill directory (the same check [`SketchCatalog::new`]
-    /// enforces, surfaced before a catalog is ever constructed).
+    /// [`ServeError::InvalidConfig`] for a zero eviction budget, a budget
+    /// with nowhere to evict to, or a spill directory alongside a data
+    /// directory (the same checks [`SketchCatalog::new`] enforces, surfaced
+    /// before a catalog is ever constructed).
     pub fn build(self) -> ServeResult<CatalogConfig> {
-        if self.config.budget_sample_points == Some(0) {
-            return Err(ServeError::InvalidConfig(
-                "eviction budget must be positive (omit it for an unbounded catalog)".into(),
-            ));
-        }
-        if self.config.budget_sample_points.is_some() && self.config.spill_dir.is_none() {
-            return Err(ServeError::InvalidConfig(
-                "an eviction budget requires a spill directory".into(),
-            ));
-        }
+        validate_config(&self.config)?;
         Ok(self.config)
     }
+}
+
+fn validate_config(config: &CatalogConfig) -> ServeResult<()> {
+    if config.budget_sample_points == Some(0) {
+        return Err(ServeError::InvalidConfig(
+            "eviction budget must be positive (omit it for an unbounded catalog)".into(),
+        ));
+    }
+    if config.budget_sample_points.is_some()
+        && config.spill_dir.is_none()
+        && config.data_dir.is_none()
+    {
+        return Err(ServeError::InvalidConfig(
+            "an eviction budget requires a spill directory or a durable data directory".into(),
+        ));
+    }
+    if config.spill_dir.is_some() && config.data_dir.is_some() {
+        return Err(ServeError::InvalidConfig(
+            "a data directory already persists every entry and doubles as the spill tier; drop \
+             the separate spill directory"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Monotonic counters describing what a catalog has done so far.
@@ -296,6 +339,32 @@ pub struct CatalogStats {
     pub entries: u64,
     /// Sample points currently held in memory.
     pub resident_sample_points: u64,
+    /// Number of times this catalog rebuilt itself from an existing
+    /// manifest (0 for a fresh data dir or a memory-only catalog; 1 after a
+    /// restart recovery — the counter is per catalog instance).
+    pub recoveries: u64,
+    /// Manifest records backing the catalog: records replayed at recovery
+    /// plus records appended since (0 in memory-only catalogs).
+    pub manifest_records: u64,
+    /// Orphaned sketch files found at recovery (present in the data dir but
+    /// absent from the manifest — the residue of a crash between sketch
+    /// write and manifest append) and deleted rather than silently leaked.
+    pub orphan_spills_removed: u64,
+}
+
+/// What a durable catalog rebuilt from its data directory at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Entries restored from the manifest.
+    pub entries: u64,
+    /// Complete manifest records replayed.
+    pub records_replayed: u64,
+    /// Bytes of incomplete record truncated from the manifest tail (the
+    /// residue of a crash mid-append; 0 for a clean shutdown).
+    pub torn_tail_bytes: u64,
+    /// Orphaned sketch files deleted — see
+    /// [`CatalogStats::orphan_spills_removed`].
+    pub orphan_spills_removed: u64,
 }
 
 #[derive(Debug, Default)]
@@ -307,6 +376,7 @@ struct StatsInner {
     spill_failures: AtomicU64,
     stale_snapshots: AtomicU64,
     ttl_refreshes: AtomicU64,
+    manifest_records: AtomicU64,
 }
 
 /// The versioned multi-tenant sketch catalog.  See the module docs for the
@@ -324,6 +394,13 @@ pub struct SketchCatalog {
     epoch: Instant,
     /// Invoked when a snapshot finds its entry past `max_age`.
     refresh_hook: RwLock<Option<RefreshHook>>,
+    /// Durable mode: the write-ahead log every publish/evict/TTL change
+    /// appends to (synced) before the in-memory swap.
+    manifest: Option<Mutex<ManifestWriter>>,
+    /// What construction rebuilt from an existing data dir, if anything.
+    recovery: Option<RecoveryReport>,
+    /// 1 when construction replayed a pre-existing manifest.
+    recoveries: u64,
 }
 
 impl fmt::Debug for SketchCatalog {
@@ -337,29 +414,158 @@ impl fmt::Debug for SketchCatalog {
 }
 
 impl SketchCatalog {
-    /// Create a catalog.
+    /// Create a catalog.  With [`CatalogConfig::data_dir`] set, an existing
+    /// manifest is replayed (truncating any torn tail a crash left) and the
+    /// catalog rebuilds its exact entries, versions and TTLs; every restored
+    /// entry starts memory-cold ([`Slot::Spilled`]) and reloads on first
+    /// access.  Restored TTLs are measured from recovery time — the
+    /// original publish instant does not survive a restart, so an entry is
+    /// never *born* stale.  Orphaned sketch files (on disk but absent from
+    /// the manifest) are deleted and counted, never silently leaked.
     ///
     /// # Errors
-    /// [`ServeError::InvalidConfig`] if an eviction budget is configured
-    /// without a spill directory; I/O errors from creating the directory.
+    /// [`ServeError::InvalidConfig`] for the invalid shapes
+    /// [`CatalogConfigBuilder::build`] rejects; typed
+    /// [`opaq_storage::StorageError::Corrupt`] /
+    /// [`opaq_storage::StorageError::VersionMismatch`] for a damaged
+    /// manifest record; I/O errors from the directories or the log.
     pub fn new(config: CatalogConfig) -> ServeResult<Self> {
-        if config.budget_sample_points.is_some() && config.spill_dir.is_none() {
-            return Err(ServeError::InvalidConfig(
-                "an eviction budget requires a spill directory".into(),
-            ));
-        }
+        validate_config(&config)?;
         if let Some(dir) = &config.spill_dir {
             std::fs::create_dir_all(dir).map_err(opaq_storage::StorageError::Io)?;
         }
+
+        let mut entries = HashMap::<TenantId, HashMap<DatasetId, Arc<Entry>>>::new();
+        let mut manifest_writer = None;
+        let mut recovery = None;
+        let mut recoveries = 0;
+        let mut replayed_records = 0;
+        if let Some(dir) = &config.data_dir {
+            std::fs::create_dir_all(dir).map_err(opaq_storage::StorageError::Io)?;
+            let manifest_path = dir.join(MANIFEST_FILE);
+            let had_history = manifest_path.exists();
+            let replayed = manifest::replay_and_truncate(&manifest_path)?;
+
+            // Fold the log into per-entry truth: the last Publish wins the
+            // version and file, later TtlSet records override the TTL, and
+            // Evict records change nothing recovery cares about (the entry
+            // is restored memory-cold either way).
+            let mut state = BTreeMap::<(String, String), (u64, u64, String)>::new();
+            for record in &replayed.records {
+                match record {
+                    ManifestRecord::Publish {
+                        tenant,
+                        dataset,
+                        version,
+                        ttl_nanos,
+                        sketch_file,
+                    } => {
+                        state.insert(
+                            (tenant.clone(), dataset.clone()),
+                            (*version, *ttl_nanos, sketch_file.clone()),
+                        );
+                    }
+                    ManifestRecord::Evict { .. } => {}
+                    ManifestRecord::TtlSet {
+                        tenant,
+                        dataset,
+                        ttl_nanos,
+                    } => {
+                        if let Some((_, ttl, _)) = state.get_mut(&(tenant.clone(), dataset.clone()))
+                        {
+                            *ttl = *ttl_nanos;
+                        }
+                    }
+                }
+            }
+
+            let mut live_files = HashSet::new();
+            for ((tenant, dataset), (version, ttl_nanos, sketch_file)) in state {
+                live_files.insert(sketch_file.clone());
+                entries.entry(TenantId::from(tenant)).or_default().insert(
+                    DatasetId::from(dataset),
+                    Arc::new(Entry {
+                        slot: RwLock::new(Slot::Spilled {
+                            version,
+                            path: dir.join(&sketch_file),
+                        }),
+                        last_touch: AtomicU64::new(0),
+                        published_at_nanos: AtomicU64::new(0),
+                        ttl_nanos: AtomicU64::new(ttl_nanos),
+                        refreshing: AtomicBool::new(false),
+                    }),
+                );
+            }
+
+            // Orphan scan: a crash between "sketch file synced" and
+            // "manifest record appended" leaves a file no record points at.
+            // Reap it (and count it) instead of leaking it forever.
+            let mut orphans_removed = 0;
+            let listing = std::fs::read_dir(dir).map_err(opaq_storage::StorageError::Io)?;
+            for dir_entry in listing.flatten() {
+                let path = dir_entry.path();
+                let is_sketch = path.extension().is_some_and(|ext| ext == "sketch");
+                let name = dir_entry.file_name();
+                let adopted = name.to_str().is_some_and(|n| live_files.contains(n));
+                if is_sketch && !adopted && std::fs::remove_file(&path).is_ok() {
+                    orphans_removed += 1;
+                }
+            }
+
+            let restored = entries.values().map(HashMap::len).sum::<usize>() as u64;
+            replayed_records = replayed.records.len() as u64;
+            recoveries = u64::from(had_history);
+            recovery = Some(RecoveryReport {
+                entries: restored,
+                records_replayed: replayed_records,
+                torn_tail_bytes: replayed.torn_tail_bytes,
+                orphan_spills_removed: orphans_removed,
+            });
+            manifest_writer = Some(Mutex::new(ManifestWriter::open(manifest_path)?));
+        }
+
+        let stats = StatsInner::default();
+        stats
+            .manifest_records
+            .store(replayed_records, Ordering::Relaxed);
         Ok(Self {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(entries),
             clock: AtomicU64::new(0),
             resident_points: AtomicU64::new(0),
             config,
-            stats: StatsInner::default(),
+            stats,
             epoch: Instant::now(),
             refresh_hook: RwLock::new(None),
+            manifest: manifest_writer,
+            recovery,
+            recoveries,
         })
+    }
+
+    /// What construction rebuilt from an existing data directory; `None`
+    /// for memory-only catalogs.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Arm a one-shot fault on the next manifest append — test
+    /// instrumentation for crash-recovery coverage (no-op in memory-only
+    /// catalogs).
+    pub fn inject_manifest_fault(&self, fault: AppendFault) {
+        if let Some(manifest) = &self.manifest {
+            manifest.lock().inject_fault(fault);
+        }
+    }
+
+    /// Append one record to the write-ahead log (durable mode only),
+    /// syncing before return — the fsync point publication correctness
+    /// hangs on.
+    fn manifest_append(&self, record: &ManifestRecord) -> ServeResult<()> {
+        if let Some(manifest) = &self.manifest {
+            manifest.lock().append(record)?;
+            self.stats.manifest_records.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Create an unbounded in-memory catalog (no eviction).
@@ -410,6 +616,13 @@ impl SketchCatalog {
         let nanos = max_age.map_or(NO_TTL, |age| {
             (age.as_nanos().min(u64::MAX as u128) as u64).min(NO_TTL - 1)
         });
+        // Durable mode: announce the change before applying it, so a
+        // restart rebuilds the same TTL.
+        self.manifest_append(&ManifestRecord::TtlSet {
+            tenant: tenant.as_str().to_owned(),
+            dataset: dataset.as_str().to_owned(),
+            ttl_nanos: nanos,
+        })?;
         entry.ttl_nanos.store(nanos, Ordering::Relaxed);
         Ok(())
     }
@@ -496,6 +709,7 @@ impl SketchCatalog {
                         slot: RwLock::new(Slot::Resident {
                             version: 0,
                             sketch: Arc::new(placeholder_sketch()),
+                            disk: None,
                         }),
                         last_touch: AtomicU64::new(0),
                         published_at_nanos: AtomicU64::new(0),
@@ -523,6 +737,12 @@ impl SketchCatalog {
     }
 
     /// [`Self::publish`] for an already-shared sketch.
+    ///
+    /// In durable mode the swap is write-ahead: the new version's sketch
+    /// file is written and synced, then the manifest record is appended and
+    /// synced, and only then does the in-memory slot change.  A failure at
+    /// either disk step fails the publish with the old version fully intact
+    /// — recovery can never observe a version the log does not announce.
     pub fn publish_arc(
         &self,
         tenant: &TenantId,
@@ -539,26 +759,61 @@ impl SketchCatalog {
             // u64 counter, which `enforce_budget` would read as "spill the
             // whole catalog".
             let mut slot = entry.slot.write();
-            let (old_version, freed_points, stale_spill) = match &*slot {
-                Slot::Resident { version, sketch } => {
+            let (old_version, freed_points, old_disk) = match &*slot {
+                Slot::Resident {
+                    version,
+                    sketch,
+                    disk,
+                } => {
                     // version 0 is the placeholder of a just-created entry.
                     let freed = if *version == 0 {
                         0
                     } else {
                         sketch.len() as u64
                     };
-                    (*version, freed, None)
+                    (*version, freed, disk.clone())
                 }
-                Slot::Spilled { version, path, .. } => (*version, 0, Some(path.clone())),
+                Slot::Spilled { version, path } => (*version, 0, Some(path.clone())),
             };
             let version = old_version + 1;
-            *slot = Slot::Resident { version, sketch };
-            if let Some(stale) = stale_spill {
-                // The spilled bytes describe a superseded version.  Delete
-                // them *while still holding the slot lock*: the eviction
-                // sweep writes spill files under this same lock, so a
-                // deferred delete could race a re-eviction of this entry and
-                // destroy the fresh file its new `Spilled` state points at.
+            let disk = if let Some(dir) = &self.config.data_dir {
+                // Write-ahead: sketch bytes first, announcement second,
+                // both synced before the swap below makes them servable.
+                let file_name = durable_file_name(tenant, dataset, version);
+                let path = dir.join(&file_name);
+                sketch_codec::save_synced(&path, &sketch.to_wire())?;
+                let record = ManifestRecord::Publish {
+                    tenant: tenant.as_str().to_owned(),
+                    dataset: dataset.as_str().to_owned(),
+                    version,
+                    ttl_nanos: entry.ttl_nanos.load(Ordering::Relaxed),
+                    sketch_file: file_name,
+                };
+                // On append failure the sketch file is deliberately left in
+                // place for recovery to adjudicate: an append error does not
+                // prove the record missed the disk (the write may have landed
+                // and only the ack was lost, like a DB commit whose response
+                // never arrived).  Replay serves the file if the record
+                // committed and reaps it as an orphan if it did not; deleting
+                // it here would lose a committed version.
+                self.manifest_append(&record)?;
+                Some(path)
+            } else {
+                None
+            };
+            *slot = Slot::Resident {
+                version,
+                sketch,
+                disk,
+            };
+            if let Some(stale) = old_disk {
+                // The old bytes describe a superseded version (a spill file,
+                // or the previous version's durable copy — the manifest now
+                // announces the new one).  Delete them *while still holding
+                // the slot lock*: the eviction sweep writes spill files
+                // under this same lock, so a deferred delete could race a
+                // re-eviction of this entry and destroy the fresh file its
+                // new `Spilled` state points at.
                 let _ = std::fs::remove_file(stale);
             }
             // Net counter change, add before sub so the transient value is
@@ -613,7 +868,10 @@ impl SketchCatalog {
 
         {
             let slot = entry.slot.read();
-            if let Slot::Resident { version, sketch } = &*slot {
+            if let Slot::Resident {
+                version, sketch, ..
+            } = &*slot
+            {
                 if *version == 0 {
                     // Entry created by a concurrent publish that has not
                     // swapped its real sketch in yet: not observable data.
@@ -636,18 +894,26 @@ impl SketchCatalog {
         let snapshot = {
             let mut slot = entry.slot.write();
             match &*slot {
-                Slot::Resident { version, sketch } => SketchSnapshot {
+                Slot::Resident {
+                    version, sketch, ..
+                } => SketchSnapshot {
                     version: *version,
                     sketch: Arc::clone(sketch),
                     freshness,
                 },
                 Slot::Spilled { version, path } => {
                     let sketch = Arc::new(QuantileSketch::from_wire(sketch_codec::load(path)?)?);
-                    // The slot is Resident again: drop the on-disk copy now
-                    // (under the lock), otherwise a later publish over the
-                    // Resident slot would leave it orphaned forever.  A
-                    // re-eviction rewrites the file from scratch anyway.
-                    let _ = std::fs::remove_file(path);
+                    let durable = self.config.data_dir.is_some();
+                    if !durable {
+                        // The slot is Resident again: drop the on-disk copy
+                        // now (under the lock), otherwise a later publish
+                        // over the Resident slot would leave it orphaned
+                        // forever.  A re-eviction rewrites the file from
+                        // scratch anyway.  In durable mode the file *is* the
+                        // entry's persistence — it stays, and re-eviction
+                        // just drops residency again without a rewrite.
+                        let _ = std::fs::remove_file(path);
+                    }
                     let reloaded = SketchSnapshot {
                         version: *version,
                         sketch: Arc::clone(&sketch),
@@ -658,6 +924,7 @@ impl SketchCatalog {
                     self.stats.reloads.fetch_add(1, Ordering::Relaxed);
                     *slot = Slot::Resident {
                         version: *version,
+                        disk: durable.then(|| path.clone()),
                         sketch,
                     };
                     reloaded
@@ -685,6 +952,7 @@ impl SketchCatalog {
             .config
             .spill_dir
             .as_ref()
+            .or(self.config.data_dir.as_ref())
             .expect("validated at construction")
             .clone();
         while self.resident_points.load(Ordering::Relaxed) > budget {
@@ -721,17 +989,44 @@ impl SketchCatalog {
                 return;
             };
             let mut slot = entry.slot.write();
-            if let Slot::Resident { version, sketch } = &*slot {
+            if let Slot::Resident {
+                version,
+                sketch,
+                disk,
+            } = &*slot
+            {
                 let (version, sketch) = (*version, Arc::clone(sketch));
-                let path = dir.join(spill_file_name(&key));
-                if sketch_codec::save(&path, &sketch.to_wire()).is_err() {
-                    // A failed write can leave a truncated file behind (e.g.
-                    // ENOSPC after create); nothing will ever point at it,
-                    // so reap it now rather than accumulate corrupt orphans.
-                    let _ = std::fs::remove_file(&path);
-                    self.stats.spill_failures.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
+                let path = if let Some(existing) = disk {
+                    // Durable entry: its exact bytes are already synced on
+                    // disk (write-ahead publish / kept reload), so eviction
+                    // is just "log it, drop residency" — no rewrite.  This
+                    // is what turns the spill path into a persistence tier.
+                    let path = existing.clone();
+                    if self
+                        .manifest_append(&ManifestRecord::Evict {
+                            tenant: key.0.as_str().to_owned(),
+                            dataset: key.1.as_str().to_owned(),
+                            version,
+                        })
+                        .is_err()
+                    {
+                        self.stats.spill_failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    path
+                } else {
+                    let path = dir.join(spill_file_name(&key));
+                    if sketch_codec::save(&path, &sketch.to_wire()).is_err() {
+                        // A failed write can leave a truncated file behind
+                        // (e.g. ENOSPC after create); nothing will ever
+                        // point at it, so reap it now rather than accumulate
+                        // corrupt orphans.
+                        let _ = std::fs::remove_file(&path);
+                        self.stats.spill_failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    path
+                };
                 *slot = Slot::Spilled { version, path };
                 self.resident_points
                     .fetch_sub(sketch.len() as u64, Ordering::Relaxed);
@@ -790,6 +1085,9 @@ impl SketchCatalog {
             ttl_refreshes: self.stats.ttl_refreshes.load(Ordering::Relaxed),
             entries: self.len() as u64,
             resident_sample_points: self.resident_sample_points(),
+            recoveries: self.recoveries,
+            manifest_records: self.stats.manifest_records.load(Ordering::Relaxed),
+            orphan_spills_removed: self.recovery.map_or(0, |r| r.orphan_spills_removed),
         }
     }
 }
@@ -806,6 +1104,17 @@ fn placeholder_sketch() -> QuantileSketch<u64> {
         0,
     )
     .expect("placeholder sketch is valid")
+}
+
+/// Deterministic, filesystem-safe name for the durable copy of one
+/// published version.  Unlike [`spill_file_name`] it embeds the version:
+/// the write-ahead publish writes version `v+1` *next to* version `v`'s
+/// file (which stays authoritative until the manifest announces the new
+/// one), so the two must never share a name.
+fn durable_file_name(tenant: &TenantId, dataset: &DatasetId, version: u64) -> String {
+    let base = spill_file_name(&(tenant.clone(), dataset.clone()));
+    let stem = base.strip_suffix(".sketch").unwrap_or(&base);
+    format!("{stem}--v{version}.sketch")
 }
 
 /// Deterministic, filesystem-safe spill file name for a catalog key.
@@ -913,6 +1222,7 @@ mod tests {
             budget_sample_points: Some(200),
             spill_dir: Some(dir.clone()),
             default_max_age: None,
+            data_dir: None,
         })
         .unwrap();
 
@@ -950,6 +1260,7 @@ mod tests {
             budget_sample_points: Some(100), // exactly one 100-point sketch
             spill_dir: Some(dir.clone()),
             default_max_age: None,
+            data_dir: None,
         })
         .unwrap();
         let (a, da) = key("a", "data");
@@ -975,6 +1286,7 @@ mod tests {
             budget_sample_points: Some(100),
             spill_dir: Some(dir.clone()),
             default_max_age: None,
+            data_dir: None,
         })
         .unwrap();
         let (a, da) = key("a", "data");
@@ -1000,6 +1312,7 @@ mod tests {
             budget_sample_points: Some(100),
             spill_dir: None,
             default_max_age: None,
+            data_dir: None,
         })
         .unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
@@ -1047,6 +1360,7 @@ mod tests {
             budget_sample_points: Some(100),
             spill_dir: Some(dir.clone()),
             default_max_age: None,
+            data_dir: None,
         })
         .unwrap();
         let (a, d) = key("a", "data");

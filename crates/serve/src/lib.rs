@@ -61,7 +61,47 @@
 //!   across N client threads and M tenants, verifies *every* response
 //!   byte-for-byte against a directly-computed estimate from the version it
 //!   claims to have served (catching torn reads), and reports per-tenant and
-//!   overall latency distributions.
+//!   overall latency distributions.  With [`WorkloadSpec::target_qps`] the
+//!   clients switch from closed-loop to **open-loop** rate control: each op
+//!   has a fixed scheduled send time and its latency is measured from that
+//!   schedule, so an overloaded server accrues queueing delay in the
+//!   recorded distribution instead of silently throttling the offered load
+//!   (coordinated-omission-safe).
+//!
+//! ## Durability model
+//!
+//! With [`CatalogConfig::data_dir`] set the catalog is **durable**: the data
+//! directory holds a write-ahead publication log
+//! ([`opaq_storage::manifest`], file [`catalog::MANIFEST_FILE`]) plus one
+//! checksummed sketch file per live published version.  What is guaranteed
+//! after which fsync point:
+//!
+//! 1. **Sketch write** — the new version's bytes are written to their own
+//!    per-version file and `fsync`ed *before* anything announces them.  A
+//!    crash here leaves an orphan file no record points at; recovery deletes
+//!    it and counts it ([`CatalogStats::orphan_spills_removed`]).  The old
+//!    version is untouched and still authoritative.
+//! 2. **Manifest append** — one `Publish` record (tenant, dataset, version,
+//!    TTL, sketch file name) is appended and `fsync`ed.  *This is the commit
+//!    point*: once the append returns, a restart rebuilds the new version;
+//!    before it, a restart rebuilds the old one.  A crash mid-append leaves
+//!    a torn tail that replay truncates — never a half-announced version.
+//! 3. **Epoch swap** — only after both syncs does the in-memory slot change,
+//!    so readers can never observe a version that a crash could un-publish.
+//!    The superseded version's file is deleted after the swap; a crash
+//!    between append and delete leaves it as an orphan for recovery to reap.
+//!
+//! `Evict` and `TtlSet` records follow the same append-then-apply order.
+//! Eviction in durable mode never rewrites bytes: the per-version file
+//! written at publish *is* the spill tier, so evicting is just "log it, drop
+//! residency".  A restarted catalog ([`SketchCatalog::new`] over the same
+//! data dir) replays the log, restores every entry memory-cold with its
+//! exact version and TTL (ages measured from recovery — an entry is never
+//! *born* stale), truncates any torn tail, and surfaces damaged records as
+//! typed [`opaq_storage::StorageError::Corrupt`] rather than guessing.  The
+//! next publish continues the version sequence where the log left off,
+//! which is what lets the byte-for-byte workload verifier keep passing
+//! across a kill-and-restart cycle.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -72,8 +112,8 @@ pub mod query;
 pub mod refresh;
 
 pub use catalog::{
-    CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, RefreshHook,
-    SketchCatalog, SketchSnapshot, TenantId,
+    CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, RecoveryReport,
+    RefreshHook, SketchCatalog, SketchSnapshot, TenantId, MANIFEST_FILE,
 };
 pub use load::{chunk_spec, next_rand, request_for, run_workload, LoadReport, WorkloadSpec};
 pub use query::{execute_on, QueryEngine, QueryOutput, QueryRequest, QueryResponse};

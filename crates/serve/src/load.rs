@@ -22,7 +22,7 @@ use crate::query::{execute_on, QueryEngine, QueryRequest};
 use crate::{ServeError, ServeResult};
 use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
 use opaq_datagen::{DatasetSpec, Distribution};
-use opaq_metrics::{render_latency_table, LatencySnapshot, TextTable};
+use opaq_metrics::{render_latency_table, LatencyHistogram, LatencySnapshot, TextTable};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -54,6 +54,14 @@ pub struct WorkloadSpec {
     pub spill_dir: Option<PathBuf>,
     /// Workload seed (data, request mix and tenant choice all derive from it).
     pub seed: u64,
+    /// Open-loop mode: aggregate request rate the clients hold, regardless
+    /// of how fast the server answers.  Each op has a fixed scheduled send
+    /// time and its latency is measured **from that schedule**, so a
+    /// lagging server accrues queueing delay instead of silently slowing
+    /// the load down (the closed-loop coordinated-omission trap).  `None`
+    /// keeps the classic closed-loop behaviour (send as fast as responses
+    /// return).
+    pub target_qps: Option<f64>,
 }
 
 impl Default for WorkloadSpec {
@@ -69,6 +77,7 @@ impl Default for WorkloadSpec {
             budget_sample_points: None,
             spill_dir: None,
             seed: 42,
+            target_qps: None,
         }
     }
 }
@@ -87,6 +96,7 @@ impl WorkloadSpec {
             budget_sample_points: None,
             spill_dir: None,
             seed: 42,
+            target_qps: None,
         }
     }
 }
@@ -98,8 +108,15 @@ pub struct LoadReport {
     pub ops: u64,
     /// Wall-clock time of the client phase.
     pub wall: Duration,
-    /// Fleet-wide latency distribution.
+    /// Fleet-wide latency distribution (server-side execution time).
     pub overall: LatencySnapshot,
+    /// Client-observed latency.  Closed-loop: measured from the actual
+    /// send.  Open-loop: measured from each op's *scheduled* send time, so
+    /// queueing delay under overload is included (coordinated-omission
+    /// safe) — this is the distribution SLO thresholds are judged against.
+    pub client_latency: LatencySnapshot,
+    /// The open-loop rate the clients held, if one was configured.
+    pub target_qps: Option<f64>,
     /// Per-tenant latency distributions, sorted by tenant.
     pub per_tenant: Vec<(TenantId, LatencySnapshot)>,
     /// Sketch versions published while clients were running.
@@ -126,10 +143,14 @@ impl LoadReport {
             .map(|(tenant, snap)| (tenant.to_string(), snap))
             .collect();
         labelled.push(("all".to_string(), self.overall));
+        labelled.push(("client-observed".to_string(), self.client_latency));
         let mut out = render_latency_table("serve latency by tenant", &labelled);
         let mut summary = TextTable::new("serve workload summary").header(["metric", "value"]);
         summary.row(["ops".to_string(), self.ops.to_string()]);
         summary.row(["wall".to_string(), format!("{:?}", self.wall)]);
+        if let Some(qps) = self.target_qps {
+            summary.row(["target qps (open loop)".to_string(), format!("{qps:.0}")]);
+        }
         summary.row([
             "throughput".to_string(),
             format!("{:.0} ops/s", self.throughput()),
@@ -223,6 +244,13 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
             "a workload needs at least one tenant, one client and one op".into(),
         ));
     }
+    if let Some(qps) = spec.target_qps {
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err(ServeError::InvalidConfig(
+                "an open-loop target QPS must be a positive finite number".into(),
+            ));
+        }
+    }
     let config = OpaqConfig::builder()
         .run_length(spec.run_length)
         .sample_size(spec.sample_size.min(spec.run_length))
@@ -258,6 +286,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
         budget_sample_points: spec.budget_sample_points,
         spill_dir,
         default_max_age: None,
+        data_dir: None,
     })?);
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
 
@@ -286,6 +315,12 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
     let torn = AtomicU64::new(0);
     let verified = AtomicU64::new(0);
     let refreshes = AtomicU64::new(0);
+    let client_latency = LatencyHistogram::new();
+    // Open-loop: each client owns every `clients`-th slot of one aggregate
+    // fixed-QPS schedule, staggered so the fleet sends evenly.
+    let interval = spec
+        .target_qps
+        .map(|qps| Duration::from_secs_f64(spec.clients as f64 / qps));
     let start = Instant::now();
 
     let client_results: ServeResult<()> = crossbeam::thread::scope(|scope| {
@@ -336,16 +371,36 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
             let ids = &ids;
             let torn = &torn;
             let verified = &verified;
+            let client_latency = &client_latency;
             let spec_ref = spec;
             clients.push(scope.spawn(move |_| -> ServeResult<()> {
                 let mut rng = spec_ref
                     .seed
                     .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
-                for _ in 0..spec_ref.ops_per_client {
+                let stagger = interval
+                    .map(|iv| iv.mul_f64(client_idx as f64 / spec_ref.clients as f64))
+                    .unwrap_or_default();
+                for op_idx in 0..spec_ref.ops_per_client {
+                    // Open loop: wait for this op's scheduled slot, then
+                    // measure from the *schedule* — if the server lags, the
+                    // queueing delay lands in the recorded latency instead
+                    // of silently throttling the offered load.
+                    let sent = match interval {
+                        Some(iv) => {
+                            let scheduled = start + stagger + iv.mul_f64(op_idx as f64);
+                            let now = Instant::now();
+                            if scheduled > now {
+                                std::thread::sleep(scheduled - now);
+                            }
+                            scheduled
+                        }
+                        None => Instant::now(),
+                    };
                     let tenant_idx = (next_rand(&mut rng) % spec_ref.tenants as u64) as usize;
                     let (tenant, dataset) = &ids[tenant_idx];
                     let request = request_for(&mut rng);
                     let response = engine.execute(tenant, dataset, &request)?;
+                    client_latency.record(sent.elapsed());
                     let expected = registry
                         .read()
                         .get(&(tenant_idx, response.version))
@@ -387,6 +442,8 @@ pub fn run_workload(spec: &WorkloadSpec) -> ServeResult<LoadReport> {
         ops: engine.overall().count(),
         wall,
         overall: engine.overall().snapshot(),
+        client_latency: client_latency.snapshot(),
+        target_qps: spec.target_qps,
         per_tenant: engine.latency_report(),
         refreshes_published: refreshes.load(Ordering::Relaxed),
         torn_reads: torn.load(Ordering::Relaxed),
@@ -445,5 +502,40 @@ mod tests {
             run_workload(&spec),
             Err(ServeError::InvalidConfig(_))
         ));
+        let mut spec = WorkloadSpec::quick();
+        spec.target_qps = Some(0.0);
+        assert!(matches!(
+            run_workload(&spec),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        spec.target_qps = Some(f64::NAN);
+        assert!(matches!(
+            run_workload(&spec),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn open_loop_mode_holds_the_schedule_and_still_verifies() {
+        let mut spec = WorkloadSpec::quick();
+        spec.ops_per_client = 50;
+        spec.refresh_rounds = 1;
+        spec.target_qps = Some(2_000.0);
+        let report = run_workload(&spec).unwrap();
+        assert_eq!(report.torn_reads, 0);
+        assert_eq!(report.verified, report.ops);
+        assert_eq!(report.client_latency.count, report.ops);
+        assert_eq!(report.target_qps, Some(2_000.0));
+        // 4 clients × 50 ops at 2000 QPS aggregate pins the last scheduled
+        // send near 98 ms: an open-loop run can't finish faster than its
+        // own schedule, however fast the in-process server answers.
+        assert!(
+            report.wall >= Duration::from_millis(90),
+            "open loop finished in {:?} — schedule not honoured",
+            report.wall
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("target qps"), "{rendered}");
+        assert!(rendered.contains("client-observed"), "{rendered}");
     }
 }

@@ -14,8 +14,9 @@ use opaq_core::{QuantileEstimate, QuantileSketch, RankBounds};
 use opaq_metrics::{LatencyHistogram, LatencySnapshot};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A typed query against one `(tenant, dataset)` entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +99,10 @@ pub struct QueryEngine {
     catalog: Arc<SketchCatalog>,
     tenants: RwLock<HashMap<TenantId, Arc<LatencyHistogram>>>,
     overall: LatencyHistogram,
+    /// Per-request SLO threshold in nanos (0 = none armed); requests slower
+    /// than this bump [`Self::slo_breaches`].
+    slo_threshold_nanos: AtomicU64,
+    slo_breaches: AtomicU64,
 }
 
 impl QueryEngine {
@@ -107,12 +112,29 @@ impl QueryEngine {
             catalog,
             tenants: RwLock::new(HashMap::new()),
             overall: LatencyHistogram::new(),
+            slo_threshold_nanos: AtomicU64::new(0),
+            slo_breaches: AtomicU64::new(0),
         }
     }
 
     /// The catalog this engine serves from.
     pub fn catalog(&self) -> &Arc<SketchCatalog> {
         &self.catalog
+    }
+
+    /// Arm (or disarm, with `None`) a per-request latency SLO: every
+    /// execution slower than `threshold` bumps [`Self::slo_breaches`],
+    /// surfaced in `/metrics` as `opaq_slo_breaches` and in the serve
+    /// shutdown summary.  This is the server-side view; the open-loop bench
+    /// harness judges the client-observed distribution separately.
+    pub fn set_slo_threshold(&self, threshold: Option<Duration>) {
+        let nanos = threshold.map_or(0, |t| (t.as_nanos().min(u64::MAX as u128) as u64).max(1));
+        self.slo_threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Requests that exceeded the armed SLO threshold (0 while disarmed).
+    pub fn slo_breaches(&self) -> u64 {
+        self.slo_breaches.load(Ordering::Relaxed)
     }
 
     /// Execute one request.  The measured latency covers snapshot resolution
@@ -130,6 +152,10 @@ impl QueryEngine {
         let elapsed = start.elapsed();
         self.overall.record(elapsed);
         self.tenant_histogram(tenant).record(elapsed);
+        let threshold = self.slo_threshold_nanos.load(Ordering::Relaxed);
+        if threshold > 0 && elapsed.as_nanos() > u128::from(threshold) {
+            self.slo_breaches.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(response)
     }
 
@@ -296,5 +322,28 @@ mod tests {
         assert!(engine
             .execute(&t, &d, &QueryRequest::Profile { count: 0 })
             .is_err());
+    }
+
+    #[test]
+    fn slo_threshold_counts_slow_requests_only_while_armed() {
+        let (engine, t, d) = engine_with(1_000);
+        let request = QueryRequest::Quantile { phi: 0.5 };
+        // Disarmed: nothing counts.
+        engine.execute(&t, &d, &request).unwrap();
+        assert_eq!(engine.slo_breaches(), 0);
+        // An unmeetable threshold: every request breaches.
+        engine.set_slo_threshold(Some(Duration::ZERO));
+        for _ in 0..3 {
+            engine.execute(&t, &d, &request).unwrap();
+        }
+        assert_eq!(engine.slo_breaches(), 3);
+        // A generous threshold: the counter stops moving but keeps history.
+        engine.set_slo_threshold(Some(Duration::from_secs(3600)));
+        engine.execute(&t, &d, &request).unwrap();
+        assert_eq!(engine.slo_breaches(), 3);
+        // Disarming keeps history too.
+        engine.set_slo_threshold(None);
+        engine.execute(&t, &d, &request).unwrap();
+        assert_eq!(engine.slo_breaches(), 3);
     }
 }

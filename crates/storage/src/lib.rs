@@ -16,6 +16,11 @@
 //! * [`sketch_codec`] — the versioned, checksummed on-disk sketch format
 //!   ([`sketch_codec::SketchWire`]), shared by the CLI's persistence and the
 //!   serving catalog's spill/reload path.
+//! * [`manifest`] — the write-ahead publication log behind the serving
+//!   catalog's durable mode ([`manifest::ManifestRecord`],
+//!   [`manifest::ManifestWriter`], [`manifest::replay`]): same
+//!   magic/version/checksum framing as the sketch codec, with torn-tail
+//!   truncation for crash recovery.
 //! * [`file_store`] — a file-backed implementation with buffered sequential reads.
 //! * [`mem_store`] — an in-memory implementation for tests and small inputs.
 //! * [`prefetch`] — double-buffered read-ahead
@@ -43,6 +48,7 @@ pub mod disk_model;
 pub mod file_store;
 pub mod io_stats;
 pub mod layout;
+pub mod manifest;
 pub mod mem_store;
 pub mod prefetch;
 pub mod run_store;
@@ -53,6 +59,7 @@ pub use disk_model::DiskModel;
 pub use file_store::{FileRunStore, FileRunStoreBuilder};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use layout::RunLayout;
+pub use manifest::{AppendFault, ManifestRecord, ManifestReplay, ManifestWriter};
 pub use mem_store::MemRunStore;
 pub use prefetch::{
     for_each_run_prefetched, for_each_run_prefetched_pooled, BufferPool, DEFAULT_PREFETCH_DEPTH,

@@ -214,6 +214,21 @@ pub fn save<K: FixedWidthCodec>(path: impl AsRef<Path>, wire: &SketchWire<K>) ->
     Ok(())
 }
 
+/// Save a wire sketch to `path` and sync file data to disk before
+/// returning.  The durable catalog writes sketch bytes through this variant
+/// so the write-ahead manifest never references a file a crash could lose.
+pub fn save_synced<K: FixedWidthCodec>(
+    path: impl AsRef<Path>,
+    wire: &SketchWire<K>,
+) -> StorageResult<()> {
+    let path = path.as_ref();
+    let mut file = std::fs::File::create(path).map_err(|e| io_context("create", path, e))?;
+    file.write_all(&to_bytes(wire))
+        .map_err(|e| io_context("write", path, e))?;
+    file.sync_data().map_err(|e| io_context("sync", path, e))?;
+    Ok(())
+}
+
 /// Load a wire sketch from `path`.
 pub fn load<K: FixedWidthCodec>(path: impl AsRef<Path>) -> StorageResult<SketchWire<K>> {
     let path = path.as_ref();

@@ -1,0 +1,194 @@
+//! Pin the version-1 write-ahead manifest record format with a checked-in
+//! binary fixture (the manifest twin of `legacy_v1_fixture.rs`).
+//!
+//! The fixture at `tests/fixtures/manifest_v1.manifest` holds one record of
+//! every kind, in append order: a `Publish` (acme/clicks v3, 5 s TTL,
+//! `acme--clicks--v3.sketch`), a `TtlSet` clearing the TTL, and an `Evict`.
+//! These tests assert that
+//!
+//! 1. the bytes replay exactly (record for record) forever — durable data
+//!    dirs written today keep recovering across format bumps;
+//! 2. the current encoder still produces these exact bytes, so the fixture
+//!    pins the write path as well as the read path;
+//! 3. truncation at *every* field boundary is reported as a torn tail (the
+//!    expected residue of a crash), never as corruption;
+//! 4. a checksum-visible flip at every field boundary of a complete record
+//!    is caught as a typed error, never replayed as data.
+
+use opaq_storage::manifest::{
+    self, ManifestRecord, HEADER_LEN, MANIFEST_MAGIC, MANIFEST_NO_TTL, MANIFEST_VERSION,
+};
+use opaq_storage::StorageError;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/manifest_v1.manifest")
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    std::fs::read(fixture_path()).expect("fixture file is checked in")
+}
+
+fn expected() -> Vec<ManifestRecord> {
+    vec![
+        ManifestRecord::Publish {
+            tenant: "acme".into(),
+            dataset: "clicks".into(),
+            version: 3,
+            ttl_nanos: 5_000_000_000,
+            sketch_file: "acme--clicks--v3.sketch".into(),
+        },
+        ManifestRecord::TtlSet {
+            tenant: "acme".into(),
+            dataset: "clicks".into(),
+            ttl_nanos: MANIFEST_NO_TTL,
+        },
+        ManifestRecord::Evict {
+            tenant: "acme".into(),
+            dataset: "clicks".into(),
+            version: 3,
+        },
+    ]
+}
+
+/// Field boundaries of one record, as offsets from its start.  Every record
+/// kind shares the one body layout (tenant "acme", dataset "clicks"), so the
+/// fixed-field offsets are identical across the fixture's three records.
+fn record_field_boundaries(record_len: usize) -> Vec<usize> {
+    let mut offsets = vec![
+        0,  // magic
+        7,  // version digit
+        8,  // checksum
+        16, // body_len
+        24, // kind
+        25, // tenant_len
+        33, // tenant bytes ("acme")
+        37, // dataset_len
+        45, // dataset bytes ("clicks")
+        51, // version
+        59, // ttl_nanos
+        67, // file_len
+        75, // sketch file name bytes
+        record_len,
+    ];
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+/// `(start_offset, encoded_len)` of each record in the fixture.
+fn record_extents(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        let (_, consumed) = manifest::decode_record(&bytes[offset..])
+            .expect("fixture record decodes")
+            .expect("fixture record is complete");
+        extents.push((offset, consumed));
+        offset += consumed;
+    }
+    extents
+}
+
+#[test]
+fn fixture_replays_byte_exactly() {
+    let bytes = fixture_bytes();
+    assert_eq!(bytes.len(), 248, "fixture layout drifted");
+    let replayed = manifest::replay_bytes(&bytes).unwrap();
+    assert_eq!(replayed.records, expected());
+    assert_eq!(replayed.torn_tail_bytes, 0);
+    // Every record leads with the shared magic + version framing.
+    for &(start, _) in &record_extents(&bytes) {
+        assert_eq!(&bytes[start..start + 7], MANIFEST_MAGIC);
+        assert_eq!(bytes[start + 7], MANIFEST_VERSION);
+    }
+    // Replaying through the file API gives the identical history.
+    let from_file = manifest::replay(fixture_path()).unwrap();
+    assert_eq!(from_file, replayed);
+}
+
+#[test]
+fn current_encoder_regenerates_the_fixture_byte_for_byte() {
+    // The fixture pins the write path too: if the encoder drifts, old data
+    // dirs would stop being byte-compatible with new appends.
+    let regenerated: Vec<u8> = expected()
+        .iter()
+        .flat_map(manifest::encode_record)
+        .collect();
+    assert_eq!(regenerated, fixture_bytes());
+}
+
+#[test]
+fn truncation_at_every_field_boundary_is_a_torn_tail_not_corruption() {
+    let bytes = fixture_bytes();
+    let records = expected();
+    for (idx, &(start, len)) in record_extents(&bytes).iter().enumerate() {
+        for &boundary in &record_field_boundaries(len) {
+            // A cut at the record's end is a clean prefix, not a torn tail;
+            // the next record's `boundary == 0` covers that same offset.
+            if boundary == len {
+                continue;
+            }
+            let cut = start + boundary;
+            let replayed = manifest::replay_bytes(&bytes[..cut]).unwrap();
+            assert_eq!(
+                replayed.records,
+                records[..idx],
+                "cut at {cut} (record {idx} + {boundary})"
+            );
+            assert_eq!(
+                replayed.torn_tail_bytes, boundary as u64,
+                "cut at {cut} (record {idx} + {boundary})"
+            );
+        }
+    }
+}
+
+#[test]
+fn checksum_flip_at_every_field_boundary_is_caught() {
+    let bytes = fixture_bytes();
+    for (idx, &(start, len)) in record_extents(&bytes).iter().enumerate() {
+        for &boundary in &record_field_boundaries(len) {
+            if boundary == len {
+                continue;
+            }
+            let mut damaged = bytes.clone();
+            damaged[start + boundary] ^= 0x01;
+            let err = manifest::replay_bytes(&damaged).unwrap_err();
+            // A flip in the version digit is a typed version mismatch;
+            // everywhere else (magic, checksum, body_len, body) it must
+            // surface as corruption — never as replayable data or a tail.
+            let ok = match boundary {
+                7 => matches!(err, StorageError::VersionMismatch { .. }),
+                _ => matches!(err, StorageError::Corrupt(_)),
+            };
+            assert!(ok, "flip at record {idx} + {boundary}: {err}");
+        }
+    }
+}
+
+#[test]
+fn fixture_survives_a_simulated_crash_append_and_truncation() {
+    // Copy the fixture into a scratch log, tear half a record onto its tail
+    // (what a power cut mid-append leaves), and verify recovery truncates
+    // back to exactly the pinned history.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    let path = std::env::temp_dir().join(format!(
+        "opaq-manifest-fixture-{}-{nanos}.manifest",
+        std::process::id()
+    ));
+    let bytes = fixture_bytes();
+    let torn = manifest::encode_record(&expected()[0]);
+    let mut log = bytes.clone();
+    log.extend_from_slice(&torn[..HEADER_LEN + 3]);
+    std::fs::write(&path, &log).unwrap();
+
+    let replayed = manifest::replay_and_truncate(&path).unwrap();
+    assert_eq!(replayed.records, expected());
+    assert_eq!(replayed.torn_tail_bytes, (HEADER_LEN + 3) as u64);
+    assert_eq!(std::fs::read(&path).unwrap(), bytes, "log truncated clean");
+    std::fs::remove_file(&path).unwrap();
+}
