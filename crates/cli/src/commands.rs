@@ -9,7 +9,10 @@ use opaq_core::{exact_quantile, IncrementalOpaq, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
 use opaq_metrics::{SloThresholds, TextTable};
 use opaq_net::json::write_escaped;
-use opaq_net::{HttpClient, HttpServer, HttpWorkloadSpec, Json, ServerConfig};
+use opaq_net::{
+    bootstrap, ChaosConfig, HttpClient, HttpServer, HttpWorkloadSpec, Json, ReplicaWorkloadSpec,
+    ReplicationStats, Replicator, ServerConfig,
+};
 use opaq_parallel::ShardedOpaq;
 use opaq_query::QueryPlan;
 use opaq_select::SelectionStrategy;
@@ -56,7 +59,7 @@ COMMANDS:
   serve-bench [--tenants M] [--clients N] [--ops K] [--keys-per-tenant D]
              [--run-length M] [--sample-size S] [--refreshes R] [--budget B]
              [--seed S] [--ttl-ms T] [--quick] [--http] [--qps Q]
-             [--slo-p99-ms M] [--bench-out FILE]
+             [--slo-p99-ms M] [--bench-out FILE] [--replicas N] [--chaos]
              replay a mixed read/refresh workload against the multi-tenant
              serving catalog: N client threads issue K typed queries each
              across M tenants while refreshes publish new sketch versions
@@ -75,11 +78,18 @@ COMMANDS:
              --slo-p99-ms M declares the objectives 'p99 <= M ms, zero
              errors, zero sheds'; any breach makes the command exit
              nonzero.  --bench-out FILE writes the machine-readable report
-             (BENCH_serve.json format)
+             (BENCH_serve.json format).
+             --replicas N (with --http) stands up an N-replica fleet — one
+             primary plus N-1 peer-bootstrapped secondaries kept in sync
+             over the wire — and drives circuit-breaker failover clients
+             across it.  --chaos additionally fronts every replica with a
+             fault-injecting proxy and kills + restarts one replica
+             mid-run; any torn or mis-versioned answer fails the command
   serve      --addr HOST:PORT [--tenants M] [--keys-per-tenant D]
              [--run-length M] [--sample-size S] [--ttl-ms T]
              [--refresh-threads R] [--workers W] [--seed S]
-             [--data-dir DIR] [--slo-p99-ms M]
+             [--data-dir DIR] [--slo-p99-ms M] [--peer ADDR]
+             [--peer-poll-ms P]
              run the HTTP front-end over M synthetic tenants
              (tenant-0..M-1, dataset 'events').  Endpoints:
                GET  /v1/{tenant}/{dataset}/quantile?phi=0.5
@@ -96,6 +106,12 @@ COMMANDS:
              under DIR, and a restart over the same DIR rebuilds the exact
              catalog (entries, versions, TTLs) instead of re-seeding.
              --slo-p99-ms M arms the server-side opaq_slo_breaches counter.
+             --peer ADDR replicates instead of seeding: the catalog is
+             bootstrapped from the peer's /v1/_sync endpoints before the
+             server binds, then a background replicator polls for deltas
+             every --peer-poll-ms (default 500); every entry is applied at
+             the peer's exact version, so answers are byte-identical to
+             the source.
              The server runs until stdin reaches EOF (or a 'quit' line),
              then shuts down cleanly and prints a summary
   help       print this text
@@ -589,8 +605,9 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
             "qps",
             "slo-p99-ms",
             "bench-out",
+            "replicas",
         ],
-        &["quick", "http"],
+        &["quick", "http", "chaos"],
     )?;
     let base = if args.flag("quick") {
         WorkloadSpec::quick()
@@ -634,6 +651,22 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
         seed: args.u64_or("seed", base.seed)?,
         target_qps,
     };
+    let replicas = args.u64_or("replicas", 1)? as usize;
+    if replicas > 1 || args.flag("chaos") {
+        if !args.flag("http") {
+            return Err(CliError::Usage(
+                "--replicas/--chaos drive a fleet over real sockets — add --http".to_string(),
+            ));
+        }
+        if budget > 0 || target_qps.is_some() || args.get("slo-p99-ms").is_some() {
+            return Err(CliError::Usage(
+                "--budget/--qps/--slo-p99-ms are not supported in replica-fleet mode; the \
+                 fleet run is closed-loop and gated on consistency, not latency"
+                    .to_string(),
+            ));
+        }
+        return serve_bench_replicas(args, spec, replicas.max(2));
+    }
     if args.flag("http") {
         if budget > 0 {
             return Err(CliError::Usage(
@@ -872,6 +905,55 @@ fn serve_bench_http(args: &Args, spec: WorkloadSpec, slo: SloThresholds) -> CliR
     Ok(out)
 }
 
+/// `opaq serve-bench --http --replicas N [--chaos]`: the replica-fleet run.
+///
+/// One primary plus N-1 secondaries bootstrapped over the wire, driven by
+/// circuit-breaker failover clients.  With `--chaos`, every replica sits
+/// behind a fault-injecting proxy and one replica is killed and restarted
+/// mid-run.  Every answer is still verified byte-for-byte against the
+/// sketch version it claims — a single torn or mis-versioned answer fails
+/// the command, chaos or not.
+fn serve_bench_replicas(args: &Args, spec: WorkloadSpec, replicas: usize) -> CliResult<String> {
+    let chaos = args.flag("chaos");
+    let replica_spec = ReplicaWorkloadSpec {
+        spec,
+        replicas,
+        chaos: chaos.then(ChaosConfig::default),
+        kill_restart: chaos,
+        ..ReplicaWorkloadSpec::default()
+    };
+    let report = opaq_net::run_replica_workload(&replica_spec)
+        .map_err(|e| CliError::Usage(format!("replica fleet workload failed: {e}")))?;
+    let mut out = format!(
+        "served {} requests across a {}-replica fleet in {:?} ({:.0} ops/s); {} verified \
+         byte-for-byte, {} torn reads, {} http errors, {} degraded replays, {} unanswered\n",
+        report.ops,
+        report.replicas,
+        report.wall,
+        report.throughput(),
+        report.verified,
+        report.torn_reads,
+        report.http_errors,
+        report.degraded,
+        report.unanswered,
+    );
+    out.push_str(&report.render());
+    if report.torn_reads > 0 || report.http_errors > 0 {
+        return Err(CliError::Usage(format!(
+            "{} torn reads / {} http errors across the fleet — replica answers diverged from \
+             their claimed sketch versions\n{out}",
+            report.torn_reads, report.http_errors
+        )));
+    }
+    if chaos && (report.kills == 0 || report.restarts < report.kills) {
+        return Err(CliError::Usage(format!(
+            "chaos run never exercised the kill/restart cycle ({} kills, {} restarts)\n{out}",
+            report.kills, report.restarts
+        )));
+    }
+    Ok(out)
+}
+
 /// `opaq serve`: the HTTP front-end over synthetic tenants, until stdin EOF.
 pub fn serve(args: &Args) -> CliResult<String> {
     serve_with_control(args, std::io::stdin().lock())
@@ -896,6 +978,8 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
             "seed",
             "data-dir",
             "slo-p99-ms",
+            "peer",
+            "peer-poll-ms",
         ],
         &[],
     )?;
@@ -911,6 +995,23 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     let refresh_threads = args.u64_or("refresh-threads", 1)?.max(1);
     let workers = args.u64_or("workers", 8)?.max(1);
     let seed = args.u64_or("seed", 42)?;
+    let peer = args.get("peer").map(str::to_string);
+    let peer_poll_ms = args.u64_or("peer-poll-ms", 500)?.max(10);
+    if peer.is_none() && args.get("peer-poll-ms").is_some() {
+        return Err(CliError::Usage(
+            "--peer-poll-ms only makes sense with --peer".to_string(),
+        ));
+    }
+    if peer.is_some() && ttl_ms > 0 {
+        return Err(CliError::Usage(
+            "--ttl-ms cannot be combined with --peer: a replica's content comes from its \
+             peer, and a local TTL re-ingest would fork it from the source"
+                .to_string(),
+        ));
+    }
+    // Shared replication counters, exposed via /metrics and the shutdown
+    // summary when this server is a replica.
+    let replication = peer.as_ref().map(|_| ReplicationStats::new());
 
     let config = OpaqConfig::builder()
         .run_length(run_length)
@@ -943,7 +1044,16 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
             recovery.orphan_spills_removed,
         );
         print!("{recovery_banner}");
-    } else {
+    }
+    if let Some(peer) = peer.as_deref() {
+        // Replica mode: the peer's catalog IS the state.  Bootstrap before
+        // binding so the server never exposes an empty (or stale-recovered)
+        // catalog it is about to overwrite; every entry lands at the peer's
+        // exact version, so answers are byte-identical to the source.
+        let applied = bootstrap(&catalog, peer, replication.as_ref())
+            .map_err(|e| CliError::Usage(format!("could not bootstrap from peer {peer}: {e}")))?;
+        println!("opaq serve: bootstrapped {applied} entries from peer {peer}");
+    } else if recovered_entries == 0 {
         for tenant_idx in 0..tenants {
             let keys = DatasetSpec {
                 n: keys_per_tenant,
@@ -1014,18 +1124,30 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         }));
     }
 
-    let server_config = ServerConfig::builder()
-        .addr(addr)
-        .workers(workers as usize)
+    let mut server_builder = ServerConfig::builder().addr(addr).workers(workers as usize);
+    if let Some(stats) = &replication {
+        server_builder = server_builder.replication(Arc::clone(stats));
+    }
+    let server_config = server_builder
         .build()
         .map_err(|e| CliError::Usage(format!("invalid server configuration: {e}")))?;
     let mut server = HttpServer::start(Arc::clone(&engine), server_config)
         .map_err(|e| CliError::Usage(format!("could not start the HTTP server: {e}")))?;
     let bound = server.local_addr();
+    // Keep trailing the peer for deltas; backoff inside the replicator
+    // rides out peer outages and reconnects when it comes back.
+    let mut replicator = peer.as_ref().map(|peer| {
+        Replicator::start(
+            Arc::clone(&catalog),
+            peer.clone(),
+            Duration::from_millis(peer_poll_ms),
+            replication.clone(),
+        )
+    });
 
     println!(
         "opaq serve: listening on http://{bound} ({} tenants, {keys_per_tenant} keys \
-         each{}{}); close stdin or send 'quit' to stop",
+         each{}{}{}); close stdin or send 'quit' to stop",
         if recovered_entries > 0 {
             recovered_entries
         } else {
@@ -1038,6 +1160,10 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         },
         match args.get("data-dir") {
             Some(dir) => format!(", durable in {dir}"),
+            None => String::new(),
+        },
+        match &peer {
+            Some(peer) => format!(", replicating from {peer} every {peer_poll_ms}ms"),
             None => String::new(),
         }
     );
@@ -1058,13 +1184,26 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     // still completes (and counts) during shutdown.
     server.shutdown();
     let stats = server.stats();
+    if let Some(replicator) = replicator.as_mut() {
+        replicator.shutdown();
+    }
     pool.shutdown();
     let catalog_stats = catalog.stats();
+    let replication_summary = match (&peer, &replication) {
+        (Some(peer), Some(stats)) => format!(
+            "; replication: {} sync deltas applied from peer {peer}, {} failovers, \
+             {} breaker opens",
+            stats.sync_deltas_applied(),
+            stats.failovers(),
+            stats.breaker_opens(),
+        ),
+        _ => String::new(),
+    };
     Ok(format!(
         "opaq serve: shutdown complete (bound {bound}); served {} requests over {} connections \
          ({} rejected, {} parse errors); catalog: {} publishes, {} snapshots, {} stale, \
          {} ttl refreshes; durability: {} manifest records, {} recoveries, {} orphans reaped; \
-         slo breaches: {}\n{recovery_banner}",
+         slo breaches: {}{replication_summary}\n{recovery_banner}",
         stats.requests,
         stats.connections,
         stats.rejected,
@@ -1433,6 +1572,76 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_replica_flags_are_validated() {
+        let err = run("serve-bench", &args(&["--quick", "--replicas", "2"])).unwrap_err();
+        assert!(err.to_string().contains("add --http"), "{err}");
+        let err = run("serve-bench", &args(&["--quick", "--chaos"])).unwrap_err();
+        assert!(err.to_string().contains("add --http"), "{err}");
+        let err = run(
+            "serve-bench",
+            &args(&["--http", "--quick", "--replicas", "2", "--qps", "100"]),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("not supported in replica-fleet mode"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_bench_replica_fleet_verifies_across_replicas() {
+        let out = run(
+            "serve-bench",
+            &args(&[
+                "--http",
+                "--quick",
+                "--replicas",
+                "2",
+                "--tenants",
+                "2",
+                "--clients",
+                "2",
+                "--ops",
+                "40",
+                "--keys-per-tenant",
+                "4000",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("2-replica fleet"), "{out}");
+        assert!(out.contains("0 torn reads"), "{out}");
+        assert!(out.contains("0 http errors"), "{out}");
+        assert!(out.contains("replica fleet: 2 replicas"), "{out}");
+    }
+
+    #[test]
+    fn serve_bench_chaos_fleet_survives_a_kill_and_restart() {
+        let out = run(
+            "serve-bench",
+            &args(&[
+                "--http",
+                "--quick",
+                "--replicas",
+                "2",
+                "--chaos",
+                "--tenants",
+                "2",
+                "--clients",
+                "3",
+                "--ops",
+                "60",
+                "--keys-per-tenant",
+                "4000",
+            ]),
+        )
+        .unwrap();
+        assert!(out.contains("0 torn reads"), "{out}");
+        assert!(out.contains("kills 1"), "{out}");
+        assert!(out.contains("restarts 1"), "{out}");
+    }
+
+    #[test]
     fn query_modes_are_mutually_exclusive_and_validated() {
         // Neither mode selected.
         let err = run("query", &Args::default()).unwrap_err();
@@ -1592,6 +1801,96 @@ mod tests {
         let out = handle.join().unwrap().unwrap();
         assert!(out.contains("shutdown complete"), "{out}");
         assert!(out.contains("catalog: 1 publishes"), "{out}");
+    }
+
+    #[test]
+    fn serve_peer_flags_are_validated() {
+        let err = run("serve", &args(&["--peer-poll-ms", "100"])).unwrap_err();
+        assert!(err.to_string().contains("--peer"), "{err}");
+        let err = run(
+            "serve",
+            &args(&["--peer", "127.0.0.1:1", "--ttl-ms", "100"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("fork it from the source"), "{err}");
+        // An unreachable peer fails the bootstrap before the server binds.
+        let err = run("serve", &args(&["--peer", "127.0.0.1:1"])).unwrap_err();
+        assert!(
+            err.to_string().contains("could not bootstrap from peer"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_peer_bootstraps_and_reports_replication_in_the_summary() {
+        use std::io::BufReader;
+        // A primary on a probed fixed port, so the replica has an address.
+        let primary_port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let primary_addr = format!("127.0.0.1:{primary_port}");
+        let primary_control = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let primary_control_addr = primary_control.local_addr().unwrap();
+        let primary_hold = std::net::TcpStream::connect(primary_control_addr).unwrap();
+        let (primary_stream, _) = primary_control.accept().unwrap();
+        let primary_args = args(&[
+            "--addr",
+            &primary_addr,
+            "--tenants",
+            "2",
+            "--keys-per-tenant",
+            "20000",
+            "--run-length",
+            "2000",
+            "--sample-size",
+            "200",
+        ]);
+        let primary = std::thread::spawn(move || {
+            super::serve_with_control(&primary_args, BufReader::new(primary_stream))
+        });
+        // Wait for the primary to actually listen before bootstrapping.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if HttpClient::new(primary_addr.clone())
+                .get("/healthz")
+                .is_ok()
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "primary never came up"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // A replica bootstrapped from it over the wire.
+        let replica_control = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let replica_control_addr = replica_control.local_addr().unwrap();
+        let replica_hold = std::net::TcpStream::connect(replica_control_addr).unwrap();
+        let (replica_stream, _) = replica_control.accept().unwrap();
+        let replica_args = args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--peer",
+            &primary_addr,
+            "--peer-poll-ms",
+            "50",
+        ]);
+        let replica = std::thread::spawn(move || {
+            super::serve_with_control(&replica_args, BufReader::new(replica_stream))
+        });
+        std::thread::sleep(Duration::from_millis(300));
+
+        drop(replica_hold); // EOF => replica shutdown
+        let out = replica.join().unwrap().unwrap();
+        assert!(out.contains("shutdown complete"), "{out}");
+        // Bootstrap replicated both tenant entries at the peer's versions.
+        assert!(out.contains("catalog: 2 publishes"), "{out}");
+        assert!(out.contains("sync deltas applied from peer"), "{out}");
+        drop(primary_hold);
+        primary.join().unwrap().unwrap();
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Capped, jittered exponential backoff — the one retry-pacing policy the
+//! whole networking layer shares.
+//!
+//! Every reconnect/retry loop in this crate (the client's transparent
+//! reconnect, the replica set's bounded GET retries, the replication
+//! poller's delta loop) paces itself through a [`Backoff`], so none of them
+//! can spin on a dead socket and none of them synchronize into retry storms:
+//! the delay doubles per consecutive failure up to a cap, and each delay is
+//! *full-jitter* — uniformly drawn from `[base/2, computed]` with a
+//! deterministic per-instance RNG, so two clients born together still spread
+//! their retries.
+
+use std::time::Duration;
+
+/// Exponential backoff state: `delay(n) = min(base · 2ⁿ, cap)`, jittered.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A policy starting at `base` and never exceeding `cap` per delay.
+    /// `seed` makes the jitter deterministic (tests) while still decorrelating
+    /// instances constructed with different seeds.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            // splitmix-style scramble so adjacent seeds diverge immediately.
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The connection-retry default: 10ms doubling to a 2s cap.
+    pub fn for_connect(seed: u64) -> Self {
+        Self::new(Duration::from_millis(10), Duration::from_secs(2), seed)
+    }
+
+    /// How many consecutive failures have been recorded since the last
+    /// [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Record a failure and return how long to sleep before the next try.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 · base already dwarfs any cap
+        self.attempt = self.attempt.saturating_add(1);
+        let uncapped = self
+            .base
+            .checked_mul(1u32 << exp)
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // Full jitter over [base/2, uncapped]: a floor keeps "immediately
+        // retry with zero delay" impossible, the jitter spreads the herd.
+        let floor = self.base / 2;
+        let span = uncapped.saturating_sub(floor);
+        if span.is_zero() {
+            return uncapped;
+        }
+        let r = self.next_rand();
+        floor + Duration::from_nanos((r % span.as_nanos().max(1) as u64).max(1))
+    }
+
+    /// Record a success: the next failure starts from `base` again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*: tiny, deterministic, plenty for jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_up_to_the_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 7);
+        let mut max_seen = Duration::ZERO;
+        for i in 0..12 {
+            let d = b.next_delay();
+            assert!(
+                d >= Duration::from_millis(5),
+                "attempt {i}: {d:?} below floor"
+            );
+            assert!(
+                d <= Duration::from_millis(500),
+                "attempt {i}: {d:?} over cap"
+            );
+            max_seen = max_seen.max(d);
+        }
+        // After enough doublings the jitter window reaches the cap region.
+        assert!(
+            max_seen > Duration::from_millis(100),
+            "never grew: {max_seen:?}"
+        );
+        assert_eq!(b.attempts(), 12);
+    }
+
+    #[test]
+    fn reset_returns_to_the_base_window() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(2), 3);
+        for _ in 0..8 {
+            b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        // First post-reset delay is back inside the base window [5ms, 10ms].
+        let d = b.next_delay();
+        assert!(d <= Duration::from_millis(10), "{d:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let collect = |seed| {
+            let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), seed);
+            (0..6).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+}

@@ -1,0 +1,410 @@
+//! Per-replica circuit breaker: closed → open → half-open.
+//!
+//! The breaker watches a sliding window of recent request outcomes.  While
+//! **closed** everything is allowed; the breaker **opens** — rejecting
+//! requests locally (no socket touched) for `cooldown` — on either trigger:
+//! the window holds at least `min_samples` outcomes and the failure rate
+//! crosses `failure_threshold` (a flaky replica), or `min_samples` failures
+//! land consecutively (a dead replica, which a success-warmed window must
+//! not protect from detection).  After the cooldown it becomes **half-open**: exactly one
+//! probe request is let through at a time — a success closes the breaker and
+//! clears the window, a failure re-opens it for another cooldown.
+//!
+//! What it guarantees: a dead replica costs at most `min_samples` failed
+//! requests plus one probe per cooldown, and recovery is detected within one
+//! cooldown of the replica coming back.  What it does *not* guarantee:
+//! correctness of answers (that is the byte-for-byte verifier's job) or
+//! fairness across callers — it is a per-client local view, not a shared
+//! consensus on replica health.
+//!
+//! Time is injected (`with_clock`) so state transitions are testable under a
+//! deterministic fake clock.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes are being recorded.
+    Closed,
+    /// Requests are rejected locally until the cooldown elapses.
+    Open,
+    /// One probe at a time is allowed through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for metrics/logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric encoding for gauge exposition: 0 closed, 1 open, 2 half-open.
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+type Clock = Arc<dyn Fn() -> Instant + Send + Sync>;
+
+/// Tunables for a [`CircuitBreaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Sliding outcome window size.
+    pub window: usize,
+    /// Minimum outcomes in the window before the rate is judged.
+    pub min_samples: usize,
+    /// Failure rate in `[0, 1]` at which the breaker opens.
+    pub failure_threshold: f64,
+    /// How long an open breaker rejects before probing.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A sliding-window failure-rate circuit breaker with injectable time.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    clock: Clock,
+    state: BreakerState,
+    /// Ring buffer of recent outcomes (`true` = failure).
+    outcomes: Vec<bool>,
+    cursor: usize,
+    filled: usize,
+    /// Failures since the last success, regardless of window contents: a
+    /// success-warmed window must not buy a dead replica extra failures.
+    consecutive_failures: usize,
+    opened_at: Option<Instant>,
+    /// In half-open: is a probe currently in flight?
+    probe_inflight: bool,
+    opens: u64,
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("state", &self.state)
+            .field("filled", &self.filled)
+            .field("opens", &self.opens)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CircuitBreaker {
+    /// A breaker reading real time.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self::with_clock(config, Arc::new(Instant::now))
+    }
+
+    /// A breaker reading time through `clock` — deterministic tests inject a
+    /// fake clock here.
+    pub fn with_clock(config: BreakerConfig, clock: Clock) -> Self {
+        let window = config.window.max(1);
+        Self {
+            config: BreakerConfig { window, ..config },
+            clock,
+            state: BreakerState::Closed,
+            outcomes: vec![false; window],
+            cursor: 0,
+            filled: 0,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_inflight: false,
+            opens: 0,
+        }
+    }
+
+    /// Current state, advancing open → half-open if the cooldown elapsed.
+    pub fn state(&mut self) -> BreakerState {
+        self.tick();
+        self.state
+    }
+
+    /// How many times this breaker has transitioned into `Open`.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// May a request be sent now?  In half-open this *claims* the single
+    /// probe slot — the caller must follow up with
+    /// [`Self::record_success`] or [`Self::record_failure`].
+    pub fn allow(&mut self) -> bool {
+        self.tick();
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful outcome.
+    pub fn record_success(&mut self) {
+        self.tick();
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+                self.push_outcome(false);
+            }
+            BreakerState::HalfOpen => {
+                // Probe succeeded: the replica is back. Start from a clean
+                // window so one stale failure cannot immediately re-open.
+                self.reset_window();
+                self.state = BreakerState::Closed;
+                self.probe_inflight = false;
+                self.opened_at = None;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed outcome.
+    pub fn record_failure(&mut self) {
+        self.tick();
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                self.push_outcome(true);
+                // Either trigger opens: the windowed failure rate (flaky
+                // replica), or min_samples consecutive failures (dead
+                // replica behind a success-filled window) — the latter is
+                // what makes the "at most min_samples failures" guarantee
+                // hold regardless of history.
+                if self.consecutive_failures >= self.config.min_samples.max(1) || self.should_open()
+                {
+                    self.open_now();
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Probe failed: back to a full cooldown.
+                self.open_now();
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn tick(&mut self) {
+        if self.state == BreakerState::Open {
+            let now = (self.clock)();
+            if let Some(at) = self.opened_at {
+                if now.duration_since(at) >= self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_inflight = false;
+                }
+            }
+        }
+    }
+
+    fn open_now(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some((self.clock)());
+        self.probe_inflight = false;
+        self.opens += 1;
+    }
+
+    fn push_outcome(&mut self, failed: bool) {
+        self.outcomes[self.cursor] = failed;
+        self.cursor = (self.cursor + 1) % self.outcomes.len();
+        self.filled = (self.filled + 1).min(self.outcomes.len());
+    }
+
+    fn reset_window(&mut self) {
+        self.outcomes.iter_mut().for_each(|o| *o = false);
+        self.cursor = 0;
+        self.filled = 0;
+        self.consecutive_failures = 0;
+    }
+
+    fn should_open(&self) -> bool {
+        if self.filled < self.config.min_samples.max(1) {
+            return false;
+        }
+        let failures = self.outcomes[..self.filled].iter().filter(|&&f| f).count();
+        (failures as f64) / (self.filled as f64) >= self.config.failure_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A fake clock the test advances by hand.
+    fn fake_clock() -> (Arc<Mutex<Instant>>, Clock) {
+        let now = Arc::new(Mutex::new(Instant::now()));
+        let handle = Arc::clone(&now);
+        (now, Arc::new(move || *handle.lock().unwrap()))
+    }
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn closed_until_failure_rate_crosses_threshold() {
+        let (_, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        // Three failures: below min_samples, still closed.
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        // Fourth failure reaches min_samples at 100% failure rate: opens.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn mixed_outcomes_below_threshold_stay_closed() {
+        let (_, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        // One failure per three outcomes (S,S,F,…): the running rate peaks
+        // at 3/8 = 37.5% < 50% at every judgment point, so the breaker must
+        // never open — not even transiently.
+        for i in 0..9 {
+            if i % 3 == 2 {
+                b.record_failure();
+            } else {
+                b.record_success();
+            }
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn open_rejects_until_cooldown_then_half_open_probes() {
+        let (now, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+
+        // Advance past the cooldown: half-open, exactly one probe allowed.
+        *now.lock().unwrap() += Duration::from_millis(150);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "first probe slot");
+        assert!(!b.allow(), "second concurrent probe must be rejected");
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_and_clears_window() {
+        let (now, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        *now.lock().unwrap() += Duration::from_millis(150);
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The window was cleared: a single new failure must not re-open.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_for_another_cooldown() {
+        let (now, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        for _ in 0..4 {
+            b.record_failure();
+        }
+        *now.lock().unwrap() += Duration::from_millis(150);
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.allow());
+
+        // Half of the new cooldown is not enough.
+        *now.lock().unwrap() += Duration::from_millis(50);
+        assert_eq!(b.state(), BreakerState::Open);
+        // The full cooldown is.
+        *now.lock().unwrap() += Duration::from_millis(60);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn a_success_warmed_window_still_opens_after_min_samples_consecutive_failures() {
+        let (_, clock) = fake_clock();
+        let mut b = CircuitBreaker::with_clock(config(), clock);
+        // Fill the window with successes: the windowed rate alone would now
+        // need 4+ failures in 8 to open — but a replica that just died must
+        // still cost only min_samples failures.
+        for _ in 0..8 {
+            b.record_success();
+        }
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+
+        // An interleaved success resets the consecutive count.  A wide
+        // window keeps the rate trigger out of play (6 failures / 32 slots),
+        // so only the consecutive trigger could open — and it must not.
+        let (_, clock) = fake_clock();
+        let wide = BreakerConfig {
+            window: 32,
+            ..config()
+        };
+        let mut b = CircuitBreaker::with_clock(wide, clock);
+        for _ in 0..32 {
+            b.record_success();
+        }
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        b.record_success();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0);
+        assert_eq!(BreakerState::Open.as_gauge(), 1);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 2);
+        assert_eq!(BreakerState::HalfOpen.as_str(), "half_open");
+    }
+}

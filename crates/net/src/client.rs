@@ -3,13 +3,88 @@
 //!
 //! One [`HttpClient`] owns one connection and reuses it across requests;
 //! when the server closes (keep-alive request cap, shutdown, idle timeout)
-//! the next request transparently reconnects once.  Only what the harness
-//! needs: `GET`/`POST`, `Content-Length` framing, no redirects, no TLS.
+//! the next request transparently reconnects once.  Reconnects are paced by
+//! a capped, jittered [`Backoff`] so a dead socket cannot be hammered in a
+//! tight loop, connection failures surface as a typed [`ConnectError`]
+//! (refused vs. timed out vs. reset), and the client keeps separate
+//! `retries` / `connect_errors` / `timeouts` counters so a chaos run is
+//! diagnosable from the summary.  Only what the harness needs: `GET`/`POST`,
+//! `Content-Length` framing, no redirects, no TLS.
 
+use crate::backoff::Backoff;
 use crate::{NetError, NetResult};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Why a connection could not be established (or died mid-use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectErrorKind {
+    /// The peer actively refused the connection (nothing listening).
+    Refused,
+    /// The connect attempt (or a read on it) exceeded its deadline.
+    Timeout,
+    /// The peer reset or aborted an established connection.
+    Reset,
+    /// Any other socket-level failure (unroutable, resolution, …).
+    Other,
+}
+
+/// A typed connection failure: which peer, and how it failed.
+#[derive(Debug, Clone)]
+pub struct ConnectError {
+    /// Failure classification.
+    pub kind: ConnectErrorKind,
+    /// The address the client was trying to reach.
+    pub addr: String,
+    /// The underlying OS error text.
+    pub detail: String,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ConnectErrorKind::Refused => "refused",
+            ConnectErrorKind::Timeout => "timed out",
+            ConnectErrorKind::Reset => "reset",
+            ConnectErrorKind::Other => "failed",
+        };
+        write!(f, "connection to {} {kind}: {}", self.addr, self.detail)
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+impl ConnectError {
+    fn classify(addr: &str, e: &io::Error) -> Self {
+        let kind = match e.kind() {
+            io::ErrorKind::ConnectionRefused => ConnectErrorKind::Refused,
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ConnectErrorKind::Timeout,
+            io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof => ConnectErrorKind::Reset,
+            _ => ConnectErrorKind::Other,
+        };
+        Self {
+            kind,
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Running failure/retry tallies for one client, reset never.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Transparent reconnect-and-retry attempts made after a failed request.
+    pub retries: u64,
+    /// Failures to establish (or keep) a TCP connection.
+    pub connect_errors: u64,
+    /// Requests that died to a read/connect deadline specifically.
+    pub timeouts: u64,
+}
 
 /// A parsed response as seen by the client.
 #[derive(Debug, Clone)]
@@ -47,15 +122,28 @@ pub struct HttpClient {
     addr: String,
     conn: Option<BufReader<TcpStream>>,
     read_timeout: Duration,
+    connect_timeout: Duration,
+    backoff: Backoff,
+    stats: ClientStats,
 }
 
 impl HttpClient {
     /// Create a client for `addr` (e.g. `"127.0.0.1:8080"`); connects lazily.
     pub fn new(addr: impl Into<String>) -> Self {
+        let addr = addr.into();
+        // Seed the jitter from the address so a fleet of clients pointed at
+        // different replicas never shares a retry schedule, while any given
+        // client stays deterministic.
+        let seed = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
         Self {
-            addr: addr.into(),
+            addr,
             conn: None,
             read_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(2),
+            backoff: Backoff::for_connect(seed),
+            stats: ClientStats::default(),
         }
     }
 
@@ -63,6 +151,28 @@ impl HttpClient {
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = timeout;
         self
+    }
+
+    /// Override the connect deadline (default 2s).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Override the reconnect pacing policy.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// The address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Cumulative retry/connect-failure/timeout tallies.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
     /// `GET target` (path plus optional query string).
@@ -90,16 +200,83 @@ impl HttpClient {
     ) -> NetResult<ClientResponse> {
         // First attempt on the cached connection (if any), one transparent
         // retry on a fresh connection: a server that closed the keep-alive
-        // between requests surfaces as an I/O error or clean EOF here.
+        // between requests surfaces as an I/O error or clean EOF here.  The
+        // retry waits out a backoff delay first, so a dead socket throttles
+        // its caller instead of spinning.
         let had_conn = self.conn.is_some();
         match self.attempt(method, target, body) {
-            Ok(response) => Ok(response),
-            Err(_) if had_conn => {
-                self.conn = None;
-                self.attempt(method, target, body)
+            Ok(response) => {
+                self.backoff.reset();
+                Ok(response)
             }
-            Err(e) => Err(e),
+            Err(first) if had_conn => {
+                self.conn = None;
+                self.note_failure(&first);
+                self.stats.retries += 1;
+                std::thread::sleep(self.backoff.next_delay());
+                match self.attempt(method, target, body) {
+                    Ok(response) => {
+                        self.backoff.reset();
+                        Ok(response)
+                    }
+                    Err(second) => {
+                        self.conn = None;
+                        self.note_failure(&second);
+                        self.backoff.next_delay();
+                        Err(second)
+                    }
+                }
+            }
+            Err(e) => {
+                self.conn = None;
+                self.note_failure(&e);
+                // Remember the failure so the *next* call's fresh connect is
+                // paced — that is what stops a retry loop on a dead replica.
+                self.backoff.next_delay();
+                Err(e)
+            }
         }
+    }
+
+    fn note_failure(&mut self, e: &NetError) {
+        match e {
+            NetError::Connect(c) => {
+                self.stats.connect_errors += 1;
+                if c.kind == ConnectErrorKind::Timeout {
+                    self.stats.timeouts += 1;
+                }
+            }
+            NetError::Io(io_err)
+                if matches!(
+                    io_err.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                self.stats.timeouts += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn connect(&mut self) -> NetResult<()> {
+        let classify = |e: io::Error| NetError::Connect(ConnectError::classify(&self.addr, &e));
+        let target = self
+            .addr
+            .to_socket_addrs()
+            .map_err(classify)?
+            .next()
+            .ok_or_else(|| {
+                NetError::Connect(ConnectError {
+                    kind: ConnectErrorKind::Other,
+                    addr: self.addr.clone(),
+                    detail: "address resolved to nothing".into(),
+                })
+            })?;
+        let stream = TcpStream::connect_timeout(&target, self.connect_timeout).map_err(classify)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        self.conn = Some(BufReader::new(stream));
+        Ok(())
     }
 
     fn attempt(
@@ -109,10 +286,7 @@ impl HttpClient {
         body: Option<&str>,
     ) -> NetResult<ClientResponse> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)?;
-            stream.set_nodelay(true)?;
-            stream.set_read_timeout(Some(self.read_timeout))?;
-            self.conn = Some(BufReader::new(stream));
+            self.connect()?;
         }
         let conn = self.conn.as_mut().expect("just connected");
 

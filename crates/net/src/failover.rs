@@ -1,0 +1,658 @@
+//! Replica-fleet workload harness: N replicas, circuit-broken failover
+//! clients, optional fault injection, and one replica killed and restarted
+//! mid-run — with every answer still verified **byte-for-byte**.
+//!
+//! Topology: one *primary* holds the catalog of record and takes the
+//! refresher's publishes in-process; every other replica owns its own
+//! [`SketchCatalog`], cold-bootstraps it from the primary over the real
+//! `_sync` HTTP endpoints ([`crate::sync::bootstrap`]), then polls deltas
+//! with a [`Replicator`].  Clients drive [`ReplicaSet`]s (GET-only request
+//! mix — the failover path only ever retries idempotent reads) against the
+//! fleet, optionally through one [`ChaosProxy`] per replica.
+//!
+//! The verification discipline is the one from [`crate::workload`]: every
+//! sketch version is registered before the primary publishes it, every
+//! response names its version in `x-opaq-version`, and the client re-renders
+//! the expected body from the registered sketch and compares bytes.  Because
+//! replication applies entries at the primary's *exact* version
+//! (`publish_at`), an answer from a lagging or freshly-bootstrapped replica
+//! still names a registered version — staleness is fine, torn bytes are not.
+//!
+//! With [`ReplicaWorkloadSpec::kill_restart`], a chaos-monkey thread watches
+//! client progress, shuts the clients' *preferred* replica down at ~25% of
+//! the run, leaves it dead through real breaker-opening traffic, then
+//! restarts it on a fresh port at ~50%: a new empty catalog, a fresh
+//! bootstrap from the primary, and a [`ChaosProxy::set_upstream`] repoint so
+//! clients never change the address they dial — the kill-9-one-replica CI
+//! story, in-process.
+
+use crate::chaos::{ChaosConfig, ChaosCounters, ChaosProxy};
+use crate::circuit::BreakerConfig;
+use crate::replica::{ReplicaSet, ReplicationStats};
+use crate::server::{HttpServer, ServerConfig};
+use crate::sync::{bootstrap, Replicator};
+use crate::workload::{verify, wire_form, Registry, Verdict};
+use crate::{NetError, NetResult};
+use opaq_core::{IncrementalOpaq, OpaqConfig};
+use opaq_serve::{chunk_spec, next_rand, QueryEngine, QueryRequest, SketchCatalog, WorkloadSpec};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape of one replica-fleet workload.
+#[derive(Debug, Clone)]
+pub struct ReplicaWorkloadSpec {
+    /// Tenant/client/op counts and sketch parameters (shared with the other
+    /// harnesses; TTL/spill knobs are ignored here).
+    pub spec: WorkloadSpec,
+    /// Total serving replicas, primary included.  At least 1.
+    pub replicas: usize,
+    /// `Some` puts a fault-injecting [`ChaosProxy`] in front of every
+    /// replica.
+    pub chaos: Option<ChaosConfig>,
+    /// Kill the clients' preferred replica mid-run and restart it on a
+    /// fresh port (needs `replicas >= 2`; ignored otherwise).
+    pub kill_restart: bool,
+    /// Delta-poll interval for the secondaries' [`Replicator`]s.
+    pub poll: Duration,
+    /// Circuit-breaker tuning for the client [`ReplicaSet`]s.
+    pub breaker: BreakerConfig,
+    /// Server tuning, applied to every replica.
+    pub server: ServerConfig,
+}
+
+impl Default for ReplicaWorkloadSpec {
+    fn default() -> Self {
+        Self {
+            spec: WorkloadSpec::default(),
+            replicas: 2,
+            chaos: None,
+            kill_restart: false,
+            poll: Duration::from_millis(40),
+            breaker: BreakerConfig {
+                // Short cooldown: the harness wants to see the full
+                // open → half-open → closed arc inside one bench run.
+                cooldown: Duration::from_millis(150),
+                ..BreakerConfig::default()
+            },
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl ReplicaWorkloadSpec {
+    /// A small chaos configuration for CI smoke runs: two replicas, fault
+    /// proxy on, kill-and-restart on.
+    pub fn quick() -> Self {
+        Self {
+            spec: WorkloadSpec::quick(),
+            chaos: Some(ChaosConfig::default()),
+            kill_restart: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// What a replica-fleet workload observed.
+#[derive(Debug, Clone)]
+pub struct ReplicaLoadReport {
+    /// Serving replicas the fleet started with.
+    pub replicas: usize,
+    /// GET requests issued by the client threads.
+    pub ops: u64,
+    /// Responses verified byte-for-byte against their claimed version.
+    pub verified: u64,
+    /// Responses that matched no complete published version (must be 0).
+    pub torn_reads: u64,
+    /// Non-200, non-503 responses (must be 0).
+    pub http_errors: u64,
+    /// 503s from a replica's bounded accept queue.
+    pub sheds: u64,
+    /// Answers served from the degradation cache because no replica could
+    /// answer — stale but still byte-verified.
+    pub degraded: u64,
+    /// Ops for which no replica answered *and* nothing was cached.
+    pub unanswered: u64,
+    /// Versions published by the background refresher during the run.
+    pub refreshes_published: u64,
+    /// Preferred-replica switches across all client sets.
+    pub failovers: u64,
+    /// Circuit-breaker open transitions across all client sets.
+    pub breaker_opens: u64,
+    /// Catalog entries replicas applied from the primary (bootstraps and
+    /// delta polls).
+    pub sync_deltas_applied: u64,
+    /// Faults injected by the chaos proxies, total.
+    pub chaos_faults_injected: u64,
+    /// Per-kind chaos tallies, summed over all proxies.
+    pub chaos: ChaosCounters,
+    /// Connection-establishment failures across all replica-set clients.
+    pub connect_errors: u64,
+    /// Deadline-killed requests across all replica-set clients.
+    pub timeouts: u64,
+    /// Transparent client reconnect-retries across all replica-set clients.
+    pub retries: u64,
+    /// Replicas the chaos monkey shut down mid-run.
+    pub kills: u64,
+    /// Replicas the chaos monkey brought back (fresh port, re-bootstrap).
+    pub restarts: u64,
+    /// Wall-clock time of the client phase.
+    pub wall: Duration,
+}
+
+impl ReplicaLoadReport {
+    /// Client requests per second over the client phase.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Render the report as text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replica fleet: {} replicas | kills {} | restarts {}\n",
+            self.replicas, self.kills, self.restarts
+        );
+        out.push_str(&format!(
+            "ops {} | verified {} | torn {} | http errors {} | sheds {} | degraded {} | \
+             unanswered {} | refreshes {} | {:.0} ops/s\n",
+            self.ops,
+            self.verified,
+            self.torn_reads,
+            self.http_errors,
+            self.sheds,
+            self.degraded,
+            self.unanswered,
+            self.refreshes_published,
+            self.throughput()
+        ));
+        out.push_str(&format!(
+            "failovers {} | breaker opens {} | sync deltas applied {} | \
+             chaos faults injected {}\n",
+            self.failovers,
+            self.breaker_opens,
+            self.sync_deltas_applied,
+            self.chaos_faults_injected
+        ));
+        out.push_str(&format!(
+            "chaos: drops {} | delays {} | truncates {} | resets {} | flaps {}\n",
+            self.chaos.drops,
+            self.chaos.delays,
+            self.chaos.truncates,
+            self.chaos.resets,
+            self.chaos.flaps
+        ));
+        out.push_str(&format!(
+            "client transport: connect errors {} | timeouts {} | retries {}\n",
+            self.connect_errors, self.timeouts, self.retries
+        ));
+        out
+    }
+}
+
+/// One running secondary: its HTTP server plus the delta poller keeping its
+/// catalog caught up.  The catalog/engine live on through the `Arc`s these
+/// two hold.
+struct SecondaryRuntime {
+    server: HttpServer,
+    replicator: Replicator,
+}
+
+impl SecondaryRuntime {
+    /// Poller first (it dials the primary), then the server.
+    fn shutdown(&mut self) {
+        self.replicator.shutdown();
+        self.server.shutdown();
+    }
+}
+
+/// Bootstrap a fresh catalog from the primary and stand a secondary up on
+/// an ephemeral port.  Returns the runtime and its serving address.
+fn start_secondary(
+    primary_addr: &str,
+    server_config: &ServerConfig,
+    poll: Duration,
+    stats: &Arc<ReplicationStats>,
+) -> NetResult<(SecondaryRuntime, String)> {
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    bootstrap(&catalog, primary_addr, Some(stats))?;
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+    let mut config = server_config.clone();
+    config.replication = Some(Arc::clone(stats));
+    let server = HttpServer::start(engine, config)?;
+    let addr = server.local_addr().to_string();
+    let replicator = Replicator::start(
+        catalog,
+        primary_addr.to_string(),
+        poll,
+        Some(Arc::clone(stats)),
+    );
+    Ok((SecondaryRuntime { server, replicator }, addr))
+}
+
+/// GET-only request mix: the failover client never replays a write, so the
+/// harness never issues one.
+fn get_request_for(rng: &mut u64) -> QueryRequest {
+    match next_rand(rng) % 3 {
+        0 => QueryRequest::Quantile {
+            phi: (next_rand(rng) % 10_000) as f64 / 10_000.0,
+        },
+        1 => QueryRequest::Rank {
+            key: next_rand(rng) % (1 << 31),
+        },
+        _ => QueryRequest::Profile {
+            count: 2 + next_rand(rng) % 14,
+        },
+    }
+}
+
+/// Sleep until `stop` turns true or `total` elapses; `true` means the full
+/// wait completed without a stop.
+fn sleep_sliced(total: Duration, stop: &AtomicBool) -> bool {
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        let slice = remaining.min(Duration::from_millis(10));
+        std::thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+    !stop.load(Ordering::Acquire)
+}
+
+/// Block until the shared op counter reaches `threshold` or `stop` turns
+/// true; `true` means the threshold was reached.
+fn wait_for_progress(ops_done: &AtomicU64, threshold: u64, stop: &AtomicBool) -> bool {
+    while ops_done.load(Ordering::Relaxed) < threshold {
+        if stop.load(Ordering::Acquire) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+/// Run `spec` end to end: primary + bootstrapped secondaries, optional
+/// chaos proxies, failover clients, optional mid-run kill/restart, full
+/// byte-for-byte verification, ordered teardown.
+///
+/// # Errors
+/// Configuration, socket and serving-layer errors.  Torn reads, HTTP error
+/// statuses and unanswered ops are *reported*, not errors — the caller
+/// decides whether non-zero is fatal.
+pub fn run_replica_workload(fleet_spec: &ReplicaWorkloadSpec) -> NetResult<ReplicaLoadReport> {
+    let spec = &fleet_spec.spec;
+    if spec.tenants == 0 || spec.clients == 0 || spec.ops_per_client == 0 {
+        return Err(NetError::InvalidConfig(
+            "a workload needs at least one tenant, one client and one op".into(),
+        ));
+    }
+    if fleet_spec.replicas == 0 {
+        return Err(NetError::InvalidConfig(
+            "a replica fleet needs at least one replica".into(),
+        ));
+    }
+    let config = OpaqConfig::builder()
+        .run_length(spec.run_length)
+        .sample_size(spec.sample_size.min(spec.run_length))
+        .build()
+        .map_err(opaq_serve::ServeError::from)?;
+
+    let stats = ReplicationStats::new();
+    let registry: Registry = Arc::new(RwLock::new(HashMap::new()));
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+
+    let ids: Vec<(opaq_serve::TenantId, opaq_serve::DatasetId)> = (0..spec.tenants)
+        .map(|i| {
+            (
+                opaq_serve::TenantId::new(format!("tenant-{i}")),
+                opaq_serve::DatasetId::new("events"),
+            )
+        })
+        .collect();
+
+    // Seed version 1 of every tenant on the primary, registered first —
+    // the secondaries' bootstraps replicate exactly these (version, bytes).
+    let mut incrementals = Vec::with_capacity(spec.tenants);
+    for (tenant_idx, (tenant, dataset)) in ids.iter().enumerate() {
+        let mut inc = IncrementalOpaq::new(config).map_err(opaq_serve::ServeError::from)?;
+        inc.add_run(chunk_spec(spec, tenant_idx, 0, spec.keys_per_tenant).generate())
+            .map_err(opaq_serve::ServeError::from)?;
+        let sketch = inc.sketch().expect("just added a run").clone();
+        registry
+            .write()
+            .insert((tenant.to_string(), 1), Arc::new(sketch.clone()));
+        catalog.publish(tenant, dataset, sketch)?;
+        incrementals.push(inc);
+    }
+
+    // Every ReplicaSet client holds one keep-alive connection per replica,
+    // and the secondaries' pollers and the monkey's re-bootstrap dial the
+    // primary too — size the worker pools for all of it.
+    let mut server_config = fleet_spec.server.clone();
+    server_config.workers = server_config
+        .workers
+        .max(spec.clients + fleet_spec.replicas + 3);
+    let mut primary_config = server_config.clone();
+    primary_config.replication = Some(Arc::clone(&stats));
+    let mut primary = HttpServer::start(Arc::clone(&engine), primary_config)?;
+    let primary_addr = primary.local_addr().to_string();
+
+    let mut secondaries = Vec::new();
+    let mut secondary_addrs = Vec::new();
+    for _ in 1..fleet_spec.replicas {
+        let (runtime, addr) =
+            start_secondary(&primary_addr, &server_config, fleet_spec.poll, &stats)?;
+        secondaries.push(runtime);
+        secondary_addrs.push(addr);
+    }
+
+    // Client-side routing order: the first secondary leads so the sticky
+    // ReplicaSets prefer the replica the monkey will kill — the failover is
+    // guaranteed to be exercised, not dodged.
+    let mut serving_addrs: Vec<String> = Vec::with_capacity(fleet_spec.replicas);
+    serving_addrs.extend(secondary_addrs.first().cloned());
+    serving_addrs.push(primary_addr.clone());
+    serving_addrs.extend(secondary_addrs.iter().skip(1).cloned());
+
+    let kill_restart = fleet_spec.kill_restart && fleet_spec.replicas >= 2;
+    // The monkey restarts the victim on a fresh port, so clients must dial
+    // through a repointable proxy even when no faults are injected.
+    let use_proxy = fleet_spec.chaos.is_some() || kill_restart;
+    let chaos_config = fleet_spec.chaos.clone().unwrap_or(ChaosConfig {
+        fault_rate: 0.0,
+        ..ChaosConfig::default()
+    });
+    let mut proxies = Vec::new();
+    let mut client_addrs = Vec::with_capacity(serving_addrs.len());
+    if use_proxy {
+        for (i, upstream) in serving_addrs.iter().enumerate() {
+            let proxy = ChaosProxy::start(
+                upstream.clone(),
+                ChaosConfig {
+                    seed: chaos_config.seed.wrapping_add(0x9e37 * (i as u64 + 1)),
+                    ..chaos_config.clone()
+                },
+                Some(Arc::clone(&stats)),
+            )?;
+            client_addrs.push(proxy.local_addr().to_string());
+            proxies.push(proxy);
+        }
+    } else {
+        client_addrs.clone_from(&serving_addrs);
+    }
+
+    let total_ops = spec.ops_per_client * spec.clients as u64;
+    let ops_done = AtomicU64::new(0);
+    let verified = AtomicU64::new(0);
+    let torn = AtomicU64::new(0);
+    let http_errors = AtomicU64::new(0);
+    let sheds = AtomicU64::new(0);
+    let degraded = AtomicU64::new(0);
+    let unanswered = AtomicU64::new(0);
+    let refreshes = AtomicU64::new(0);
+    let connect_errors = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let kills = AtomicU64::new(0);
+    let restarts = AtomicU64::new(0);
+    let stop_monkey = AtomicBool::new(false);
+    let start = Instant::now();
+
+    let victim = kill_restart.then(|| secondaries.remove(0));
+
+    let run_result = std::thread::scope(|scope| -> NetResult<()> {
+        // Background refresher: new versions land on the primary in-process
+        // (registered first), and the secondaries catch up via their
+        // pollers.  A client hitting a lagging replica sees an older — but
+        // registered, hence verifiable — version.
+        let refresher = {
+            let catalog = Arc::clone(&catalog);
+            let registry = Arc::clone(&registry);
+            let ids = &ids;
+            let refreshes = &refreshes;
+            scope.spawn(move || -> NetResult<()> {
+                for round in 1..=spec.refresh_rounds {
+                    for (tenant_idx, (tenant, dataset)) in ids.iter().enumerate() {
+                        let chunk =
+                            chunk_spec(spec, tenant_idx, round, (spec.keys_per_tenant / 4).max(1))
+                                .generate();
+                        let inc = &mut incrementals[tenant_idx];
+                        inc.add_run(chunk).map_err(opaq_serve::ServeError::from)?;
+                        let sketch = inc.sketch().expect("non-empty").clone();
+                        registry
+                            .write()
+                            .insert((tenant.to_string(), round + 1), Arc::new(sketch.clone()));
+                        catalog.publish(tenant, dataset, sketch)?;
+                        refreshes.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(300));
+                    }
+                }
+                Ok(())
+            })
+        };
+
+        // Chaos monkey: kill the preferred replica at ~25% of the run,
+        // restart it (fresh port, fresh bootstrap, proxy repoint) at ~50%.
+        // Progress-based triggers, so "mid-run" holds at any machine speed.
+        let monkey = victim.map(|mut victim| {
+            let stats = Arc::clone(&stats);
+            let primary_addr = primary_addr.clone();
+            let server_config = server_config.clone();
+            let poll = fleet_spec.poll;
+            let victim_proxy = proxies.first();
+            let (ops_done, stop_monkey) = (&ops_done, &stop_monkey);
+            let (kills, restarts) = (&kills, &restarts);
+            scope.spawn(move || -> NetResult<()> {
+                if !wait_for_progress(ops_done, total_ops / 4, stop_monkey) {
+                    victim.shutdown();
+                    return Ok(());
+                }
+                victim.shutdown();
+                kills.fetch_add(1, Ordering::Relaxed);
+                let reached_half = wait_for_progress(ops_done, total_ops / 2, stop_monkey);
+                // Even if the clients finished during the outage, bring the
+                // replica back: recovery is part of what the run verifies.
+                let _ = reached_half;
+                let catalog = Arc::new(SketchCatalog::unbounded());
+                let mut attempts = 0u32;
+                loop {
+                    match bootstrap(&catalog, &primary_addr, Some(&stats)) {
+                        Ok(_) => break,
+                        Err(e) => {
+                            attempts += 1;
+                            if attempts > 100 {
+                                return Err(e);
+                            }
+                            if !sleep_sliced(Duration::from_millis(20), stop_monkey) {
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+                let mut config = server_config.clone();
+                config.replication = Some(Arc::clone(&stats));
+                let mut server = HttpServer::start(engine, config)?;
+                let new_addr = server.local_addr().to_string();
+                if let Some(proxy) = victim_proxy {
+                    proxy.set_upstream(new_addr);
+                }
+                let mut replicator = Replicator::start(
+                    catalog,
+                    primary_addr.clone(),
+                    poll,
+                    Some(Arc::clone(&stats)),
+                );
+                restarts.fetch_add(1, Ordering::Relaxed);
+                while !stop_monkey.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                replicator.shutdown();
+                server.shutdown();
+                Ok(())
+            })
+        });
+
+        let mut clients = Vec::with_capacity(spec.clients);
+        for client_idx in 0..spec.clients {
+            let addrs = client_addrs.clone();
+            let breaker = fleet_spec.breaker.clone();
+            let stats = Arc::clone(&stats);
+            let registry = Arc::clone(&registry);
+            let ids = &ids;
+            let ops_done = &ops_done;
+            let (verified, torn, http_errors, sheds) = (&verified, &torn, &http_errors, &sheds);
+            let (degraded, unanswered) = (&degraded, &unanswered);
+            let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
+            clients.push(scope.spawn(move || -> NetResult<()> {
+                // Short deadlines: a truncated response must die to its read
+                // timeout and fail over, not stall the op for seconds.
+                let mut set = ReplicaSet::new(
+                    &addrs,
+                    breaker,
+                    Duration::from_millis(250),
+                    Duration::from_millis(150),
+                )?
+                .with_stats(Arc::clone(&stats));
+                let mut rng = spec
+                    .seed
+                    .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
+                let mut body = || -> NetResult<()> {
+                    for op_idx in 0..spec.ops_per_client {
+                        // Periodic health probes feed every replica's breaker —
+                        // sticky routing alone would stop sampling a replica the
+                        // moment it stops being preferred, so a dead one would
+                        // never accumulate the min_samples its breaker needs.
+                        if op_idx % 4 == 3 {
+                            set.probe_health();
+                        }
+                        let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
+                        let (tenant, dataset) = &ids[tenant_idx];
+                        let request = get_request_for(&mut rng);
+                        let (target, body) = wire_form(tenant.as_str(), dataset.as_str(), &request);
+                        debug_assert!(body.is_none(), "failover mix must be GET-only");
+                        match set.get(&target) {
+                            Ok(answer) => {
+                                if answer.degraded {
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                match verify(tenant.as_str(), &request, &answer.response, &registry)
+                                {
+                                    Verdict::Verified { .. } => {
+                                        verified.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Verdict::Torn => {
+                                        torn.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Verdict::Shed => {
+                                        sheds.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Verdict::HttpError => {
+                                        http_errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                // Total outage with nothing cached for this
+                                // target: an honest "no answer", not a torn one.
+                                unanswered.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        ops_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                };
+                let result = body();
+                let client_stats = set.client_stats();
+                connect_errors.fetch_add(client_stats.connect_errors, Ordering::Relaxed);
+                timeouts.fetch_add(client_stats.timeouts, Ordering::Relaxed);
+                retries.fetch_add(client_stats.retries, Ordering::Relaxed);
+                result
+            }));
+        }
+
+        // Join clients, give the monkey a grace window to finish a restart
+        // that straddles the end of the client phase, then stop everything.
+        fn note(
+            first_error: &mut Option<NetError>,
+            joined: std::thread::Result<NetResult<()>>,
+            who: &str,
+        ) {
+            let outcome = match joined {
+                Ok(Ok(())) => return,
+                Ok(Err(e)) => e,
+                Err(_) => NetError::Protocol(format!("{who} thread panicked")),
+            };
+            if first_error.is_none() {
+                *first_error = Some(outcome);
+            }
+        }
+        let mut first_error: Option<NetError> = None;
+        for client in clients {
+            note(&mut first_error, client.join(), "client");
+        }
+        if monkey.is_some() && first_error.is_none() {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while kills.load(Ordering::Relaxed) > restarts.load(Ordering::Relaxed)
+                && Instant::now() < deadline
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        stop_monkey.store(true, Ordering::Release);
+        if let Some(monkey) = monkey {
+            note(&mut first_error, monkey.join(), "chaos monkey");
+        }
+        note(&mut first_error, refresher.join(), "refresher");
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    });
+    let wall = start.elapsed();
+
+    // Teardown order: surviving secondaries first (their pollers dial the
+    // primary), then the proxies, then the primary.
+    for mut secondary in secondaries {
+        secondary.shutdown();
+    }
+    let mut chaos_totals = ChaosCounters::default();
+    for proxy in proxies {
+        let c = proxy.counters();
+        chaos_totals.drops += c.drops;
+        chaos_totals.delays += c.delays;
+        chaos_totals.truncates += c.truncates;
+        chaos_totals.resets += c.resets;
+        chaos_totals.flaps += c.flaps;
+        proxy.shutdown();
+    }
+    primary.shutdown();
+    run_result?;
+
+    Ok(ReplicaLoadReport {
+        replicas: fleet_spec.replicas,
+        ops: ops_done.load(Ordering::Relaxed),
+        verified: verified.load(Ordering::Relaxed),
+        torn_reads: torn.load(Ordering::Relaxed),
+        http_errors: http_errors.load(Ordering::Relaxed),
+        sheds: sheds.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
+        unanswered: unanswered.load(Ordering::Relaxed),
+        refreshes_published: refreshes.load(Ordering::Relaxed),
+        failovers: stats.failovers(),
+        breaker_opens: stats.breaker_opens(),
+        sync_deltas_applied: stats.sync_deltas_applied(),
+        chaos_faults_injected: stats.chaos_faults_injected(),
+        chaos: chaos_totals,
+        connect_errors: connect_errors.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+        kills: kills.load(Ordering::Relaxed),
+        restarts: restarts.load(Ordering::Relaxed),
+        wall,
+    })
+}

@@ -339,6 +339,17 @@ impl Response {
         }
     }
 
+    /// A binary response (`application/octet-stream`) — the sketch-transfer
+    /// frames of the replication sync endpoints.
+    pub fn octets(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "application/octet-stream",
+        }
+    }
+
     /// A plain-text response.
     pub fn text(status: u16, body: String) -> Self {
         Self {

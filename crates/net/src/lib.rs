@@ -70,23 +70,78 @@
 //!   rather than errors, and the report carries verdicts for any declared
 //!   [`opaq_metrics::SloThresholds`] — the machinery behind
 //!   `opaq serve-bench --http --qps N --slo-p99-ms M`.
+//!
+//! ## Replication + failover model
+//!
+//! A replica started with `opaq serve --peer ADDR` joins an existing
+//! serving fleet.  The moving parts, and the order they engage:
+//!
+//! 1. **Bootstrap before exposure** ([`sync`]): the replica replays its own
+//!    durable manifest first (local truth), then runs one blocking
+//!    [`sync::bootstrap`] against the peer *before* binding its listener.
+//!    Bootstrap is just a [`sync::sync_once`] over an empty-or-stale local
+//!    version vector, so cold start and stale-replica catch-up are the same
+//!    code path.  A replica never serves an answer it is about to
+//!    overwrite.
+//! 2. **Version-vector reconciliation** ([`sync`], backed by
+//!    `opaq_storage::manifest::version_vector`): the peer's
+//!    `GET /v1/_sync/manifest` is its per-entry version vector; an entry is
+//!    fetched (`GET /v1/_sync/sketch`, `sketch_codec` framing, version
+//!    riding in `x-opaq-version` so bytes and version travel atomically)
+//!    iff the peer's version is **strictly greater** than the local one,
+//!    and it is applied at the peer's *exact* version number
+//!    (`SketchCatalog::publish_at`).  Rules: vectors only move forward
+//!    (`StaleVersion` rejects regressions), ties mean "already have it",
+//!    and there is no merge — the peer's bytes for version *v* are the only
+//!    bytes version *v* can ever mean, which is what lets the byte-for-byte
+//!    verifier hold across replicas.  Deltas are then polled on an interval
+//!    with capped jittered backoff while the peer is down.
+//! 3. **Client-side failover** ([`replica`], [`circuit`]): a [`ReplicaSet`]
+//!    holds one keep-alive client plus one circuit breaker per replica,
+//!    routes sticky to the current healthy replica, retries **only
+//!    idempotent GETs** (bounded passes, jittered backoff between passes),
+//!    and on total outage replays the last verified answer for the same
+//!    target, tagged degraded, instead of erroring.  The breaker
+//!    *guarantees*: a dead replica costs at most `min_samples` failures
+//!    before opening, an open breaker sends no traffic for its cooldown,
+//!    and recovery is probed by exactly one request at a time.  It does
+//!    *not* guarantee answer correctness (the verifier's job), global
+//!    agreement between clients (each set has a local view), or bounded
+//!    staleness of degraded answers (they are as old as the last success).
+//! 4. **Chaos** ([`chaos`]): a fault-injecting TCP proxy (drop, delay,
+//!    truncate mid-body, reset after N bytes, flap) sits between harness
+//!    and replicas in `opaq serve-bench --http --replicas N --chaos`, so
+//!    the failover path above is exercised by real torn sockets while every
+//!    answer is still verified byte-for-byte ([`failover`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backoff;
+pub mod chaos;
+pub mod circuit;
 pub mod client;
+pub mod failover;
 pub mod http;
 pub mod json;
+pub mod replica;
 pub mod server;
+pub mod sync;
 pub mod workload;
 
-pub use client::{ClientResponse, HttpClient};
+pub use backoff::Backoff;
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosProxy};
+pub use circuit::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{ClientResponse, ClientStats, ConnectError, ConnectErrorKind, HttpClient};
+pub use failover::{run_replica_workload, ReplicaLoadReport, ReplicaWorkloadSpec};
 pub use http::{Request, Response};
 pub use json::Json;
+pub use replica::{FailoverResponse, ReplicaSet, ReplicationStats};
 pub use server::{
     render_plan_response_json, render_response_json, ApiRequest, HttpServer, ServerConfig,
     ServerConfigBuilder, ServerStats, FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
 };
+pub use sync::{bootstrap, fetch_manifest, fetch_sketch, sync_once, PeerEntry, Replicator};
 pub use workload::{run_http_workload, HttpLoadReport, HttpWorkloadSpec};
 
 use opaq_serve::ServeError;
@@ -97,6 +152,8 @@ use std::fmt;
 pub enum NetError {
     /// Socket/file I/O failure.
     Io(std::io::Error),
+    /// A connection could not be established (or died), classified.
+    Connect(ConnectError),
     /// Bad server or workload configuration.
     InvalidConfig(String),
     /// The peer violated the HTTP/JSON protocol contract.
@@ -109,6 +166,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Connect(e) => write!(f, "{e}"),
             NetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             NetError::Serve(e) => write!(f, "{e}"),
@@ -120,6 +178,7 @@ impl std::error::Error for NetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NetError::Io(e) => Some(e),
+            NetError::Connect(e) => Some(e),
             NetError::Serve(e) => Some(e),
             _ => None,
         }

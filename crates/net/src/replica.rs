@@ -1,0 +1,356 @@
+//! Client-side replica failover: route to a healthy replica, break the
+//! circuit on a dead one, degrade gracefully on total outage.
+//!
+//! A [`ReplicaSet`] owns one [`HttpClient`] + [`CircuitBreaker`] per replica
+//! address.  `GET`s (idempotent) are retried across replicas with capped
+//! jittered backoff between full passes; `POST`s get exactly one attempt on
+//! the currently-preferred replica — a write must never be silently
+//! replayed.  Routing is sticky: the set keeps answering from the same
+//! replica until it fails, then fails over to the next one whose breaker
+//! admits traffic and sticks there.  When *every* replica is down and the
+//! retry budget is spent, a `GET` degrades gracefully: the last successful
+//! response for that exact target is replayed, tagged
+//! [`FailoverResponse::degraded`], instead of surfacing an error — the
+//! caller decides whether a stale-but-verified answer beats no answer.
+//!
+//! All of it feeds [`ReplicationStats`], the one atomics block shared by
+//! the replica set, the replication poller and the chaos proxy, which the
+//! server's `/metrics` route and the CLI shutdown summary read.
+
+use crate::backoff::Backoff;
+use crate::circuit::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::client::{ClientResponse, ClientStats, HttpClient};
+use crate::{NetError, NetResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Replication/failover counters shared across the client, the sync poller
+/// and the chaos proxy; exposed via `/metrics` and the shutdown summary.
+#[derive(Debug, Default)]
+pub struct ReplicationStats {
+    /// Requests answered by a different replica than the preferred one.
+    pub failovers: AtomicU64,
+    /// Circuit-breaker transitions into the open state, across replicas.
+    pub breaker_opens: AtomicU64,
+    /// Catalog entries applied from a peer after bootstrap (delta polls).
+    pub sync_deltas_applied: AtomicU64,
+    /// Faults the chaos proxy injected (drops, delays, truncations, resets).
+    pub chaos_faults_injected: AtomicU64,
+    /// Latest breaker state gauge per replica address (0 closed, 1 open,
+    /// 2 half-open).
+    breaker_states: Mutex<Vec<(String, u64)>>,
+}
+
+impl ReplicationStats {
+    /// A fresh, all-zero stats block.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record the current breaker state for `peer`.
+    pub fn set_breaker_state(&self, peer: &str, state: BreakerState) {
+        let mut states = self.breaker_states.lock().expect("breaker states lock");
+        match states.iter_mut().find(|(p, _)| p == peer) {
+            Some((_, g)) => *g = state.as_gauge(),
+            None => {
+                states.push((peer.to_string(), state.as_gauge()));
+                states.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+    }
+
+    /// Snapshot of per-replica breaker gauges, sorted by address.
+    pub fn breaker_states(&self) -> Vec<(String, u64)> {
+        self.breaker_states
+            .lock()
+            .expect("breaker states lock")
+            .clone()
+    }
+
+    /// Sum of all per-replica breaker gauges — non-zero iff any breaker is
+    /// currently not closed.
+    pub fn breaker_state_sum(&self) -> u64 {
+        self.breaker_states
+            .lock()
+            .expect("breaker states lock")
+            .iter()
+            .map(|(_, g)| *g)
+            .sum()
+    }
+
+    /// Convenience load of the failover counter.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Convenience load of the breaker-open counter.
+    pub fn breaker_opens(&self) -> u64 {
+        self.breaker_opens.load(Ordering::Relaxed)
+    }
+
+    /// Convenience load of the applied-delta counter.
+    pub fn sync_deltas_applied(&self) -> u64 {
+        self.sync_deltas_applied.load(Ordering::Relaxed)
+    }
+
+    /// Convenience load of the injected-fault counter.
+    pub fn chaos_faults_injected(&self) -> u64 {
+        self.chaos_faults_injected.load(Ordering::Relaxed)
+    }
+}
+
+/// One replica endpoint: its client, breaker, and open-count watermark.
+struct Endpoint {
+    addr: String,
+    client: HttpClient,
+    breaker: CircuitBreaker,
+    opens_seen: u64,
+}
+
+/// A successful (possibly degraded) answer from the replica set.
+#[derive(Debug, Clone)]
+pub struct FailoverResponse {
+    /// The HTTP response.
+    pub response: ClientResponse,
+    /// Which replica answered (empty for a degraded cache replay).
+    pub replica: String,
+    /// `true` when no replica could answer and this is the last verified
+    /// answer for the same target, replayed stale.
+    pub degraded: bool,
+}
+
+/// Health-probe-routed, circuit-broken client over N replicas.
+pub struct ReplicaSet {
+    endpoints: Vec<Endpoint>,
+    preferred: usize,
+    /// Full passes over all replicas before a GET gives up.
+    retry_passes: u32,
+    backoff: Backoff,
+    stats: Option<Arc<ReplicationStats>>,
+    /// Last successful response per GET target, for graceful degradation.
+    last_good: HashMap<String, ClientResponse>,
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field(
+                "replicas",
+                &self.endpoints.iter().map(|e| &e.addr).collect::<Vec<_>>(),
+            )
+            .field("preferred", &self.preferred)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaSet {
+    /// A replica set over `addrs` with the given breaker tuning and
+    /// per-request timeouts.
+    ///
+    /// # Errors
+    /// [`NetError::InvalidConfig`] if `addrs` is empty.
+    pub fn new(
+        addrs: &[String],
+        breaker: BreakerConfig,
+        read_timeout: Duration,
+        connect_timeout: Duration,
+    ) -> NetResult<Self> {
+        if addrs.is_empty() {
+            return Err(NetError::InvalidConfig(
+                "replica set needs at least one address".into(),
+            ));
+        }
+        let endpoints = addrs
+            .iter()
+            .map(|addr| Endpoint {
+                addr: addr.clone(),
+                client: HttpClient::new(addr.clone())
+                    .with_read_timeout(read_timeout)
+                    .with_connect_timeout(connect_timeout),
+                breaker: CircuitBreaker::new(breaker.clone()),
+                opens_seen: 0,
+            })
+            .collect::<Vec<_>>();
+        let seed = addrs
+            .iter()
+            .flat_map(|a| a.bytes())
+            .fold(0x51_7cc1_b727_2202u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            });
+        Ok(Self {
+            endpoints,
+            preferred: 0,
+            retry_passes: 3,
+            backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(200), seed),
+            stats: None,
+            last_good: HashMap::new(),
+        })
+    }
+
+    /// Attach a shared stats block (failovers, breaker gauges).
+    pub fn with_stats(mut self, stats: Arc<ReplicationStats>) -> Self {
+        for e in &self.endpoints {
+            stats.set_breaker_state(&e.addr, BreakerState::Closed);
+        }
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Override how many full passes over the replicas a GET may take.
+    pub fn with_retry_passes(mut self, passes: u32) -> Self {
+        self.retry_passes = passes.max(1);
+        self
+    }
+
+    /// Replica addresses, in routing order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.endpoints.iter().map(|e| e.addr.clone()).collect()
+    }
+
+    /// Aggregate client-level tallies across all replicas.
+    pub fn client_stats(&self) -> ClientStats {
+        self.endpoints
+            .iter()
+            .fold(ClientStats::default(), |acc, e| {
+                let s = e.client.stats();
+                ClientStats {
+                    retries: acc.retries + s.retries,
+                    connect_errors: acc.connect_errors + s.connect_errors,
+                    timeouts: acc.timeouts + s.timeouts,
+                }
+            })
+    }
+
+    /// Probe `/healthz` on every replica whose breaker admits traffic,
+    /// feeding the outcomes back into the breakers.  Cheap enough to call
+    /// periodically from a watcher thread.
+    pub fn probe_health(&mut self) {
+        for i in 0..self.endpoints.len() {
+            if !self.endpoints[i].breaker.allow() {
+                continue;
+            }
+            let outcome = self.endpoints[i].client.get("/healthz");
+            self.settle(i, outcome.map(|r| r.status == 200).unwrap_or(false));
+        }
+    }
+
+    /// `GET target` with failover: walk replicas from the preferred one,
+    /// skipping open breakers, retrying up to `retry_passes` full passes
+    /// with jittered backoff between passes.  On total outage, replay the
+    /// last good answer for this target as degraded; error only when no
+    /// such answer exists.
+    ///
+    /// # Errors
+    /// The last transport error when every replica failed and no previous
+    /// answer for `target` is cached.
+    pub fn get(&mut self, target: &str) -> NetResult<FailoverResponse> {
+        let n = self.endpoints.len();
+        let mut last_err: Option<NetError> = None;
+        for pass in 0..self.retry_passes {
+            if pass > 0 {
+                std::thread::sleep(self.backoff.next_delay());
+            }
+            for step in 0..n {
+                let i = (self.preferred + step) % n;
+                if !self.endpoints[i].breaker.allow() {
+                    continue;
+                }
+                match self.endpoints[i].client.get(target) {
+                    Ok(response) => {
+                        self.settle(i, true);
+                        self.backoff.reset();
+                        if i != self.preferred {
+                            self.preferred = i;
+                            if let Some(stats) = &self.stats {
+                                stats.failovers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if response.status == 200 {
+                            self.last_good.insert(target.to_string(), response.clone());
+                        }
+                        return Ok(FailoverResponse {
+                            response,
+                            replica: self.endpoints[i].addr.clone(),
+                            degraded: false,
+                        });
+                    }
+                    Err(e) => {
+                        self.settle(i, false);
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(cached) = self.last_good.get(target) {
+            return Ok(FailoverResponse {
+                response: cached.clone(),
+                replica: String::new(),
+                degraded: true,
+            });
+        }
+        Err(last_err.unwrap_or_else(|| {
+            NetError::InvalidConfig("all replica breakers open, nothing cached".into())
+        }))
+    }
+
+    /// `POST target` — not idempotent, so exactly one attempt on the first
+    /// replica whose breaker admits traffic; never retried or failed over.
+    ///
+    /// # Errors
+    /// The transport error from the single attempt, or
+    /// [`NetError::InvalidConfig`] when every breaker is open.
+    pub fn post_json(&mut self, target: &str, body: &str) -> NetResult<FailoverResponse> {
+        let n = self.endpoints.len();
+        for step in 0..n {
+            let i = (self.preferred + step) % n;
+            if !self.endpoints[i].breaker.allow() {
+                continue;
+            }
+            let outcome = self.endpoints[i].client.post_json(target, body);
+            self.settle(i, outcome.is_ok());
+            return match outcome {
+                Ok(response) => {
+                    if i != self.preferred {
+                        self.preferred = i;
+                        if let Some(stats) = &self.stats {
+                            stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Ok(FailoverResponse {
+                        response,
+                        replica: self.endpoints[i].addr.clone(),
+                        degraded: false,
+                    })
+                }
+                Err(e) => Err(e),
+            };
+        }
+        Err(NetError::InvalidConfig(
+            "all replica breakers open for POST".into(),
+        ))
+    }
+
+    /// Feed an outcome into replica `i`'s breaker and publish the resulting
+    /// state (plus any new opens) to the stats block.
+    fn settle(&mut self, i: usize, success: bool) {
+        let endpoint = &mut self.endpoints[i];
+        if success {
+            endpoint.breaker.record_success();
+        } else {
+            endpoint.breaker.record_failure();
+        }
+        let state = endpoint.breaker.state();
+        let opens = endpoint.breaker.opens();
+        if let Some(stats) = &self.stats {
+            stats.set_breaker_state(&endpoint.addr, state);
+            if opens > endpoint.opens_seen {
+                stats
+                    .breaker_opens
+                    .fetch_add(opens - endpoint.opens_seen, Ordering::Relaxed);
+            }
+        }
+        endpoint.opens_seen = opens;
+    }
+}

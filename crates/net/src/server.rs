@@ -24,6 +24,7 @@
 
 use crate::http::{read_request, ParseError, ReadLimits, Request, Response};
 use crate::json::{write_escaped, write_f64};
+use crate::replica::ReplicationStats;
 use crate::{NetError, NetResult};
 use crossbeam::channel;
 use opaq_core::QuantileEstimate;
@@ -68,6 +69,9 @@ pub struct ServerConfig {
     pub keep_alive_idle: Duration,
     /// Request parsing limits (header/body caps).
     pub limits: ReadLimits,
+    /// Shared replication/failover counters to expose via `/metrics`
+    /// (`None` for a standalone server: the gauges render as zeros).
+    pub replication: Option<Arc<ReplicationStats>>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +84,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             keep_alive_idle: Duration::from_secs(10),
             limits: ReadLimits::default(),
+            replication: None,
         }
     }
 }
@@ -139,6 +144,12 @@ impl ServerConfigBuilder {
     /// Request parsing limits (header/body caps).
     pub fn limits(mut self, limits: ReadLimits) -> Self {
         self.config.limits = limits;
+        self
+    }
+
+    /// Attach shared replication/failover counters for `/metrics`.
+    pub fn replication(mut self, stats: Arc<ReplicationStats>) -> Self {
+        self.config.replication = Some(stats);
         self
     }
 
@@ -381,7 +392,7 @@ fn handle_connection(
         let request = read_request(&mut reader, &config.limits);
         let (response, keep_alive) = match request {
             Ok(request) => {
-                let response = route(engine, executor, &request);
+                let response = route(engine, executor, config.replication.as_ref(), &request);
                 let keep_alive = request.wants_keep_alive()
                     && served + 1 < config.keep_alive_max_requests
                     && !shutdown.load(Ordering::Acquire);
@@ -499,11 +510,13 @@ impl ApiRequest {
 }
 
 /// Route one parsed request to the engine.  Pure function of
-/// `(engine state, request)` — the HTTP workload harness re-renders
-/// expected responses through the same code path to compare bytes.
+/// `(engine state, replication counters, request)` — the HTTP workload
+/// harness re-renders expected responses through the same code path to
+/// compare bytes.
 pub fn route(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
+    replication: Option<&Arc<ReplicationStats>>,
     request: &Request,
 ) -> Response {
     // Segments were percent-decoded individually by the parser, so a tenant
@@ -527,8 +540,15 @@ pub fn route(
             if request.method != "GET" {
                 return Response::error(405, "metrics is GET-only");
             }
-            Response::text(200, render_metrics(engine, executor))
+            Response::text(200, render_metrics(engine, executor, replication))
         }
+        ["v1", "_sync", "manifest"] => {
+            if request.method != "GET" {
+                return Response::error(405, "sync manifest is GET-only");
+            }
+            Response::json(200, render_inventory_json(engine))
+        }
+        ["v1", "_sync", "sketch"] => route_sync_sketch(engine, request),
         ["v1", "query"] => route_query(engine, executor, request),
         ["v1", tenant, dataset, op] => {
             let api = match parse_point_request(request, tenant, dataset, op) {
@@ -562,6 +582,55 @@ pub fn route(
         }
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /v1/_sync/manifest`: the catalog's version vector as JSON, sorted —
+/// what a bootstrapping or delta-polling replica diffs against its own
+/// catalog.
+fn render_inventory_json(engine: &Arc<QueryEngine>) -> String {
+    let mut out = String::from("{\"entries\":[");
+    for (i, entry) in engine.catalog().inventory().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"tenant\":");
+        write_escaped(&mut out, &entry.tenant);
+        out.push_str(",\"dataset\":");
+        write_escaped(&mut out, &entry.dataset);
+        out.push_str(",\"version\":");
+        out.push_str(&entry.version.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// `GET /v1/_sync/sketch?tenant=&dataset=`: the entry's current sketch in
+/// the checksummed `opaq_storage::sketch_codec` frame, with the served
+/// version in `x-opaq-version` — one atomic `(version, bytes)` pair, so a
+/// replica can never apply bytes under the wrong version number.
+fn route_sync_sketch(engine: &Arc<QueryEngine>, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response::error(405, "sync sketch is GET-only");
+    }
+    let Some(tenant) = request.query_param("tenant") else {
+        return Response::error(400, "missing query parameter tenant");
+    };
+    let Some(dataset) = request.query_param("dataset") else {
+        return Response::error(400, "missing query parameter dataset");
+    };
+    let snapshot = match engine
+        .catalog()
+        .snapshot(&TenantId::new(tenant), &DatasetId::new(dataset))
+    {
+        Ok(snapshot) => snapshot,
+        Err(ServeError::UnknownEntry { .. }) => {
+            return Response::error(404, "no sketch published for that entry")
+        }
+        Err(e) => return Response::error(500, &e.to_string()),
+    };
+    let bytes = opaq_storage::sketch_codec::to_bytes(&snapshot.sketch.to_wire());
+    Response::octets(200, bytes).with_header(VERSION_HEADER, snapshot.version.to_string())
 }
 
 /// Parse the legacy per-`(tenant, dataset)` wire parameters into a typed
@@ -828,9 +897,14 @@ fn write_estimate(out: &mut String, est: &QuantileEstimate<u64>) {
     out.push('}');
 }
 
-/// Text exposition of per-tenant latency quantiles, per-plan-stage latency
-/// and catalog stats (Prometheus-style lines, integer nanoseconds).
-fn render_metrics(engine: &Arc<QueryEngine>, executor: &Arc<PlanExecutor>) -> String {
+/// Text exposition of per-tenant latency quantiles, per-plan-stage latency,
+/// catalog stats and replication/failover counters (Prometheus-style lines,
+/// integer nanoseconds).
+fn render_metrics(
+    engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
+    replication: Option<&Arc<ReplicationStats>>,
+) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("# TYPE opaq_request_latency_nanos gauge\n");
     let mut render_histogram = |label: &str, snap: &opaq_metrics::LatencySnapshot| {
@@ -887,6 +961,35 @@ fn render_metrics(engine: &Arc<QueryEngine>, executor: &Arc<PlanExecutor>) -> St
         ("opaq_slo_breaches", engine.slo_breaches()),
     ] {
         out.push_str(&format!("{name} {value}\n"));
+    }
+
+    // Replication/failover gauges: always present (zeros for a standalone
+    // server) so dashboards and CI greps never have to branch on topology.
+    let (failovers, breaker_opens, deltas, faults, breaker_sum, per_peer) = replication
+        .map(|r| {
+            (
+                r.failovers(),
+                r.breaker_opens(),
+                r.sync_deltas_applied(),
+                r.chaos_faults_injected(),
+                r.breaker_state_sum(),
+                r.breaker_states(),
+            )
+        })
+        .unwrap_or((0, 0, 0, 0, 0, Vec::new()));
+    for (name, value) in [
+        ("opaq_failovers", failovers),
+        ("opaq_breaker_opens", breaker_opens),
+        ("opaq_sync_deltas_applied", deltas),
+        ("opaq_chaos_faults_injected", faults),
+        ("opaq_replica_breaker_state", breaker_sum),
+    ] {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (peer, gauge) in per_peer {
+        out.push_str(&format!(
+            "opaq_replica_breaker_state{{peer=\"{peer}\"}} {gauge}\n"
+        ));
     }
     out
 }

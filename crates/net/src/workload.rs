@@ -135,6 +135,15 @@ pub struct HttpLoadReport {
     /// TTL probe: version bumps that followed an observed expiry — i.e.
     /// complete expiry→refresh→publish cycles seen over the wire.
     pub ttl_refreshes_observed: u64,
+    /// Connection-establishment failures across all client connections —
+    /// kept apart from [`Self::http_errors`] (a response with an error
+    /// status) so a chaos run's transport damage is diagnosable.
+    pub connect_errors: u64,
+    /// Requests that died to a read/connect deadline, across all clients.
+    pub timeouts: u64,
+    /// Transparent reconnect-and-retry attempts across all clients (benign
+    /// keep-alive rollovers included).
+    pub retries: u64,
     /// Wall-clock time of the client phase.
     pub wall: Duration,
     /// Client-observed (over-the-wire) latency distribution.
@@ -196,6 +205,10 @@ impl HttpLoadReport {
             self.ttl_refreshes_observed,
             self.throughput()
         ));
+        out.push_str(&format!(
+            "connect errors {} | timeouts {} | retries {}\n",
+            self.connect_errors, self.timeouts, self.retries
+        ));
         if let Some(qps) = self.target_qps {
             out.push_str(&format!("target qps (open loop): {qps:.0}\n"));
         }
@@ -205,11 +218,16 @@ impl HttpLoadReport {
 }
 
 /// `(tenant-name, version) -> the complete sketch of that version`,
-/// registered *before* the catalog publish.
-type Registry = Arc<RwLock<HashMap<(String, u64), Arc<QuantileSketch<u64>>>>>;
+/// registered *before* the catalog publish.  Shared with the replica
+/// failover harness ([`crate::failover`]).
+pub(crate) type Registry = Arc<RwLock<HashMap<(String, u64), Arc<QuantileSketch<u64>>>>>;
 
 /// Map a typed request to its HTTP form: `(target, optional JSON body)`.
-fn wire_form(tenant: &str, dataset: &str, request: &QueryRequest) -> (String, Option<String>) {
+pub(crate) fn wire_form(
+    tenant: &str,
+    dataset: &str,
+    request: &QueryRequest,
+) -> (String, Option<String>) {
     match request {
         QueryRequest::Quantile { phi } => {
             (format!("/v1/{tenant}/{dataset}/quantile?phi={phi}"), None)
@@ -233,7 +251,7 @@ fn wire_form(tenant: &str, dataset: &str, request: &QueryRequest) -> (String, Op
     }
 }
 
-enum Verdict {
+pub(crate) enum Verdict {
     Verified {
         version: u64,
         freshness: Freshness,
@@ -256,7 +274,7 @@ enum PlanVerdict {
 
 /// Re-render the expected body from the registered sketch of the claimed
 /// version and compare bytes.
-fn verify(
+pub(crate) fn verify(
     tenant: &str,
     request: &QueryRequest,
     response: &crate::client::ClientResponse,
@@ -578,6 +596,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     let non_fresh = AtomicU64::new(0);
     let ttl_bumps = AtomicU64::new(0);
     let stop_watcher = AtomicBool::new(false);
+    let connect_errors = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
     let latency = LatencyHistogram::new();
     let client_phase_nanos = AtomicU64::new(0);
     let start = Instant::now();
@@ -620,49 +641,58 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             let (probe_torn, probe_polls, probe_errors, probe_shed) =
                 (&probe_torn, &probe_polls, &probe_errors, &probe_shed);
             let (non_fresh, ttl_bumps, stop_watcher) = (&non_fresh, &ttl_bumps, &stop_watcher);
+            let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
             scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let request = QueryRequest::Quantile { phi: 0.5 };
                 let (target, _) = wire_form(&ttl_tenant, "events", &request);
                 let mut last: Option<(u64, Freshness)> = None;
                 let mut expiry_seen_at: Option<u64> = None;
-                while !stop_watcher.load(Ordering::Acquire) {
-                    let response = client.get(&target)?;
-                    match verify(&ttl_tenant, &request, &response, &registry) {
-                        Verdict::Verified { version, freshness } => {
-                            // Probe traffic is verified like everything else
-                            // but tracked apart from client ops, so reported
-                            // throughput stays a pure client-phase number.
-                            probe_polls.fetch_add(1, Ordering::Relaxed);
-                            if freshness != Freshness::Fresh {
-                                non_fresh.fetch_add(1, Ordering::Relaxed);
-                                expiry_seen_at = Some(version);
-                            }
-                            if let (Some(expired_version), Some((last_version, _))) =
-                                (expiry_seen_at, last)
-                            {
-                                if version > last_version && version > expired_version {
-                                    // A full cycle: expiry observed at the
-                                    // old version, then a newer one landed.
-                                    ttl_bumps.fetch_add(1, Ordering::Relaxed);
-                                    expiry_seen_at = None;
+                let mut body = || -> NetResult<()> {
+                    while !stop_watcher.load(Ordering::Acquire) {
+                        let response = client.get(&target)?;
+                        match verify(&ttl_tenant, &request, &response, &registry) {
+                            Verdict::Verified { version, freshness } => {
+                                // Probe traffic is verified like everything else
+                                // but tracked apart from client ops, so reported
+                                // throughput stays a pure client-phase number.
+                                probe_polls.fetch_add(1, Ordering::Relaxed);
+                                if freshness != Freshness::Fresh {
+                                    non_fresh.fetch_add(1, Ordering::Relaxed);
+                                    expiry_seen_at = Some(version);
                                 }
+                                if let (Some(expired_version), Some((last_version, _))) =
+                                    (expiry_seen_at, last)
+                                {
+                                    if version > last_version && version > expired_version {
+                                        // A full cycle: expiry observed at the
+                                        // old version, then a newer one landed.
+                                        ttl_bumps.fetch_add(1, Ordering::Relaxed);
+                                        expiry_seen_at = None;
+                                    }
+                                }
+                                last = Some((version, freshness));
                             }
-                            last = Some((version, freshness));
+                            Verdict::Torn => {
+                                probe_torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Verdict::Shed => {
+                                probe_shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Verdict::HttpError => {
+                                probe_errors.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
-                        Verdict::Torn => {
-                            probe_torn.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Verdict::Shed => {
-                            probe_shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Verdict::HttpError => {
-                            probe_errors.fetch_add(1, Ordering::Relaxed);
-                        }
+                        std::thread::sleep(ttl / 4);
                     }
-                    std::thread::sleep(ttl / 4);
-                }
-                Ok(())
+                    Ok(())
+                };
+                let result = body();
+                let stats = client.stats();
+                connect_errors.fetch_add(stats.connect_errors, Ordering::Relaxed);
+                timeouts.fetch_add(stats.timeouts, Ordering::Relaxed);
+                retries.fetch_add(stats.retries, Ordering::Relaxed);
+                result
             })
         });
 
@@ -690,6 +720,7 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                 &plan_shed,
             );
             let latency = &latency;
+            let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
             clients.push(scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let mut rng = spec
@@ -698,70 +729,79 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                 let stagger = interval
                     .map(|iv| iv.mul_f64(client_idx as f64 / spec.clients as f64))
                     .unwrap_or(Duration::ZERO);
-                for op_idx in 0..spec.ops_per_client {
-                    // `sent` is the scheduled time in open-loop mode, the
-                    // actual send time in closed-loop mode.
-                    let sent = match interval {
-                        Some(iv) => {
-                            let scheduled = start + stagger + iv.mul_f64(op_idx as f64);
-                            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
-                                std::thread::sleep(wait);
+                let mut body = || -> NetResult<()> {
+                    for op_idx in 0..spec.ops_per_client {
+                        // `sent` is the scheduled time in open-loop mode, the
+                        // actual send time in closed-loop mode.
+                        let sent = match interval {
+                            Some(iv) => {
+                                let scheduled = start + stagger + iv.mul_f64(op_idx as f64);
+                                if let Some(wait) = scheduled.checked_duration_since(Instant::now())
+                                {
+                                    std::thread::sleep(wait);
+                                }
+                                scheduled
                             }
-                            scheduled
+                            None => Instant::now(),
+                        };
+                        // Every fifth op is a coalescing pipeline over all main
+                        // tenants; the rest are single-target requests.
+                        if op_idx % 5 == 4 {
+                            let (plan, request) = plan_for(&mut rng);
+                            let mut body = String::from("{\"plan\":");
+                            write_escaped(&mut body, &plan);
+                            body.push('}');
+                            let response = client.post_json("/v1/query", &body)?;
+                            latency.record(sent.elapsed());
+                            plan_ops.fetch_add(1, Ordering::Relaxed);
+                            match verify_plan(&request, &response, &registry, expected_sources) {
+                                PlanVerdict::Verified => {
+                                    plan_verified.fetch_add(1, Ordering::Relaxed);
+                                }
+                                PlanVerdict::Torn => {
+                                    plan_torn.fetch_add(1, Ordering::Relaxed);
+                                }
+                                PlanVerdict::Shed => {
+                                    plan_shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                PlanVerdict::HttpError => {
+                                    plan_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            continue;
                         }
-                        None => Instant::now(),
-                    };
-                    // Every fifth op is a coalescing pipeline over all main
-                    // tenants; the rest are single-target requests.
-                    if op_idx % 5 == 4 {
-                        let (plan, request) = plan_for(&mut rng);
-                        let mut body = String::from("{\"plan\":");
-                        write_escaped(&mut body, &plan);
-                        body.push('}');
-                        let response = client.post_json("/v1/query", &body)?;
+                        let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
+                        let (tenant, dataset) = &ids[tenant_idx];
+                        let request = request_for(&mut rng);
+                        let (target, body) = wire_form(tenant.as_str(), dataset.as_str(), &request);
+                        let response = match &body {
+                            Some(body) => client.post_json(&target, body)?,
+                            None => client.get(&target)?,
+                        };
                         latency.record(sent.elapsed());
-                        plan_ops.fetch_add(1, Ordering::Relaxed);
-                        match verify_plan(&request, &response, &registry, expected_sources) {
-                            PlanVerdict::Verified => {
-                                plan_verified.fetch_add(1, Ordering::Relaxed);
+                        match verify(tenant.as_str(), &request, &response, &registry) {
+                            Verdict::Verified { .. } => {
+                                verified.fetch_add(1, Ordering::Relaxed);
                             }
-                            PlanVerdict::Torn => {
-                                plan_torn.fetch_add(1, Ordering::Relaxed);
+                            Verdict::Torn => {
+                                torn.fetch_add(1, Ordering::Relaxed);
                             }
-                            PlanVerdict::Shed => {
-                                plan_shed.fetch_add(1, Ordering::Relaxed);
+                            Verdict::Shed => {
+                                shed.fetch_add(1, Ordering::Relaxed);
                             }
-                            PlanVerdict::HttpError => {
-                                plan_errors.fetch_add(1, Ordering::Relaxed);
+                            Verdict::HttpError => {
+                                http_errors.fetch_add(1, Ordering::Relaxed);
                             }
-                        }
-                        continue;
-                    }
-                    let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
-                    let (tenant, dataset) = &ids[tenant_idx];
-                    let request = request_for(&mut rng);
-                    let (target, body) = wire_form(tenant.as_str(), dataset.as_str(), &request);
-                    let response = match &body {
-                        Some(body) => client.post_json(&target, body)?,
-                        None => client.get(&target)?,
-                    };
-                    latency.record(sent.elapsed());
-                    match verify(tenant.as_str(), &request, &response, &registry) {
-                        Verdict::Verified { .. } => {
-                            verified.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Verdict::Torn => {
-                            torn.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Verdict::Shed => {
-                            shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Verdict::HttpError => {
-                            http_errors.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                }
-                Ok(())
+                    Ok(())
+                };
+                let result = body();
+                let stats = client.stats();
+                connect_errors.fetch_add(stats.connect_errors, Ordering::Relaxed);
+                timeouts.fetch_add(stats.timeouts, Ordering::Relaxed);
+                retries.fetch_add(stats.retries, Ordering::Relaxed);
+                result
             }));
         }
 
@@ -850,6 +890,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
         refreshes_published: refreshes.load(Ordering::Relaxed),
         non_fresh_served: non_fresh.load(Ordering::Relaxed),
         ttl_refreshes_observed: ttl_bumps.load(Ordering::Relaxed),
+        connect_errors: connect_errors.load(Ordering::Relaxed),
+        timeouts: timeouts.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
         wall,
         latency: latency.snapshot(),
         catalog: catalog.stats(),

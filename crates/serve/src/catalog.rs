@@ -168,6 +168,18 @@ pub struct SketchSnapshot {
     pub freshness: Freshness,
 }
 
+/// One row of [`SketchCatalog::inventory`]: a published entry and its
+/// current version — the unit of the catalog's version vector.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InventoryEntry {
+    /// Tenant identifier, as raw string for wire encoding.
+    pub tenant: String,
+    /// Dataset identifier, as raw string for wire encoding.
+    pub dataset: String,
+    /// The entry's current version epoch.
+    pub version: u64,
+}
+
 /// Where an entry's current version lives.
 #[derive(Debug)]
 enum Slot {
@@ -749,6 +761,36 @@ impl SketchCatalog {
         dataset: &DatasetId,
         sketch: Arc<QuantileSketch<u64>>,
     ) -> ServeResult<u64> {
+        self.publish_inner(tenant, dataset, sketch, None)
+    }
+
+    /// Publish `sketch` at an *explicit* version instead of the next local
+    /// one — the replication path: a replica applying a peer's entry must
+    /// end up serving the peer's exact version number, or the cross-replica
+    /// byte-for-byte verifier would flag every failover answer as
+    /// mis-versioned.  The offered version must move the entry forward.
+    ///
+    /// # Errors
+    /// [`ServeError::StaleVersion`] if `version` is not strictly greater
+    /// than the entry's current version (version vectors never move
+    /// backwards); otherwise as for [`Self::publish`].
+    pub fn publish_at(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        sketch: QuantileSketch<u64>,
+        version: u64,
+    ) -> ServeResult<u64> {
+        self.publish_inner(tenant, dataset, Arc::new(sketch), Some(version))
+    }
+
+    fn publish_inner(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        sketch: Arc<QuantileSketch<u64>>,
+        forced_version: Option<u64>,
+    ) -> ServeResult<u64> {
         let new_points = sketch.len() as u64;
         let entry = self.entry_or_create(tenant, dataset);
         let version = {
@@ -775,7 +817,18 @@ impl SketchCatalog {
                 }
                 Slot::Spilled { version, path } => (*version, 0, Some(path.clone())),
             };
-            let version = old_version + 1;
+            let version = match forced_version {
+                None => old_version + 1,
+                Some(v) if v > old_version => v,
+                Some(v) => {
+                    return Err(ServeError::StaleVersion {
+                        tenant: tenant.clone(),
+                        dataset: dataset.clone(),
+                        current: old_version,
+                        offered: v,
+                    })
+                }
+            };
             let disk = if let Some(dir) = &self.config.data_dir {
                 // Write-ahead: sketch bytes first, announcement second,
                 // both synced before the swap below makes them servable.
@@ -1066,6 +1119,40 @@ impl SketchCatalog {
             .collect();
         keys.sort();
         keys
+    }
+
+    /// The catalog's version vector: every published `(tenant, dataset)`
+    /// with its current version, sorted for deterministic wire encoding.
+    /// This is what the `/v1/_sync/manifest` endpoint serves and what a
+    /// bootstrapping replica diffs against its own catalog — an entry is
+    /// fetched iff the peer's version is strictly newer.  Entries still on
+    /// their never-observable version-0 placeholder are omitted.
+    pub fn inventory(&self) -> Vec<InventoryEntry> {
+        let snapshot: Vec<(TenantId, DatasetId, Arc<Entry>)> = self
+            .entries
+            .read()
+            .iter()
+            .flat_map(|(tenant, datasets)| {
+                datasets
+                    .iter()
+                    .map(|(dataset, entry)| (tenant.clone(), dataset.clone(), Arc::clone(entry)))
+            })
+            .collect();
+        let mut rows: Vec<InventoryEntry> = snapshot
+            .into_iter()
+            .filter_map(|(tenant, dataset, entry)| {
+                let version = match &*entry.slot.read() {
+                    Slot::Resident { version, .. } | Slot::Spilled { version, .. } => *version,
+                };
+                (version > 0).then(|| InventoryEntry {
+                    tenant: tenant.as_str().to_owned(),
+                    dataset: dataset.as_str().to_owned(),
+                    version,
+                })
+            })
+            .collect();
+        rows.sort();
+        rows
     }
 
     /// Sample points currently resident in memory.

@@ -112,8 +112,8 @@ pub mod query;
 pub mod refresh;
 
 pub use catalog::{
-    CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, RecoveryReport,
-    RefreshHook, SketchCatalog, SketchSnapshot, TenantId, MANIFEST_FILE,
+    CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, InventoryEntry,
+    RecoveryReport, RefreshHook, SketchCatalog, SketchSnapshot, TenantId, MANIFEST_FILE,
 };
 pub use load::{chunk_spec, next_rand, request_for, run_workload, LoadReport, WorkloadSpec};
 pub use query::{execute_on, QueryEngine, QueryOutput, QueryRequest, QueryResponse};
@@ -138,6 +138,19 @@ pub enum ServeError {
     InvalidConfig(String),
     /// The refresh pool has shut down and accepts no further jobs.
     RefreshClosed,
+    /// A replicated publish offered a version that does not move the entry
+    /// forward — version vectors are monotone, so applying it would let a
+    /// stale peer roll back a newer answer.
+    StaleVersion {
+        /// The tenant that was addressed.
+        tenant: TenantId,
+        /// The dataset that was addressed.
+        dataset: DatasetId,
+        /// The entry's current version.
+        current: u64,
+        /// The version the publish tried to apply.
+        offered: u64,
+    },
     /// The underlying OPAQ core reported an error.
     Opaq(OpaqError),
     /// The storage layer (spill/reload codec) reported an error.
@@ -155,6 +168,16 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidConfig(msg) => write!(f, "invalid catalog configuration: {msg}"),
             ServeError::RefreshClosed => write!(f, "refresh pool has shut down"),
+            ServeError::StaleVersion {
+                tenant,
+                dataset,
+                current,
+                offered,
+            } => write!(
+                f,
+                "stale replicated publish for tenant '{tenant}' dataset '{dataset}': \
+                 offered version {offered} does not advance current version {current}"
+            ),
             ServeError::Opaq(e) => write!(f, "{e}"),
             ServeError::Storage(e) => write!(f, "{e}"),
         }

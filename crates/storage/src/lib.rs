@@ -59,7 +59,7 @@ pub use disk_model::DiskModel;
 pub use file_store::{FileRunStore, FileRunStoreBuilder};
 pub use io_stats::{IoStats, IoStatsSnapshot};
 pub use layout::RunLayout;
-pub use manifest::{AppendFault, ManifestRecord, ManifestReplay, ManifestWriter};
+pub use manifest::{version_vector, AppendFault, ManifestRecord, ManifestReplay, ManifestWriter};
 pub use mem_store::MemRunStore;
 pub use prefetch::{
     for_each_run_prefetched, for_each_run_prefetched_pooled, BufferPool, DEFAULT_PREFETCH_DEPTH,

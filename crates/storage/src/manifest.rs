@@ -352,6 +352,30 @@ pub fn replay_bytes(mut bytes: &[u8]) -> StorageResult<ManifestReplay> {
     Ok(out)
 }
 
+/// Fold a replayed record sequence into its **version vector**: the last
+/// published version per `(tenant, dataset)`.  This is the canonical
+/// derivation the replication layer reconciles against — `Evict` keeps the
+/// version (the entry is still servable from disk) and `TtlSet` is a local
+/// serving policy, so only `Publish` records move the vector, and a record
+/// sequence replayed on any replica folds to the same vector.
+pub fn version_vector(
+    records: &[ManifestRecord],
+) -> std::collections::BTreeMap<(String, String), u64> {
+    let mut vector = std::collections::BTreeMap::new();
+    for record in records {
+        if let ManifestRecord::Publish {
+            tenant,
+            dataset,
+            version,
+            ..
+        } = record
+        {
+            vector.insert((tenant.clone(), dataset.clone()), *version);
+        }
+    }
+    vector
+}
+
 /// Replay `path` and, if a torn tail was found, truncate the file back to
 /// its last complete record so the next writer appends onto a clean log.
 ///
