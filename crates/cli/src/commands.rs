@@ -7,11 +7,12 @@ use crate::args::Args;
 use crate::{persist, CliError, CliResult};
 use opaq_core::{exact_quantile, IncrementalOpaq, OpaqConfig, OpaqEstimator};
 use opaq_datagen::{DatasetSpec, Distribution};
+use opaq_metrics::trace::{format_nanos, Stage};
 use opaq_metrics::{SloThresholds, TextTable};
 use opaq_net::json::write_escaped;
 use opaq_net::{
     bootstrap, ChaosConfig, HttpClient, HttpServer, HttpWorkloadSpec, Json, ReplicaWorkloadSpec,
-    ReplicationStats, Replicator, ServerConfig,
+    ReplicationStats, Replicator, ServerConfig, Telemetry,
 };
 use opaq_parallel::ShardedOpaq;
 use opaq_query::QueryPlan;
@@ -97,8 +98,11 @@ COMMANDS:
                GET  /v1/{tenant}/{dataset}/profile?count=B
                POST /v1/{tenant}/{dataset}/quantile_batch  {\"phis\":[...]}
                POST /v1/query  {\"plan\":\"fetch t-*/d | coalesce | ...\"}
-               GET  /healthz | GET /metrics
-             every response carries x-opaq-version and x-opaq-freshness.
+               GET  /healthz | GET /metrics (Prometheus text)
+               GET  /v1/_debug/trace?id=HEX | GET /v1/_debug/slow?n=N
+             every response carries x-opaq-version, x-opaq-freshness and
+             x-opaq-trace-id (echoed when the request sent a valid one,
+             minted at the front door otherwise).
              --ttl-ms T ages entries: expired tenants serve stale until a
              background re-ingest (--refresh-threads workers) republishes.
              --data-dir DIR makes the catalog durable: every publish is
@@ -113,7 +117,14 @@ COMMANDS:
              the peer's exact version, so answers are byte-identical to
              the source.
              The server runs until stdin reaches EOF (or a 'quit' line),
-             then shuts down cleanly and prints a summary
+             then shuts down cleanly and prints a summary (including the
+             slowest request's trace id and its per-stage breakdown)
+  trace      --addr HOST:PORT [--id HEX] [--slow N]
+             observability client for a running front-end: --id HEX fetches
+             /v1/_debug/trace and prints the request's span tree; --slow N
+             (the default, N=10) fetches /v1/_debug/slow and prints the
+             top-N slowest requests with their plan provenance — feed a
+             printed trace id back through --id to drill into one
   help       print this text
 "
     .to_string()
@@ -130,6 +141,7 @@ pub fn run(command: &str, args: &Args) -> CliResult<String> {
         "exact" => exact(args),
         "serve-bench" => serve_bench(args),
         "serve" => serve(args),
+        "trace" => trace(args),
         "help" => Ok(usage()),
         other => Err(CliError::Usage(format!(
             "unknown command '{other}' (run `opaq help` for the command list)"
@@ -883,6 +895,13 @@ fn serve_bench_http(args: &Args, spec: WorkloadSpec, slo: SloThresholds) -> CliR
             report.torn_reads, report.http_errors
         )));
     }
+    if report.trace_violations > 0 {
+        return Err(CliError::Usage(format!(
+            "{} responses missed (or mis-echoed) x-opaq-trace-id — every response must carry \
+             the trace header\n{out}",
+            report.trace_violations
+        )));
+    }
     if report.slo.is_breached() {
         return Err(CliError::Usage(format!(
             "{} of {} declared SLO objectives breached\n{out}",
@@ -1030,6 +1049,10 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     if let Some(_ms) = args.get("slo-p99-ms") {
         engine.set_slo_threshold(Some(Duration::from_millis(args.u64_or("slo-p99-ms", 0)?)));
     }
+    // One telemetry block for the whole process: the HTTP server records
+    // request spans into it, the refresh pool and replicator record their
+    // background work, and the shutdown banner reads the slow log back.
+    let telemetry = Arc::new(Telemetry::new());
     let mut recovery_banner = String::new();
     let recovered_entries = catalog.recovery().map_or(0, |r| r.entries);
     if let Some(recovery) = catalog.recovery().filter(|r| r.entries > 0) {
@@ -1050,8 +1073,13 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         // binding so the server never exposes an empty (or stale-recovered)
         // catalog it is about to overwrite; every entry lands at the peer's
         // exact version, so answers are byte-identical to the source.
-        let applied = bootstrap(&catalog, peer, replication.as_ref())
-            .map_err(|e| CliError::Usage(format!("could not bootstrap from peer {peer}: {e}")))?;
+        let applied = bootstrap(
+            &catalog,
+            peer,
+            replication.as_ref(),
+            Some(telemetry.recorder()),
+        )
+        .map_err(|e| CliError::Usage(format!("could not bootstrap from peer {peer}: {e}")))?;
         println!("opaq serve: bootstrapped {applied} entries from peer {peer}");
     } else if recovered_entries == 0 {
         for tenant_idx in 0..tenants {
@@ -1082,6 +1110,7 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         Arc::clone(&catalog),
         refresh_threads as usize,
     )?);
+    pool.set_recorder(Arc::clone(telemetry.recorder()));
     if ttl_ms > 0 {
         // Recovered entries keep the TTLs the manifest restored (their names
         // need not match the synthetic tenant-N scheme); only freshly seeded
@@ -1124,7 +1153,10 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         }));
     }
 
-    let mut server_builder = ServerConfig::builder().addr(addr).workers(workers as usize);
+    let mut server_builder = ServerConfig::builder()
+        .addr(addr)
+        .workers(workers as usize)
+        .telemetry(Arc::clone(&telemetry));
     if let Some(stats) = &replication {
         server_builder = server_builder.replication(Arc::clone(stats));
     }
@@ -1142,6 +1174,7 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
             peer.clone(),
             Duration::from_millis(peer_poll_ms),
             replication.clone(),
+            Some(Arc::clone(telemetry.recorder())),
         )
     });
 
@@ -1199,11 +1232,44 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         ),
         _ => String::new(),
     };
+    // The observability postscript: the slowest request the slow log kept,
+    // with its trace id (resolvable via `opaq trace --id` against a live
+    // server) and how its time split across the pipeline stages.
+    let trace_summary = match telemetry.slow().slowest() {
+        Some(slowest) => {
+            let spans = telemetry.recorder().trace(slowest.trace);
+            let mut per_stage: Vec<(Stage, u64)> = Vec::new();
+            for span in &spans {
+                match per_stage.iter_mut().find(|(s, _)| *s == span.stage) {
+                    Some((_, total)) => *total += span.duration_nanos,
+                    None => per_stage.push((span.stage, span.duration_nanos)),
+                }
+            }
+            let breakdown = per_stage
+                .iter()
+                .filter(|(stage, _)| *stage != Stage::Request)
+                .map(|(stage, nanos)| format!("{} {}", stage.as_str(), format_nanos(*nanos)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "; slowest request: trace {} {} ({}){}",
+                slowest.trace,
+                format_nanos(slowest.duration_nanos),
+                slowest.detail,
+                if breakdown.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — stages: {breakdown}")
+                },
+            )
+        }
+        None => String::new(),
+    };
     Ok(format!(
         "opaq serve: shutdown complete (bound {bound}); served {} requests over {} connections \
          ({} rejected, {} parse errors); catalog: {} publishes, {} snapshots, {} stale, \
          {} ttl refreshes; durability: {} manifest records, {} recoveries, {} orphans reaped; \
-         slo breaches: {}{replication_summary}\n{recovery_banner}",
+         slo breaches: {}{replication_summary}{trace_summary}\n{recovery_banner}",
         stats.requests,
         stats.connections,
         stats.rejected,
@@ -1217,6 +1283,85 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         catalog_stats.orphan_spills_removed,
         engine.slo_breaches(),
     ))
+}
+
+/// `opaq trace`: observability client for a running front-end.
+///
+/// `--id HEX` prints one request's span tree from `/v1/_debug/trace`;
+/// otherwise the top `--slow N` (default 10) slowest requests from
+/// `/v1/_debug/slow`, whose trace ids feed back into `--id`.
+pub fn trace(args: &Args) -> CliResult<String> {
+    args.validate("trace", &["addr", "id", "slow"], &[])?;
+    let addr = args.require("addr")?;
+    if args.get("id").is_some() && args.get("slow").is_some() {
+        return Err(CliError::Usage(
+            "--id and --slow are mutually exclusive: one trace or the slow log".to_string(),
+        ));
+    }
+    let mut client = HttpClient::new(addr);
+    let fetch = |client: &mut HttpClient, target: &str| -> CliResult<String> {
+        let response = client
+            .get(target)
+            .map_err(|e| CliError::Usage(format!("could not reach {addr}: {e}")))?;
+        let body = response
+            .body_str()
+            .map_err(|e| CliError::Usage(format!("malformed response from {addr}: {e}")))?
+            .to_string();
+        if response.status != 200 {
+            return Err(CliError::Usage(format!(
+                "{addr} answered {} for {target}: {}",
+                response.status,
+                body.trim()
+            )));
+        }
+        Ok(body)
+    };
+    if let Some(id) = args.get("id") {
+        // The server renders the tree; the CLI is a dumb pipe so the two
+        // never disagree about span semantics.
+        return fetch(&mut client, &format!("/v1/_debug/trace?id={id}"));
+    }
+    let n = args.u64_or("slow", 10)?;
+    let body = fetch(&mut client, &format!("/v1/_debug/slow?n={n}"))?;
+    let parsed = Json::parse(&body)
+        .map_err(|e| CliError::Usage(format!("malformed slow log from {addr}: {e}")))?;
+    let threshold = parsed
+        .get("threshold_nanos")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let entries = parsed
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::Usage(format!("slow log from {addr} has no entries array")))?;
+    let mut out = format!(
+        "slow log from {addr} (threshold {}, {} entr{}):\n",
+        if threshold == 0 {
+            "none — keeping the slowest".to_string()
+        } else {
+            format_nanos(threshold)
+        },
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+    );
+    for entry in entries {
+        let (Some(trace), Some(duration), Some(detail)) = (
+            entry.get("trace").and_then(Json::as_str),
+            entry.get("duration_nanos").and_then(Json::as_u64),
+            entry.get("detail").and_then(Json::as_str),
+        ) else {
+            return Err(CliError::Usage(format!(
+                "slow log entry from {addr} is missing trace/duration_nanos/detail"
+            )));
+        };
+        out.push_str(&format!(
+            "  {:>10}  trace {trace}  {detail}\n",
+            format_nanos(duration)
+        ));
+    }
+    if entries.is_empty() {
+        out.push_str("  (no requests recorded yet)\n");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1759,6 +1904,88 @@ mod tests {
         drop(control_client);
         let out = handle.join().unwrap().unwrap();
         assert!(out.contains("shutdown complete"), "{out}");
+    }
+
+    #[test]
+    fn trace_command_renders_slow_log_and_span_trees_from_a_live_server() {
+        use std::io::BufReader;
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let control_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let control_addr = control_listener.local_addr().unwrap();
+        let control_client = std::net::TcpStream::connect(control_addr).unwrap();
+        let (control_server, _) = control_listener.accept().unwrap();
+
+        let serve_args = args(&[
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--tenants",
+            "1",
+            "--keys-per-tenant",
+            "20000",
+            "--run-length",
+            "2000",
+            "--sample-size",
+            "200",
+        ]);
+        let handle = std::thread::spawn(move || {
+            super::serve_with_control(&serve_args, BufReader::new(control_server))
+        });
+        let addr = format!("127.0.0.1:{port}");
+        let mut client = opaq_net::HttpClient::new(addr.clone());
+        let mut healthy = false;
+        for _ in 0..100 {
+            if client.get("/healthz").map(|r| r.status).ok() == Some(200) {
+                healthy = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(healthy, "server never came up on port {port}");
+
+        // One real query so the slow log has a request to show.
+        let response = client.get("/v1/tenant-0/events/quantile?phi=0.5").unwrap();
+        assert_eq!(response.status, 200);
+        let trace_id = response
+            .header(opaq_net::TRACE_HEADER)
+            .expect("response carries a trace id")
+            .to_string();
+
+        // `opaq trace --addr` (slow-log mode) lists it with its trace id.
+        let out = run("trace", &args(&["--addr", &addr])).unwrap();
+        assert!(out.contains("slow log from"), "{out}");
+        assert!(out.contains(&trace_id), "{out}");
+        assert!(out.contains("GET /v1/tenant-0/events/quantile"), "{out}");
+
+        // `--id` drills into the full span tree for that request.
+        let out = run("trace", &args(&["--addr", &addr, "--id", &trace_id])).unwrap();
+        for stage in ["request", "parse", "compile", "fetch", "snapshot", "render"] {
+            assert!(out.contains(stage), "span tree missing {stage}:\n{out}");
+        }
+
+        // An unknown id is a clean error, not a panic.
+        let err = run(
+            "trace",
+            &args(&["--addr", &addr, "--id", "00000000000000ff"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+
+        // --id and --slow are mutually exclusive.
+        let err = run(
+            "trace",
+            &args(&["--addr", &addr, "--id", "ff", "--slow", "5"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        drop(control_client);
+        let out = handle.join().unwrap().unwrap();
+        // The shutdown banner names the slowest trace and its stages.
+        assert!(out.contains("slowest request: trace"), "{out}");
+        assert!(out.contains("stages:"), "{out}");
     }
 
     #[test]

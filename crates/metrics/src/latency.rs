@@ -219,6 +219,46 @@ impl LatencyHistogram {
             .fetch_min(other.min_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Sum of all recorded latencies in nanoseconds (saturating on the
+    /// accumulator, like every other counter here).
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Export the histogram against an ascending ladder of upper bounds
+    /// (nanoseconds) for Prometheus `_bucket`/`_sum`/`_count` rendering.
+    ///
+    /// The internal log-linear buckets are snapshotted **once**, so the
+    /// cumulative counts and the total are mutually consistent even under
+    /// concurrent recording: the implied `+Inf` bucket always equals
+    /// [`HistogramExport::count`].  A log-linear bucket is attributed to a
+    /// bound only when the bucket's entire range fits under it, so each
+    /// cumulative count is a conservative (never over-stated) "samples ≤
+    /// bound" with relative bound error at most `1/SUB_BUCKETS`.
+    pub fn export(&self, bounds_nanos: &[u64]) -> HistogramExport {
+        let snap: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let mut cumulative = Vec::with_capacity(bounds_nanos.len());
+        let mut running = 0u64;
+        let mut bucket = 0usize;
+        for &bound in bounds_nanos {
+            while bucket < snap.len() && bucket_upper_bound(bucket) <= bound {
+                running += snap[bucket];
+                bucket += 1;
+            }
+            cumulative.push(running);
+        }
+        let count = running + snap[bucket..].iter().sum::<u64>();
+        HistogramExport {
+            cumulative,
+            count,
+            sum_nanos: self.total_nanos(),
+        }
+    }
+
     /// A plain-data summary of the histogram (p50/p90/p99/p999).
     pub fn snapshot(&self) -> LatencySnapshot {
         LatencySnapshot {
@@ -231,6 +271,18 @@ impl LatencyHistogram {
             max: self.max(),
         }
     }
+}
+
+/// One consistent export of a histogram against a bucket-bound ladder;
+/// see [`LatencyHistogram::export`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramExport {
+    /// Cumulative sample counts, one per requested bound, non-decreasing.
+    pub cumulative: Vec<u64>,
+    /// Total samples (the implied `+Inf` bucket and the `_count` series).
+    pub count: u64,
+    /// Sum of all recorded nanoseconds (the `_sum` series).
+    pub sum_nanos: u64,
 }
 
 /// Plain-data summary of a [`LatencyHistogram`] at one point in time.
@@ -458,6 +510,31 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), Duration::from_nanos(100));
         assert_eq!(a.max(), Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn export_is_cumulative_and_internally_consistent() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(500); // ≤ 1_000
+        h.record_nanos(3_000); // ≤ 4_000
+        h.record_nanos(3_500); // ≤ 4_000
+        h.record_nanos(9_000_000_000); // beyond every bound
+        let bounds = [1_000u64, 4_000, 1_000_000, 5_000_000_000];
+        let export = h.export(&bounds);
+        assert_eq!(export.cumulative, vec![1, 3, 3, 3]);
+        assert_eq!(export.count, 4);
+        assert_eq!(export.sum_nanos, 500 + 3_000 + 3_500 + 9_000_000_000);
+        assert_eq!(h.total_nanos(), export.sum_nanos);
+        // Monotone, and never exceeds the total.
+        let mut last = 0;
+        for c in &export.cumulative {
+            assert!(*c >= last && *c <= export.count);
+            last = *c;
+        }
+        // Empty ladder still exports a consistent count.
+        let empty = h.export(&[]);
+        assert_eq!(empty.count, 4);
+        assert!(empty.cumulative.is_empty());
     }
 
     #[test]

@@ -20,8 +20,62 @@
 //! estimated bounds, provides exact ground-truth quantiles, a phase timer
 //! for the Table 11/12 breakdowns, a fixed-width text-table builder used
 //! by every experiment binary, lock-free [`latency`] histograms
-//! (p50/p99/p999) for the multi-tenant serving layer in `opaq-serve`, and
-//! [`slo`] threshold verdicts for the open-loop serving benchmarks.
+//! (p50/p99/p999) for the multi-tenant serving layer in `opaq-serve`,
+//! [`slo`] threshold verdicts for the open-loop serving benchmarks, and
+//! the serving stack's observability layer: request [`trace`]s and the
+//! Prometheus metric [`registry`].
+//!
+//! # Observability guide
+//!
+//! ## Tracing
+//!
+//! Every HTTP request is assigned a [`trace::TraceId`] at the front door
+//! (or adopts one arriving in the `x-opaq-trace-id` header, so traces
+//! follow a request across replica failover hops and `/v1/_sync/*`
+//! replication pulls), and every response carries the id back in the same
+//! header.  Stages record [`trace::Span`]s into a fixed-capacity
+//! lock-free ring ([`trace::SpanRecorder`]) — recording is allocation-free
+//! and never blocks, so tracing stays on at full production traffic.
+//!
+//! Span taxonomy ([`trace::Stage`]): `request` (root) → `parse` →
+//! `compile` → `fetch` (with one `snapshot` child per source, tagged
+//! `hit` / `reload-from-spill` / `refresh-triggered`) → `merge` →
+//! `extract` → `render`; ingest-side jobs record `refresh` roots with
+//! `ingest` children, and each replication pass records a `sync` root.
+//! Tags ([`trace::SpanTag`]) carry provenance: `degraded` marks last-good
+//! replays, `shed` marks accept-queue 503s, `error` marks failures.
+//!
+//! Read traces back with `GET /v1/_debug/trace?id=<hex>` or render them
+//! with `opaq trace --addr HOST:PORT --id <hex>`.  The slow-query log
+//! ([`trace::SlowLog`]) keeps the top-N requests over a threshold with
+//! full plan provenance: `GET /v1/_debug/slow?n=` or
+//! `opaq trace --addr HOST:PORT --slow N`.
+//!
+//! ## Metric registry
+//!
+//! One [`registry::MetricRegistry`] is the single source of truth for
+//! every exported metric name and its `# HELP` string; `/metrics` renders
+//! from it in strict Prometheus text format (HELP/TYPE on every family,
+//! escaped labels, trailing newline, schema-stable from the first
+//! scrape).  Metric catalog:
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `opaq_http_requests` | counter | HTTP requests handled |
+//! | `opaq_http_parse_errors` | counter | malformed requests rejected |
+//! | `opaq_http_sheds` | counter | requests shed by the accept queue |
+//! | `opaq_trace_spans_recorded` | counter | spans written to the ring |
+//! | `opaq_trace_spans_dropped` | counter | spans lost to write contention |
+//! | `opaq_slow_log_entries` | gauge | slow-log occupancy |
+//! | `opaq_request_duration_nanos` | histogram | end-to-end request latency |
+//! | `opaq_plan_stage_duration_nanos{stage=}` | histogram | per-stage plan latency |
+//! | `opaq_request_latency_nanos{tenant=,quantile=}` | gauge | per-tenant latency quantiles |
+//! | `opaq_plan_stage_latency_nanos{stage=,quantile=}` | gauge | per-stage latency quantiles |
+//! | `opaq_plan_stage_executions{stage=}` | gauge | per-stage execution counts |
+//! | `opaq_catalog_*` | counter/gauge | catalog activity (publishes, snapshots, reloads, …) |
+//! | `opaq_slo_breaches` | counter | requests over the configured SLO |
+//! | `opaq_failovers`, `opaq_breaker_opens`, `opaq_sync_deltas_applied`, `opaq_chaos_faults_injected` | counter | replication/failover activity |
+//! | `opaq_replica_breaker_state{peer=}` | gauge | 0 closed / 1 open / 2 half-open |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,17 +83,24 @@
 pub mod error_rates;
 pub mod ground_truth;
 pub mod latency;
+pub mod registry;
 pub mod shard;
 pub mod slo;
 pub mod stage;
 pub mod table;
 pub mod timing;
+pub mod trace;
 
 pub use error_rates::{compute_error_rates, ErrorReport, QuantileBoundsView, RelativeErrorRates};
 pub use ground_truth::GroundTruth;
-pub use latency::{render_latency_table, LatencyHistogram, LatencySnapshot};
+pub use latency::{render_latency_table, HistogramExport, LatencyHistogram, LatencySnapshot};
+pub use registry::{Counter, Gauge, MetricRegistry};
 pub use shard::{render_shard_table, ShardStats};
 pub use slo::{SloCheck, SloOutcome, SloThresholds};
 pub use stage::{PlanStage, StageLatency};
 pub use table::{fmt2, TextTable};
 pub use timing::{PhaseBreakdown, PhaseTimer};
+pub use trace::{
+    render_span_tree, SlowEntry, SlowLog, Span, SpanRecorder, SpanTag, Stage, TraceId, TraceSink,
+    ROOT_SPAN_ID,
+};

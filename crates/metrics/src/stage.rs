@@ -10,6 +10,7 @@
 //! across all serving threads.
 
 use crate::latency::{LatencyHistogram, LatencySnapshot};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One stage of an executed query plan.
@@ -46,17 +47,31 @@ impl std::fmt::Display for PlanStage {
 }
 
 /// Lock-free per-stage latency histograms for plan execution.
-#[derive(Debug, Default)]
+///
+/// Histograms live behind `Arc`s so a metric registry can hold the same
+/// instances and render cumulative Prometheus buckets from them without
+/// copying; see [`StageLatency::shared`].
+#[derive(Debug)]
 pub struct StageLatency {
-    fetch: LatencyHistogram,
-    merge: LatencyHistogram,
-    extract: LatencyHistogram,
+    fetch: Arc<LatencyHistogram>,
+    merge: Arc<LatencyHistogram>,
+    extract: Arc<LatencyHistogram>,
+}
+
+impl Default for StageLatency {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StageLatency {
     /// Create empty histograms for all stages.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            fetch: Arc::new(LatencyHistogram::new()),
+            merge: Arc::new(LatencyHistogram::new()),
+            extract: Arc::new(LatencyHistogram::new()),
+        }
     }
 
     /// Record one stage execution.
@@ -70,6 +85,16 @@ impl StageLatency {
             PlanStage::Fetch => &self.fetch,
             PlanStage::Merge => &self.merge,
             PlanStage::Extract => &self.extract,
+        }
+    }
+
+    /// A shared handle to one stage's histogram (for registry-backed
+    /// exposition).
+    pub fn shared(&self, stage: PlanStage) -> Arc<LatencyHistogram> {
+        match stage {
+            PlanStage::Fetch => Arc::clone(&self.fetch),
+            PlanStage::Merge => Arc::clone(&self.merge),
+            PlanStage::Extract => Arc::clone(&self.extract),
         }
     }
 

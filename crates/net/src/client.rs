@@ -12,7 +12,9 @@
 //! `Content-Length` framing, no redirects, no TLS.
 
 use crate::backoff::Backoff;
+use crate::server::TRACE_HEADER;
 use crate::{NetError, NetResult};
+use opaq_metrics::TraceId;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -125,6 +127,7 @@ pub struct HttpClient {
     connect_timeout: Duration,
     backoff: Backoff,
     stats: ClientStats,
+    trace_id: Option<TraceId>,
 }
 
 impl HttpClient {
@@ -144,7 +147,20 @@ impl HttpClient {
             connect_timeout: Duration::from_secs(2),
             backoff: Backoff::for_connect(seed),
             stats: ClientStats::default(),
+            trace_id: None,
         }
+    }
+
+    /// Set (or clear) the trace id sent as `x-opaq-trace-id` on every
+    /// subsequent request, so a hop to this server records its spans under
+    /// the caller's trace.  Sticky until changed.
+    pub fn set_trace_id(&mut self, trace: Option<TraceId>) {
+        self.trace_id = trace;
+    }
+
+    /// The trace id currently stamped on outgoing requests.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.trace_id
     }
 
     /// Override the per-response read timeout.
@@ -291,6 +307,9 @@ impl HttpClient {
         let conn = self.conn.as_mut().expect("just connected");
 
         let mut head = format!("{method} {target} HTTP/1.1\r\nhost: {}\r\n", self.addr);
+        if let Some(trace) = self.trace_id {
+            head.push_str(&format!("{TRACE_HEADER}: {trace}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str("content-type: application/json\r\n");
             head.push_str(&format!("content-length: {}\r\n", body.len()));

@@ -216,7 +216,7 @@ fn start_secondary(
     stats: &Arc<ReplicationStats>,
 ) -> NetResult<(SecondaryRuntime, String)> {
     let catalog = Arc::new(SketchCatalog::unbounded());
-    bootstrap(&catalog, primary_addr, Some(stats))?;
+    bootstrap(&catalog, primary_addr, Some(stats), None)?;
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
     let mut config = server_config.clone();
     config.replication = Some(Arc::clone(stats));
@@ -227,6 +227,7 @@ fn start_secondary(
         primary_addr.to_string(),
         poll,
         Some(Arc::clone(stats)),
+        Some(Arc::clone(server.telemetry().recorder())),
     );
     Ok((SecondaryRuntime { server, replicator }, addr))
 }
@@ -460,7 +461,7 @@ pub fn run_replica_workload(fleet_spec: &ReplicaWorkloadSpec) -> NetResult<Repli
                 let catalog = Arc::new(SketchCatalog::unbounded());
                 let mut attempts = 0u32;
                 loop {
-                    match bootstrap(&catalog, &primary_addr, Some(&stats)) {
+                    match bootstrap(&catalog, &primary_addr, Some(&stats), None) {
                         Ok(_) => break,
                         Err(e) => {
                             attempts += 1;
@@ -486,6 +487,7 @@ pub fn run_replica_workload(fleet_spec: &ReplicaWorkloadSpec) -> NetResult<Repli
                     primary_addr.clone(),
                     poll,
                     Some(Arc::clone(&stats)),
+                    Some(Arc::clone(server.telemetry().recorder())),
                 );
                 restarts.fetch_add(1, Ordering::Relaxed);
                 while !stop_monkey.load(Ordering::Acquire) {

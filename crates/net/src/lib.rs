@@ -41,7 +41,9 @@
 //!   | `POST /v1/{tenant}/{dataset}/quantile_batch` | `{"phis":[…]}`, one consistent version |
 //!   | `POST /v1/query` | `{"plan":"fetch t-*/d \| coalesce \| quantile 0.5"}` pipeline (see `opaq-query`) |
 //!   | `GET /healthz` | liveness + entry count |
-//!   | `GET /metrics` | text exposition: per-tenant p50/p99/p999, per-plan-stage latency, catalog stats |
+//!   | `GET /metrics` | Prometheus text exposition rendered by [`opaq_metrics::MetricRegistry`]: HELP/TYPE-annotated counters, gauges, and cumulative histograms |
+//!   | `GET /v1/_debug/trace?id=HEX` | rendered span tree for one trace (from the in-memory span ring) |
+//!   | `GET /v1/_debug/slow?n=N` | top-N slowest requests with plan provenance, as JSON |
 //!
 //!   Every route lowers to one typed [`server::ApiRequest`], compiles to an
 //!   `opaq_query::QueryPlan` (the GET family as degenerate one-target
@@ -56,6 +58,13 @@
 //!   catalog's TTL tag); `/v1/query` responses instead embed the full
 //!   `(tenant, dataset, version, freshness)` tuple per contributing source,
 //!   plus an `x-opaq-sources` count header.
+//!
+//!   **Every** response — success, error, parse failure, even the 503 shed
+//!   by a saturated accept queue — carries `x-opaq-trace-id`.  The id is
+//!   echoed from the request header when the caller sent a valid one
+//!   (failover hops and `/v1/_sync/*` pulls propagate it this way) and
+//!   minted at the front door otherwise; `GET /v1/_debug/trace?id=` turns
+//!   it into the request's span tree.
 //! * **Client** ([`client`]): minimal keep-alive client with transparent
 //!   single reconnect, for the harness/CLI/examples.
 //! * **Workload harness** ([`workload`]): the HTTP twin of
@@ -139,7 +148,8 @@ pub use json::Json;
 pub use replica::{FailoverResponse, ReplicaSet, ReplicationStats};
 pub use server::{
     render_plan_response_json, render_response_json, ApiRequest, HttpServer, ServerConfig,
-    ServerConfigBuilder, ServerStats, FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
+    ServerConfigBuilder, ServerStats, Telemetry, FRESHNESS_HEADER, SOURCES_HEADER, TRACE_HEADER,
+    VERSION_HEADER,
 };
 pub use sync::{bootstrap, fetch_manifest, fetch_sketch, sync_once, PeerEntry, Replicator};
 pub use workload::{run_http_workload, HttpLoadReport, HttpWorkloadSpec};

@@ -20,7 +20,9 @@
 use crate::backoff::Backoff;
 use crate::circuit::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::client::{ClientResponse, ClientStats, HttpClient};
+use crate::server::TRACE_HEADER;
 use crate::{NetError, NetResult};
+use opaq_metrics::TraceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -209,6 +211,20 @@ impl ReplicaSet {
         self.endpoints.iter().map(|e| e.addr.clone()).collect()
     }
 
+    /// Set (or clear) the trace id stamped on every outgoing request, on
+    /// every replica's client — a failover retry keeps the same trace, so
+    /// the replica that finally answers records its spans under it.
+    pub fn set_trace_id(&mut self, trace: Option<TraceId>) {
+        for e in &mut self.endpoints {
+            e.client.set_trace_id(trace);
+        }
+    }
+
+    /// The trace id currently stamped on outgoing requests, if any.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.endpoints.first().and_then(|e| e.client.trace_id())
+    }
+
     /// Aggregate client-level tallies across all replicas.
     pub fn client_stats(&self) -> ClientStats {
         self.endpoints
@@ -284,8 +300,18 @@ impl ReplicaSet {
             }
         }
         if let Some(cached) = self.last_good.get(target) {
+            let mut response = cached.clone();
+            // The replay carries the *cached* trace id from whenever the
+            // answer was recorded; restamp it with the current request's
+            // trace so the degraded hop stays on the caller's trace.
+            if let Some(trace) = self.trace_id() {
+                response.headers.retain(|(k, _)| k != TRACE_HEADER);
+                response
+                    .headers
+                    .push((TRACE_HEADER.to_string(), trace.to_string()));
+            }
             return Ok(FailoverResponse {
-                response: cached.clone(),
+                response,
                 replica: String::new(),
                 degraded: true,
             });

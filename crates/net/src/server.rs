@@ -28,6 +28,10 @@ use crate::replica::ReplicationStats;
 use crate::{NetError, NetResult};
 use crossbeam::channel;
 use opaq_core::QuantileEstimate;
+use opaq_metrics::trace::{
+    render_span_tree, SlowLog, SpanRecorder, SpanTag, Stage, TraceId, TraceSink, ROOT_SPAN_ID,
+};
+use opaq_metrics::{Counter, Gauge, LatencySnapshot, MetricRegistry, PlanStage};
 use opaq_query::{PlanExecutor, PlanResponse, QueryError, QueryPlan};
 use opaq_serve::{
     DatasetId, Freshness, QueryEngine, QueryOutput, QueryRequest, QueryResponse, ServeError,
@@ -45,6 +49,322 @@ pub const VERSION_HEADER: &str = "x-opaq-version";
 pub const FRESHNESS_HEADER: &str = "x-opaq-freshness";
 /// Response header carrying the number of catalog entries a plan fused.
 pub const SOURCES_HEADER: &str = "x-opaq-sources";
+/// Request/response header carrying the request's trace id (16 hex digits).
+/// Present on **every** response the server writes — success, error, parse
+/// failure, and 503 shed alike; an id sent by the client is propagated,
+/// otherwise one is minted at the front door.
+pub const TRACE_HEADER: &str = "x-opaq-trace-id";
+
+/// Shared observability state of one serving process: the span ring behind
+/// `/v1/_debug/trace`, the slow-query log behind `/v1/_debug/slow`, and the
+/// [`MetricRegistry`] rendered by `/metrics`.
+///
+/// Construct one (or let [`HttpServer::start`] build a default), share it
+/// via [`ServerConfigBuilder::telemetry`], and read it back after shutdown
+/// for the CLI banner.  All metric families the server exports are
+/// registered up front — in [`Telemetry::new`] and [`Telemetry::bind`] — so
+/// the exposition schema is identical from the very first scrape.
+pub struct Telemetry {
+    recorder: Arc<SpanRecorder>,
+    slow: Arc<SlowLog>,
+    registry: Arc<MetricRegistry>,
+    requests: Counter,
+    parse_errors: Counter,
+    sheds: Counter,
+    spans_recorded: Counter,
+    spans_dropped: Counter,
+    slow_entries: Gauge,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("spans_recorded", &self.recorder.recorded())
+            .field("slow_entries", &self.slow.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Telemetry {
+    /// Default sizing: a 4096-slot span ring and a 32-entry slow log with a
+    /// zero admission threshold (the log simply keeps the 32 slowest).
+    pub fn new() -> Self {
+        Self::with_capacity(4096, 32, Duration::ZERO)
+    }
+
+    /// Explicit sizing for the span ring and slow log.
+    pub fn with_capacity(
+        span_capacity: usize,
+        slow_capacity: usize,
+        slow_threshold: Duration,
+    ) -> Self {
+        let registry = Arc::new(MetricRegistry::new());
+        let requests = registry.counter("opaq_http_requests", "Requests answered (any status).");
+        let parse_errors = registry.counter(
+            "opaq_http_parse_errors",
+            "Requests rejected because they could not be parsed.",
+        );
+        let sheds = registry.counter(
+            "opaq_http_sheds",
+            "Connections answered 503 by the bounded accept queue.",
+        );
+        let spans_recorded = registry.counter(
+            "opaq_trace_spans_recorded",
+            "Spans written into the trace ring (including since-overwritten ones).",
+        );
+        let spans_dropped = registry.counter(
+            "opaq_trace_spans_dropped",
+            "Spans dropped because every probed ring slot was mid-write.",
+        );
+        let slow_entries = registry.gauge(
+            "opaq_slow_log_entries",
+            "Entries currently held by the slow-query log.",
+        );
+        Self {
+            recorder: Arc::new(SpanRecorder::new(span_capacity)),
+            slow: Arc::new(SlowLog::new(slow_capacity, slow_threshold)),
+            registry,
+            requests,
+            parse_errors,
+            sheds,
+            spans_recorded,
+            spans_dropped,
+            slow_entries,
+        }
+    }
+
+    /// The span ring requests record into.
+    pub fn recorder(&self) -> &Arc<SpanRecorder> {
+        &self.recorder
+    }
+
+    /// The top-N slow-query log.
+    pub fn slow(&self) -> &Arc<SlowLog> {
+        &self.slow
+    }
+
+    /// The metric registry `/metrics` renders.
+    pub fn registry(&self) -> &Arc<MetricRegistry> {
+        &self.registry
+    }
+
+    /// Register the engine-backed families — the request and per-stage
+    /// latency histograms plus every catalog/replication scalar — and seed
+    /// their first values.  Called once by [`HttpServer::start`];
+    /// idempotent (re-binding fetches the existing series).
+    pub fn bind(
+        &self,
+        engine: &QueryEngine,
+        executor: &PlanExecutor,
+        replication: Option<&Arc<ReplicationStats>>,
+    ) {
+        self.registry.histogram(
+            "opaq_request_duration_nanos",
+            "End-to-end request latency (cumulative histogram, nanoseconds).",
+            engine.overall_shared(),
+        );
+        for stage in PlanStage::ALL {
+            self.registry.histogram_with(
+                "opaq_plan_stage_duration_nanos",
+                "Per-plan-stage latency (cumulative histogram, nanoseconds).",
+                &[("stage", stage.as_str())],
+                executor.stages().shared(stage),
+            );
+        }
+        self.update(engine, executor, replication);
+    }
+
+    /// Mirror every scalar whose source of truth lives outside the registry
+    /// (engine quantile summaries, catalog stats, replication counters,
+    /// trace-ring tallies) into their registered series.  Called on each
+    /// `/metrics` scrape.
+    pub fn update(
+        &self,
+        engine: &QueryEngine,
+        executor: &PlanExecutor,
+        replication: Option<&Arc<ReplicationStats>>,
+    ) {
+        self.spans_recorded.set(self.recorder.recorded());
+        self.spans_dropped.set(self.recorder.dropped());
+        self.slow_entries.set(self.slow.len() as u64);
+
+        const LAT_HELP: &str = "Per-tenant latency quantile summary (nanoseconds).";
+        const CNT_HELP: &str = "Requests recorded per tenant.";
+        let mirror = |label: &str, snap: &LatencySnapshot| {
+            for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
+                self.registry
+                    .gauge_with(
+                        "opaq_request_latency_nanos",
+                        LAT_HELP,
+                        &[("tenant", label), ("quantile", q)],
+                    )
+                    .set(value.as_nanos().min(u64::MAX as u128) as u64);
+            }
+            self.registry
+                .counter_with("opaq_request_count", CNT_HELP, &[("tenant", label)])
+                .set(snap.count);
+        };
+        for (tenant, snap) in engine.latency_report() {
+            mirror(tenant.as_str(), &snap);
+        }
+        mirror("_all", &engine.overall().snapshot());
+
+        const STAGE_LAT_HELP: &str = "Per-plan-stage latency quantile summary (nanoseconds).";
+        const STAGE_CNT_HELP: &str = "Plan stages recorded.";
+        for (stage, snap) in executor.stages().snapshot() {
+            for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
+                self.registry
+                    .gauge_with(
+                        "opaq_plan_stage_latency_nanos",
+                        STAGE_LAT_HELP,
+                        &[("stage", stage.as_str()), ("quantile", q)],
+                    )
+                    .set(value.as_nanos().min(u64::MAX as u128) as u64);
+            }
+            self.registry
+                .counter_with(
+                    "opaq_plan_stage_count",
+                    STAGE_CNT_HELP,
+                    &[("stage", stage.as_str())],
+                )
+                .set(snap.count);
+        }
+
+        let stats = engine.catalog().stats();
+        for (name, help, value) in [
+            (
+                "opaq_catalog_publishes",
+                "Sketch versions published.",
+                stats.publishes,
+            ),
+            (
+                "opaq_catalog_snapshots",
+                "Snapshot reads served.",
+                stats.snapshots,
+            ),
+            (
+                "opaq_catalog_evictions",
+                "Entries spilled to disk by the resident budget.",
+                stats.evictions,
+            ),
+            (
+                "opaq_catalog_reloads",
+                "Spilled entries reloaded on the query path.",
+                stats.reloads,
+            ),
+            (
+                "opaq_catalog_spill_failures",
+                "Spill attempts that failed.",
+                stats.spill_failures,
+            ),
+            (
+                "opaq_catalog_stale_snapshots",
+                "Snapshots served past their TTL.",
+                stats.stale_snapshots,
+            ),
+            (
+                "opaq_catalog_ttl_refreshes",
+                "Expired entries routed to the refresh hook.",
+                stats.ttl_refreshes,
+            ),
+            (
+                "opaq_catalog_recoveries",
+                "Catalog recoveries replayed from the manifest.",
+                stats.recoveries,
+            ),
+            (
+                "opaq_manifest_records",
+                "Records appended to the write-ahead manifest.",
+                stats.manifest_records,
+            ),
+            (
+                "opaq_catalog_orphan_spills_removed",
+                "Orphan spill files deleted during recovery.",
+                stats.orphan_spills_removed,
+            ),
+            (
+                "opaq_slo_breaches",
+                "Requests over the configured SLO threshold.",
+                engine.slo_breaches(),
+            ),
+        ] {
+            self.registry.counter(name, help).set(value);
+        }
+        for (name, help, value) in [
+            (
+                "opaq_catalog_entries",
+                "Entries currently published.",
+                stats.entries,
+            ),
+            (
+                "opaq_catalog_resident_sample_points",
+                "Sample points currently resident in memory.",
+                stats.resident_sample_points,
+            ),
+        ] {
+            self.registry.gauge(name, help).set(value);
+        }
+
+        // Replication/failover: always present (zeros for a standalone
+        // server) so dashboards and CI greps never branch on topology.
+        let (failovers, breaker_opens, deltas, faults, breaker_sum, per_peer) = replication
+            .map(|r| {
+                (
+                    r.failovers(),
+                    r.breaker_opens(),
+                    r.sync_deltas_applied(),
+                    r.chaos_faults_injected(),
+                    r.breaker_state_sum(),
+                    r.breaker_states(),
+                )
+            })
+            .unwrap_or((0, 0, 0, 0, 0, Vec::new()));
+        for (name, help, value) in [
+            (
+                "opaq_failovers",
+                "Requests answered by a non-preferred replica.",
+                failovers,
+            ),
+            (
+                "opaq_breaker_opens",
+                "Circuit-breaker transitions into the open state.",
+                breaker_opens,
+            ),
+            (
+                "opaq_sync_deltas_applied",
+                "Catalog entries applied from a peer.",
+                deltas,
+            ),
+            (
+                "opaq_chaos_faults_injected",
+                "Faults injected by the chaos proxy.",
+                faults,
+            ),
+        ] {
+            self.registry.counter(name, help).set(value);
+        }
+        const BREAKER_HELP: &str =
+            "Breaker state (0 closed, 1 open, 2 half-open); unlabeled series is the sum.";
+        self.registry
+            .gauge("opaq_replica_breaker_state", BREAKER_HELP)
+            .set(breaker_sum);
+        for (peer, gauge) in per_peer {
+            self.registry
+                .gauge_with(
+                    "opaq_replica_breaker_state",
+                    BREAKER_HELP,
+                    &[("peer", &peer)],
+                )
+                .set(gauge);
+        }
+    }
+}
 
 /// Tunables of one [`HttpServer`].
 ///
@@ -72,6 +392,10 @@ pub struct ServerConfig {
     /// Shared replication/failover counters to expose via `/metrics`
     /// (`None` for a standalone server: the gauges render as zeros).
     pub replication: Option<Arc<ReplicationStats>>,
+    /// Shared observability state (span ring, slow log, metric registry).
+    /// `None` lets the server build a default-sized one; supply your own to
+    /// read traces and slow-log summaries back after shutdown.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +409,7 @@ impl Default for ServerConfig {
             keep_alive_idle: Duration::from_secs(10),
             limits: ReadLimits::default(),
             replication: None,
+            telemetry: None,
         }
     }
 }
@@ -150,6 +475,12 @@ impl ServerConfigBuilder {
     /// Attach shared replication/failover counters for `/metrics`.
     pub fn replication(mut self, stats: Arc<ReplicationStats>) -> Self {
         self.config.replication = Some(stats);
+        self
+    }
+
+    /// Attach shared observability state (span ring, slow log, registry).
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.config.telemetry = Some(telemetry);
         self
     }
 
@@ -223,6 +554,7 @@ pub struct HttpServer {
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<StatsInner>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for HttpServer {
@@ -260,6 +592,11 @@ impl HttpServer {
         // there is exactly one evaluation path (and one set of per-stage
         // latency histograms) behind the whole API surface.
         let executor = Arc::new(PlanExecutor::new(Arc::clone(engine.catalog())));
+        let telemetry = config
+            .telemetry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Telemetry::new()));
+        telemetry.bind(&engine, &executor, config.replication.as_ref());
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -269,6 +606,7 @@ impl HttpServer {
                 let config = config.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let stats = Arc::clone(&stats);
+                let telemetry = Arc::clone(&telemetry);
                 std::thread::Builder::new()
                     .name(format!("opaq-net-worker-{i}"))
                     .spawn(move || loop {
@@ -279,7 +617,9 @@ impl HttpServer {
                         let Ok(stream) = stream else {
                             return; // queue closed and drained
                         };
-                        handle_connection(stream, &engine, &executor, &config, &shutdown, &stats);
+                        handle_connection(
+                            stream, &engine, &executor, &config, &shutdown, &stats, &telemetry,
+                        );
                     })
                     .expect("spawning an HTTP worker cannot fail")
             })
@@ -288,6 +628,7 @@ impl HttpServer {
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let telemetry = Arc::clone(&telemetry);
             std::thread::Builder::new()
                 .name("opaq-net-accept".to_string())
                 .spawn(move || {
@@ -303,8 +644,16 @@ impl HttpServer {
                                 // 503 instead of queueing unboundedly.
                                 if let Err(back) = try_send(&conn_tx, stream) {
                                     stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    telemetry.sheds.inc();
+                                    // Even a shed carries a trace id and a
+                                    // root span, so overload is visible in
+                                    // the ring, not just a counter.
+                                    let trace = TraceId::mint();
+                                    TraceSink::new(Arc::clone(&telemetry.recorder), trace)
+                                        .finish_root(Stage::Request, SpanTag::Shed);
                                     let mut stream = back;
                                     let _ = Response::error(503, "server overloaded")
+                                        .with_header(TRACE_HEADER, trace.to_string())
                                         .write_to(&mut stream, false);
                                 }
                             }
@@ -328,6 +677,7 @@ impl HttpServer {
             accept: Some(accept),
             workers,
             stats,
+            telemetry,
         })
     }
 
@@ -339,6 +689,12 @@ impl HttpServer {
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.stats.snapshot()
+    }
+
+    /// The observability state this server records into (the configured one,
+    /// or the default built at start).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Stop accepting, drain queued connections' in-flight requests, join
@@ -380,6 +736,7 @@ fn handle_connection(
     config: &ServerConfig,
     shutdown: &AtomicBool,
     stats: &StatsInner,
+    telemetry: &Telemetry,
 ) {
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
@@ -389,22 +746,94 @@ fn handle_connection(
             Wait::Close => return,
         }
         let _ = reader.get_ref().set_read_timeout(Some(config.read_timeout));
+        let parse_start = Instant::now();
         let request = read_request(&mut reader, &config.limits);
+        let parse_nanos = parse_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let (response, keep_alive) = match request {
             Ok(request) => {
-                let response = route(engine, executor, config.replication.as_ref(), &request);
+                // The trace id arrives in the request header (a failover hop
+                // or sync pull propagating its trace) or is minted here at
+                // the front door.  Parsing happened before the id was
+                // readable, so its span is recorded retroactively.
+                let trace = request
+                    .header(TRACE_HEADER)
+                    .and_then(TraceId::parse)
+                    .unwrap_or_else(TraceId::mint);
+                let sink = TraceSink::new(Arc::clone(&telemetry.recorder), trace);
+                sink.complete_with(
+                    sink.allocate(),
+                    ROOT_SPAN_ID,
+                    Stage::Parse,
+                    SpanTag::Untagged,
+                    0,
+                    parse_nanos,
+                );
+                let response = route(
+                    engine,
+                    executor,
+                    config.replication.as_ref(),
+                    telemetry,
+                    &sink,
+                    &request,
+                );
+                let tag = if response.status >= 500 {
+                    SpanTag::Error
+                } else {
+                    SpanTag::Untagged
+                };
+                let total = parse_start.elapsed();
+                sink.complete_with(
+                    ROOT_SPAN_ID,
+                    0,
+                    Stage::Request,
+                    tag,
+                    0,
+                    total.as_nanos().min(u64::MAX as u128) as u64,
+                );
+                let detail = sink.take_annotation();
+                telemetry.slow.offer(trace, total, || {
+                    detail.unwrap_or_else(|| format!("{} {}", request.method, request.path))
+                });
                 let keep_alive = request.wants_keep_alive()
                     && served + 1 < config.keep_alive_max_requests
                     && !shutdown.load(Ordering::Acquire);
-                (response, keep_alive)
+                (
+                    response.with_header(TRACE_HEADER, trace.to_string()),
+                    keep_alive,
+                )
             }
             Err(ParseError::ConnectionClosed) => return,
             Err(e) => {
                 stats.parse_errors.fetch_add(1, Ordering::Relaxed);
-                (parse_error_response(&e), false)
+                telemetry.parse_errors.inc();
+                // Unparseable requests can't propagate an id; mint one so
+                // even the 4xx carries a trace handle into the ring.
+                let trace = TraceId::mint();
+                let sink = TraceSink::new(Arc::clone(&telemetry.recorder), trace);
+                sink.complete_with(
+                    sink.allocate(),
+                    ROOT_SPAN_ID,
+                    Stage::Parse,
+                    SpanTag::Error,
+                    0,
+                    parse_nanos,
+                );
+                sink.complete_with(
+                    ROOT_SPAN_ID,
+                    0,
+                    Stage::Request,
+                    SpanTag::Error,
+                    0,
+                    parse_nanos,
+                );
+                (
+                    parse_error_response(&e).with_header(TRACE_HEADER, trace.to_string()),
+                    false,
+                )
             }
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
+        telemetry.requests.inc();
         if response.write_to(reader.get_mut(), keep_alive).is_err() {
             return;
         }
@@ -512,11 +941,14 @@ impl ApiRequest {
 /// Route one parsed request to the engine.  Pure function of
 /// `(engine state, replication counters, request)` — the HTTP workload
 /// harness re-renders expected responses through the same code path to
-/// compare bytes.
+/// compare bytes.  Spans for compile/fetch/merge/extract/render land on
+/// `sink`; the caller owns the root span and the trace-id response header.
 pub fn route(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
     replication: Option<&Arc<ReplicationStats>>,
+    telemetry: &Telemetry,
+    sink: &TraceSink,
     request: &Request,
 ) -> Response {
     // Segments were percent-decoded individually by the parser, so a tenant
@@ -540,8 +972,11 @@ pub fn route(
             if request.method != "GET" {
                 return Response::error(405, "metrics is GET-only");
             }
-            Response::text(200, render_metrics(engine, executor, replication))
+            telemetry.update(engine, executor, replication);
+            Response::text(200, telemetry.registry.render())
         }
+        ["v1", "_debug", "trace"] => route_debug_trace(telemetry, request),
+        ["v1", "_debug", "slow"] => route_debug_slow(telemetry, request),
         ["v1", "_sync", "manifest"] => {
             if request.method != "GET" {
                 return Response::error(405, "sync manifest is GET-only");
@@ -549,14 +984,21 @@ pub fn route(
             Response::json(200, render_inventory_json(engine))
         }
         ["v1", "_sync", "sketch"] => route_sync_sketch(engine, request),
-        ["v1", "query"] => route_query(engine, executor, request),
+        ["v1", "query"] => route_query(engine, executor, sink, request),
         ["v1", tenant, dataset, op] => {
+            let compile_start = sink.now_nanos();
             let api = match parse_point_request(request, tenant, dataset, op) {
                 Ok(api) => api,
                 Err(response) => return *response,
             };
             let plan = api.into_plan();
-            match run_plan(engine, executor, &plan) {
+            sink.child(
+                ROOT_SPAN_ID,
+                Stage::Compile,
+                SpanTag::Untagged,
+                compile_start,
+            );
+            match run_plan(engine, executor, sink, &plan) {
                 Ok(executed) => {
                     // A degenerate plan has exactly one source; reconstruct
                     // the legacy single-target response shape from it, so
@@ -573,7 +1015,10 @@ pub fn route(
                         total_elements: executed.total_elements,
                         freshness,
                     };
-                    Response::json(200, render_response_json(&response))
+                    let render_start = sink.now_nanos();
+                    let body = render_response_json(&response);
+                    sink.child(ROOT_SPAN_ID, Stage::Render, SpanTag::Untagged, render_start);
+                    Response::json(200, body)
                         .with_header(VERSION_HEADER, version.to_string())
                         .with_header(FRESHNESS_HEADER, freshness.as_str())
                 }
@@ -582,6 +1027,57 @@ pub fn route(
         }
         _ => Response::error(404, "no such route"),
     }
+}
+
+/// `GET /v1/_debug/trace?id=HEX`: render the recorded span tree of one
+/// trace as indented text (partial if the ring wrapped).
+fn route_debug_trace(telemetry: &Telemetry, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response::error(405, "debug trace is GET-only");
+    }
+    let Some(raw) = request.query_param("id") else {
+        return Response::error(400, "missing query parameter id");
+    };
+    let Some(id) = TraceId::parse(raw) else {
+        return Response::error(400, "id must be 1-16 hex digits");
+    };
+    let spans = telemetry.recorder.trace(id);
+    if spans.is_empty() {
+        return Response::error(404, "no spans recorded for that trace");
+    }
+    Response::text(200, format!("trace {id}\n{}", render_span_tree(&spans)))
+}
+
+/// `GET /v1/_debug/slow?n=N`: the N slowest requests (default 10), slowest
+/// first, as JSON with each entry's trace id and plan provenance.
+fn route_debug_slow(telemetry: &Telemetry, request: &Request) -> Response {
+    if request.method != "GET" {
+        return Response::error(405, "debug slow is GET-only");
+    }
+    let n = match request.query_param("n") {
+        None => 10,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "n must be an unsigned integer"),
+        },
+    };
+    let mut out = String::from("{\"threshold_nanos\":");
+    out.push_str(&(telemetry.slow.threshold().as_nanos().min(u64::MAX as u128) as u64).to_string());
+    out.push_str(",\"entries\":[");
+    for (i, entry) in telemetry.slow.top(n).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"trace\":");
+        write_escaped(&mut out, &entry.trace.to_string());
+        out.push_str(",\"duration_nanos\":");
+        out.push_str(&entry.duration_nanos.to_string());
+        out.push_str(",\"detail\":");
+        write_escaped(&mut out, &entry.detail);
+        out.push('}');
+    }
+    out.push_str("]}");
+    Response::json(200, out)
 }
 
 /// `GET /v1/_sync/manifest`: the catalog's version vector as JSON, sorted —
@@ -722,11 +1218,13 @@ fn parse_point_request(
 fn route_query(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
+    sink: &TraceSink,
     request: &Request,
 ) -> Response {
     if request.method != "POST" {
         return Response::error(405, "query is POST-only");
     }
+    let compile_start = sink.now_nanos();
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return Response::error(400, "body must be UTF-8 JSON");
     };
@@ -737,15 +1235,26 @@ fn route_query(
     let Some(text) = parsed.get("plan").and_then(|v| v.as_str()) else {
         return Response::error(400, "body must be {\"plan\": \"fetch ... | ...\"}");
     };
+    // The plan text is the provenance the slow log wants: a slow entry
+    // names the pipeline, not just a path.
+    sink.annotate(format!("plan: {text}"));
     let plan = match QueryPlan::parse(text) {
         Ok(plan) => plan,
         Err(e) => return Response::error_coded(400, "invalid_plan", &e.to_string()),
     };
-    match run_plan(engine, executor, &plan) {
+    sink.child(
+        ROOT_SPAN_ID,
+        Stage::Compile,
+        SpanTag::Untagged,
+        compile_start,
+    );
+    match run_plan(engine, executor, sink, &plan) {
         Ok(executed) => {
             let sources = executed.sources.len().to_string();
-            Response::json(200, render_plan_response_json(&executed))
-                .with_header(SOURCES_HEADER, sources)
+            let render_start = sink.now_nanos();
+            let body = render_plan_response_json(&executed);
+            sink.child(ROOT_SPAN_ID, Stage::Render, SpanTag::Untagged, render_start);
+            Response::json(200, body).with_header(SOURCES_HEADER, sources)
         }
         Err(response) => *response,
     }
@@ -758,10 +1267,13 @@ fn route_query(
 fn run_plan(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
+    sink: &TraceSink,
     plan: &QueryPlan,
 ) -> Result<PlanResponse, Box<Response>> {
     let start = Instant::now();
-    let executed = executor.execute(plan).map_err(plan_error_response)?;
+    let executed = executor
+        .execute_traced(plan, sink, ROOT_SPAN_ID)
+        .map_err(plan_error_response)?;
     let elapsed = start.elapsed();
     engine.overall().record(elapsed);
     let mut previous: Option<&TenantId> = None;
@@ -895,101 +1407,4 @@ fn write_estimate(out: &mut String, est: &QuantileEstimate<u64>) {
     out.push_str(",\"max_rank_slack\":");
     out.push_str(&est.max_rank_slack.to_string());
     out.push('}');
-}
-
-/// Text exposition of per-tenant latency quantiles, per-plan-stage latency,
-/// catalog stats and replication/failover counters (Prometheus-style lines,
-/// integer nanoseconds).
-fn render_metrics(
-    engine: &Arc<QueryEngine>,
-    executor: &Arc<PlanExecutor>,
-    replication: Option<&Arc<ReplicationStats>>,
-) -> String {
-    let mut out = String::with_capacity(1024);
-    out.push_str("# TYPE opaq_request_latency_nanos gauge\n");
-    let mut render_histogram = |label: &str, snap: &opaq_metrics::LatencySnapshot| {
-        for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
-            out.push_str(&format!(
-                "opaq_request_latency_nanos{{tenant=\"{label}\",quantile=\"{q}\"}} {}\n",
-                value.as_nanos()
-            ));
-        }
-        out.push_str(&format!(
-            "opaq_request_count{{tenant=\"{label}\"}} {}\n",
-            snap.count
-        ));
-    };
-    for (tenant, snap) in engine.latency_report() {
-        render_histogram(tenant.as_str(), &snap);
-    }
-    render_histogram("_all", &engine.overall().snapshot());
-
-    out.push_str("# TYPE opaq_plan_stage_latency_nanos gauge\n");
-    for (stage, snap) in executor.stages().snapshot() {
-        for (q, value) in [("p50", snap.p50), ("p99", snap.p99), ("p999", snap.p999)] {
-            out.push_str(&format!(
-                "opaq_plan_stage_latency_nanos{{stage=\"{stage}\",quantile=\"{q}\"}} {}\n",
-                value.as_nanos()
-            ));
-        }
-        out.push_str(&format!(
-            "opaq_plan_stage_count{{stage=\"{stage}\"}} {}\n",
-            snap.count
-        ));
-    }
-
-    let stats = engine.catalog().stats();
-    for (name, value) in [
-        ("opaq_catalog_entries", stats.entries),
-        ("opaq_catalog_publishes", stats.publishes),
-        ("opaq_catalog_snapshots", stats.snapshots),
-        ("opaq_catalog_evictions", stats.evictions),
-        ("opaq_catalog_reloads", stats.reloads),
-        ("opaq_catalog_spill_failures", stats.spill_failures),
-        ("opaq_catalog_stale_snapshots", stats.stale_snapshots),
-        ("opaq_catalog_ttl_refreshes", stats.ttl_refreshes),
-        (
-            "opaq_catalog_resident_sample_points",
-            stats.resident_sample_points,
-        ),
-        ("opaq_catalog_recoveries", stats.recoveries),
-        ("opaq_manifest_records", stats.manifest_records),
-        (
-            "opaq_catalog_orphan_spills_removed",
-            stats.orphan_spills_removed,
-        ),
-        ("opaq_slo_breaches", engine.slo_breaches()),
-    ] {
-        out.push_str(&format!("{name} {value}\n"));
-    }
-
-    // Replication/failover gauges: always present (zeros for a standalone
-    // server) so dashboards and CI greps never have to branch on topology.
-    let (failovers, breaker_opens, deltas, faults, breaker_sum, per_peer) = replication
-        .map(|r| {
-            (
-                r.failovers(),
-                r.breaker_opens(),
-                r.sync_deltas_applied(),
-                r.chaos_faults_injected(),
-                r.breaker_state_sum(),
-                r.breaker_states(),
-            )
-        })
-        .unwrap_or((0, 0, 0, 0, 0, Vec::new()));
-    for (name, value) in [
-        ("opaq_failovers", failovers),
-        ("opaq_breaker_opens", breaker_opens),
-        ("opaq_sync_deltas_applied", deltas),
-        ("opaq_chaos_faults_injected", faults),
-        ("opaq_replica_breaker_state", breaker_sum),
-    ] {
-        out.push_str(&format!("{name} {value}\n"));
-    }
-    for (peer, gauge) in per_peer {
-        out.push_str(&format!(
-            "opaq_replica_breaker_state{{peer=\"{peer}\"}} {gauge}\n"
-        ));
-    }
-    out
 }

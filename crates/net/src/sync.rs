@@ -27,6 +27,7 @@ use crate::replica::ReplicationStats;
 use crate::server::VERSION_HEADER;
 use crate::{NetError, NetResult};
 use opaq_core::QuantileSketch;
+use opaq_metrics::trace::{SpanRecorder, SpanTag, Stage, TraceId, TraceSink};
 use opaq_serve::{DatasetId, ServeError, SketchCatalog, TenantId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -139,10 +140,38 @@ pub fn fetch_sketch(
 /// version.  Returns how many entries were applied.  Serves both cold
 /// bootstrap and steady-state delta catch-up.
 ///
+/// Each pass mints a fresh trace id, stamps it on every request to the
+/// peer (so the peer's `Request` spans land on the same trace), and —
+/// when `recorder` is given — records a local `Sync` root span covering
+/// the whole pass, tagged `Error` on failure.
+///
 /// # Errors
 /// Transport/protocol failures; a concurrently-advanced local entry
 /// ([`ServeError::StaleVersion`]) is skipped, not an error.
 pub fn sync_once(
+    catalog: &SketchCatalog,
+    client: &mut HttpClient,
+    stats: Option<&Arc<ReplicationStats>>,
+    recorder: Option<&Arc<SpanRecorder>>,
+) -> NetResult<u64> {
+    let trace = TraceId::mint();
+    client.set_trace_id(Some(trace));
+    let sink = recorder.map(|r| TraceSink::new(Arc::clone(r), trace));
+    let outcome = sync_pass(catalog, client, stats);
+    if let Some(sink) = sink {
+        let tag = if outcome.is_ok() {
+            SpanTag::Untagged
+        } else {
+            SpanTag::Error
+        };
+        sink.finish_root(Stage::Sync, tag);
+    }
+    outcome
+}
+
+/// The body of one reconciliation pass, factored out so [`sync_once`] can
+/// wrap it in a `Sync` span regardless of how it exits.
+fn sync_pass(
     catalog: &SketchCatalog,
     client: &mut HttpClient,
     stats: Option<&Arc<ReplicationStats>>,
@@ -197,9 +226,10 @@ pub fn bootstrap(
     catalog: &SketchCatalog,
     peer: &str,
     stats: Option<&Arc<ReplicationStats>>,
+    recorder: Option<&Arc<SpanRecorder>>,
 ) -> NetResult<u64> {
     let mut client = HttpClient::new(peer).with_read_timeout(Duration::from_secs(10));
-    sync_once(catalog, &mut client, stats)
+    sync_once(catalog, &mut client, stats, recorder)
 }
 
 /// Background delta-polling thread: a [`sync_once`] against the peer every
@@ -217,12 +247,16 @@ impl std::fmt::Debug for Replicator {
 }
 
 impl Replicator {
-    /// Start polling `peer` for catalog deltas every `poll`.
+    /// Start polling `peer` for catalog deltas every `poll`.  When
+    /// `recorder` is given, every pass records a `Sync` root span under a
+    /// freshly-minted trace that is also stamped on the requests to the
+    /// peer.
     pub fn start(
         catalog: Arc<SketchCatalog>,
         peer: impl Into<String>,
         poll: Duration,
         stats: Option<Arc<ReplicationStats>>,
+        recorder: Option<Arc<SpanRecorder>>,
     ) -> Self {
         let peer = peer.into();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -240,7 +274,12 @@ impl Replicator {
                     let mut backoff =
                         Backoff::new(Duration::from_millis(50), Duration::from_secs(5), seed);
                     while !shutdown.load(Ordering::Acquire) {
-                        let wait = match sync_once(&catalog, &mut client, stats.as_ref()) {
+                        let wait = match sync_once(
+                            &catalog,
+                            &mut client,
+                            stats.as_ref(),
+                            recorder.as_ref(),
+                        ) {
                             Ok(_) => {
                                 backoff.reset();
                                 poll

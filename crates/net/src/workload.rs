@@ -32,12 +32,13 @@ use crate::client::HttpClient;
 use crate::json::{write_escaped, Json};
 use crate::server::{
     render_plan_response_json, render_response_json, HttpServer, ServerConfig, ServerStats,
-    FRESHNESS_HEADER, SOURCES_HEADER, VERSION_HEADER,
+    FRESHNESS_HEADER, SOURCES_HEADER, TRACE_HEADER, VERSION_HEADER,
 };
 use crate::{NetError, NetResult};
 use opaq_core::{IncrementalOpaq, OpaqConfig, QuantileSketch};
+use opaq_metrics::trace::format_nanos;
 use opaq_metrics::{
-    render_latency_table, LatencyHistogram, LatencySnapshot, SloOutcome, SloThresholds,
+    render_latency_table, LatencyHistogram, LatencySnapshot, SloOutcome, SloThresholds, TraceId,
 };
 use opaq_query::{merge_tree, PlanResponse, PlanSource};
 use opaq_serve::{
@@ -141,6 +142,10 @@ pub struct HttpLoadReport {
     pub connect_errors: u64,
     /// Requests that died to a read/connect deadline, across all clients.
     pub timeouts: u64,
+    /// Responses missing `x-opaq-trace-id`, or echoing a different id than
+    /// the one the client stamped on the request (must be 0 — *every*
+    /// response, including sheds and errors, carries the trace header).
+    pub trace_violations: u64,
     /// Transparent reconnect-and-retry attempts across all clients (benign
     /// keep-alive rollovers included).
     pub retries: u64,
@@ -156,6 +161,9 @@ pub struct HttpLoadReport {
     pub target_qps: Option<f64>,
     /// Verdicts for the declared objectives (empty when none declared).
     pub slo: SloOutcome,
+    /// The server's slowest requests (trace id, duration, provenance),
+    /// pre-rendered from its slow log; empty when nothing was recorded.
+    pub slow_log: String,
 }
 
 impl HttpLoadReport {
@@ -206,13 +214,14 @@ impl HttpLoadReport {
             self.throughput()
         ));
         out.push_str(&format!(
-            "connect errors {} | timeouts {} | retries {}\n",
-            self.connect_errors, self.timeouts, self.retries
+            "connect errors {} | timeouts {} | retries {} | trace violations {}\n",
+            self.connect_errors, self.timeouts, self.retries, self.trace_violations
         ));
         if let Some(qps) = self.target_qps {
             out.push_str(&format!("target qps (open loop): {qps:.0}\n"));
         }
         out.push_str(&self.slo.render("slo verdicts"));
+        out.push_str(&self.slow_log);
         out
     }
 }
@@ -311,6 +320,17 @@ pub(crate) fn verify(
         Verdict::Verified { version, freshness }
     } else {
         Verdict::Torn
+    }
+}
+
+/// `true` iff the response carries a well-formed `x-opaq-trace-id` — and,
+/// when the client stamped one on the request, the server echoed that exact
+/// id back rather than minting its own.
+pub(crate) fn trace_ok(response: &crate::client::ClientResponse, sent: Option<TraceId>) -> bool {
+    match (response.header(TRACE_HEADER).and_then(TraceId::parse), sent) {
+        (Some(echoed), Some(stamped)) => echoed == stamped,
+        (Some(_), None) => true,
+        (None, _) => false,
     }
 }
 
@@ -599,6 +619,7 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     let connect_errors = AtomicU64::new(0);
     let timeouts = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
+    let trace_violations = AtomicU64::new(0);
     let latency = LatencyHistogram::new();
     let client_phase_nanos = AtomicU64::new(0);
     let start = Instant::now();
@@ -642,6 +663,7 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                 (&probe_torn, &probe_polls, &probe_errors, &probe_shed);
             let (non_fresh, ttl_bumps, stop_watcher) = (&non_fresh, &ttl_bumps, &stop_watcher);
             let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
+            let trace_violations = &trace_violations;
             scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let request = QueryRequest::Quantile { phi: 0.5 };
@@ -651,6 +673,11 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                 let mut body = || -> NetResult<()> {
                     while !stop_watcher.load(Ordering::Acquire) {
                         let response = client.get(&target)?;
+                        // The watcher never stamps a trace, so this checks
+                        // the server's front-door minting path.
+                        if !trace_ok(&response, None) {
+                            trace_violations.fetch_add(1, Ordering::Relaxed);
+                        }
                         match verify(&ttl_tenant, &request, &response, &registry) {
                             Verdict::Verified { version, freshness } => {
                                 // Probe traffic is verified like everything else
@@ -721,6 +748,7 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
             );
             let latency = &latency;
             let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
+            let trace_violations = &trace_violations;
             clients.push(scope.spawn(move || -> NetResult<()> {
                 let mut client = HttpClient::new(addr);
                 let mut rng = spec
@@ -744,6 +772,11 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                             }
                             None => Instant::now(),
                         };
+                        // Every op stamps a fresh trace id; the server must
+                        // echo it back on the response — the propagation
+                        // contract failover hops and sync pulls rely on.
+                        let stamped = TraceId::mint();
+                        client.set_trace_id(Some(stamped));
                         // Every fifth op is a coalescing pipeline over all main
                         // tenants; the rest are single-target requests.
                         if op_idx % 5 == 4 {
@@ -754,6 +787,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                             let response = client.post_json("/v1/query", &body)?;
                             latency.record(sent.elapsed());
                             plan_ops.fetch_add(1, Ordering::Relaxed);
+                            if !trace_ok(&response, Some(stamped)) {
+                                trace_violations.fetch_add(1, Ordering::Relaxed);
+                            }
                             match verify_plan(&request, &response, &registry, expected_sources) {
                                 PlanVerdict::Verified => {
                                     plan_verified.fetch_add(1, Ordering::Relaxed);
@@ -779,6 +815,9 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
                             None => client.get(&target)?,
                         };
                         latency.record(sent.elapsed());
+                        if !trace_ok(&response, Some(stamped)) {
+                            trace_violations.fetch_add(1, Ordering::Relaxed);
+                        }
                         match verify(tenant.as_str(), &request, &response, &registry) {
                             Verdict::Verified { .. } => {
                                 verified.fetch_add(1, Ordering::Relaxed);
@@ -862,6 +901,20 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
     // after the drain so in-flight requests are counted.
     server.shutdown();
     let server_stats = server.stats();
+    let slow_log = server
+        .telemetry()
+        .slow()
+        .top(3)
+        .into_iter()
+        .map(|e| {
+            format!(
+                "slow: trace {} {} — {}\n",
+                e.trace,
+                format_nanos(e.duration_nanos),
+                e.detail
+            )
+        })
+        .collect::<String>();
     pool.shutdown();
 
     // Client ops only: the probe's verified polls live in `probe_polls` and
@@ -893,12 +946,14 @@ pub fn run_http_workload(http_spec: &HttpWorkloadSpec) -> NetResult<HttpLoadRepo
         connect_errors: connect_errors.load(Ordering::Relaxed),
         timeouts: timeouts.load(Ordering::Relaxed),
         retries: retries.load(Ordering::Relaxed),
+        trace_violations: trace_violations.load(Ordering::Relaxed),
         wall,
         latency: latency.snapshot(),
         catalog: catalog.stats(),
         server: server_stats,
         target_qps: http_spec.target_qps,
         slo: SloOutcome::default(),
+        slow_log,
     };
     report.slo = http_spec
         .slo

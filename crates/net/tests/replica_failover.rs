@@ -48,7 +48,7 @@ fn primary_with(tenants: &[(&str, &str, u64)]) -> (Arc<SketchCatalog>, HttpServe
 /// Stand a secondary up from a peer bootstrap; returns (catalog, server, addr).
 fn secondary_from(peer: &str) -> (Arc<SketchCatalog>, HttpServer, String) {
     let catalog = Arc::new(SketchCatalog::unbounded());
-    bootstrap(&catalog, peer, None).unwrap();
+    bootstrap(&catalog, peer, None, None).unwrap();
     let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
     let server = HttpServer::start(engine, ServerConfig::default()).unwrap();
     let addr = server.local_addr().to_string();
@@ -111,7 +111,7 @@ fn sync_applies_deltas_at_the_peers_exact_version_and_skips_known_entries() {
 
     // Cold bootstrap applies the one entry at version 1.
     assert_eq!(
-        sync_once(&replica_catalog, &mut client, Some(&stats)).unwrap(),
+        sync_once(&replica_catalog, &mut client, Some(&stats), None).unwrap(),
         1
     );
     assert_eq!(stats.sync_deltas_applied(), 1);
@@ -124,7 +124,7 @@ fn sync_applies_deltas_at_the_peers_exact_version_and_skips_known_entries() {
 
     // Nothing new: the pass is a no-op.
     assert_eq!(
-        sync_once(&replica_catalog, &mut client, Some(&stats)).unwrap(),
+        sync_once(&replica_catalog, &mut client, Some(&stats), None).unwrap(),
         0
     );
 
@@ -137,7 +137,7 @@ fn sync_applies_deltas_at_the_peers_exact_version_and_skips_known_entries() {
         .publish(&tenant, &dataset, sketch_of(11, 7_000))
         .unwrap();
     assert_eq!(
-        sync_once(&replica_catalog, &mut client, Some(&stats)).unwrap(),
+        sync_once(&replica_catalog, &mut client, Some(&stats), None).unwrap(),
         1
     );
     assert_eq!(
@@ -153,11 +153,12 @@ fn sync_applies_deltas_at_the_peers_exact_version_and_skips_known_entries() {
 fn replicator_polls_deltas_in_the_background() {
     let (catalog, mut primary, primary_addr) = primary_with(&[("acme", "events", 5_000)]);
     let replica_catalog = Arc::new(SketchCatalog::unbounded());
-    bootstrap(&replica_catalog, &primary_addr, None).unwrap();
+    bootstrap(&replica_catalog, &primary_addr, None, None).unwrap();
     let mut replicator = Replicator::start(
         Arc::clone(&replica_catalog),
         primary_addr,
         Duration::from_millis(10),
+        None,
         None,
     );
 

@@ -1,0 +1,203 @@
+//! Trace-id propagation over real sockets: every response carries
+//! `x-opaq-trace-id`, a valid incoming id is echoed (not re-minted), the id
+//! survives replica failover retries and degraded last-good replay, and the
+//! serving replica's `/v1/_debug/trace` turns the id back into a span tree.
+
+use opaq_core::{IncrementalOpaq, OpaqConfig};
+use opaq_metrics::TraceId;
+use opaq_net::{
+    bootstrap, BreakerConfig, HttpClient, HttpServer, ReplicaSet, ServerConfig, TRACE_HEADER,
+};
+use opaq_serve::{DatasetId, QueryEngine, SketchCatalog, TenantId};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sketch_of(seed: u64, n: u64) -> opaq_core::QuantileSketch<u64> {
+    let config = OpaqConfig::builder()
+        .run_length(1000)
+        .sample_size(100)
+        .build()
+        .unwrap();
+    let mut inc = IncrementalOpaq::new(config).unwrap();
+    inc.add_run(
+        (0..n)
+            .map(|i| i.wrapping_mul(seed | 1) % (1 << 20))
+            .collect(),
+    )
+    .unwrap();
+    inc.into_sketch().unwrap()
+}
+
+fn primary_with(tenants: &[(&str, &str, u64)]) -> (Arc<SketchCatalog>, HttpServer, String) {
+    let catalog = Arc::new(SketchCatalog::unbounded());
+    for (i, (tenant, dataset, n)) in tenants.iter().enumerate() {
+        catalog
+            .publish(
+                &TenantId::new(*tenant),
+                &DatasetId::new(*dataset),
+                sketch_of(i as u64 + 3, *n),
+            )
+            .unwrap();
+    }
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&catalog)));
+    let server = HttpServer::start(engine, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    (catalog, server, addr)
+}
+
+fn fast_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 4,
+        min_samples: 1,
+        failure_threshold: 0.5,
+        cooldown: Duration::from_millis(50),
+    }
+}
+
+#[test]
+fn server_echoes_a_valid_incoming_trace_id_and_mints_otherwise() {
+    let (_catalog, mut server, addr) = primary_with(&[("acme", "events", 4_000)]);
+    let mut client = HttpClient::new(addr);
+
+    // No stamp: the front door mints one — present and well-formed.
+    let response = client.get("/v1/acme/events/quantile?phi=0.5").unwrap();
+    assert_eq!(response.status, 200);
+    let minted = response
+        .header(TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .expect("every response carries a parseable trace id");
+
+    // Stamp a fresh id: the response echoes it, byte for byte.
+    let stamped = TraceId::mint();
+    assert_ne!(stamped, minted);
+    client.set_trace_id(Some(stamped));
+    let response = client.get("/v1/acme/events/quantile?phi=0.5").unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header(TRACE_HEADER), Some(&*stamped.to_string()));
+
+    // Errors carry the id too: a 404 and a parse-level 400 both echo it.
+    let response = client.get("/v1/ghost/events/quantile?phi=0.5").unwrap();
+    assert_eq!(response.status, 404);
+    assert_eq!(response.header(TRACE_HEADER), Some(&*stamped.to_string()));
+    let response = client.get("/v1/acme/events/quantile?phi=nope").unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.header(TRACE_HEADER), Some(&*stamped.to_string()));
+
+    // A malformed incoming id is never echoed back verbatim.
+    client.set_trace_id(None);
+    let response = client.get("/healthz").unwrap();
+    assert!(response
+        .header(TRACE_HEADER)
+        .and_then(TraceId::parse)
+        .is_some());
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_trace_renders_the_chain_for_a_stamped_id() {
+    let (_catalog, mut server, addr) = primary_with(&[("acme", "events", 4_000)]);
+    let mut client = HttpClient::new(addr);
+
+    let stamped = TraceId::mint();
+    client.set_trace_id(Some(stamped));
+    let response = client.get("/v1/acme/events/quantile?phi=0.5").unwrap();
+    assert_eq!(response.status, 200);
+
+    let debug = client
+        .get(&format!("/v1/_debug/trace?id={stamped}"))
+        .unwrap();
+    assert_eq!(debug.status, 200);
+    let tree = debug.body_str().unwrap();
+    for stage in [
+        "request", "parse", "compile", "fetch", "snapshot", "extract", "render",
+    ] {
+        assert!(tree.contains(stage), "span tree missing {stage}:\n{tree}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn failover_retries_keep_the_same_trace_id() {
+    let fleet = [("acme", "events", 4_000u64)];
+    let (_catalog, mut primary, primary_addr) = primary_with(&fleet);
+    let secondary_catalog = Arc::new(SketchCatalog::unbounded());
+    bootstrap(&secondary_catalog, &primary_addr, None, None).unwrap();
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&secondary_catalog)));
+    let mut secondary = HttpServer::start(engine, ServerConfig::default()).unwrap();
+    let secondary_addr = secondary.local_addr().to_string();
+
+    let mut set = ReplicaSet::new(
+        &[primary_addr, secondary_addr],
+        fast_breaker(),
+        Duration::from_millis(500),
+        Duration::from_millis(200),
+    )
+    .unwrap()
+    .with_retry_passes(3);
+
+    let trace = TraceId::mint();
+    set.set_trace_id(Some(trace));
+    let target = "/v1/acme/events/quantile?phi=0.5";
+
+    // Served by the preferred (primary) replica, echoing the stamped id.
+    let first = set.get(target).unwrap();
+    assert!(!first.degraded);
+    assert_eq!(
+        first.response.header(TRACE_HEADER),
+        Some(&*trace.to_string())
+    );
+
+    // Kill the preferred replica: the retry lands on the secondary, and the
+    // answer still carries the *same* trace — one trace across the hop.
+    primary.shutdown();
+    let failed_over = set.get(target).unwrap();
+    assert!(!failed_over.degraded);
+    assert_eq!(
+        failed_over.response.header(TRACE_HEADER),
+        Some(&*trace.to_string()),
+        "failover hop lost the trace id"
+    );
+
+    secondary.shutdown();
+}
+
+#[test]
+fn degraded_replay_is_restamped_with_the_current_trace_id() {
+    let (_catalog, mut primary, primary_addr) = primary_with(&[("acme", "events", 4_000)]);
+    let mut set = ReplicaSet::new(
+        &[primary_addr],
+        fast_breaker(),
+        Duration::from_millis(500),
+        Duration::from_millis(200),
+    )
+    .unwrap()
+    .with_retry_passes(1);
+
+    let target = "/v1/acme/events/quantile?phi=0.5";
+    let old_trace = TraceId::mint();
+    set.set_trace_id(Some(old_trace));
+    let live = set.get(target).unwrap();
+    assert!(!live.degraded);
+    assert_eq!(
+        live.response.header(TRACE_HEADER),
+        Some(&*old_trace.to_string())
+    );
+
+    // Total outage: the cached answer replays, but stamped with the *new*
+    // request's trace id — not the one it was recorded under.
+    primary.shutdown();
+    let new_trace = TraceId::mint();
+    assert_ne!(new_trace, old_trace);
+    set.set_trace_id(Some(new_trace));
+    let degraded = set.get(target).unwrap();
+    assert!(degraded.degraded);
+    assert_eq!(degraded.response.status, 200);
+    assert_eq!(
+        degraded.response.header(TRACE_HEADER),
+        Some(&*new_trace.to_string()),
+        "degraded replay must carry the current trace id"
+    );
+    assert_eq!(live.response.body, degraded.response.body);
+}

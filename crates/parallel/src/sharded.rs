@@ -50,6 +50,7 @@
 
 use crossbeam::channel;
 use opaq_core::{IncrementalOpaq, Key, OpaqConfig, OpaqError, OpaqResult, QuantileSketch};
+use opaq_metrics::trace::{SpanTag, Stage, TraceSink};
 use opaq_metrics::{render_shard_table, ShardStats};
 use opaq_storage::{BufferPool, IoStatsSnapshot, RunStore, DEFAULT_PREFETCH_DEPTH};
 use std::time::{Duration, Instant};
@@ -165,6 +166,37 @@ impl ShardedOpaq {
         K: Key,
         S: RunStore<K>,
     {
+        self.build_inner(store, None)
+    }
+
+    /// Like [`Self::build_sketch_with_report`], additionally recording
+    /// ingest-side trace spans into `sink`: one [`Stage::Ingest`] span per
+    /// shard worker (covering the worker's whole lifetime, so starvation is
+    /// visible as span length vs. busy time in the report) and one
+    /// [`Stage::Merge`] span for the final merge tree, all parented under
+    /// `parent` (typically the refresh job's root span).
+    pub fn build_sketch_traced<K, S>(
+        &self,
+        store: &S,
+        sink: &TraceSink,
+        parent: u32,
+    ) -> OpaqResult<(QuantileSketch<K>, ShardedIngestReport)>
+    where
+        K: Key,
+        S: RunStore<K>,
+    {
+        self.build_inner(store, Some((sink, parent)))
+    }
+
+    fn build_inner<K, S>(
+        &self,
+        store: &S,
+        trace: Option<(&TraceSink, u32)>,
+    ) -> OpaqResult<(QuantileSketch<K>, ShardedIngestReport)>
+    where
+        K: Key,
+        S: RunStore<K>,
+    {
         if store.is_empty() {
             return Err(OpaqError::EmptyDataset);
         }
@@ -197,10 +229,19 @@ impl ShardedOpaq {
                     let config = self.config;
                     let pool = &pool;
                     scope.spawn(move |_| {
+                        // One Ingest span per shard worker, spanning its
+                        // whole lifetime (recv waits included).
+                        let span = trace.map(|(sink, _)| (sink.allocate(), sink.now_nanos()));
+                        let finish = |tag: SpanTag| {
+                            if let (Some((sink, parent)), Some((id, start))) = (trace, span) {
+                                sink.complete(id, parent, Stage::Ingest, tag, start);
+                            }
+                        };
                         let mut inc = match IncrementalOpaq::<K>::new(config) {
                             Ok(inc) => inc,
                             Err(e) => {
                                 let _ = result_tx.send((shard, Err(e)));
+                                finish(SpanTag::Error);
                                 return;
                             }
                         };
@@ -216,6 +257,7 @@ impl ShardedOpaq {
                             pool.put(run);
                             if let Err(e) = absorbed {
                                 let _ = result_tx.send((shard, Err(e)));
+                                finish(SpanTag::Error);
                                 return;
                             }
                             busy += work_start.elapsed();
@@ -229,6 +271,7 @@ impl ShardedOpaq {
                             starved,
                         };
                         let _ = result_tx.send((shard, Ok((inc.into_sketch(), stats))));
+                        finish(SpanTag::Untagged);
                     });
                 }
                 drop(result_tx);
@@ -279,6 +322,7 @@ impl ShardedOpaq {
                 // order-respecting tree yields the same sketch; pairing
                 // halves the depth compared to a left fold.
                 let merge_start = Instant::now();
+                let merge_span_start = trace.map(|(sink, _)| sink.now_nanos());
                 let mut level: Vec<QuantileSketch<K>> = sketches.into_iter().flatten().collect();
                 if level.is_empty() {
                     return Err(OpaqError::EmptyDataset);
@@ -296,6 +340,9 @@ impl ShardedOpaq {
                 }
                 let sketch = level.pop().expect("one sketch remains");
                 let merge = merge_start.elapsed();
+                if let (Some((sink, parent)), Some(start)) = (trace, merge_span_start) {
+                    sink.child(parent, Stage::Merge, SpanTag::Untagged, start);
+                }
                 let shard_stats = stats.into_iter().flatten().collect();
                 Ok((sketch, shard_stats, dispatch, merge))
             })
@@ -437,6 +484,26 @@ mod tests {
             "allocs: {}",
             report.io.buffer_allocs
         );
+    }
+
+    #[test]
+    fn traced_build_records_ingest_and_merge_spans() {
+        use opaq_metrics::trace::{SpanRecorder, TraceId, ROOT_SPAN_ID};
+        let store = MemRunStore::new((0u64..10_000).collect(), 1000);
+        let cfg = config(1000, 100);
+        let recorder = std::sync::Arc::new(SpanRecorder::new(64));
+        let sink = TraceSink::new(std::sync::Arc::clone(&recorder), TraceId::mint());
+        let (sketch, report) = ShardedOpaq::new(cfg, 4)
+            .unwrap()
+            .build_sketch_traced(&store, &sink, ROOT_SPAN_ID)
+            .unwrap();
+        assert_eq!(sketch, sequential(&store, cfg));
+        let spans = recorder.trace(sink.trace());
+        let ingest = spans.iter().filter(|s| s.stage == Stage::Ingest).count();
+        assert_eq!(ingest, report.shards.len(), "one ingest span per shard");
+        assert_eq!(spans.iter().filter(|s| s.stage == Stage::Merge).count(), 1);
+        assert!(spans.iter().all(|s| s.parent == ROOT_SPAN_ID));
+        assert!(spans.iter().all(|s| s.tag == SpanTag::Untagged));
     }
 
     #[test]

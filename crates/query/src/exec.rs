@@ -10,8 +10,11 @@
 use crate::plan::{QueryPlan, Selector};
 use crate::QueryError;
 use opaq_core::{OpaqError, QuantileSketch};
+use opaq_metrics::trace::{SpanTag, Stage, TraceSink};
 use opaq_metrics::{PlanStage, StageLatency};
-use opaq_serve::{execute_on, DatasetId, Freshness, QueryOutput, SketchCatalog, TenantId};
+use opaq_serve::{
+    execute_on, DatasetId, Freshness, QueryOutput, SketchCatalog, SnapshotOrigin, TenantId,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -115,8 +118,52 @@ impl PlanExecutor {
     /// * [`QueryError::Serve`] — snapshot reload, merge or estimation
     ///   failures.
     pub fn execute(&self, plan: &QueryPlan) -> Result<PlanResponse, QueryError> {
+        self.execute_inner(plan, None)
+    }
+
+    /// Execute one plan, recording spans on `sink` under `parent`: a
+    /// [`Stage::Fetch`] span with one [`Stage::Snapshot`] child per resolved
+    /// source (tagged from the snapshot's origin, or
+    /// [`SpanTag::RefreshTriggered`] when this fetch kicked off a TTL
+    /// refresh), a [`Stage::Merge`] span when more than one snapshot fuses,
+    /// and a [`Stage::Extract`] span.  Latency histograms record exactly as
+    /// in [`PlanExecutor::execute`].
+    ///
+    /// # Errors
+    /// Identical to [`PlanExecutor::execute`].
+    pub fn execute_traced(
+        &self,
+        plan: &QueryPlan,
+        sink: &TraceSink,
+        parent: u32,
+    ) -> Result<PlanResponse, QueryError> {
+        self.execute_inner(plan, Some((sink, parent)))
+    }
+
+    fn execute_inner(
+        &self,
+        plan: &QueryPlan,
+        trace: Option<(&TraceSink, u32)>,
+    ) -> Result<PlanResponse, QueryError> {
         let fetch_start = Instant::now();
+        let fetch_span = trace.map(|(sink, _)| (sink.allocate(), sink.now_nanos()));
         let snapshots = self.fetch(&plan.selector)?;
+        if let (Some((sink, parent)), Some((fetch_id, start))) = (trace, fetch_span) {
+            // One child per source, nested under the fetch span, tagged with
+            // how the catalog produced the snapshot.
+            for (_, _, snap) in &snapshots {
+                let tag = if snap.refresh_triggered {
+                    SpanTag::RefreshTriggered
+                } else {
+                    match snap.origin {
+                        SnapshotOrigin::Hit => SpanTag::Hit,
+                        SnapshotOrigin::ReloadFromSpill => SpanTag::ReloadFromSpill,
+                    }
+                };
+                sink.complete(sink.allocate(), fetch_id, Stage::Snapshot, tag, start);
+            }
+            sink.complete(fetch_id, parent, Stage::Fetch, SpanTag::Untagged, start);
+        }
         self.stages.record(PlanStage::Fetch, fetch_start.elapsed());
 
         if snapshots.len() > 1 && !plan.coalesce {
@@ -127,11 +174,15 @@ impl PlanExecutor {
 
         let fused = if snapshots.len() > 1 {
             let merge_start = Instant::now();
+            let merge_span = trace.map(|(sink, _)| sink.now_nanos());
             let sketches: Vec<_> = snapshots
                 .iter()
                 .map(|(_, _, snap)| Arc::clone(&snap.sketch))
                 .collect();
             let fused = merge_tree(&sketches).map_err(opaq_serve::ServeError::from)?;
+            if let (Some((sink, parent)), Some(start)) = (trace, merge_span) {
+                sink.child(parent, Stage::Merge, SpanTag::Untagged, start);
+            }
             self.stages.record(PlanStage::Merge, merge_start.elapsed());
             fused
         } else {
@@ -139,7 +190,11 @@ impl PlanExecutor {
         };
 
         let extract_start = Instant::now();
+        let extract_span = trace.map(|(sink, _)| sink.now_nanos());
         let output = execute_on(&fused, &plan.extract)?;
+        if let (Some((sink, parent)), Some(start)) = (trace, extract_span) {
+            sink.child(parent, Stage::Extract, SpanTag::Untagged, start);
+        }
         self.stages
             .record(PlanStage::Extract, extract_start.elapsed());
 
@@ -334,6 +389,37 @@ mod tests {
         let executor = PlanExecutor::new(catalog);
         let plan = QueryPlan::parse("fetch a/events | quantile 1.5").unwrap();
         assert!(matches!(executor.execute(&plan), Err(QueryError::Serve(_))));
+    }
+
+    #[test]
+    fn traced_plan_records_fetch_snapshot_merge_and_extract_spans() {
+        use opaq_metrics::trace::{SpanRecorder, TraceId, ROOT_SPAN_ID};
+
+        let catalog = catalog_with(&[("a", "events", 0..500), ("b", "events", 500..1000)]);
+        let executor = PlanExecutor::new(catalog);
+        let plan = QueryPlan::parse("fetch */events | coalesce | quantile 0.5").unwrap();
+        let recorder = Arc::new(SpanRecorder::new(64));
+        let sink = TraceSink::new(Arc::clone(&recorder), TraceId::mint());
+        executor.execute_traced(&plan, &sink, ROOT_SPAN_ID).unwrap();
+        sink.finish_root(Stage::Request, SpanTag::Untagged);
+
+        let spans = recorder.trace(sink.trace());
+        let of = |stage: Stage| {
+            spans
+                .iter()
+                .filter(|s| s.stage == stage)
+                .collect::<Vec<_>>()
+        };
+        let fetch = of(Stage::Fetch);
+        assert_eq!(fetch.len(), 1);
+        assert_eq!(fetch[0].parent, ROOT_SPAN_ID);
+        let snapshots = of(Stage::Snapshot);
+        assert_eq!(snapshots.len(), 2, "one snapshot child per source");
+        assert!(snapshots.iter().all(|s| s.parent == fetch[0].span_id));
+        assert!(snapshots.iter().all(|s| s.tag == SpanTag::Hit));
+        assert_eq!(of(Stage::Merge).len(), 1);
+        assert_eq!(of(Stage::Extract).len(), 1);
+        assert_eq!(of(Stage::Request).len(), 1, "root span present");
     }
 
     #[test]

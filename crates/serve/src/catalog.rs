@@ -156,6 +156,28 @@ impl fmt::Display for Freshness {
 /// [`Freshness::Stale`] and a later snapshot may re-try the hook.
 pub type RefreshHook = Box<dyn Fn(&TenantId, &DatasetId) -> bool + Send + Sync>;
 
+/// How a [`SketchSnapshot`] was served — the provenance a request trace
+/// records for each catalog access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotOrigin {
+    /// Served from the resident in-memory slot.
+    #[default]
+    Hit,
+    /// The entry had been evicted; this access reloaded it from its disk
+    /// spill (checksum-validated) on the query path.
+    ReloadFromSpill,
+}
+
+impl SnapshotOrigin {
+    /// Stable lower-case wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SnapshotOrigin::Hit => "hit",
+            SnapshotOrigin::ReloadFromSpill => "reload-from-spill",
+        }
+    }
+}
+
 /// One complete published version of an entry's sketch.  Cheap to clone
 /// (an `Arc` bump); queries run against the snapshot with no catalog locks.
 #[derive(Debug, Clone)]
@@ -166,6 +188,11 @@ pub struct SketchSnapshot {
     pub sketch: Arc<QuantileSketch<u64>>,
     /// Whether the version is within its TTL at the time of the snapshot.
     pub freshness: Freshness,
+    /// Whether the snapshot hit the resident slot or reloaded a spill.
+    pub origin: SnapshotOrigin,
+    /// Whether *this* access was the one that fired the TTL refresh hook
+    /// (at most one access per expiry wins that race).
+    pub refresh_triggered: bool,
 }
 
 /// One row of [`SketchCatalog::inventory`]: a published entry and its
@@ -651,29 +678,32 @@ impl SketchCatalog {
     /// Classify `entry`'s age and fire the refresh hook on the first expired
     /// snapshot.  Runs with no slot lock held: the fields involved are all
     /// atomics, and serving a (possibly just-superseded) tag is harmless.
+    /// The second return is whether *this* call fired the refresh hook —
+    /// provenance the snapshot carries so a request trace can show which
+    /// access paid for the refresh submission.
     fn classify_freshness(
         &self,
         entry: &Entry,
         tenant: &TenantId,
         dataset: &DatasetId,
-    ) -> Freshness {
+    ) -> (Freshness, bool) {
         let ttl = entry.ttl_nanos.load(Ordering::Relaxed);
         if ttl == NO_TTL {
-            return Freshness::Fresh;
+            return (Freshness::Fresh, false);
         }
         let age = self
             .now_nanos()
             .saturating_sub(entry.published_at_nanos.load(Ordering::Relaxed));
         if age <= ttl {
-            return Freshness::Fresh;
+            return (Freshness::Fresh, false);
         }
         self.stats.stale_snapshots.fetch_add(1, Ordering::Relaxed);
         if entry.refreshing.load(Ordering::Acquire) {
-            return Freshness::Refreshing;
+            return (Freshness::Refreshing, false);
         }
         let hook = self.refresh_hook.read();
         let Some(hook) = hook.as_ref() else {
-            return Freshness::Stale;
+            return (Freshness::Stale, false);
         };
         // Exactly one expired snapshot wins the CAS and routes the entry to
         // the refresh pipeline; the publish it eventually produces clears
@@ -688,11 +718,12 @@ impl SketchCatalog {
         {
             if !hook(tenant, dataset) {
                 entry.refreshing.store(false, Ordering::Release);
-                return Freshness::Stale;
+                return (Freshness::Stale, false);
             }
             self.stats.ttl_refreshes.fetch_add(1, Ordering::Relaxed);
+            return (Freshness::Refreshing, true);
         }
-        Freshness::Refreshing
+        (Freshness::Refreshing, false)
     }
 
     fn entry(&self, tenant: &TenantId, dataset: &DatasetId) -> Option<Arc<Entry>> {
@@ -917,7 +948,7 @@ impl SketchCatalog {
                 dataset: dataset.clone(),
             })?;
         self.touch(&entry);
-        let freshness = self.classify_freshness(&entry, tenant, dataset);
+        let (freshness, refresh_triggered) = self.classify_freshness(&entry, tenant, dataset);
 
         {
             let slot = entry.slot.read();
@@ -938,6 +969,8 @@ impl SketchCatalog {
                     version: *version,
                     sketch: Arc::clone(sketch),
                     freshness,
+                    origin: SnapshotOrigin::Hit,
+                    refresh_triggered,
                 });
             }
         }
@@ -953,6 +986,8 @@ impl SketchCatalog {
                     version: *version,
                     sketch: Arc::clone(sketch),
                     freshness,
+                    origin: SnapshotOrigin::Hit,
+                    refresh_triggered,
                 },
                 Slot::Spilled { version, path } => {
                     let sketch = Arc::new(QuantileSketch::from_wire(sketch_codec::load(path)?)?);
@@ -971,6 +1006,8 @@ impl SketchCatalog {
                         version: *version,
                         sketch: Arc::clone(&sketch),
                         freshness,
+                        origin: SnapshotOrigin::ReloadFromSpill,
+                        refresh_triggered,
                     };
                     self.resident_points
                         .fetch_add(sketch.len() as u64, Ordering::Relaxed);

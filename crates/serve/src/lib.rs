@@ -113,7 +113,8 @@ pub mod refresh;
 
 pub use catalog::{
     CatalogConfig, CatalogConfigBuilder, CatalogStats, DatasetId, Freshness, InventoryEntry,
-    RecoveryReport, RefreshHook, SketchCatalog, SketchSnapshot, TenantId, MANIFEST_FILE,
+    RecoveryReport, RefreshHook, SketchCatalog, SketchSnapshot, SnapshotOrigin, TenantId,
+    MANIFEST_FILE,
 };
 pub use load::{chunk_spec, next_rand, request_for, run_workload, LoadReport, WorkloadSpec};
 pub use query::{execute_on, QueryEngine, QueryOutput, QueryRequest, QueryResponse};

@@ -98,7 +98,7 @@ pub fn execute_on(
 pub struct QueryEngine {
     catalog: Arc<SketchCatalog>,
     tenants: RwLock<HashMap<TenantId, Arc<LatencyHistogram>>>,
-    overall: LatencyHistogram,
+    overall: Arc<LatencyHistogram>,
     /// Per-request SLO threshold in nanos (0 = none armed); requests slower
     /// than this bump [`Self::slo_breaches`].
     slo_threshold_nanos: AtomicU64,
@@ -111,7 +111,7 @@ impl QueryEngine {
         Self {
             catalog,
             tenants: RwLock::new(HashMap::new()),
-            overall: LatencyHistogram::new(),
+            overall: Arc::new(LatencyHistogram::new()),
             slo_threshold_nanos: AtomicU64::new(0),
             slo_breaches: AtomicU64::new(0),
         }
@@ -188,6 +188,12 @@ impl QueryEngine {
     /// The fleet-wide latency histogram.
     pub fn overall(&self) -> &LatencyHistogram {
         &self.overall
+    }
+
+    /// A shared handle to the fleet-wide histogram, so a metric registry
+    /// can render cumulative Prometheus buckets from the same instance.
+    pub fn overall_shared(&self) -> Arc<LatencyHistogram> {
+        Arc::clone(&self.overall)
     }
 
     /// Per-tenant latency snapshots, sorted by tenant for deterministic

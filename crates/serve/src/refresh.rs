@@ -14,6 +14,7 @@ use crate::catalog::{DatasetId, SketchCatalog, TenantId};
 use crate::{ServeError, ServeResult};
 use crossbeam::channel;
 use opaq_core::{OpaqConfig, QuantileSketch};
+use opaq_metrics::trace::{SpanRecorder, SpanTag, Stage, TraceId, TraceSink, ROOT_SPAN_ID};
 use opaq_parallel::ShardedOpaq;
 use opaq_storage::RunStore;
 use parking_lot::Mutex;
@@ -21,7 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-type Builder = Box<dyn FnOnce() -> ServeResult<QuantileSketch<u64>> + Send>;
+/// A job's sketch builder; handed the worker's trace sink (when the pool
+/// has a span recorder attached) so traced builds — e.g. the sharded
+/// ingest — can record child spans under the job's `refresh` root.
+type Builder = Box<dyn FnOnce(Option<&TraceSink>) -> ServeResult<QuantileSketch<u64>> + Send>;
 
 struct Job {
     tenant: TenantId,
@@ -58,6 +62,9 @@ pub struct RefreshPool {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     progress: Arc<Progress>,
     failures: Arc<Mutex<Vec<(TenantId, DatasetId, ServeError)>>>,
+    /// Span recorder for ingest-side traces; shared with the workers, set
+    /// (at any time) via [`RefreshPool::set_recorder`].
+    recorder: Arc<Mutex<Option<Arc<SpanRecorder>>>>,
 }
 
 impl std::fmt::Debug for RefreshPool {
@@ -89,12 +96,14 @@ impl RefreshPool {
         let rx = Arc::new(Mutex::new(rx));
         let progress = Arc::new(Progress::default());
         let failures = Arc::new(Mutex::new(Vec::new()));
+        let recorder: Arc<Mutex<Option<Arc<SpanRecorder>>>> = Arc::new(Mutex::new(None));
         let workers = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let catalog = Arc::clone(&catalog);
                 let progress = Arc::clone(&progress);
                 let failures = Arc::clone(&failures);
+                let recorder = Arc::clone(&recorder);
                 std::thread::Builder::new()
                     .name(format!("opaq-serve-refresh-{i}"))
                     .spawn(move || loop {
@@ -105,11 +114,20 @@ impl RefreshPool {
                         let Ok(job) = job else {
                             return; // queue closed and drained
                         };
-                        let result = (job.build)()
+                        // Each job is its own trace, rooted at a `refresh`
+                        // span; the builder records children under it.
+                        let sink = recorder
+                            .lock()
+                            .clone()
+                            .map(|rec| TraceSink::new(rec, TraceId::mint()));
+                        let result = (job.build)(sink.as_ref())
                             .and_then(|sketch| catalog.publish(&job.tenant, &job.dataset, sketch));
                         match result {
                             Ok(_version) => {
                                 progress.published.fetch_add(1, Ordering::Release);
+                                if let Some(sink) = &sink {
+                                    sink.finish_root(Stage::Refresh, SpanTag::Untagged);
+                                }
                             }
                             Err(e) => {
                                 // A TTL-triggered refresh that dies must not
@@ -118,6 +136,9 @@ impl RefreshPool {
                                 catalog.refresh_aborted(&job.tenant, &job.dataset);
                                 failures.lock().push((job.tenant, job.dataset, e));
                                 progress.failed.fetch_add(1, Ordering::Release);
+                                if let Some(sink) = &sink {
+                                    sink.finish_root(Stage::Refresh, SpanTag::Error);
+                                }
                             }
                         }
                     })
@@ -130,7 +151,15 @@ impl RefreshPool {
             workers: Mutex::new(workers),
             progress,
             failures,
+            recorder,
         })
+    }
+
+    /// Attach the span recorder ingest traces are written to (typically the
+    /// server's shared recorder).  Takes effect for jobs dequeued after the
+    /// call; jobs run without a recorder are simply untraced.
+    pub fn set_recorder(&self, recorder: Arc<SpanRecorder>) {
+        *self.recorder.lock() = Some(recorder);
     }
 
     /// The catalog the pool publishes into.
@@ -149,6 +178,18 @@ impl RefreshPool {
         dataset: &DatasetId,
         build: impl FnOnce() -> ServeResult<QuantileSketch<u64>> + Send + 'static,
     ) -> ServeResult<()> {
+        self.submit_inner(tenant, dataset, Box::new(move |_sink| build()))
+    }
+
+    /// Queue a builder that receives the worker's trace sink (when a
+    /// recorder is attached), so the build can record child spans under the
+    /// job's `refresh` root span.
+    fn submit_inner(
+        &self,
+        tenant: &TenantId,
+        dataset: &DatasetId,
+        build: Builder,
+    ) -> ServeResult<()> {
         // Hold the sender lock across the send: either the whole submission
         // lands before a concurrent `shutdown` takes the sender (and the
         // drain-then-join discipline guarantees it completes), or it fails
@@ -160,7 +201,7 @@ impl RefreshPool {
         tx.send(Job {
             tenant: tenant.clone(),
             dataset: dataset.clone(),
-            build: Box::new(build),
+            build,
         })
         .map_err(|_| ServeError::RefreshClosed)?;
         // Count only after the send succeeded, so `submitted` is exactly
@@ -185,7 +226,16 @@ impl RefreshPool {
         S: RunStore<u64> + Send + Sync + 'static,
     {
         let sharded = ShardedOpaq::new(config, threads)?;
-        self.submit(tenant, dataset, move || Ok(sharded.build_sketch(&*store)?))
+        self.submit_inner(
+            tenant,
+            dataset,
+            Box::new(move |sink| match sink {
+                Some(sink) => Ok(sharded
+                    .build_sketch_traced(&*store, sink, ROOT_SPAN_ID)
+                    .map(|(sketch, _)| sketch)?),
+                None => Ok(sharded.build_sketch(&*store)?),
+            }),
+        )
     }
 
     /// Refreshes queued so far.
@@ -391,6 +441,38 @@ mod tests {
             Err(ServeError::RefreshClosed)
         ));
         pool.shutdown();
+    }
+
+    #[test]
+    fn traced_ingest_records_refresh_root_with_ingest_children() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        let pool = RefreshPool::new(Arc::clone(&catalog), 2).unwrap();
+        let recorder = Arc::new(SpanRecorder::new(64));
+        pool.set_recorder(Arc::clone(&recorder));
+        let (t, d) = ids();
+        let store = Arc::new(MemRunStore::new((0u64..10_000).collect(), 1000));
+        pool.submit_ingest(&t, &d, Arc::clone(&store), config(), 2)
+            .unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        let spans = recorder.spans();
+        let roots: Vec<_> = spans.iter().filter(|s| s.stage == Stage::Refresh).collect();
+        assert_eq!(roots.len(), 1, "one refresh root per job");
+        assert_eq!(roots[0].span_id, ROOT_SPAN_ID);
+        assert_eq!(roots[0].tag, SpanTag::Untagged);
+        let trace = roots[0].trace;
+        let ingests = spans
+            .iter()
+            .filter(|s| s.trace == trace && s.stage == Stage::Ingest)
+            .count();
+        assert!(ingests >= 1, "sharded build recorded ingest spans");
+        // A failing job roots an error-tagged refresh span.
+        pool.submit(&t, &d, || Err(ServeError::Opaq(OpaqError::EmptyDataset)))
+            .unwrap();
+        assert!(pool.wait_idle(Duration::from_secs(10)));
+        assert!(recorder
+            .spans()
+            .iter()
+            .any(|s| s.stage == Stage::Refresh && s.tag == SpanTag::Error));
     }
 
     #[test]
