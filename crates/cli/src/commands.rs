@@ -11,8 +11,9 @@ use opaq_metrics::trace::{format_nanos, Stage};
 use opaq_metrics::{SloThresholds, TextTable};
 use opaq_net::json::write_escaped;
 use opaq_net::{
-    bootstrap, ChaosConfig, HttpClient, HttpServer, HttpWorkloadSpec, Json, ReplicaWorkloadSpec,
-    ReplicationStats, Replicator, ServerConfig, Telemetry,
+    bootstrap, ChaosConfig, HashRing, HttpClient, HttpServer, HttpWorkloadSpec, Json,
+    ReplicaWorkloadSpec, ReplicationStats, Replicator, RingConfig, RingMembership,
+    RoutedWorkloadSpec, ServerConfig, Telemetry,
 };
 use opaq_parallel::ShardedOpaq;
 use opaq_query::QueryPlan;
@@ -61,6 +62,7 @@ COMMANDS:
              [--run-length M] [--sample-size S] [--refreshes R] [--budget B]
              [--seed S] [--ttl-ms T] [--quick] [--http] [--qps Q]
              [--slo-p99-ms M] [--bench-out FILE] [--replicas N] [--chaos]
+             [--groups G] [--vnodes V]
              replay a mixed read/refresh workload against the multi-tenant
              serving catalog: N client threads issue K typed queries each
              across M tenants while refreshes publish new sketch versions
@@ -85,12 +87,23 @@ COMMANDS:
              over the wire — and drives circuit-breaker failover clients
              across it.  --chaos additionally fronts every replica with a
              fault-injecting proxy and kills + restarts one replica
-             mid-run; any torn or mis-versioned answer fails the command
+             mid-run; any torn or mis-versioned answer fails the command.
+             --groups G (with --http, G >= 2) partitions the fleet: a
+             consistent-hash ring (--vnodes V points per group, default
+             128) splits the tenants across G replica groups of --replicas
+             M each, clients route by ring ownership, every 7th op is
+             deliberately misrouted to exercise the typed wrong_owner →
+             one-hop re-route arc, and glob coalesce plans scatter across
+             the groups and must match the unpartitioned-catalog oracle
+             byte-for-byte; the summary reports per-group tenant/op
+             balance.  Routed mode composes with --chaos, --qps and
+             --slo-p99-ms; any torn, mis-owned or trace-violating answer
+             fails the command
   serve      --addr HOST:PORT [--tenants M] [--keys-per-tenant D]
              [--run-length M] [--sample-size S] [--ttl-ms T]
              [--refresh-threads R] [--workers W] [--seed S]
              [--data-dir DIR] [--slo-p99-ms M] [--peer ADDR]
-             [--peer-poll-ms P]
+             [--peer-poll-ms P] [--ring FILE --group NAME]
              run the HTTP front-end over M synthetic tenants
              (tenant-0..M-1, dataset 'events').  Endpoints:
                GET  /v1/{tenant}/{dataset}/quantile?phi=0.5
@@ -110,6 +123,14 @@ COMMANDS:
              under DIR, and a restart over the same DIR rebuilds the exact
              catalog (entries, versions, TTLs) instead of re-seeding.
              --slo-p99-ms M arms the server-side opaq_slo_breaches counter.
+             --ring FILE --group NAME joins a partitioned fleet: FILE is
+             the shared ring config ({\"vnodes\":128,\"groups\":[{\"name\":...,
+             \"addrs\":[...]},...]}), NAME picks this server's group.  Ingest
+             and TTL refresh are scoped to the tenants the group owns,
+             every response carries x-opaq-owner, a single-tenant request
+             for a peer's tenant is refused with the typed wrong_owner
+             error (naming the owner and its addrs), and glob /v1/query
+             plans scatter to the peer groups and fuse deterministically.
              --peer ADDR replicates instead of seeding: the catalog is
              bootstrapped from the peer's /v1/_sync endpoints before the
              server binds, then a background replicator polls for deltas
@@ -618,6 +639,8 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
             "slo-p99-ms",
             "bench-out",
             "replicas",
+            "groups",
+            "vnodes",
         ],
         &["quick", "http", "chaos"],
     )?;
@@ -663,6 +686,27 @@ pub fn serve_bench(args: &Args) -> CliResult<String> {
         seed: args.u64_or("seed", base.seed)?,
         target_qps,
     };
+    let groups = args.u64_or("groups", 1)? as usize;
+    if groups > 1 {
+        // Routed-fleet mode: a consistent-hash ring partitions the tenants
+        // across `groups` replica groups; clients route by ring ownership.
+        if !args.flag("http") {
+            return Err(CliError::Usage(
+                "--groups partitions a fleet over real sockets — add --http".to_string(),
+            ));
+        }
+        if budget > 0 {
+            return Err(CliError::Usage(
+                "--budget (spill/reload churn) is not supported in routed-fleet mode".to_string(),
+            ));
+        }
+        return serve_bench_routed(args, spec, groups, slo);
+    }
+    if args.get("vnodes").is_some() {
+        return Err(CliError::Usage(
+            "--vnodes only makes sense with --groups N (N >= 2)".to_string(),
+        ));
+    }
     let replicas = args.u64_or("replicas", 1)? as usize;
     if replicas > 1 || args.flag("chaos") {
         if !args.flag("http") {
@@ -973,6 +1017,123 @@ fn serve_bench_replicas(args: &Args, spec: WorkloadSpec, replicas: usize) -> Cli
     Ok(out)
 }
 
+/// `opaq serve-bench --http --groups N [--replicas M] [--chaos]`: the
+/// ring-partitioned fleet run.
+///
+/// A consistent-hash ring splits the tenants across N replica groups (M
+/// replicas each, peer-synced within the group); clients route by ring
+/// ownership, every N-th op is deliberately misrouted to force the
+/// `wrong_owner` → one-hop re-route arc, and every fifth op is a glob
+/// `coalesce` plan that scatters across the groups and must match the
+/// unpartitioned-catalog oracle byte-for-byte.  Gates: zero torn answers,
+/// zero mis-owned answers (`x-opaq-owner` vs the ring), zero trace
+/// violations, and — with `--chaos` — a completed kill/restart cycle.
+fn serve_bench_routed(
+    args: &Args,
+    spec: WorkloadSpec,
+    groups: usize,
+    slo: SloThresholds,
+) -> CliResult<String> {
+    let chaos = args.flag("chaos");
+    let replicas = args.u64_or("replicas", 2)? as usize;
+    if replicas == 0 {
+        return Err(CliError::Usage(
+            "--replicas must be at least 1 per group".to_string(),
+        ));
+    }
+    let vnodes = u32::try_from(args.u64_or("vnodes", 128)?)
+        .map_err(|_| CliError::Usage("--vnodes out of range".to_string()))?;
+    if vnodes == 0 {
+        return Err(CliError::Usage("--vnodes must be at least 1".to_string()));
+    }
+    let target_qps = spec.target_qps;
+    let routed_spec = RoutedWorkloadSpec {
+        spec,
+        groups,
+        replicas_per_group: replicas,
+        vnodes,
+        chaos: chaos.then(ChaosConfig::default),
+        kill_restart: chaos && replicas >= 2,
+        target_qps,
+        slo,
+        ..RoutedWorkloadSpec::default()
+    };
+    let report = opaq_net::run_routed_workload(&routed_spec)
+        .map_err(|e| CliError::Usage(format!("routed fleet workload failed: {e}")))?;
+    let mut out = format!(
+        "served {} requests across {} ring groups x {} replicas in {:?} ({:.0} ops/s); \
+         {} verified byte-for-byte, {} torn, {} mis-owned, {} re-routes, {} glob plans \
+         oracle-verified (of {})\n",
+        report.ops,
+        report.groups,
+        report.replicas_per_group,
+        report.wall,
+        report.throughput(),
+        report.verified,
+        report.torn_reads,
+        report.mis_owned,
+        report.reroutes,
+        report.plan_verified,
+        report.plan_ops,
+    );
+    out.push_str(&report.render());
+    if let Some(path) = args.get("bench-out") {
+        let json = render_bench_serve_json(
+            &format!("opaq serve-bench --http --groups {groups} (routed fleet, open-loop)"),
+            &routed_spec.spec,
+            report.target_qps,
+            &report.latency,
+            report.wall,
+            report.ops + report.plan_ops,
+            report.verified + report.plan_verified,
+            report.torn_reads,
+            report.error_rate(),
+            report.shed_rate(),
+            &routed_spec.slo,
+            &report.slo,
+        );
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Usage(format!("could not write {path}: {e}")))?;
+        out.push_str(&format!("bench report written to {path}\n"));
+    }
+    if report.torn_reads > 0 || report.mis_owned > 0 {
+        return Err(CliError::Usage(format!(
+            "{} torn / {} mis-owned answers — a response's bytes or its x-opaq-owner header \
+             diverged from the ring's truth\n{out}",
+            report.torn_reads, report.mis_owned
+        )));
+    }
+    if report.trace_violations > 0 {
+        return Err(CliError::Usage(format!(
+            "{} responses missed (or mis-echoed) x-opaq-trace-id across the routed hops\n{out}",
+            report.trace_violations
+        )));
+    }
+    if !chaos && (report.http_errors > 0 || report.plan_verified < report.plan_ops) {
+        return Err(CliError::Usage(format!(
+            "{} http errors, {} of {} plans failed the oracle replay — on a fault-free run \
+             both must be zero\n{out}",
+            report.http_errors,
+            report.plan_ops - report.plan_verified,
+            report.plan_ops
+        )));
+    }
+    if chaos && routed_spec.kill_restart && (report.kills == 0 || report.restarts < report.kills) {
+        return Err(CliError::Usage(format!(
+            "chaos run never exercised the kill/restart cycle ({} kills, {} restarts)\n{out}",
+            report.kills, report.restarts
+        )));
+    }
+    if report.slo.is_breached() {
+        return Err(CliError::Usage(format!(
+            "{} of {} declared SLO objectives breached\n{out}",
+            report.slo.breaches(),
+            report.slo.checks.len()
+        )));
+    }
+    Ok(out)
+}
+
 /// `opaq serve`: the HTTP front-end over synthetic tenants, until stdin EOF.
 pub fn serve(args: &Args) -> CliResult<String> {
     serve_with_control(args, std::io::stdin().lock())
@@ -999,6 +1160,8 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
             "slo-p99-ms",
             "peer",
             "peer-poll-ms",
+            "ring",
+            "group",
         ],
         &[],
     )?;
@@ -1028,6 +1191,29 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
                 .to_string(),
         ));
     }
+    // Ring membership: `--ring FILE --group NAME` scopes this server to the
+    // tenants its group owns and arms the wrong_owner/scatter machinery.
+    let membership = match (args.get("ring"), args.get("group")) {
+        (Some(path), Some(group)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Usage(format!("could not read ring file {path}: {e}")))?;
+            let parsed = RingConfig::parse(&text)
+                .map_err(|e| CliError::Usage(format!("invalid ring file {path}: {e}")))?;
+            let ring = HashRing::new(parsed)
+                .map_err(|e| CliError::Usage(format!("invalid ring file {path}: {e}")))?;
+            Some(Arc::new(RingMembership::new(ring, group).map_err(|e| {
+                CliError::Usage(format!("--group does not name a ring group: {e}"))
+            })?))
+        }
+        (None, None) => None,
+        _ => {
+            return Err(CliError::Usage(
+                "--ring FILE and --group NAME come as a pair: the file names the fleet's \
+                 groups, the name says which one this server is"
+                    .to_string(),
+            ));
+        }
+    };
     // Shared replication counters, exposed via /metrics and the shutdown
     // summary when this server is a replica.
     let replication = peer.as_ref().map(|_| ReplicationStats::new());
@@ -1083,6 +1269,13 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         println!("opaq serve: bootstrapped {applied} entries from peer {peer}");
     } else if recovered_entries == 0 {
         for tenant_idx in 0..tenants {
+            // Ring-scoped ingest: a partitioned server seeds only the
+            // tenants its group owns — peers own (and seed) the rest.
+            if let Some(membership) = &membership {
+                if !membership.owns(&format!("tenant-{tenant_idx}")) {
+                    continue;
+                }
+            }
             let keys = DatasetSpec {
                 n: keys_per_tenant,
                 distribution: Distribution::Uniform { domain: 1 << 31 },
@@ -1117,6 +1310,11 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         // tenants get --ttl-ms applied.
         if recovered_entries == 0 {
             for tenant_idx in 0..tenants {
+                if let Some(membership) = &membership {
+                    if !membership.owns(&format!("tenant-{tenant_idx}")) {
+                        continue;
+                    }
+                }
                 catalog.set_ttl(
                     &TenantId::new(format!("tenant-{tenant_idx}")),
                     &DatasetId::new("events"),
@@ -1160,6 +1358,9 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
     if let Some(stats) = &replication {
         server_builder = server_builder.replication(Arc::clone(stats));
     }
+    if let Some(membership) = &membership {
+        server_builder = server_builder.ring(Arc::clone(membership));
+    }
     let server_config = server_builder
         .build()
         .map_err(|e| CliError::Usage(format!("invalid server configuration: {e}")))?;
@@ -1180,7 +1381,7 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
 
     println!(
         "opaq serve: listening on http://{bound} ({} tenants, {keys_per_tenant} keys \
-         each{}{}{}); close stdin or send 'quit' to stop",
+         each{}{}{}{}); close stdin or send 'quit' to stop",
         if recovered_entries > 0 {
             recovered_entries
         } else {
@@ -1197,6 +1398,14 @@ pub fn serve_with_control(args: &Args, control: impl BufRead) -> CliResult<Strin
         },
         match &peer {
             Some(peer) => format!(", replicating from {peer} every {peer_poll_ms}ms"),
+            None => String::new(),
+        },
+        match &membership {
+            Some(m) => format!(
+                ", ring group '{}' of {} (ingest scoped to owned tenants)",
+                m.group_name(),
+                m.ring().groups().len()
+            ),
             None => String::new(),
         }
     );

@@ -18,6 +18,9 @@ use std::time::Duration;
 pub enum PlanStage {
     /// Snapshot resolution against the catalog (including spill reloads).
     Fetch,
+    /// Cross-group partial gather for a glob plan on a partitioned fleet
+    /// (only recorded when a scatter hook is installed and fires).
+    Scatter,
     /// The deterministic sketch merge tree (only recorded when a plan
     /// actually merges two or more sketches).
     Merge,
@@ -27,13 +30,19 @@ pub enum PlanStage {
 
 impl PlanStage {
     /// Every stage, in execution order.
-    pub const ALL: [PlanStage; 3] = [PlanStage::Fetch, PlanStage::Merge, PlanStage::Extract];
+    pub const ALL: [PlanStage; 4] = [
+        PlanStage::Fetch,
+        PlanStage::Scatter,
+        PlanStage::Merge,
+        PlanStage::Extract,
+    ];
 
-    /// Stable lower-case label (`fetch` / `merge` / `extract`), used as the
-    /// `stage` label of the `/metrics` exposition.
+    /// Stable lower-case label (`fetch` / `scatter` / `merge` / `extract`),
+    /// used as the `stage` label of the `/metrics` exposition.
     pub fn as_str(self) -> &'static str {
         match self {
             PlanStage::Fetch => "fetch",
+            PlanStage::Scatter => "scatter",
             PlanStage::Merge => "merge",
             PlanStage::Extract => "extract",
         }
@@ -54,6 +63,7 @@ impl std::fmt::Display for PlanStage {
 #[derive(Debug)]
 pub struct StageLatency {
     fetch: Arc<LatencyHistogram>,
+    scatter: Arc<LatencyHistogram>,
     merge: Arc<LatencyHistogram>,
     extract: Arc<LatencyHistogram>,
 }
@@ -69,6 +79,7 @@ impl StageLatency {
     pub fn new() -> Self {
         Self {
             fetch: Arc::new(LatencyHistogram::new()),
+            scatter: Arc::new(LatencyHistogram::new()),
             merge: Arc::new(LatencyHistogram::new()),
             extract: Arc::new(LatencyHistogram::new()),
         }
@@ -83,6 +94,7 @@ impl StageLatency {
     pub fn histogram(&self, stage: PlanStage) -> &LatencyHistogram {
         match stage {
             PlanStage::Fetch => &self.fetch,
+            PlanStage::Scatter => &self.scatter,
             PlanStage::Merge => &self.merge,
             PlanStage::Extract => &self.extract,
         }
@@ -93,6 +105,7 @@ impl StageLatency {
     pub fn shared(&self, stage: PlanStage) -> Arc<LatencyHistogram> {
         match stage {
             PlanStage::Fetch => Arc::clone(&self.fetch),
+            PlanStage::Scatter => Arc::clone(&self.scatter),
             PlanStage::Merge => Arc::clone(&self.merge),
             PlanStage::Extract => Arc::clone(&self.extract),
         }
@@ -115,6 +128,7 @@ mod tests {
     #[test]
     fn labels_are_stable_wire_forms() {
         assert_eq!(PlanStage::Fetch.as_str(), "fetch");
+        assert_eq!(PlanStage::Scatter.as_str(), "scatter");
         assert_eq!(PlanStage::Merge.as_str(), "merge");
         assert_eq!(PlanStage::Extract.as_str(), "extract");
         assert_eq!(format!("{}", PlanStage::Merge), "merge");
@@ -136,12 +150,13 @@ mod tests {
         let stages = StageLatency::new();
         stages.record(PlanStage::Merge, Duration::from_micros(3));
         let snap = stages.snapshot();
-        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.len(), 4);
         assert_eq!(snap[0].0, PlanStage::Fetch);
-        assert_eq!(snap[1].0, PlanStage::Merge);
-        assert_eq!(snap[2].0, PlanStage::Extract);
+        assert_eq!(snap[1].0, PlanStage::Scatter);
+        assert_eq!(snap[2].0, PlanStage::Merge);
+        assert_eq!(snap[3].0, PlanStage::Extract);
         assert_eq!(snap[0].1.count, 0);
-        assert_eq!(snap[1].1.count, 1);
+        assert_eq!(snap[2].1.count, 1);
     }
 
     #[test]
@@ -152,7 +167,8 @@ mod tests {
                 let stages = std::sync::Arc::clone(&stages);
                 scope.spawn(move || {
                     for i in 0..1_000u64 {
-                        stages.record(PlanStage::ALL[(i % 3) as usize], Duration::from_nanos(i));
+                        let stage = PlanStage::ALL[(i as usize) % PlanStage::ALL.len()];
+                        stages.record(stage, Duration::from_nanos(i));
                     }
                 });
             }

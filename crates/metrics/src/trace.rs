@@ -108,7 +108,10 @@ impl fmt::Display for TraceId {
 /// [`SpanTag::RefreshTriggered`]), `Merge` the sketch merge tree, `Extract`
 /// quantile/rank estimation, and `Render` response serialisation.  Ingest
 /// path: `Refresh` is a refresh-pool job root with `Ingest` children (one
-/// per build).  `Sync` is one replication reconciliation pass.
+/// per build).  `Sync` is one replication reconciliation pass.  Ring-aware
+/// serving adds `Route` (tenant-ownership resolution against the hash
+/// ring, tagged [`SpanTag::Error`] when the request was misdirected) and
+/// `Scatter` (cross-group partial-sketch gather for glob plans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Per-request root span (front door to response written).
@@ -134,11 +137,15 @@ pub enum Stage {
     Ingest,
     /// One replication sync pass against a peer.
     Sync,
+    /// Tenant-ownership resolution against the hash ring.
+    Route,
+    /// Cross-group partial gather for a glob plan.
+    Scatter,
 }
 
 impl Stage {
     /// Every stage, in taxonomy order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Request,
         Stage::Parse,
         Stage::Compile,
@@ -150,6 +157,8 @@ impl Stage {
         Stage::Refresh,
         Stage::Ingest,
         Stage::Sync,
+        Stage::Route,
+        Stage::Scatter,
     ];
 
     /// Stable lower-case wire label.
@@ -166,6 +175,8 @@ impl Stage {
             Stage::Refresh => "refresh",
             Stage::Ingest => "ingest",
             Stage::Sync => "sync",
+            Stage::Route => "route",
+            Stage::Scatter => "scatter",
         }
     }
 
@@ -187,6 +198,8 @@ impl Stage {
             Stage::Refresh => 9,
             Stage::Ingest => 10,
             Stage::Sync => 11,
+            Stage::Route => 12,
+            Stage::Scatter => 13,
         }
     }
 
@@ -826,7 +839,7 @@ mod tests {
                             trace,
                             span_id: i + 1,
                             parent: i,
-                            stage: Stage::ALL[(t % 11) as usize],
+                            stage: Stage::ALL[(t as usize) % Stage::ALL.len()],
                             tag: SpanTag::Untagged,
                             start_nanos: t * 1_000_000 + u64::from(i),
                             duration_nanos: t,
@@ -839,7 +852,11 @@ mod tests {
         for span in rec.spans() {
             let t = span.duration_nanos;
             assert_eq!(span.trace, TraceId::from_raw(t + 1).unwrap(), "torn trace");
-            assert_eq!(span.stage, Stage::ALL[(t % 11) as usize], "torn stage");
+            assert_eq!(
+                span.stage,
+                Stage::ALL[(t as usize) % Stage::ALL.len()],
+                "torn stage"
+            );
             assert_eq!(
                 span.start_nanos,
                 t * 1_000_000 + u64::from(span.span_id - 1),

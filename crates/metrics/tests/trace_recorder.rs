@@ -14,19 +14,7 @@ use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-const STAGES: [Stage; 11] = [
-    Stage::Request,
-    Stage::Parse,
-    Stage::Compile,
-    Stage::Fetch,
-    Stage::Snapshot,
-    Stage::Merge,
-    Stage::Extract,
-    Stage::Render,
-    Stage::Refresh,
-    Stage::Ingest,
-    Stage::Sync,
-];
+const STAGES: [Stage; 13] = Stage::ALL;
 
 const TAGS: [SpanTag; 7] = [
     SpanTag::Untagged,

@@ -28,7 +28,7 @@
 
 use crate::chaos::{ChaosConfig, ChaosCounters, ChaosProxy};
 use crate::circuit::BreakerConfig;
-use crate::replica::{ReplicaSet, ReplicationStats};
+use crate::replica::{ReplicaConfig, ReplicaSet, ReplicationStats};
 use crate::server::{HttpServer, ServerConfig};
 use crate::sync::{bootstrap, Replicator};
 use crate::workload::{verify, wire_form, Registry, Verdict};
@@ -194,14 +194,14 @@ impl ReplicaLoadReport {
 /// One running secondary: its HTTP server plus the delta poller keeping its
 /// catalog caught up.  The catalog/engine live on through the `Arc`s these
 /// two hold.
-struct SecondaryRuntime {
+pub(crate) struct SecondaryRuntime {
     server: HttpServer,
     replicator: Replicator,
 }
 
 impl SecondaryRuntime {
     /// Poller first (it dials the primary), then the server.
-    fn shutdown(&mut self) {
+    pub(crate) fn shutdown(&mut self) {
         self.replicator.shutdown();
         self.server.shutdown();
     }
@@ -209,7 +209,7 @@ impl SecondaryRuntime {
 
 /// Bootstrap a fresh catalog from the primary and stand a secondary up on
 /// an ephemeral port.  Returns the runtime and its serving address.
-fn start_secondary(
+pub(crate) fn start_secondary(
     primary_addr: &str,
     server_config: &ServerConfig,
     poll: Duration,
@@ -234,7 +234,7 @@ fn start_secondary(
 
 /// GET-only request mix: the failover client never replays a write, so the
 /// harness never issues one.
-fn get_request_for(rng: &mut u64) -> QueryRequest {
+pub(crate) fn get_request_for(rng: &mut u64) -> QueryRequest {
     match next_rand(rng) % 3 {
         0 => QueryRequest::Quantile {
             phi: (next_rand(rng) % 10_000) as f64 / 10_000.0,
@@ -250,7 +250,7 @@ fn get_request_for(rng: &mut u64) -> QueryRequest {
 
 /// Sleep until `stop` turns true or `total` elapses; `true` means the full
 /// wait completed without a stop.
-fn sleep_sliced(total: Duration, stop: &AtomicBool) -> bool {
+pub(crate) fn sleep_sliced(total: Duration, stop: &AtomicBool) -> bool {
     let mut remaining = total;
     while !remaining.is_zero() {
         if stop.load(Ordering::Acquire) {
@@ -265,7 +265,7 @@ fn sleep_sliced(total: Duration, stop: &AtomicBool) -> bool {
 
 /// Block until the shared op counter reaches `threshold` or `stop` turns
 /// true; `true` means the threshold was reached.
-fn wait_for_progress(ops_done: &AtomicU64, threshold: u64, stop: &AtomicBool) -> bool {
+pub(crate) fn wait_for_progress(ops_done: &AtomicU64, threshold: u64, stop: &AtomicBool) -> bool {
     while ops_done.load(Ordering::Relaxed) < threshold {
         if stop.load(Ordering::Acquire) {
             return false;
@@ -512,26 +512,29 @@ pub fn run_replica_workload(fleet_spec: &ReplicaWorkloadSpec) -> NetResult<Repli
             let (connect_errors, timeouts, retries) = (&connect_errors, &timeouts, &retries);
             clients.push(scope.spawn(move || -> NetResult<()> {
                 // Short deadlines: a truncated response must die to its read
-                // timeout and fail over, not stall the op for seconds.
-                let mut set = ReplicaSet::new(
-                    &addrs,
-                    breaker,
-                    Duration::from_millis(250),
-                    Duration::from_millis(150),
-                )?
-                .with_stats(Arc::clone(&stats));
+                // timeout and fail over, not stall the op for seconds.  The
+                // tight probe interval keeps every breaker sampled even when
+                // sticky routing stops sending it organic traffic.
+                let config = ReplicaConfig::builder()
+                    .breaker(breaker)
+                    .read_timeout(Duration::from_millis(250))
+                    .connect_timeout(Duration::from_millis(150))
+                    // Near-per-op probing: the whole quick run lasts tens of
+                    // milliseconds, and a dead replica must accumulate its
+                    // breaker's min_samples inside the kill window.
+                    .probe_interval(Duration::from_micros(500))
+                    .build()?;
+                let mut set = ReplicaSet::new(&addrs, config)?.with_stats(Arc::clone(&stats));
                 let mut rng = spec
                     .seed
                     .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(client_idx as u64 + 1));
                 let mut body = || -> NetResult<()> {
-                    for op_idx in 0..spec.ops_per_client {
+                    for _op_idx in 0..spec.ops_per_client {
                         // Periodic health probes feed every replica's breaker —
                         // sticky routing alone would stop sampling a replica the
                         // moment it stops being preferred, so a dead one would
                         // never accumulate the min_samples its breaker needs.
-                        if op_idx % 4 == 3 {
-                            set.probe_health();
-                        }
+                        set.maybe_probe();
                         let tenant_idx = (next_rand(&mut rng) % spec.tenants as u64) as usize;
                         let (tenant, dataset) = &ids[tenant_idx];
                         let request = get_request_for(&mut rng);

@@ -419,6 +419,7 @@ pub fn default_error_code(status: u16) -> &'static str {
         405 => "method_not_allowed",
         408 => "timeout",
         411 => "length_required",
+        421 => "wrong_owner",
         413 => "payload_too_large",
         431 => "headers_too_large",
         500 => "internal",
@@ -437,6 +438,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         411 => "Length Required",
+        421 => "Misdirected Request",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -469,7 +471,9 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_codes() {
-        for code in [200u16, 400, 404, 405, 408, 411, 413, 431, 500, 501, 503] {
+        for code in [
+            200u16, 400, 404, 405, 408, 411, 413, 421, 431, 500, 501, 503,
+        ] {
             assert_ne!(reason_phrase(code), "Unknown", "{code}");
         }
         assert_eq!(reason_phrase(418), "Unknown");
@@ -505,7 +509,7 @@ mod tests {
 
     #[test]
     fn every_emitted_status_has_a_stable_code() {
-        for code in [400u16, 404, 405, 408, 411, 413, 431, 500, 501, 503] {
+        for code in [400u16, 404, 405, 408, 411, 413, 421, 431, 500, 501, 503] {
             assert_ne!(default_error_code(code), "error", "{code}");
         }
         assert_eq!(default_error_code(418), "error");

@@ -122,6 +122,65 @@
 //!    and replicas in `opaq serve-bench --http --replicas N --chaos`, so
 //!    the failover path above is exercised by real torn sockets while every
 //!    answer is still verified byte-for-byte ([`failover`]).
+//!
+//! ## Routing + partitioning model
+//!
+//! One replica set can only scale reads.  To scale *tenants*, the fleet
+//! partitions: a consistent-hash ring ([`ring`]) assigns every tenant to
+//! exactly one **replica group** (a primary plus peer-synced secondaries —
+//! the replication model above, reused unchanged within each group), and a
+//! routing layer makes the partition invisible to callers.
+//!
+//! ```text
+//!        RoutedFleet (client)                       ring file (JSON)
+//!   tenant ──hash──▶ owning group ◀─── shared ───▶  opaq serve --ring F
+//!        │                                            --group NAME
+//!        ▼                                              │
+//!   ReplicaSet[g]  ──GET──▶  group g primary/secondaries│(scoped ingest)
+//!        │   ▲ wrong_owner (421) + owner addrs          │
+//!        └───┴── one re-route hop, same trace id        ▼
+//!   POST /v1/query glob ──▶ coordinator ──scatter──▶ peer groups
+//!                              └─ gather partials, fuse via merge_tree
+//! ```
+//!
+//! * **The ring is the one routing truth.**  [`RingConfig`] is a small
+//!   serializable JSON document (vnodes + named groups with replica
+//!   addresses); [`HashRing`] builds the sorted virtual-point table from
+//!   it with a seedless deterministic hash (FNV-1a plus a 64-bit avalanche
+//!   finalizer), so every process that loads the same file computes
+//!   byte-identical placements — no coordination service, no gossip.
+//!   Rebalance is minimal-disruption: adding a group moves ≈ `1/(N+1)` of
+//!   the tenants (all onto the new group), removing one moves only its own
+//!   (`tests/ring_properties.rs` pins both bounds, plus balance).
+//! * **Servers enforce ownership** ([`server`], [`ring::RingMembership`]):
+//!   a ring-scoped server seeds/refreshes only the tenants its group owns,
+//!   stamps `x-opaq-owner` ([`OWNER_HEADER`]) on every response, and
+//!   refuses a single-tenant request for a peer's tenant with HTTP 421 and
+//!   the typed `wrong_owner` error body naming the owning group and its
+//!   addresses — a *redirect with evidence*, never a silent proxy, so a
+//!   stale client heals its routing in one hop.
+//! * **Clients route by ownership** ([`routed`]): a [`RoutedFleet`] keys
+//!   one [`ReplicaSet`] per group off the ring, so failover, circuit
+//!   breakers and degraded replay all stay *per-group* (a dead group
+//!   cannot poison another group's breakers).  A `wrong_owner` answer
+//!   triggers exactly one re-route to the named owner — counted, traced
+//!   with the *same* trace id across both hops, and never looped.
+//! * **Glob plans scatter** ([`server`] + `opaq_query::PlanExecutor`): a
+//!   `fetch tenant-*/events | coalesce` plan reaching any group's server
+//!   fans out to the peer groups' primaries, gathers their partial
+//!   snapshot sets, and fuses everything through the same deterministic
+//!   `merge_tree` the single-catalog path uses — so a multi-group answer
+//!   is **byte-identical** to the same plan on an unpartitioned catalog
+//!   (the oracle the routed harness and the CI `routing-smoke` job compare
+//!   against).
+//! * **The partitioned harness** ([`routed::run_routed_workload`], i.e.
+//!   `opaq serve-bench --http --groups G --replicas M [--chaos]`): stands
+//!   up G groups × M replicas, routes ring-aware clients (with deliberate
+//!   misroutes to exercise the re-route arc), verifies every answer
+//!   byte-for-byte *and* ownership-checks every 200's `x-opaq-owner`
+//!   against the ring, scatters glob plans and replays them against the
+//!   unpartitioned oracle, and reports per-group tenant/op balance — under
+//!   the same chaos proxies and kill/restart monkey as the flat fleet.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -134,6 +193,8 @@ pub mod failover;
 pub mod http;
 pub mod json;
 pub mod replica;
+pub mod ring;
+pub mod routed;
 pub mod server;
 pub mod sync;
 pub mod workload;
@@ -145,11 +206,15 @@ pub use client::{ClientResponse, ClientStats, ConnectError, ConnectErrorKind, Ht
 pub use failover::{run_replica_workload, ReplicaLoadReport, ReplicaWorkloadSpec};
 pub use http::{Request, Response};
 pub use json::Json;
-pub use replica::{FailoverResponse, ReplicaSet, ReplicationStats};
+pub use replica::{
+    FailoverResponse, ReplicaConfig, ReplicaConfigBuilder, ReplicaSet, ReplicationStats,
+};
+pub use ring::{GroupConfig, HashRing, RingConfig, RingMembership};
+pub use routed::{run_routed_workload, RoutedFleet, RoutedLoadReport, RoutedWorkloadSpec};
 pub use server::{
     render_plan_response_json, render_response_json, ApiRequest, HttpServer, ServerConfig,
-    ServerConfigBuilder, ServerStats, Telemetry, FRESHNESS_HEADER, SOURCES_HEADER, TRACE_HEADER,
-    VERSION_HEADER,
+    ServerConfigBuilder, ServerStats, Telemetry, FRESHNESS_HEADER, OWNER_HEADER, SOURCES_HEADER,
+    TRACE_HEADER, VERSION_HEADER,
 };
 pub use sync::{bootstrap, fetch_manifest, fetch_sketch, sync_once, PeerEntry, Replicator};
 pub use workload::{run_http_workload, HttpLoadReport, HttpWorkloadSpec};

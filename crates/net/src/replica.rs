@@ -26,7 +26,7 @@ use opaq_metrics::TraceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Replication/failover counters shared across the client, the sync poller
 /// and the chaos proxy; exposed via `/metrics` and the shutdown summary.
@@ -40,6 +40,9 @@ pub struct ReplicationStats {
     pub sync_deltas_applied: AtomicU64,
     /// Faults the chaos proxy injected (drops, delays, truncations, resets).
     pub chaos_faults_injected: AtomicU64,
+    /// Requests re-routed to the owning replica group after a typed
+    /// `wrong_owner` answer (one hop, never a loop).
+    pub reroutes: AtomicU64,
     /// Latest breaker state gauge per replica address (0 closed, 1 open,
     /// 2 half-open).
     breaker_states: Mutex<Vec<(String, u64)>>,
@@ -101,6 +104,119 @@ impl ReplicationStats {
     pub fn chaos_faults_injected(&self) -> u64 {
         self.chaos_faults_injected.load(Ordering::Relaxed)
     }
+
+    /// Convenience load of the wrong-owner re-route counter.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes.load(Ordering::Relaxed)
+    }
+}
+
+/// Validated tuning for a [`ReplicaSet`]: breaker behaviour, per-request
+/// timeouts, the GET retry budget, and how often [`ReplicaSet::maybe_probe`]
+/// actually probes.  Construct via [`ReplicaConfig::builder`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ReplicaConfig {
+    /// Circuit-breaker tuning applied to every replica.
+    pub breaker: BreakerConfig,
+    /// Per-request read timeout on every replica's client.
+    pub read_timeout: Duration,
+    /// Per-request connect timeout on every replica's client.
+    pub connect_timeout: Duration,
+    /// Full passes over all replicas before a GET gives up.
+    pub retry_passes: u32,
+    /// Minimum interval between health-probe sweeps issued by
+    /// [`ReplicaSet::maybe_probe`].
+    pub probe_interval: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        Self {
+            breaker: BreakerConfig::default(),
+            read_timeout: Duration::from_millis(250),
+            connect_timeout: Duration::from_millis(150),
+            retry_passes: 3,
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> ReplicaConfigBuilder {
+        ReplicaConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ReplicaConfig`]; `build()` validates.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfigBuilder {
+    config: ReplicaConfig,
+}
+
+impl ReplicaConfigBuilder {
+    /// Circuit-breaker tuning applied to every replica.
+    #[must_use]
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
+    /// Per-request read timeout.
+    #[must_use]
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Per-request connect timeout.
+    #[must_use]
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.config.connect_timeout = timeout;
+        self
+    }
+
+    /// Full passes over all replicas before a GET gives up.
+    #[must_use]
+    pub fn retry_passes(mut self, passes: u32) -> Self {
+        self.config.retry_passes = passes;
+        self
+    }
+
+    /// Minimum interval between [`ReplicaSet::maybe_probe`] sweeps.
+    #[must_use]
+    pub fn probe_interval(mut self, interval: Duration) -> Self {
+        self.config.probe_interval = interval;
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// # Errors
+    /// [`NetError::InvalidConfig`] for a zero retry budget, zero probe
+    /// interval, or zero timeouts — every one of those silently disables a
+    /// mechanism the caller thinks it configured.
+    pub fn build(self) -> NetResult<ReplicaConfig> {
+        if self.config.retry_passes == 0 {
+            return Err(NetError::InvalidConfig(
+                "replica retry_passes must be at least 1".into(),
+            ));
+        }
+        if self.config.probe_interval.is_zero() {
+            return Err(NetError::InvalidConfig(
+                "replica probe_interval must be non-zero".into(),
+            ));
+        }
+        if self.config.read_timeout.is_zero() || self.config.connect_timeout.is_zero() {
+            return Err(NetError::InvalidConfig(
+                "replica timeouts must be non-zero".into(),
+            ));
+        }
+        Ok(self.config)
+    }
 }
 
 /// One replica endpoint: its client, breaker, and open-count watermark.
@@ -129,6 +245,9 @@ pub struct ReplicaSet {
     preferred: usize,
     /// Full passes over all replicas before a GET gives up.
     retry_passes: u32,
+    /// Minimum spacing between [`ReplicaSet::maybe_probe`] sweeps.
+    probe_interval: Duration,
+    last_probe: Option<Instant>,
     backoff: Backoff,
     stats: Option<Arc<ReplicationStats>>,
     /// Last successful response per GET target, for graceful degradation.
@@ -148,17 +267,11 @@ impl std::fmt::Debug for ReplicaSet {
 }
 
 impl ReplicaSet {
-    /// A replica set over `addrs` with the given breaker tuning and
-    /// per-request timeouts.
+    /// A replica set over `addrs`, tuned by a validated [`ReplicaConfig`].
     ///
     /// # Errors
     /// [`NetError::InvalidConfig`] if `addrs` is empty.
-    pub fn new(
-        addrs: &[String],
-        breaker: BreakerConfig,
-        read_timeout: Duration,
-        connect_timeout: Duration,
-    ) -> NetResult<Self> {
+    pub fn new(addrs: &[String], config: ReplicaConfig) -> NetResult<Self> {
         if addrs.is_empty() {
             return Err(NetError::InvalidConfig(
                 "replica set needs at least one address".into(),
@@ -169,9 +282,9 @@ impl ReplicaSet {
             .map(|addr| Endpoint {
                 addr: addr.clone(),
                 client: HttpClient::new(addr.clone())
-                    .with_read_timeout(read_timeout)
-                    .with_connect_timeout(connect_timeout),
-                breaker: CircuitBreaker::new(breaker.clone()),
+                    .with_read_timeout(config.read_timeout)
+                    .with_connect_timeout(config.connect_timeout),
+                breaker: CircuitBreaker::new(config.breaker.clone()),
                 opens_seen: 0,
             })
             .collect::<Vec<_>>();
@@ -184,7 +297,9 @@ impl ReplicaSet {
         Ok(Self {
             endpoints,
             preferred: 0,
-            retry_passes: 3,
+            retry_passes: config.retry_passes,
+            probe_interval: config.probe_interval,
+            last_probe: None,
             backoff: Backoff::new(Duration::from_millis(5), Duration::from_millis(200), seed),
             stats: None,
             last_good: HashMap::new(),
@@ -197,12 +312,6 @@ impl ReplicaSet {
             stats.set_breaker_state(&e.addr, BreakerState::Closed);
         }
         self.stats = Some(stats);
-        self
-    }
-
-    /// Override how many full passes over the replicas a GET may take.
-    pub fn with_retry_passes(mut self, passes: u32) -> Self {
-        self.retry_passes = passes.max(1);
         self
     }
 
@@ -243,6 +352,7 @@ impl ReplicaSet {
     /// feeding the outcomes back into the breakers.  Cheap enough to call
     /// periodically from a watcher thread.
     pub fn probe_health(&mut self) {
+        self.last_probe = Some(Instant::now());
         for i in 0..self.endpoints.len() {
             if !self.endpoints[i].breaker.allow() {
                 continue;
@@ -250,6 +360,20 @@ impl ReplicaSet {
             let outcome = self.endpoints[i].client.get("/healthz");
             self.settle(i, outcome.map(|r| r.status == 200).unwrap_or(false));
         }
+    }
+
+    /// Run [`ReplicaSet::probe_health`] iff the configured
+    /// [`ReplicaConfig::probe_interval`] has elapsed since the last sweep
+    /// (the first call always probes).  Call freely from a request loop;
+    /// returns whether a sweep actually ran.
+    pub fn maybe_probe(&mut self) -> bool {
+        let due = self
+            .last_probe
+            .is_none_or(|at| at.elapsed() >= self.probe_interval);
+        if due {
+            self.probe_health();
+        }
+        due
     }
 
     /// `GET target` with failover: walk replicas from the preferred one,

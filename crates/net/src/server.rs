@@ -22,9 +22,11 @@
 //! tearing down "HTTP server → refresh pool → catalog" gets a quiescent
 //! stack at every step.
 
+use crate::client::HttpClient;
 use crate::http::{read_request, ParseError, ReadLimits, Request, Response};
 use crate::json::{write_escaped, write_f64};
 use crate::replica::ReplicationStats;
+use crate::ring::RingMembership;
 use crate::{NetError, NetResult};
 use crossbeam::channel;
 use opaq_core::QuantileEstimate;
@@ -32,7 +34,9 @@ use opaq_metrics::trace::{
     render_span_tree, SlowLog, SpanRecorder, SpanTag, Stage, TraceId, TraceSink, ROOT_SPAN_ID,
 };
 use opaq_metrics::{Counter, Gauge, LatencySnapshot, MetricRegistry, PlanStage};
-use opaq_query::{PlanExecutor, PlanResponse, QueryError, QueryPlan};
+use opaq_query::{
+    PlanExecutor, PlanResponse, QueryError, QueryPlan, RemotePartial, ScatterFn, Selector,
+};
 use opaq_serve::{
     DatasetId, Freshness, QueryEngine, QueryOutput, QueryRequest, QueryResponse, ServeError,
     TenantId,
@@ -54,6 +58,11 @@ pub const SOURCES_HEADER: &str = "x-opaq-sources";
 /// failure, and 503 shed alike; an id sent by the client is propagated,
 /// otherwise one is minted at the front door.
 pub const TRACE_HEADER: &str = "x-opaq-trace-id";
+/// Response header naming the replica group that owns the addressed tenant.
+/// A ring-configured server stamps it on **every** response: its own group
+/// name normally, or — on a typed `wrong_owner` answer — the group the
+/// misdirected request should have gone to.
+pub const OWNER_HEADER: &str = "x-opaq-owner";
 
 /// Shared observability state of one serving process: the span ring behind
 /// `/v1/_debug/trace`, the slow-query log behind `/v1/_debug/slow`, and the
@@ -163,6 +172,7 @@ impl Telemetry {
         engine: &QueryEngine,
         executor: &PlanExecutor,
         replication: Option<&Arc<ReplicationStats>>,
+        ring: Option<&RingMembership>,
     ) {
         self.registry.histogram(
             "opaq_request_duration_nanos",
@@ -177,7 +187,7 @@ impl Telemetry {
                 executor.stages().shared(stage),
             );
         }
-        self.update(engine, executor, replication);
+        self.update(engine, executor, replication, ring);
     }
 
     /// Mirror every scalar whose source of truth lives outside the registry
@@ -189,6 +199,7 @@ impl Telemetry {
         engine: &QueryEngine,
         executor: &PlanExecutor,
         replication: Option<&Arc<ReplicationStats>>,
+        ring: Option<&RingMembership>,
     ) {
         self.spans_recorded.set(self.recorder.recorded());
         self.spans_dropped.set(self.recorder.dropped());
@@ -313,18 +324,20 @@ impl Telemetry {
 
         // Replication/failover: always present (zeros for a standalone
         // server) so dashboards and CI greps never branch on topology.
-        let (failovers, breaker_opens, deltas, faults, breaker_sum, per_peer) = replication
-            .map(|r| {
-                (
-                    r.failovers(),
-                    r.breaker_opens(),
-                    r.sync_deltas_applied(),
-                    r.chaos_faults_injected(),
-                    r.breaker_state_sum(),
-                    r.breaker_states(),
-                )
-            })
-            .unwrap_or((0, 0, 0, 0, 0, Vec::new()));
+        let (failovers, breaker_opens, deltas, faults, reroutes, breaker_sum, per_peer) =
+            replication
+                .map(|r| {
+                    (
+                        r.failovers(),
+                        r.breaker_opens(),
+                        r.sync_deltas_applied(),
+                        r.chaos_faults_injected(),
+                        r.reroutes(),
+                        r.breaker_state_sum(),
+                        r.breaker_states(),
+                    )
+                })
+                .unwrap_or((0, 0, 0, 0, 0, 0, Vec::new()));
         for (name, help, value) in [
             (
                 "opaq_failovers",
@@ -346,6 +359,11 @@ impl Telemetry {
                 "Faults injected by the chaos proxy.",
                 faults,
             ),
+            (
+                "opaq_reroutes",
+                "Requests re-routed to their owning group after a wrong_owner answer.",
+                reroutes,
+            ),
         ] {
             self.registry.counter(name, help).set(value);
         }
@@ -363,6 +381,25 @@ impl Telemetry {
                 )
                 .set(gauge);
         }
+
+        // Ring ownership: how many distinct tenants in the catalog this
+        // group owns per the ring.  Zero (and equal to zero forever) on a
+        // ring-less server, so the exposition schema is topology-stable.
+        let tenants_owned = ring.map_or(0, |membership| {
+            let mut seen: Vec<String> = Vec::new();
+            for entry in engine.catalog().inventory() {
+                if membership.owns(&entry.tenant) && !seen.contains(&entry.tenant) {
+                    seen.push(entry.tenant.clone());
+                }
+            }
+            seen.len() as u64
+        });
+        self.registry
+            .gauge(
+                "opaq_ring_tenants_owned",
+                "Distinct catalog tenants owned by this replica group per the hash ring.",
+            )
+            .set(tenants_owned);
     }
 }
 
@@ -392,6 +429,13 @@ pub struct ServerConfig {
     /// Shared replication/failover counters to expose via `/metrics`
     /// (`None` for a standalone server: the gauges render as zeros).
     pub replication: Option<Arc<ReplicationStats>>,
+    /// This server's ring membership on a consistent-hash partitioned
+    /// fleet.  `None` (the default) serves every tenant, unpartitioned.
+    /// With a membership: single-tenant requests for tenants another group
+    /// owns get a typed `wrong_owner` 421, every response carries
+    /// [`OWNER_HEADER`], and glob plans scatter to peer groups so coalesced
+    /// answers stay byte-identical to an unpartitioned catalog.
+    pub ring: Option<Arc<RingMembership>>,
     /// Shared observability state (span ring, slow log, metric registry).
     /// `None` lets the server build a default-sized one; supply your own to
     /// read traces and slow-log summaries back after shutdown.
@@ -409,6 +453,7 @@ impl Default for ServerConfig {
             keep_alive_idle: Duration::from_secs(10),
             limits: ReadLimits::default(),
             replication: None,
+            ring: None,
             telemetry: None,
         }
     }
@@ -475,6 +520,13 @@ impl ServerConfigBuilder {
     /// Attach shared replication/failover counters for `/metrics`.
     pub fn replication(mut self, stats: Arc<ReplicationStats>) -> Self {
         self.config.replication = Some(stats);
+        self
+    }
+
+    /// Join a consistent-hash partitioned fleet as a member of one replica
+    /// group (see [`ServerConfig::ring`]).
+    pub fn ring(mut self, membership: Arc<RingMembership>) -> Self {
+        self.config.ring = Some(membership);
         self
     }
 
@@ -590,13 +642,23 @@ impl HttpServer {
         // One executor serves every route: the GET point queries compile to
         // degenerate plans and run through it alongside POST /v1/query, so
         // there is exactly one evaluation path (and one set of per-stage
-        // latency histograms) behind the whole API surface.
-        let executor = Arc::new(PlanExecutor::new(Arc::clone(engine.catalog())));
+        // latency histograms) behind the whole API surface.  On a ring
+        // member, the executor also carries the cross-group scatter hook.
+        let mut executor = PlanExecutor::new(Arc::clone(engine.catalog()));
+        if let Some(membership) = config.ring.clone() {
+            executor = executor.with_scatter(scatter_hook(membership));
+        }
+        let executor = Arc::new(executor);
         let telemetry = config
             .telemetry
             .clone()
             .unwrap_or_else(|| Arc::new(Telemetry::new()));
-        telemetry.bind(&engine, &executor, config.replication.as_ref());
+        telemetry.bind(
+            &engine,
+            &executor,
+            config.replication.as_ref(),
+            config.ring.as_deref(),
+        );
 
         let workers = (0..config.workers)
             .map(|i| {
@@ -768,14 +830,7 @@ fn handle_connection(
                     0,
                     parse_nanos,
                 );
-                let response = route(
-                    engine,
-                    executor,
-                    config.replication.as_ref(),
-                    telemetry,
-                    &sink,
-                    &request,
-                );
+                let response = route(engine, executor, config, telemetry, &sink, &request);
                 let tag = if response.status >= 500 {
                     SpanTag::Error
                 } else {
@@ -939,14 +994,76 @@ impl ApiRequest {
 }
 
 /// Route one parsed request to the engine.  Pure function of
-/// `(engine state, replication counters, request)` — the HTTP workload
-/// harness re-renders expected responses through the same code path to
-/// compare bytes.  Spans for compile/fetch/merge/extract/render land on
+/// `(engine state, config, request)` — the HTTP workload harness
+/// re-renders expected responses through the same code path to compare
+/// bytes.  Spans for route/compile/fetch/merge/extract/render land on
 /// `sink`; the caller owns the root span and the trace-id response header.
+/// On a ring member every response leaves with [`OWNER_HEADER`] set — the
+/// local group normally, the actual owner on a `wrong_owner` answer.
 pub fn route(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
-    replication: Option<&Arc<ReplicationStats>>,
+    config: &ServerConfig,
+    telemetry: &Telemetry,
+    sink: &TraceSink,
+    request: &Request,
+) -> Response {
+    let response = route_inner(engine, executor, config, telemetry, sink, request);
+    match config.ring.as_deref() {
+        Some(membership) if !response.headers.iter().any(|(k, _)| k == OWNER_HEADER) => {
+            response.with_header(OWNER_HEADER, membership.group_name().to_string())
+        }
+        _ => response,
+    }
+}
+
+/// Resolve tenant ownership for a ring member, recording a [`Stage::Route`]
+/// span (tagged [`SpanTag::Error`] when misdirected).  Returns the typed
+/// `wrong_owner` response to send when another group owns the tenant.
+fn check_ownership(
+    config: &ServerConfig,
+    sink: &TraceSink,
+    tenant: &str,
+) -> Result<(), Box<Response>> {
+    let Some(membership) = config.ring.as_deref() else {
+        return Ok(());
+    };
+    let route_start = sink.now_nanos();
+    let owned = membership.owns(tenant);
+    let tag = if owned {
+        SpanTag::Untagged
+    } else {
+        SpanTag::Error
+    };
+    sink.child(ROOT_SPAN_ID, Stage::Route, tag, route_start);
+    if owned {
+        return Ok(());
+    }
+    let owner = membership.owner(tenant);
+    let mut body = String::from("{\"error\":{\"code\":\"wrong_owner\",\"message\":");
+    write_escaped(
+        &mut body,
+        &format!("tenant {:?} is owned by group {:?}", tenant, owner.name),
+    );
+    body.push_str(",\"owner\":{\"group\":");
+    write_escaped(&mut body, &owner.name);
+    body.push_str(",\"addrs\":[");
+    for (i, addr) in owner.addrs.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write_escaped(&mut body, addr);
+    }
+    body.push_str("]}}}");
+    Err(Box::new(
+        Response::json(421, body).with_header(OWNER_HEADER, owner.name.clone()),
+    ))
+}
+
+fn route_inner(
+    engine: &Arc<QueryEngine>,
+    executor: &Arc<PlanExecutor>,
+    config: &ServerConfig,
     telemetry: &Telemetry,
     sink: &TraceSink,
     request: &Request,
@@ -972,7 +1089,12 @@ pub fn route(
             if request.method != "GET" {
                 return Response::error(405, "metrics is GET-only");
             }
-            telemetry.update(engine, executor, replication);
+            telemetry.update(
+                engine,
+                executor,
+                config.replication.as_ref(),
+                config.ring.as_deref(),
+            );
             Response::text(200, telemetry.registry.render())
         }
         ["v1", "_debug", "trace"] => route_debug_trace(telemetry, request),
@@ -984,8 +1106,11 @@ pub fn route(
             Response::json(200, render_inventory_json(engine))
         }
         ["v1", "_sync", "sketch"] => route_sync_sketch(engine, request),
-        ["v1", "query"] => route_query(engine, executor, sink, request),
+        ["v1", "query"] => route_query(engine, executor, config, sink, request),
         ["v1", tenant, dataset, op] => {
+            if let Err(response) = check_ownership(config, sink, tenant) {
+                return *response;
+            }
             let compile_start = sink.now_nanos();
             let api = match parse_point_request(request, tenant, dataset, op) {
                 Ok(api) => api,
@@ -1218,6 +1343,7 @@ fn parse_point_request(
 fn route_query(
     engine: &Arc<QueryEngine>,
     executor: &Arc<PlanExecutor>,
+    config: &ServerConfig,
     sink: &TraceSink,
     request: &Request,
 ) -> Response {
@@ -1248,6 +1374,14 @@ fn route_query(
         SpanTag::Untagged,
         compile_start,
     );
+    // Single-tenant plans are routed like the point API: a misdirected one
+    // answers `wrong_owner`.  Glob plans run anywhere — the executor's
+    // scatter hook gathers the other groups' partials.
+    if let Selector::Exact { tenant, .. } = &plan.selector {
+        if let Err(response) = check_ownership(config, sink, tenant.as_str()) {
+            return *response;
+        }
+    }
     match run_plan(engine, executor, sink, &plan) {
         Ok(executed) => {
             let sources = executed.sources.len().to_string();
@@ -1285,6 +1419,71 @@ fn run_plan(
         }
     }
     Ok(executed)
+}
+
+/// Build the cross-group gather hook a ring member installs on its
+/// [`PlanExecutor`]: for every *peer* group, pull a replica's manifest,
+/// keep the selector's matches, and fetch each matching sketch at its exact
+/// published version (the same `/v1/_sync/*` endpoints replication uses, so
+/// bytes and version travel atomically).  Replica addresses are tried in
+/// order; a group with no reachable replica fails the plan loudly (500)
+/// rather than returning a silently partial answer.  The request's trace id
+/// rides on every hop, so the scatter fan-out is one trace end to end.
+fn scatter_hook(membership: Arc<RingMembership>) -> Arc<ScatterFn> {
+    Arc::new(move |selector: &Selector, trace: Option<TraceId>| {
+        let mut partials = Vec::new();
+        for group in membership.peer_groups() {
+            let mut gathered: Option<Vec<RemotePartial>> = None;
+            let mut last_err: Option<NetError> = None;
+            for addr in &group.addrs {
+                let mut client = HttpClient::new(addr.clone())
+                    .with_read_timeout(Duration::from_millis(500))
+                    .with_connect_timeout(Duration::from_millis(250));
+                client.set_trace_id(trace);
+                match gather_from_peer(&mut client, selector) {
+                    Ok(found) => {
+                        gathered = Some(found);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            match gathered {
+                Some(found) => partials.extend(found),
+                None => {
+                    let detail = last_err
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "group has no replica addresses".to_string());
+                    return Err(QueryError::Serve(ServeError::InvalidConfig(format!(
+                        "scatter to group {:?} failed: {detail}",
+                        group.name
+                    ))));
+                }
+            }
+        }
+        Ok(partials)
+    })
+}
+
+/// One peer replica's contribution to a scatter: its manifest filtered by
+/// the selector, each match fetched at the manifest-then-header version.
+fn gather_from_peer(client: &mut HttpClient, selector: &Selector) -> NetResult<Vec<RemotePartial>> {
+    let mut found = Vec::new();
+    for entry in crate::sync::fetch_manifest(client)? {
+        let tenant = TenantId::new(&entry.tenant);
+        let dataset = DatasetId::new(&entry.dataset);
+        if !selector.matches(&tenant, &dataset) {
+            continue;
+        }
+        let (version, sketch) = crate::sync::fetch_sketch(client, &entry.tenant, &entry.dataset)?;
+        found.push(RemotePartial {
+            tenant,
+            dataset,
+            version,
+            sketch: Arc::new(sketch),
+        });
+    }
+    Ok(found)
 }
 
 /// Map executor errors to responses.  The single-target serve errors keep

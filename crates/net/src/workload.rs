@@ -274,7 +274,7 @@ pub(crate) enum Verdict {
 
 /// Plan responses verify against their full claimed provenance, not a
 /// single `(version, freshness)` pair, so their verdict carries no handle.
-enum PlanVerdict {
+pub(crate) enum PlanVerdict {
     Verified,
     Torn,
     Shed,
@@ -336,7 +336,7 @@ pub(crate) fn trace_ok(response: &crate::client::ClientResponse, sent: Option<Tr
 
 /// Pick a coalescing pipeline over every main tenant: the plan text to POST
 /// plus the typed extract the offline replay re-runs.
-fn plan_for(rng: &mut u64) -> (String, QueryRequest) {
+pub(crate) fn plan_for(rng: &mut u64) -> (String, QueryRequest) {
     let (extract, request) = match next_rand(rng) % 4 {
         0 => (
             "quantile 0.5".to_string(),
@@ -371,7 +371,7 @@ fn plan_for(rng: &mut u64) -> (String, QueryRequest) {
 /// the same deterministic merge tree, re-running the extract, and
 /// re-rendering through [`render_plan_response_json`] must reproduce the
 /// body byte-for-byte.
-fn verify_plan(
+pub(crate) fn verify_plan(
     request: &QueryRequest,
     response: &crate::client::ClientResponse,
     registry: &Registry,

@@ -5,7 +5,8 @@
 use opaq_core::{IncrementalOpaq, OpaqConfig};
 use opaq_net::{
     bootstrap, run_replica_workload, sync_once, BreakerConfig, ChaosConfig, HttpClient, HttpServer,
-    ReplicaSet, ReplicaWorkloadSpec, ReplicationStats, Replicator, ServerConfig, VERSION_HEADER,
+    ReplicaConfig, ReplicaSet, ReplicaWorkloadSpec, ReplicationStats, Replicator, ServerConfig,
+    VERSION_HEADER,
 };
 use opaq_serve::{DatasetId, QueryEngine, SketchCatalog, TenantId, WorkloadSpec};
 use std::sync::Arc;
@@ -196,14 +197,15 @@ fn replica_set_fails_over_and_degrades_gracefully() {
         cooldown: Duration::from_millis(80),
         ..BreakerConfig::default()
     };
-    let mut set = ReplicaSet::new(
-        &[secondary_addr, primary_addr],
-        breaker,
-        Duration::from_millis(500),
-        Duration::from_millis(200),
-    )
-    .unwrap()
-    .with_stats(Arc::clone(&stats));
+    let config = ReplicaConfig::builder()
+        .breaker(breaker)
+        .read_timeout(Duration::from_millis(500))
+        .connect_timeout(Duration::from_millis(200))
+        .build()
+        .unwrap();
+    let mut set = ReplicaSet::new(&[secondary_addr, primary_addr], config)
+        .unwrap()
+        .with_stats(Arc::clone(&stats));
 
     let target = "/v1/acme/events/quantile?phi=0.5";
     let healthy = set.get(target).unwrap();

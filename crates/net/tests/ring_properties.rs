@@ -1,0 +1,140 @@
+//! Property suite for the tenant hash ring.
+//!
+//! The ring is the routing truth every layer shares, so its guarantees are
+//! pinned as properties rather than examples: placement balance stays
+//! within a bound at ≥128 vnodes per group, two processes that parse the
+//! same serialized config compute byte-identical placements, and rebalance
+//! is minimal-disruption in both directions — adding one group to N moves
+//! about `1/(N+1)` of the tenants and never shuffles a tenant between
+//! surviving groups, while removing a group moves only the tenants it
+//! owned.
+
+use opaq_net::{GroupConfig, HashRing, RingConfig};
+use proptest::prelude::*;
+
+/// A ring config over `n` groups with deterministic names derived from
+/// `seed`, so shrinking stays meaningful and no two groups collide.
+fn config(seed: u64, n: usize, vnodes: u32) -> RingConfig {
+    let mut cfg = RingConfig::new(
+        (0..n)
+            .map(|i| GroupConfig {
+                name: format!("g{seed:x}-{i}"),
+                addrs: vec![format!("127.0.0.1:{}", 4000 + i)],
+            })
+            .collect(),
+    );
+    cfg.vnodes = vnodes;
+    cfg
+}
+
+/// Tenant names in the shape production uses.
+fn tenants(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("tenant-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At ≥128 vnodes per group, no group's share of a large tenant
+    /// population strays past 2.5x the fair share, and every group owns
+    /// someone.  (Consistent hashing is not perfectly uniform — the bound
+    /// is the contract, not equality.)
+    #[test]
+    fn placement_balance_stays_within_bound(
+        seed in any::<u64>(),
+        n in 2usize..6,
+    ) {
+        let ring = HashRing::new(config(seed, n, 128)).unwrap();
+        let population = 4_000usize;
+        let mut counts = vec![0usize; n];
+        for t in tenants(population) {
+            counts[ring.owner_index(&t)] += 1;
+        }
+        let fair = population / n;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(c > 0, "group {i} owns nothing: {counts:?}");
+            prop_assert!(
+                c <= fair * 5 / 2,
+                "group {i} owns {c} of {population} (fair {fair}): {counts:?}"
+            );
+        }
+    }
+
+    /// Serialize, reparse, rebuild: the placement function is the same one
+    /// — what a second process loading the ring file would compute.
+    #[test]
+    fn placement_is_deterministic_across_processes(
+        seed in any::<u64>(),
+        n in 1usize..6,
+        vnodes in 1u32..512,
+    ) {
+        let cfg = config(seed, n, vnodes);
+        let here = HashRing::new(cfg.clone()).unwrap();
+        let there = HashRing::new(RingConfig::parse(&cfg.to_json()).unwrap()).unwrap();
+        prop_assert_eq!(here.config(), there.config());
+        for t in tenants(256) {
+            prop_assert_eq!(here.owner_index(&t), there.owner_index(&t), "{}", t);
+        }
+    }
+
+    /// Adding one group to N moves ≈1/(N+1) of the tenants — every move
+    /// lands on the new group (survivors never trade tenants), and the
+    /// moved fraction sits in a generous window around the ideal.
+    #[test]
+    fn adding_a_group_moves_about_its_fair_share(
+        seed in any::<u64>(),
+        n in 2usize..6,
+    ) {
+        let before = HashRing::new(config(seed, n, 128)).unwrap();
+        let grown = config(seed, n, 128).with_group(GroupConfig {
+            name: format!("g{seed:x}-new"),
+            addrs: vec!["127.0.0.1:4999".into()],
+        });
+        let after = HashRing::new(grown).unwrap();
+        let population = 4_000usize;
+        let mut moved = 0usize;
+        for t in tenants(population) {
+            let old = &before.owner(&t).name;
+            let new = &after.owner(&t).name;
+            if new != old {
+                prop_assert_eq!(
+                    after.owner_index(&t),
+                    n,
+                    "{} moved between survivors: {} -> {}",
+                    t, old, new
+                );
+                moved += 1;
+            }
+        }
+        let ideal = population / (n + 1);
+        prop_assert!(
+            moved >= ideal / 3 && moved <= ideal * 3,
+            "moved {moved}, ideal {ideal} (n={n})"
+        );
+    }
+
+    /// Removing a group moves only the tenants it owned: every survivor's
+    /// tenants stay put, byte for byte.
+    #[test]
+    fn removing_a_group_moves_only_its_own_tenants(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        victim in 0usize..8,
+    ) {
+        let cfg = config(seed, n, 128);
+        let victim_name = cfg.groups[victim % n].name.clone();
+        let before = HashRing::new(cfg.clone()).unwrap();
+        let after = HashRing::new(cfg.without_group(&victim_name)).unwrap();
+        for t in tenants(2_000) {
+            let old = &before.owner(&t).name;
+            if old != &victim_name {
+                prop_assert_eq!(
+                    &after.owner(&t).name, old,
+                    "{} moved although {} kept its points", t, victim_name
+                );
+            } else {
+                prop_assert_ne!(&after.owner(&t).name, &victim_name);
+            }
+        }
+    }
+}

@@ -6,7 +6,9 @@
 use opaq_core::{IncrementalOpaq, OpaqConfig};
 use opaq_metrics::TraceId;
 use opaq_net::{
-    bootstrap, BreakerConfig, HttpClient, HttpServer, ReplicaSet, ServerConfig, TRACE_HEADER,
+    bootstrap, BreakerConfig, GroupConfig, HashRing, HttpClient, HttpServer, ReplicaConfig,
+    ReplicaSet, ReplicationStats, RingConfig, RingMembership, RoutedFleet, ServerConfig,
+    OWNER_HEADER, TRACE_HEADER,
 };
 use opaq_serve::{DatasetId, QueryEngine, SketchCatalog, TenantId};
 use std::sync::Arc;
@@ -52,6 +54,16 @@ fn fast_breaker() -> BreakerConfig {
         failure_threshold: 0.5,
         cooldown: Duration::from_millis(50),
     }
+}
+
+fn fast_replica_config(retry_passes: u32) -> ReplicaConfig {
+    ReplicaConfig::builder()
+        .breaker(fast_breaker())
+        .read_timeout(Duration::from_millis(500))
+        .connect_timeout(Duration::from_millis(200))
+        .retry_passes(retry_passes)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -128,14 +140,7 @@ fn failover_retries_keep_the_same_trace_id() {
     let mut secondary = HttpServer::start(engine, ServerConfig::default()).unwrap();
     let secondary_addr = secondary.local_addr().to_string();
 
-    let mut set = ReplicaSet::new(
-        &[primary_addr, secondary_addr],
-        fast_breaker(),
-        Duration::from_millis(500),
-        Duration::from_millis(200),
-    )
-    .unwrap()
-    .with_retry_passes(3);
+    let mut set = ReplicaSet::new(&[primary_addr, secondary_addr], fast_replica_config(3)).unwrap();
 
     let trace = TraceId::mint();
     set.set_trace_id(Some(trace));
@@ -166,14 +171,7 @@ fn failover_retries_keep_the_same_trace_id() {
 #[test]
 fn degraded_replay_is_restamped_with_the_current_trace_id() {
     let (_catalog, mut primary, primary_addr) = primary_with(&[("acme", "events", 4_000)]);
-    let mut set = ReplicaSet::new(
-        &[primary_addr],
-        fast_breaker(),
-        Duration::from_millis(500),
-        Duration::from_millis(200),
-    )
-    .unwrap()
-    .with_retry_passes(1);
+    let mut set = ReplicaSet::new(&[primary_addr], fast_replica_config(1)).unwrap();
 
     let target = "/v1/acme/events/quantile?phi=0.5";
     let old_trace = TraceId::mint();
@@ -200,4 +198,125 @@ fn degraded_replay_is_restamped_with_the_current_trace_id() {
         "degraded replay must carry the current trace id"
     );
     assert_eq!(live.response.body, degraded.response.body);
+}
+
+/// Two single-replica ring groups over one shared ring; the tenant's data
+/// lives only in its owning group's catalog.  Returns the running servers,
+/// their addresses in ring-group order, the ring, and the tenant's owner
+/// index.
+fn ring_pair(tenant: &str) -> (Vec<HttpServer>, Vec<Vec<String>>, Arc<HashRing>, usize) {
+    // Ring addresses are routing metadata here — the fleet dials the real
+    // ephemeral addresses passed separately, and no glob plan scatters.
+    let ring = Arc::new(
+        HashRing::new(RingConfig::new(vec![
+            GroupConfig {
+                name: "group-0".into(),
+                addrs: vec!["127.0.0.1:1".into()],
+            },
+            GroupConfig {
+                name: "group-1".into(),
+                addrs: vec!["127.0.0.1:1".into()],
+            },
+        ]))
+        .unwrap(),
+    );
+    let owner = ring.owner_index(tenant);
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for (g, group) in ring.groups().iter().enumerate() {
+        let catalog = Arc::new(SketchCatalog::unbounded());
+        if g == owner {
+            catalog
+                .publish(
+                    &TenantId::new(tenant),
+                    &DatasetId::new("events"),
+                    sketch_of(7, 4_000),
+                )
+                .unwrap();
+        }
+        let engine = Arc::new(QueryEngine::new(catalog));
+        let config = ServerConfig::builder()
+            .ring(Arc::new(
+                RingMembership::new((*ring).clone(), &group.name).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let server = HttpServer::start(engine, config).unwrap();
+        addrs.push(vec![server.local_addr().to_string()]);
+        servers.push(server);
+    }
+    (servers, addrs, ring, owner)
+}
+
+#[test]
+fn wrong_owner_answers_carry_the_stamped_trace_id() {
+    let tenant = "acme";
+    let (mut servers, addrs, ring, owner) = ring_pair(tenant);
+    let wrong = 1 - owner;
+
+    let mut client = HttpClient::new(addrs[wrong][0].clone());
+    let stamped = TraceId::mint();
+    client.set_trace_id(Some(stamped));
+    let response = client
+        .get(&format!("/v1/{tenant}/events/quantile?phi=0.5"))
+        .unwrap();
+    assert_eq!(response.status, 421, "misdirected request must be refused");
+    assert_eq!(
+        response.header(TRACE_HEADER),
+        Some(&*stamped.to_string()),
+        "wrong_owner answer lost the trace id"
+    );
+    assert_eq!(
+        response.header(OWNER_HEADER),
+        Some(&*ring.groups()[owner].name.clone()),
+        "wrong_owner answer must name the owning group"
+    );
+    let body = response.body_str().unwrap();
+    assert!(
+        body.contains("\"wrong_owner\""),
+        "typed code missing: {body}"
+    );
+
+    for server in &mut servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn rerouted_requests_keep_one_trace_id_across_both_hops() {
+    let tenant = "acme";
+    let (mut servers, addrs, ring, owner) = ring_pair(tenant);
+
+    let stats = ReplicationStats::new();
+    let mut fleet = RoutedFleet::new(Arc::clone(&ring), &addrs, &fast_replica_config(1))
+        .unwrap()
+        .with_stats(Arc::clone(&stats));
+
+    let stamped = TraceId::mint();
+    fleet.set_trace_id(Some(stamped));
+    let target = format!("/v1/{tenant}/events/quantile?phi=0.5");
+    // Deliberately hit the non-owning group: the fleet must follow the
+    // typed wrong_owner answer to the owner in exactly one extra hop, with
+    // the same trace stamped on both.
+    let answer = fleet.get_misrouted(tenant, &target).unwrap();
+    assert_eq!(answer.response.status, 200, "re-route did not reach owner");
+    assert_eq!(
+        answer.response.header(TRACE_HEADER),
+        Some(&*stamped.to_string()),
+        "re-routed hop lost the trace id"
+    );
+    assert_eq!(
+        answer.response.header(OWNER_HEADER),
+        Some(&*ring.groups()[owner].name.clone()),
+    );
+    assert_eq!(stats.reroutes(), 1, "re-route was not counted");
+
+    // The routed path goes straight to the owner: no extra re-routes.
+    let direct = fleet.get(tenant, &target).unwrap();
+    assert_eq!(direct.response.status, 200);
+    assert_eq!(stats.reroutes(), 1);
+
+    for server in &mut servers {
+        server.shutdown();
+    }
 }

@@ -10,11 +10,12 @@
 use crate::plan::{QueryPlan, Selector};
 use crate::QueryError;
 use opaq_core::{OpaqError, QuantileSketch};
-use opaq_metrics::trace::{SpanTag, Stage, TraceSink};
+use opaq_metrics::trace::{SpanTag, Stage, TraceId, TraceSink};
 use opaq_metrics::{PlanStage, StageLatency};
 use opaq_serve::{
     execute_on, DatasetId, Freshness, QueryOutput, SketchCatalog, SnapshotOrigin, TenantId,
 };
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +43,54 @@ pub struct PlanResponse {
     /// Degenerate single-target plans have exactly one source, which is how
     /// the legacy per-`(tenant, dataset)` response shape is reconstructed.
     pub sources: Vec<PlanSource>,
+}
+
+/// One sketch gathered from a peer replica group by a scatter hook.
+///
+/// Remote partials carry the peer's published version so provenance (and
+/// the byte-for-byte verifier's replay) stays exact across the fleet.  They
+/// report [`Freshness::Fresh`]: the sync endpoint serves the current
+/// published epoch, and partitioned catalogs run TTL-free, so this is what
+/// an unpartitioned catalog would report for the same entry — the invariant
+/// that keeps scatter-gathered plan answers byte-identical.
+#[derive(Debug, Clone)]
+pub struct RemotePartial {
+    /// The owning tenant (as placed by the ring).
+    pub tenant: TenantId,
+    /// The dataset.
+    pub dataset: DatasetId,
+    /// The peer's published version of the entry.
+    pub version: u64,
+    /// The peer's published sketch.
+    pub sketch: Arc<QuantileSketch<u64>>,
+}
+
+/// A scatter hook: resolve a glob selector against every peer replica
+/// group and return the matching partial sketches.  The optional trace id
+/// is the in-flight request's, so cross-group hops carry the same trace.
+pub type ScatterFn =
+    dyn Fn(&Selector, Option<TraceId>) -> Result<Vec<RemotePartial>, QueryError> + Send + Sync;
+
+/// How a resolved plan source reached this executor.
+enum Provenance {
+    /// Resolved from the local catalog.
+    Local {
+        origin: SnapshotOrigin,
+        refresh_triggered: bool,
+    },
+    /// Gathered from a peer group by the scatter hook.
+    Remote,
+}
+
+/// A selector match with everything downstream stages need, whether it came
+/// from the local catalog or a peer group.
+struct ResolvedSource {
+    tenant: TenantId,
+    dataset: DatasetId,
+    version: u64,
+    freshness: Freshness,
+    sketch: Arc<QuantileSketch<u64>>,
+    provenance: Provenance,
 }
 
 /// Fuse sketches with the same balanced pairwise tree `ShardedOpaq` uses
@@ -82,10 +131,26 @@ pub fn merge_tree(
 /// serving threads.  Snapshots are resolved through the catalog's usual
 /// epoch discipline, so a plan over N entries reads N *complete* published
 /// versions — never a torn mixture — and reports each one it used.
-#[derive(Debug)]
+///
+/// On a ring-partitioned fleet the local catalog holds only owned tenants;
+/// installing a scatter hook ([`PlanExecutor::with_scatter`]) lets glob
+/// plans gather the missing partials from peer groups and fuse the union
+/// with the same deterministic [`merge_tree`], so a multi-group `coalesce`
+/// answer is byte-identical to the same plan on an unpartitioned catalog.
 pub struct PlanExecutor {
     catalog: Arc<SketchCatalog>,
     stages: StageLatency,
+    scatter: Option<Arc<ScatterFn>>,
+}
+
+impl fmt::Debug for PlanExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanExecutor")
+            .field("catalog", &self.catalog)
+            .field("stages", &self.stages)
+            .field("scatter", &self.scatter.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl PlanExecutor {
@@ -94,7 +159,15 @@ impl PlanExecutor {
         Self {
             catalog,
             stages: StageLatency::new(),
+            scatter: None,
         }
+    }
+
+    /// Install a scatter hook for cross-group glob resolution.
+    #[must_use]
+    pub fn with_scatter(mut self, scatter: Arc<ScatterFn>) -> Self {
+        self.scatter = Some(scatter);
+        self
     }
 
     /// The catalog plans resolve against.
@@ -102,7 +175,7 @@ impl PlanExecutor {
         &self.catalog
     }
 
-    /// Per-stage latency histograms (fetch / merge / extract).
+    /// Per-stage latency histograms (fetch / scatter / merge / extract).
     pub fn stages(&self) -> &StageLatency {
         &self.stages
     }
@@ -147,15 +220,23 @@ impl PlanExecutor {
     ) -> Result<PlanResponse, QueryError> {
         let fetch_start = Instant::now();
         let fetch_span = trace.map(|(sink, _)| (sink.allocate(), sink.now_nanos()));
-        let snapshots = self.fetch(&plan.selector)?;
+        let mut snapshots = self.fetch(&plan.selector)?;
         if let (Some((sink, parent)), Some((fetch_id, start))) = (trace, fetch_span) {
-            // One child per source, nested under the fetch span, tagged with
-            // how the catalog produced the snapshot.
-            for (_, _, snap) in &snapshots {
-                let tag = if snap.refresh_triggered {
+            // One child per local source, nested under the fetch span, tagged
+            // with how the catalog produced the snapshot.  Remote partials
+            // are accounted to the scatter span instead.
+            for source in &snapshots {
+                let Provenance::Local {
+                    origin,
+                    refresh_triggered,
+                } = source.provenance
+                else {
+                    continue;
+                };
+                let tag = if refresh_triggered {
                     SpanTag::RefreshTriggered
                 } else {
-                    match snap.origin {
+                    match origin {
                         SnapshotOrigin::Hit => SpanTag::Hit,
                         SnapshotOrigin::ReloadFromSpill => SpanTag::ReloadFromSpill,
                     }
@@ -165,6 +246,29 @@ impl PlanExecutor {
             sink.complete(fetch_id, parent, Stage::Fetch, SpanTag::Untagged, start);
         }
         self.stages.record(PlanStage::Fetch, fetch_start.elapsed());
+
+        if let (Selector::Glob { .. }, Some(scatter)) = (&plan.selector, self.scatter.as_ref()) {
+            let scatter_start = Instant::now();
+            let scatter_span = trace.map(|(sink, _)| sink.now_nanos());
+            let remote = scatter(&plan.selector, trace.map(|(sink, _)| sink.trace()))?;
+            snapshots = Self::fuse_partials(snapshots, remote);
+            if let (Some((sink, parent)), Some(start)) = (trace, scatter_span) {
+                sink.child(parent, Stage::Scatter, SpanTag::Untagged, start);
+            }
+            self.stages
+                .record(PlanStage::Scatter, scatter_start.elapsed());
+        }
+        if snapshots.is_empty() {
+            // Only a scatter-enabled glob can get here: local-only fetch
+            // already raised NoMatch, and an exact fetch resolved one entry.
+            let Selector::Glob { tenant, dataset } = &plan.selector else {
+                unreachable!("empty resolution is glob-only")
+            };
+            return Err(QueryError::NoMatch {
+                tenant: tenant.clone(),
+                dataset: dataset.clone(),
+            });
+        }
 
         if snapshots.len() > 1 && !plan.coalesce {
             return Err(QueryError::NeedsCoalesce {
@@ -177,7 +281,7 @@ impl PlanExecutor {
             let merge_span = trace.map(|(sink, _)| sink.now_nanos());
             let sketches: Vec<_> = snapshots
                 .iter()
-                .map(|(_, _, snap)| Arc::clone(&snap.sketch))
+                .map(|source| Arc::clone(&source.sketch))
                 .collect();
             let fused = merge_tree(&sketches).map_err(opaq_serve::ServeError::from)?;
             if let (Some((sink, parent)), Some(start)) = (trace, merge_span) {
@@ -186,7 +290,7 @@ impl PlanExecutor {
             self.stages.record(PlanStage::Merge, merge_start.elapsed());
             fused
         } else {
-            Arc::clone(&snapshots[0].2.sketch)
+            Arc::clone(&snapshots[0].sketch)
         };
 
         let extract_start = Instant::now();
@@ -203,37 +307,83 @@ impl PlanExecutor {
             total_elements: fused.total_elements(),
             sources: snapshots
                 .into_iter()
-                .map(|(tenant, dataset, snap)| PlanSource {
-                    tenant,
-                    dataset,
-                    version: snap.version,
-                    freshness: snap.freshness,
+                .map(|source| PlanSource {
+                    tenant: source.tenant,
+                    dataset: source.dataset,
+                    version: source.version,
+                    freshness: source.freshness,
                 })
                 .collect(),
         })
     }
 
-    /// Resolve a selector to `(tenant, dataset, snapshot)` triples, in the
-    /// catalog's sorted key order (so merge input order — and therefore the
-    /// fused sketch — is deterministic for a given set of versions).
-    fn fetch(
-        &self,
-        selector: &Selector,
-    ) -> Result<Vec<(TenantId, DatasetId, opaq_serve::SketchSnapshot)>, QueryError> {
-        match selector {
-            Selector::Exact { tenant, dataset } => {
-                let snap = self.catalog.snapshot(tenant, dataset)?;
-                Ok(vec![(tenant.clone(), dataset.clone(), snap)])
+    /// Union local matches with scatter-gathered partials, then restore the
+    /// catalog's sorted key order so merge input order — and therefore the
+    /// fused sketch — is exactly what an unpartitioned catalog would use.
+    /// A key present on both sides keeps the higher version (the local copy
+    /// on a tie), mirroring the catalog's strictly-greater publish rule.
+    fn fuse_partials(
+        local: Vec<ResolvedSource>,
+        remote: Vec<RemotePartial>,
+    ) -> Vec<ResolvedSource> {
+        let mut union = local;
+        for partial in remote {
+            let existing = union
+                .iter_mut()
+                .find(|s| s.tenant == partial.tenant && s.dataset == partial.dataset);
+            match existing {
+                Some(held) if held.version >= partial.version => {}
+                Some(held) => {
+                    held.version = partial.version;
+                    held.sketch = partial.sketch;
+                    held.freshness = Freshness::Fresh;
+                    held.provenance = Provenance::Remote;
+                }
+                None => union.push(ResolvedSource {
+                    tenant: partial.tenant,
+                    dataset: partial.dataset,
+                    version: partial.version,
+                    freshness: Freshness::Fresh,
+                    sketch: partial.sketch,
+                    provenance: Provenance::Remote,
+                }),
             }
+        }
+        union.sort_by(|a, b| {
+            (a.tenant.as_str(), a.dataset.as_str()).cmp(&(b.tenant.as_str(), b.dataset.as_str()))
+        });
+        union
+    }
+
+    /// Resolve a selector against the local catalog, in the catalog's
+    /// sorted key order.  A glob that matches nothing locally is only an
+    /// error when there is no scatter hook to consult peer groups.
+    fn fetch(&self, selector: &Selector) -> Result<Vec<ResolvedSource>, QueryError> {
+        let resolved_source = |tenant: &TenantId, dataset: &DatasetId| {
+            self.catalog
+                .snapshot(tenant, dataset)
+                .map(|snap| ResolvedSource {
+                    tenant: tenant.clone(),
+                    dataset: dataset.clone(),
+                    version: snap.version,
+                    freshness: snap.freshness,
+                    provenance: Provenance::Local {
+                        origin: snap.origin,
+                        refresh_triggered: snap.refresh_triggered,
+                    },
+                    sketch: snap.sketch,
+                })
+        };
+        match selector {
+            Selector::Exact { tenant, dataset } => Ok(vec![resolved_source(tenant, dataset)?]),
             Selector::Glob { .. } => {
                 let mut resolved = Vec::new();
                 for (tenant, dataset) in self.catalog.keys() {
                     if selector.matches(&tenant, &dataset) {
-                        let snap = self.catalog.snapshot(&tenant, &dataset)?;
-                        resolved.push((tenant, dataset, snap));
+                        resolved.push(resolved_source(&tenant, &dataset)?);
                     }
                 }
-                if resolved.is_empty() {
+                if resolved.is_empty() && self.scatter.is_none() {
                     let Selector::Glob { tenant, dataset } = selector else {
                         unreachable!("outer match")
                     };
@@ -420,6 +570,108 @@ mod tests {
         assert_eq!(of(Stage::Merge).len(), 1);
         assert_eq!(of(Stage::Extract).len(), 1);
         assert_eq!(of(Stage::Request).len(), 1, "root span present");
+    }
+
+    /// A hook resolving against another catalog, as the server's
+    /// cross-group hook does over HTTP.
+    fn scatter_from(catalog: Arc<SketchCatalog>) -> Arc<ScatterFn> {
+        Arc::new(move |selector: &Selector, _trace| {
+            let mut partials = Vec::new();
+            for (tenant, dataset) in catalog.keys() {
+                if selector.matches(&tenant, &dataset) {
+                    let snap = catalog.snapshot(&tenant, &dataset).unwrap();
+                    partials.push(RemotePartial {
+                        tenant,
+                        dataset,
+                        version: snap.version,
+                        sketch: snap.sketch,
+                    });
+                }
+            }
+            Ok(partials)
+        })
+    }
+
+    #[test]
+    fn scatter_gathered_plan_matches_unpartitioned_catalog() {
+        // Partition three tenants across two catalogs; the oracle holds all
+        // three.  tenant-1 deliberately lands remotely so the union has to
+        // interleave local and remote sources to restore key order.
+        let local = catalog_with(&[("tenant-0", "events", 0..1000)]);
+        let peer = catalog_with(&[
+            ("tenant-1", "events", 1000..2000),
+            ("tenant-2", "events", 2000..3000),
+        ]);
+        let oracle = catalog_with(&[
+            ("tenant-0", "events", 0..1000),
+            ("tenant-1", "events", 1000..2000),
+            ("tenant-2", "events", 2000..3000),
+        ]);
+        let executor = PlanExecutor::new(local).with_scatter(scatter_from(peer));
+        let plan = QueryPlan::parse("fetch tenant-*/events | coalesce | quantile 0.5").unwrap();
+        let gathered = executor.execute(&plan).unwrap();
+        let reference = PlanExecutor::new(oracle).execute(&plan).unwrap();
+        assert_eq!(gathered, reference, "scatter-gather must be transparent");
+        assert_eq!(gathered.sources.len(), 3);
+        assert_eq!(executor.stages().histogram(PlanStage::Scatter).count(), 1);
+    }
+
+    #[test]
+    fn scatter_covers_globs_with_no_local_match() {
+        let local = catalog_with(&[("other", "events", 0..100)]);
+        let peer = catalog_with(&[("tenant-0", "events", 0..500)]);
+        let executor = PlanExecutor::new(local).with_scatter(scatter_from(peer));
+        let plan = QueryPlan::parse("fetch tenant-*/events | coalesce | rank 250").unwrap();
+        let response = executor.execute(&plan).unwrap();
+        assert_eq!(response.sources.len(), 1);
+        assert_eq!(response.sources[0].tenant.as_str(), "tenant-0");
+        // A glob nobody matches is still NoMatch, even with a hook.
+        let ghost = QueryPlan::parse("fetch ghost-*/events | coalesce | rank 1").unwrap();
+        assert!(matches!(
+            executor.execute(&ghost),
+            Err(QueryError::NoMatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scatter_prefers_the_higher_version_per_key() {
+        let local = catalog_with(&[("dup", "events", 0..100)]);
+        let peer = catalog_with(&[("dup", "events", 0..100)]);
+        peer_publish(&peer, "dup", "events", 100..300);
+        let executor =
+            PlanExecutor::new(Arc::clone(&local)).with_scatter(scatter_from(Arc::clone(&peer)));
+        let plan = QueryPlan::parse("fetch dup/* | coalesce | quantile 0.5").unwrap();
+        let response = executor.execute(&plan).unwrap();
+        assert_eq!(response.sources.len(), 1, "same key is deduplicated");
+        assert_eq!(response.sources[0].version, 2, "higher version wins");
+        assert_eq!(response.total_elements, 200);
+        // Tie goes to the local copy: republish locally to version 2.
+        peer_publish(&local, "dup", "events", 100..300);
+        let tied = executor.execute(&plan).unwrap();
+        assert_eq!(tied.sources[0].version, 2);
+    }
+
+    fn peer_publish(catalog: &SketchCatalog, tenant: &str, dataset: &str, r: std::ops::Range<u64>) {
+        catalog
+            .publish(
+                &TenantId::from(tenant),
+                &DatasetId::from(dataset),
+                sketch_of(r),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn scatter_errors_propagate() {
+        let local = catalog_with(&[("a", "events", 0..100)]);
+        let executor = PlanExecutor::new(local).with_scatter(Arc::new(|_: &Selector, _| {
+            Err(QueryError::Serve(ServeError::Opaq(OpaqError::EmptyDataset)))
+        }));
+        let plan = QueryPlan::parse("fetch */events | coalesce | quantile 0.5").unwrap();
+        assert!(matches!(executor.execute(&plan), Err(QueryError::Serve(_))));
+        // Exact plans never scatter, so the failing hook is not consulted.
+        let exact = QueryPlan::parse("fetch a/events | quantile 0.5").unwrap();
+        assert!(executor.execute(&exact).is_ok());
     }
 
     #[test]

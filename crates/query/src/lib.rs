@@ -76,7 +76,7 @@ pub mod glob;
 pub mod parser;
 pub mod plan;
 
-pub use exec::{merge_tree, PlanExecutor, PlanResponse, PlanSource};
+pub use exec::{merge_tree, PlanExecutor, PlanResponse, PlanSource, RemotePartial, ScatterFn};
 pub use glob::glob_match;
 pub use plan::{QueryPlan, Selector};
 
